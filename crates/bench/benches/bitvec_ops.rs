@@ -1,0 +1,62 @@
+//! Criterion: throughput of the bit-vector substrate's logical operations
+//! and popcount on 1M-bit bitmaps — the inner loop of every query.
+
+use bindex::bitvec::rank::RankIndex;
+use bindex::BitVec;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+const BITS: usize = 1 << 20;
+
+fn mk(seed: usize) -> BitVec {
+    BitVec::from_fn(BITS, |i| (i * 2654435761 + seed) % 7 == 0)
+}
+
+fn bench(c: &mut Criterion) {
+    let a = mk(1);
+    let b = mk(2);
+    let mut g = c.benchmark_group("bitvec_ops");
+    g.throughput(Throughput::Bytes((BITS / 8) as u64));
+
+    g.bench_function("and_assign_1m", |bench| {
+        bench.iter_batched(
+            || a.clone(),
+            |mut x| {
+                x.and_assign(&b);
+                black_box(x)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("or_assign_1m", |bench| {
+        bench.iter_batched(
+            || a.clone(),
+            |mut x| {
+                x.or_assign(&b);
+                black_box(x)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("not_assign_1m", |bench| {
+        bench.iter_batched(
+            || a.clone(),
+            |mut x| {
+                x.not_assign();
+                black_box(x)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("count_ones_1m", |bench| bench.iter(|| black_box(&a).count_ones()));
+    g.bench_function("iter_ones_1m", |bench| {
+        bench.iter(|| black_box(&a).iter_ones().sum::<usize>())
+    });
+    g.bench_function("rank_index_build_1m", |bench| {
+        bench.iter(|| RankIndex::new(black_box(&a)).total_ones())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

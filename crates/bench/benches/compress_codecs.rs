@@ -1,0 +1,55 @@
+//! Criterion: the compression substrate — RLE and LZSS on bitmap bytes of
+//! different densities, plus WAH compressed-form logical operations.
+
+use bindex::compress::wah::WahBitmap;
+use bindex::compress::{Codec, Deflate, Lzss, Rle};
+use bindex::BitVec;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const BITS: usize = 1 << 20;
+
+fn bitmap(step: usize) -> BitVec {
+    BitVec::from_fn(BITS, |i| i % step == 0)
+}
+
+fn bench(c: &mut Criterion) {
+    let sparse = bitmap(1000).to_bytes(); // highly compressible
+    let dense = bitmap(3).to_bytes(); // mixed-pattern bytes
+    let mut g = c.benchmark_group("compress_codecs");
+    g.throughput(Throughput::Bytes(sparse.len() as u64));
+
+    for (name, data) in [("sparse", &sparse), ("dense", &dense)] {
+        g.bench_function(format!("rle_compress_{name}"), |b| {
+            b.iter(|| black_box(Rle.compress(data)))
+        });
+        g.bench_function(format!("lzss_compress_{name}"), |b| {
+            b.iter(|| black_box(Lzss::default().compress(data)))
+        });
+        let lz = Lzss::default().compress(data);
+        g.bench_function(format!("lzss_decompress_{name}"), |b| {
+            b.iter(|| black_box(Lzss::default().decompress(&lz, data.len()).unwrap()))
+        });
+        g.bench_function(format!("deflate_compress_{name}"), |b| {
+            b.iter(|| black_box(Deflate::default().compress(data)))
+        });
+        let df = Deflate::default().compress(data);
+        g.bench_function(format!("deflate_decompress_{name}"), |b| {
+            b.iter(|| black_box(Deflate::default().decompress(&df, data.len()).unwrap()))
+        });
+    }
+
+    let wa = WahBitmap::from_bitvec(&bitmap(1000));
+    let wb = WahBitmap::from_bitvec(&bitmap(777));
+    g.bench_function("wah_and_compressed_form", |b| {
+        b.iter(|| black_box(wa.and(&wb).count_ones()))
+    });
+    g.bench_function("wah_encode_1m", |b| {
+        let bits = bitmap(1000);
+        b.iter(|| black_box(WahBitmap::from_bitvec(&bits).compressed_bytes()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

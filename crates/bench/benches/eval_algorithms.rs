@@ -1,0 +1,60 @@
+//! Criterion: wall-clock comparison of RangeEval vs RangeEval-Opt vs the
+//! equality evaluator on a 100k-row relation — the paper's Section 3
+//! improvement measured end-to-end rather than in scan counts.
+
+use bindex::core::eval::{evaluate, Algorithm};
+use bindex::relation::{gen, query};
+use bindex::{Base, BitmapIndex, Encoding, IndexSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const N: usize = 100_000;
+const C: u32 = 100;
+
+fn bench(c: &mut Criterion) {
+    let col = gen::uniform(N, C, 11);
+    let range_idx = BitmapIndex::build(
+        &col,
+        IndexSpec::new(Base::uniform(10, 2).unwrap(), Encoding::Range),
+    )
+    .unwrap();
+    let eq_idx = BitmapIndex::build(
+        &col,
+        IndexSpec::new(Base::uniform(10, 2).unwrap(), Encoding::Equality),
+    )
+    .unwrap();
+    let queries = query::sample(C, 64, 3);
+
+    let mut g = c.benchmark_group("eval_algorithms");
+    g.bench_function("range_eval_base10x2", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                let (found, _) =
+                    evaluate(&mut range_idx.source(), q, Algorithm::RangeEval).unwrap();
+                black_box(found.count_ones());
+            }
+        })
+    });
+    g.bench_function("range_eval_opt_base10x2", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                let (found, _) =
+                    evaluate(&mut range_idx.source(), q, Algorithm::RangeEvalOpt).unwrap();
+                black_box(found.count_ones());
+            }
+        })
+    });
+    g.bench_function("equality_eval_base10x2", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                let (found, _) =
+                    evaluate(&mut eq_idx.source(), q, Algorithm::EqualityEval).unwrap();
+                black_box(found.count_ones());
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

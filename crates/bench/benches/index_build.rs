@@ -1,0 +1,39 @@
+//! Criterion: index construction cost across design points — Value-List,
+//! knee, binary Bit-Sliced — on a 100k-row uniform column.
+
+use bindex::core::design::knee::knee;
+use bindex::relation::gen;
+use bindex::{Base, BitmapIndex, Encoding, IndexSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const N: usize = 100_000;
+const C: u32 = 100;
+
+fn bench(c: &mut Criterion) {
+    let col = gen::uniform(N, C, 5);
+    let mut g = c.benchmark_group("index_build");
+    g.sample_size(20);
+
+    let specs = [
+        ("value_list_c100", IndexSpec::value_list(C).unwrap()),
+        (
+            "knee_range_c100",
+            IndexSpec::new(knee(C).unwrap(), Encoding::Range),
+        ),
+        ("bit_sliced_base2_c100", IndexSpec::bit_sliced(C, 2).unwrap()),
+        (
+            "single_range_c100",
+            IndexSpec::new(Base::single(C).unwrap(), Encoding::Range),
+        ),
+    ];
+    for (name, spec) in specs {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(BitmapIndex::build(&col, spec.clone()).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion: single-bitmap read cost under the three storage schemes —
+//! the access asymmetry behind Section 9.2's conclusions (BS reads one
+//! file; CS/IS read and transpose a whole row-major file).
+
+use bindex::compress::CodecKind;
+use bindex::relation::gen;
+use bindex::storage::{MemStore, StorageScheme, StoredIndex};
+use bindex::{Base, BitmapIndex, Encoding, IndexSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const N: usize = 100_000;
+const C: u32 = 50;
+
+fn stored(scheme: StorageScheme, codec: CodecKind) -> StoredIndex<MemStore> {
+    let col = gen::uniform(N, C, 9);
+    let spec = IndexSpec::new(Base::from_msb(&[7, 8]).unwrap(), Encoding::Range);
+    let idx = BitmapIndex::build(&col, spec).unwrap();
+    StoredIndex::create(MemStore::new(), idx.components(), scheme, codec).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("storage_layouts");
+    for (name, scheme, codec) in [
+        ("bs_read_bitmap", StorageScheme::BitmapLevel, CodecKind::None),
+        ("cbs_read_bitmap", StorageScheme::BitmapLevel, CodecKind::Lzss),
+        ("cs_read_bitmap", StorageScheme::ComponentLevel, CodecKind::None),
+        ("ccs_read_bitmap", StorageScheme::ComponentLevel, CodecKind::Lzss),
+        ("is_read_bitmap", StorageScheme::IndexLevel, CodecKind::None),
+    ] {
+        let mut s = stored(scheme, codec);
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(s.read_bitmap(1, 3).unwrap().count_ones()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! **Figure 9** — Space–time tradeoff of range-encoded vs equality-encoded
+//! indexes, for C ∈ {10, 100, 1000} (pass custom cardinalities as
+//! arguments).
+//!
+//! For every tight base the analytic `Space(I)` / `Time(I)` is computed
+//! under both encodings, the Pareto frontiers are printed, and the
+//! dominance relation between the two frontiers is summarized — the
+//! paper's conclusion being that range encoding offers the better
+//! tradeoff in most cases (the two coincide at the all-binary point,
+//! where the encodings are identical).
+
+use bindex::core::design::frontier::{all_points, pareto};
+use bindex::Encoding;
+use bindex_bench::{f3, print_table, Csv};
+
+fn main() {
+    let args: Vec<u32> = std::env::args().skip(1).filter_map(|s| s.parse().ok()).collect();
+    let cards = if args.is_empty() { vec![10, 100, 1000] } else { args };
+
+    for c in cards {
+        let range = pareto(all_points(c, Encoding::Range, usize::MAX));
+        let equality = pareto(all_points(c, Encoding::Equality, usize::MAX));
+
+        let mut csv = Csv::create(
+            &format!("fig09_encoding_tradeoff_c{c}"),
+            &["encoding", "base", "space_bitmaps", "time_scans"],
+        )
+        .unwrap();
+        let mut rows = Vec::new();
+        for (enc, points) in [("range", &range), ("equality", &equality)] {
+            for p in points {
+                csv.row(&[&enc, &p.base, &p.space, &f3(p.time)]).unwrap();
+                rows.push(vec![
+                    enc.to_string(),
+                    p.base.to_string(),
+                    p.space.to_string(),
+                    f3(p.time),
+                ]);
+            }
+        }
+        print_table(
+            &format!("Figure 9: encoding tradeoff frontiers, C = {c}"),
+            &["encoding", "base", "space (bitmaps)", "time (exp. scans)"],
+            &rows,
+        );
+
+        // Dominance summary: for each equality frontier point, does some
+        // range point use no more space and no more time?
+        let dominated = equality
+            .iter()
+            .filter(|e| {
+                range
+                    .iter()
+                    .any(|r| r.space <= e.space && r.time <= e.time + 1e-9)
+            })
+            .count();
+        println!(
+            "\nC = {c}: {dominated}/{} equality-frontier points are matched-or-beaten by a range-encoded index.",
+            equality.len()
+        );
+        println!("CSV: {}", csv.path().display());
+    }
+}

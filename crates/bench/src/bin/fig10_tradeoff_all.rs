@@ -1,0 +1,88 @@
+//! **Figure 10** — Space–time tradeoff of three classes of range-encoded
+//! indexes for C = 1000 (pass a different C as the first argument): the
+//! class of **space-optimal** indexes, the class of **time-optimal**
+//! indexes (one point per component count `n = 1 … ⌈log2 C⌉`), and the
+//! entire class of (tight) indexes.
+//!
+//! The experiment verifies the paper's observation that the space-optimal
+//! graph is a good approximation of the full graph: every space-optimal
+//! point lies on the Pareto frontier of all indexes.
+
+use bindex::core::cost::time_range_paper;
+use bindex::core::design::frontier::{all_points, pareto};
+use bindex::core::design::space_opt::{max_components, space_optimal_best_time};
+use bindex::core::design::time_opt::time_optimal;
+use bindex::core::design::range_space;
+use bindex::Encoding;
+use bindex_bench::{f3, print_table, Csv};
+
+fn main() {
+    let c: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+
+    let everything = all_points(c, Encoding::Range, usize::MAX);
+    let frontier = pareto(everything.clone());
+
+    let mut csv = Csv::create(
+        &format!("fig10_tradeoff_c{c}"),
+        &["series", "n_components", "base", "space_bitmaps", "time_scans"],
+    )
+    .unwrap();
+    for p in &everything {
+        csv.row(&[&"all", &p.base.n_components(), &p.base, &p.space, &f3(p.time)])
+            .unwrap();
+    }
+
+    let mut rows = Vec::new();
+    let mut on_frontier = 0usize;
+    for n in 1..=max_components(c) {
+        let so = space_optimal_best_time(c, n).unwrap();
+        let to = time_optimal(c, n).unwrap();
+        let (so_s, so_t) = (range_space(&so), time_range_paper(&so));
+        let (to_s, to_t) = (range_space(&to), time_range_paper(&to));
+        csv.row(&[&"space_optimal", &n, &so, &so_s, &f3(so_t)]).unwrap();
+        csv.row(&[&"time_optimal", &n, &to, &to_s, &f3(to_t)]).unwrap();
+        rows.push(vec![
+            n.to_string(),
+            so.to_string(),
+            so_s.to_string(),
+            f3(so_t),
+            to.to_string(),
+            to_s.to_string(),
+            f3(to_t),
+        ]);
+        if frontier
+            .iter()
+            .any(|p| p.space == so_s && (p.time - so_t).abs() < 1e-9)
+        {
+            on_frontier += 1;
+        }
+    }
+
+    print_table(
+        &format!("Figure 10: space/time-optimal index classes, C = {c}"),
+        &[
+            "n",
+            "space-opt base",
+            "space",
+            "time",
+            "time-opt base",
+            "space",
+            "time",
+        ],
+        &rows,
+    );
+    println!(
+        "\n{} tight indexes enumerated; Pareto frontier has {} points.",
+        everything.len(),
+        frontier.len()
+    );
+    println!(
+        "{on_frontier}/{} space-optimal points lie on the all-index Pareto frontier \
+         (the paper's 'good approximation' observation).",
+        max_components(c)
+    );
+    println!("CSV: {}", csv.path().display());
+}

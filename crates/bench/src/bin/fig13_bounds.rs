@@ -1,0 +1,59 @@
+//! **Figure 13** — Illustration of the component-count bounds `(n0, n')`
+//! inside `TimeOptAlg`: the solution index has at least `n0` components
+//! (the least count whose *space-optimal* index fits in `M`) and at most
+//! `n'` (the least count `≥ n0` whose *time-optimal* index fits in `M`).
+//!
+//! The paper shows two cases: (a) `n' = n0` (the fast path — the
+//! `n0`-component time-optimal index already fits) and (b) `n' > n0`.
+
+use bindex::core::cost::time_range_paper;
+use bindex::core::design::constrained::{component_bounds, time_opt_alg};
+use bindex::core::design::range_space;
+use bindex::core::design::space_opt::{max_components, space_optimal_best_time};
+use bindex::core::design::time_opt::time_optimal;
+use bindex_bench::{f3, print_table, Csv};
+
+fn show_case(c: u32, m: u64, csv: &mut Csv) {
+    let (n0, n_prime) = component_bounds(c, m).expect("feasible M");
+    let mut rows = Vec::new();
+    for n in 1..=max_components(c) {
+        let so = space_optimal_best_time(c, n).unwrap();
+        let to = time_optimal(c, n).unwrap();
+        let mark = |s: u64| if s <= m { "fits" } else { "-" };
+        rows.push(vec![
+            n.to_string(),
+            range_space(&so).to_string(),
+            mark(range_space(&so)).to_string(),
+            range_space(&to).to_string(),
+            mark(range_space(&to)).to_string(),
+        ]);
+        csv.row(&[&c, &m, &n, &range_space(&so), &range_space(&to)]).unwrap();
+    }
+    print_table(
+        &format!("Figure 13: bounds for C = {c}, M = {m} bitmaps"),
+        &["n", "space-opt space", "<=M?", "time-opt space", "<=M?"],
+        &rows,
+    );
+    let sol = time_opt_alg(c, m).unwrap();
+    println!(
+        "  n0 = {n0}, n' = {n_prime}{} — solution {} ({} bitmaps, time {})",
+        if n0 == n_prime { " (fast path: n' = n0)" } else { "" },
+        sol,
+        range_space(&sol),
+        f3(time_range_paper(&sol))
+    );
+    assert!(sol.n_components() >= n0 && sol.n_components() <= n_prime);
+}
+
+fn main() {
+    let mut csv = Csv::create(
+        "fig13_bounds",
+        &["cardinality", "m", "n", "space_opt_space", "time_opt_space"],
+    )
+    .unwrap();
+    // Case (a): M generous enough that the n0-component time-optimal fits.
+    show_case(1000, 510, &mut csv);
+    // Case (b): n' > n0 — the interesting search window.
+    show_case(1000, 100, &mut csv);
+    println!("\nCSV: {}", csv.path().display());
+}

@@ -1,0 +1,35 @@
+//! **Table 3** — Characteristics of the TPC-D-derived experimental data
+//! sets (regenerated synthetically per the TPC-D distributions; see
+//! DESIGN.md §5 for the substitution).
+
+use bindex::relation::tpcd;
+use bindex_bench::{print_table, Csv};
+
+fn main() {
+    let scale = tpcd::scale_from_env();
+    let info = tpcd::table3(scale);
+    let mut csv = Csv::create(
+        "table3_data",
+        &["data_set", "relation", "attribute", "rows", "cardinality"],
+    )
+    .unwrap();
+    let mut rows = Vec::new();
+    for d in &info {
+        csv.row(&[&d.id, &d.relation, &d.attribute, &d.rows, &d.cardinality])
+            .unwrap();
+        rows.push(vec![
+            format!("Data Set {}", d.id),
+            d.relation.to_string(),
+            d.attribute.to_string(),
+            d.rows.to_string(),
+            d.cardinality.to_string(),
+        ]);
+    }
+    print_table(
+        &format!("Table 3: TPC-D benchmark data (scale {scale} of SF-1)"),
+        &["data set", "relation", "attribute", "relation cardinality", "attribute cardinality C"],
+        &rows,
+    );
+    println!("\nPaper (SF-1): Lineitem/Quantity N=6,001,215 C=50; Order/Order-Date N=1,500,000 C=2406.");
+    println!("Set BINDEX_SCALE=1.0 for full SF-1 sizes. CSV: {}", csv.path().display());
+}

@@ -1,0 +1,170 @@
+//! # bindex-bench
+//!
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation. One binary per experiment (see `src/bin/`); each prints the
+//! paper's rows/series to stdout and writes a CSV under `results/`. Run
+//! them all with `cargo run --release -p bindex-bench --bin all_experiments`.
+//!
+//! The Criterion micro-benchmarks live in `benches/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bindex::core::eval::{evaluate_in, Algorithm};
+use bindex::core::{BitmapSource, ExecContext};
+use bindex::relation::query::SelectionQuery;
+
+/// Directory experiment CSVs are written to (`results/` at the workspace
+/// root, overridable with `BINDEX_RESULTS`).
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("BINDEX_RESULTS") {
+        return PathBuf::from(dir);
+    }
+    // crates/bench -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+/// A minimal CSV writer for experiment output (no quoting needed for our
+/// numeric/label payloads).
+pub struct Csv {
+    path: PathBuf,
+    file: fs::File,
+}
+
+impl Csv {
+    /// Creates `results/<name>.csv` with the given header row.
+    pub fn create(name: &str, header: &[&str]) -> std::io::Result<Self> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut file = fs::File::create(&path)?;
+        writeln!(file, "{}", header.join(","))?;
+        Ok(Self { path, file })
+    }
+
+    /// Appends one row.
+    pub fn row(&mut self, fields: &[&dyn Display]) -> std::io::Result<()> {
+        let line: Vec<String> = fields.iter().map(|f| f.to_string()).collect();
+        writeln!(self.file, "{}", line.join(","))
+    }
+
+    /// Where the CSV was written.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let joined: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    println!("  {}", "-".repeat(total));
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Average (scans, operations) per query of `algorithm` over `queries`.
+pub fn average_costs<S: BitmapSource>(
+    source: &mut S,
+    queries: &[SelectionQuery],
+    algorithm: Algorithm,
+) -> (f64, f64) {
+    let mut ctx = ExecContext::new(source);
+    let mut scans = 0usize;
+    let mut ops = 0usize;
+    for &q in queries {
+        evaluate_in(&mut ctx, q, algorithm).expect("algorithm matches encoding");
+        let s = ctx.take_stats();
+        scans += s.scans;
+        ops += s.total_ops();
+    }
+    let n = queries.len().max(1) as f64;
+    (scans as f64 / n, ops as f64 / n)
+}
+
+/// Wall-clock average seconds per query (the Section 9 time metric:
+/// read + decompress + bitmap operations).
+pub fn average_wall_time<S: BitmapSource>(
+    source: &mut S,
+    queries: &[SelectionQuery],
+    algorithm: Algorithm,
+) -> f64 {
+    let mut ctx = ExecContext::new(source);
+    let start = Instant::now();
+    for &q in queries {
+        evaluate_in(&mut ctx, q, algorithm).expect("algorithm matches encoding");
+        ctx.take_stats();
+    }
+    start.elapsed().as_secs_f64() / queries.len().max(1) as f64
+}
+
+/// Formats a float with 3 decimal places (paper-style table cells).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 2 decimal places.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a percentage with 1 decimal place.
+pub fn pct(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bindex::relation::{gen, query};
+    use bindex::{Base, BitmapIndex, Encoding, IndexSpec};
+
+    #[test]
+    fn average_costs_runs() {
+        let col = gen::uniform(100, 10, 1);
+        let spec = IndexSpec::new(Base::single(10).unwrap(), Encoding::Range);
+        let idx = BitmapIndex::build(&col, spec).unwrap();
+        let queries = query::full_space(10);
+        let mut src = idx.source();
+        let (scans, ops) = average_costs(&mut src, &queries, Algorithm::RangeEvalOpt);
+        assert!(scans > 0.0 && scans < 3.0);
+        assert!(ops < 3.0);
+    }
+
+    #[test]
+    fn table_and_formatters() {
+        print_table(
+            "demo",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f2(1.23456), "1.23");
+        assert_eq!(pct(97.25), "97.2%");
+    }
+}

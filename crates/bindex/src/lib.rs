@@ -1,0 +1,48 @@
+//! # bindex
+//!
+//! Umbrella crate for the **bitmap index design and evaluation** library —
+//! a from-scratch Rust implementation of Chan & Ioannidis, *"Bitmap Index
+//! Design and Evaluation"* (SIGMOD 1998).
+//!
+//! The pieces, re-exported here:
+//!
+//! * [`bitvec`] — dense bit vectors with logical operations and
+//!   rank/select ([`bindex_bitvec`]);
+//! * [`relation`] — columns, synthetic and TPC-D-like data generators,
+//!   selection-query workloads ([`bindex_relation`]);
+//! * [`core`] — the paper's design space: mixed-radix value decomposition,
+//!   equality/range encodings, the RangeEval / RangeEval-Opt / equality
+//!   evaluators, the analytic cost model, optimal index design, buffering
+//!   analysis ([`bindex_core`]);
+//! * [`compress`] — RLE / LZSS byte codecs and WAH compressed bitmaps
+//!   ([`bindex_compress`]);
+//! * [`storage`] — BS/CS/IS physical layouts, disk and memory stores,
+//!   buffer pool ([`bindex_storage`]);
+//! * [`engine`] — multi-attribute tables and conjunctive queries with the
+//!   paper's P1/P2/P3 plan cost model ([`bindex_engine`]);
+//! * [`stored`] — glue: evaluate queries directly against an index laid
+//!   out in a byte store, with real I/O accounting.
+//!
+//! See the repository's `examples/` for runnable walkthroughs
+//! (`quickstart`, `dss_dashboard`, `index_advisor`,
+//! `compression_explorer`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use bindex_bitvec as bitvec;
+pub use bindex_compress as compress;
+pub use bindex_core as core;
+pub use bindex_engine as engine;
+pub use bindex_relation as relation;
+pub use bindex_storage as storage;
+
+pub mod stored;
+
+pub use bindex_bitvec::BitVec;
+pub use bindex_core::{
+    Algorithm, Base, BitmapIndex, BitmapSource, BufferSet, Encoding, Error, EvalStats, IndexSpec,
+};
+pub use bindex_relation::query::{Op, SelectionQuery};
+pub use bindex_relation::Column;
+pub use stored::StorageSource;

@@ -1,0 +1,185 @@
+//! Glue between the logical index ([`bindex_core`]) and physical storage
+//! ([`bindex_storage`]): a [`BitmapSource`] that reads bitmaps from a
+//! [`StoredIndex`], optionally through a [`BufferPool`].
+//!
+//! This is what the Section 9 experiments evaluate queries through: the
+//! same evaluation algorithms, but every `fetch` is a real file read (and
+//! decompression, for the `c*`-schemes), with byte-level I/O accounting.
+
+use bindex_bitvec::BitVec;
+use bindex_core::{BitmapIndex, BitmapSource, IndexSpec};
+use bindex_storage::{BufferPool, ByteStore, IoStats, StorageScheme, StoredIndex};
+
+/// A [`BitmapSource`] backed by a [`StoredIndex`].
+pub struct StorageSource<'a, S: ByteStore> {
+    stored: &'a mut StoredIndex<S>,
+    spec: IndexSpec,
+    pool: Option<&'a BufferPool>,
+    nn: Option<BitVec>,
+}
+
+impl<'a, S: ByteStore> StorageSource<'a, S> {
+    /// Wraps a stored index. `spec` must describe the layout the index was
+    /// written with (validated against the stored metadata).
+    ///
+    /// # Panics
+    /// Panics if the stored bitmap counts do not match `spec`.
+    pub fn new(stored: &'a mut StoredIndex<S>, spec: IndexSpec) -> Self {
+        let expect: Vec<u32> = (1..=spec.n_components())
+            .map(|i| spec.stored_in_component(i))
+            .collect();
+        assert_eq!(
+            stored.meta().bitmaps_per_component,
+            expect,
+            "stored layout does not match the index spec"
+        );
+        Self {
+            stored,
+            spec,
+            pool: None,
+            nn: None,
+        }
+    }
+
+    /// Routes fetches through a buffer pool (bitmaps resident in the pool
+    /// cost no file read).
+    pub fn with_pool(mut self, pool: &'a BufferPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Attaches a non-null bitmap (kept in memory; columns with nulls).
+    pub fn with_nn(mut self, nn: BitVec) -> Self {
+        self.nn = Some(nn);
+        self
+    }
+
+    /// Cumulative I/O statistics of the underlying store.
+    pub fn io_stats(&self) -> &IoStats {
+        self.stored.stats()
+    }
+}
+
+impl<S: ByteStore> BitmapSource for StorageSource<'_, S> {
+    fn spec(&self) -> &IndexSpec {
+        &self.spec
+    }
+
+    fn n_rows(&self) -> usize {
+        self.stored.meta().n_rows
+    }
+
+    fn fetch(&mut self, comp: usize, slot: usize) -> BitVec {
+        let read = |stored: &mut StoredIndex<S>| {
+            stored
+                .read_bitmap(comp, slot)
+                .unwrap_or_else(|e| panic!("I/O error reading component {comp} slot {slot}: {e}"))
+        };
+        match self.pool {
+            Some(pool) => pool
+                .get_or_load::<std::convert::Infallible>((comp, slot), || {
+                    Ok(read(self.stored))
+                })
+                .expect("infallible"),
+            None => read(self.stored),
+        }
+    }
+
+    fn fetch_nn(&mut self) -> Option<BitVec> {
+        self.nn.clone()
+    }
+}
+
+/// Writes an in-memory [`BitmapIndex`] into `store` under `scheme`,
+/// compressed with `codec`; returns the stored index ready for
+/// [`StorageSource`].
+pub fn persist_index<S: ByteStore>(
+    index: &BitmapIndex,
+    store: S,
+    scheme: StorageScheme,
+    codec: bindex_compress::CodecKind,
+) -> std::io::Result<StoredIndex<S>> {
+    StoredIndex::create(store, index.components(), scheme, codec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bindex_compress::CodecKind;
+    use bindex_core::eval::{evaluate, Algorithm};
+    use bindex_core::{Base, Encoding};
+    use bindex_relation::query::full_space;
+    use bindex_relation::{gen, Column};
+    use bindex_storage::MemStore;
+
+    fn column() -> Column {
+        gen::uniform(500, 20, 42)
+    }
+
+    fn check(scheme: StorageScheme, codec: CodecKind, encoding: Encoding) {
+        let col = column();
+        let spec = IndexSpec::new(Base::from_msb(&[4, 5]).unwrap(), encoding);
+        let idx = BitmapIndex::build(&col, spec.clone()).unwrap();
+        let mut stored = persist_index(&idx, MemStore::new(), scheme, codec).unwrap();
+        let mut src = StorageSource::new(&mut stored, spec);
+        for q in full_space(20) {
+            let (got, _) = evaluate(&mut src, q, Algorithm::Auto).unwrap();
+            let want = bindex_core::eval::naive::evaluate(&col, q);
+            assert_eq!(got, want, "{scheme:?}/{codec:?}/{encoding:?} {q}");
+        }
+    }
+
+    #[test]
+    fn evaluation_through_all_layouts() {
+        for scheme in [
+            StorageScheme::BitmapLevel,
+            StorageScheme::ComponentLevel,
+            StorageScheme::IndexLevel,
+        ] {
+            for codec in [CodecKind::None, CodecKind::Deflate] {
+                check(scheme, codec, Encoding::Range);
+                check(scheme, codec, Encoding::Equality);
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_fetches_hit_after_first_read() {
+        let col = column();
+        let spec = IndexSpec::new(Base::from_msb(&[4, 5]).unwrap(), Encoding::Range);
+        let idx = BitmapIndex::build(&col, spec.clone()).unwrap();
+        let mut stored = persist_index(
+            &idx,
+            MemStore::new(),
+            StorageScheme::BitmapLevel,
+            CodecKind::None,
+        )
+        .unwrap();
+        let pool = BufferPool::new(16);
+        let mut src = StorageSource::new(&mut stored, spec).with_pool(&pool);
+        let q = bindex_relation::query::SelectionQuery::new(bindex_relation::query::Op::Le, 7);
+        let _ = evaluate(&mut src, q, Algorithm::Auto).unwrap();
+        let _ = evaluate(&mut src, q, Algorithm::Auto).unwrap();
+        let stats = pool.stats();
+        assert!(stats.hits >= stats.misses, "{stats:?}");
+        // second pass reads nothing from storage
+        assert_eq!(src.io_stats().reads as usize, stats.misses as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn spec_mismatch_panics() {
+        let col = column();
+        let spec = IndexSpec::new(Base::from_msb(&[4, 5]).unwrap(), Encoding::Range);
+        let idx = BitmapIndex::build(&col, spec).unwrap();
+        let mut stored = persist_index(
+            &idx,
+            MemStore::new(),
+            StorageScheme::BitmapLevel,
+            CodecKind::None,
+        )
+        .unwrap();
+        let wrong = IndexSpec::new(Base::from_msb(&[5, 4]).unwrap(), Encoding::Range);
+        let _ = StorageSource::new(&mut stored, wrong);
+    }
+}

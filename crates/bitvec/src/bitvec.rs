@@ -1,0 +1,548 @@
+//! The [`BitVec`] type: a length-aware, canonically masked dense bit vector.
+
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Not};
+
+use crate::{words_for, WORD_BITS};
+
+/// A dense vector of bits backed by `u64` words.
+///
+/// Invariant (*canonical form*): all bits at positions `>= len` in the last
+/// word are zero. All constructors and mutators uphold this, which makes
+/// [`BitVec::count_ones`], equality, and hashing exact without re-masking.
+///
+/// Binary operations require both operands to have the same `len`; this is a
+/// logic error and panics, matching the paper's setting where every bitmap of
+/// an index has exactly the relation cardinality `N` bits.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an empty bit vector of length zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a bit vector of `len` bits, all zero.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0; words_for(len)],
+            len,
+        }
+    }
+
+    /// Creates a bit vector of `len` bits, all one.
+    pub fn ones(len: usize) -> Self {
+        let mut v = Self {
+            words: vec![u64::MAX; words_for(len)],
+            len,
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Creates a bit vector of `len` bits with the given positions set.
+    ///
+    /// # Panics
+    /// Panics if any index is `>= len`.
+    pub fn from_indices(len: usize, indices: &[usize]) -> Self {
+        let mut v = Self::zeros(len);
+        for &i in indices {
+            v.set(i, true);
+        }
+        v
+    }
+
+    /// Creates a bit vector from a boolean slice (`slice[i]` becomes bit `i`).
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Collects the bits produced by `f(i)` for `i in 0..len`.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut v = Self::zeros(len);
+        for i in 0..len {
+            if f(i) {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the vector holds zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read-only view of the backing words (canonically masked).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        let w = i / WORD_BITS;
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            self.words[w] |= mask;
+        } else {
+            self.words[w] &= !mask;
+        }
+    }
+
+    /// Appends a bit at the end.
+    pub fn push(&mut self, value: bool) {
+        if self.len % WORD_BITS == 0 {
+            self.words.push(0);
+        }
+        self.len += 1;
+        if value {
+            self.set(self.len - 1, true);
+        }
+    }
+
+    /// Number of set bits (the foundset cardinality of a result bitmap).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of clear bits.
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// `true` if at least one bit is set.
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// `true` if no bit is set.
+    pub fn none(&self) -> bool {
+        !self.any()
+    }
+
+    /// `true` if all `len` bits are set.
+    pub fn all(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// Position of the first set bit, if any.
+    pub fn first_one(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterates over the positions of the set bits, ascending.
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Iterates over every bit as a `bool`.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// In-place AND with `rhs`.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn and_assign(&mut self, rhs: &Self) {
+        self.check_len(rhs);
+        for (a, b) in self.words.iter_mut().zip(&rhs.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place OR with `rhs`.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn or_assign(&mut self, rhs: &Self) {
+        self.check_len(rhs);
+        for (a, b) in self.words.iter_mut().zip(&rhs.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place XOR with `rhs`.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn xor_assign(&mut self, rhs: &Self) {
+        self.check_len(rhs);
+        for (a, b) in self.words.iter_mut().zip(&rhs.words) {
+            *a ^= *b;
+        }
+    }
+
+    /// In-place AND with the complement of `rhs` (`self & !rhs`).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn and_not_assign(&mut self, rhs: &Self) {
+        self.check_len(rhs);
+        for (a, b) in self.words.iter_mut().zip(&rhs.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// In-place complement of all `len` bits.
+    pub fn not_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Owned complement.
+    pub fn complement(&self) -> Self {
+        let mut out = self.clone();
+        out.not_assign();
+        out
+    }
+
+    /// Sets all bits to zero, keeping the length.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Sets all bits to one, keeping the length.
+    pub fn set_all(&mut self) {
+        self.words.fill(u64::MAX);
+        self.mask_tail();
+    }
+
+    /// Serializes to little-endian bytes, `ceil(len / 8)` of them.
+    ///
+    /// Tail bits in the final byte are zero (canonical form carries over).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let nbytes = self.len.div_ceil(8);
+        let mut out = Vec::with_capacity(nbytes);
+        'outer: for w in &self.words {
+            for b in w.to_le_bytes() {
+                if out.len() == nbytes {
+                    break 'outer;
+                }
+                out.push(b);
+            }
+        }
+        out.resize(nbytes, 0);
+        out
+    }
+
+    /// Deserializes `len` bits from little-endian bytes.
+    ///
+    /// # Panics
+    /// Panics if `bytes` holds fewer than `ceil(len / 8)` bytes.
+    pub fn from_bytes(len: usize, bytes: &[u8]) -> Self {
+        let nbytes = len.div_ceil(8);
+        assert!(
+            bytes.len() >= nbytes,
+            "need {nbytes} bytes for {len} bits, got {}",
+            bytes.len()
+        );
+        let mut words = vec![0u64; words_for(len)];
+        for (i, &b) in bytes[..nbytes].iter().enumerate() {
+            words[i / 8] |= (b as u64) << ((i % 8) * 8);
+        }
+        let mut v = Self { words, len };
+        v.mask_tail();
+        v
+    }
+
+    /// Zeroes any bits at positions `>= len` in the last word.
+    #[inline]
+    fn mask_tail(&mut self) {
+        let rem = self.len % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn check_len(&self, rhs: &Self) {
+        assert_eq!(
+            self.len, rhs.len,
+            "bitmap length mismatch: {} vs {}",
+            self.len, rhs.len
+        );
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{}; ", self.len)?;
+        let shown = self.len.min(128);
+        for i in 0..shown {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        if shown < self.len {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let mut v = BitVec::new();
+        for b in iter {
+            v.push(b);
+        }
+        v
+    }
+}
+
+/// Iterator over positions of set bits, ascending. See [`BitVec::iter_ones`].
+pub struct OnesIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+macro_rules! owned_binop {
+    ($trait:ident, $method:ident, $assign:ident) => {
+        impl $trait<&BitVec> for &BitVec {
+            type Output = BitVec;
+            fn $method(self, rhs: &BitVec) -> BitVec {
+                let mut out = self.clone();
+                out.$assign(rhs);
+                out
+            }
+        }
+        impl $trait<&BitVec> for BitVec {
+            type Output = BitVec;
+            fn $method(mut self, rhs: &BitVec) -> BitVec {
+                self.$assign(rhs);
+                self
+            }
+        }
+    };
+}
+
+owned_binop!(BitAnd, bitand, and_assign);
+owned_binop!(BitOr, bitor, or_assign);
+owned_binop!(BitXor, bitxor, xor_assign);
+
+impl BitAndAssign<&BitVec> for BitVec {
+    fn bitand_assign(&mut self, rhs: &BitVec) {
+        self.and_assign(rhs);
+    }
+}
+impl BitOrAssign<&BitVec> for BitVec {
+    fn bitor_assign(&mut self, rhs: &BitVec) {
+        self.or_assign(rhs);
+    }
+}
+impl BitXorAssign<&BitVec> for BitVec {
+    fn bitxor_assign(&mut self, rhs: &BitVec) {
+        self.xor_assign(rhs);
+    }
+}
+impl Not for &BitVec {
+    type Output = BitVec;
+    fn not(self) -> BitVec {
+        self.complement()
+    }
+}
+impl Not for BitVec {
+    type Output = BitVec;
+    fn not(mut self) -> BitVec {
+        self.not_assign();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitVec::zeros(130);
+        assert_eq!(z.len(), 130);
+        assert_eq!(z.count_ones(), 0);
+        assert!(z.none());
+        let o = BitVec::ones(130);
+        assert_eq!(o.count_ones(), 130);
+        assert!(o.all());
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = BitVec::zeros(100);
+        for i in (0..100).step_by(7) {
+            v.set(i, true);
+        }
+        for i in 0..100 {
+            assert_eq!(v.get(i), i % 7 == 0, "bit {i}");
+        }
+        v.set(0, false);
+        assert!(!v.get(0));
+    }
+
+    #[test]
+    fn push_grows() {
+        let mut v = BitVec::new();
+        for i in 0..200 {
+            v.push(i % 3 == 0);
+        }
+        assert_eq!(v.len(), 200);
+        assert_eq!(v.count_ones(), (0..200).filter(|i| i % 3 == 0).count());
+    }
+
+    #[test]
+    fn complement_respects_len() {
+        let v = BitVec::zeros(65);
+        let c = v.complement();
+        assert_eq!(c.count_ones(), 65);
+        assert_eq!(c.words()[1], 1); // only bit 64 set in word 1
+    }
+
+    #[test]
+    fn logical_ops() {
+        let a = BitVec::from_indices(70, &[0, 1, 64, 69]);
+        let b = BitVec::from_indices(70, &[1, 2, 64]);
+        assert_eq!(
+            (&a & &b).iter_ones().collect::<Vec<_>>(),
+            vec![1, 64]
+        );
+        assert_eq!(
+            (&a | &b).iter_ones().collect::<Vec<_>>(),
+            vec![0, 1, 2, 64, 69]
+        );
+        assert_eq!(
+            (&a ^ &b).iter_ones().collect::<Vec<_>>(),
+            vec![0, 2, 69]
+        );
+        let mut anb = a.clone();
+        anb.and_not_assign(&b);
+        assert_eq!(anb.iter_ones().collect::<Vec<_>>(), vec![0, 69]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut a = BitVec::zeros(10);
+        let b = BitVec::zeros(11);
+        a.and_assign(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::zeros(8).get(8);
+    }
+
+    #[test]
+    fn iter_ones_across_words() {
+        let idx = [0usize, 63, 64, 127, 128, 200];
+        let v = BitVec::from_indices(201, &idx);
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), idx);
+        assert_eq!(v.first_one(), Some(0));
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let v = BitVec::from_fn(77, |i| i % 5 == 2);
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), 10);
+        assert_eq!(BitVec::from_bytes(77, &bytes), v);
+    }
+
+    #[test]
+    fn from_bools_and_collect() {
+        let bools: Vec<bool> = (0..50).map(|i| i % 2 == 0).collect();
+        let a = BitVec::from_bools(&bools);
+        let b: BitVec = bools.iter().copied().collect();
+        assert_eq!(a, b);
+        assert_eq!(a.count_ones(), 25);
+    }
+
+    #[test]
+    fn demorgan() {
+        let a = BitVec::from_fn(90, |i| i % 3 == 0);
+        let b = BitVec::from_fn(90, |i| i % 4 == 0);
+        let lhs = (&a & &b).complement();
+        let rhs = &a.complement() | &b.complement();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn set_all_clear_all() {
+        let mut v = BitVec::zeros(67);
+        v.set_all();
+        assert!(v.all());
+        v.clear_all();
+        assert!(v.none());
+    }
+
+    #[test]
+    fn empty_vector_ops() {
+        let a = BitVec::zeros(0);
+        let b = BitVec::zeros(0);
+        assert_eq!((&a & &b).len(), 0);
+        assert_eq!(a.complement().count_ones(), 0);
+        assert_eq!(a.iter_ones().count(), 0);
+        assert_eq!(a.to_bytes().len(), 0);
+    }
+}

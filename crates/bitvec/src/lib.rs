@@ -1,0 +1,36 @@
+//! # bindex-bitvec
+//!
+//! Dense bit-vector substrate for the bitmap-index library.
+//!
+//! Every bitmap manipulated by the index layer — the columns of a Value-List
+//! index, the slices of a Bit-Sliced index, intermediate foundsets — is a
+//! [`BitVec`]: a length-aware vector of bits packed into `u64` words.
+//! The crate provides exactly the operations the paper's evaluation
+//! algorithms need, implemented word-at-a-time:
+//!
+//! * logical AND / OR / XOR / AND-NOT / NOT (in-place and owned),
+//! * population count ([`BitVec::count_ones`]) for foundset cardinalities,
+//! * iteration over set bits ([`BitVec::iter_ones`]) to materialize RID lists,
+//! * O(1) rank and O(log n) select via a sampled [`rank::RankIndex`],
+//! * byte-level (de)serialization for the storage layer.
+//!
+//! Bits beyond `len` inside the last word are kept zero at all times (the
+//! *canonical form* invariant); every mutating operation restores it, so
+//! `count_ones` and equality are always exact.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bitvec;
+pub mod rank;
+
+pub use crate::bitvec::{BitVec, OnesIter};
+
+/// Number of bits in one storage word.
+pub const WORD_BITS: usize = 64;
+
+/// Number of `u64` words needed to hold `len` bits.
+#[inline]
+pub fn words_for(len: usize) -> usize {
+    len.div_ceil(WORD_BITS)
+}

@@ -1,0 +1,189 @@
+//! Rank/select acceleration for [`BitVec`].
+//!
+//! A [`RankIndex`] is a sampled prefix-popcount directory over an immutable
+//! bitmap. It answers `rank1(i)` (number of set bits strictly before `i`) in
+//! O(1) plus one word popcount, and `select1(k)` (position of the k-th set
+//! bit, 0-based) with a binary search over the directory.
+//!
+//! The index layer uses this to report foundset cardinalities of query
+//! results and to materialize the i-th qualifying RID without a full scan —
+//! an extension beyond the paper used by the example applications.
+
+use crate::{BitVec, WORD_BITS};
+
+/// Sampling period of the directory, in words (512 bits per superblock).
+const WORDS_PER_BLOCK: usize = 8;
+
+/// Prefix-popcount directory over a borrowed [`BitVec`].
+///
+/// The directory stores, for every superblock of 8 words, the number of set
+/// bits before the superblock. Construction is O(n / 64); queries do not
+/// rescan the bitmap.
+pub struct RankIndex<'a> {
+    bits: &'a BitVec,
+    /// `block_ranks[b]` = number of ones before word `b * WORDS_PER_BLOCK`.
+    block_ranks: Vec<usize>,
+    total_ones: usize,
+}
+
+impl<'a> RankIndex<'a> {
+    /// Builds the directory for `bits`.
+    pub fn new(bits: &'a BitVec) -> Self {
+        let words = bits.words();
+        let nblocks = words.len().div_ceil(WORDS_PER_BLOCK);
+        let mut block_ranks = Vec::with_capacity(nblocks + 1);
+        let mut acc = 0usize;
+        for (wi, w) in words.iter().enumerate() {
+            if wi % WORDS_PER_BLOCK == 0 {
+                block_ranks.push(acc);
+            }
+            acc += w.count_ones() as usize;
+        }
+        block_ranks.push(acc);
+        Self {
+            bits,
+            block_ranks,
+            total_ones: acc,
+        }
+    }
+
+    /// Total number of set bits.
+    #[inline]
+    pub fn total_ones(&self) -> usize {
+        self.total_ones
+    }
+
+    /// Number of set bits at positions `< i`.
+    ///
+    /// # Panics
+    /// Panics if `i > len`.
+    pub fn rank1(&self, i: usize) -> usize {
+        assert!(i <= self.bits.len(), "rank position {i} out of range");
+        let word = i / WORD_BITS;
+        let block = word / WORDS_PER_BLOCK;
+        let mut r = self.block_ranks[block.min(self.block_ranks.len() - 1)];
+        let words = self.bits.words();
+        for w in &words[block * WORDS_PER_BLOCK..word] {
+            r += w.count_ones() as usize;
+        }
+        let rem = i % WORD_BITS;
+        if rem != 0 && word < words.len() {
+            r += (words[word] & ((1u64 << rem) - 1)).count_ones() as usize;
+        }
+        r
+    }
+
+    /// Number of clear bits at positions `< i`.
+    pub fn rank0(&self, i: usize) -> usize {
+        i - self.rank1(i)
+    }
+
+    /// Position of the `k`-th set bit (0-based), or `None` if `k >= ones`.
+    pub fn select1(&self, k: usize) -> Option<usize> {
+        if k >= self.total_ones {
+            return None;
+        }
+        // Binary search for the superblock containing the k-th one.
+        let mut lo = 0usize;
+        let mut hi = self.block_ranks.len() - 1;
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if self.block_ranks[mid] <= k {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let mut remaining = k - self.block_ranks[lo];
+        let words = self.bits.words();
+        for (off, &w) in words[lo * WORDS_PER_BLOCK..].iter().enumerate() {
+            let pc = w.count_ones() as usize;
+            if remaining < pc {
+                let pos = select_in_word(w, remaining);
+                return Some((lo * WORDS_PER_BLOCK + off) * WORD_BITS + pos);
+            }
+            remaining -= pc;
+        }
+        unreachable!("select1: directory and words disagree");
+    }
+}
+
+/// Position of the `k`-th set bit inside a word (`k < popcount(w)`).
+fn select_in_word(mut w: u64, mut k: usize) -> usize {
+    debug_assert!(k < w.count_ones() as usize);
+    loop {
+        let tz = w.trailing_zeros() as usize;
+        if k == 0 {
+            return tz;
+        }
+        w &= w - 1;
+        k -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BitVec {
+        BitVec::from_fn(1000, |i| i % 7 == 0 || i % 13 == 0)
+    }
+
+    #[test]
+    fn rank_matches_naive() {
+        let v = sample();
+        let r = RankIndex::new(&v);
+        let mut naive = 0;
+        for i in 0..=v.len() {
+            assert_eq!(r.rank1(i), naive, "rank1({i})");
+            assert_eq!(r.rank0(i), i - naive);
+            if i < v.len() && v.get(i) {
+                naive += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn select_matches_iter_ones() {
+        let v = sample();
+        let r = RankIndex::new(&v);
+        for (k, pos) in v.iter_ones().enumerate() {
+            assert_eq!(r.select1(k), Some(pos), "select1({k})");
+        }
+        assert_eq!(r.select1(r.total_ones()), None);
+    }
+
+    #[test]
+    fn rank_select_inverse() {
+        let v = sample();
+        let r = RankIndex::new(&v);
+        for k in 0..r.total_ones() {
+            let pos = r.select1(k).unwrap();
+            assert_eq!(r.rank1(pos), k);
+            assert!(v.get(pos));
+        }
+    }
+
+    #[test]
+    fn empty_and_full() {
+        let e = BitVec::zeros(100);
+        let re = RankIndex::new(&e);
+        assert_eq!(re.total_ones(), 0);
+        assert_eq!(re.select1(0), None);
+        assert_eq!(re.rank1(100), 0);
+
+        let f = BitVec::ones(100);
+        let rf = RankIndex::new(&f);
+        assert_eq!(rf.total_ones(), 100);
+        assert_eq!(rf.select1(99), Some(99));
+        assert_eq!(rf.rank1(57), 57);
+    }
+
+    #[test]
+    fn zero_length() {
+        let v = BitVec::zeros(0);
+        let r = RankIndex::new(&v);
+        assert_eq!(r.rank1(0), 0);
+        assert_eq!(r.select1(0), None);
+    }
+}

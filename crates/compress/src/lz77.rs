@@ -1,0 +1,150 @@
+//! Shared LZ77 parser: greedy hash-chain match finding over a 64 KiB
+//! window, producing a token stream consumed by the [`Lzss`](crate::Lzss)
+//! container (varint tokens) and the [`Deflate`](crate::Deflate) container
+//! (Huffman-coded tokens).
+
+/// Minimum match length worth emitting.
+pub const MIN_MATCH: usize = 4;
+/// Maximum match length.
+pub const MAX_MATCH: usize = 1 << 16;
+/// Sliding-window size (maximum match distance).
+pub const WINDOW: usize = 1 << 16;
+
+const HASH_BITS: u32 = 15;
+const NO_POS: u32 = u32::MAX;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A raw byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes from `dist` back.
+    Match {
+        /// Copy length (`MIN_MATCH ..= MAX_MATCH`).
+        len: u32,
+        /// Distance back into the output (`1 ..= WINDOW`), may overlap.
+        dist: u32,
+    },
+}
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(0x9e37_79b1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Greedy parse of `input` with a bounded hash-chain search (`max_chain`
+/// candidates per position).
+pub fn parse(input: &[u8], max_chain: usize) -> Vec<Token> {
+    let n = input.len();
+    let mut tokens = Vec::with_capacity(16 + n / 8);
+    if n == 0 {
+        return tokens;
+    }
+    let mut head = vec![NO_POS; 1 << HASH_BITS];
+    let mut prev = vec![NO_POS; n];
+    let mut i = 0usize;
+    while i < n {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= n {
+            let h = hash4(input, i);
+            let mut cand = head[h];
+            let mut chain = max_chain;
+            while cand != NO_POS && chain > 0 {
+                let c = cand as usize;
+                if i - c > WINDOW {
+                    break;
+                }
+                let limit = (n - i).min(MAX_MATCH);
+                let mut l = 0usize;
+                while l < limit && input[c + l] == input[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - c;
+                    if l >= limit {
+                        break;
+                    }
+                }
+                cand = prev[c];
+                chain -= 1;
+            }
+            prev[i] = head[h];
+            head[h] = i as u32;
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match {
+                len: best_len as u32,
+                dist: best_dist as u32,
+            });
+            let end = i + best_len;
+            let mut j = i + 1;
+            while j < end && j + MIN_MATCH <= n {
+                let h = hash4(input, j);
+                prev[j] = head[h];
+                head[h] = j as u32;
+                j += 1;
+            }
+            i = end;
+        } else {
+            tokens.push(Token::Literal(input[i]));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Expands a token stream back into bytes (shared decode path for tests).
+pub fn expand(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let start = out.len() - dist as usize;
+                for k in 0..len as usize {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_expand_roundtrip() {
+        let data: Vec<u8> = (0..5000u32).map(|i| ((i / 9) % 251) as u8).collect();
+        let tokens = parse(&data, 32);
+        assert_eq!(expand(&tokens), data);
+        assert!(tokens.len() < data.len() / 2, "repetitive data must match");
+    }
+
+    #[test]
+    fn all_literals_for_tiny_input() {
+        let tokens = parse(&[1, 2, 3], 32);
+        assert_eq!(
+            tokens,
+            vec![Token::Literal(1), Token::Literal(2), Token::Literal(3)]
+        );
+    }
+
+    #[test]
+    fn run_becomes_overlapping_match() {
+        let data = vec![7u8; 100];
+        let tokens = parse(&data, 32);
+        assert_eq!(expand(&tokens), data);
+        assert!(matches!(tokens[1], Token::Match { dist: 1, .. }));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(parse(&[], 8).is_empty());
+    }
+}

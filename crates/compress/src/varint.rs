@@ -1,0 +1,67 @@
+//! LEB128 variable-length integers used by the token streams of the codecs.
+
+use crate::DecodeError;
+
+/// Appends `value` as LEB128 to `out`.
+pub fn write(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 integer from `input[*pos..]`, advancing `pos`.
+pub fn read(input: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = input
+            .get(*pos)
+            .ok_or_else(|| DecodeError("varint: unexpected end of input".into()))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(DecodeError("varint: overflow".into()));
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_edge_values() {
+        let values = [0u64, 1, 127, 128, 129, 16383, 16384, u32::MAX as u64, u64::MAX];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = Vec::new();
+        write(&mut buf, 300);
+        assert!(read(&buf[..1], &mut 0).is_err());
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(read(&[], &mut 0).is_err());
+    }
+}

@@ -1,0 +1,450 @@
+//! Word-Aligned Hybrid (WAH) compressed bitmaps.
+//!
+//! WAH post-dates the paper (Wu, Otoo & Shoshani) and is included here as an
+//! ablation for Section 9: a codec designed *for bitmaps* that supports
+//! logical operations directly on the compressed representation, unlike the
+//! general-purpose byte codecs the paper evaluates.
+//!
+//! Encoding: a sequence of 32-bit words over 31-bit *groups* of the input.
+//! * literal word: MSB = 0, low 31 bits hold one group verbatim;
+//! * fill word:    MSB = 1, next bit = fill value, low 30 bits = number of
+//!   consecutive all-zero or all-one groups (≥ 1).
+//!
+//! The final group may be partial; the bitmap remembers its exact bit length
+//! and keeps tail bits zero (same canonical-form rule as `BitVec`).
+
+use bindex_bitvec::BitVec;
+
+const GROUP_BITS: usize = 31;
+const GROUP_MASK: u32 = (1 << GROUP_BITS) - 1;
+const FILL_FLAG: u32 = 1 << 31;
+const FILL_VALUE: u32 = 1 << 30;
+const MAX_FILL: u32 = (1 << 30) - 1;
+
+/// A WAH-compressed immutable bitmap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WahBitmap {
+    words: Vec<u32>,
+    /// Exact number of bits represented.
+    len: usize,
+}
+
+impl WahBitmap {
+    /// Compresses a [`BitVec`].
+    pub fn from_bitvec(bits: &BitVec) -> Self {
+        let len = bits.len();
+        let ngroups = len.div_ceil(GROUP_BITS);
+        let mut words: Vec<u32> = Vec::new();
+        for g in 0..ngroups {
+            let group = extract_group(bits, g);
+            push_group(&mut words, group);
+        }
+        Self { words, len }
+    }
+
+    /// Decompresses back to a [`BitVec`].
+    pub fn to_bitvec(&self) -> BitVec {
+        let mut out = BitVec::zeros(self.len);
+        let mut g = 0usize; // group index
+        for &w in &self.words {
+            if w & FILL_FLAG != 0 {
+                let count = (w & MAX_FILL) as usize;
+                if w & FILL_VALUE != 0 {
+                    for gg in g..g + count {
+                        write_group(&mut out, gg, GROUP_MASK);
+                    }
+                }
+                g += count;
+            } else {
+                write_group(&mut out, g, w & GROUP_MASK);
+                g += 1;
+            }
+        }
+        out
+    }
+
+    /// Number of bits represented.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the bitmap holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size of the compressed form in bytes.
+    pub fn compressed_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Number of set bits, computed without decompressing.
+    pub fn count_ones(&self) -> usize {
+        let mut ones = 0usize;
+        let mut g = 0usize;
+        let ngroups = self.len.div_ceil(GROUP_BITS);
+        for &w in &self.words {
+            if w & FILL_FLAG != 0 {
+                let count = (w & MAX_FILL) as usize;
+                if w & FILL_VALUE != 0 {
+                    for gg in g..g + count {
+                        ones += group_width(self.len, ngroups, gg);
+                    }
+                }
+                g += count;
+            } else {
+                ones += (w & GROUP_MASK).count_ones() as usize;
+                g += 1;
+            }
+        }
+        ones
+    }
+
+    /// Bitwise AND on the compressed form.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn and(&self, rhs: &Self) -> Self {
+        self.binary_op(rhs, |a, b| a & b)
+    }
+
+    /// Bitwise OR on the compressed form.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn or(&self, rhs: &Self) -> Self {
+        self.binary_op(rhs, |a, b| a | b)
+    }
+
+    /// Bitwise XOR on the compressed form.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn xor(&self, rhs: &Self) -> Self {
+        self.binary_op(rhs, |a, b| a ^ b)
+    }
+
+    /// Bitwise NOT on the compressed form (length-aware).
+    pub fn not(&self) -> Self {
+        let ngroups = self.len.div_ceil(GROUP_BITS);
+        let mut words = Vec::with_capacity(self.words.len());
+        let mut g = 0usize;
+        for &w in &self.words {
+            if w & FILL_FLAG != 0 {
+                let count = w & MAX_FILL;
+                g += count as usize;
+                words.push(w ^ FILL_VALUE);
+            } else {
+                push_group(&mut words, !w & GROUP_MASK);
+                g += 1;
+            }
+        }
+        let mut out = Self {
+            words,
+            len: self.len,
+        };
+        debug_assert_eq!(g, ngroups);
+        out.mask_tail();
+        out
+    }
+
+    fn binary_op(&self, rhs: &Self, op: impl Fn(u32, u32) -> u32) -> Self {
+        assert_eq!(
+            self.len, rhs.len,
+            "WAH length mismatch: {} vs {}",
+            self.len, rhs.len
+        );
+        let mut a = RunIter::new(&self.words);
+        let mut b = RunIter::new(&rhs.words);
+        let mut words = Vec::new();
+        let mut ra = a.next();
+        let mut rb = b.next();
+        while let (Some(mut xa), Some(mut xb)) = (ra, rb) {
+            let take = xa.count.min(xb.count);
+            match (xa.kind, xb.kind) {
+                (RunKind::Fill(fa), RunKind::Fill(fb)) => {
+                    let v = op(fill_word(fa), fill_word(fb)) & GROUP_MASK;
+                    push_fill_or_literals(&mut words, v, take);
+                }
+                (RunKind::Fill(fa), RunKind::Literal(lb)) => {
+                    push_group(&mut words, op(fill_word(fa), lb) & GROUP_MASK);
+                }
+                (RunKind::Literal(la), RunKind::Fill(fb)) => {
+                    push_group(&mut words, op(la, fill_word(fb)) & GROUP_MASK);
+                }
+                (RunKind::Literal(la), RunKind::Literal(lb)) => {
+                    push_group(&mut words, op(la, lb) & GROUP_MASK);
+                }
+            }
+            xa.count -= take;
+            xb.count -= take;
+            ra = if xa.count == 0 { a.next() } else { Some(xa) };
+            rb = if xb.count == 0 { b.next() } else { Some(xb) };
+        }
+        assert!(ra.is_none() && rb.is_none(), "WAH group counts disagree");
+        let mut out = Self {
+            words,
+            len: self.len,
+        };
+        out.mask_tail();
+        out
+    }
+
+    /// Re-normalizes the (possibly dirty) final group so tail bits are zero.
+    fn mask_tail(&mut self) {
+        let rem = self.len % GROUP_BITS;
+        if rem == 0 || self.len == 0 {
+            return;
+        }
+        let tail_mask = (1u32 << rem) - 1;
+        // Pop trailing words until we isolate the final group, fix it, re-push.
+        let Some(&last) = self.words.last() else {
+            return;
+        };
+        if last & FILL_FLAG != 0 {
+            let count = last & MAX_FILL;
+            let fill = last & FILL_VALUE != 0;
+            if !fill {
+                return; // zero fill already canonical
+            }
+            self.words.pop();
+            if count > 1 {
+                self.words.push(FILL_FLAG | FILL_VALUE | (count - 1));
+            }
+            push_group(&mut self.words, GROUP_MASK & tail_mask);
+        } else {
+            let fixed = last & GROUP_MASK & tail_mask;
+            self.words.pop();
+            push_group(&mut self.words, fixed);
+        }
+    }
+}
+
+/// Width in bits of group `g` of a bitmap with `len` bits and `ngroups` groups.
+fn group_width(len: usize, ngroups: usize, g: usize) -> usize {
+    if g + 1 == ngroups {
+        let rem = len % GROUP_BITS;
+        if rem == 0 {
+            GROUP_BITS
+        } else {
+            rem
+        }
+    } else {
+        GROUP_BITS
+    }
+}
+
+fn fill_word(fill: bool) -> u32 {
+    if fill {
+        GROUP_MASK
+    } else {
+        0
+    }
+}
+
+/// Extracts 31-bit group `g` from a BitVec (tail group zero-padded).
+fn extract_group(bits: &BitVec, g: usize) -> u32 {
+    let start = g * GROUP_BITS;
+    let end = (start + GROUP_BITS).min(bits.len());
+    let mut v = 0u32;
+    for (k, i) in (start..end).enumerate() {
+        if bits.get(i) {
+            v |= 1 << k;
+        }
+    }
+    v
+}
+
+fn write_group(bits: &mut BitVec, g: usize, group: u32) {
+    let start = g * GROUP_BITS;
+    let end = (start + GROUP_BITS).min(bits.len());
+    for (k, i) in (start..end).enumerate() {
+        if group & (1 << k) != 0 {
+            bits.set(i, true);
+        }
+    }
+}
+
+/// Appends one group, merging into a trailing fill when possible.
+fn push_group(words: &mut Vec<u32>, group: u32) {
+    let fill = if group == 0 {
+        Some(false)
+    } else if group == GROUP_MASK {
+        Some(true)
+    } else {
+        None
+    };
+    match fill {
+        None => words.push(group),
+        Some(f) => {
+            let fv = if f { FILL_VALUE } else { 0 };
+            if let Some(last) = words.last_mut() {
+                if *last & (FILL_FLAG | FILL_VALUE) == (FILL_FLAG | fv) && *last & MAX_FILL < MAX_FILL
+                {
+                    *last += 1;
+                    return;
+                }
+            }
+            words.push(FILL_FLAG | fv | 1);
+        }
+    }
+}
+
+/// Appends `count` copies of a group value (specialized for fills).
+fn push_fill_or_literals(words: &mut Vec<u32>, group: u32, count: u32) {
+    if group == 0 || group == GROUP_MASK {
+        let mut remaining = count;
+        while remaining > 0 {
+            let take = remaining.min(MAX_FILL);
+            // Try merging into trailing fill first.
+            let fv = if group == GROUP_MASK { FILL_VALUE } else { 0 };
+            if let Some(last) = words.last_mut() {
+                if *last & (FILL_FLAG | FILL_VALUE) == (FILL_FLAG | fv) {
+                    let room = MAX_FILL - (*last & MAX_FILL);
+                    let add = take.min(room);
+                    *last += add;
+                    remaining -= add;
+                    if add > 0 {
+                        continue;
+                    }
+                }
+            }
+            words.push(FILL_FLAG | fv | take);
+            remaining -= take;
+        }
+    } else {
+        for _ in 0..count {
+            words.push(group);
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum RunKind {
+    Fill(bool),
+    Literal(u32),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Run {
+    kind: RunKind,
+    count: u32,
+}
+
+struct RunIter<'a> {
+    words: std::slice::Iter<'a, u32>,
+}
+
+impl<'a> RunIter<'a> {
+    fn new(words: &'a [u32]) -> Self {
+        Self {
+            words: words.iter(),
+        }
+    }
+}
+
+impl Iterator for RunIter<'_> {
+    type Item = Run;
+
+    fn next(&mut self) -> Option<Run> {
+        let &w = self.words.next()?;
+        Some(if w & FILL_FLAG != 0 {
+            Run {
+                kind: RunKind::Fill(w & FILL_VALUE != 0),
+                count: w & MAX_FILL,
+            }
+        } else {
+            Run {
+                kind: RunKind::Literal(w & GROUP_MASK),
+                count: 1,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse(len: usize, step: usize) -> BitVec {
+        BitVec::from_fn(len, |i| i % step == 0)
+    }
+
+    #[test]
+    fn roundtrip_various_shapes() {
+        for bits in [
+            BitVec::zeros(0),
+            BitVec::zeros(1),
+            BitVec::ones(1),
+            BitVec::zeros(31),
+            BitVec::ones(31),
+            BitVec::zeros(32),
+            BitVec::ones(1000),
+            sparse(10_000, 317),
+            sparse(10_000, 2),
+            BitVec::from_fn(500, |i| (i / 31) % 2 == 0),
+        ] {
+            let wah = WahBitmap::from_bitvec(&bits);
+            assert_eq!(wah.to_bitvec(), bits);
+            assert_eq!(wah.count_ones(), bits.count_ones());
+        }
+    }
+
+    #[test]
+    fn sparse_bitmap_compresses() {
+        let bits = sparse(1_000_000, 10_000);
+        let wah = WahBitmap::from_bitvec(&bits);
+        assert!(
+            wah.compressed_bytes() < 1_000_000 / 8 / 10,
+            "WAH size {} bytes",
+            wah.compressed_bytes()
+        );
+    }
+
+    #[test]
+    fn binary_ops_match_bitvec() {
+        let a = sparse(5000, 7);
+        let b = BitVec::from_fn(5000, |i| i % 11 == 3 || i < 200);
+        let wa = WahBitmap::from_bitvec(&a);
+        let wb = WahBitmap::from_bitvec(&b);
+        assert_eq!(wa.and(&wb).to_bitvec(), &a & &b);
+        assert_eq!(wa.or(&wb).to_bitvec(), &a | &b);
+        assert_eq!(wa.xor(&wb).to_bitvec(), &a ^ &b);
+    }
+
+    #[test]
+    fn not_respects_length() {
+        for len in [1usize, 30, 31, 32, 62, 63, 1000] {
+            let a = sparse(len, 3);
+            let wa = WahBitmap::from_bitvec(&a);
+            assert_eq!(wa.not().to_bitvec(), a.complement(), "len {len}");
+            assert_eq!(wa.not().count_ones(), len - a.count_ones());
+        }
+    }
+
+    #[test]
+    fn double_not_is_identity() {
+        let a = BitVec::from_fn(777, |i| i % 5 != 0);
+        let wa = WahBitmap::from_bitvec(&a);
+        assert_eq!(wa.not().not().to_bitvec(), a);
+    }
+
+    #[test]
+    fn ops_on_fills() {
+        let zeros = WahBitmap::from_bitvec(&BitVec::zeros(100_000));
+        let ones = WahBitmap::from_bitvec(&BitVec::ones(100_000));
+        assert_eq!(zeros.or(&ones).count_ones(), 100_000);
+        assert_eq!(zeros.and(&ones).count_ones(), 0);
+        assert_eq!(ones.xor(&ones).count_ones(), 0);
+        // results stay compressed
+        assert!(zeros.or(&ones).compressed_bytes() <= 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let a = WahBitmap::from_bitvec(&BitVec::zeros(10));
+        let b = WahBitmap::from_bitvec(&BitVec::zeros(11));
+        let _ = a.and(&b);
+    }
+}

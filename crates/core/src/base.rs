@@ -1,0 +1,401 @@
+//! Attribute value decomposition (Section 2, dimension 1 of the design
+//! space).
+//!
+//! A [`Base`] is the mixed-radix base `<b_n, b_{n-1}, …, b_1>` of an index:
+//! an attribute value `v` decomposes into `n` digits
+//! `v = v_n · (b_{n-1} ⋯ b_1) + … + v_i · (b_{i-1} ⋯ b_1) + … + v_1`,
+//! with digit `v_i ∈ [0, b_i)`. Component 1 is the **least significant**.
+//!
+//! Internally bases are stored least-significant first (`bases[0] = b_1`);
+//! [`Base::display`]/`Display` prints the paper's `<b_n, …, b_1>` order.
+//!
+//! A base is *well-defined* when every `b_i ≥ 2`; it *covers* cardinality
+//! `C` when `Π b_i ≥ C`; and it is *tight* for `C` when no single base
+//! number can be decremented (removing a component whose base would drop
+//! to 1) while still covering `C`. Every non-tight index is dominated in
+//! both space and time by a tight one, so enumerations are over tight bases
+//! (DESIGN.md §5).
+
+use crate::error::{Error, Result};
+
+/// The mixed-radix base of a decomposed index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Base {
+    /// Base numbers, least significant (component 1) first.
+    lsb_first: Vec<u32>,
+}
+
+impl Base {
+    /// Creates a base from component base numbers, least significant first.
+    ///
+    /// Fails unless every `b_i ≥ 2` and the sequence is non-empty.
+    pub fn new(lsb_first: Vec<u32>) -> Result<Self> {
+        if lsb_first.is_empty() {
+            return Err(Error::InvalidBase("empty base sequence".into()));
+        }
+        if let Some(&bad) = lsb_first.iter().find(|&&b| b < 2) {
+            return Err(Error::InvalidBase(format!(
+                "base number {bad} < 2 is not well-defined"
+            )));
+        }
+        Ok(Self { lsb_first })
+    }
+
+    /// Creates a base written most-significant first, i.e. exactly as the
+    /// paper writes `<b_n, …, b_1>`.
+    pub fn from_msb(msb_first: &[u32]) -> Result<Self> {
+        let mut v = msb_first.to_vec();
+        v.reverse();
+        Self::new(v)
+    }
+
+    /// A single-component base `<C>` (the paper's non-decomposed case).
+    pub fn single(c: u32) -> Result<Self> {
+        Self::new(vec![c])
+    }
+
+    /// A uniform base-`b` index with `n` components.
+    pub fn uniform(b: u32, n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(Error::InvalidBase("zero components".into()));
+        }
+        Self::new(vec![b; n])
+    }
+
+    /// The smallest uniform base-`b` index covering cardinality `c`
+    /// (`n = ⌈log_b c⌉` components) — e.g. the classical Bit-Sliced index
+    /// for `b = 2`.
+    pub fn uniform_for(b: u32, c: u32) -> Result<Self> {
+        if b < 2 {
+            return Err(Error::InvalidBase(format!("base number {b} < 2")));
+        }
+        if c < 2 {
+            return Err(Error::InvalidBase(format!(
+                "attribute cardinality {c} < 2 needs no index"
+            )));
+        }
+        let mut n = 0usize;
+        let mut prod: u128 = 1;
+        while prod < u128::from(c) {
+            prod *= u128::from(b);
+            n += 1;
+        }
+        Self::uniform(b, n)
+    }
+
+    /// Number of components `n`.
+    #[inline]
+    pub fn n_components(&self) -> usize {
+        self.lsb_first.len()
+    }
+
+    /// Base number of component `i` (**1-based**, as in the paper;
+    /// component 1 is least significant).
+    ///
+    /// # Panics
+    /// Panics if `i` is 0 or greater than `n`.
+    #[inline]
+    pub fn component(&self, i: usize) -> u32 {
+        assert!(i >= 1 && i <= self.lsb_first.len(), "component {i} out of range");
+        self.lsb_first[i - 1]
+    }
+
+    /// Base numbers, least significant first.
+    #[inline]
+    pub fn as_lsb_slice(&self) -> &[u32] {
+        &self.lsb_first
+    }
+
+    /// Base numbers, most significant first (paper order).
+    pub fn to_msb_vec(&self) -> Vec<u32> {
+        let mut v = self.lsb_first.clone();
+        v.reverse();
+        v
+    }
+
+    /// `Π b_i` — the number of representable values.
+    pub fn product(&self) -> u128 {
+        self.lsb_first
+            .iter()
+            .fold(1u128, |acc, &b| acc * u128::from(b))
+    }
+
+    /// `true` if the base represents every value in `0 .. c`.
+    pub fn covers(&self, c: u32) -> bool {
+        self.product() >= u128::from(c)
+    }
+
+    /// `true` if no single base number can be decremented (a component whose
+    /// base would reach 1 is removed instead) while still covering `c`.
+    pub fn is_tight_for(&self, c: u32) -> bool {
+        if !self.covers(c) {
+            return false;
+        }
+        let prod = self.product();
+        self.lsb_first.iter().all(|&b| {
+            let reduced = prod / u128::from(b) * u128::from(b - 1).max(1);
+            reduced < u128::from(c)
+        })
+    }
+
+    /// Decomposes `v` into digits, least significant first.
+    ///
+    /// Fails if `v` is not representable (`v ≥ Π b_i`).
+    ///
+    /// ```
+    /// use bindex_core::Base;
+    /// // v = 62 in base <10, 10, 10>: digits <0, 6, 2>.
+    /// let base = Base::uniform(10, 3).unwrap();
+    /// assert_eq!(base.decompose(62).unwrap(), vec![2, 6, 0]);
+    /// assert_eq!(base.compose(&[2, 6, 0]).unwrap(), 62);
+    /// ```
+    pub fn decompose(&self, v: u32) -> Result<Vec<u32>> {
+        if u128::from(v) >= self.product() {
+            return Err(Error::ValueOutOfRange {
+                value: v,
+                cardinality: self.product().min(u128::from(u32::MAX)) as u32,
+            });
+        }
+        let mut digits = Vec::with_capacity(self.lsb_first.len());
+        let mut rest = v;
+        for &b in &self.lsb_first {
+            digits.push(rest % b);
+            rest /= b;
+        }
+        Ok(digits)
+    }
+
+    /// Recomposes a value from digits (least significant first) — the
+    /// inverse of [`Base::decompose`].
+    ///
+    /// Fails if the digit count is wrong or any digit is out of range.
+    pub fn compose(&self, digits_lsb: &[u32]) -> Result<u32> {
+        if digits_lsb.len() != self.lsb_first.len() {
+            return Err(Error::InvalidBase(format!(
+                "expected {} digits, got {}",
+                self.lsb_first.len(),
+                digits_lsb.len()
+            )));
+        }
+        let mut v: u64 = 0;
+        let mut weight: u64 = 1;
+        for (&d, &b) in digits_lsb.iter().zip(&self.lsb_first) {
+            if d >= b {
+                return Err(Error::InvalidBase(format!("digit {d} >= base {b}")));
+            }
+            v += u64::from(d) * weight;
+            weight *= u64::from(b);
+        }
+        Ok(v as u32)
+    }
+
+    /// Sum of the base numbers (useful in space accounting:
+    /// range-encoded space is `Σ b_i − n`).
+    pub fn sum(&self) -> u64 {
+        self.lsb_first.iter().map(|&b| u64::from(b)).sum()
+    }
+
+    /// Arranges a multiset of base numbers in the most time-efficient order:
+    /// the **largest** base becomes component 1 (its expected-scan weight is
+    /// 4/3 instead of 2 — see `cost`), the rest follow in ascending order
+    /// toward the most significant component.
+    pub fn best_arrangement(mut multiset: Vec<u32>) -> Result<Self> {
+        multiset.sort_unstable(); // ascending
+        multiset.reverse(); // descending: largest first = component 1
+        Self::new(multiset)
+    }
+
+    /// Paper-style rendering `<b_n, b_{n-1}, …, b_1>`.
+    pub fn display(&self) -> String {
+        format!("{self}")
+    }
+}
+
+impl std::fmt::Display for Base {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<")?;
+        for (k, b) in self.lsb_first.iter().rev().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+/// Enumerates all *tight* bases for cardinality `c` with at most
+/// `max_components` components, as non-increasing multisets arranged
+/// time-optimally (largest base = component 1).
+///
+/// `max_components = usize::MAX` means "up to `⌈log2 c⌉`", the natural
+/// maximum (more components cannot stay well-defined and tight).
+pub fn tight_bases(c: u32, max_components: usize) -> Vec<Base> {
+    assert!(c >= 2, "cardinality must be at least 2");
+    let nmax = max_components.min(c.next_power_of_two().trailing_zeros() as usize + 1);
+    let mut out = Vec::new();
+    let mut stack = Vec::new();
+    // Enumerate non-increasing sequences (descending multisets).
+    fn rec(c: u32, nmax: usize, cap: u32, prod: u128, stack: &mut Vec<u32>, out: &mut Vec<Base>) {
+        if prod >= u128::from(c) {
+            // candidate: check tightness and record
+            let base = Base::new(stack.clone()).expect("all >= 2");
+            if base.is_tight_for(c) {
+                // Stack is descending => component 1 (index 0) holds the
+                // largest base: already the best arrangement.
+                out.push(base);
+            }
+            return; // extending a covering base can never be tight
+        }
+        if stack.len() == nmax {
+            return;
+        }
+        // Next base number: between 2 and min(cap, what's needed alone).
+        let needed = u128::from(c).div_ceil(prod).min(u128::from(c)) as u32;
+        let hi = cap.min(needed);
+        for b in 2..=hi {
+            stack.push(b);
+            rec(c, nmax, b, prod * u128::from(b), stack, out);
+            stack.pop();
+        }
+    }
+    rec(c, nmax, c, 1, &mut stack, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_bad_bases() {
+        assert!(Base::new(vec![]).is_err());
+        assert!(Base::new(vec![3, 1]).is_err());
+        assert!(Base::new(vec![0]).is_err());
+        assert!(Base::new(vec![2]).is_ok());
+    }
+
+    #[test]
+    fn msb_lsb_round() {
+        let b = Base::from_msb(&[3, 4, 5]).unwrap();
+        assert_eq!(b.as_lsb_slice(), &[5, 4, 3]);
+        assert_eq!(b.to_msb_vec(), vec![3, 4, 5]);
+        assert_eq!(b.component(1), 5);
+        assert_eq!(b.component(3), 3);
+        assert_eq!(b.display(), "<3, 4, 5>");
+    }
+
+    #[test]
+    fn decompose_paper_example() {
+        // Figure 3: base-<3, 3> over C = 9: value 7 = 2*3 + 1.
+        let b = Base::from_msb(&[3, 3]).unwrap();
+        assert_eq!(b.decompose(7).unwrap(), vec![1, 2]);
+        assert_eq!(b.compose(&[1, 2]).unwrap(), 7);
+        assert_eq!(b.decompose(0).unwrap(), vec![0, 0]);
+        assert_eq!(b.decompose(8).unwrap(), vec![2, 2]);
+        assert!(b.decompose(9).is_err());
+    }
+
+    #[test]
+    fn decompose_compose_roundtrip_mixed_radix() {
+        let b = Base::from_msb(&[2, 5, 3]).unwrap(); // product 30
+        for v in 0..30 {
+            let d = b.decompose(v).unwrap();
+            assert_eq!(b.compose(&d).unwrap(), v);
+            for (i, &digit) in d.iter().enumerate() {
+                assert!(digit < b.as_lsb_slice()[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn compose_rejects_bad_digits() {
+        let b = Base::from_msb(&[3, 3]).unwrap();
+        assert!(b.compose(&[3, 0]).is_err());
+        assert!(b.compose(&[0]).is_err());
+    }
+
+    #[test]
+    fn digits_are_ordered_correctly() {
+        // base <b2=4, b1=10>, v = 37 = 3*10 + 7
+        let b = Base::from_msb(&[4, 10]).unwrap();
+        assert_eq!(b.decompose(37).unwrap(), vec![7, 3]);
+    }
+
+    #[test]
+    fn uniform_for_covers_minimally() {
+        let b = Base::uniform_for(2, 1000).unwrap();
+        assert_eq!(b.n_components(), 10);
+        assert!(b.covers(1000));
+        assert!(!Base::uniform(2, 9).unwrap().covers(1000));
+        let b = Base::uniform_for(10, 1000).unwrap();
+        assert_eq!(b.n_components(), 3);
+    }
+
+    #[test]
+    fn tightness() {
+        // 27*36 = 972 < 1000 and 28*35 = 980 < 1000 => tight.
+        assert!(Base::from_msb(&[28, 36]).unwrap().is_tight_for(1000));
+    }
+
+    #[test]
+    fn tightness_32_32() {
+        // 32*32 = 1024 >= 1000; decrement either: 31*32 = 992 < 1000 => tight.
+        assert!(Base::from_msb(&[32, 32]).unwrap().is_tight_for(1000));
+        // 33*32 = 1056; decrement 33 -> 32*32 = 1024 >= 1000 => not tight.
+        assert!(!Base::from_msb(&[33, 32]).unwrap().is_tight_for(1000));
+        // all-2 base for C=1000: 2^10=1024, dropping one gives 512 < 1000 => tight.
+        assert!(Base::uniform(2, 10).unwrap().is_tight_for(1000));
+    }
+
+    #[test]
+    fn best_arrangement_puts_largest_first() {
+        let b = Base::best_arrangement(vec![3, 17, 5]).unwrap();
+        assert_eq!(b.component(1), 17);
+        assert_eq!(b.to_msb_vec(), vec![3, 5, 17]);
+    }
+
+    #[test]
+    fn tight_enumeration_small() {
+        let bases = tight_bases(8, usize::MAX);
+        // Expect multisets with product >= 8, tight: {8}, {2,4}, {3,3}, {2,2,2}
+        let mut found: Vec<Vec<u32>> = bases.iter().map(|b| b.to_msb_vec()).collect();
+        found.sort();
+        assert!(found.contains(&vec![8]));
+        assert!(found.contains(&vec![2, 4]));
+        assert!(found.contains(&vec![3, 3]));
+        assert!(found.contains(&vec![2, 2, 2]));
+        // {2, 5}: 2*5=10 >= 8, decrement 5 -> 2*4 = 8 >= 8 => not tight.
+        assert!(!found.contains(&vec![2, 5]));
+        // {9}: 9 >= 8, decrement -> 8 >= 8 => not tight.
+        assert!(!found.contains(&vec![9]));
+        assert_eq!(found.len(), 4, "{found:?}");
+    }
+
+    #[test]
+    fn tight_enumeration_all_covers_and_tight() {
+        for c in [10u32, 37, 100] {
+            for b in tight_bases(c, usize::MAX) {
+                assert!(b.covers(c), "{b} does not cover {c}");
+                assert!(b.is_tight_for(c), "{b} not tight for {c}");
+                // arrangement: component 1 largest
+                let msb = b.to_msb_vec();
+                assert!(msb.windows(2).all(|w| w[0] <= w[1]), "{b} not arranged");
+            }
+        }
+    }
+
+    #[test]
+    fn tight_enumeration_respects_max_components() {
+        let bases = tight_bases(100, 2);
+        assert!(bases.iter().all(|b| b.n_components() <= 2));
+        assert!(bases.iter().any(|b| b.to_msb_vec() == vec![10, 10]));
+    }
+
+    #[test]
+    fn sum_and_product() {
+        let b = Base::from_msb(&[4, 5]).unwrap();
+        assert_eq!(b.sum(), 9);
+        assert_eq!(b.product(), 20);
+    }
+}

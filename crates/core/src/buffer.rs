@@ -1,0 +1,192 @@
+//! Bitmap buffering (Section 10): optimal buffer allocation across index
+//! components, and the time-optimal index under a buffer budget.
+//!
+//! A buffer assignment `<f_n, …, f_1>` keeps `f_i` bitmaps of component
+//! `i` memory-resident (`0 ≤ f_i ≤ b_i − 1` for range encoding). Under the
+//! uniform-reference model the expected scans become Eq. 5
+//! ([`crate::cost::time_range_buffered_paper`]); each additional buffered
+//! bitmap in component `i` reduces expected scans by a constant marginal
+//! gain — `2/b_i` for `i ≥ 2` and `4/(3 b_1)` for component 1 — so the
+//! greedy highest-gain-first policy is optimal. This is the content of the
+//! paper's Theorem 10.1 (its priority classes `X` / `X̄` with the
+//! `b_i` vs `(3/2) b_1` threshold are exactly the ordering by marginal
+//! gain).
+//!
+//! Theorem 10.2: with `m > 0` buffered bitmaps, the time-optimal index is
+//! the `m`-component `<2, …, 2, ⌈C/2^{m−1}⌉>` index — the binary
+//! components' single bitmaps are all buffered and effectively free.
+
+use crate::base::Base;
+use crate::cost::time_range_buffered_paper;
+use crate::error::Result;
+use crate::exec::BufferSet;
+
+use crate::design::space_opt::max_components;
+use crate::design::time_opt::time_optimal;
+
+/// Optimal buffer assignment of `m` bitmaps over a range-encoded index
+/// (Theorem 10.1 restated as greedy-by-marginal-gain). Returns `f`
+/// least-significant-component first; `m` beyond the total stored bitmaps
+/// is left unused.
+pub fn optimal_assignment(base: &Base, m: u64) -> Vec<u32> {
+    let n = base.n_components();
+    let mut f = vec![0u32; n];
+    // Marginal gain of one more buffered bitmap per component (constant).
+    let gain = |i: usize| -> f64 {
+        let b = f64::from(base.component(i));
+        if i == 1 {
+            4.0 / (3.0 * b)
+        } else {
+            2.0 / b
+        }
+    };
+    let mut order: Vec<usize> = (1..=n).collect();
+    order.sort_by(|&a, &b| gain(b).partial_cmp(&gain(a)).expect("finite gains"));
+    let mut remaining = m;
+    for i in order {
+        if remaining == 0 {
+            break;
+        }
+        let capacity = u64::from(base.component(i) - 1); // stored bitmaps
+        let take = capacity.min(remaining);
+        f[i - 1] = take as u32;
+        remaining -= take;
+    }
+    f
+}
+
+/// Materializes an assignment as a [`BufferSet`] holding the first `f_i`
+/// stored slots of each component (which slots are resident does not
+/// change the expectation — every stored slot of a component is referenced
+/// with equal probability).
+pub fn buffer_set(f: &[u32]) -> BufferSet {
+    let mut set = BufferSet::empty();
+    for (i, &fi) in f.iter().enumerate() {
+        for slot in 0..fi {
+            set.insert(i + 1, slot as usize);
+        }
+    }
+    set
+}
+
+/// Expected scans of `base` with the *optimal* `m`-bitmap assignment.
+pub fn buffered_time(base: &Base, m: u64) -> f64 {
+    let f = optimal_assignment(base, m);
+    time_range_buffered_paper(base, &f)
+}
+
+/// Theorem 10.2: the time-optimal index when `m` bitmaps can be buffered.
+/// Returns the base together with its optimal assignment. `m = 0` reduces
+/// to the unbuffered time optimum `<C>`.
+pub fn time_optimal_buffered(c: u32, m: u64) -> Result<(Base, Vec<u32>)> {
+    // Theorem 10.2's base is <2,…,2, ⌈C/2^{m−1}⌉> with m components,
+    // clamped to the largest well-defined component count.
+    let n = if m == 0 {
+        1
+    } else {
+        (m as usize).min(max_components(c))
+    };
+    let base = time_optimal(c, n)?;
+    let f = optimal_assignment(&base, m);
+    Ok((base, f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::expected_scans_buffered;
+    use crate::design::range_space;
+
+    fn b(msb: &[u32]) -> Base {
+        Base::from_msb(msb).unwrap()
+    }
+
+    #[test]
+    fn greedy_prefers_small_high_components() {
+        // base <3, 4, 100>: gains: comp3 (b=3) 2/3, comp2 (b=4) 1/2,
+        // comp1 (b=100) 4/300. m = 3: buffer comp3's 2 bitmaps + 1 of comp2.
+        let base = b(&[3, 4, 100]);
+        assert_eq!(optimal_assignment(&base, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn component1_priority_threshold() {
+        // Theorem 10.1: a component i >= 2 outranks component 1 iff
+        // b_i < (3/2) b_1. base <6, 4>: gain comp2 = 2/6 = 1/3 = gain
+        // comp1 = 4/12; tie. base <5, 4>: comp2 gain 0.4 > comp1 1/3.
+        let base = b(&[5, 4]);
+        assert_eq!(optimal_assignment(&base, 1), vec![0, 1]);
+        // base <7, 4>: comp2 gain 2/7 < comp1 gain 1/3: buffer comp1 first.
+        let base = b(&[7, 4]);
+        assert_eq!(optimal_assignment(&base, 1), vec![1, 0]);
+    }
+
+    #[test]
+    fn greedy_beats_all_assignments_exhaustively() {
+        let base = b(&[3, 4, 6]); // product 72
+        let c = base.product() as u32;
+        let caps: Vec<u32> = base.as_lsb_slice().iter().map(|&x| x - 1).collect();
+        for m in 0..=u64::from(caps.iter().sum::<u32>()) {
+            let greedy = optimal_assignment(&base, m);
+            let greedy_time = expected_scans_buffered(&base, &greedy, c);
+            // enumerate all assignments with sum m
+            for f1 in 0..=caps[0] {
+                for f2 in 0..=caps[1] {
+                    for f3 in 0..=caps[2] {
+                        if u64::from(f1 + f2 + f3) != m {
+                            continue;
+                        }
+                        let t = expected_scans_buffered(&base, &[f1, f2, f3], c);
+                        assert!(
+                            greedy_time <= t + 1e-9,
+                            "m={m}: greedy {greedy:?} ({greedy_time}) vs [{f1},{f2},{f3}] ({t})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_10_2_shape() {
+        let (base, f) = time_optimal_buffered(1000, 4).unwrap();
+        assert_eq!(base.to_msb_vec(), vec![2, 2, 2, 125]);
+        // three binary components fully buffered + 1 slot of component 1
+        assert_eq!(f, vec![1, 1, 1, 1]);
+        let (base0, _) = time_optimal_buffered(1000, 0).unwrap();
+        assert_eq!(base0.to_msb_vec(), vec![1000]);
+    }
+
+    #[test]
+    fn theorem_10_2_beats_alternatives() {
+        let c = 1000u32;
+        for m in 1u64..=8 {
+            let (base, f) = time_optimal_buffered(c, m).unwrap();
+            let t = time_range_buffered_paper(&base, &f);
+            // Compare against every tight base with optimal buffering.
+            for other in crate::base::tight_bases(c, usize::MAX) {
+                let to = buffered_time(&other, m);
+                assert!(
+                    t <= to + 1e-9,
+                    "m={m}: {base} ({t}) vs {other} ({to})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn buffering_all_bitmaps_is_free() {
+        let base = b(&[3, 4]);
+        let m = range_space(&base);
+        assert!(buffered_time(&base, m).abs() < 1e-12);
+        assert!(buffered_time(&base, m + 10).abs() < 1e-12); // surplus ignored
+    }
+
+    #[test]
+    fn buffer_set_materialization() {
+        let set = buffer_set(&[2, 0, 1]);
+        assert_eq!(set.len(), 3);
+        assert!(set.contains(1, 0) && set.contains(1, 1) && set.contains(3, 0));
+        assert!(!set.contains(2, 0));
+    }
+}

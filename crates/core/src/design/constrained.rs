@@ -1,0 +1,427 @@
+//! Time-optimal index under a disk-space constraint (Section 8) — point
+//! (B) of Figure 2.
+//!
+//! Given at most `M` bitmaps, [`time_opt_alg`] finds the exact optimum and
+//! [`time_opt_heur`] the near-optimal heuristic of the paper
+//! ([`find_smallest_n`] for the seed + [`refine_index`] for the base
+//! adjustment of Theorem 8.1). The heuristic runs in
+//! `O(log C · log log C)`; the exact algorithm enumerates the candidate
+//! set `I` of step 4 (whose size, plotted in Figure 14, is exposed as
+//! [`candidate_set_size`]).
+//!
+//! Theorem 8.1 (base refinement): moving `δ` from a small base `b_p` to a
+//! larger base `b_q` (`b_p ≤ b_q`, keeping `Π ≥ C` and `b_p − δ ≥ 2`)
+//! never increases `Time` — `1/(b_p−δ) + 1/(b_q+δ) ≥ 1/b_p + 1/b_q` by
+//! convexity — and never changes `Space`. `RefineIndex` applies the
+//! largest legal `δ` repeatedly, smallest bases first.
+
+use crate::base::Base;
+use crate::cost::time_range_paper;
+use crate::error::{Error, Result};
+
+use super::space_opt::{max_components, space_optimal_bitmaps};
+use super::time_opt::time_optimal;
+use super::{isqrt_u64, range_space};
+
+/// `FindSmallestN`: the least `n` for which an `n`-component index with
+/// exactly `M` bitmaps covers `C`, together with the (balanced) seed index
+/// of that size. `None` when even the all-binary index exceeds `M`
+/// (`M < ⌈log2 C⌉`).
+pub fn find_smallest_n(c: u32, m: u64) -> Option<(usize, Base)> {
+    if c < 2 {
+        return None;
+    }
+    for n in 1..=(m.min(max_components(c) as u64 * 64) as usize) {
+        // b = floor((M+n)/n), r = (M+n) mod n: space is exactly M.
+        let b = ((m + n as u64) / n as u64) as u32;
+        if b < 2 {
+            return None; // larger n only shrinks b further
+        }
+        let r = ((m + n as u64) % n as u64) as usize;
+        // Max product for this (n, M): (b+1)^r * b^(n-r).
+        let mut prod: u128 = 1;
+        for _ in 0..r {
+            prod = prod.saturating_mul(u128::from(b) + 1);
+        }
+        for _ in 0..n - r {
+            prod = prod.saturating_mul(u128::from(b));
+        }
+        if prod >= u128::from(c) {
+            // r components of base b+1 at the least significant positions.
+            let mut lsb = vec![b + 1; r];
+            lsb.extend(std::iter::repeat_n(b, n - r));
+            return Some((n, Base::new(lsb).expect("b >= 2")));
+        }
+    }
+    None
+}
+
+/// `RefineIndex` (Theorem 8.1): improves the time-efficiency of an index
+/// without increasing its space, by repeatedly transferring the largest
+/// legal `δ` from the smallest base to the next smallest. Finally the
+/// least-significant base is shrunk to `max(2, ⌈C / Π_{i≥2} b_i⌉)`.
+pub fn refine_index(index: &Base, c: u32) -> Base {
+    let n = index.n_components();
+    if n == 1 {
+        return Base::single(c.max(2)).expect("C >= 2");
+    }
+    // Ascending multiset of base numbers.
+    let mut seq: Vec<u32> = index.as_lsb_slice().to_vec();
+    seq.sort_unstable();
+    let mut prod: u128 = index.product();
+    // Positions n down to 2 (lsb-first indices n-1 down to 1).
+    let mut out = vec![0u32; n];
+    for i in (1..n).rev() {
+        let mut b_p = seq.remove(0); // smallest
+        if b_p > 2 && !seq.is_empty() {
+            let b_q = seq[0]; // next smallest
+            // Largest delta with (b_p - δ)(b_q + δ) · rest >= C.
+            let k = (u128::from(c) * u128::from(b_p) * u128::from(b_q)).div_ceil(prod);
+            let s = u128::from(b_p) + u128::from(b_q);
+            if s * s >= 4 * k {
+                let disc = (s * s - 4 * k) as u64;
+                let num = i64::from(b_p) - i64::from(b_q) + isqrt_u64(disc) as i64;
+                if num > 0 {
+                    let delta = ((num / 2) as u32).min(b_p - 2);
+                    if delta > 0 {
+                        prod = prod / u128::from(b_p) / u128::from(b_q)
+                            * u128::from(b_p - delta)
+                            * u128::from(b_q + delta);
+                        b_p -= delta;
+                        seq[0] = b_q + delta;
+                        // keep `seq` ascending after growing its head
+                        seq.sort_unstable();
+                    }
+                }
+            }
+        }
+        out[i] = b_p;
+    }
+    // Component 1: just large enough given the rest.
+    let rest: u128 = out[1..]
+        .iter()
+        .fold(1u128, |acc, &b| acc.saturating_mul(u128::from(b)));
+    let b1 = u128::from(c).div_ceil(rest).max(2);
+    out[0] = b1.min(u128::from(c)) as u32;
+    Base::new(out).expect("all bases >= 2")
+}
+
+/// `TimeOptHeur`: the paper's near-optimal heuristic for point (B).
+///
+/// ```
+/// use bindex_core::design::constrained::time_opt_heur;
+/// use bindex_core::design::range_space;
+/// // Best index for C = 1000 within a 100-bitmap budget: <11, 91>.
+/// let base = time_opt_heur(1000, 100).unwrap();
+/// assert!(range_space(&base) <= 100);
+/// assert!(base.covers(1000));
+/// ```
+pub fn time_opt_heur(c: u32, m: u64) -> Result<Base> {
+    let (n, seed) = find_smallest_n(c, m).ok_or_else(|| infeasible(c, m))?;
+    if let Ok(opt) = time_optimal(c, n) {
+        if range_space(&opt) <= m {
+            return Ok(opt);
+        }
+    }
+    Ok(refine_index(&seed, c))
+}
+
+/// `TimeOptAlg`: the exact time-optimal index with at most `M` bitmaps.
+///
+/// Follows the paper's component-count bounds, then searches the candidate
+/// set restricted to *tight* bases (every non-tight candidate is dominated
+/// by a tight one in both space and time, so the restriction preserves
+/// exactness while keeping the search fast).
+pub fn time_opt_alg(c: u32, m: u64) -> Result<Base> {
+    let (n0, n_prime) = component_bounds(c, m).ok_or_else(|| infeasible(c, m))?;
+    let n_opt = time_optimal(c, n0).expect("n0 <= max_components");
+    if range_space(&n_opt) <= m {
+        return Ok(n_opt);
+    }
+    let mut best = time_optimal(c, n_prime).expect("n' <= max_components");
+    debug_assert!(range_space(&best) <= m);
+    let mut best_time = time_range_paper(&best);
+    for k in n0..n_prime {
+        enumerate_multisets(c, m, k, true, &mut |multiset| {
+            let base = Base::best_arrangement(multiset.to_vec()).expect("valid");
+            let t = time_range_paper(&base);
+            if t < best_time - 1e-15 {
+                best_time = t;
+                best = base;
+            }
+        });
+    }
+    Ok(best)
+}
+
+/// The component-count bounds `(n0, n')` of TimeOptAlg steps 1–3:
+/// `n0` = least components whose space-optimal index fits in `M`;
+/// `n'` = least `n ≥ n0` whose *time-optimal* index fits in `M`.
+pub fn component_bounds(c: u32, m: u64) -> Option<(usize, usize)> {
+    let nmax = max_components(c);
+    let n0 = (1..=nmax).find(|&n| space_optimal_bitmaps(c, n).is_ok_and(|s| s <= m))?;
+    let n_prime = (n0..=nmax)
+        .find(|&n| time_optimal(c, n).is_ok_and(|b| range_space(&b) <= m))
+        .expect("the all-binary index fits whenever n0 exists");
+    Some((n0, n_prime))
+}
+
+/// Size of the candidate set `I` of TimeOptAlg step 4 (Figure 14): all
+/// `k`-component multiset bases with `Π b_i ≥ C` and `Σ (b_i − 1) ≤ M`
+/// for `n0 ≤ k < n'`, plus the `n'`-component time-optimal index.
+/// Zero when the fast path (step 2) applies, one for the `n'` index alone.
+pub fn candidate_set_size(c: u32, m: u64) -> usize {
+    let Some((n0, n_prime)) = component_bounds(c, m) else {
+        return 0;
+    };
+    let n_opt = time_optimal(c, n0).expect("n0 <= max_components");
+    if range_space(&n_opt) <= m {
+        return 1; // fast path: the n0-component time-optimal index
+    }
+    let mut count = 1usize; // the n'-component time-optimal index
+    for k in n0..n_prime {
+        enumerate_multisets(c, m, k, false, &mut |_| count += 1);
+    }
+    count
+}
+
+/// Enumerates descending multisets of exactly `k` base numbers `≥ 2` with
+/// `Π ≥ C` and `Σ(b−1) ≤ M`. With `tight_only`, prunes multisets where
+/// some base could be decremented while preserving coverage (safe for the
+/// optimum search; the full set defines Figure 14's `|I|`).
+fn enumerate_multisets(
+    c: u32,
+    m: u64,
+    k: usize,
+    tight_only: bool,
+    f: &mut impl FnMut(&[u32]),
+) {
+    fn rec(
+        c: u32,
+        k: usize,
+        space_left: u64,
+        cap: u32,
+        prod: u128,
+        tight_only: bool,
+        stack: &mut Vec<u32>,
+        f: &mut impl FnMut(&[u32]),
+    ) {
+        if k == 0 {
+            if prod >= u128::from(c) {
+                if tight_only {
+                    let tight = stack.iter().all(|&b| {
+                        prod / u128::from(b) * u128::from(b - 1) < u128::from(c)
+                    });
+                    if !tight {
+                        return;
+                    }
+                }
+                f(stack);
+            }
+            return;
+        }
+        if space_left < k as u64 {
+            return; // every remaining base needs >= 1 bitmap
+        }
+        // Descending: next base between 2 and min(cap, space budget).
+        let hi = cap.min((space_left - (k as u64 - 1)).min(u64::from(u32::MAX) - 1) as u32 + 1);
+        for b in 2..=hi {
+            // Remaining k-1 entries are <= b: max achievable product check.
+            let mut max_prod = prod * u128::from(b);
+            for _ in 0..k - 1 {
+                max_prod = max_prod.saturating_mul(u128::from(b));
+            }
+            if max_prod < u128::from(c) {
+                continue;
+            }
+            stack.push(b);
+            rec(
+                c,
+                k - 1,
+                space_left - u64::from(b - 1),
+                b,
+                prod * u128::from(b),
+                tight_only,
+                stack,
+                f,
+            );
+            stack.pop();
+        }
+    }
+    let mut stack = Vec::with_capacity(k);
+    rec(c, k, m, c, 1, tight_only, &mut stack, f);
+}
+
+/// Batch solver for repeated point-(B) queries at the same cardinality:
+/// precomputes the tight-base catalogue once, so each `M` query is a
+/// filtered scan instead of a fresh enumeration. Produces exactly the same
+/// answers as [`time_opt_alg`] (validated in tests); used by the Table 2
+/// and Figure 14 experiment sweeps.
+pub struct TimeOptSolver {
+    c: u32,
+    /// (space, time, base) for every tight base, arranged time-optimally.
+    catalogue: Vec<(u64, f64, Base)>,
+}
+
+impl TimeOptSolver {
+    /// Builds the catalogue for cardinality `c`.
+    pub fn new(c: u32) -> Self {
+        let catalogue = crate::base::tight_bases(c, usize::MAX)
+            .into_iter()
+            .map(|b| (range_space(&b), time_range_paper(&b), b))
+            .collect();
+        Self { c, catalogue }
+    }
+
+    /// The exact time-optimal index with at most `m` bitmaps.
+    pub fn solve(&self, m: u64) -> Result<Base> {
+        let best = self
+            .catalogue
+            .iter()
+            .filter(|(space, _, _)| *space <= m)
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+        best.map(|(_, _, base)| base.clone())
+            .ok_or_else(|| infeasible(self.c, m))
+    }
+}
+
+fn infeasible(c: u32, m: u64) -> Error {
+    Error::Infeasible(format!(
+        "no index for C = {c} fits in {m} bitmaps (minimum is {})",
+        max_components(c)
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_smallest_n_space_is_exactly_m() {
+        for (c, m) in [(1000u32, 62u64), (1000, 100), (100, 18), (50, 11), (1000, 10)] {
+            let (n, base) = find_smallest_n(c, m).unwrap();
+            assert_eq!(range_space(&base), m, "C={c} M={m}");
+            assert!(base.covers(c));
+            assert_eq!(base.n_components(), n);
+            // n is minimal: the space-optimal (n-1)-index must exceed M.
+            if n > 1 {
+                assert!(space_optimal_bitmaps(c, n - 1).unwrap() > m);
+            }
+        }
+    }
+
+    #[test]
+    fn find_smallest_n_infeasible() {
+        assert!(find_smallest_n(1000, 9).is_none()); // needs >= 10 bitmaps
+        assert!(find_smallest_n(1000, 10).is_some());
+    }
+
+    #[test]
+    fn refine_never_hurts() {
+        for (c, bases) in [
+            (1000u32, vec![vec![10u32, 10, 10], vec![12, 11, 10], vec![32, 32]]),
+            (100, vec![vec![10, 10], vec![5, 5, 4]]),
+        ] {
+            for msb in bases {
+                let before = Base::from_msb(&msb).unwrap();
+                let after = refine_index(&before, c);
+                assert!(after.covers(c), "C={c} {before} -> {after}");
+                assert!(
+                    range_space(&after) <= range_space(&before),
+                    "C={c} {before} -> {after}: space grew"
+                );
+                assert!(
+                    time_range_paper(&after) <= time_range_paper(&before) + 1e-12,
+                    "C={c} {before} -> {after}: time grew"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heuristic_is_feasible_and_near_optimal() {
+        let c = 100u32;
+        for m in max_components(c) as u64..=(c as u64 - 1) {
+            let heur = time_opt_heur(c, m).unwrap();
+            assert!(heur.covers(c), "M={m}");
+            assert!(range_space(&heur) <= m, "M={m}: {heur}");
+            let opt = time_opt_alg(c, m).unwrap();
+            assert!(range_space(&opt) <= m);
+            let (th, to) = (time_range_paper(&heur), time_range_paper(&opt));
+            assert!(
+                th + 1e-12 >= to,
+                "M={m}: heuristic {heur} ({th}) beats 'optimal' {opt} ({to})"
+            );
+            // The paper reports <= ~0.5 scan gap in the worst case.
+            assert!(th - to < 1.0, "M={m}: gap {} too large", th - to);
+        }
+    }
+
+    #[test]
+    fn exact_matches_bruteforce_over_tight_bases() {
+        let c = 60u32;
+        for m in [6u64, 10, 20, 40, 59] {
+            let opt = time_opt_alg(c, m).unwrap();
+            let brute = crate::base::tight_bases(c, usize::MAX)
+                .into_iter()
+                .filter(|b| range_space(b) <= m)
+                .map(|b| time_range_paper(&b))
+                .fold(f64::INFINITY, f64::min);
+            let t = time_range_paper(&opt);
+            assert!(
+                (t - brute).abs() < 1e-9,
+                "C={c} M={m}: alg {opt} ({t}) vs brute {brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_path_returns_time_optimal() {
+        // M large enough for the 1-component index: return <C>.
+        assert_eq!(time_opt_alg(100, 99).unwrap().to_msb_vec(), vec![100]);
+        assert_eq!(time_opt_heur(100, 99).unwrap().to_msb_vec(), vec![100]);
+        assert_eq!(candidate_set_size(100, 99), 1);
+    }
+
+    #[test]
+    fn infeasible_m_rejected() {
+        assert!(time_opt_alg(1000, 9).is_err());
+        assert!(time_opt_heur(1000, 9).is_err());
+        assert_eq!(candidate_set_size(1000, 9), 0);
+    }
+
+    #[test]
+    fn candidate_set_counts_small_case() {
+        // C = 8, M = 4: n0: space-opt per n: n=1 -> 7 > 4; n=2 -> b=3,
+        // r: 3*2=6<8, 3*3=9>=8 -> r=2 -> space 4 <= 4 -> n0=2.
+        // time-opt(2) = <2,4>: space 1+3 = 4 <= M -> fast path.
+        assert_eq!(candidate_set_size(8, 4), 1);
+        assert_eq!(time_opt_alg(8, 4).unwrap().to_msb_vec(), vec![2, 4]);
+    }
+
+    #[test]
+    fn solver_matches_time_opt_alg() {
+        for c in [60u32, 100] {
+            let solver = TimeOptSolver::new(c);
+            for m in max_components(c) as u64..c as u64 {
+                let a = time_opt_alg(c, m).unwrap();
+                let b = solver.solve(m).unwrap();
+                assert!(
+                    (time_range_paper(&a) - time_range_paper(&b)).abs() < 1e-9,
+                    "C={c} M={m}: {a} vs {b}"
+                );
+            }
+            assert!(solver.solve(max_components(c) as u64 - 1).is_err());
+        }
+    }
+
+    #[test]
+    fn bounds_are_ordered() {
+        for m in 10u64..200 {
+            if let Some((n0, np)) = component_bounds(1000, m) {
+                assert!(n0 <= np);
+                assert!(np <= max_components(1000));
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! The optimal-index set `S` (Pareto frontier) and the gradient-based knee
+//! definition of Section 7.
+//!
+//! `S` is the maximal subset of all (tight) indexes such that no member is
+//! beaten in both space and time by another index. For interior frontier
+//! points `I_j`, the left and right gradients are
+//!
+//! ```text
+//! LG_j = (Time(I_{j−1}) − Time(I_j)) / (Space(I_j) − Space(I_{j−1})) · F
+//! RG_j = (Time(I_j) − Time(I_{j+1})) / (Space(I_{j+1}) − Space(I_j)) · F
+//! ```
+//!
+//! with normalizing factor `F = Space(I_p) / Time(I_1)`. The **knee** is
+//! the point with `LG_j > 1`, `RG_j < 1` maximizing `LG_j / RG_j` — the
+//! definition the closed-form Theorem 7.1 characterization is validated
+//! against.
+
+use crate::base::{tight_bases, Base};
+use crate::cost::{time_equality_paper, time_paper, time_range_paper};
+use crate::encoding::Encoding;
+
+use super::range_space;
+
+/// One index in a space–time tradeoff graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// The index base (arranged time-optimally).
+    pub base: Base,
+    /// `Space(I)` in bitmaps.
+    pub space: u64,
+    /// `Time(I)` in expected scans (closed form).
+    pub time: f64,
+}
+
+/// Evaluates every tight base for cardinality `c` under `encoding`,
+/// up to `max_components` components.
+pub fn all_points(c: u32, encoding: Encoding, max_components: usize) -> Vec<DesignPoint> {
+    tight_bases(c, max_components)
+        .into_iter()
+        .map(|base| point(base, encoding))
+        .collect()
+}
+
+/// Space and time of one base under an encoding.
+pub fn point(base: Base, encoding: Encoding) -> DesignPoint {
+    let (space, time) = match encoding {
+        Encoding::Range => (range_space(&base), time_range_paper(&base)),
+        Encoding::Equality => {
+            let space = (1..=base.n_components())
+                .map(|i| u64::from(Encoding::Equality.stored_bitmaps(base.component(i))))
+                .sum();
+            (space, time_equality_paper(&base))
+        }
+        Encoding::Interval => {
+            let spec = crate::encoding::IndexSpec::new(base.clone(), Encoding::Interval);
+            (spec.stored_bitmaps(), time_paper(&spec))
+        }
+    };
+    DesignPoint { base, space, time }
+}
+
+/// The optimal-index set `S`: points not dominated in both space and time,
+/// sorted by increasing space (hence strictly decreasing time). Among
+/// equal-space points only the fastest is kept.
+pub fn pareto(mut points: Vec<DesignPoint>) -> Vec<DesignPoint> {
+    points.sort_by(|a, b| {
+        a.space
+            .cmp(&b.space)
+            .then(a.time.partial_cmp(&b.time).expect("finite times"))
+    });
+    let mut out: Vec<DesignPoint> = Vec::new();
+    for p in points {
+        if let Some(last) = out.last() {
+            if last.space == p.space || p.time >= last.time - 1e-12 {
+                continue; // dominated (or tied) by the previous point
+            }
+        }
+        out.push(p);
+    }
+    out
+}
+
+/// The knee by the gradient definition, over a Pareto frontier sorted by
+/// increasing space. Returns `None` for frontiers with fewer than 3 points
+/// (no interior point exists).
+pub fn knee_by_definition(frontier: &[DesignPoint]) -> Option<&DesignPoint> {
+    let p = frontier.len();
+    if p < 3 {
+        return None;
+    }
+    let f = frontier[p - 1].space as f64 / frontier[0].time;
+    let mut best: Option<(f64, usize)> = None;
+    for j in 1..p - 1 {
+        let lg = (frontier[j - 1].time - frontier[j].time)
+            / (frontier[j].space - frontier[j - 1].space) as f64
+            * f;
+        let rg = (frontier[j].time - frontier[j + 1].time)
+            / (frontier[j + 1].space - frontier[j].space) as f64
+            * f;
+        if lg > 1.0 && rg < 1.0 {
+            let ratio = lg / rg;
+            if best.is_none_or(|(b, _)| ratio > b) {
+                best = Some((ratio, j));
+            }
+        }
+    }
+    best.map(|(_, j)| &frontier[j])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::knee::knee;
+
+    #[test]
+    fn pareto_is_strictly_improving() {
+        let pts = all_points(100, Encoding::Range, usize::MAX);
+        let front = pareto(pts);
+        assert!(front.len() >= 3);
+        for w in front.windows(2) {
+            assert!(w[0].space < w[1].space);
+            assert!(w[0].time > w[1].time);
+        }
+    }
+
+    #[test]
+    fn frontier_endpoints_are_the_optima() {
+        let front = pareto(all_points(1000, Encoding::Range, usize::MAX));
+        // Space end: all-2 index (10 bitmaps). Time end: <1000>.
+        assert_eq!(front.first().unwrap().space, 10);
+        assert_eq!(front.last().unwrap().base.to_msb_vec(), vec![1000]);
+        assert_eq!(front.last().unwrap().space, 999);
+    }
+
+    #[test]
+    fn gradient_knee_matches_theorem71() {
+        // The paper: "both knee indexes match exactly for all the cases
+        // that we compared."
+        for c in [100u32, 500, 1000, 2406] {
+            let front = pareto(all_points(c, Encoding::Range, usize::MAX));
+            let by_def = knee_by_definition(&front).expect("interior point");
+            let closed = knee(c).unwrap();
+            assert_eq!(
+                by_def.base.to_msb_vec(),
+                closed.to_msb_vec(),
+                "C={c}: definition {} vs closed form {}",
+                by_def.base,
+                closed
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_frontier_has_no_knee() {
+        let front = pareto(all_points(4, Encoding::Range, usize::MAX));
+        // C=4: tight bases {4}, {2,2} -> 2 points -> no interior knee.
+        assert!(knee_by_definition(&front).is_none());
+    }
+}

@@ -1,0 +1,95 @@
+//! The knee of the space–time tradeoff graph (Section 7, Theorem 7.1) —
+//! point (C) of Figure 2.
+//!
+//! The paper observes (Figure 11) that the knee of the space-optimal
+//! tradeoff graph is consistently the **2-component** point, and
+//! characterizes it in closed form: the most time-efficient 2-component
+//! space-optimal index has base `<b_2 − Δ, b_1 + Δ>` where
+//! `b_1 = ⌈√C⌉`, `b_2 = ⌈C / b_1⌉`, and
+//! `Δ = max{0, ⌊(b_2 − b_1 + √((b_2 + b_1)² − 4C)) / 2⌋}` — the largest
+//! transfer from the small (most significant) base to the large (least
+//! significant) base that keeps the product `≥ C`. The transfer preserves
+//! the bitmap count while lowering expected scans, because component 1's
+//! scan weight (4/3) is smaller than the others' (2).
+
+use crate::base::Base;
+use crate::error::Result;
+
+use super::{div_ceil_u32, isqrt_u64};
+
+/// The knee index of Theorem 7.1 (range-encoded, 2 components).
+///
+/// For `C < 4` a 2-component index does not exist; the single-component
+/// `<C>` index is returned instead (the whole graph is one point).
+///
+/// ```
+/// use bindex_core::design::knee::knee;
+/// // The paper's running example: C = 1000 gives base <28, 36>.
+/// assert_eq!(knee(1000).unwrap().to_msb_vec(), vec![28, 36]);
+/// ```
+pub fn knee(c: u32) -> Result<Base> {
+    if c < 4 {
+        return Base::single(c.max(2));
+    }
+    let b1 = super::ceil_nth_root(c, 2);
+    let b2 = div_ceil_u32(c, b1);
+    debug_assert!(b2 <= b1);
+    let disc = u64::from(b1 + b2) * u64::from(b1 + b2) - 4 * u64::from(c);
+    let num = i64::from(b2) - i64::from(b1) + isqrt_u64(disc) as i64;
+    let delta = if num <= 0 { 0 } else { (num / 2) as u32 };
+    // Keep the most significant base well-defined.
+    let delta = delta.min(b2 - 2);
+    // lsb-first: component 1 = b1 + delta (large), component 2 = b2 - delta.
+    Base::new(vec![b1 + delta, b2 - delta])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::time_range_paper;
+    use crate::design::range_space;
+    use crate::design::space_opt::{space_optimal_best_time, space_optimal_bitmaps};
+
+    #[test]
+    fn c1000_knee_is_28_36() {
+        // b1 = 32, b2 = 32, disc = 64^2 - 4000 = 96, isqrt = 9, delta = 4.
+        assert_eq!(knee(1000).unwrap().to_msb_vec(), vec![28, 36]);
+    }
+
+    #[test]
+    fn knee_matches_best_time_2component_search() {
+        // The closed form must agree with exhaustive search over all
+        // 2-component space-optimal indexes ("both knee indexes match
+        // exactly for all the cases that we compared").
+        for c in [4u32, 5, 10, 12, 25, 50, 100, 101, 500, 777, 1000, 2406] {
+            let closed = knee(c).unwrap();
+            let searched = space_optimal_best_time(c, 2).unwrap();
+            assert_eq!(
+                (time_range_paper(&closed) * 1e12).round(),
+                (time_range_paper(&searched) * 1e12).round(),
+                "C={c}: {closed} vs {searched}"
+            );
+            assert_eq!(range_space(&closed), range_space(&searched), "C={c}");
+        }
+    }
+
+    #[test]
+    fn knee_is_space_optimal_for_two_components() {
+        for c in [10u32, 100, 1000, 2406] {
+            let k = knee(c).unwrap();
+            assert!(k.covers(c), "C={c}");
+            assert_eq!(
+                range_space(&k),
+                space_optimal_bitmaps(c, 2).unwrap(),
+                "C={c}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_cardinalities_degenerate() {
+        assert_eq!(knee(2).unwrap().to_msb_vec(), vec![2]);
+        assert_eq!(knee(3).unwrap().to_msb_vec(), vec![3]);
+        assert_eq!(knee(4).unwrap().to_msb_vec(), vec![2, 2]);
+    }
+}

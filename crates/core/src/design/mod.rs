@@ -1,0 +1,105 @@
+//! Optimal index design (Sections 6–8): the four interesting points of the
+//! space–time tradeoff graph (Figure 2).
+//!
+//! * point (A), the **space-optimal** index — [`space_opt`] (Theorem 6.1);
+//! * point (D), the **time-optimal** index — [`time_opt`] (Theorem 6.1);
+//! * point (C), the **knee** — [`knee`] (Theorem 7.1) and the
+//!   gradient-based definition over the Pareto frontier — [`frontier`];
+//! * point (B), the **time-optimal index under a space constraint** —
+//!   [`constrained`] (`TimeOptAlg`, `TimeOptHeur`, `FindSmallestN`,
+//!   `RefineIndex`).
+//!
+//! All of Sections 6–8 concern range-encoded indexes (the paper's Section 5
+//! conclusion), so the time metric throughout is
+//! [`cost::time_range_paper`](crate::cost::time_range_paper) and the space
+//! metric is `Σ (b_i − 1)`.
+
+pub mod constrained;
+pub mod frontier;
+pub mod knee;
+pub mod space_opt;
+pub mod time_opt;
+
+/// Space of a range-encoded index with the given base: `Σ (b_i − 1)`.
+pub fn range_space(base: &crate::base::Base) -> u64 {
+    base.sum() - base.n_components() as u64
+}
+
+/// Integer ceiling `⌈c / d⌉`.
+pub(crate) fn div_ceil_u32(c: u32, d: u32) -> u32 {
+    c.div_ceil(d)
+}
+
+/// Smallest `b` with `b^n >= c` (the `⌈c^{1/n}⌉` of Theorem 6.1), computed
+/// exactly with integer arithmetic.
+pub(crate) fn ceil_nth_root(c: u32, n: usize) -> u32 {
+    assert!(c >= 1 && n >= 1);
+    if n == 1 || c == 1 {
+        return c;
+    }
+    let target = u128::from(c);
+    let mut lo = 1u32; // pow(lo) < target
+    let mut hi = c; // pow(hi) >= target
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pow_at_least(mid, n, target) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// `b^n >= target`, without overflow.
+pub(crate) fn pow_at_least(b: u32, n: usize, target: u128) -> bool {
+    let mut acc: u128 = 1;
+    for _ in 0..n {
+        acc = acc.saturating_mul(u128::from(b));
+        if acc >= target {
+            return true;
+        }
+    }
+    acc >= target
+}
+
+/// Integer square root: `⌊√x⌋`.
+pub(crate) fn isqrt_u64(x: u64) -> u64 {
+    if x == 0 {
+        return 0;
+    }
+    // f64 sqrt is only a seed; correct with exact u128 comparisons.
+    let mut r = (x as f64).sqrt() as u64;
+    while u128::from(r) * u128::from(r) > u128::from(x) {
+        r -= 1;
+    }
+    while u128::from(r + 1) * u128::from(r + 1) <= u128::from(x) {
+        r += 1;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nth_root_exact() {
+        assert_eq!(ceil_nth_root(1000, 2), 32);
+        assert_eq!(ceil_nth_root(1000, 3), 10);
+        assert_eq!(ceil_nth_root(1024, 10), 2);
+        assert_eq!(ceil_nth_root(1025, 10), 3);
+        assert_eq!(ceil_nth_root(50, 1), 50);
+        assert_eq!(ceil_nth_root(49, 2), 7);
+        assert_eq!(ceil_nth_root(50, 2), 8);
+    }
+
+    #[test]
+    fn isqrt_edge_cases() {
+        for x in 0..1000u64 {
+            let r = isqrt_u64(x);
+            assert!(r * r <= x && (r + 1) * (r + 1) > x, "x={x}");
+        }
+        assert_eq!(isqrt_u64(u64::MAX), (1u64 << 32) - 1);
+    }
+}

@@ -1,0 +1,225 @@
+//! Space-optimal indexes (Theorem 6.1, results 1–2) — point (A) of
+//! Figure 2.
+//!
+//! Theorem 6.1(1): the `n`-component space-optimal (range-encoded) index
+//! stores `n(b − 2) + r` bitmaps, where `b = ⌈C^{1/n}⌉` and `r` is the
+//! smallest positive integer with `b^r (b−1)^{n−r} ≥ C`; one such index has
+//! base `<b−1, …, b−1, b, …, b>` (`r` copies of `b` at the least
+//! significant positions — the time-better arrangement).
+//!
+//! The space-optimal index is generally not unique; following Section 7,
+//! [`space_optimal_best_time`] finds the most time-efficient index among
+//! all equally space-optimal ones with the same number of components
+//! (these are the points plotted in Figures 10 and 11).
+
+use crate::base::Base;
+use crate::cost::time_range_paper;
+use crate::error::{Error, Result};
+
+use super::{ceil_nth_root, range_space};
+
+/// The maximum useful number of components: `⌈log2 C⌉` (more cannot stay
+/// well-defined while covering `C` minimally).
+pub fn max_components(c: u32) -> usize {
+    assert!(c >= 2, "cardinality must be at least 2");
+    (32 - (c - 1).leading_zeros()) as usize
+}
+
+/// The `n`-component space-optimal index of Theorem 6.1(1).
+pub fn space_optimal(c: u32, n: usize) -> Result<Base> {
+    if n == 0 || n > max_components(c) {
+        return Err(Error::Infeasible(format!(
+            "no well-defined {n}-component index for C = {c} (max {})",
+            max_components(c)
+        )));
+    }
+    let b = ceil_nth_root(c, n);
+    debug_assert!(b >= 2);
+    let r = (1..=n)
+        .find(|&r| {
+            // b^r (b-1)^(n-r) >= C
+            let mut acc: u128 = 1;
+            for _ in 0..r {
+                acc = acc.saturating_mul(u128::from(b));
+            }
+            for _ in 0..n - r {
+                acc = acc.saturating_mul(u128::from(b - 1));
+            }
+            acc >= u128::from(c)
+        })
+        .expect("r = n always satisfies b^n >= C");
+    // r copies of b at the least significant positions, b−1 above.
+    let mut lsb = vec![b; r];
+    lsb.extend(std::iter::repeat_n(b - 1, n - r));
+    Base::new(lsb)
+}
+
+/// Number of bitmaps of the `n`-component space-optimal index:
+/// `n(b − 2) + r` (Theorem 6.1(1)).
+pub fn space_optimal_bitmaps(c: u32, n: usize) -> Result<u64> {
+    let base = space_optimal(c, n)?;
+    Ok(range_space(&base))
+}
+
+/// The most time-efficient index among all `n`-component indexes that are
+/// space-optimal (minimum bitmap count) for cardinality `c` — the points
+/// of the space-optimal tradeoff graph (Figures 10–11) and, for `n = 2`,
+/// the knee index of Theorem 7.1.
+pub fn space_optimal_best_time(c: u32, n: usize) -> Result<Base> {
+    let min_space = space_optimal_bitmaps(c, n)?;
+    // Σ b_i is fixed at min_space + n; enumerate descending multisets with
+    // that sum whose product covers C, and pick the best time. The best
+    // arrangement always puts the largest base at component 1.
+    let sum = (min_space + n as u64) as u32;
+    let mut best: Option<(f64, Base)> = None;
+    let mut stack: Vec<u32> = Vec::with_capacity(n);
+    enumerate_fixed_sum(c, n, sum, c, &mut stack, &mut |multiset| {
+        let base = Base::best_arrangement(multiset.to_vec()).expect("valid multiset");
+        let t = time_range_paper(&base);
+        match &best {
+            Some((bt, _)) if *bt <= t => {}
+            _ => best = Some((t, base)),
+        }
+    });
+    best.map(|(_, b)| b)
+        .ok_or_else(|| Error::Infeasible(format!("no {n}-component base with sum {sum} covers {c}")))
+}
+
+/// Enumerates descending multisets of length `n`, entries in `[2, cap]`,
+/// with exact element sum `sum` and product `≥ c`.
+fn enumerate_fixed_sum(
+    c: u32,
+    n: usize,
+    sum: u32,
+    cap: u32,
+    stack: &mut Vec<u32>,
+    f: &mut impl FnMut(&[u32]),
+) {
+    if n == 0 {
+        if sum == 0 {
+            let prod = stack
+                .iter()
+                .fold(1u128, |acc, &b| acc.saturating_mul(u128::from(b)));
+            if prod >= u128::from(c) {
+                f(stack);
+            }
+        }
+        return;
+    }
+    // Each remaining entry is >= 2 and <= cap; entry b needs sum-b splittable.
+    let remaining_min = 2 * (n as u32 - 1);
+    if sum < 2 + remaining_min {
+        return;
+    }
+    let hi = cap.min(sum - remaining_min);
+    for b in (2..=hi).rev() {
+        // Descending: later entries <= b, so they can sum to at most b*(n-1).
+        if u64::from(sum - b) > u64::from(b) * (n as u64 - 1) {
+            continue;
+        }
+        stack.push(b);
+        enumerate_fixed_sum(c, n - 1, sum - b, b, stack, f);
+        stack.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_components_values() {
+        assert_eq!(max_components(2), 1);
+        assert_eq!(max_components(3), 2);
+        assert_eq!(max_components(1000), 10);
+        assert_eq!(max_components(1024), 10);
+        assert_eq!(max_components(1025), 11);
+    }
+
+    #[test]
+    fn theorem61_paper_example() {
+        // C = 100: the base-<3,3,...> example from Section 6 — for C=100,
+        // n=2: b = 10, r: 10*9 = 90 < 100, 10*10 >= 100 -> r = 2 -> <10,10>.
+        let b = space_optimal(100, 2).unwrap();
+        assert_eq!(b.to_msb_vec(), vec![10, 10]);
+        assert_eq!(space_optimal_bitmaps(100, 2).unwrap(), 18);
+    }
+
+    #[test]
+    fn nonunique_example_c100_n2_note() {
+        // The paper notes for C = 100 that base-<10,10> and others can tie;
+        // its example: C = 100, <3,3,...>? For C = 12, n = 2: b = 4,
+        // r: 4*3 = 12 >= 12 -> r = 1 -> base <3,4>, 5 bitmaps.
+        let b = space_optimal(12, 2).unwrap();
+        assert_eq!(b.to_msb_vec(), vec![3, 4]);
+        assert_eq!(space_optimal_bitmaps(12, 2).unwrap(), 5);
+    }
+
+    #[test]
+    fn space_optimal_is_minimal_among_tight() {
+        // Against brute force: no tight n-component base may use fewer bitmaps.
+        for c in [10u32, 50, 100, 257] {
+            for n in 1..=max_components(c) {
+                let claimed = space_optimal_bitmaps(c, n).unwrap();
+                let brute = crate::base::tight_bases(c, n)
+                    .into_iter()
+                    .filter(|b| b.n_components() == n)
+                    .map(|b| range_space(&b))
+                    .min();
+                if let Some(brute) = brute {
+                    assert_eq!(claimed, brute, "C={c} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn space_nonincreasing_in_components() {
+        // Theorem 6.1(2).
+        for c in [50u32, 100, 1000] {
+            let mut prev = u64::MAX;
+            for n in 1..=max_components(c) {
+                let s = space_optimal_bitmaps(c, n).unwrap();
+                assert!(s <= prev, "C={c} n={n}: {s} > {prev}");
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn max_component_index_is_all_twos() {
+        let b = space_optimal(1000, 10).unwrap();
+        assert_eq!(b.to_msb_vec(), vec![2; 10]);
+        assert_eq!(space_optimal_bitmaps(1000, 10).unwrap(), 10);
+    }
+
+    #[test]
+    fn best_time_matches_space_and_improves_time() {
+        for c in [100u32, 1000] {
+            for n in 2..=4 {
+                let canonical = space_optimal(c, n).unwrap();
+                let best = space_optimal_best_time(c, n).unwrap();
+                assert_eq!(range_space(&best), range_space(&canonical), "C={c} n={n}");
+                assert!(best.covers(c));
+                assert!(
+                    time_range_paper(&best) <= time_range_paper(&canonical) + 1e-12,
+                    "C={c} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn best_time_c1000_n2_is_theorem71_knee() {
+        // Cross-check with Theorem 7.1's closed form: <28, 36>.
+        let best = space_optimal_best_time(1000, 2).unwrap();
+        assert_eq!(best.to_msb_vec(), vec![28, 36]);
+    }
+
+    #[test]
+    fn infeasible_component_counts_rejected() {
+        assert!(space_optimal(1000, 0).is_err());
+        assert!(space_optimal(1000, 11).is_err());
+        assert!(space_optimal(4, 2).is_ok());
+    }
+}

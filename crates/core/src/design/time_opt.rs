@@ -1,0 +1,101 @@
+//! Time-optimal indexes (Theorem 6.1, results 3–4) — point (D) of
+//! Figure 2.
+//!
+//! The `n`-component time-optimal index has base
+//! `<2, …, 2, ⌈C / 2^{n−1}⌉>` — `n−1` binary components above one large
+//! least-significant component (Theorem 6.1(3)) — and time-efficiency
+//! degrades as `n` grows (Theorem 6.1(4)), so the global time optimum is
+//! the single-component index `<C>` with `Time = (4/3)(1 − 1/C)`.
+
+use crate::base::Base;
+use crate::error::{Error, Result};
+
+use super::space_opt::max_components;
+
+/// The `n`-component time-optimal index of Theorem 6.1(3).
+pub fn time_optimal(c: u32, n: usize) -> Result<Base> {
+    if n == 0 || n > max_components(c) {
+        return Err(Error::Infeasible(format!(
+            "no well-defined {n}-component index for C = {c} (max {})",
+            max_components(c)
+        )));
+    }
+    // b_1 = ceil(C / 2^{n-1}); guaranteed >= 2 because n <= ceil(log2 C).
+    let denom: u64 = 1u64 << (n - 1);
+    let b1 = u64::from(c).div_ceil(denom).max(2) as u32;
+    let mut lsb = vec![b1];
+    lsb.extend(std::iter::repeat_n(2, n - 1));
+    Base::new(lsb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::tight_bases;
+    use crate::cost::time_range_paper;
+
+    #[test]
+    fn shapes() {
+        assert_eq!(time_optimal(1000, 1).unwrap().to_msb_vec(), vec![1000]);
+        assert_eq!(time_optimal(1000, 2).unwrap().to_msb_vec(), vec![2, 500]);
+        assert_eq!(time_optimal(1000, 3).unwrap().to_msb_vec(), vec![2, 2, 250]);
+        assert_eq!(
+            time_optimal(1000, 10).unwrap().to_msb_vec(),
+            vec![2, 2, 2, 2, 2, 2, 2, 2, 2, 2]
+        );
+        // C = 1001 needs 11 binary components; with n = 10 the least
+        // significant base rounds up to ceil(1001/512) = 2 -> still all 2s,
+        // which no longer covers; max_components(1001) = 10, so the base is
+        // <2,...,2, 2> with product 1024 >= 1001.
+        assert_eq!(time_optimal(1001, 10).unwrap().to_msb_vec(), vec![2; 10]);
+    }
+
+    #[test]
+    fn beats_every_tight_same_n_base() {
+        // Exhaustive check of Theorem 6.1(3) against enumeration.
+        for c in [30u32, 100, 250] {
+            for n in 1..=3usize {
+                let opt = time_optimal(c, n).unwrap();
+                let t_opt = time_range_paper(&opt);
+                for other in tight_bases(c, n)
+                    .into_iter()
+                    .filter(|b| b.n_components() == n)
+                {
+                    assert!(
+                        t_opt <= time_range_paper(&other) + 1e-12,
+                        "C={c} n={n}: {opt} ({t_opt}) vs {other} ({})",
+                        time_range_paper(&other)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn time_nondecreasing_in_components() {
+        // Theorem 6.1(4).
+        for c in [50u32, 1000] {
+            let mut prev = 0.0f64;
+            for n in 1..=max_components(c) {
+                let t = time_range_paper(&time_optimal(c, n).unwrap());
+                assert!(t >= prev - 1e-12, "C={c} n={n}: {t} < {prev}");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn covers_cardinality() {
+        for c in [17u32, 100, 999, 1000] {
+            for n in 1..=max_components(c) {
+                assert!(time_optimal(c, n).unwrap().covers(c), "C={c} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(time_optimal(1000, 0).is_err());
+        assert!(time_optimal(1000, 11).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for the core index layer.
+
+/// Errors raised by index construction, evaluation, and design routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A base sequence was empty or contained a number `< 2`.
+    InvalidBase(String),
+    /// The base does not cover the attribute cardinality (`Π b_i < C`).
+    BaseTooSmall {
+        /// Product of the base numbers.
+        product: u128,
+        /// Attribute cardinality that must be covered.
+        cardinality: u32,
+    },
+    /// A value or predicate constant was outside `0 .. C`.
+    ValueOutOfRange {
+        /// The offending value.
+        value: u32,
+        /// The attribute cardinality.
+        cardinality: u32,
+    },
+    /// An evaluation algorithm was applied to an index with the wrong
+    /// encoding (e.g. RangeEval-Opt on an equality-encoded index).
+    EncodingMismatch {
+        /// What the algorithm requires.
+        expected: &'static str,
+        /// What the index uses.
+        actual: &'static str,
+    },
+    /// A design problem has no solution (e.g. space constraint below the
+    /// space-optimal index).
+    Infeasible(String),
+    /// An index invariant check failed.
+    CorruptIndex(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::InvalidBase(msg) => write!(f, "invalid base: {msg}"),
+            Error::BaseTooSmall {
+                product,
+                cardinality,
+            } => write!(
+                f,
+                "base product {product} does not cover attribute cardinality {cardinality}"
+            ),
+            Error::ValueOutOfRange { value, cardinality } => {
+                write!(f, "value {value} out of range for cardinality {cardinality}")
+            }
+            Error::EncodingMismatch { expected, actual } => {
+                write!(f, "algorithm requires {expected} encoding, index is {actual}")
+            }
+            Error::Infeasible(msg) => write!(f, "infeasible design problem: {msg}"),
+            Error::CorruptIndex(msg) => write!(f, "index invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,351 @@
+//! Evaluation algorithm for **interval-encoded** indexes — an extension
+//! beyond the paper, implementing the encoding Chan & Ioannidis published
+//! the following year ("An Efficient Bitmap Encoding Scheme for Selection
+//! Queries", SIGMOD 1999) as the natural next point in this paper's
+//! design space.
+//!
+//! A component with base `b` stores `m = ⌈b/2⌉` bitmaps; window bitmap
+//! `I^j` has a bit set iff the digit lies in `[j, j+m−1]`. Every digit in
+//! `[0, 2m−2]` is covered by at least one window; for even `b` the top
+//! digit `b−1 = 2m−1` is covered by none (it is identified as the
+//! complement of `I^0 ∨ I^{m−1}`). The pay-off: both the equality and the
+//! `≤` digit predicates need **at most two bitmap scans**, at roughly
+//! *half* the space of range encoding:
+//!
+//! ```text
+//! d = v:  I^v ∧ ¬I^{v+1}          (v ≤ m−2)
+//!         I^{m−1} ∧ I^0           (v = m−1)
+//!         I^{v−m+1} ∧ ¬I^{v−m}    (m ≤ v ≤ 2m−2)
+//!         ¬(I^0 ∨ I^{m−1})        (v = 2m−1, even b)
+//! d ≤ v:  I^0 ∧ ¬I^{v+1}          (v ≤ m−2)
+//!         I^0                     (v = m−1)
+//!         I^0 ∨ I^{v−m+1}         (m ≤ v ≤ 2m−2)
+//!         all ones                (v = b−1)
+//! ```
+//!
+//! Multi-component queries chain exactly like the other evaluators:
+//! `R_i = (d_i < v_i) ∨ ((d_i = v_i) ∧ R_{i−1})`.
+
+use bindex_bitvec::BitVec;
+use bindex_relation::query::{Op, SelectionQuery};
+
+use crate::base::Base;
+use crate::exec::ExecContext;
+use crate::index::BitmapSource;
+
+use super::digits_of;
+
+/// Number of window bitmaps for a component with base `b`.
+pub fn windows_of(b: u32) -> u32 {
+    b.div_ceil(2)
+}
+
+/// Evaluates `query` on an interval-encoded index. The encoding is
+/// enforced by the dispatcher in [`super::evaluate`].
+pub fn evaluate<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, query: SelectionQuery) -> BitVec {
+    let n_rows = ctx.n_rows();
+    let v = query.constant;
+
+    let (le_value, complement) = match query.op {
+        Op::Le => (Some(v), false),
+        Op::Gt => (Some(v), true),
+        Op::Lt => {
+            if v == 0 {
+                return BitVec::zeros(n_rows);
+            }
+            (Some(v - 1), false)
+        }
+        Op::Ge => {
+            if v == 0 {
+                let mut all = BitVec::ones(n_rows);
+                if let Some(nn) = ctx.fetch_nn() {
+                    ctx.and(&mut all, &nn);
+                }
+                return all;
+            }
+            (Some(v - 1), true)
+        }
+        Op::Eq => (None, false),
+        Op::Ne => (None, true),
+    };
+
+    let mut b = match le_value {
+        Some(le) => le_chain(ctx, le),
+        None => eq_chain(ctx, v),
+    };
+
+    if complement {
+        ctx.not(&mut b);
+    }
+    if let Some(nn) = ctx.fetch_nn() {
+        ctx.and(&mut b, &nn);
+    }
+    b
+}
+
+/// `d_i = v` for one component (see module table).
+fn eq_digit<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, comp: usize, v: u32) -> BitVec {
+    let b = ctx.spec().base.component(comp);
+    let m = windows_of(b);
+    if m == 1 {
+        // b <= 2: I^0 = {0}.
+        let w = (*ctx.fetch(comp, 0)).clone();
+        if v == 0 {
+            w
+        } else {
+            let mut out = w;
+            ctx.not(&mut out);
+            out
+        }
+    } else if b % 2 == 0 && v == b - 1 {
+        // uncovered top digit: ¬(I^0 ∨ I^{m−1})
+        let w0 = ctx.fetch(comp, 0);
+        let wt = ctx.fetch(comp, m as usize - 1);
+        let mut out = (*w0).clone();
+        ctx.or(&mut out, &wt);
+        ctx.not(&mut out);
+        out
+    } else if v == m - 1 {
+        // I^{m−1} ∧ I^0
+        let wt = ctx.fetch(comp, m as usize - 1);
+        let w0 = ctx.fetch(comp, 0);
+        let mut out = (*wt).clone();
+        ctx.and(&mut out, &w0);
+        out
+    } else if v <= m - 2 {
+        // I^v ∧ ¬I^{v+1}
+        let wv = ctx.fetch(comp, v as usize);
+        let wn = ctx.fetch(comp, v as usize + 1);
+        let mut out = (*wv).clone();
+        ctx.and_not(&mut out, &wn);
+        out
+    } else {
+        // m <= v <= 2m−2: I^{v−m+1} ∧ ¬I^{v−m}
+        let hi = ctx.fetch(comp, (v - m + 1) as usize);
+        let lo = ctx.fetch(comp, (v - m) as usize);
+        let mut out = (*hi).clone();
+        ctx.and_not(&mut out, &lo);
+        out
+    }
+}
+
+/// `d_i ≤ v` for one component; `None` means "all ones" (no work).
+fn le_digit<S: BitmapSource>(
+    ctx: &mut ExecContext<'_, S>,
+    comp: usize,
+    v: u32,
+) -> Option<BitVec> {
+    let b = ctx.spec().base.component(comp);
+    let m = windows_of(b);
+    if v >= b - 1 {
+        return None;
+    }
+    Some(if m == 1 {
+        // b == 2, v == 0: exactly I^0.
+        (*ctx.fetch(comp, 0)).clone()
+    } else if v <= m - 2 {
+        // I^0 ∧ ¬I^{v+1}
+        let w0 = ctx.fetch(comp, 0);
+        let wn = ctx.fetch(comp, v as usize + 1);
+        let mut out = (*w0).clone();
+        ctx.and_not(&mut out, &wn);
+        out
+    } else if v == m - 1 {
+        (*ctx.fetch(comp, 0)).clone()
+    } else {
+        // m <= v <= 2m−2: I^0 ∨ I^{v−m+1}
+        let w0 = ctx.fetch(comp, 0);
+        let wk = ctx.fetch(comp, (v - m + 1) as usize);
+        let mut out = (*w0).clone();
+        ctx.or(&mut out, &wk);
+        out
+    })
+}
+
+fn le_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, le: u32) -> BitVec {
+    let digits = digits_of(ctx, le);
+    let n = ctx.spec().n_components();
+    let mut b = match le_digit(ctx, 1, digits[0]) {
+        Some(bm) => bm,
+        None => BitVec::ones(ctx.n_rows()),
+    };
+    for i in 2..=n {
+        let vi = digits[i - 1];
+        // R = (d_i < v_i) ∨ ((d_i = v_i) ∧ R)
+        let eq = eq_digit(ctx, i, vi);
+        ctx.and(&mut b, &eq);
+        if vi > 0 {
+            if let Some(lt) = le_digit(ctx, i, vi - 1) {
+                ctx.or(&mut b, &lt);
+            } else {
+                unreachable!("d < v_i with v_i - 1 = b - 1 would make d <= v_i trivial");
+            }
+        }
+    }
+    b
+}
+
+fn eq_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, v: u32) -> BitVec {
+    let digits = digits_of(ctx, v);
+    let n = ctx.spec().n_components();
+    let mut b = eq_digit(ctx, 1, digits[0]);
+    for i in 2..=n {
+        let bm = eq_digit(ctx, i, digits[i - 1]);
+        ctx.and(&mut b, &bm);
+    }
+    b
+}
+
+/// Stored window slots a digit-level helper touches (for the predictor).
+fn eq_slots(b: u32, v: u32) -> Vec<u32> {
+    let m = windows_of(b);
+    if m == 1 {
+        vec![0]
+    } else if b % 2 == 0 && v == b - 1 {
+        vec![0, m - 1]
+    } else if v == m - 1 {
+        vec![m - 1, 0]
+    } else if v <= m - 2 {
+        vec![v, v + 1]
+    } else {
+        vec![v - m + 1, v - m]
+    }
+}
+
+fn le_slots(b: u32, v: u32) -> Vec<u32> {
+    let m = windows_of(b);
+    if v >= b - 1 {
+        vec![]
+    } else if m == 1 || v == m - 1 {
+        vec![0]
+    } else if v <= m - 2 {
+        vec![0, v + 1]
+    } else {
+        vec![0, v - m + 1]
+    }
+}
+
+/// Predicted scan count (distinct stored bitmaps) of one query — mirrors
+/// the evaluator exactly, including slot sharing between the `=` and `<`
+/// digit terms; validated against measured stats in the test suite.
+pub fn predicted_scans(base: &Base, query: SelectionQuery) -> usize {
+    let v = query.constant;
+    let le_value = match query.op {
+        Op::Le | Op::Gt => Some(v),
+        Op::Lt | Op::Ge => {
+            if v == 0 {
+                return 0;
+            }
+            Some(v - 1)
+        }
+        Op::Eq | Op::Ne => None,
+    };
+    let n = base.n_components();
+    match le_value {
+        None => {
+            let digits = base.decompose(v).expect("constant out of range");
+            (1..=n)
+                .map(|i| {
+                    let b = base.component(i);
+                    let mut slots = eq_slots(b, digits[i - 1]);
+                    slots.dedup();
+                    slots.sort_unstable();
+                    slots.dedup();
+                    slots.len()
+                })
+                .sum()
+        }
+        Some(le) => {
+            let digits = base.decompose(le).expect("constant out of range");
+            let mut scans = le_slots(base.component(1), digits[0]).len();
+            for i in 2..=n {
+                let b = base.component(i);
+                let vi = digits[i - 1];
+                let mut slots = eq_slots(b, vi);
+                if vi > 0 {
+                    slots.extend(le_slots(b, vi - 1));
+                }
+                slots.sort_unstable();
+                slots.dedup();
+                scans += slots.len();
+            }
+            scans
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{Encoding, IndexSpec};
+    use crate::eval::naive;
+    use crate::index::BitmapIndex;
+    use bindex_relation::{query, Column};
+
+    fn check_all_queries(column: &Column, base: Base) {
+        let spec = IndexSpec::new(base, Encoding::Interval);
+        let idx = BitmapIndex::build(column, spec).unwrap();
+        let mut src = idx.source();
+        let mut ctx = ExecContext::new(&mut src);
+        for q in query::full_space(column.cardinality()) {
+            let got = evaluate(&mut ctx, q);
+            let stats = ctx.take_stats();
+            let want = naive::evaluate(column, q);
+            assert_eq!(got, want, "query {q} base {}", idx.spec().base);
+            assert_eq!(
+                stats.scans,
+                predicted_scans(&idx.spec().base, q),
+                "scan prediction for {q} on {}",
+                idx.spec().base
+            );
+        }
+    }
+
+    #[test]
+    fn correct_on_single_component_bases() {
+        let col = Column::new(vec![3, 2, 1, 2, 8, 2, 2, 0, 7, 5, 6, 4], 9);
+        check_all_queries(&col, Base::single(9).unwrap()); // odd base
+        let col8 = Column::new(vec![3, 2, 1, 2, 7, 2, 2, 0, 6, 5, 4, 4], 8);
+        check_all_queries(&col8, Base::single(8).unwrap()); // even base
+    }
+
+    #[test]
+    fn correct_on_multi_component_bases() {
+        let col = Column::new(vec![3, 2, 1, 2, 8, 2, 2, 0, 7, 5, 6, 4], 9);
+        check_all_queries(&col, Base::from_msb(&[3, 3]).unwrap());
+        check_all_queries(&col, Base::from_msb(&[2, 5]).unwrap());
+        check_all_queries(&col, Base::from_msb(&[5, 2]).unwrap());
+        check_all_queries(&col, Base::from_msb(&[2, 2, 3]).unwrap());
+        check_all_queries(&col, Base::from_msb(&[4, 4]).unwrap()); // even comps
+    }
+
+    #[test]
+    fn le_needs_at_most_two_scans_single_component() {
+        let c = 17u32;
+        let col = Column::new((0..c).collect(), c);
+        let spec = IndexSpec::new(Base::single(c).unwrap(), Encoding::Interval);
+        let idx = BitmapIndex::build(&col, spec).unwrap();
+        let mut src = idx.source();
+        let mut ctx = ExecContext::new(&mut src);
+        for v in 0..c {
+            evaluate(&mut ctx, query::SelectionQuery::new(query::Op::Le, v));
+            let s = ctx.take_stats();
+            assert!(s.scans <= 2, "v={v}: {} scans", s.scans);
+        }
+        for v in 0..c {
+            evaluate(&mut ctx, query::SelectionQuery::new(query::Op::Eq, v));
+            let s = ctx.take_stats();
+            assert!(s.scans <= 2, "eq v={v}: {} scans", s.scans);
+        }
+    }
+
+    #[test]
+    fn interval_halves_range_encoding_space() {
+        for c in [9u32, 50, 100] {
+            let interval = IndexSpec::new(Base::single(c).unwrap(), Encoding::Interval);
+            let range = IndexSpec::new(Base::single(c).unwrap(), Encoding::Range);
+            assert_eq!(interval.stored_bitmaps(), u64::from(c.div_ceil(2)));
+            assert!(interval.stored_bitmaps() * 2 <= range.stored_bitmaps() + 2);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Evaluation algorithms for selection queries (Section 3).
+//!
+//! Four index-based evaluators are provided, plus a naive column scan as
+//! ground truth:
+//!
+//! * [`range_opt`] — **RangeEval-Opt**, the paper's improved algorithm for
+//!   range-encoded indexes (Figure 6, right). Evaluates every operator via
+//!   the `≤` chain using the identities `A < v ≡ A ≤ v−1`,
+//!   `A > v ≡ ¬(A ≤ v)`, `A ≥ v ≡ ¬(A ≤ v−1)`.
+//! * [`range_eval`] — **RangeEval**, O'Neil & Quass's Algorithm 4.3
+//!   (Figure 6, left), which incrementally maintains `B_EQ` and `B_LT`/`B_GT`.
+//! * [`equality`] — the evaluator for equality-encoded indexes
+//!   (reconstructed; the paper defers its listing to the tech report).
+//! * [`interval`] — the evaluator for the extension interval encoding
+//!   (Chan & Ioannidis, SIGMOD 1999).
+//! * [`naive`] — a direct column scan used as the correctness oracle.
+//!
+//! All index evaluators run through an [`ExecContext`](crate::exec) and
+//! report exact [`EvalStats`](crate::exec) statistics.
+
+pub mod equality;
+pub mod interval;
+pub mod naive;
+pub mod range_eval;
+pub mod range_opt;
+
+use bindex_bitvec::BitVec;
+use bindex_relation::query::SelectionQuery;
+
+use crate::encoding::Encoding;
+use crate::error::{Error, Result};
+use crate::exec::{BufferSet, EvalStats, ExecContext};
+use crate::index::BitmapSource;
+
+/// Which evaluation algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// O'Neil & Quass's RangeEval (range encoding only).
+    RangeEval,
+    /// The paper's RangeEval-Opt (range encoding only).
+    RangeEvalOpt,
+    /// The equality-encoded evaluator.
+    EqualityEval,
+    /// The interval-encoded evaluator (extension; SIGMOD 1999 encoding).
+    IntervalEval,
+    /// Pick by encoding: Range → RangeEval-Opt, Equality → EqualityEval,
+    /// Interval → IntervalEval.
+    Auto,
+}
+
+impl Algorithm {
+    /// Resolves `Auto` against an encoding.
+    pub fn resolve(self, encoding: Encoding) -> Algorithm {
+        match self {
+            Algorithm::Auto => match encoding {
+                Encoding::Range => Algorithm::RangeEvalOpt,
+                Encoding::Equality => Algorithm::EqualityEval,
+                Encoding::Interval => Algorithm::IntervalEval,
+            },
+            other => other,
+        }
+    }
+}
+
+/// Evaluates one query against a bitmap source, returning the foundset and
+/// the exact evaluation statistics.
+pub fn evaluate<S: BitmapSource>(
+    source: &mut S,
+    query: SelectionQuery,
+    algorithm: Algorithm,
+) -> Result<(BitVec, EvalStats)> {
+    let mut ctx = ExecContext::new(source);
+    let found = evaluate_in(&mut ctx, query, algorithm)?;
+    let stats = ctx.take_stats();
+    Ok((found, stats))
+}
+
+/// Like [`evaluate`], with a buffer pool whose resident bitmaps scan for
+/// free (Section 10).
+pub fn evaluate_buffered<S: BitmapSource>(
+    source: &mut S,
+    buffer: &BufferSet,
+    query: SelectionQuery,
+    algorithm: Algorithm,
+) -> Result<(BitVec, EvalStats)> {
+    let mut ctx = ExecContext::with_buffer(source, buffer);
+    let found = evaluate_in(&mut ctx, query, algorithm)?;
+    let stats = ctx.take_stats();
+    Ok((found, stats))
+}
+
+/// Evaluates within an existing context (stats accumulate; call
+/// `ctx.take_stats()` between queries).
+pub fn evaluate_in<S: BitmapSource>(
+    ctx: &mut ExecContext<'_, S>,
+    query: SelectionQuery,
+    algorithm: Algorithm,
+) -> Result<BitVec> {
+    let encoding = ctx.spec().encoding;
+    match algorithm.resolve(encoding) {
+        Algorithm::RangeEvalOpt => {
+            require(encoding, Encoding::Range)?;
+            Ok(range_opt::evaluate(ctx, query))
+        }
+        Algorithm::RangeEval => {
+            require(encoding, Encoding::Range)?;
+            Ok(range_eval::evaluate(ctx, query))
+        }
+        Algorithm::EqualityEval => {
+            require(encoding, Encoding::Equality)?;
+            Ok(equality::evaluate(ctx, query))
+        }
+        Algorithm::IntervalEval => {
+            require(encoding, Encoding::Interval)?;
+            Ok(interval::evaluate(ctx, query))
+        }
+        Algorithm::Auto => unreachable!("resolved above"),
+    }
+}
+
+/// Average per-query statistics over a workload.
+pub fn workload_average<S: BitmapSource>(
+    source: &mut S,
+    queries: &[SelectionQuery],
+    algorithm: Algorithm,
+) -> Result<WorkloadStats> {
+    let mut ctx = ExecContext::new(source);
+    let mut total = EvalStats::default();
+    for &q in queries {
+        evaluate_in(&mut ctx, q, algorithm)?;
+        total.add(&ctx.take_stats());
+    }
+    Ok(WorkloadStats {
+        queries: queries.len(),
+        total,
+    })
+}
+
+/// Aggregated statistics over a query workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadStats {
+    /// Number of queries evaluated.
+    pub queries: usize,
+    /// Sum of per-query statistics.
+    pub total: EvalStats,
+}
+
+impl WorkloadStats {
+    /// Average bitmap scans per query — the paper's **time metric**.
+    pub fn avg_scans(&self) -> f64 {
+        self.total.scans as f64 / self.queries.max(1) as f64
+    }
+
+    /// Average bitmap operations per query.
+    pub fn avg_ops(&self) -> f64 {
+        self.total.total_ops() as f64 / self.queries.max(1) as f64
+    }
+}
+
+fn require(actual: Encoding, expected: Encoding) -> Result<()> {
+    if actual == expected {
+        Ok(())
+    } else {
+        Err(Error::EncodingMismatch {
+            expected: expected.name(),
+            actual: actual.name(),
+        })
+    }
+}
+
+/// Digit decomposition of a predicate constant, least significant first.
+/// Constants are `< C ≤ Π b_i`, so decomposition cannot fail.
+pub(crate) fn digits_of<S: BitmapSource>(ctx: &ExecContext<'_, S>, v: u32) -> Vec<u32> {
+    ctx.spec()
+        .base
+        .decompose(v)
+        .expect("predicate constant exceeds base product")
+}

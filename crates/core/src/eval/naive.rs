@@ -1,0 +1,57 @@
+//! Naive column-scan evaluation — the correctness oracle for every
+//! index-based evaluator.
+
+use bindex_bitvec::BitVec;
+use bindex_relation::query::SelectionQuery;
+use bindex_relation::Column;
+
+/// Evaluates `query` by scanning the column; returns the foundset bitmap.
+pub fn evaluate(column: &Column, query: SelectionQuery) -> BitVec {
+    BitVec::from_fn(column.len(), |rid| query.matches(column.get(rid)))
+}
+
+/// Like [`evaluate`] but rows flagged in `null_mask` never qualify
+/// (SQL three-valued logic: a comparison with NULL is not true).
+pub fn evaluate_with_nulls(
+    column: &Column,
+    null_mask: &BitVec,
+    query: SelectionQuery,
+) -> BitVec {
+    BitVec::from_fn(column.len(), |rid| {
+        !null_mask.get(rid) && query.matches(column.get(rid))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bindex_relation::query::Op;
+
+    #[test]
+    fn scan_matches_semantics() {
+        let col = Column::new(vec![3, 0, 5, 3, 1], 6);
+        let q = SelectionQuery::new(Op::Le, 3);
+        assert_eq!(
+            evaluate(&col, q).iter_ones().collect::<Vec<_>>(),
+            vec![0, 1, 3, 4]
+        );
+        let q = SelectionQuery::new(Op::Ne, 3);
+        assert_eq!(
+            evaluate(&col, q).iter_ones().collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
+    }
+
+    #[test]
+    fn nulls_never_qualify() {
+        let col = Column::new(vec![3, 0, 5], 6);
+        let nulls = BitVec::from_indices(3, &[1]);
+        let q = SelectionQuery::new(Op::Ne, 5);
+        assert_eq!(
+            evaluate_with_nulls(&col, &nulls, q)
+                .iter_ones()
+                .collect::<Vec<_>>(),
+            vec![0]
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! Query-execution context: bitmap fetching with scan accounting, bitmap
+//! operations with operation accounting, and buffer-pool residency.
+//!
+//! The paper's cost model counts two things per query (Section 4):
+//!
+//! * **bitmap scans** — distinct stored bitmaps read from storage. A bitmap
+//!   referenced twice within one evaluation (RangeEval uses `B_i^{v_i}` for
+//!   both its `B_GT` and `B_EQ` updates) is scanned once and then held in
+//!   working memory, so [`ExecContext`] deduplicates fetches per query.
+//! * **bitmap operations** — each executed AND/OR/XOR/NOT, by kind.
+//!
+//! Virtual bitmaps (`B_0` all zeros, `B_1` all ones, the absent `B_nn`)
+//! cost no scan. If a [`BufferSet`] is attached, fetches of resident
+//! bitmaps cost no scan either (Section 10's buffering model).
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use bindex_bitvec::BitVec;
+
+use crate::encoding::IndexSpec;
+use crate::index::BitmapSource;
+
+/// Per-query evaluation statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Distinct stored bitmaps read from storage.
+    pub scans: usize,
+    /// AND operations executed.
+    pub ands: usize,
+    /// OR operations executed.
+    pub ors: usize,
+    /// XOR operations executed.
+    pub xors: usize,
+    /// NOT operations executed.
+    pub nots: usize,
+    /// Fetches served by the buffer pool (no scan charged).
+    pub buffer_hits: usize,
+}
+
+impl EvalStats {
+    /// Total bitmap operations of all kinds.
+    pub fn total_ops(&self) -> usize {
+        self.ands + self.ors + self.xors + self.nots
+    }
+
+    /// Accumulates another query's stats (for workload averages).
+    pub fn add(&mut self, other: &EvalStats) {
+        self.scans += other.scans;
+        self.ands += other.ands;
+        self.ors += other.ors;
+        self.xors += other.xors;
+        self.nots += other.nots;
+        self.buffer_hits += other.buffer_hits;
+    }
+}
+
+/// The set of bitmaps held resident in memory by a buffering policy
+/// (Section 10). Keys are `(component, slot)` with 1-based components.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BufferSet {
+    resident: HashSet<(usize, usize)>,
+}
+
+impl BufferSet {
+    /// Empty buffer (no bitmaps resident).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds from explicit `(component, slot)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        Self {
+            resident: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Marks a bitmap resident.
+    pub fn insert(&mut self, comp: usize, slot: usize) {
+        self.resident.insert((comp, slot));
+    }
+
+    /// Whether a bitmap is resident.
+    pub fn contains(&self, comp: usize, slot: usize) -> bool {
+        self.resident.contains(&(comp, slot))
+    }
+
+    /// Number of resident bitmaps (`m` in the paper's notation).
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// `true` if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+}
+
+/// Execution context wrapping a [`BitmapSource`] with accounting.
+pub struct ExecContext<'a, S: BitmapSource> {
+    source: &'a mut S,
+    buffer: Option<&'a BufferSet>,
+    stats: EvalStats,
+    /// Per-query cache of fetched bitmaps, so repeated references within
+    /// one evaluation cost a single scan.
+    fetched: HashMap<(usize, usize), Rc<BitVec>>,
+}
+
+impl<'a, S: BitmapSource> ExecContext<'a, S> {
+    /// Creates a context with no buffer pool.
+    pub fn new(source: &'a mut S) -> Self {
+        Self {
+            source,
+            buffer: None,
+            stats: EvalStats::default(),
+            fetched: HashMap::new(),
+        }
+    }
+
+    /// Creates a context whose fetches of `buffer`-resident bitmaps are
+    /// free (no scan charged).
+    pub fn with_buffer(source: &'a mut S, buffer: &'a BufferSet) -> Self {
+        Self {
+            source,
+            buffer: Some(buffer),
+            stats: EvalStats::default(),
+            fetched: HashMap::new(),
+        }
+    }
+
+    /// The index layout being evaluated.
+    pub fn spec(&self) -> &IndexSpec {
+        self.source.spec()
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.source.n_rows()
+    }
+
+    /// Statistics accumulated since the last [`ExecContext::take_stats`].
+    pub fn stats(&self) -> &EvalStats {
+        &self.stats
+    }
+
+    /// Returns and resets the statistics, and clears the per-query fetch
+    /// cache. Call between queries.
+    pub fn take_stats(&mut self) -> EvalStats {
+        self.fetched.clear();
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Fetches stored bitmap `slot` of component `comp`, charging one scan
+    /// unless it was already fetched this query or is buffer-resident.
+    pub fn fetch(&mut self, comp: usize, slot: usize) -> Rc<BitVec> {
+        if let Some(bm) = self.fetched.get(&(comp, slot)) {
+            return Rc::clone(bm);
+        }
+        let resident = self.buffer.is_some_and(|b| b.contains(comp, slot));
+        if resident {
+            self.stats.buffer_hits += 1;
+        } else {
+            self.stats.scans += 1;
+        }
+        let bm = Rc::new(self.source.fetch(comp, slot));
+        self.fetched.insert((comp, slot), Rc::clone(&bm));
+        bm
+    }
+
+    /// Fetches the non-null bitmap if the index has one. Charged as a scan
+    /// (it is a stored bitmap) the first time per query.
+    pub fn fetch_nn(&mut self) -> Option<Rc<BitVec>> {
+        const NN_KEY: (usize, usize) = (0, usize::MAX);
+        if let Some(bm) = self.fetched.get(&NN_KEY) {
+            return Some(Rc::clone(bm));
+        }
+        let bm = Rc::new(self.source.fetch_nn()?);
+        self.stats.scans += 1;
+        self.fetched.insert(NN_KEY, Rc::clone(&bm));
+        Some(bm)
+    }
+
+    /// Counted AND: `acc &= rhs`.
+    pub fn and(&mut self, acc: &mut BitVec, rhs: &BitVec) {
+        acc.and_assign(rhs);
+        self.stats.ands += 1;
+    }
+
+    /// Counted OR: `acc |= rhs`.
+    pub fn or(&mut self, acc: &mut BitVec, rhs: &BitVec) {
+        acc.or_assign(rhs);
+        self.stats.ors += 1;
+    }
+
+    /// Counted XOR returning a fresh bitmap.
+    pub fn xor(&mut self, a: &BitVec, b: &BitVec) -> BitVec {
+        self.stats.xors += 1;
+        a.clone() ^ b
+    }
+
+    /// Counted NOT in place.
+    pub fn not(&mut self, acc: &mut BitVec) {
+        acc.not_assign();
+        self.stats.nots += 1;
+    }
+
+    /// Counted AND-NOT: `acc &= !rhs` (one AND plus one NOT, as the paper's
+    /// algorithms spell it).
+    pub fn and_not(&mut self, acc: &mut BitVec, rhs: &BitVec) {
+        acc.and_not_assign(rhs);
+        self.stats.ands += 1;
+        self.stats.nots += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{Encoding, IndexSpec};
+    use crate::index::BitmapIndex;
+    use bindex_relation::Column;
+
+    fn small_index() -> BitmapIndex {
+        let col = Column::new(vec![0, 1, 2, 3, 2, 1], 4);
+        BitmapIndex::build(
+            &col,
+            IndexSpec::new(crate::base::Base::single(4).unwrap(), Encoding::Range),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fetch_dedupes_within_query() {
+        let idx = small_index();
+        let mut src = idx.source();
+        let mut ctx = ExecContext::new(&mut src);
+        let a = ctx.fetch(1, 0);
+        let b = ctx.fetch(1, 0);
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(ctx.stats().scans, 1);
+        ctx.fetch(1, 1);
+        assert_eq!(ctx.stats().scans, 2);
+    }
+
+    #[test]
+    fn take_stats_resets_cache() {
+        let idx = small_index();
+        let mut src = idx.source();
+        let mut ctx = ExecContext::new(&mut src);
+        ctx.fetch(1, 0);
+        let s = ctx.take_stats();
+        assert_eq!(s.scans, 1);
+        ctx.fetch(1, 0); // new query: scan again
+        assert_eq!(ctx.stats().scans, 1);
+    }
+
+    #[test]
+    fn buffer_residency_skips_scan() {
+        let idx = small_index();
+        let mut src = idx.source();
+        let buf = BufferSet::from_pairs([(1, 0)]);
+        let mut ctx = ExecContext::with_buffer(&mut src, &buf);
+        ctx.fetch(1, 0);
+        ctx.fetch(1, 1);
+        assert_eq!(ctx.stats().scans, 1);
+        assert_eq!(ctx.stats().buffer_hits, 1);
+    }
+
+    #[test]
+    fn op_counting() {
+        let idx = small_index();
+        let mut src = idx.source();
+        let mut ctx = ExecContext::new(&mut src);
+        let mut acc = BitVec::ones(6);
+        let b = BitVec::zeros(6);
+        ctx.and(&mut acc, &b);
+        ctx.or(&mut acc, &b);
+        let _ = ctx.xor(&acc, &b);
+        ctx.not(&mut acc);
+        ctx.and_not(&mut acc, &b);
+        let s = ctx.stats();
+        assert_eq!((s.ands, s.ors, s.xors, s.nots), (2, 1, 1, 2));
+        assert_eq!(s.total_ops(), 6);
+    }
+}

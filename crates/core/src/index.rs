@@ -1,0 +1,484 @@
+//! In-memory bitmap index construction and the [`BitmapSource`] abstraction
+//! the evaluators read bitmaps through.
+
+use bindex_bitvec::BitVec;
+use bindex_relation::Column;
+
+use crate::encoding::{Encoding, IndexSpec};
+use crate::error::{Error, Result};
+
+/// Provider of stored bitmaps to the evaluation algorithms.
+///
+/// The in-memory [`BitmapIndex`] implements this directly (via
+/// [`BitmapIndex::source`]); the storage layer provides disk-backed
+/// implementations under the BS/CS/IS layouts. `fetch` models one *bitmap
+/// scan* of stored bitmap `slot` of component `comp` — the unit of the
+/// paper's time metric. Slot numbering follows the storage rule of
+/// [`Encoding`]: range components store `B^0 … B^{b−2}` in slots
+/// `0 … b−2`; equality components with `b > 2` store `E^0 … E^{b−1}`,
+/// and `b = 2` components store only `E^1` in slot 0.
+pub trait BitmapSource {
+    /// The index layout this source serves.
+    fn spec(&self) -> &IndexSpec;
+
+    /// Number of rows (bits per bitmap).
+    fn n_rows(&self) -> usize;
+
+    /// Reads stored bitmap `slot` of component `comp` (1-based component,
+    /// 0-based slot).
+    fn fetch(&mut self, comp: usize, slot: usize) -> BitVec;
+
+    /// The non-null bitmap `B_nn`, or `None` when the attribute has no
+    /// nulls (then `B_nn` is implicitly all ones and costs nothing).
+    fn fetch_nn(&mut self) -> Option<BitVec>;
+}
+
+/// An in-memory bitmap index over one attribute.
+///
+/// `components[i-1][j]` is stored bitmap `j` of component `i`.
+#[derive(Debug, Clone)]
+pub struct BitmapIndex {
+    spec: IndexSpec,
+    n_rows: usize,
+    cardinality: u32,
+    components: Vec<Vec<BitVec>>,
+    nn: Option<BitVec>,
+}
+
+impl BitmapIndex {
+    /// Builds the index for `column` under `spec`.
+    ///
+    /// Fails if the base does not cover the column's cardinality.
+    pub fn build(column: &Column, spec: IndexSpec) -> Result<Self> {
+        Self::build_inner(column, None, spec)
+    }
+
+    /// Builds the index for a column with nulls: rows flagged in
+    /// `null_mask` are excluded from every bitmap, and the complement of
+    /// the mask is kept as the non-null bitmap `B_nn`.
+    pub fn build_with_nulls(column: &Column, null_mask: &BitVec, spec: IndexSpec) -> Result<Self> {
+        if null_mask.len() != column.len() {
+            return Err(Error::CorruptIndex(format!(
+                "null mask has {} bits for {} rows",
+                null_mask.len(),
+                column.len()
+            )));
+        }
+        Self::build_inner(column, Some(null_mask), spec)
+    }
+
+    fn build_inner(column: &Column, null_mask: Option<&BitVec>, spec: IndexSpec) -> Result<Self> {
+        spec.check_covers(column.cardinality())?;
+        let n_rows = column.len();
+        let n = spec.n_components();
+        let mut components: Vec<Vec<BitVec>> = (1..=n)
+            .map(|i| vec![BitVec::zeros(n_rows); spec.stored_in_component(i) as usize])
+            .collect();
+
+        // Precompute digit decompositions of each attribute value once.
+        let card = column.cardinality();
+        let mut digit_table: Vec<Vec<u32>> = Vec::with_capacity(card as usize);
+        for v in 0..card {
+            digit_table.push(spec.base.decompose(v)?);
+        }
+
+        for (rid, &v) in column.values().iter().enumerate() {
+            if let Some(mask) = null_mask {
+                if mask.get(rid) {
+                    continue;
+                }
+            }
+            let digits = &digit_table[v as usize];
+            for (ci, &digit) in digits.iter().enumerate() {
+                let b = spec.base.component(ci + 1);
+                let bitmaps = &mut components[ci];
+                match spec.encoding {
+                    Encoding::Equality => {
+                        if b == 2 {
+                            if digit == 1 {
+                                bitmaps[0].set(rid, true);
+                            }
+                        } else {
+                            bitmaps[digit as usize].set(rid, true);
+                        }
+                    }
+                    Encoding::Range => {
+                        // B^j set for all j >= digit (digit <= j), j stored
+                        // up to b-2.
+                        for j in digit..b - 1 {
+                            bitmaps[j as usize].set(rid, true);
+                        }
+                    }
+                    Encoding::Interval => {
+                        // I^j set iff j <= digit <= j + m - 1.
+                        let m = b.div_ceil(2);
+                        let lo = digit.saturating_sub(m - 1);
+                        for j in lo..=digit.min(m - 1) {
+                            bitmaps[j as usize].set(rid, true);
+                        }
+                    }
+                }
+            }
+        }
+
+        let nn = null_mask.map(BitVec::complement);
+        Ok(Self {
+            spec,
+            n_rows,
+            cardinality: card,
+            components,
+            nn,
+        })
+    }
+
+    /// The index layout.
+    pub fn spec(&self) -> &IndexSpec {
+        &self.spec
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Attribute cardinality of the indexed column.
+    pub fn cardinality(&self) -> u32 {
+        self.cardinality
+    }
+
+    /// Stored bitmap `slot` of component `comp` (1-based component).
+    pub fn bitmap(&self, comp: usize, slot: usize) -> &BitVec {
+        &self.components[comp - 1][slot]
+    }
+
+    /// All stored bitmaps of every component, for handing to the storage
+    /// layer: `result[i-1]` lists component `i`'s bitmaps.
+    pub fn components(&self) -> &[Vec<BitVec>] {
+        &self.components
+    }
+
+    /// The non-null bitmap, if the column had nulls.
+    pub fn nn(&self) -> Option<&BitVec> {
+        self.nn.as_ref()
+    }
+
+    /// Total stored bitmaps — `Space(I)` in the paper's space metric.
+    pub fn stored_bitmaps(&self) -> u64 {
+        self.spec.stored_bitmaps()
+    }
+
+    /// Total size of all stored bitmaps in bytes (uncompressed).
+    pub fn size_bytes(&self) -> usize {
+        self.stored_bitmaps() as usize * self.n_rows.div_ceil(8)
+    }
+
+    /// A [`BitmapSource`] view of this index (clones bitmaps on fetch,
+    /// modelling a scan from storage into working memory).
+    pub fn source(&self) -> MemorySource<'_> {
+        MemorySource { index: self }
+    }
+
+    /// Appends one row with the given attribute value, extending every
+    /// stored bitmap by one bit (the read-mostly maintenance path: DSS
+    /// loads append in bulk between query windows).
+    ///
+    /// Fails if `value` is not representable under the index's base.
+    pub fn append(&mut self, value: u32) -> Result<()> {
+        let digits = self.spec.base.decompose(value)?;
+        for (ci, &digit) in digits.iter().enumerate() {
+            let b = self.spec.base.component(ci + 1);
+            for (slot, bm) in self.components[ci].iter_mut().enumerate() {
+                let bit = match self.spec.encoding {
+                    Encoding::Equality => {
+                        if b == 2 {
+                            digit == 1
+                        } else {
+                            digit as usize == slot
+                        }
+                    }
+                    Encoding::Range => digit as usize <= slot,
+                    Encoding::Interval => {
+                        let m = b.div_ceil(2) as usize;
+                        slot <= digit as usize && (digit as usize) < slot + m
+                    }
+                };
+                bm.push(bit);
+            }
+        }
+        if let Some(nn) = self.nn.as_mut() {
+            nn.push(true);
+        }
+        self.n_rows += 1;
+        if u128::from(value) >= u128::from(self.cardinality) {
+            self.cardinality = value + 1;
+        }
+        Ok(())
+    }
+
+    /// Appends one row whose attribute value is NULL: the row is absent
+    /// from every bitmap and cleared in `B_nn`.
+    ///
+    /// If the index was built without nulls, a non-null bitmap is
+    /// materialized on first use (all previous rows are non-null).
+    pub fn append_null(&mut self) {
+        for comp in &mut self.components {
+            for bm in comp.iter_mut() {
+                bm.push(false);
+            }
+        }
+        let nn = self
+            .nn
+            .get_or_insert_with(|| BitVec::ones(self.n_rows));
+        nn.push(false);
+        self.n_rows += 1;
+    }
+
+    /// Exhaustively checks the index invariants against the column it was
+    /// built from: every row's digits must be encoded per the scheme, and
+    /// null rows must be absent from all bitmaps.
+    pub fn verify(&self, column: &Column) -> Result<()> {
+        if column.len() != self.n_rows {
+            return Err(Error::CorruptIndex(format!(
+                "column has {} rows, index has {}",
+                column.len(),
+                self.n_rows
+            )));
+        }
+        for (rid, &v) in column.values().iter().enumerate() {
+            let is_null = self.nn.as_ref().is_some_and(|nn| !nn.get(rid));
+            let digits = self.spec.base.decompose(v)?;
+            for (ci, &digit) in digits.iter().enumerate() {
+                let b = self.spec.base.component(ci + 1);
+                let bitmaps = &self.components[ci];
+                for (slot, bm) in bitmaps.iter().enumerate() {
+                    let expect = if is_null {
+                        false
+                    } else {
+                        match self.spec.encoding {
+                            Encoding::Equality => {
+                                if b == 2 {
+                                    digit == 1
+                                } else {
+                                    digit as usize == slot
+                                }
+                            }
+                            Encoding::Range => digit as usize <= slot,
+                            Encoding::Interval => {
+                                let m = b.div_ceil(2) as usize;
+                                slot <= digit as usize && (digit as usize) < slot + m
+                            }
+                        }
+                    };
+                    if bm.get(rid) != expect {
+                        return Err(Error::CorruptIndex(format!(
+                            "row {rid} value {v}: component {} slot {slot} is {}, expected {}",
+                            ci + 1,
+                            bm.get(rid),
+                            expect
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Borrowing [`BitmapSource`] over an in-memory [`BitmapIndex`].
+pub struct MemorySource<'a> {
+    index: &'a BitmapIndex,
+}
+
+impl BitmapSource for MemorySource<'_> {
+    fn spec(&self) -> &IndexSpec {
+        self.index.spec()
+    }
+
+    fn n_rows(&self) -> usize {
+        self.index.n_rows()
+    }
+
+    fn fetch(&mut self, comp: usize, slot: usize) -> BitVec {
+        self.index.bitmap(comp, slot).clone()
+    }
+
+    fn fetch_nn(&mut self) -> Option<BitVec> {
+        self.index.nn().cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::Base;
+
+    /// The 12-record attribute projection of Figure 1 / Figure 3 / Figure 4.
+    /// (The OCR drops the actual values; any fixed 12-row, C=9 column
+    /// exercises the same structure.)
+    fn figure_column() -> Column {
+        Column::new(vec![3, 2, 1, 2, 8, 2, 2, 0, 7, 5, 6, 4], 9)
+    }
+
+    #[test]
+    fn value_list_structure() {
+        let col = figure_column();
+        let idx = BitmapIndex::build(&col, IndexSpec::value_list(9).unwrap()).unwrap();
+        assert_eq!(idx.stored_bitmaps(), 9);
+        // Row i has value v iff bitmap v has bit i set, all others clear.
+        for (rid, &v) in col.values().iter().enumerate() {
+            for slot in 0..9 {
+                assert_eq!(idx.bitmap(1, slot).get(rid), slot as u32 == v);
+            }
+        }
+        idx.verify(&col).unwrap();
+    }
+
+    #[test]
+    fn two_component_equality_structure() {
+        let col = figure_column();
+        let spec = IndexSpec::new(Base::from_msb(&[3, 3]).unwrap(), Encoding::Equality);
+        let idx = BitmapIndex::build(&col, spec).unwrap();
+        assert_eq!(idx.stored_bitmaps(), 6);
+        // value 7 = <2, 1>: component 2 bitmap 2 and component 1 bitmap 1.
+        let rid = 8; // row with value 7
+        assert!(idx.bitmap(2, 2).get(rid));
+        assert!(idx.bitmap(1, 1).get(rid));
+        assert!(!idx.bitmap(1, 0).get(rid));
+        idx.verify(&col).unwrap();
+    }
+
+    #[test]
+    fn range_encoding_structure() {
+        let col = figure_column();
+        let spec = IndexSpec::new(Base::single(9).unwrap(), Encoding::Range);
+        let idx = BitmapIndex::build(&col, spec).unwrap();
+        assert_eq!(idx.stored_bitmaps(), 8);
+        // B^j has bit set iff value <= j.
+        for (rid, &v) in col.values().iter().enumerate() {
+            for j in 0..8usize {
+                assert_eq!(idx.bitmap(1, j).get(rid), v <= j as u32, "rid {rid} j {j}");
+            }
+        }
+        idx.verify(&col).unwrap();
+    }
+
+    #[test]
+    fn base2_equality_stores_single_bitmap() {
+        let col = Column::new(vec![0, 1, 1, 0, 1], 2);
+        let spec = IndexSpec::new(Base::single(2).unwrap(), Encoding::Equality);
+        let idx = BitmapIndex::build(&col, spec).unwrap();
+        assert_eq!(idx.stored_bitmaps(), 1);
+        // stored bitmap is E^1
+        assert_eq!(
+            idx.bitmap(1, 0).iter_ones().collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
+        idx.verify(&col).unwrap();
+    }
+
+    #[test]
+    fn padded_base_handles_uncovered_tail() {
+        // C = 5 but base <2,3> has product 6: values 0..4 must still encode.
+        let col = Column::new(vec![4, 0, 3, 2, 1], 5);
+        let spec = IndexSpec::new(Base::from_msb(&[2, 3]).unwrap(), Encoding::Range);
+        let idx = BitmapIndex::build(&col, spec).unwrap();
+        idx.verify(&col).unwrap();
+    }
+
+    #[test]
+    fn base_too_small_rejected() {
+        let col = figure_column();
+        let spec = IndexSpec::new(Base::from_msb(&[2, 2]).unwrap(), Encoding::Range);
+        assert!(matches!(
+            BitmapIndex::build(&col, spec),
+            Err(Error::BaseTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn nulls_excluded_everywhere() {
+        let col = Column::new(vec![3, 2, 1, 2, 8, 2], 9);
+        let nulls = BitVec::from_indices(6, &[1, 4]);
+        let spec = IndexSpec::new(Base::from_msb(&[3, 3]).unwrap(), Encoding::Range);
+        let idx = BitmapIndex::build_with_nulls(&col, &nulls, spec).unwrap();
+        for comp in 1..=2 {
+            for slot in 0..2 {
+                assert!(!idx.bitmap(comp, slot).get(1));
+                assert!(!idx.bitmap(comp, slot).get(4));
+            }
+        }
+        assert_eq!(
+            idx.nn().unwrap().iter_ones().collect::<Vec<_>>(),
+            vec![0, 2, 3, 5]
+        );
+        idx.verify(&col).unwrap();
+    }
+
+    #[test]
+    fn verify_detects_corruption() {
+        let col = figure_column();
+        let mut idx = BitmapIndex::build(&col, IndexSpec::value_list(9).unwrap()).unwrap();
+        idx.components[0][0].set(0, true); // row 0 has value 3, not 0
+        assert!(idx.verify(&col).is_err());
+    }
+
+    #[test]
+    fn append_extends_all_bitmaps_consistently() {
+        let mut col_values = vec![3u32, 2, 1];
+        let col = Column::new(col_values.clone(), 9);
+        for encoding in [Encoding::Range, Encoding::Equality] {
+            let spec = IndexSpec::new(Base::from_msb(&[3, 3]).unwrap(), encoding);
+            let mut idx = BitmapIndex::build(&col, spec).unwrap();
+            for v in [8u32, 0, 5, 2] {
+                idx.append(v).unwrap();
+            }
+            col_values = vec![3, 2, 1, 8, 0, 5, 2];
+            let grown = Column::new(col_values.clone(), 9);
+            assert_eq!(idx.n_rows(), 7);
+            idx.verify(&grown).unwrap();
+            col_values.truncate(3);
+        }
+    }
+
+    #[test]
+    fn append_rejects_unrepresentable_value() {
+        let col = Column::new(vec![0, 1], 2);
+        let spec = IndexSpec::new(Base::single(2).unwrap(), Encoding::Range);
+        let mut idx = BitmapIndex::build(&col, spec).unwrap();
+        assert!(idx.append(2).is_err());
+        assert_eq!(idx.n_rows(), 2);
+    }
+
+    #[test]
+    fn append_null_materializes_nn() {
+        let col = Column::new(vec![1, 0, 2], 3);
+        let spec = IndexSpec::new(Base::single(3).unwrap(), Encoding::Range);
+        let mut idx = BitmapIndex::build(&col, spec).unwrap();
+        assert!(idx.nn().is_none());
+        idx.append_null();
+        idx.append(2).unwrap();
+        let nn = idx.nn().unwrap();
+        assert_eq!(nn.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2, 4]);
+        // Queries must exclude the null row.
+        let grown = Column::new(vec![1, 0, 2, 0, 2], 3); // row 3's value is a placeholder
+        let mut src = idx.source();
+        let mut ctx = crate::exec::ExecContext::new(&mut src);
+        let q = bindex_relation::query::SelectionQuery::new(
+            bindex_relation::query::Op::Ge,
+            0,
+        );
+        let found = crate::eval::range_opt::evaluate(&mut ctx, q);
+        assert_eq!(found.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2, 4]);
+        let _ = grown;
+    }
+
+    #[test]
+    fn memory_source_fetches() {
+        let col = figure_column();
+        let idx = BitmapIndex::build(&col, IndexSpec::value_list(9).unwrap()).unwrap();
+        let mut src = idx.source();
+        assert_eq!(src.fetch(1, 2), *idx.bitmap(1, 2));
+        assert_eq!(src.n_rows(), 12);
+        assert!(src.fetch_nn().is_none());
+    }
+}

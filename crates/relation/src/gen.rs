@@ -1,0 +1,146 @@
+//! Seeded synthetic column generators.
+//!
+//! All generators are deterministic functions of their seed so every
+//! experiment in the bench harness is reproducible bit-for-bit.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::Column;
+
+/// Uniformly distributed values over `0 .. cardinality`.
+pub fn uniform(n: usize, cardinality: u32, seed: u64) -> Column {
+    assert!(cardinality > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    Column::new(
+        (0..n).map(|_| rng.random_range(0..cardinality)).collect(),
+        cardinality,
+    )
+}
+
+/// Zipf-distributed values (rank 0 most frequent) with exponent `theta`.
+///
+/// `theta = 0` degenerates to uniform; `theta = 1` is classic Zipf. Used by
+/// the skew ablation of the cost model's uniform-digit assumption.
+pub fn zipf(n: usize, cardinality: u32, theta: f64, seed: u64) -> Column {
+    assert!(cardinality > 0);
+    assert!(theta >= 0.0, "zipf exponent must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Precompute the CDF once; C is at most a few thousand in our workloads.
+    let weights: Vec<f64> = (1..=cardinality as u64)
+        .map(|r| 1.0 / (r as f64).powf(theta))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let values = (0..n)
+        .map(|_| {
+            let u: f64 = rng.random();
+            cdf.partition_point(|&p| p < u).min(cardinality as usize - 1) as u32
+        })
+        .collect();
+    Column::new(values, cardinality)
+}
+
+/// Values cycling `0, 1, …, C-1, 0, 1, …` — fully interleaved, the worst
+/// case for bitmap-level compressibility of equality-encoded bitmaps.
+pub fn round_robin(n: usize, cardinality: u32) -> Column {
+    assert!(cardinality > 0);
+    Column::new(
+        (0..n).map(|i| (i as u64 % u64::from(cardinality)) as u32).collect(),
+        cardinality,
+    )
+}
+
+/// Sorted (clustered) uniform values — the best case for compressibility:
+/// each bitmap is a single run.
+pub fn sorted_uniform(n: usize, cardinality: u32, seed: u64) -> Column {
+    let mut col = uniform(n, cardinality, seed);
+    let mut values = col.values().to_vec();
+    values.sort_unstable();
+    col = Column::new(values, col.cardinality());
+    col
+}
+
+/// Uniform values arranged in contiguous clusters of `cluster_len` equal
+/// values — models physically clustered storage with imperfect ordering.
+pub fn clustered(n: usize, cardinality: u32, cluster_len: usize, seed: u64) -> Column {
+    assert!(cluster_len > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values = Vec::with_capacity(n);
+    while values.len() < n {
+        let v = rng.random_range(0..cardinality);
+        let take = cluster_len.min(n - values.len());
+        values.extend(std::iter::repeat_n(v, take));
+    }
+    Column::new(values, cardinality)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_deterministic_and_in_range() {
+        let a = uniform(1000, 50, 7);
+        let b = uniform(1000, 50, 7);
+        assert_eq!(a, b);
+        assert!(a.values().iter().all(|&v| v < 50));
+        assert_ne!(a, uniform(1000, 50, 8));
+    }
+
+    #[test]
+    fn uniform_covers_domain() {
+        let c = uniform(10_000, 20, 1);
+        assert_eq!(c.distinct_count(), 20);
+        // each value expected ~500 times; loose sanity bounds
+        for (v, &count) in c.histogram().iter().enumerate() {
+            assert!(count > 300 && count < 700, "value {v} count {count}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_small_ranks() {
+        let c = zipf(50_000, 100, 1.0, 3);
+        let h = c.histogram();
+        assert!(h[0] > h[10] && h[10] > h[60], "{} {} {}", h[0], h[10], h[60]);
+        assert!(c.values().iter().all(|&v| v < 100));
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let c = zipf(50_000, 10, 0.0, 3);
+        let h = c.histogram();
+        let (min, max) = (h.iter().min().unwrap(), h.iter().max().unwrap());
+        assert!(*max < 2 * *min, "min {min} max {max}");
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let c = round_robin(10, 3);
+        assert_eq!(c.values(), &[0, 1, 2, 0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn sorted_is_sorted() {
+        let c = sorted_uniform(5000, 40, 11);
+        assert!(c.values().windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(c.len(), 5000);
+    }
+
+    #[test]
+    fn clustered_has_runs() {
+        let c = clustered(1000, 50, 25, 5);
+        assert_eq!(c.len(), 1000);
+        let runs = 1 + c
+            .values()
+            .windows(2)
+            .filter(|w| w[0] != w[1])
+            .count();
+        assert!(runs <= 1000 / 25 + 1, "runs {runs}");
+    }
+}

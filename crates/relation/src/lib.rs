@@ -1,0 +1,25 @@
+//! # bindex-relation
+//!
+//! Columns, synthetic data generators, and selection-query workloads.
+//!
+//! The paper indexes a single attribute of a relation whose actual values
+//! are (w.l.o.g.) the consecutive integers `0 .. C-1`, where `C` is the
+//! *attribute cardinality*. [`Column`] models exactly that: a vector of
+//! `u32` values plus its cardinality, with a [`ValueMap`] available for the
+//! general case where raw attribute values are not consecutive (the paper's
+//! rank-lookup-table remark in Section 2).
+//!
+//! [`gen`] provides seeded synthetic generators (uniform, Zipf, sorted,
+//! clustered), [`tpcd`] the TPC-D-like data sets of Section 9, and [`query`]
+//! the selection-query space `Q` of the cost model.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gen;
+pub mod query;
+pub mod tpcd;
+
+mod column;
+
+pub use column::{Column, ValueMap};

@@ -1,0 +1,198 @@
+//! Selection predicates and query workloads.
+//!
+//! The paper's time metric averages over the uniform query space
+//! `Q = { A op v : op ∈ {<, ≤, >, ≥, =, ≠}, 0 ≤ v < C }` (Section 4);
+//! Section 9's compression experiments use the restricted space
+//! `{ A op v : op ∈ {≤, =} }`. Both are provided, plus seeded random
+//! workload sampling for wall-clock benchmarks.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// The six comparison operators of a selection predicate `A op v`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `A < v`
+    Lt,
+    /// `A <= v`
+    Le,
+    /// `A > v`
+    Gt,
+    /// `A >= v`
+    Ge,
+    /// `A = v`
+    Eq,
+    /// `A != v`
+    Ne,
+}
+
+impl Op {
+    /// All six operators, in the paper's order.
+    pub const ALL: [Op; 6] = [Op::Lt, Op::Le, Op::Gt, Op::Ge, Op::Eq, Op::Ne];
+
+    /// The operators used by Section 9's compression study.
+    pub const COMPRESSION_STUDY: [Op; 2] = [Op::Le, Op::Eq];
+
+    /// `true` for `<, ≤, >, ≥` (a *range* predicate), `false` for `=, ≠`.
+    pub fn is_range(self) -> bool {
+        !matches!(self, Op::Eq | Op::Ne)
+    }
+
+    /// Applies the comparison to a concrete value.
+    #[inline]
+    pub fn matches(self, value: u32, constant: u32) -> bool {
+        match self {
+            Op::Lt => value < constant,
+            Op::Le => value <= constant,
+            Op::Gt => value > constant,
+            Op::Ge => value >= constant,
+            Op::Eq => value == constant,
+            Op::Ne => value != constant,
+        }
+    }
+
+    /// SQL-ish symbol, for experiment output.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Op::Lt => "<",
+            Op::Le => "<=",
+            Op::Gt => ">",
+            Op::Ge => ">=",
+            Op::Eq => "=",
+            Op::Ne => "!=",
+        }
+    }
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A selection predicate `A op constant` on the indexed attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SelectionQuery {
+    /// Comparison operator.
+    pub op: Op,
+    /// Predicate constant `v`, in `0 .. C`.
+    pub constant: u32,
+}
+
+impl SelectionQuery {
+    /// Creates a query.
+    pub fn new(op: Op, constant: u32) -> Self {
+        Self { op, constant }
+    }
+
+    /// Row-level truth of the predicate.
+    #[inline]
+    pub fn matches(&self, value: u32) -> bool {
+        self.op.matches(value, self.constant)
+    }
+
+    /// Selectivity factor against a value histogram (fraction of rows).
+    pub fn selectivity(&self, histogram: &[usize]) -> f64 {
+        let total: usize = histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let hit: usize = histogram
+            .iter()
+            .enumerate()
+            .filter(|(v, _)| self.matches(*v as u32))
+            .map(|(_, &c)| c)
+            .sum();
+        hit as f64 / total as f64
+    }
+}
+
+impl std::fmt::Display for SelectionQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "A {} {}", self.op, self.constant)
+    }
+}
+
+/// The full uniform query space `Q`: all 6·C queries (Section 4).
+pub fn full_space(cardinality: u32) -> Vec<SelectionQuery> {
+    let mut out = Vec::with_capacity(6 * cardinality as usize);
+    for op in Op::ALL {
+        for v in 0..cardinality {
+            out.push(SelectionQuery::new(op, v));
+        }
+    }
+    out
+}
+
+/// Section 9's restricted space: `{≤, =} × [0, C)`, 2·C queries.
+pub fn compression_study_space(cardinality: u32) -> Vec<SelectionQuery> {
+    let mut out = Vec::with_capacity(2 * cardinality as usize);
+    for op in Op::COMPRESSION_STUDY {
+        for v in 0..cardinality {
+            out.push(SelectionQuery::new(op, v));
+        }
+    }
+    out
+}
+
+/// A seeded random sample of `n` queries from the full space.
+pub fn sample(cardinality: u32, n: usize, seed: u64) -> Vec<SelectionQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let op = Op::ALL[rng.random_range(0..Op::ALL.len())];
+            SelectionQuery::new(op, rng.random_range(0..cardinality))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_semantics() {
+        assert!(Op::Lt.matches(1, 2) && !Op::Lt.matches(2, 2));
+        assert!(Op::Le.matches(2, 2) && !Op::Le.matches(3, 2));
+        assert!(Op::Gt.matches(3, 2) && !Op::Gt.matches(2, 2));
+        assert!(Op::Ge.matches(2, 2) && !Op::Ge.matches(1, 2));
+        assert!(Op::Eq.matches(2, 2) && !Op::Eq.matches(1, 2));
+        assert!(Op::Ne.matches(1, 2) && !Op::Ne.matches(2, 2));
+    }
+
+    #[test]
+    fn range_classification() {
+        assert!(Op::Lt.is_range() && Op::Ge.is_range());
+        assert!(!Op::Eq.is_range() && !Op::Ne.is_range());
+    }
+
+    #[test]
+    fn full_space_size_and_coverage() {
+        let q = full_space(10);
+        assert_eq!(q.len(), 60);
+        assert!(q.iter().any(|s| s.op == Op::Ne && s.constant == 9));
+    }
+
+    #[test]
+    fn compression_space() {
+        let q = compression_study_space(50);
+        assert_eq!(q.len(), 100);
+        assert!(q.iter().all(|s| matches!(s.op, Op::Le | Op::Eq)));
+    }
+
+    #[test]
+    fn selectivity_on_uniform_histogram() {
+        let h = vec![10usize; 10]; // C=10, uniform
+        let q = SelectionQuery::new(Op::Le, 4);
+        assert!((q.selectivity(&h) - 0.5).abs() < 1e-12);
+        let q = SelectionQuery::new(Op::Ne, 0);
+        assert!((q.selectivity(&h) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_is_seeded() {
+        assert_eq!(sample(100, 50, 3), sample(100, 50, 3));
+        assert_ne!(sample(100, 50, 3), sample(100, 50, 4));
+        assert!(sample(100, 50, 3).iter().all(|q| q.constant < 100));
+    }
+}

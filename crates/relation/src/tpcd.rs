@@ -1,0 +1,123 @@
+//! TPC-D-like data sets for the compression study (Section 9, Table 3).
+//!
+//! The paper extracts two columns from the TPC-D benchmark:
+//!
+//! | Data set | Relation  | Attribute   | N (SF-1)   | C    |
+//! |----------|-----------|-------------|------------|------|
+//! | 1        | Lineitem  | l_quantity  | 6,001,215  | 50   |
+//! | 2        | Order     | o_orderdate | 1,500,000  | 2406 |
+//!
+//! We regenerate both per the TPC-D specification's distributions —
+//! `l_quantity` is uniform in `[1, 50]`, `o_orderdate` is uniform over the
+//! 2,406-day span 1992-01-01 … 1998-08-02 — at a configurable scale
+//! (default 1/10 of SF-1; override with the `BINDEX_SCALE` environment
+//! variable, a fraction of SF-1 such as `1.0` or `0.01`). All reported
+//! metrics are ratios or per-record, so they are insensitive to N
+//! (see DESIGN.md §5).
+
+use crate::{gen, Column};
+
+/// Attribute cardinality of data set 1 (`l_quantity`).
+pub const QUANTITY_CARDINALITY: u32 = 50;
+/// Attribute cardinality of data set 2 (`o_orderdate`): days in
+/// 1992-01-01 … 1998-08-02 inclusive.
+pub const ORDERDATE_CARDINALITY: u32 = 2406;
+/// SF-1 row count of `lineitem`.
+pub const LINEITEM_SF1_ROWS: usize = 6_001_215;
+/// SF-1 row count of `order`.
+pub const ORDER_SF1_ROWS: usize = 1_500_000;
+
+/// Default scale relative to SF-1 when `BINDEX_SCALE` is unset.
+pub const DEFAULT_SCALE: f64 = 0.1;
+
+/// Scale factor from the `BINDEX_SCALE` environment variable (or default).
+pub fn scale_from_env() -> f64 {
+    std::env::var("BINDEX_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|&s| s > 0.0 && s <= 1.0)
+        .unwrap_or(DEFAULT_SCALE)
+}
+
+/// Data set 1: `lineitem.l_quantity`, normalized to ranks `0..50`.
+pub fn lineitem_quantity(scale: f64, seed: u64) -> Column {
+    let n = ((LINEITEM_SF1_ROWS as f64) * scale).round().max(1.0) as usize;
+    gen::uniform(n, QUANTITY_CARDINALITY, seed ^ 0x5145_5155) // "QEQU"
+}
+
+/// Data set 2: `order.o_orderdate`, normalized to day ranks `0..2406`.
+pub fn order_orderdate(scale: f64, seed: u64) -> Column {
+    let n = ((ORDER_SF1_ROWS as f64) * scale).round().max(1.0) as usize;
+    gen::uniform(n, ORDERDATE_CARDINALITY, seed ^ 0x4f44_4154) // "ODAT"
+}
+
+/// One row of Table 3 of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataSetInfo {
+    /// "1" or "2".
+    pub id: u8,
+    /// Relation name.
+    pub relation: &'static str,
+    /// Attribute name.
+    pub attribute: &'static str,
+    /// Relation cardinality at the chosen scale.
+    pub rows: usize,
+    /// Attribute cardinality `C`.
+    pub cardinality: u32,
+}
+
+/// Table 3 at a given scale.
+pub fn table3(scale: f64) -> [DataSetInfo; 2] {
+    [
+        DataSetInfo {
+            id: 1,
+            relation: "Lineitem",
+            attribute: "Quantity",
+            rows: ((LINEITEM_SF1_ROWS as f64) * scale).round() as usize,
+            cardinality: QUANTITY_CARDINALITY,
+        },
+        DataSetInfo {
+            id: 2,
+            relation: "Order",
+            attribute: "Order-Date",
+            rows: ((ORDER_SF1_ROWS as f64) * scale).round() as usize,
+            cardinality: ORDERDATE_CARDINALITY,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantity_matches_spec() {
+        let c = lineitem_quantity(0.01, 1);
+        assert_eq!(c.cardinality(), 50);
+        assert_eq!(c.len(), 60_012);
+        assert_eq!(c.distinct_count(), 50);
+    }
+
+    #[test]
+    fn orderdate_matches_spec() {
+        let c = order_orderdate(0.01, 1);
+        assert_eq!(c.cardinality(), 2406);
+        assert_eq!(c.len(), 15_000);
+    }
+
+    #[test]
+    fn table3_rows_scale() {
+        let t = table3(1.0);
+        assert_eq!(t[0].rows, LINEITEM_SF1_ROWS);
+        assert_eq!(t[1].rows, ORDER_SF1_ROWS);
+        let t = table3(0.1);
+        assert_eq!(t[0].rows, 600_122);
+        assert_eq!(t[1].rows, 150_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(lineitem_quantity(0.001, 9), lineitem_quantity(0.001, 9));
+        assert_ne!(lineitem_quantity(0.001, 9), lineitem_quantity(0.001, 10));
+    }
+}

@@ -1,0 +1,184 @@
+//! A bitmap-granularity buffer pool (Section 10's unit of buffering),
+//! with an LRU eviction policy and hit/miss accounting.
+//!
+//! The analytic side of Section 10 lives in `bindex-core::buffer`; this
+//! pool is the runtime counterpart used by the storage-backed experiments:
+//! it caches decompressed bitmaps keyed by `(component, slot)` so that a
+//! buffered bitmap costs no file read.
+
+use std::collections::HashMap;
+
+use bindex_bitvec::BitVec;
+use parking_lot::Mutex;
+
+/// Buffer pool statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Fetches served from the pool.
+    pub hits: u64,
+    /// Fetches that had to go to storage.
+    pub misses: u64,
+    /// Bitmaps evicted.
+    pub evictions: u64,
+}
+
+struct Inner {
+    /// (component, slot) -> (bitmap, last-use tick).
+    entries: HashMap<(usize, usize), (BitVec, u64)>,
+    tick: u64,
+    stats: PoolStats,
+}
+
+/// LRU cache of up to `capacity` bitmaps. Thread-safe (`parking_lot`
+/// mutex), matching the shared buffer pool of a database server.
+pub struct BufferPool {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl BufferPool {
+    /// Creates a pool holding at most `capacity` bitmaps (`m` in the
+    /// paper's notation). Zero capacity disables caching.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                tick: 0,
+                stats: PoolStats::default(),
+            }),
+        }
+    }
+
+    /// Maximum resident bitmaps.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Fetches the bitmap for `key`, loading it with `load` on a miss.
+    pub fn get_or_load<E>(
+        &self,
+        key: (usize, usize),
+        load: impl FnOnce() -> Result<BitVec, E>,
+    ) -> Result<BitVec, E> {
+        if self.capacity == 0 {
+            let mut inner = self.inner.lock();
+            inner.stats.misses += 1;
+            drop(inner);
+            return load();
+        }
+        {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some((bm, last)) = inner.entries.get_mut(&key) {
+                *last = tick;
+                let out = bm.clone();
+                inner.stats.hits += 1;
+                return Ok(out);
+            }
+            inner.stats.misses += 1;
+        }
+        // Load outside the lock; racing loads are benign (last write wins).
+        let bm = load()?;
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.entries.len() >= self.capacity && !inner.entries.contains_key(&key) {
+            if let Some((&victim, _)) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, last))| *last)
+                .map(|(k, v)| (k, v))
+            {
+                inner.entries.remove(&victim);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.entries.insert(key, (bm.clone(), tick));
+        Ok(bm)
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of bitmaps currently resident.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Empties the pool and resets statistics.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.stats = PoolStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bm(tag: usize) -> BitVec {
+        BitVec::from_fn(64, |i| (i + tag) % 3 == 0)
+    }
+
+    #[test]
+    fn hit_after_load() {
+        let pool = BufferPool::new(4);
+        let a = pool.get_or_load::<()>((1, 0), || Ok(bm(1))).unwrap();
+        let b = pool.get_or_load::<()>((1, 0), || panic!("must hit")).unwrap();
+        assert_eq!(a, b);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let pool = BufferPool::new(2);
+        pool.get_or_load::<()>((1, 0), || Ok(bm(0))).unwrap();
+        pool.get_or_load::<()>((1, 1), || Ok(bm(1))).unwrap();
+        pool.get_or_load::<()>((1, 0), || panic!("hot")).unwrap(); // refresh (1,0)
+        pool.get_or_load::<()>((1, 2), || Ok(bm(2))).unwrap(); // evicts (1,1)
+        assert_eq!(pool.resident(), 2);
+        assert_eq!(pool.stats().evictions, 1);
+        // (1,1) must reload; (1,0) must still hit.
+        pool.get_or_load::<()>((1, 0), || panic!("still hot")).unwrap();
+        let mut reloaded = false;
+        pool.get_or_load::<()>((1, 1), || {
+            reloaded = true;
+            Ok(bm(1))
+        })
+        .unwrap();
+        assert!(reloaded);
+    }
+
+    #[test]
+    fn zero_capacity_never_caches() {
+        let pool = BufferPool::new(0);
+        for _ in 0..3 {
+            pool.get_or_load::<()>((1, 0), || Ok(bm(0))).unwrap();
+        }
+        assert_eq!(pool.stats().misses, 3);
+        assert_eq!(pool.resident(), 0);
+    }
+
+    #[test]
+    fn load_errors_propagate() {
+        let pool = BufferPool::new(2);
+        let r = pool.get_or_load::<&str>((9, 9), || Err("boom"));
+        assert_eq!(r.unwrap_err(), "boom");
+        assert_eq!(pool.resident(), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let pool = BufferPool::new(2);
+        pool.get_or_load::<()>((1, 0), || Ok(bm(0))).unwrap();
+        pool.clear();
+        assert_eq!(pool.resident(), 0);
+        assert_eq!(pool.stats(), PoolStats::default());
+    }
+}

@@ -1,0 +1,524 @@
+//! The three physical organizations of Section 9.1 and the stored-index
+//! reader with I/O accounting.
+
+use std::io;
+
+use bindex_bitvec::BitVec;
+use bindex_compress::CodecKind;
+
+use crate::store::{ByteStore, IoStats};
+
+/// Physical organization of an index's bit matrix (Section 9.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageScheme {
+    /// **BS**: one file per bitmap (column-major).
+    BitmapLevel,
+    /// **CS**: one row-major file per component.
+    ComponentLevel,
+    /// **IS**: one row-major file for the entire index.
+    IndexLevel,
+}
+
+impl StorageScheme {
+    /// The paper's abbreviation, `c`-prefixed when `compressed`.
+    pub fn label(self, compressed: bool) -> &'static str {
+        match (self, compressed) {
+            (StorageScheme::BitmapLevel, false) => "BS",
+            (StorageScheme::BitmapLevel, true) => "cBS",
+            (StorageScheme::ComponentLevel, false) => "CS",
+            (StorageScheme::ComponentLevel, true) => "cCS",
+            (StorageScheme::IndexLevel, false) => "IS",
+            (StorageScheme::IndexLevel, true) => "cIS",
+        }
+    }
+}
+
+/// Shape metadata of a stored index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredIndexMeta {
+    /// Rows per bitmap (`N`).
+    pub n_rows: usize,
+    /// Stored bitmaps per component (`n_i`).
+    pub bitmaps_per_component: Vec<u32>,
+    /// Physical organization.
+    pub scheme: StorageScheme,
+    /// Per-file compression codec.
+    pub codec: CodecKind,
+}
+
+impl StoredIndexMeta {
+    /// Total stored bitmaps `n`.
+    pub fn total_bitmaps(&self) -> u64 {
+        self.bitmaps_per_component.iter().map(|&x| u64::from(x)).sum()
+    }
+
+    /// Serializes the metadata as the manifest file format (one
+    /// `key=value` per line; versioned, order-insensitive).
+    fn to_manifest(&self) -> String {
+        let comps: Vec<String> = self
+            .bitmaps_per_component
+            .iter()
+            .map(u32::to_string)
+            .collect();
+        format!(
+            "version=1\nn_rows={}\nscheme={}\ncodec={}\ncomponents={}\n",
+            self.n_rows,
+            match self.scheme {
+                StorageScheme::BitmapLevel => "bs",
+                StorageScheme::ComponentLevel => "cs",
+                StorageScheme::IndexLevel => "is",
+            },
+            self.codec.name(),
+            comps.join(",")
+        )
+    }
+
+    /// Parses a manifest produced by [`StoredIndexMeta::to_manifest`].
+    fn from_manifest(text: &str) -> io::Result<Self> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, format!("manifest: {msg}"));
+        let mut n_rows = None;
+        let mut scheme = None;
+        let mut codec = None;
+        let mut comps: Option<Vec<u32>> = None;
+        let mut version = None;
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| bad(&format!("malformed line {line:?}")))?;
+            match k {
+                "version" => version = Some(v.to_string()),
+                "n_rows" => n_rows = Some(v.parse().map_err(|_| bad("bad n_rows"))?),
+                "scheme" => {
+                    scheme = Some(match v {
+                        "bs" => StorageScheme::BitmapLevel,
+                        "cs" => StorageScheme::ComponentLevel,
+                        "is" => StorageScheme::IndexLevel,
+                        other => return Err(bad(&format!("unknown scheme {other}"))),
+                    })
+                }
+                "codec" => {
+                    codec = Some(match v {
+                        "none" => CodecKind::None,
+                        "rle" => CodecKind::Rle,
+                        "lzss" => CodecKind::Lzss,
+                        "deflate" => CodecKind::Deflate,
+                        other => return Err(bad(&format!("unknown codec {other}"))),
+                    })
+                }
+                "components" => {
+                    comps = Some(
+                        v.split(',')
+                            .map(|x| x.parse().map_err(|_| bad("bad component count")))
+                            .collect::<io::Result<Vec<u32>>>()?,
+                    )
+                }
+                other => return Err(bad(&format!("unknown key {other}"))),
+            }
+        }
+        if version.as_deref() != Some("1") {
+            return Err(bad("unsupported version"));
+        }
+        Ok(Self {
+            n_rows: n_rows.ok_or_else(|| bad("missing n_rows"))?,
+            bitmaps_per_component: comps.ok_or_else(|| bad("missing components"))?,
+            scheme: scheme.ok_or_else(|| bad("missing scheme"))?,
+            codec: codec.ok_or_else(|| bad("missing codec"))?,
+        })
+    }
+}
+
+/// An index laid out in a [`ByteStore`] under one of the three schemes,
+/// readable bitmap-by-bitmap with byte-level I/O accounting.
+#[derive(Debug)]
+pub struct StoredIndex<S: ByteStore> {
+    store: S,
+    meta: StoredIndexMeta,
+    stats: IoStats,
+}
+
+impl<S: ByteStore> StoredIndex<S> {
+    /// Writes `components[i-1][j]` (bitmap `j` of component `i`) into
+    /// `store` under `scheme`, compressing each file with `codec`.
+    pub fn create(
+        mut store: S,
+        components: &[Vec<BitVec>],
+        scheme: StorageScheme,
+        codec: CodecKind,
+    ) -> io::Result<Self> {
+        let n_rows = components
+            .first()
+            .and_then(|c| c.first())
+            .map_or(0, BitVec::len);
+        for comp in components.iter().flatten() {
+            assert_eq!(comp.len(), n_rows, "bitmaps must share the row count");
+        }
+        let meta = StoredIndexMeta {
+            n_rows,
+            bitmaps_per_component: components.iter().map(|c| c.len() as u32).collect(),
+            scheme,
+            codec,
+        };
+        match scheme {
+            StorageScheme::BitmapLevel => {
+                for (ci, comp) in components.iter().enumerate() {
+                    for (j, bm) in comp.iter().enumerate() {
+                        let raw = bm.to_bytes();
+                        store.write_file(&bitmap_file(ci + 1, j), &codec.compress(&raw))?;
+                    }
+                }
+            }
+            StorageScheme::ComponentLevel => {
+                for (ci, comp) in components.iter().enumerate() {
+                    let raw = row_major(comp, n_rows);
+                    store.write_file(&component_file(ci + 1), &codec.compress(&raw))?;
+                }
+            }
+            StorageScheme::IndexLevel => {
+                let all: Vec<&BitVec> = components.iter().flatten().collect();
+                let raw = row_major_refs(&all, n_rows);
+                store.write_file(INDEX_FILE, &codec.compress(&raw))?;
+            }
+        }
+        store.write_file(MANIFEST_FILE, meta.to_manifest().as_bytes())?;
+        Ok(Self {
+            store,
+            meta,
+            stats: IoStats::default(),
+        })
+    }
+
+    /// Re-opens an index previously written with [`StoredIndex::create`],
+    /// reading its shape from the manifest file — no rebuild needed.
+    pub fn open(store: S) -> io::Result<Self> {
+        let manifest = store.read_file(MANIFEST_FILE)?;
+        let text = std::str::from_utf8(&manifest)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "manifest not UTF-8"))?;
+        let meta = StoredIndexMeta::from_manifest(text)?;
+        Ok(Self {
+            store,
+            meta,
+            stats: IoStats::default(),
+        })
+    }
+
+    /// Shape metadata.
+    pub fn meta(&self) -> &StoredIndexMeta {
+        &self.meta
+    }
+
+    /// Total stored bytes across all bitmap files (compressed size if
+    /// compressed) — the space metric of Section 9. The tiny manifest is
+    /// excluded.
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.store.total_bytes()
+            - self.store.file_size(MANIFEST_FILE).unwrap_or(0)
+    }
+
+    /// Cumulative I/O statistics.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Returns and resets the I/O statistics.
+    pub fn take_stats(&mut self) -> IoStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Reads stored bitmap `slot` of component `comp` (1-based component).
+    ///
+    /// Under BS this reads one bitmap file; under CS it reads and
+    /// transposes the whole component file; under IS the whole index file
+    /// — exactly the access-cost asymmetry Section 9.2 describes.
+    pub fn read_bitmap(&mut self, comp: usize, slot: usize) -> io::Result<BitVec> {
+        let n_i = self.meta.bitmaps_per_component[comp - 1] as usize;
+        assert!(slot < n_i, "slot {slot} out of range for component {comp}");
+        let n_rows = self.meta.n_rows;
+        match self.meta.scheme {
+            StorageScheme::BitmapLevel => {
+                let raw = self.read_and_decompress(&bitmap_file(comp, slot), n_rows.div_ceil(8))?;
+                Ok(BitVec::from_bytes(n_rows, &raw))
+            }
+            StorageScheme::ComponentLevel => {
+                let raw_len = (n_rows * n_i).div_ceil(8);
+                let raw = self.read_and_decompress(&component_file(comp), raw_len)?;
+                Ok(extract_column(&raw, n_rows, n_i, slot))
+            }
+            StorageScheme::IndexLevel => {
+                let n = self.meta.total_bitmaps() as usize;
+                let raw_len = (n_rows * n).div_ceil(8);
+                let raw = self.read_and_decompress(INDEX_FILE, raw_len)?;
+                let global: usize = self.meta.bitmaps_per_component[..comp - 1]
+                    .iter()
+                    .map(|&x| x as usize)
+                    .sum::<usize>()
+                    + slot;
+                Ok(extract_column(&raw, n_rows, n, global))
+            }
+        }
+    }
+
+    fn read_and_decompress(&mut self, name: &str, raw_len: usize) -> io::Result<Vec<u8>> {
+        let data = self.store.read_file(name)?;
+        self.stats.reads += 1;
+        self.stats.bytes_read += data.len() as u64;
+        if self.meta.codec == CodecKind::None {
+            return Ok(data);
+        }
+        let out = self
+            .meta
+            .codec
+            .decompress(&data, raw_len)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.stats.bytes_decompressed += out.len() as u64;
+        Ok(out)
+    }
+}
+
+const INDEX_FILE: &str = "index.bix";
+const MANIFEST_FILE: &str = "manifest.bixm";
+
+fn bitmap_file(comp: usize, slot: usize) -> String {
+    format!("c{comp}_b{slot}.bmp")
+}
+
+fn component_file(comp: usize) -> String {
+    format!("c{comp}.cmp")
+}
+
+/// Packs `bitmaps` (columns) into a row-major byte buffer: bit
+/// `r * width + j` holds bitmap `j`'s bit for row `r`.
+fn row_major(bitmaps: &[BitVec], n_rows: usize) -> Vec<u8> {
+    let refs: Vec<&BitVec> = bitmaps.iter().collect();
+    row_major_refs(&refs, n_rows)
+}
+
+fn row_major_refs(bitmaps: &[&BitVec], n_rows: usize) -> Vec<u8> {
+    let width = bitmaps.len();
+    let total_bits = n_rows * width;
+    let mut out = vec![0u8; total_bits.div_ceil(8)];
+    for (j, bm) in bitmaps.iter().enumerate() {
+        for r in bm.iter_ones() {
+            let bit = r * width + j;
+            out[bit / 8] |= 1 << (bit % 8);
+        }
+    }
+    out
+}
+
+/// Extracts column `j` from a row-major buffer of `width` bitmaps.
+fn extract_column(raw: &[u8], n_rows: usize, width: usize, j: usize) -> BitVec {
+    let mut out = BitVec::zeros(n_rows);
+    for r in 0..n_rows {
+        let bit = r * width + j;
+        if raw[bit / 8] & (1 << (bit % 8)) != 0 {
+            out.set(r, true);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    /// Two components: 3 bitmaps of 20 rows and 2 bitmaps of 20 rows.
+    fn sample_components() -> Vec<Vec<BitVec>> {
+        let pat = |step: usize, off: usize| BitVec::from_fn(20, move |i| (i + off) % step == 0);
+        vec![
+            vec![pat(2, 0), pat(3, 1), pat(5, 2)],
+            vec![pat(4, 0), pat(7, 3)],
+        ]
+    }
+
+    fn roundtrip(scheme: StorageScheme, codec: CodecKind) {
+        let comps = sample_components();
+        let mut stored = StoredIndex::create(MemStore::new(), &comps, scheme, codec).unwrap();
+        for (ci, comp) in comps.iter().enumerate() {
+            for (j, bm) in comp.iter().enumerate() {
+                let got = stored.read_bitmap(ci + 1, j).unwrap();
+                assert_eq!(&got, bm, "{scheme:?}/{codec:?} comp {} slot {j}", ci + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn all_schemes_all_codecs_roundtrip() {
+        for scheme in [
+            StorageScheme::BitmapLevel,
+            StorageScheme::ComponentLevel,
+            StorageScheme::IndexLevel,
+        ] {
+            for codec in [
+                CodecKind::None,
+                CodecKind::Rle,
+                CodecKind::Lzss,
+                CodecKind::Deflate,
+            ] {
+                roundtrip(scheme, codec);
+            }
+        }
+    }
+
+    #[test]
+    fn file_counts_per_scheme() {
+        let comps = sample_components();
+        let bs = StoredIndex::create(
+            MemStore::new(),
+            &comps,
+            StorageScheme::BitmapLevel,
+            CodecKind::None,
+        )
+        .unwrap();
+        assert_eq!(bs.store.file_names().len(), 6); // 5 bitmaps + manifest
+        let cs = StoredIndex::create(
+            MemStore::new(),
+            &comps,
+            StorageScheme::ComponentLevel,
+            CodecKind::None,
+        )
+        .unwrap();
+        assert_eq!(cs.store.file_names().len(), 3); // 2 components + manifest
+        let is = StoredIndex::create(
+            MemStore::new(),
+            &comps,
+            StorageScheme::IndexLevel,
+            CodecKind::None,
+        )
+        .unwrap();
+        assert_eq!(is.store.file_names().len(), 2); // index + manifest
+    }
+
+    #[test]
+    fn io_accounting_reflects_scheme_asymmetry() {
+        let comps = sample_components();
+        let mut bs = StoredIndex::create(
+            MemStore::new(),
+            &comps,
+            StorageScheme::BitmapLevel,
+            CodecKind::None,
+        )
+        .unwrap();
+        bs.read_bitmap(1, 0).unwrap();
+        let bs_stats = bs.take_stats();
+        assert_eq!(bs_stats.reads, 1);
+        assert_eq!(bs_stats.bytes_read, 3); // ceil(20/8)
+
+        let mut cs = StoredIndex::create(
+            MemStore::new(),
+            &comps,
+            StorageScheme::ComponentLevel,
+            CodecKind::None,
+        )
+        .unwrap();
+        cs.read_bitmap(1, 0).unwrap();
+        let cs_stats = cs.take_stats();
+        // CS reads the whole 20x3-bit component: ceil(60/8) = 8 bytes.
+        assert_eq!(cs_stats.bytes_read, 8);
+        assert!(cs_stats.bytes_read > bs_stats.bytes_read);
+    }
+
+    #[test]
+    fn decompression_accounted() {
+        let comps = sample_components();
+        let mut cbs = StoredIndex::create(
+            MemStore::new(),
+            &comps,
+            StorageScheme::BitmapLevel,
+            CodecKind::Lzss,
+        )
+        .unwrap();
+        cbs.read_bitmap(2, 1).unwrap();
+        let s = cbs.take_stats();
+        assert_eq!(s.bytes_decompressed, 3);
+        assert!(s.bytes_read > 0);
+    }
+
+    #[test]
+    fn meta_totals() {
+        let comps = sample_components();
+        let s = StoredIndex::create(
+            MemStore::new(),
+            &comps,
+            StorageScheme::IndexLevel,
+            CodecKind::None,
+        )
+        .unwrap();
+        assert_eq!(s.meta().total_bitmaps(), 5);
+        assert_eq!(s.meta().n_rows, 20);
+        // IS file: ceil(20*5/8) = 13 bytes
+        assert_eq!(s.total_stored_bytes(), 13);
+    }
+
+    #[test]
+    fn open_reloads_without_rebuild() {
+        let comps = sample_components();
+        let store = {
+            let stored = StoredIndex::create(
+                MemStore::new(),
+                &comps,
+                StorageScheme::ComponentLevel,
+                CodecKind::Deflate,
+            )
+            .unwrap();
+            stored.store
+        };
+        let mut reopened = StoredIndex::open(store).unwrap();
+        assert_eq!(reopened.meta().n_rows, 20);
+        assert_eq!(reopened.meta().bitmaps_per_component, vec![3, 2]);
+        assert_eq!(reopened.meta().scheme, StorageScheme::ComponentLevel);
+        assert_eq!(reopened.meta().codec, CodecKind::Deflate);
+        for (ci, comp) in comps.iter().enumerate() {
+            for (j, bm) in comp.iter().enumerate() {
+                assert_eq!(&reopened.read_bitmap(ci + 1, j).unwrap(), bm);
+            }
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_rejects_garbage() {
+        let meta = StoredIndexMeta {
+            n_rows: 12345,
+            bitmaps_per_component: vec![7, 1, 4],
+            scheme: StorageScheme::BitmapLevel,
+            codec: CodecKind::Lzss,
+        };
+        let text = meta.to_manifest();
+        assert_eq!(StoredIndexMeta::from_manifest(&text).unwrap(), meta);
+        assert!(StoredIndexMeta::from_manifest("").is_err());
+        assert!(StoredIndexMeta::from_manifest("version=9\n").is_err());
+        assert!(StoredIndexMeta::from_manifest(&text.replace("lzss", "zip")).is_err());
+        assert!(StoredIndexMeta::from_manifest(&text.replace("scheme=bs", "scheme=qq")).is_err());
+        let mut store = MemStore::new();
+        store.write_file("other", b"x").unwrap();
+        assert!(StoredIndex::open(store).is_err(), "missing manifest");
+    }
+
+    #[test]
+    fn total_bytes_excludes_manifest() {
+        let comps = sample_components();
+        let s = StoredIndex::create(
+            MemStore::new(),
+            &comps,
+            StorageScheme::IndexLevel,
+            CodecKind::None,
+        )
+        .unwrap();
+        // IS file alone: ceil(20*5/8) = 13 bytes.
+        assert_eq!(s.total_stored_bytes(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_slot_panics() {
+        let comps = sample_components();
+        let mut s = StoredIndex::create(
+            MemStore::new(),
+            &comps,
+            StorageScheme::BitmapLevel,
+            CodecKind::None,
+        )
+        .unwrap();
+        let _ = s.read_bitmap(1, 3);
+    }
+}

@@ -1,0 +1,33 @@
+//! # bindex-storage
+//!
+//! Physical bitmap storage for Section 9 of the paper: the three storage
+//! schemes (**BS** bitmap-level, **CS** component-level, **IS**
+//! index-level), optional per-file compression, byte-level I/O accounting,
+//! and a bitmap buffer pool.
+//!
+//! An index whose component `i` holds `n_i` bitmaps over an `N`-row
+//! relation is an `N × n` bit matrix (`n = Σ n_i`). The schemes differ in
+//! file granularity and orientation:
+//!
+//! * **BS** — one file per bitmap (column-major): a query reads only the
+//!   bitmaps it needs;
+//! * **CS** — one file per component, stored **row-major**: any read of a
+//!   component's bitmap scans and transposes the whole component file;
+//! * **IS** — one row-major file for the whole index (a projection index
+//!   when every component has base 2).
+//!
+//! Files live in a [`ByteStore`] — [`MemStore`] for tests, [`DiskStore`]
+//! (plus [`TempDir`]) for the wall-clock experiments — and are optionally
+//! compressed with a [`CodecKind`](bindex_compress::CodecKind); `cBS`,
+//! `cCS`, `cIS` in the paper's notation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod buffer_pool;
+mod layout;
+mod store;
+
+pub use buffer_pool::BufferPool;
+pub use layout::{StorageScheme, StoredIndex, StoredIndexMeta};
+pub use store::{ByteStore, DiskStore, IoStats, MemStore, TempDir};

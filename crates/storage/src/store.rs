@@ -1,0 +1,234 @@
+//! Byte stores: named flat files in memory or on disk, with I/O statistics.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative I/O statistics of a stored index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Number of file reads issued.
+    pub reads: u64,
+    /// Bytes read from the store (compressed size when compressed).
+    pub bytes_read: u64,
+    /// Bytes produced by decompression (0 for uncompressed files).
+    pub bytes_decompressed: u64,
+}
+
+impl IoStats {
+    /// Accumulates another stats record.
+    pub fn add(&mut self, other: &IoStats) {
+        self.reads += other.reads;
+        self.bytes_read += other.bytes_read;
+        self.bytes_decompressed += other.bytes_decompressed;
+    }
+}
+
+/// A flat namespace of byte files.
+pub trait ByteStore {
+    /// Writes (or replaces) a file.
+    fn write_file(&mut self, name: &str, data: &[u8]) -> io::Result<()>;
+    /// Reads a whole file.
+    fn read_file(&self, name: &str) -> io::Result<Vec<u8>>;
+    /// Size of a file in bytes.
+    fn file_size(&self, name: &str) -> io::Result<u64>;
+    /// Names of all files, in unspecified order.
+    fn file_names(&self) -> Vec<String>;
+
+    /// Total bytes across all files.
+    fn total_bytes(&self) -> u64 {
+        self.file_names()
+            .iter()
+            .map(|n| self.file_size(n).unwrap_or(0))
+            .sum()
+    }
+}
+
+/// In-memory store, for unit tests and scan-count experiments.
+#[derive(Debug, Default, Clone)]
+pub struct MemStore {
+    files: HashMap<String, Vec<u8>>,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ByteStore for MemStore {
+    fn write_file(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.files.insert(name.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn read_file(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.files
+            .get(name)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
+    }
+
+    fn file_size(&self, name: &str) -> io::Result<u64> {
+        self.files
+            .get(name)
+            .map(|d| d.len() as u64)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
+    }
+
+    fn file_names(&self) -> Vec<String> {
+        self.files.keys().cloned().collect()
+    }
+}
+
+/// On-disk store rooted at a directory; used by the wall-clock experiments
+/// of Section 9.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir: dir.as_ref().to_path_buf(),
+        })
+    }
+
+    /// The root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_of(&self, name: &str) -> PathBuf {
+        debug_assert!(
+            !name.contains('/') && !name.contains('\\'),
+            "flat namespace only"
+        );
+        self.dir.join(name)
+    }
+}
+
+impl ByteStore for DiskStore {
+    fn write_file(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+        fs::write(self.path_of(name), data)
+    }
+
+    fn read_file(&self, name: &str) -> io::Result<Vec<u8>> {
+        fs::read(self.path_of(name))
+    }
+
+    fn file_size(&self, name: &str) -> io::Result<u64> {
+        Ok(fs::metadata(self.path_of(name))?.len())
+    }
+
+    fn file_names(&self) -> Vec<String> {
+        fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+                    .filter_map(|e| e.file_name().into_string().ok())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A process-unique temporary directory, removed on drop. (The `tempfile`
+/// crate is outside the allowed dependency set.)
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh directory under the system temp dir.
+    pub fn new(tag: &str) -> io::Result<Self> {
+        let id = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "bindex-{tag}-{}-{id}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&path)?;
+        Ok(Self { path })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &mut dyn ByteStore) {
+        store.write_file("a.bin", &[1, 2, 3]).unwrap();
+        store.write_file("b.bin", &[9; 100]).unwrap();
+        assert_eq!(store.read_file("a.bin").unwrap(), vec![1, 2, 3]);
+        assert_eq!(store.file_size("b.bin").unwrap(), 100);
+        assert!(store.read_file("missing").is_err());
+        let mut names = store.file_names();
+        names.sort();
+        assert_eq!(names, vec!["a.bin", "b.bin"]);
+        assert_eq!(store.total_bytes(), 103);
+        // overwrite
+        store.write_file("a.bin", &[7]).unwrap();
+        assert_eq!(store.read_file("a.bin").unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn mem_store_behaviour() {
+        exercise(&mut MemStore::new());
+    }
+
+    #[test]
+    fn disk_store_behaviour() {
+        let tmp = TempDir::new("store-test").unwrap();
+        let mut store = DiskStore::open(tmp.path()).unwrap();
+        exercise(&mut store);
+    }
+
+    #[test]
+    fn temp_dir_cleans_up() {
+        let path;
+        {
+            let tmp = TempDir::new("cleanup").unwrap();
+            path = tmp.path().to_path_buf();
+            fs::write(path.join("x"), b"y").unwrap();
+            assert!(path.exists());
+        }
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn io_stats_accumulate() {
+        let mut a = IoStats {
+            reads: 1,
+            bytes_read: 10,
+            bytes_decompressed: 20,
+        };
+        a.add(&IoStats {
+            reads: 2,
+            bytes_read: 5,
+            bytes_decompressed: 0,
+        });
+        assert_eq!(a.reads, 3);
+        assert_eq!(a.bytes_read, 15);
+        assert_eq!(a.bytes_decompressed, 20);
+    }
+}

@@ -1,0 +1,80 @@
+//! Explore how the storage scheme (BS / CS / IS), compression codec
+//! (none / RLE / LZSS / WAH), and data clustering interact — Section 9 of
+//! the paper in miniature, on data you choose.
+//!
+//! ```sh
+//! cargo run --release -p bindex --example compression_explorer -- [rows] [cardinality]
+//! ```
+
+use bindex::compress::wah::WahBitmap;
+use bindex::compress::CodecKind;
+use bindex::core::design::knee::knee;
+use bindex::relation::gen;
+use bindex::storage::{MemStore, StorageScheme, StoredIndex};
+use bindex::{BitmapIndex, Column, Encoding, IndexSpec};
+
+fn index_of(column: &Column) -> BitmapIndex {
+    let spec = IndexSpec::new(knee(column.cardinality()).unwrap(), Encoding::Range);
+    BitmapIndex::build(column, spec).unwrap()
+}
+
+fn report(label: &str, idx: &BitmapIndex) {
+    let raw = idx.size_bytes() as f64;
+    println!("\n{label}: {} bitmaps, {:.1} KB raw", idx.stored_bitmaps(), raw / 1024.0);
+    println!("  {:<22} {:>12} {:>8}", "scheme+codec", "bytes", "% of BS");
+    for (scheme, sname) in [
+        (StorageScheme::BitmapLevel, "BS"),
+        (StorageScheme::ComponentLevel, "CS"),
+        (StorageScheme::IndexLevel, "IS"),
+    ] {
+        for codec in [
+            CodecKind::None,
+            CodecKind::Rle,
+            CodecKind::Lzss,
+            CodecKind::Deflate,
+        ] {
+            let stored =
+                StoredIndex::create(MemStore::new(), idx.components(), scheme, codec).unwrap();
+            let bytes = stored.total_stored_bytes() as f64;
+            println!(
+                "  {:<22} {:>12.0} {:>7.1}%",
+                format!("{sname}+{}", codec.name()),
+                bytes,
+                100.0 * bytes / raw
+            );
+        }
+    }
+    let wah: usize = idx
+        .components()
+        .iter()
+        .flatten()
+        .map(|bm| WahBitmap::from_bitvec(bm).compressed_bytes())
+        .sum();
+    println!(
+        "  {:<22} {:>12} {:>7.1}%   (ops run on compressed form)",
+        "WAH (per bitmap)",
+        wah,
+        100.0 * wah as f64 / raw
+    );
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rows: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let c: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(100);
+
+    println!("Compression explorer: {rows} rows, C = {c}, knee-base range-encoded index");
+
+    // Three data layouts with very different compressibility.
+    report("uniform (random row order)", &index_of(&gen::uniform(rows, c, 1)));
+    report(
+        "clustered (runs of 64 equal values)",
+        &index_of(&gen::clustered(rows, c, 64, 2)),
+    );
+    report("fully sorted", &index_of(&gen::sorted_uniform(rows, c, 3)));
+
+    println!("\nTakeaways (matching the paper's Section 9):");
+    println!("  * CS/IS row-major layouts compress better than BS on high-cardinality data;");
+    println!("  * clustering/sorting makes every scheme dramatically more compressible;");
+    println!("  * a bitmap-native codec (WAH) competes while keeping ops compressed.");
+}

@@ -1,0 +1,74 @@
+//! An index advisor built on the paper's design results: given an
+//! attribute cardinality, a disk budget, and a buffer budget, it
+//! recommends bitmap indexes for the four design points of Figure 2.
+//!
+//! ```sh
+//! cargo run --release -p bindex --example index_advisor -- <C> <M-bitmaps> [buffer-m]
+//! # e.g.
+//! cargo run --release -p bindex --example index_advisor -- 1000 100 4
+//! ```
+
+use bindex::core::buffer::{optimal_assignment, time_optimal_buffered};
+use bindex::core::cost::{time_range_buffered_paper, time_range_paper};
+use bindex::core::design::constrained::{time_opt_alg, time_opt_heur};
+use bindex::core::design::knee::knee;
+use bindex::core::design::range_space;
+use bindex::core::design::space_opt::{max_components, space_optimal};
+use bindex::core::design::time_opt::time_optimal;
+use bindex::Base;
+
+fn describe(label: &str, base: &Base) {
+    println!(
+        "  {label:<38} base {:<22} space {:>4} bitmaps, time {:>6.3} scans",
+        base.to_string(),
+        range_space(base),
+        time_range_paper(base)
+    );
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let c: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let m: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(100);
+    let buf: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    println!("Index advisor: attribute cardinality C = {c}, disk budget M = {m} bitmaps, buffer = {buf} bitmaps");
+    println!("(All recommendations are range-encoded — Section 5's conclusion.)\n");
+
+    let nmax = max_components(c);
+    describe("(A) space-optimal", &space_optimal(c, nmax).unwrap());
+    describe("(C) knee (best tradeoff, Thm 7.1)", &knee(c).unwrap());
+    describe("(D) time-optimal", &time_optimal(c, 1).unwrap());
+
+    match time_opt_alg(c, m) {
+        Ok(exact) => {
+            describe("(B) time-optimal within budget (exact)", &exact);
+            let heur = time_opt_heur(c, m).unwrap();
+            describe("(B) ... heuristic (TimeOptHeur)", &heur);
+            let gap = time_range_paper(&heur) - time_range_paper(&exact);
+            if gap.abs() < 1e-9 {
+                println!("      heuristic found the optimum.");
+            } else {
+                println!("      heuristic is {gap:.3} scans off optimal.");
+            }
+        }
+        Err(e) => println!("  (B) infeasible: {e} — the minimum is {nmax} bitmaps."),
+    }
+
+    // Buffering-aware recommendation (Section 10).
+    let (bbase, bf) = time_optimal_buffered(c, buf).unwrap();
+    println!(
+        "\nWith {buf} bitmaps of buffer (Thm 10.2): base {} — buffered time {:.3} scans",
+        bbase,
+        time_range_buffered_paper(&bbase, &bf)
+    );
+    if let Ok(constrained) = time_opt_alg(c, m) {
+        let f = optimal_assignment(&constrained, buf);
+        println!(
+            "Budgeted index {} with optimal buffer assignment {:?} (lsb-first): {:.3} scans",
+            constrained,
+            f,
+            time_range_buffered_paper(&constrained, &f)
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end tests of the design layer: the four design points of
+//! Figure 2 materialized as real indexes and exercised with real queries.
+
+use bindex::core::cost::{expected_scans, time_range_paper};
+use bindex::core::design::constrained::{time_opt_alg, time_opt_heur};
+use bindex::core::design::knee::knee;
+use bindex::core::design::range_space;
+use bindex::core::design::space_opt::{max_components, space_optimal};
+use bindex::core::design::time_opt::time_optimal;
+use bindex::core::eval::{evaluate, naive, Algorithm};
+use bindex::relation::{gen, query};
+use bindex::{BitmapIndex, Encoding, IndexSpec};
+
+const C: u32 = 100;
+
+fn check_design(base: bindex::Base) {
+    let col = gen::uniform(500, C, 21);
+    let spec = IndexSpec::new(base, Encoding::Range);
+    let idx = BitmapIndex::build(&col, spec).unwrap();
+    idx.verify(&col).unwrap();
+    for q in query::sample(C, 60, 4) {
+        let (found, _) = evaluate(&mut idx.source(), q, Algorithm::Auto).unwrap();
+        assert_eq!(found, naive::evaluate(&col, q), "{q}");
+    }
+}
+
+#[test]
+fn all_four_design_points_build_and_answer() {
+    // (A) space-optimal, (C) knee, (D) time-optimal, (B) constrained.
+    check_design(space_optimal(C, max_components(C)).unwrap());
+    check_design(knee(C).unwrap());
+    check_design(time_optimal(C, 1).unwrap());
+    check_design(time_opt_alg(C, 30).unwrap());
+    check_design(time_opt_heur(C, 30).unwrap());
+}
+
+#[test]
+fn design_points_order_on_the_tradeoff() {
+    let a = space_optimal(C, max_components(C)).unwrap(); // min space
+    let c = knee(C).unwrap();
+    let d = time_optimal(C, 1).unwrap(); // min time
+    assert!(range_space(&a) < range_space(&c));
+    assert!(range_space(&c) < range_space(&d));
+    assert!(time_range_paper(&d) < time_range_paper(&c));
+    assert!(time_range_paper(&c) < time_range_paper(&a));
+}
+
+#[test]
+fn constrained_optimum_interpolates() {
+    // As M grows the constrained optimum's time decreases monotonically
+    // from the space-optimal end to the time-optimal end.
+    let mut prev = f64::INFINITY;
+    for m in max_components(C) as u64..C as u64 {
+        let b = time_opt_alg(C, m).unwrap();
+        assert!(range_space(&b) <= m);
+        let t = time_range_paper(&b);
+        assert!(t <= prev + 1e-12, "M={m}");
+        prev = t;
+    }
+    assert_eq!(
+        time_opt_alg(C, C as u64 - 1).unwrap().to_msb_vec(),
+        vec![C]
+    );
+}
+
+#[test]
+fn measured_time_ranks_designs_like_the_model() {
+    // Build real indexes for the knee and both extremes; the measured
+    // average scans must rank them exactly as the analytic model does.
+    let designs = [
+        space_optimal(C, max_components(C)).unwrap(),
+        knee(C).unwrap(),
+        time_optimal(C, 1).unwrap(),
+    ];
+    let col = gen::uniform(400, C, 22);
+    let queries = query::full_space(C);
+    let mut measured = Vec::new();
+    for base in &designs {
+        let idx =
+            BitmapIndex::build(&col, IndexSpec::new(base.clone(), Encoding::Range)).unwrap();
+        let mut total = 0usize;
+        for &q in &queries {
+            total += evaluate(&mut idx.source(), q, Algorithm::Auto).unwrap().1.scans;
+        }
+        measured.push(total as f64 / queries.len() as f64);
+    }
+    assert!(measured[0] > measured[1] && measured[1] > measured[2]);
+    for (base, m) in designs.iter().zip(&measured) {
+        let analytic = expected_scans(base, C, Algorithm::RangeEvalOpt);
+        assert!((m - analytic).abs() < 1e-9, "base {base}");
+    }
+}
+
+#[test]
+fn heuristic_quality_on_odd_cardinalities() {
+    // Not just round numbers: primes and awkward C values.
+    for c in [37u32, 101, 257, 997] {
+        let mut suboptimal = 0usize;
+        let mut total = 0usize;
+        for m in max_components(c) as u64..c as u64 {
+            let h = time_opt_heur(c, m).unwrap();
+            assert!(range_space(&h) <= m, "C={c} M={m}");
+            assert!(h.covers(c));
+            let o = time_opt_alg(c, m).unwrap();
+            total += 1;
+            if time_range_paper(&h) > time_range_paper(&o) + 1e-9 {
+                suboptimal += 1;
+                assert!(
+                    time_range_paper(&h) - time_range_paper(&o) < 0.6,
+                    "C={c} M={m}: gap too large"
+                );
+            }
+        }
+        assert!(
+            (suboptimal as f64) < 0.08 * total as f64,
+            "C={c}: heuristic suboptimal {suboptimal}/{total}"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! End-to-end tests of the query-engine layer on a realistic DSS schema:
+//! TPC-D-like columns, per-attribute design points, conjunctive queries
+//! through all three plans, and the paper's break-even behaviour.
+
+use bindex::engine::plan::{candidate_plans, choose, estimate, execute};
+use bindex::engine::{ConjunctiveQuery, IndexChoice, Plan, Table};
+use bindex::core::eval::naive;
+use bindex::relation::{gen, query::Op, query::SelectionQuery, tpcd};
+use bindex::BitVec;
+
+fn dss_table() -> Table {
+    let quantity = tpcd::lineitem_quantity(0.005, 1); // ~30k rows, C = 50
+    let n = quantity.len();
+    Table::builder()
+        .column("quantity", quantity, IndexChoice::Knee)
+        .column(
+            "order_day",
+            gen::uniform(n, tpcd::ORDERDATE_CARDINALITY, 2),
+            IndexChoice::SpaceBudget(60),
+        )
+        .column("priority", gen::zipf(n, 5, 0.9, 3), IndexChoice::ValueList)
+        .column("comment_len", gen::uniform(n, 120, 4), IndexChoice::None)
+        .build()
+        .unwrap()
+}
+
+fn oracle(t: &Table, q: &ConjunctiveQuery) -> BitVec {
+    let mut out = BitVec::ones(t.n_rows());
+    for (attr, sq) in q.predicates() {
+        out.and_assign(&naive::evaluate(t.column(attr).unwrap(), *sq));
+    }
+    out
+}
+
+#[test]
+fn dss_queries_correct_under_every_plan() {
+    let t = dss_table();
+    let queries = [
+        ConjunctiveQuery::new()
+            .and("quantity", SelectionQuery::new(Op::Gt, 40))
+            .and("order_day", SelectionQuery::new(Op::Le, 480))
+            .and("priority", SelectionQuery::new(Op::Le, 1)),
+        ConjunctiveQuery::new()
+            .and("quantity", SelectionQuery::new(Op::Eq, 25))
+            .and("comment_len", SelectionQuery::new(Op::Ge, 60)),
+        ConjunctiveQuery::new().and("priority", SelectionQuery::new(Op::Ne, 0)),
+    ];
+    for q in &queries {
+        let want = oracle(&t, q);
+        for plan in candidate_plans(&t, q).unwrap() {
+            let (got, stats) = execute(&t, q, &plan).unwrap();
+            assert_eq!(got, want, "{q} via {plan}");
+            assert!(stats.bytes_read > 0);
+        }
+    }
+}
+
+#[test]
+fn optimizer_tracks_the_papers_breakeven() {
+    // Single-predicate queries: P3 degenerates to a pure index scan, so
+    // the P1-vs-P3 choice is exactly the introduction's byte comparison.
+    let t = dss_table();
+    // Selective predicate: index wins.
+    let selective = ConjunctiveQuery::new().and("quantity", SelectionQuery::new(Op::Eq, 3));
+    assert_ne!(choose(&t, &selective).unwrap().plan, Plan::FullScan);
+    // A predicate on the unindexed wide attribute: only P1 applies.
+    let unindexed = ConjunctiveQuery::new().and("comment_len", SelectionQuery::new(Op::Le, 10));
+    assert_eq!(choose(&t, &unindexed).unwrap().plan, Plan::FullScan);
+}
+
+#[test]
+fn p3_beats_p2_for_multiple_unselective_predicates() {
+    // Both predicates qualify ~half the table: fetching rows for residual
+    // filtering (P2) costs far more than a couple of extra bitmap scans.
+    let t = dss_table();
+    let q = ConjunctiveQuery::new()
+        .and("quantity", SelectionQuery::new(Op::Le, 24))
+        .and("order_day", SelectionQuery::new(Op::Ge, 1200));
+    let p3 = estimate(&t, &q, &Plan::IndexMerge).unwrap();
+    let p2 = estimate(&t, &q, &Plan::IndexThenFilter("quantity".into())).unwrap();
+    let p1 = estimate(&t, &q, &Plan::FullScan).unwrap();
+    assert!(p3.bytes < p2.bytes, "P3 {} vs P2 {}", p3.bytes, p2.bytes);
+    assert!(p3.bytes < p1.bytes);
+    assert_eq!(choose(&t, &q).unwrap().plan, Plan::IndexMerge);
+}
+
+#[test]
+fn estimated_selectivity_composes() {
+    let t = dss_table();
+    let q = ConjunctiveQuery::new()
+        .and("quantity", SelectionQuery::new(Op::Le, 24))
+        .and("priority", SelectionQuery::new(Op::Eq, 0));
+    let est = q.estimated_selectivity(&t).unwrap();
+    let actual = oracle(&t, &q).count_ones() as f64 / t.n_rows() as f64;
+    // Attributes are generated independently; estimate within 15% rel.
+    assert!(
+        (est - actual).abs() / actual < 0.15,
+        "est {est} vs actual {actual}"
+    );
+}
+
+#[test]
+fn interval_encoded_attribute_in_a_table() {
+    use bindex::{Base, Encoding, IndexSpec};
+    let col = gen::uniform(5000, 60, 9);
+    let t = Table::builder()
+        .column(
+            "a",
+            col,
+            IndexChoice::Custom(IndexSpec::new(
+                Base::single(60).unwrap(),
+                Encoding::Interval,
+            )),
+        )
+        .build()
+        .unwrap();
+    assert_eq!(t.index("a").unwrap().unwrap().stored_bitmaps(), 30);
+    let q = ConjunctiveQuery::new().and("a", SelectionQuery::new(Op::Le, 41));
+    let want = oracle(&t, &q);
+    for plan in candidate_plans(&t, &q).unwrap() {
+        let (got, _) = execute(&t, &q, &plan).unwrap();
+        assert_eq!(got, want, "{plan}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Cross-crate integration tests for the evaluation algorithms: every
+//! algorithm × base × encoding combination must agree with the naive
+//! column scan, and the paper's cost relations must hold on measured
+//! statistics.
+
+use bindex::core::eval::{evaluate, naive, Algorithm};
+use bindex::relation::{gen, query};
+use bindex::{Base, BitmapIndex, Encoding, IndexSpec};
+
+fn bases_for(c: u32) -> Vec<Base> {
+    let mut out = vec![Base::single(c).unwrap()];
+    out.extend(bindex::core::base::tight_bases(c, 4));
+    out
+}
+
+#[test]
+fn all_algorithms_agree_with_naive_scan() {
+    for (c, n, seed) in [(7u32, 200usize, 1u64), (24, 500, 2), (100, 300, 3)] {
+        let col = gen::uniform(n, c, seed);
+        let queries = query::full_space(c);
+        for base in bases_for(c) {
+            for (encoding, algos) in [
+                (
+                    Encoding::Range,
+                    &[Algorithm::RangeEval, Algorithm::RangeEvalOpt][..],
+                ),
+                (Encoding::Equality, &[Algorithm::EqualityEval][..]),
+                (Encoding::Interval, &[Algorithm::IntervalEval][..]),
+            ] {
+                let spec = IndexSpec::new(base.clone(), encoding);
+                let idx = BitmapIndex::build(&col, spec).unwrap();
+                idx.verify(&col).unwrap();
+                for &algo in algos {
+                    for &q in &queries {
+                        let (found, _) = evaluate(&mut idx.source(), q, algo).unwrap();
+                        assert_eq!(
+                            found,
+                            naive::evaluate(&col, q),
+                            "C={c} base={base} {encoding:?} {algo:?} {q}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn opt_never_scans_more_than_range_eval() {
+    let c = 60u32;
+    let col = gen::uniform(400, c, 9);
+    for base in bases_for(c) {
+        let spec = IndexSpec::new(base.clone(), Encoding::Range);
+        let idx = BitmapIndex::build(&col, spec).unwrap();
+        for q in query::full_space(c) {
+            let (_, s_re) = evaluate(&mut idx.source(), q, Algorithm::RangeEval).unwrap();
+            let (_, s_opt) = evaluate(&mut idx.source(), q, Algorithm::RangeEvalOpt).unwrap();
+            assert!(
+                s_opt.scans <= s_re.scans,
+                "base={base} {q}: opt {} vs {}",
+                s_opt.scans,
+                s_re.scans
+            );
+            assert!(
+                s_opt.total_ops() <= s_re.total_ops(),
+                "base={base} {q}: opt ops {} vs {}",
+                s_opt.total_ops(),
+                s_re.total_ops()
+            );
+        }
+    }
+}
+
+#[test]
+fn range_predicates_roughly_halve_operations() {
+    // The paper's "~50%" claim, over range predicates on a multi-component
+    // index.
+    let c = 100u32;
+    let col = gen::uniform(200, c, 4);
+    let spec = IndexSpec::new(Base::uniform(10, 2).unwrap(), Encoding::Range);
+    let idx = BitmapIndex::build(&col, spec).unwrap();
+    let mut ops_re = 0usize;
+    let mut ops_opt = 0usize;
+    for q in query::full_space(c)
+        .into_iter()
+        .filter(|q| q.op.is_range())
+    {
+        ops_re += evaluate(&mut idx.source(), q, Algorithm::RangeEval)
+            .unwrap()
+            .1
+            .total_ops();
+        ops_opt += evaluate(&mut idx.source(), q, Algorithm::RangeEvalOpt)
+            .unwrap()
+            .1
+            .total_ops();
+    }
+    let ratio = ops_opt as f64 / ops_re as f64;
+    assert!(ratio < 0.55, "opt/range-eval op ratio {ratio}");
+}
+
+#[test]
+fn algorithms_reject_wrong_encoding() {
+    let col = gen::uniform(50, 8, 1);
+    let eq = BitmapIndex::build(&col, IndexSpec::value_list(8).unwrap()).unwrap();
+    let q = query::SelectionQuery::new(query::Op::Le, 3);
+    assert!(evaluate(&mut eq.source(), q, Algorithm::RangeEvalOpt).is_err());
+    assert!(evaluate(&mut eq.source(), q, Algorithm::RangeEval).is_err());
+    let range = BitmapIndex::build(
+        &col,
+        IndexSpec::new(Base::single(8).unwrap(), Encoding::Range),
+    )
+    .unwrap();
+    assert!(evaluate(&mut range.source(), q, Algorithm::EqualityEval).is_err());
+}
+
+#[test]
+fn auto_algorithm_dispatches_by_encoding() {
+    let col = gen::uniform(50, 8, 1);
+    let q = query::SelectionQuery::new(query::Op::Lt, 5);
+    for encoding in [Encoding::Range, Encoding::Equality] {
+        let idx = BitmapIndex::build(
+            &col,
+            IndexSpec::new(Base::from_msb(&[2, 4]).unwrap(), encoding),
+        )
+        .unwrap();
+        let (found, _) = evaluate(&mut idx.source(), q, Algorithm::Auto).unwrap();
+        assert_eq!(found, naive::evaluate(&col, q));
+    }
+}
+
+#[test]
+fn foundset_cardinalities_match_selectivity() {
+    let c = 50u32;
+    let col = gen::uniform(10_000, c, 5);
+    let hist = col.histogram();
+    let idx = BitmapIndex::build(
+        &col,
+        IndexSpec::new(Base::from_msb(&[7, 8]).unwrap(), Encoding::Range),
+    )
+    .unwrap();
+    for q in query::full_space(c) {
+        let (found, _) = evaluate(&mut idx.source(), q, Algorithm::Auto).unwrap();
+        let expect = (q.selectivity(&hist) * col.len() as f64).round() as usize;
+        assert_eq!(found.count_ones(), expect, "{q}");
+    }
+}
+
+#[test]
+fn nulls_flow_through_all_algorithms() {
+    use bindex::BitVec;
+    let col = gen::uniform(300, 30, 6);
+    let nulls = BitVec::from_fn(300, |i| i % 11 == 0);
+    for encoding in [Encoding::Range, Encoding::Equality, Encoding::Interval] {
+        let spec = IndexSpec::new(Base::from_msb(&[5, 6]).unwrap(), encoding);
+        let idx = BitmapIndex::build_with_nulls(&col, &nulls, spec).unwrap();
+        for q in query::full_space(30) {
+            let (found, _) = evaluate(&mut idx.source(), q, Algorithm::Auto).unwrap();
+            assert_eq!(found, naive::evaluate_with_nulls(&col, &nulls, q), "{q}");
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: bit-vector algebra, codec round-trips, mixed-radix
+//! decomposition, evaluator/oracle equivalence on random columns, and the
+//! Theorem 8.1 refinement invariants.
+
+use bindex::compress::wah::WahBitmap;
+use bindex::compress::{Codec, Lzss, Rle};
+use bindex::core::cost::{self, time_range_paper};
+use bindex::core::design::constrained::refine_index;
+use bindex::core::design::range_space;
+use bindex::core::eval::{evaluate, naive, Algorithm};
+use bindex::relation::query::{Op, SelectionQuery};
+use bindex::relation::Column;
+use bindex::{Base, BitVec, BitmapIndex, Encoding, IndexSpec};
+use proptest::prelude::*;
+
+fn bitvec_strategy(max_len: usize) -> impl Strategy<Value = BitVec> {
+    prop::collection::vec(any::<bool>(), 0..max_len).prop_map(|bits| BitVec::from_bools(&bits))
+}
+
+fn bitvec_pair(max_len: usize) -> impl Strategy<Value = (BitVec, BitVec)> {
+    (0..max_len).prop_flat_map(|len| {
+        (
+            prop::collection::vec(any::<bool>(), len..=len),
+            prop::collection::vec(any::<bool>(), len..=len),
+        )
+            .prop_map(|(a, b)| (BitVec::from_bools(&a), BitVec::from_bools(&b)))
+    })
+}
+
+/// A well-defined base with product in [2, 4096].
+fn base_strategy() -> impl Strategy<Value = Base> {
+    prop::collection::vec(2u32..13, 1..5)
+        .prop_filter("bounded product", |v| {
+            v.iter().map(|&b| u64::from(b)).product::<u64>() <= 4096
+        })
+        .prop_map(|v| Base::new(v).unwrap())
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop::sample::select(Op::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- bit-vector algebra ----
+
+    #[test]
+    fn bv_double_complement_is_identity(a in bitvec_strategy(300)) {
+        prop_assert_eq!(a.complement().complement(), a);
+    }
+
+    #[test]
+    fn bv_demorgan((a, b) in bitvec_pair(300)) {
+        prop_assert_eq!((&a & &b).complement(), &a.complement() | &b.complement());
+        prop_assert_eq!((&a | &b).complement(), &a.complement() & &b.complement());
+    }
+
+    #[test]
+    fn bv_xor_is_symmetric_difference((a, b) in bitvec_pair(300)) {
+        let direct = &a ^ &b;
+        let mut or = a.clone() | &b;
+        or.and_not_assign(&(&a & &b));
+        prop_assert_eq!(direct, or);
+    }
+
+    #[test]
+    fn bv_popcount_consistency((a, b) in bitvec_pair(300)) {
+        // |A| + |B| = |A∪B| + |A∩B|
+        prop_assert_eq!(
+            a.count_ones() + b.count_ones(),
+            (&a | &b).count_ones() + (&a & &b).count_ones()
+        );
+    }
+
+    #[test]
+    fn bv_bytes_roundtrip(a in bitvec_strategy(500)) {
+        prop_assert_eq!(BitVec::from_bytes(a.len(), &a.to_bytes()), a);
+    }
+
+    #[test]
+    fn bv_iter_ones_sorted_and_complete(a in bitvec_strategy(500)) {
+        let ones: Vec<usize> = a.iter_ones().collect();
+        prop_assert!(ones.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(ones.len(), a.count_ones());
+        for i in ones {
+            prop_assert!(a.get(i));
+        }
+    }
+
+    // ---- codecs ----
+
+    #[test]
+    fn rle_roundtrip(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+        let c = Rle.compress(&data);
+        prop_assert_eq!(Rle.decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn lzss_roundtrip(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+        let codec = Lzss::default();
+        let c = codec.compress(&data);
+        prop_assert_eq!(codec.decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn lzss_roundtrip_runny(runs in prop::collection::vec((any::<u8>(), 1usize..200), 0..40) ) {
+        let data: Vec<u8> = runs.iter().flat_map(|&(b, n)| std::iter::repeat_n(b, n)).collect();
+        let codec = Lzss::default();
+        let c = codec.compress(&data);
+        prop_assert_eq!(codec.decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn wah_roundtrip_and_ops((a, b) in bitvec_pair(600)) {
+        let (wa, wb) = (WahBitmap::from_bitvec(&a), WahBitmap::from_bitvec(&b));
+        prop_assert_eq!(wa.to_bitvec(), a.clone());
+        prop_assert_eq!(wa.count_ones(), a.count_ones());
+        prop_assert_eq!(wa.and(&wb).to_bitvec(), &a & &b);
+        prop_assert_eq!(wa.or(&wb).to_bitvec(), &a | &b);
+        prop_assert_eq!(wa.xor(&wb).to_bitvec(), &a ^ &b);
+        prop_assert_eq!(wa.not().to_bitvec(), a.complement());
+    }
+
+    // ---- mixed-radix decomposition ----
+
+    #[test]
+    fn decompose_compose_roundtrip(base in base_strategy(), vs in prop::collection::vec(0u32..4096, 1..20)) {
+        let product = base.product() as u32;
+        for v in vs {
+            let v = v % product;
+            let digits = base.decompose(v).unwrap();
+            prop_assert_eq!(digits.len(), base.n_components());
+            for (i, &d) in digits.iter().enumerate() {
+                prop_assert!(d < base.as_lsb_slice()[i]);
+            }
+            prop_assert_eq!(base.compose(&digits).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn decomposition_preserves_order(base in base_strategy()) {
+        // Mixed-radix with msb-first digit comparison is order-preserving.
+        let product = base.product() as u32;
+        let step = (product / 50).max(1);
+        let mut prev: Option<Vec<u32>> = None;
+        let mut v = 0;
+        while v < product {
+            let mut digits = base.decompose(v).unwrap();
+            digits.reverse(); // msb first for lexicographic comparison
+            if let Some(p) = &prev {
+                prop_assert!(p < &digits);
+            }
+            prev = Some(digits);
+            v += step;
+        }
+    }
+
+    // ---- evaluation equivalence on random columns ----
+
+    #[test]
+    fn evaluators_match_oracle(
+        base in base_strategy(),
+        values in prop::collection::vec(0u32..4096, 1..120),
+        op in op_strategy(),
+        constant in 0u32..4096,
+    ) {
+        let c = base.product() as u32;
+        let values: Vec<u32> = values.into_iter().map(|v| v % c).collect();
+        let column = Column::new(values, c);
+        let q = SelectionQuery::new(op, constant % c);
+        let want = naive::evaluate(&column, q);
+        for (encoding, algos) in [
+            (Encoding::Range, &[Algorithm::RangeEval, Algorithm::RangeEvalOpt][..]),
+            (Encoding::Equality, &[Algorithm::EqualityEval][..]),
+            (Encoding::Interval, &[Algorithm::IntervalEval][..]),
+        ] {
+            let idx = BitmapIndex::build(&column, IndexSpec::new(base.clone(), encoding)).unwrap();
+            for &algo in algos {
+                let (found, stats) = evaluate(&mut idx.source(), q, algo).unwrap();
+                prop_assert_eq!(&found, &want, "{:?} {:?} {}", encoding, algo, q);
+                prop_assert_eq!(
+                    stats.scans,
+                    cost::predicted_scans(&base, q, algo),
+                    "scan prediction {:?} {}", algo, q
+                );
+            }
+        }
+    }
+
+    // ---- design-layer invariants ----
+
+    #[test]
+    fn refine_index_theorem_8_1(base in base_strategy()) {
+        // Refinement never increases space or time and keeps coverage,
+        // for any cardinality the base covers.
+        let product = base.product() as u32;
+        for c in [product, product / 2 + 1, (product * 3 / 4).max(2)] {
+            if !base.covers(c) || c < 2 { continue; }
+            let refined = refine_index(&base, c);
+            prop_assert!(refined.covers(c), "{} -> {} does not cover {}", base, refined, c);
+            prop_assert!(range_space(&refined) <= range_space(&base));
+            prop_assert!(time_range_paper(&refined) <= time_range_paper(&base) + 1e-12,
+                "{} -> {} time grew for C={}", base, refined, c);
+        }
+    }
+
+    #[test]
+    fn space_formulas_match_built_indexes(base in base_strategy()) {
+        let c = base.product() as u32;
+        let column = Column::new(vec![0, c - 1, c / 2], c);
+        for encoding in [Encoding::Range, Encoding::Equality, Encoding::Interval] {
+            let spec = IndexSpec::new(base.clone(), encoding);
+            let expected = spec.stored_bitmaps();
+            let idx = BitmapIndex::build(&column, spec).unwrap();
+            let actual: u64 = idx.components().iter().map(|comp| comp.len() as u64).sum();
+            prop_assert_eq!(actual, expected);
+        }
+    }
+}
