@@ -1,15 +1,16 @@
-//! Criterion: throughput of the bit-vector substrate's logical operations
+//! Microbench: throughput of the bit-vector substrate's logical operations
 //! and popcount on 1M-bit bitmaps — the inner loop of every query.
 
 use bindex::bitvec::rank::RankIndex;
 use bindex::BitVec;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use bindex_bench::microbench::{BatchSize, Criterion, Throughput};
+use bindex_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 const BITS: usize = 1 << 20;
 
 fn mk(seed: usize) -> BitVec {
-    BitVec::from_fn(BITS, |i| (i * 2654435761 + seed) % 7 == 0)
+    BitVec::from_fn(BITS, |i| (i * 2654435761 + seed).is_multiple_of(7))
 }
 
 fn bench(c: &mut Criterion) {
@@ -48,7 +49,9 @@ fn bench(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
-    g.bench_function("count_ones_1m", |bench| bench.iter(|| black_box(&a).count_ones()));
+    g.bench_function("count_ones_1m", |bench| {
+        bench.iter(|| black_box(&a).count_ones())
+    });
     g.bench_function("iter_ones_1m", |bench| {
         bench.iter(|| black_box(&a).iter_ones().sum::<usize>())
     });

@@ -1,10 +1,11 @@
-//! Criterion: the compression substrate — RLE and LZSS on bitmap bytes of
+//! Microbench: the compression substrate — RLE and LZSS on bitmap bytes of
 //! different densities, plus WAH compressed-form logical operations.
 
 use bindex::compress::wah::WahBitmap;
 use bindex::compress::{Codec, Deflate, Lzss, Rle};
 use bindex::BitVec;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bindex_bench::microbench::{Criterion, Throughput};
+use bindex_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 const BITS: usize = 1 << 20;

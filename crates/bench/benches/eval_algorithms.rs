@@ -1,11 +1,12 @@
-//! Criterion: wall-clock comparison of RangeEval vs RangeEval-Opt vs the
+//! Microbench: wall-clock comparison of RangeEval vs RangeEval-Opt vs the
 //! equality evaluator on a 100k-row relation — the paper's Section 3
 //! improvement measured end-to-end rather than in scan counts.
 
 use bindex::core::eval::{evaluate, Algorithm};
 use bindex::relation::{gen, query};
 use bindex::{Base, BitmapIndex, Encoding, IndexSpec};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bindex_bench::microbench::Criterion;
+use bindex_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 const N: usize = 100_000;

@@ -1,10 +1,11 @@
-//! Criterion: index construction cost across design points — Value-List,
+//! Microbench: index construction cost across design points — Value-List,
 //! knee, binary Bit-Sliced — on a 100k-row uniform column.
 
 use bindex::core::design::knee::knee;
 use bindex::relation::gen;
 use bindex::{Base, BitmapIndex, Encoding, IndexSpec};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bindex_bench::microbench::Criterion;
+use bindex_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 const N: usize = 100_000;
@@ -21,7 +22,10 @@ fn bench(c: &mut Criterion) {
             "knee_range_c100",
             IndexSpec::new(knee(C).unwrap(), Encoding::Range),
         ),
-        ("bit_sliced_base2_c100", IndexSpec::bit_sliced(C, 2).unwrap()),
+        (
+            "bit_sliced_base2_c100",
+            IndexSpec::bit_sliced(C, 2).unwrap(),
+        ),
         (
             "single_range_c100",
             IndexSpec::new(Base::single(C).unwrap(), Encoding::Range),

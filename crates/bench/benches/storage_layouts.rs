@@ -1,4 +1,4 @@
-//! Criterion: single-bitmap read cost under the three storage schemes —
+//! Microbench: single-bitmap read cost under the three storage schemes —
 //! the access asymmetry behind Section 9.2's conclusions (BS reads one
 //! file; CS/IS read and transpose a whole row-major file).
 
@@ -6,7 +6,8 @@ use bindex::compress::CodecKind;
 use bindex::relation::gen;
 use bindex::storage::{MemStore, StorageScheme, StoredIndex};
 use bindex::{Base, BitmapIndex, Encoding, IndexSpec};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bindex_bench::microbench::Criterion;
+use bindex_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 const N: usize = 100_000;
@@ -22,10 +23,26 @@ fn stored(scheme: StorageScheme, codec: CodecKind) -> StoredIndex<MemStore> {
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("storage_layouts");
     for (name, scheme, codec) in [
-        ("bs_read_bitmap", StorageScheme::BitmapLevel, CodecKind::None),
-        ("cbs_read_bitmap", StorageScheme::BitmapLevel, CodecKind::Lzss),
-        ("cs_read_bitmap", StorageScheme::ComponentLevel, CodecKind::None),
-        ("ccs_read_bitmap", StorageScheme::ComponentLevel, CodecKind::Lzss),
+        (
+            "bs_read_bitmap",
+            StorageScheme::BitmapLevel,
+            CodecKind::None,
+        ),
+        (
+            "cbs_read_bitmap",
+            StorageScheme::BitmapLevel,
+            CodecKind::Lzss,
+        ),
+        (
+            "cs_read_bitmap",
+            StorageScheme::ComponentLevel,
+            CodecKind::None,
+        ),
+        (
+            "ccs_read_bitmap",
+            StorageScheme::ComponentLevel,
+            CodecKind::Lzss,
+        ),
         ("is_read_bitmap", StorageScheme::IndexLevel, CodecKind::None),
     ] {
         let mut s = stored(scheme, codec);

@@ -35,7 +35,10 @@ fn main() {
         }
     }
     if failed.is_empty() {
-        println!("\nAll {} experiments completed; CSVs in results/.", EXPERIMENTS.len());
+        println!(
+            "\nAll {} experiments completed; CSVs in results/.",
+            EXPERIMENTS.len()
+        );
     } else {
         eprintln!("\nFAILED experiments: {failed:?}");
         std::process::exit(1);

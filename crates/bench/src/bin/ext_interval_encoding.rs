@@ -16,7 +16,10 @@ use bindex_bench::{f3, print_table, Csv};
 
 fn main() {
     let cards: Vec<u32> = {
-        let args: Vec<u32> = std::env::args().skip(1).filter_map(|s| s.parse().ok()).collect();
+        let args: Vec<u32> = std::env::args()
+            .skip(1)
+            .filter_map(|s| s.parse().ok())
+            .collect();
         if args.is_empty() {
             vec![100, 1000]
         } else {
@@ -26,7 +29,13 @@ fn main() {
 
     let mut csv = Csv::create(
         "ext_interval_encoding",
-        &["cardinality", "encoding", "base", "space_bitmaps", "time_scans"],
+        &[
+            "cardinality",
+            "encoding",
+            "base",
+            "space_bitmaps",
+            "time_scans",
+        ],
     )
     .unwrap();
 
@@ -62,7 +71,10 @@ fn main() {
             f3(r_time)
         );
         assert!(iv_space * 2 <= r_space + 2);
-        assert!(iv_time < r_time + 1.0, "interval time within 1 scan of range");
+        assert!(
+            iv_time < r_time + 1.0,
+            "interval time within 1 scan of range"
+        );
     }
     println!("\n(1999 paper's headline: half the space at <= 2 scans per digit predicate.)");
     println!("CSV: {}", csv.path().display());

@@ -23,7 +23,14 @@ fn main() {
 
     let mut csv = Csv::create(
         &format!("fig08_eval_algorithms_c{c}"),
-        &["base", "components", "scans_rangeeval", "scans_opt", "ops_rangeeval", "ops_opt"],
+        &[
+            "base",
+            "components",
+            "scans_rangeeval",
+            "scans_opt",
+            "ops_rangeeval",
+            "ops_opt",
+        ],
     )
     .unwrap();
 
@@ -53,14 +60,19 @@ fn main() {
 
     print_table(
         &format!("Figure 8: RangeEval vs RangeEval-Opt, uniform base, C = {c} (selected rows)"),
-        &["base b", "n", "avg scans RangeEval", "avg scans Opt", "avg ops RangeEval", "avg ops Opt"],
+        &[
+            "base b",
+            "n",
+            "avg scans RangeEval",
+            "avg scans Opt",
+            "avg ops RangeEval",
+            "avg ops Opt",
+        ],
         &rows,
     );
 
-    let avg_op_saving =
-        improvements.iter().map(|x| x.0).sum::<f64>() / improvements.len() as f64;
-    let avg_scan_saving =
-        improvements.iter().map(|x| x.1).sum::<f64>() / improvements.len() as f64;
+    let avg_op_saving = improvements.iter().map(|x| x.0).sum::<f64>() / improvements.len() as f64;
+    let avg_scan_saving = improvements.iter().map(|x| x.1).sum::<f64>() / improvements.len() as f64;
     println!(
         "\nAverage over all bases: RangeEval-Opt saves {:.1}% of bitmap operations and {:.2} scans/query.",
         100.0 * avg_op_saving,

@@ -14,8 +14,15 @@ use bindex::Encoding;
 use bindex_bench::{f3, print_table, Csv};
 
 fn main() {
-    let args: Vec<u32> = std::env::args().skip(1).filter_map(|s| s.parse().ok()).collect();
-    let cards = if args.is_empty() { vec![10, 100, 1000] } else { args };
+    let args: Vec<u32> = std::env::args()
+        .skip(1)
+        .filter_map(|s| s.parse().ok())
+        .collect();
+    let cards = if args.is_empty() {
+        vec![10, 100, 1000]
+    } else {
+        args
+    };
 
     for c in cards {
         let range = pareto(all_points(c, Encoding::Range, usize::MAX));

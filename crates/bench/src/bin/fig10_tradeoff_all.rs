@@ -10,9 +10,9 @@
 
 use bindex::core::cost::time_range_paper;
 use bindex::core::design::frontier::{all_points, pareto};
+use bindex::core::design::range_space;
 use bindex::core::design::space_opt::{max_components, space_optimal_best_time};
 use bindex::core::design::time_opt::time_optimal;
-use bindex::core::design::range_space;
 use bindex::Encoding;
 use bindex_bench::{f3, print_table, Csv};
 
@@ -27,12 +27,24 @@ fn main() {
 
     let mut csv = Csv::create(
         &format!("fig10_tradeoff_c{c}"),
-        &["series", "n_components", "base", "space_bitmaps", "time_scans"],
+        &[
+            "series",
+            "n_components",
+            "base",
+            "space_bitmaps",
+            "time_scans",
+        ],
     )
     .unwrap();
     for p in &everything {
-        csv.row(&[&"all", &p.base.n_components(), &p.base, &p.space, &f3(p.time)])
-            .unwrap();
+        csv.row(&[
+            &"all",
+            &p.base.n_components(),
+            &p.base,
+            &p.space,
+            &f3(p.time),
+        ])
+        .unwrap();
     }
 
     let mut rows = Vec::new();
@@ -42,8 +54,10 @@ fn main() {
         let to = time_optimal(c, n).unwrap();
         let (so_s, so_t) = (range_space(&so), time_range_paper(&so));
         let (to_s, to_t) = (range_space(&to), time_range_paper(&to));
-        csv.row(&[&"space_optimal", &n, &so, &so_s, &f3(so_t)]).unwrap();
-        csv.row(&[&"time_optimal", &n, &to, &to_s, &f3(to_t)]).unwrap();
+        csv.row(&[&"space_optimal", &n, &so, &so_s, &f3(so_t)])
+            .unwrap();
+        csv.row(&[&"time_optimal", &n, &to, &to_s, &f3(to_t)])
+            .unwrap();
         rows.push(vec![
             n.to_string(),
             so.to_string(),

@@ -69,9 +69,7 @@ fn main() {
         let f = pareto(all_points(cc, Encoding::Range, usize::MAX));
         if let Some(kd) = knee_by_definition(&f) {
             let cf = knee(cc).unwrap();
-            if kd.space == range_space(&cf)
-                && (kd.time - time_range_paper(&cf)).abs() < 1e-9
-            {
+            if kd.space == range_space(&cf) && (kd.time - time_range_paper(&cf)).abs() < 1e-9 {
                 matches += 1;
             } else {
                 println!(

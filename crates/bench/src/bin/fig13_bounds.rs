@@ -27,7 +27,8 @@ fn show_case(c: u32, m: u64, csv: &mut Csv) {
             range_space(&to).to_string(),
             mark(range_space(&to)).to_string(),
         ]);
-        csv.row(&[&c, &m, &n, &range_space(&so), &range_space(&to)]).unwrap();
+        csv.row(&[&c, &m, &n, &range_space(&so), &range_space(&to)])
+            .unwrap();
     }
     print_table(
         &format!("Figure 13: bounds for C = {c}, M = {m} bitmaps"),
@@ -37,7 +38,11 @@ fn show_case(c: u32, m: u64, csv: &mut Csv) {
     let sol = time_opt_alg(c, m).unwrap();
     println!(
         "  n0 = {n0}, n' = {n_prime}{} — solution {} ({} bitmaps, time {})",
-        if n0 == n_prime { " (fast path: n' = n0)" } else { "" },
+        if n0 == n_prime {
+            " (fast path: n' = n0)"
+        } else {
+            ""
+        },
         sol,
         range_space(&sol),
         f3(time_range_paper(&sol))

@@ -43,18 +43,17 @@ fn main() {
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let sizes: Vec<usize> = {
         let mut out = vec![0usize; ms.len()];
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (t, chunk) in out.chunks_mut(ms.len().div_ceil(threads)).enumerate() {
                 let ms = &ms;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let offset = t * ms.len().div_ceil(threads);
                     for (k, slot) in chunk.iter_mut().enumerate() {
                         *slot = candidate_set_size(c, ms[offset + k]);
                     }
                 });
             }
-        })
-        .expect("worker panicked");
+        });
         out
     };
 
@@ -74,6 +73,9 @@ fn main() {
         &["M (bitmaps)", "|I|"],
         &rows,
     );
-    println!("\nPeak candidate-set size: |I| = {} at M = {}.", peak.1, peak.0);
+    println!(
+        "\nPeak candidate-set size: |I| = {} at M = {}.",
+        peak.1, peak.0
+    );
     println!("CSV: {}", csv.path().display());
 }

@@ -38,7 +38,10 @@ fn main() {
         pts.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).unwrap()));
         let mut frontier: Vec<&(u64, f64, String)> = Vec::new();
         for p in &pts {
-            if frontier.last().map_or(true, |l| p.1 < l.1 - 1e-12 && p.0 > l.0) {
+            if frontier
+                .last()
+                .is_none_or(|l| p.1 < l.1 - 1e-12 && p.0 > l.0)
+            {
                 frontier.push(p);
             }
         }
@@ -54,7 +57,12 @@ fn main() {
             m.to_string(),
             frontier.len().to_string(),
             format!("{} @ {} bitmaps", f3(best.1), best.0),
-            format!("{} ({} bitmaps, time {})", knee_ish.2, knee_ish.0, f3(knee_ish.1)),
+            format!(
+                "{} ({} bitmaps, time {})",
+                knee_ish.2,
+                knee_ish.0,
+                f3(knee_ish.1)
+            ),
         ]);
 
         // Theorem 10.2 check: the closed-form optimum matches enumeration.

@@ -15,7 +15,13 @@ fn main() {
     let bitmap_bytes = n_rows / 8;
     let mut csv = Csv::create(
         "intro_breakeven",
-        &["selectivity_pct", "result_rows", "ridlist_bytes", "bitmap_bytes", "winner"],
+        &[
+            "selectivity_pct",
+            "result_rows",
+            "ridlist_bytes",
+            "bitmap_bytes",
+            "winner",
+        ],
     )
     .unwrap();
     let mut rows = Vec::new();
@@ -47,12 +53,21 @@ fn main() {
     }
     print_table(
         &format!("Section 1: bytes read per predicate, N = {n_rows} rows"),
-        &["selectivity", "result rows n", "RID-list bytes (4n)", "bitmap bytes (N/8)", "cheaper"],
+        &[
+            "selectivity",
+            "result rows n",
+            "RID-list bytes (4n)",
+            "bitmap bytes (N/8)",
+            "cheaper",
+        ],
         &rows,
     );
     println!(
         "\nBreak-even: n = N/32 (selectivity 1/32 = {:.2}%) — bitmap indexes win above it,",
         100.0 / 32.0
     );
-    println!("matching the paper's introduction. CSV: {}", csv.path().display());
+    println!(
+        "matching the paper's introduction. CSV: {}",
+        csv.path().display()
+    );
 }

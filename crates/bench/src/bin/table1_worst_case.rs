@@ -17,7 +17,11 @@ use bindex::relation::Column;
 use bindex::{Base, BitmapIndex, Encoding, IndexSpec};
 use bindex_bench::{print_table, Csv};
 
-fn worst_case(n: usize, op: Op, algorithm: Algorithm) -> (usize, usize, usize, usize, usize, usize) {
+fn worst_case(
+    n: usize,
+    op: Op,
+    algorithm: Algorithm,
+) -> (usize, usize, usize, usize, usize, usize) {
     let c = 3u32.pow(n as u32);
     let col = Column::new((0..c).collect(), c);
     let spec = IndexSpec::new(Base::uniform(3, n).unwrap(), Encoding::Range);
@@ -38,7 +42,17 @@ fn worst_case(n: usize, op: Op, algorithm: Algorithm) -> (usize, usize, usize, u
 fn main() {
     let mut csv = Csv::create(
         "table1_worst_case",
-        &["algorithm", "op", "n", "and", "or", "xor", "not", "total_ops", "scans"],
+        &[
+            "algorithm",
+            "op",
+            "n",
+            "and",
+            "or",
+            "xor",
+            "not",
+            "total_ops",
+            "scans",
+        ],
     )
     .unwrap();
 
@@ -60,13 +74,32 @@ fn main() {
                     total.to_string(),
                     scans.to_string(),
                 ]);
-                csv.row(&[&name, &op.symbol(), &n, &ands, &ors, &xors, &nots, &total, &scans])
-                    .unwrap();
+                csv.row(&[
+                    &name,
+                    &op.symbol(),
+                    &n,
+                    &ands,
+                    &ors,
+                    &xors,
+                    &nots,
+                    &total,
+                    &scans,
+                ])
+                .unwrap();
             }
         }
         print_table(
             &format!("Table 1: worst-case ops and scans, n = {n} components"),
-            &["algorithm", "predicate", "AND", "OR", "XOR", "NOT", "total", "scans"],
+            &[
+                "algorithm",
+                "predicate",
+                "AND",
+                "OR",
+                "XOR",
+                "NOT",
+                "total",
+                "scans",
+            ],
             &rows,
         );
 
@@ -87,5 +120,8 @@ fn main() {
     }
     println!("\nClosed-form checks passed: RangeEval A<=c costs 4n+1 ops / 2n scans,");
     println!("RangeEval-Opt costs 2n-2 ops / 2n-1 scans (~50% fewer ops, 1 fewer scan);");
-    println!("equality predicates cost the same under both. CSV: {}", csv.path().display());
+    println!(
+        "equality predicates cost the same under both. CSV: {}",
+        csv.path().display()
+    );
 }

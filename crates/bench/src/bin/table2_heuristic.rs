@@ -14,7 +14,10 @@ use bindex::core::design::space_opt::max_components;
 use bindex_bench::{f3, pct, print_table, Csv};
 
 fn main() {
-    let args: Vec<u32> = std::env::args().skip(1).filter_map(|s| s.parse().ok()).collect();
+    let args: Vec<u32> = std::env::args()
+        .skip(1)
+        .filter_map(|s| s.parse().ok())
+        .collect();
     let cards = if args.is_empty() {
         vec![100, 250, 500, 1000]
     } else {
@@ -23,7 +26,12 @@ fn main() {
 
     let mut csv = Csv::create(
         "table2_heuristic",
-        &["cardinality", "constraints_tested", "pct_optimal", "max_scan_diff"],
+        &[
+            "cardinality",
+            "constraints_tested",
+            "pct_optimal",
+            "max_scan_diff",
+        ],
     )
     .unwrap();
     let mut rows = Vec::new();

@@ -27,9 +27,20 @@ fn main() {
     }
     print_table(
         &format!("Table 3: TPC-D benchmark data (scale {scale} of SF-1)"),
-        &["data set", "relation", "attribute", "relation cardinality", "attribute cardinality C"],
+        &[
+            "data set",
+            "relation",
+            "attribute",
+            "relation cardinality",
+            "attribute cardinality C",
+        ],
         &rows,
     );
-    println!("\nPaper (SF-1): Lineitem/Quantity N=6,001,215 C=50; Order/Order-Date N=1,500,000 C=2406.");
-    println!("Set BINDEX_SCALE=1.0 for full SF-1 sizes. CSV: {}", csv.path().display());
+    println!(
+        "\nPaper (SF-1): Lineitem/Quantity N=6,001,215 C=50; Order/Order-Date N=1,500,000 C=2406."
+    );
+    println!(
+        "Set BINDEX_SCALE=1.0 for full SF-1 sizes. CSV: {}",
+        csv.path().display()
+    );
 }

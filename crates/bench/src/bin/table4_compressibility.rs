@@ -33,7 +33,9 @@ fn main() {
 
     let mut csv = Csv::create(
         "table4_compressibility",
-        &["data_set", "base", "bs_bytes", "cbs_pct", "ccs_pct", "cis_pct", "wah_pct"],
+        &[
+            "data_set", "base", "bs_bytes", "cbs_pct", "ccs_pct", "cis_pct", "wah_pct",
+        ],
     )
     .unwrap();
 
@@ -104,6 +106,9 @@ fn main() {
         );
     }
     println!("\n(Paper, zlib: cCS compresses best; gains shrink as components grow.)");
-    println!("Codec used: {} (the zlib substitution; --lzss for the entropy-free ablation).", codec.name());
+    println!(
+        "Codec used: {} (the zlib substitution; --lzss for the entropy-free ablation).",
+        codec.name()
+    );
     println!("CSV: {}", csv.path().display());
 }

@@ -5,10 +5,14 @@
 //! paper's rows/series to stdout and writes a CSV under `results/`. Run
 //! them all with `cargo run --release -p bindex-bench --bin all_experiments`.
 //!
-//! The Criterion micro-benchmarks live in `benches/`.
+//! The micro-benchmarks live in `benches/`, driven by the in-repo
+//! [`microbench`] harness (the build environment has no crates-registry
+//! access, so external harnesses are not available).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod microbench;
 
 use std::fmt::Display;
 use std::fs;
@@ -158,11 +162,7 @@ mod tests {
 
     #[test]
     fn table_and_formatters() {
-        print_table(
-            "demo",
-            &["a", "bb"],
-            &[vec!["1".into(), "2".into()]],
-        );
+        print_table("demo", &["a", "bb"], &[vec!["1".into(), "2".into()]]);
         assert_eq!(f3(1.23456), "1.235");
         assert_eq!(f2(1.23456), "1.23");
         assert_eq!(pct(97.25), "97.2%");

@@ -5,10 +5,22 @@
 //! This is what the Section 9 experiments evaluate queries through: the
 //! same evaluation algorithms, but every `fetch` is a real file read (and
 //! decompression, for the `c*`-schemes), with byte-level I/O accounting.
+//! Storage failures surface as typed [`Error`](bindex_core::Error)s on the
+//! query path — checksum mismatches as [`Error::ChecksumMismatch`], other
+//! store failures as [`Error::Storage`] — never as panics.
 
 use bindex_bitvec::BitVec;
-use bindex_core::{BitmapIndex, BitmapSource, IndexSpec};
-use bindex_storage::{BufferPool, ByteStore, IoStats, StorageScheme, StoredIndex};
+use bindex_core::{BitmapIndex, BitmapSource, Error, IndexSpec};
+use bindex_storage::{BufferPool, ByteStore, IoStats, StorageError, StorageScheme, StoredIndex};
+
+/// Maps a storage-layer error onto the core error type, preserving the
+/// transient/permanent distinction the evaluators care about.
+fn storage_error(e: StorageError) -> Error {
+    match e {
+        StorageError::ChecksumMismatch { .. } => Error::ChecksumMismatch(e.to_string()),
+        other => Error::Storage(other.to_string()),
+    }
+}
 
 /// A [`BitmapSource`] backed by a [`StoredIndex`].
 pub struct StorageSource<'a, S: ByteStore> {
@@ -20,25 +32,26 @@ pub struct StorageSource<'a, S: ByteStore> {
 
 impl<'a, S: ByteStore> StorageSource<'a, S> {
     /// Wraps a stored index. `spec` must describe the layout the index was
-    /// written with (validated against the stored metadata).
-    ///
-    /// # Panics
-    /// Panics if the stored bitmap counts do not match `spec`.
-    pub fn new(stored: &'a mut StoredIndex<S>, spec: IndexSpec) -> Self {
+    /// written with; a mismatch against the stored metadata is reported as
+    /// [`Error::CorruptIndex`].
+    pub fn try_new(stored: &'a mut StoredIndex<S>, spec: IndexSpec) -> Result<Self, Error> {
         let expect: Vec<u32> = (1..=spec.n_components())
             .map(|i| spec.stored_in_component(i))
             .collect();
-        assert_eq!(
-            stored.meta().bitmaps_per_component,
-            expect,
-            "stored layout does not match the index spec"
-        );
-        Self {
+        if stored.meta().bitmaps_per_component != expect {
+            return Err(Error::CorruptIndex(format!(
+                "stored layout does not match the index spec: store holds {:?} bitmaps per \
+                 component, spec expects {:?}",
+                stored.meta().bitmaps_per_component,
+                expect
+            )));
+        }
+        Ok(Self {
             stored,
             spec,
             pool: None,
             nn: None,
-        }
+        })
     }
 
     /// Routes fetches through a buffer pool (bitmaps resident in the pool
@@ -69,24 +82,18 @@ impl<S: ByteStore> BitmapSource for StorageSource<'_, S> {
         self.stored.meta().n_rows
     }
 
-    fn fetch(&mut self, comp: usize, slot: usize) -> BitVec {
-        let read = |stored: &mut StoredIndex<S>| {
-            stored
-                .read_bitmap(comp, slot)
-                .unwrap_or_else(|e| panic!("I/O error reading component {comp} slot {slot}: {e}"))
-        };
+    fn try_fetch(&mut self, comp: usize, slot: usize) -> Result<BitVec, Error> {
+        let stored = &mut *self.stored;
         match self.pool {
-            Some(pool) => pool
-                .get_or_load::<std::convert::Infallible>((comp, slot), || {
-                    Ok(read(self.stored))
-                })
-                .expect("infallible"),
-            None => read(self.stored),
+            Some(pool) => pool.get_or_load::<Error>((comp, slot), || {
+                stored.read_bitmap(comp, slot).map_err(storage_error)
+            }),
+            None => stored.read_bitmap(comp, slot).map_err(storage_error),
         }
     }
 
-    fn fetch_nn(&mut self) -> Option<BitVec> {
-        self.nn.clone()
+    fn try_fetch_nn(&mut self) -> Result<Option<BitVec>, Error> {
+        Ok(self.nn.clone())
     }
 }
 
@@ -98,7 +105,7 @@ pub fn persist_index<S: ByteStore>(
     store: S,
     scheme: StorageScheme,
     codec: bindex_compress::CodecKind,
-) -> std::io::Result<StoredIndex<S>> {
+) -> Result<StoredIndex<S>, StorageError> {
     StoredIndex::create(store, index.components(), scheme, codec)
 }
 
@@ -121,7 +128,7 @@ mod tests {
         let spec = IndexSpec::new(Base::from_msb(&[4, 5]).unwrap(), encoding);
         let idx = BitmapIndex::build(&col, spec.clone()).unwrap();
         let mut stored = persist_index(&idx, MemStore::new(), scheme, codec).unwrap();
-        let mut src = StorageSource::new(&mut stored, spec);
+        let mut src = StorageSource::try_new(&mut stored, spec).unwrap();
         for q in full_space(20) {
             let (got, _) = evaluate(&mut src, q, Algorithm::Auto).unwrap();
             let want = bindex_core::eval::naive::evaluate(&col, q);
@@ -156,7 +163,9 @@ mod tests {
         )
         .unwrap();
         let pool = BufferPool::new(16);
-        let mut src = StorageSource::new(&mut stored, spec).with_pool(&pool);
+        let mut src = StorageSource::try_new(&mut stored, spec)
+            .unwrap()
+            .with_pool(&pool);
         let q = bindex_relation::query::SelectionQuery::new(bindex_relation::query::Op::Le, 7);
         let _ = evaluate(&mut src, q, Algorithm::Auto).unwrap();
         let _ = evaluate(&mut src, q, Algorithm::Auto).unwrap();
@@ -167,8 +176,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not match")]
-    fn spec_mismatch_panics() {
+    fn spec_mismatch_is_a_typed_error() {
         let col = column();
         let spec = IndexSpec::new(Base::from_msb(&[4, 5]).unwrap(), Encoding::Range);
         let idx = BitmapIndex::build(&col, spec).unwrap();
@@ -180,6 +188,9 @@ mod tests {
         )
         .unwrap();
         let wrong = IndexSpec::new(Base::from_msb(&[5, 4]).unwrap(), Encoding::Range);
-        let _ = StorageSource::new(&mut stored, wrong);
+        match StorageSource::try_new(&mut stored, wrong) {
+            Err(Error::CorruptIndex(msg)) => assert!(msg.contains("does not match"), "{msg}"),
+            other => panic!("expected CorruptIndex, got {:?}", other.err()),
+        }
     }
 }

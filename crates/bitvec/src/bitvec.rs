@@ -102,7 +102,11 @@ impl BitVec {
     /// Panics if `i >= len`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
     }
 
@@ -112,7 +116,11 @@ impl BitVec {
     /// Panics if `i >= len`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         let w = i / WORD_BITS;
         let mask = 1u64 << (i % WORD_BITS);
         if value {
@@ -124,7 +132,7 @@ impl BitVec {
 
     /// Appends a bit at the end.
     pub fn push(&mut self, value: bool) {
-        if self.len % WORD_BITS == 0 {
+        if self.len.is_multiple_of(WORD_BITS) {
             self.words.push(0);
         }
         self.len += 1;
@@ -462,18 +470,12 @@ mod tests {
     fn logical_ops() {
         let a = BitVec::from_indices(70, &[0, 1, 64, 69]);
         let b = BitVec::from_indices(70, &[1, 2, 64]);
-        assert_eq!(
-            (&a & &b).iter_ones().collect::<Vec<_>>(),
-            vec![1, 64]
-        );
+        assert_eq!((&a & &b).iter_ones().collect::<Vec<_>>(), vec![1, 64]);
         assert_eq!(
             (&a | &b).iter_ones().collect::<Vec<_>>(),
             vec![0, 1, 2, 64, 69]
         );
-        assert_eq!(
-            (&a ^ &b).iter_ones().collect::<Vec<_>>(),
-            vec![0, 2, 69]
-        );
+        assert_eq!((&a ^ &b).iter_ones().collect::<Vec<_>>(), vec![0, 2, 69]);
         let mut anb = a.clone();
         anb.and_not_assign(&b);
         assert_eq!(anb.iter_ones().collect::<Vec<_>>(), vec![0, 69]);

@@ -136,7 +136,7 @@ impl Codec for Deflate {
         out.extend(w.finish());
 
         // Fall back to stored mode when entropy coding does not pay.
-        if out.len() >= input.len() + 1 {
+        if out.len() > input.len() {
             let mut stored = Vec::with_capacity(input.len() + 1);
             stored.push(0u8);
             stored.extend_from_slice(input);
@@ -166,8 +166,10 @@ impl Codec for Deflate {
                 if rest.len() < need {
                     return Err(DecodeError("deflate: truncated header".into()));
                 }
-                let main_lens: Vec<u32> =
-                    rest[pos..pos + MAIN_SYMS].iter().map(|&b| u32::from(b)).collect();
+                let main_lens: Vec<u32> = rest[pos..pos + MAIN_SYMS]
+                    .iter()
+                    .map(|&b| u32::from(b))
+                    .collect();
                 let dist_lens: Vec<u32> = rest[pos + MAIN_SYMS..need]
                     .iter()
                     .map(|&b| u32::from(b))
@@ -247,11 +249,17 @@ mod tests {
         let lt = len_table();
         assert_eq!(lt[0].0, 4);
         let last = lt[LEN_CODES - 1];
-        assert!(u64::from(last.0) + (1u64 << last.1) > 65536, "covers MAX_MATCH");
+        assert!(
+            u64::from(last.0) + (1u64 << last.1) > 65536,
+            "covers MAX_MATCH"
+        );
         let dt = dist_table();
         assert_eq!(dt[0].0, 1);
         let dlast = dt[DIST_CODES - 1];
-        assert!(u64::from(dlast.0) + (1u64 << dlast.1) > 65536, "covers WINDOW");
+        assert!(
+            u64::from(dlast.0) + (1u64 << dlast.1) > 65536,
+            "covers WINDOW"
+        );
     }
 
     #[test]
@@ -326,7 +334,9 @@ mod tests {
         let data = vec![7u8; 4000];
         let c = Deflate::default().compress(&data);
         assert!(Deflate::default().decompress(&c, 3999).is_err());
-        assert!(Deflate::default().decompress(&c[..c.len() - 1], 4000).is_err());
+        assert!(Deflate::default()
+            .decompress(&c[..c.len() - 1], 4000)
+            .is_err());
         let mut bad = c.clone();
         bad[0] = 9;
         assert!(Deflate::default().decompress(&bad, 4000).is_err());

@@ -41,7 +41,17 @@ mod tests {
 
     #[test]
     fn roundtrip_edge_values() {
-        let values = [0u64, 1, 127, 128, 129, 16383, 16384, u32::MAX as u64, u64::MAX];
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
         let mut buf = Vec::new();
         for &v in &values {
             write(&mut buf, v);

@@ -279,7 +279,8 @@ fn push_group(words: &mut Vec<u32>, group: u32) {
         Some(f) => {
             let fv = if f { FILL_VALUE } else { 0 };
             if let Some(last) = words.last_mut() {
-                if *last & (FILL_FLAG | FILL_VALUE) == (FILL_FLAG | fv) && *last & MAX_FILL < MAX_FILL
+                if *last & (FILL_FLAG | FILL_VALUE) == (FILL_FLAG | fv)
+                    && *last & MAX_FILL < MAX_FILL
                 {
                     *last += 1;
                     return;

@@ -96,7 +96,10 @@ impl Base {
     /// Panics if `i` is 0 or greater than `n`.
     #[inline]
     pub fn component(&self, i: usize) -> u32 {
-        assert!(i >= 1 && i <= self.lsb_first.len(), "component {i} out of range");
+        assert!(
+            i >= 1 && i <= self.lsb_first.len(),
+            "component {i} out of range"
+        );
         self.lsb_first[i - 1]
     }
 

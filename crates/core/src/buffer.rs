@@ -166,10 +166,7 @@ mod tests {
             // Compare against every tight base with optimal buffering.
             for other in crate::base::tight_bases(c, usize::MAX) {
                 let to = buffered_time(&other, m);
-                assert!(
-                    t <= to + 1e-9,
-                    "m={m}: {base} ({t}) vs {other} ({to})"
-                );
+                assert!(t <= to + 1e-9, "m={m}: {base} ({t}) vs {other} ({to})");
             }
         }
     }

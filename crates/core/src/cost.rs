@@ -131,7 +131,11 @@ pub fn expected_scans_spec(spec: &IndexSpec, c: u32) -> f64 {
 /// (Eq. 4): `2(n − Σ 1/b_i) − (2/3)(1 − 1/b_1)`.
 pub fn time_range_paper(base: &Base) -> f64 {
     let n = base.n_components() as f64;
-    let inv_sum: f64 = base.as_lsb_slice().iter().map(|&b| 1.0 / f64::from(b)).sum();
+    let inv_sum: f64 = base
+        .as_lsb_slice()
+        .iter()
+        .map(|&b| 1.0 / f64::from(b))
+        .sum();
     let b1 = f64::from(base.component(1));
     2.0 * (n - inv_sum) - (2.0 / 3.0) * (1.0 - 1.0 / b1)
 }
@@ -219,11 +223,7 @@ pub fn time_range_buffered_paper(base: &Base, f: &[u32]) -> f64 {
 /// realization of the uniform-hit assumption; every stored slot of a
 /// component is referenced with equal probability, so *which* `f_i` slots
 /// are resident does not change the expectation).
-pub fn predicted_scans_range_opt_buffered(
-    base: &Base,
-    f: &[u32],
-    query: SelectionQuery,
-) -> usize {
+pub fn predicted_scans_range_opt_buffered(base: &Base, f: &[u32], query: SelectionQuery) -> usize {
     let v = query.constant;
     let le_value = match query.op {
         Op::Le | Op::Gt => Some(v),
@@ -308,7 +308,13 @@ mod tests {
     #[test]
     fn paper_formula_close_to_exact_when_product_equals_c() {
         // Exactness up to the O(n/C) boundary term of the v−1 shift.
-        for msb in [vec![9u32], vec![3, 3], vec![2, 5], vec![4, 4, 4], vec![2, 2, 2, 2]] {
+        for msb in [
+            vec![9u32],
+            vec![3, 3],
+            vec![2, 5],
+            vec![4, 4, 4],
+            vec![2, 2, 2, 2],
+        ] {
             let base = b(&msb);
             let c = base.product() as u32;
             let exact = expected_scans(&base, c, Algorithm::RangeEvalOpt);
@@ -323,7 +329,13 @@ mod tests {
 
     #[test]
     fn equality_formula_close_to_exact() {
-        for msb in [vec![9u32], vec![3, 3], vec![2, 5], vec![16], vec![2, 2, 2, 2]] {
+        for msb in [
+            vec![9u32],
+            vec![3, 3],
+            vec![2, 5],
+            vec![16],
+            vec![2, 2, 2, 2],
+        ] {
             let base = b(&msb);
             let c = base.product() as u32;
             let exact = expected_scans(&base, c, Algorithm::EqualityEval);

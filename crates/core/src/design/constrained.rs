@@ -75,7 +75,7 @@ pub fn refine_index(index: &Base, c: u32) -> Base {
         let mut b_p = seq.remove(0); // smallest
         if b_p > 2 && !seq.is_empty() {
             let b_q = seq[0]; // next smallest
-            // Largest delta with (b_p - δ)(b_q + δ) · rest >= C.
+                              // Largest delta with (b_p - δ)(b_q + δ) · rest >= C.
             let k = (u128::from(c) * u128::from(b_p) * u128::from(b_q)).div_ceil(prod);
             let s = u128::from(b_p) + u128::from(b_q);
             if s * s >= 4 * k {
@@ -189,13 +189,8 @@ pub fn candidate_set_size(c: u32, m: u64) -> usize {
 /// `Π ≥ C` and `Σ(b−1) ≤ M`. With `tight_only`, prunes multisets where
 /// some base could be decremented while preserving coverage (safe for the
 /// optimum search; the full set defines Figure 14's `|I|`).
-fn enumerate_multisets(
-    c: u32,
-    m: u64,
-    k: usize,
-    tight_only: bool,
-    f: &mut impl FnMut(&[u32]),
-) {
+fn enumerate_multisets(c: u32, m: u64, k: usize, tight_only: bool, f: &mut impl FnMut(&[u32])) {
+    #[allow(clippy::too_many_arguments)]
     fn rec(
         c: u32,
         k: usize,
@@ -209,9 +204,9 @@ fn enumerate_multisets(
         if k == 0 {
             if prod >= u128::from(c) {
                 if tight_only {
-                    let tight = stack.iter().all(|&b| {
-                        prod / u128::from(b) * u128::from(b - 1) < u128::from(c)
-                    });
+                    let tight = stack
+                        .iter()
+                        .all(|&b| prod / u128::from(b) * u128::from(b - 1) < u128::from(c));
                     if !tight {
                         return;
                     }
@@ -298,7 +293,13 @@ mod tests {
 
     #[test]
     fn find_smallest_n_space_is_exactly_m() {
-        for (c, m) in [(1000u32, 62u64), (1000, 100), (100, 18), (50, 11), (1000, 10)] {
+        for (c, m) in [
+            (1000u32, 62u64),
+            (1000, 100),
+            (100, 18),
+            (50, 11),
+            (1000, 10),
+        ] {
             let (n, base) = find_smallest_n(c, m).unwrap();
             assert_eq!(range_space(&base), m, "C={c} M={m}");
             assert!(base.covers(c));
@@ -319,7 +320,10 @@ mod tests {
     #[test]
     fn refine_never_hurts() {
         for (c, bases) in [
-            (1000u32, vec![vec![10u32, 10, 10], vec![12, 11, 10], vec![32, 32]]),
+            (
+                1000u32,
+                vec![vec![10u32, 10, 10], vec![12, 11, 10], vec![32, 32]],
+            ),
             (100, vec![vec![10, 10], vec![5, 5, 4]]),
         ] {
             for msb in bases {

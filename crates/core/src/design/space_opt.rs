@@ -81,8 +81,9 @@ pub fn space_optimal_best_time(c: u32, n: usize) -> Result<Base> {
             _ => best = Some((t, base)),
         }
     });
-    best.map(|(_, b)| b)
-        .ok_or_else(|| Error::Infeasible(format!("no {n}-component base with sum {sum} covers {c}")))
+    best.map(|(_, b)| b).ok_or_else(|| {
+        Error::Infeasible(format!("no {n}-component base with sum {sum} covers {c}"))
+    })
 }
 
 /// Enumerates descending multisets of length `n`, entries in `[2, cap]`,

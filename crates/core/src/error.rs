@@ -32,6 +32,13 @@ pub enum Error {
     Infeasible(String),
     /// An index invariant check failed.
     CorruptIndex(String),
+    /// A storage read failed (I/O error fetching a stored bitmap). The
+    /// payload is the rendered error; carried as a string so the error
+    /// type stays `Clone + Eq` for the design routines.
+    Storage(String),
+    /// A stored file failed its checksum: the bytes on storage are not the
+    /// bytes that were written. Permanent — retrying cannot help.
+    ChecksumMismatch(String),
 }
 
 impl std::fmt::Display for Error {
@@ -46,13 +53,23 @@ impl std::fmt::Display for Error {
                 "base product {product} does not cover attribute cardinality {cardinality}"
             ),
             Error::ValueOutOfRange { value, cardinality } => {
-                write!(f, "value {value} out of range for cardinality {cardinality}")
+                write!(
+                    f,
+                    "value {value} out of range for cardinality {cardinality}"
+                )
             }
             Error::EncodingMismatch { expected, actual } => {
-                write!(f, "algorithm requires {expected} encoding, index is {actual}")
+                write!(
+                    f,
+                    "algorithm requires {expected} encoding, index is {actual}"
+                )
             }
             Error::Infeasible(msg) => write!(f, "infeasible design problem: {msg}"),
             Error::CorruptIndex(msg) => write!(f, "index invariant violated: {msg}"),
+            Error::Storage(msg) => write!(f, "storage error: {msg}"),
+            // The carried message is a rendered storage error that already
+            // names the file and both checksums; no extra prefix.
+            Error::ChecksumMismatch(msg) => write!(f, "{msg}"),
         }
     }
 }

@@ -20,18 +20,22 @@
 //! Range operators reduce to a `≤` chain exactly as in RangeEval-Opt:
 //! `R_1 = (d_1 ≤ v_1)`, `R_i = (d_i < v_i) ∨ ((d_i = v_i) ∧ R_{i−1})`.
 
-
 use bindex_bitvec::BitVec;
 use bindex_relation::query::{Op, SelectionQuery};
 
+use crate::error::Result;
 use crate::exec::ExecContext;
 use crate::index::BitmapSource;
 
 use super::digits_of;
 
 /// Evaluates `query` on an equality-encoded index. The encoding is
-/// enforced by the dispatcher in [`super::evaluate`].
-pub fn evaluate<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, query: SelectionQuery) -> BitVec {
+/// enforced by the dispatcher in [`super::evaluate`]. Storage failures
+/// from the underlying source propagate as errors.
+pub fn evaluate<S: BitmapSource>(
+    ctx: &mut ExecContext<'_, S>,
+    query: SelectionQuery,
+) -> Result<BitVec> {
     let n_rows = ctx.n_rows();
     let v = query.constant;
 
@@ -40,17 +44,17 @@ pub fn evaluate<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, query: SelectionQ
         Op::Gt => (Some(v), true),
         Op::Lt => {
             if v == 0 {
-                return BitVec::zeros(n_rows);
+                return Ok(BitVec::zeros(n_rows));
             }
             (Some(v - 1), false)
         }
         Op::Ge => {
             if v == 0 {
                 let mut all = BitVec::ones(n_rows);
-                if let Some(nn) = ctx.fetch_nn() {
+                if let Some(nn) = ctx.fetch_nn()? {
                     ctx.and(&mut all, &nn);
                 }
-                return all;
+                return Ok(all);
             }
             (Some(v - 1), true)
         }
@@ -59,54 +63,59 @@ pub fn evaluate<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, query: SelectionQ
     };
 
     let mut b = match le_value {
-        Some(le) => le_chain(ctx, le),
-        None => eq_chain(ctx, v),
+        Some(le) => le_chain(ctx, le)?,
+        None => eq_chain(ctx, v)?,
     };
 
     if complement {
         ctx.not(&mut b);
     }
-    if let Some(nn) = ctx.fetch_nn() {
+    if let Some(nn) = ctx.fetch_nn()? {
         ctx.and(&mut b, &nn);
     }
-    b
+    Ok(b)
 }
 
 /// Fetches the equality bitmap `E_i^j`, deriving `E^0 = ¬E^1` for base-2
 /// components (one counted scan of the single stored bitmap + one NOT).
-fn eq_bitmap<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, comp: usize, j: u32) -> BitVec {
+fn eq_bitmap<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, comp: usize, j: u32) -> Result<BitVec> {
     let b = ctx.spec().base.component(comp);
     if b == 2 {
-        let stored = ctx.fetch(comp, 0); // E^1
+        let stored = ctx.fetch(comp, 0)?; // E^1
         if j == 1 {
-            (*stored).clone()
+            Ok((*stored).clone())
         } else {
             let mut out = (*stored).clone();
             ctx.not(&mut out);
-            out
+            Ok(out)
         }
     } else {
-        (*ctx.fetch(comp, j as usize)).clone()
+        Ok((*ctx.fetch(comp, j as usize)?).clone())
     }
 }
 
 /// OR of `E_i^{lo} … E_i^{hi}` (inclusive). Assumes `lo <= hi` and the
 /// component has base > 2 (callers special-case base 2).
-fn or_range<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, comp: usize, lo: u32, hi: u32) -> BitVec {
-    let mut acc = (*ctx.fetch(comp, lo as usize)).clone();
+fn or_range<S: BitmapSource>(
+    ctx: &mut ExecContext<'_, S>,
+    comp: usize,
+    lo: u32,
+    hi: u32,
+) -> Result<BitVec> {
+    let mut acc = (*ctx.fetch(comp, lo as usize)?).clone();
     for j in lo + 1..=hi {
-        let bm = ctx.fetch(comp, j as usize);
+        let bm = ctx.fetch(comp, j as usize)?;
         ctx.or(&mut acc, &bm);
     }
-    acc
+    Ok(acc)
 }
 
 /// `d_1 ≤ v_1` for component 1, choosing the cheaper of the direct OR-prefix
 /// and the complemented OR-suffix plan by scan count.
-fn le_component1<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, v1: u32) -> BitVec {
+fn le_component1<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, v1: u32) -> Result<BitVec> {
     let b1 = ctx.spec().base.component(1);
     if v1 == b1 - 1 {
-        return BitVec::ones(ctx.n_rows());
+        return Ok(BitVec::ones(ctx.n_rows()));
     }
     if b1 == 2 {
         // v1 = 0: d <= 0 is E^0 = ¬E^1.
@@ -117,9 +126,9 @@ fn le_component1<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, v1: u32) -> BitV
     if direct_scans <= comp_scans {
         or_range(ctx, 1, 0, v1)
     } else {
-        let mut acc = or_range(ctx, 1, v1 + 1, b1 - 1);
+        let mut acc = or_range(ctx, 1, v1 + 1, b1 - 1)?;
         ctx.not(&mut acc);
-        acc
+        Ok(acc)
     }
 }
 
@@ -129,58 +138,58 @@ fn lt_eq_component<S: BitmapSource>(
     ctx: &mut ExecContext<'_, S>,
     comp: usize,
     vi: u32,
-) -> (Option<BitVec>, BitVec) {
+) -> Result<(Option<BitVec>, BitVec)> {
     let b = ctx.spec().base.component(comp);
     if vi == 0 {
-        return (None, eq_bitmap(ctx, comp, 0));
+        return Ok((None, eq_bitmap(ctx, comp, 0)?));
     }
     if b == 2 {
         // vi = 1: lt = E^0 = ¬E^1, eq = E^1 — one stored bitmap total.
-        let eq = eq_bitmap(ctx, comp, 1);
-        let lt = eq_bitmap(ctx, comp, 0);
-        return (Some(lt), eq);
+        let eq = eq_bitmap(ctx, comp, 1)?;
+        let lt = eq_bitmap(ctx, comp, 0)?;
+        return Ok((Some(lt), eq));
     }
     let direct_scans = vi + 1; // E^0 … E^{vi−1} plus E^{vi} for eq
     let comp_scans = b - vi; // E^{vi} … E^{b−1}, E^{vi} shared with eq
     if direct_scans <= comp_scans {
-        let lt = or_range(ctx, comp, 0, vi - 1);
-        let eq = eq_bitmap(ctx, comp, vi);
-        (Some(lt), eq)
+        let lt = or_range(ctx, comp, 0, vi - 1)?;
+        let eq = eq_bitmap(ctx, comp, vi)?;
+        Ok((Some(lt), eq))
     } else {
         // lt = ¬(d >= vi) = ¬(E^{vi} ∨ … ∨ E^{b−1}); eq scan is shared.
-        let eq = eq_bitmap(ctx, comp, vi);
-        let mut lt = or_range(ctx, comp, vi, b - 1);
+        let eq = eq_bitmap(ctx, comp, vi)?;
+        let mut lt = or_range(ctx, comp, vi, b - 1)?;
         ctx.not(&mut lt);
-        (Some(lt), eq)
+        Ok((Some(lt), eq))
     }
 }
 
 /// `A ≤ le` over all components.
-fn le_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, le: u32) -> BitVec {
+fn le_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, le: u32) -> Result<BitVec> {
     let digits = digits_of(ctx, le);
     let n = ctx.spec().n_components();
-    let mut b = le_component1(ctx, digits[0]);
+    let mut b = le_component1(ctx, digits[0])?;
     for i in 2..=n {
-        let (lt, eq) = lt_eq_component(ctx, i, digits[i - 1]);
+        let (lt, eq) = lt_eq_component(ctx, i, digits[i - 1])?;
         // R_i = lt ∨ (eq ∧ R_{i−1})
         ctx.and(&mut b, &eq);
         if let Some(lt) = lt {
             ctx.or(&mut b, &lt);
         }
     }
-    b
+    Ok(b)
 }
 
 /// `A = v`: AND of the per-component equality bitmaps.
-fn eq_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, v: u32) -> BitVec {
+fn eq_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, v: u32) -> Result<BitVec> {
     let digits = digits_of(ctx, v);
     let n = ctx.spec().n_components();
-    let mut b = eq_bitmap(ctx, 1, digits[0]);
+    let mut b = eq_bitmap(ctx, 1, digits[0])?;
     for i in 2..=n {
-        let bm = eq_bitmap(ctx, i, digits[i - 1]);
+        let bm = eq_bitmap(ctx, i, digits[i - 1])?;
         ctx.and(&mut b, &bm);
     }
-    b
+    Ok(b)
 }
 
 /// Predicted number of bitmap scans for one query on an equality-encoded
@@ -219,9 +228,7 @@ pub fn predicted_scans(base: &crate::base::Base, query: SelectionQuery) -> usize
             for i in 2..=n {
                 let b = base.component(i);
                 let vi = digits[i - 1];
-                scans += if vi == 0 {
-                    1
-                } else if b == 2 {
+                scans += if vi == 0 || b == 2 {
                     1
                 } else {
                     (vi + 1).min(b - vi) as usize
@@ -247,7 +254,7 @@ mod tests {
         let mut src = idx.source();
         let mut ctx = ExecContext::new(&mut src);
         for q in query::full_space(column.cardinality()) {
-            let got = evaluate(&mut ctx, q);
+            let got = evaluate(&mut ctx, q).unwrap();
             let stats = ctx.take_stats();
             let want = naive::evaluate(column, q);
             assert_eq!(got, want, "query {q} base {}", idx.spec().base);
@@ -283,7 +290,7 @@ mod tests {
         let mut src = idx.source();
         let mut ctx = ExecContext::new(&mut src);
         for v in 0..30 {
-            evaluate(&mut ctx, query::SelectionQuery::new(query::Op::Eq, v));
+            evaluate(&mut ctx, query::SelectionQuery::new(query::Op::Eq, v)).unwrap();
             assert_eq!(ctx.take_stats().scans, 3, "v={v}");
         }
     }
@@ -298,7 +305,7 @@ mod tests {
         let mut src = idx.source();
         let mut ctx = ExecContext::new(&mut src);
         for v in 0..c {
-            evaluate(&mut ctx, query::SelectionQuery::new(query::Op::Le, v));
+            evaluate(&mut ctx, query::SelectionQuery::new(query::Op::Le, v)).unwrap();
             let scans = ctx.take_stats().scans;
             assert!(scans <= (c / 2) as usize, "v={v} scans={scans}");
         }
@@ -313,7 +320,7 @@ mod tests {
         let mut src = idx.source();
         let mut ctx = ExecContext::new(&mut src);
         for q in query::full_space(9) {
-            let got = evaluate(&mut ctx, q);
+            let got = evaluate(&mut ctx, q).unwrap();
             ctx.take_stats();
             assert_eq!(got, naive::evaluate_with_nulls(&col, &nulls, q), "{q}");
         }

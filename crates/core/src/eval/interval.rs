@@ -30,6 +30,7 @@ use bindex_bitvec::BitVec;
 use bindex_relation::query::{Op, SelectionQuery};
 
 use crate::base::Base;
+use crate::error::Result;
 use crate::exec::ExecContext;
 use crate::index::BitmapSource;
 
@@ -41,8 +42,12 @@ pub fn windows_of(b: u32) -> u32 {
 }
 
 /// Evaluates `query` on an interval-encoded index. The encoding is
-/// enforced by the dispatcher in [`super::evaluate`].
-pub fn evaluate<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, query: SelectionQuery) -> BitVec {
+/// enforced by the dispatcher in [`super::evaluate`]. Storage failures
+/// from the underlying source propagate as errors.
+pub fn evaluate<S: BitmapSource>(
+    ctx: &mut ExecContext<'_, S>,
+    query: SelectionQuery,
+) -> Result<BitVec> {
     let n_rows = ctx.n_rows();
     let v = query.constant;
 
@@ -51,17 +56,17 @@ pub fn evaluate<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, query: SelectionQ
         Op::Gt => (Some(v), true),
         Op::Lt => {
             if v == 0 {
-                return BitVec::zeros(n_rows);
+                return Ok(BitVec::zeros(n_rows));
             }
             (Some(v - 1), false)
         }
         Op::Ge => {
             if v == 0 {
                 let mut all = BitVec::ones(n_rows);
-                if let Some(nn) = ctx.fetch_nn() {
+                if let Some(nn) = ctx.fetch_nn()? {
                     ctx.and(&mut all, &nn);
                 }
-                return all;
+                return Ok(all);
             }
             (Some(v - 1), true)
         }
@@ -70,26 +75,26 @@ pub fn evaluate<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, query: SelectionQ
     };
 
     let mut b = match le_value {
-        Some(le) => le_chain(ctx, le),
-        None => eq_chain(ctx, v),
+        Some(le) => le_chain(ctx, le)?,
+        None => eq_chain(ctx, v)?,
     };
 
     if complement {
         ctx.not(&mut b);
     }
-    if let Some(nn) = ctx.fetch_nn() {
+    if let Some(nn) = ctx.fetch_nn()? {
         ctx.and(&mut b, &nn);
     }
-    b
+    Ok(b)
 }
 
 /// `d_i = v` for one component (see module table).
-fn eq_digit<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, comp: usize, v: u32) -> BitVec {
+fn eq_digit<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, comp: usize, v: u32) -> Result<BitVec> {
     let b = ctx.spec().base.component(comp);
     let m = windows_of(b);
-    if m == 1 {
+    Ok(if m == 1 {
         // b <= 2: I^0 = {0}.
-        let w = (*ctx.fetch(comp, 0)).clone();
+        let w = (*ctx.fetch(comp, 0)?).clone();
         if v == 0 {
             w
         } else {
@@ -97,36 +102,36 @@ fn eq_digit<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, comp: usize, v: u32) 
             ctx.not(&mut out);
             out
         }
-    } else if b % 2 == 0 && v == b - 1 {
+    } else if b.is_multiple_of(2) && v == b - 1 {
         // uncovered top digit: ¬(I^0 ∨ I^{m−1})
-        let w0 = ctx.fetch(comp, 0);
-        let wt = ctx.fetch(comp, m as usize - 1);
+        let w0 = ctx.fetch(comp, 0)?;
+        let wt = ctx.fetch(comp, m as usize - 1)?;
         let mut out = (*w0).clone();
         ctx.or(&mut out, &wt);
         ctx.not(&mut out);
         out
     } else if v == m - 1 {
         // I^{m−1} ∧ I^0
-        let wt = ctx.fetch(comp, m as usize - 1);
-        let w0 = ctx.fetch(comp, 0);
+        let wt = ctx.fetch(comp, m as usize - 1)?;
+        let w0 = ctx.fetch(comp, 0)?;
         let mut out = (*wt).clone();
         ctx.and(&mut out, &w0);
         out
     } else if v <= m - 2 {
         // I^v ∧ ¬I^{v+1}
-        let wv = ctx.fetch(comp, v as usize);
-        let wn = ctx.fetch(comp, v as usize + 1);
+        let wv = ctx.fetch(comp, v as usize)?;
+        let wn = ctx.fetch(comp, v as usize + 1)?;
         let mut out = (*wv).clone();
         ctx.and_not(&mut out, &wn);
         out
     } else {
         // m <= v <= 2m−2: I^{v−m+1} ∧ ¬I^{v−m}
-        let hi = ctx.fetch(comp, (v - m + 1) as usize);
-        let lo = ctx.fetch(comp, (v - m) as usize);
+        let hi = ctx.fetch(comp, (v - m + 1) as usize)?;
+        let lo = ctx.fetch(comp, (v - m) as usize)?;
         let mut out = (*hi).clone();
         ctx.and_not(&mut out, &lo);
         out
-    }
+    })
 }
 
 /// `d_i ≤ v` for one component; `None` means "all ones" (no work).
@@ -134,66 +139,66 @@ fn le_digit<S: BitmapSource>(
     ctx: &mut ExecContext<'_, S>,
     comp: usize,
     v: u32,
-) -> Option<BitVec> {
+) -> Result<Option<BitVec>> {
     let b = ctx.spec().base.component(comp);
     let m = windows_of(b);
     if v >= b - 1 {
-        return None;
+        return Ok(None);
     }
-    Some(if m == 1 {
+    Ok(Some(if m == 1 {
         // b == 2, v == 0: exactly I^0.
-        (*ctx.fetch(comp, 0)).clone()
+        (*ctx.fetch(comp, 0)?).clone()
     } else if v <= m - 2 {
         // I^0 ∧ ¬I^{v+1}
-        let w0 = ctx.fetch(comp, 0);
-        let wn = ctx.fetch(comp, v as usize + 1);
+        let w0 = ctx.fetch(comp, 0)?;
+        let wn = ctx.fetch(comp, v as usize + 1)?;
         let mut out = (*w0).clone();
         ctx.and_not(&mut out, &wn);
         out
     } else if v == m - 1 {
-        (*ctx.fetch(comp, 0)).clone()
+        (*ctx.fetch(comp, 0)?).clone()
     } else {
         // m <= v <= 2m−2: I^0 ∨ I^{v−m+1}
-        let w0 = ctx.fetch(comp, 0);
-        let wk = ctx.fetch(comp, (v - m + 1) as usize);
+        let w0 = ctx.fetch(comp, 0)?;
+        let wk = ctx.fetch(comp, (v - m + 1) as usize)?;
         let mut out = (*w0).clone();
         ctx.or(&mut out, &wk);
         out
-    })
+    }))
 }
 
-fn le_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, le: u32) -> BitVec {
+fn le_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, le: u32) -> Result<BitVec> {
     let digits = digits_of(ctx, le);
     let n = ctx.spec().n_components();
-    let mut b = match le_digit(ctx, 1, digits[0]) {
+    let mut b = match le_digit(ctx, 1, digits[0])? {
         Some(bm) => bm,
         None => BitVec::ones(ctx.n_rows()),
     };
     for i in 2..=n {
         let vi = digits[i - 1];
         // R = (d_i < v_i) ∨ ((d_i = v_i) ∧ R)
-        let eq = eq_digit(ctx, i, vi);
+        let eq = eq_digit(ctx, i, vi)?;
         ctx.and(&mut b, &eq);
         if vi > 0 {
-            if let Some(lt) = le_digit(ctx, i, vi - 1) {
+            if let Some(lt) = le_digit(ctx, i, vi - 1)? {
                 ctx.or(&mut b, &lt);
             } else {
                 unreachable!("d < v_i with v_i - 1 = b - 1 would make d <= v_i trivial");
             }
         }
     }
-    b
+    Ok(b)
 }
 
-fn eq_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, v: u32) -> BitVec {
+fn eq_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, v: u32) -> Result<BitVec> {
     let digits = digits_of(ctx, v);
     let n = ctx.spec().n_components();
-    let mut b = eq_digit(ctx, 1, digits[0]);
+    let mut b = eq_digit(ctx, 1, digits[0])?;
     for i in 2..=n {
-        let bm = eq_digit(ctx, i, digits[i - 1]);
+        let bm = eq_digit(ctx, i, digits[i - 1])?;
         ctx.and(&mut b, &bm);
     }
-    b
+    Ok(b)
 }
 
 /// Stored window slots a digit-level helper touches (for the predictor).
@@ -201,7 +206,7 @@ fn eq_slots(b: u32, v: u32) -> Vec<u32> {
     let m = windows_of(b);
     if m == 1 {
         vec![0]
-    } else if b % 2 == 0 && v == b - 1 {
+    } else if b.is_multiple_of(2) && v == b - 1 {
         vec![0, m - 1]
     } else if v == m - 1 {
         vec![m - 1, 0]
@@ -288,7 +293,7 @@ mod tests {
         let mut src = idx.source();
         let mut ctx = ExecContext::new(&mut src);
         for q in query::full_space(column.cardinality()) {
-            let got = evaluate(&mut ctx, q);
+            let got = evaluate(&mut ctx, q).unwrap();
             let stats = ctx.take_stats();
             let want = naive::evaluate(column, q);
             assert_eq!(got, want, "query {q} base {}", idx.spec().base);
@@ -328,12 +333,12 @@ mod tests {
         let mut src = idx.source();
         let mut ctx = ExecContext::new(&mut src);
         for v in 0..c {
-            evaluate(&mut ctx, query::SelectionQuery::new(query::Op::Le, v));
+            evaluate(&mut ctx, query::SelectionQuery::new(query::Op::Le, v)).unwrap();
             let s = ctx.take_stats();
             assert!(s.scans <= 2, "v={v}: {} scans", s.scans);
         }
         for v in 0..c {
-            evaluate(&mut ctx, query::SelectionQuery::new(query::Op::Eq, v));
+            evaluate(&mut ctx, query::SelectionQuery::new(query::Op::Eq, v)).unwrap();
             let s = ctx.take_stats();
             assert!(s.scans <= 2, "eq v={v}: {} scans", s.scans);
         }

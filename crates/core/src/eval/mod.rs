@@ -100,19 +100,19 @@ pub fn evaluate_in<S: BitmapSource>(
     match algorithm.resolve(encoding) {
         Algorithm::RangeEvalOpt => {
             require(encoding, Encoding::Range)?;
-            Ok(range_opt::evaluate(ctx, query))
+            range_opt::evaluate(ctx, query)
         }
         Algorithm::RangeEval => {
             require(encoding, Encoding::Range)?;
-            Ok(range_eval::evaluate(ctx, query))
+            range_eval::evaluate(ctx, query)
         }
         Algorithm::EqualityEval => {
             require(encoding, Encoding::Equality)?;
-            Ok(equality::evaluate(ctx, query))
+            equality::evaluate(ctx, query)
         }
         Algorithm::IntervalEval => {
             require(encoding, Encoding::Interval)?;
-            Ok(interval::evaluate(ctx, query))
+            interval::evaluate(ctx, query)
         }
         Algorithm::Auto => unreachable!("resolved above"),
     }

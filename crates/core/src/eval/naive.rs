@@ -12,11 +12,7 @@ pub fn evaluate(column: &Column, query: SelectionQuery) -> BitVec {
 
 /// Like [`evaluate`] but rows flagged in `null_mask` never qualify
 /// (SQL three-valued logic: a comparison with NULL is not true).
-pub fn evaluate_with_nulls(
-    column: &Column,
-    null_mask: &BitVec,
-    query: SelectionQuery,
-) -> BitVec {
+pub fn evaluate_with_nulls(column: &Column, null_mask: &BitVec, query: SelectionQuery) -> BitVec {
     BitVec::from_fn(column.len(), |rid| {
         !null_mask.get(rid) && query.matches(column.get(rid))
     })

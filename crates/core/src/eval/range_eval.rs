@@ -12,14 +12,19 @@
 use bindex_bitvec::BitVec;
 use bindex_relation::query::{Op, SelectionQuery};
 
+use crate::error::Result;
 use crate::exec::ExecContext;
 use crate::index::BitmapSource;
 
 use super::digits_of;
 
 /// Evaluates `query` with RangeEval. The index must be range-encoded
-/// (enforced by the dispatcher in [`super::evaluate`]).
-pub fn evaluate<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, query: SelectionQuery) -> BitVec {
+/// (enforced by the dispatcher in [`super::evaluate`]). Storage failures
+/// from the underlying source propagate as errors.
+pub fn evaluate<S: BitmapSource>(
+    ctx: &mut ExecContext<'_, S>,
+    query: SelectionQuery,
+) -> Result<BitVec> {
     let n_rows = ctx.n_rows();
     let n = ctx.spec().n_components();
     let digits = digits_of(ctx, query.constant);
@@ -30,7 +35,7 @@ pub fn evaluate<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, query: SelectionQ
     let mut b_lt = needs_lt.then(|| BitVec::zeros(n_rows));
     let mut b_gt = needs_gt.then(|| BitVec::zeros(n_rows));
     // Line 2 of the listing: B_EQ starts as B_nn (all ones when no nulls).
-    let mut b_eq = match ctx.fetch_nn() {
+    let mut b_eq = match ctx.fetch_nn()? {
         Some(nn) => (*nn).clone(),
         None => BitVec::ones(n_rows),
     };
@@ -41,7 +46,7 @@ pub fn evaluate<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, query: SelectionQ
         if vi > 0 {
             if let Some(lt) = b_lt.as_mut() {
                 // B_LT = B_LT ∨ (B_EQ ∧ B_i^{v_i − 1})
-                let bm = ctx.fetch(i, vi as usize - 1);
+                let bm = ctx.fetch(i, vi as usize - 1)?;
                 let mut t = b_eq.clone();
                 ctx.and(&mut t, &bm);
                 ctx.or(lt, &t);
@@ -49,36 +54,36 @@ pub fn evaluate<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, query: SelectionQ
             if vi < bi - 1 {
                 if let Some(gt) = b_gt.as_mut() {
                     // B_GT = B_GT ∨ (B_EQ ∧ ¬B_i^{v_i})
-                    let bm = ctx.fetch(i, vi as usize);
+                    let bm = ctx.fetch(i, vi as usize)?;
                     let mut t = b_eq.clone();
                     ctx.and_not(&mut t, &bm);
                     ctx.or(gt, &t);
                 }
                 // B_EQ = B_EQ ∧ (B_i^{v_i} ⊕ B_i^{v_i − 1})
-                let hi = ctx.fetch(i, vi as usize);
-                let lo = ctx.fetch(i, vi as usize - 1);
+                let hi = ctx.fetch(i, vi as usize)?;
+                let lo = ctx.fetch(i, vi as usize - 1)?;
                 let x = ctx.xor(&hi, &lo);
                 ctx.and(&mut b_eq, &x);
             } else {
                 // v_i = b_i − 1: B_EQ = B_EQ ∧ ¬B_i^{b_i − 2}
-                let bm = ctx.fetch(i, bi as usize - 2);
+                let bm = ctx.fetch(i, bi as usize - 2)?;
                 ctx.and_not(&mut b_eq, &bm);
             }
         } else {
             if let Some(gt) = b_gt.as_mut() {
                 // B_GT = B_GT ∨ (B_EQ ∧ ¬B_i^0)
-                let bm = ctx.fetch(i, 0);
+                let bm = ctx.fetch(i, 0)?;
                 let mut t = b_eq.clone();
                 ctx.and_not(&mut t, &bm);
                 ctx.or(gt, &t);
             }
             // B_EQ = B_EQ ∧ B_i^0
-            let bm = ctx.fetch(i, 0);
+            let bm = ctx.fetch(i, 0)?;
             ctx.and(&mut b_eq, &bm);
         }
     }
 
-    match query.op {
+    Ok(match query.op {
         Op::Lt => b_lt.expect("maintained for <"),
         Op::Gt => b_gt.expect("maintained for >"),
         Op::Le => {
@@ -97,12 +102,12 @@ pub fn evaluate<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, query: SelectionQ
         Op::Ne => {
             // B_NE = ¬B_EQ ∧ B_nn
             ctx.not(&mut b_eq);
-            if let Some(nn) = ctx.fetch_nn() {
+            if let Some(nn) = ctx.fetch_nn()? {
                 ctx.and(&mut b_eq, &nn);
             }
             b_eq
         }
-    }
+    })
 }
 
 #[cfg(test)]
@@ -120,7 +125,7 @@ mod tests {
         let mut src = idx.source();
         let mut ctx = ExecContext::new(&mut src);
         for q in query::full_space(column.cardinality()) {
-            let got = evaluate(&mut ctx, q);
+            let got = evaluate(&mut ctx, q).unwrap();
             ctx.take_stats();
             let want = naive::evaluate(column, q);
             assert_eq!(got, want, "query {q} base {}", idx.spec().base);
@@ -147,7 +152,7 @@ mod tests {
 
         let mut src = idx.source();
         let mut ctx = ExecContext::new(&mut src);
-        let got = evaluate(&mut ctx, q);
+        let got = evaluate(&mut ctx, q).unwrap();
         let stats = ctx.take_stats();
         assert_eq!(got, naive::evaluate(&col, q));
         // digits msb->lsb: v3=0, v2=6, v1=2.
@@ -160,7 +165,7 @@ mod tests {
 
         let mut src2 = idx.source();
         let mut ctx2 = ExecContext::new(&mut src2);
-        range_opt::evaluate(&mut ctx2, q);
+        range_opt::evaluate(&mut ctx2, q).unwrap();
         let opt = ctx2.take_stats();
         assert!(opt.scans < stats.scans);
         assert!(opt.total_ops() * 2 <= stats.total_ops());
@@ -176,11 +181,11 @@ mod tests {
             let q = query::SelectionQuery::new(query::Op::Eq, v);
             let mut s1 = idx.source();
             let mut c1 = ExecContext::new(&mut s1);
-            evaluate(&mut c1, q);
+            evaluate(&mut c1, q).unwrap();
             let a = c1.take_stats();
             let mut s2 = idx.source();
             let mut c2 = ExecContext::new(&mut s2);
-            range_opt::evaluate(&mut c2, q);
+            range_opt::evaluate(&mut c2, q).unwrap();
             let b = c2.take_stats();
             assert_eq!(a.scans, b.scans, "v={v}");
             assert_eq!(a.total_ops(), b.total_ops(), "v={v}");
@@ -196,7 +201,7 @@ mod tests {
         let mut src = idx.source();
         let mut ctx = ExecContext::new(&mut src);
         for q in query::full_space(9) {
-            let got = evaluate(&mut ctx, q);
+            let got = evaluate(&mut ctx, q).unwrap();
             ctx.take_stats();
             assert_eq!(got, naive::evaluate_with_nulls(&col, &nulls, q), "{q}");
         }

@@ -24,14 +24,19 @@
 use bindex_bitvec::BitVec;
 use bindex_relation::query::{Op, SelectionQuery};
 
+use crate::error::Result;
 use crate::exec::ExecContext;
 use crate::index::BitmapSource;
 
 use super::digits_of;
 
 /// Evaluates `query` with RangeEval-Opt. The index must be range-encoded
-/// (enforced by the dispatcher in [`super::evaluate`]).
-pub fn evaluate<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, query: SelectionQuery) -> BitVec {
+/// (enforced by the dispatcher in [`super::evaluate`]). Storage failures
+/// from the underlying source propagate as errors.
+pub fn evaluate<S: BitmapSource>(
+    ctx: &mut ExecContext<'_, S>,
+    query: SelectionQuery,
+) -> Result<BitVec> {
     let n_rows = ctx.n_rows();
     let v = query.constant;
 
@@ -42,7 +47,7 @@ pub fn evaluate<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, query: SelectionQ
         Op::Lt => {
             if v == 0 {
                 // A < 0 is empty: no scan, no operation.
-                return BitVec::zeros(n_rows);
+                return Ok(BitVec::zeros(n_rows));
             }
             (Some(v - 1), false)
         }
@@ -50,10 +55,10 @@ pub fn evaluate<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, query: SelectionQ
             if v == 0 {
                 // A >= 0 is every non-null row.
                 let mut all = BitVec::ones(n_rows);
-                if let Some(nn) = ctx.fetch_nn() {
+                if let Some(nn) = ctx.fetch_nn()? {
                     ctx.and(&mut all, &nn);
                 }
-                return all;
+                return Ok(all);
             }
             (Some(v - 1), true)
         }
@@ -62,28 +67,28 @@ pub fn evaluate<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, query: SelectionQ
     };
 
     let mut b = match le_value {
-        Some(le) => le_chain(ctx, le),
-        None => eq_chain(ctx, v),
+        Some(le) => le_chain(ctx, le)?,
+        None => eq_chain(ctx, v)?,
     };
 
     if complement {
         ctx.not(&mut b);
     }
-    if let Some(nn) = ctx.fetch_nn() {
+    if let Some(nn) = ctx.fetch_nn()? {
         ctx.and(&mut b, &nn);
     }
-    b
+    Ok(b)
 }
 
 /// The `A ≤ le` chain (lines 4–8 of the listing).
-fn le_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, le: u32) -> BitVec {
+fn le_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, le: u32) -> Result<BitVec> {
     let digits = digits_of(ctx, le);
     let n = ctx.spec().n_components();
     let n_rows = ctx.n_rows();
 
     let b1 = ctx.spec().base.component(1);
     let mut b = if digits[0] < b1 - 1 {
-        (*ctx.fetch(1, digits[0] as usize)).clone()
+        (*ctx.fetch(1, digits[0] as usize)?).clone()
     } else {
         // v_1 = b_1 − 1: B_1^{v_1} is the unstored all-ones bitmap.
         BitVec::ones(n_rows)
@@ -93,20 +98,20 @@ fn le_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, le: u32) -> BitVec {
         let bi = ctx.spec().base.component(i);
         let vi = digits[i - 1];
         if vi != bi - 1 {
-            let bm = ctx.fetch(i, vi as usize);
+            let bm = ctx.fetch(i, vi as usize)?;
             ctx.and(&mut b, &bm);
         }
         if vi != 0 {
-            let bm = ctx.fetch(i, vi as usize - 1);
+            let bm = ctx.fetch(i, vi as usize - 1)?;
             ctx.or(&mut b, &bm);
         }
     }
-    b
+    Ok(b)
 }
 
 /// The `A = v` chain (lines 10–13 of the listing). `B` starts as the
 /// all-ones `B_1` and is ANDed with every per-digit equality bitmap.
-fn eq_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, v: u32) -> BitVec {
+fn eq_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, v: u32) -> Result<BitVec> {
     let digits = digits_of(ctx, v);
     let n = ctx.spec().n_components();
     let mut b = BitVec::ones(ctx.n_rows());
@@ -115,19 +120,19 @@ fn eq_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, v: u32) -> BitVec {
         let bi = ctx.spec().base.component(i);
         let vi = digits[i - 1];
         if vi == 0 {
-            let bm = ctx.fetch(i, 0);
+            let bm = ctx.fetch(i, 0)?;
             ctx.and(&mut b, &bm);
         } else if vi == bi - 1 {
-            let bm = ctx.fetch(i, bi as usize - 2);
+            let bm = ctx.fetch(i, bi as usize - 2)?;
             ctx.and_not(&mut b, &bm);
         } else {
-            let hi = ctx.fetch(i, vi as usize);
-            let lo = ctx.fetch(i, vi as usize - 1);
+            let hi = ctx.fetch(i, vi as usize)?;
+            let lo = ctx.fetch(i, vi as usize - 1)?;
             let digit_bm = ctx.xor(&hi, &lo);
             ctx.and(&mut b, &digit_bm);
         }
     }
-    b
+    Ok(b)
 }
 
 #[cfg(test)]
@@ -145,7 +150,7 @@ mod tests {
         let mut src = idx.source();
         let mut ctx = ExecContext::new(&mut src);
         for q in query::full_space(column.cardinality()) {
-            let got = evaluate(&mut ctx, q);
+            let got = evaluate(&mut ctx, q).unwrap();
             ctx.take_stats();
             let want = naive::evaluate(column, q);
             assert_eq!(got, want, "query {q} base {}", idx.spec().base);
@@ -178,7 +183,7 @@ mod tests {
         let mut src = idx.source();
         let mut ctx = ExecContext::new(&mut src);
         let q = query::SelectionQuery::new(query::Op::Le, 62);
-        let got = evaluate(&mut ctx, q);
+        let got = evaluate(&mut ctx, q).unwrap();
         let stats = ctx.take_stats();
         assert_eq!(got, naive::evaluate(&col, q));
         // v1=2 interior: 1 scan. v2=6 interior: 2 scans (AND + OR).
@@ -197,7 +202,7 @@ mod tests {
         let mut ctx = ExecContext::new(&mut src);
         // v = 13 = <1,1,1> all interior.
         let q = query::SelectionQuery::new(query::Op::Le, 13);
-        evaluate(&mut ctx, q);
+        evaluate(&mut ctx, q).unwrap();
         let stats = ctx.take_stats();
         assert_eq!(stats.scans, 5);
         assert_eq!(stats.total_ops(), 4);
@@ -211,10 +216,10 @@ mod tests {
         let idx = BitmapIndex::build(&col, spec).unwrap();
         let mut src = idx.source();
         let mut ctx = ExecContext::new(&mut src);
-        let lt0 = evaluate(&mut ctx, query::SelectionQuery::new(query::Op::Lt, 0));
+        let lt0 = evaluate(&mut ctx, query::SelectionQuery::new(query::Op::Lt, 0)).unwrap();
         assert_eq!(ctx.take_stats().scans, 0);
         assert!(lt0.none());
-        let ge0 = evaluate(&mut ctx, query::SelectionQuery::new(query::Op::Ge, 0));
+        let ge0 = evaluate(&mut ctx, query::SelectionQuery::new(query::Op::Ge, 0)).unwrap();
         assert_eq!(ctx.take_stats().scans, 0);
         assert!(ge0.all());
     }
@@ -228,7 +233,7 @@ mod tests {
         let mut src = idx.source();
         let mut ctx = ExecContext::new(&mut src);
         for q in query::full_space(9) {
-            let got = evaluate(&mut ctx, q);
+            let got = evaluate(&mut ctx, q).unwrap();
             ctx.take_stats();
             assert_eq!(got, naive::evaluate_with_nulls(&col, &nulls, q), "{q}");
         }

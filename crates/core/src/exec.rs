@@ -19,6 +19,7 @@ use std::rc::Rc;
 use bindex_bitvec::BitVec;
 
 use crate::encoding::IndexSpec;
+use crate::error::Result;
 use crate::index::BitmapSource;
 
 /// Per-query evaluation statistics.
@@ -152,32 +153,37 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
 
     /// Fetches stored bitmap `slot` of component `comp`, charging one scan
     /// unless it was already fetched this query or is buffer-resident.
-    pub fn fetch(&mut self, comp: usize, slot: usize) -> Rc<BitVec> {
+    /// Storage failures propagate; nothing is cached on error, so a retried
+    /// query re-reads the bitmap.
+    pub fn fetch(&mut self, comp: usize, slot: usize) -> Result<Rc<BitVec>> {
         if let Some(bm) = self.fetched.get(&(comp, slot)) {
-            return Rc::clone(bm);
+            return Ok(Rc::clone(bm));
         }
+        let bm = Rc::new(self.source.try_fetch(comp, slot)?);
         let resident = self.buffer.is_some_and(|b| b.contains(comp, slot));
         if resident {
             self.stats.buffer_hits += 1;
         } else {
             self.stats.scans += 1;
         }
-        let bm = Rc::new(self.source.fetch(comp, slot));
         self.fetched.insert((comp, slot), Rc::clone(&bm));
-        bm
+        Ok(bm)
     }
 
     /// Fetches the non-null bitmap if the index has one. Charged as a scan
     /// (it is a stored bitmap) the first time per query.
-    pub fn fetch_nn(&mut self) -> Option<Rc<BitVec>> {
+    pub fn fetch_nn(&mut self) -> Result<Option<Rc<BitVec>>> {
         const NN_KEY: (usize, usize) = (0, usize::MAX);
         if let Some(bm) = self.fetched.get(&NN_KEY) {
-            return Some(Rc::clone(bm));
+            return Ok(Some(Rc::clone(bm)));
         }
-        let bm = Rc::new(self.source.fetch_nn()?);
+        let Some(nn) = self.source.try_fetch_nn()? else {
+            return Ok(None);
+        };
+        let bm = Rc::new(nn);
         self.stats.scans += 1;
         self.fetched.insert(NN_KEY, Rc::clone(&bm));
-        Some(bm)
+        Ok(Some(bm))
     }
 
     /// Counted AND: `acc &= rhs`.
@@ -234,11 +240,11 @@ mod tests {
         let idx = small_index();
         let mut src = idx.source();
         let mut ctx = ExecContext::new(&mut src);
-        let a = ctx.fetch(1, 0);
-        let b = ctx.fetch(1, 0);
+        let a = ctx.fetch(1, 0).unwrap();
+        let b = ctx.fetch(1, 0).unwrap();
         assert!(Rc::ptr_eq(&a, &b));
         assert_eq!(ctx.stats().scans, 1);
-        ctx.fetch(1, 1);
+        ctx.fetch(1, 1).unwrap();
         assert_eq!(ctx.stats().scans, 2);
     }
 
@@ -247,10 +253,10 @@ mod tests {
         let idx = small_index();
         let mut src = idx.source();
         let mut ctx = ExecContext::new(&mut src);
-        ctx.fetch(1, 0);
+        ctx.fetch(1, 0).unwrap();
         let s = ctx.take_stats();
         assert_eq!(s.scans, 1);
-        ctx.fetch(1, 0); // new query: scan again
+        ctx.fetch(1, 0).unwrap(); // new query: scan again
         assert_eq!(ctx.stats().scans, 1);
     }
 
@@ -260,8 +266,8 @@ mod tests {
         let mut src = idx.source();
         let buf = BufferSet::from_pairs([(1, 0)]);
         let mut ctx = ExecContext::with_buffer(&mut src, &buf);
-        ctx.fetch(1, 0);
-        ctx.fetch(1, 1);
+        ctx.fetch(1, 0).unwrap();
+        ctx.fetch(1, 1).unwrap();
         assert_eq!(ctx.stats().scans, 1);
         assert_eq!(ctx.stats().buffer_hits, 1);
     }

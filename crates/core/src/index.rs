@@ -11,12 +11,17 @@ use crate::error::{Error, Result};
 ///
 /// The in-memory [`BitmapIndex`] implements this directly (via
 /// [`BitmapIndex::source`]); the storage layer provides disk-backed
-/// implementations under the BS/CS/IS layouts. `fetch` models one *bitmap
-/// scan* of stored bitmap `slot` of component `comp` — the unit of the
-/// paper's time metric. Slot numbering follows the storage rule of
+/// implementations under the BS/CS/IS layouts. `try_fetch` models one
+/// *bitmap scan* of stored bitmap `slot` of component `comp` — the unit
+/// of the paper's time metric. Slot numbering follows the storage rule of
 /// [`Encoding`]: range components store `B^0 … B^{b−2}` in slots
 /// `0 … b−2`; equality components with `b > 2` store `E^0 … E^{b−1}`,
 /// and `b = 2` components store only `E^1` in slot 0.
+///
+/// Fetches are fallible: disk-backed sources surface I/O failures as
+/// [`Error::Storage`] and corrupted files as [`Error::ChecksumMismatch`],
+/// and the whole query path propagates them instead of panicking — a
+/// damaged bitmap must never become a silently wrong foundset.
 pub trait BitmapSource {
     /// The index layout this source serves.
     fn spec(&self) -> &IndexSpec;
@@ -26,11 +31,11 @@ pub trait BitmapSource {
 
     /// Reads stored bitmap `slot` of component `comp` (1-based component,
     /// 0-based slot).
-    fn fetch(&mut self, comp: usize, slot: usize) -> BitVec;
+    fn try_fetch(&mut self, comp: usize, slot: usize) -> Result<BitVec>;
 
     /// The non-null bitmap `B_nn`, or `None` when the attribute has no
     /// nulls (then `B_nn` is implicitly all ones and costs nothing).
-    fn fetch_nn(&mut self) -> Option<BitVec>;
+    fn try_fetch_nn(&mut self) -> Result<Option<BitVec>>;
 }
 
 /// An in-memory bitmap index over one attribute.
@@ -226,9 +231,7 @@ impl BitmapIndex {
                 bm.push(false);
             }
         }
-        let nn = self
-            .nn
-            .get_or_insert_with(|| BitVec::ones(self.n_rows));
+        let nn = self.nn.get_or_insert_with(|| BitVec::ones(self.n_rows));
         nn.push(false);
         self.n_rows += 1;
     }
@@ -298,12 +301,12 @@ impl BitmapSource for MemorySource<'_> {
         self.index.n_rows()
     }
 
-    fn fetch(&mut self, comp: usize, slot: usize) -> BitVec {
-        self.index.bitmap(comp, slot).clone()
+    fn try_fetch(&mut self, comp: usize, slot: usize) -> Result<BitVec> {
+        Ok(self.index.bitmap(comp, slot).clone())
     }
 
-    fn fetch_nn(&mut self) -> Option<BitVec> {
-        self.index.nn().cloned()
+    fn try_fetch_nn(&mut self) -> Result<Option<BitVec>> {
+        Ok(self.index.nn().cloned())
     }
 }
 
@@ -463,11 +466,8 @@ mod tests {
         let grown = Column::new(vec![1, 0, 2, 0, 2], 3); // row 3's value is a placeholder
         let mut src = idx.source();
         let mut ctx = crate::exec::ExecContext::new(&mut src);
-        let q = bindex_relation::query::SelectionQuery::new(
-            bindex_relation::query::Op::Ge,
-            0,
-        );
-        let found = crate::eval::range_opt::evaluate(&mut ctx, q);
+        let q = bindex_relation::query::SelectionQuery::new(bindex_relation::query::Op::Ge, 0);
+        let found = crate::eval::range_opt::evaluate(&mut ctx, q).unwrap();
         assert_eq!(found.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2, 4]);
         let _ = grown;
     }
@@ -477,8 +477,8 @@ mod tests {
         let col = figure_column();
         let idx = BitmapIndex::build(&col, IndexSpec::value_list(9).unwrap()).unwrap();
         let mut src = idx.source();
-        assert_eq!(src.fetch(1, 2), *idx.bitmap(1, 2));
+        assert_eq!(src.try_fetch(1, 2).unwrap(), *idx.bitmap(1, 2));
         assert_eq!(src.n_rows(), 12);
-        assert!(src.fetch_nn().is_none());
+        assert!(src.try_fetch_nn().unwrap().is_none());
     }
 }

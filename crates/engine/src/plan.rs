@@ -230,7 +230,7 @@ pub fn execute(
             stats.bitmap_scans += scans;
             stats.bytes_read += scans as u64 * bitmap_bytes(n_rows);
             if query.predicates().len() > 1 {
-                let rest = residual_query(query, &[attr.clone()]);
+                let rest = residual_query(query, std::slice::from_ref(attr));
                 let fetched = base_found.count_ones();
                 stats.rows_fetched += fetched;
                 stats.bytes_read += (fetched * table.row_bytes()) as u64;
@@ -309,13 +309,17 @@ fn filter_rows(table: &Table, query: &ConjunctiveQuery, candidates: &BitVec) -> 
 mod tests {
     use super::*;
     use crate::table::{IndexChoice, Table};
-    use bindex_relation::query::Op;
     use bindex_relation::gen;
+    use bindex_relation::query::Op;
 
     fn table() -> Table {
         Table::builder()
             .column("qty", gen::uniform(4000, 50, 1), IndexChoice::Knee)
-            .column("day", gen::uniform(4000, 300, 2), IndexChoice::SpaceBudget(40))
+            .column(
+                "day",
+                gen::uniform(4000, 300, 2),
+                IndexChoice::SpaceBudget(40),
+            )
             .column("note", gen::uniform(4000, 7, 3), IndexChoice::None)
             .build()
             .unwrap()
@@ -371,7 +375,12 @@ mod tests {
             let (_, stats) = execute(&t, &q, &plan).unwrap();
             // Estimates are expectations; actuals must be within 2x.
             let ratio = stats.bytes_read as f64 / est.bytes.max(1.0);
-            assert!((0.4..2.5).contains(&ratio), "{plan}: est {} actual {}", est.bytes, stats.bytes_read);
+            assert!(
+                (0.4..2.5).contains(&ratio),
+                "{plan}: est {} actual {}",
+                est.bytes,
+                stats.bytes_read
+            );
         }
     }
 

@@ -38,14 +38,11 @@ impl IndexChoice {
             IndexChoice::None => return Ok(None),
             IndexChoice::ValueList => IndexSpec::value_list(c)?,
             IndexChoice::Knee => IndexSpec::new(knee(c)?, Encoding::Range),
-            IndexChoice::SpaceOptimal => IndexSpec::new(
-                space_optimal(c, max_components(c))?,
-                Encoding::Range,
-            ),
-            IndexChoice::TimeOptimal => IndexSpec::new(time_optimal(c, 1)?, Encoding::Range),
-            IndexChoice::SpaceBudget(m) => {
-                IndexSpec::new(time_opt_heur(c, *m)?, Encoding::Range)
+            IndexChoice::SpaceOptimal => {
+                IndexSpec::new(space_optimal(c, max_components(c))?, Encoding::Range)
             }
+            IndexChoice::TimeOptimal => IndexSpec::new(time_optimal(c, 1)?, Encoding::Range),
+            IndexChoice::SpaceBudget(m) => IndexSpec::new(time_opt_heur(c, *m)?, Encoding::Range),
             IndexChoice::Custom(spec) => spec.clone(),
         };
         Ok(Some(spec))
@@ -217,27 +214,46 @@ mod tests {
     fn index_choices_resolve_to_expected_shapes() {
         let c = 100u32;
         assert_eq!(
-            IndexChoice::ValueList.resolve(c).unwrap().unwrap().stored_bitmaps(),
+            IndexChoice::ValueList
+                .resolve(c)
+                .unwrap()
+                .unwrap()
+                .stored_bitmaps(),
             100
         );
         assert_eq!(
-            IndexChoice::Knee.resolve(c).unwrap().unwrap().base.to_msb_vec(),
+            IndexChoice::Knee
+                .resolve(c)
+                .unwrap()
+                .unwrap()
+                .base
+                .to_msb_vec(),
             vec![10, 10]
         );
         assert_eq!(
-            IndexChoice::SpaceOptimal.resolve(c).unwrap().unwrap().stored_bitmaps(),
+            IndexChoice::SpaceOptimal
+                .resolve(c)
+                .unwrap()
+                .unwrap()
+                .stored_bitmaps(),
             7
         );
         assert_eq!(
-            IndexChoice::TimeOptimal.resolve(c).unwrap().unwrap().base.to_msb_vec(),
+            IndexChoice::TimeOptimal
+                .resolve(c)
+                .unwrap()
+                .unwrap()
+                .base
+                .to_msb_vec(),
             vec![100]
         );
         let budget = IndexChoice::SpaceBudget(20).resolve(c).unwrap().unwrap();
         assert!(budget.stored_bitmaps() <= 20);
         assert!(IndexChoice::None.resolve(c).unwrap().is_none());
-        let custom = IndexChoice::Custom(
-            IndexSpec::new(Base::from_msb(&[4, 5, 5]).unwrap(), Encoding::Range),
-        );
+        let custom = IndexChoice::Custom(IndexSpec::new(
+            Base::from_msb(&[4, 5, 5]).unwrap(),
+            Encoding::Range,
+        ));
         assert_eq!(custom.resolve(c).unwrap().unwrap().stored_bitmaps(), 11);
     }
 }

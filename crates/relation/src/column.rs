@@ -151,10 +151,7 @@ impl ValueMap {
     /// predicates on raw values into rank space. `None` if `raw` is smaller
     /// than every value.
     pub fn rank_le(&self, raw: i64) -> Option<u32> {
-        self.rank_of_raw
-            .range(..=raw)
-            .next_back()
-            .map(|(_, &r)| r)
+        self.rank_of_raw.range(..=raw).next_back().map(|(_, &r)| r)
     }
 }
 

@@ -3,17 +3,15 @@
 //! All generators are deterministic functions of their seed so every
 //! experiment in the bench harness is reproducible bit-for-bit.
 
-use rand::prelude::*;
-use rand::rngs::StdRng;
-
+use crate::rng::Rng;
 use crate::Column;
 
 /// Uniformly distributed values over `0 .. cardinality`.
 pub fn uniform(n: usize, cardinality: u32, seed: u64) -> Column {
     assert!(cardinality > 0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     Column::new(
-        (0..n).map(|_| rng.random_range(0..cardinality)).collect(),
+        (0..n).map(|_| rng.below_u32(cardinality)).collect(),
         cardinality,
     )
 }
@@ -25,7 +23,7 @@ pub fn uniform(n: usize, cardinality: u32, seed: u64) -> Column {
 pub fn zipf(n: usize, cardinality: u32, theta: f64, seed: u64) -> Column {
     assert!(cardinality > 0);
     assert!(theta >= 0.0, "zipf exponent must be non-negative");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     // Precompute the CDF once; C is at most a few thousand in our workloads.
     let weights: Vec<f64> = (1..=cardinality as u64)
         .map(|r| 1.0 / (r as f64).powf(theta))
@@ -39,8 +37,9 @@ pub fn zipf(n: usize, cardinality: u32, theta: f64, seed: u64) -> Column {
     }
     let values = (0..n)
         .map(|_| {
-            let u: f64 = rng.random();
-            cdf.partition_point(|&p| p < u).min(cardinality as usize - 1) as u32
+            let u: f64 = rng.next_f64();
+            cdf.partition_point(|&p| p < u)
+                .min(cardinality as usize - 1) as u32
         })
         .collect();
     Column::new(values, cardinality)
@@ -51,7 +50,9 @@ pub fn zipf(n: usize, cardinality: u32, theta: f64, seed: u64) -> Column {
 pub fn round_robin(n: usize, cardinality: u32) -> Column {
     assert!(cardinality > 0);
     Column::new(
-        (0..n).map(|i| (i as u64 % u64::from(cardinality)) as u32).collect(),
+        (0..n)
+            .map(|i| (i as u64 % u64::from(cardinality)) as u32)
+            .collect(),
         cardinality,
     )
 }
@@ -70,10 +71,10 @@ pub fn sorted_uniform(n: usize, cardinality: u32, seed: u64) -> Column {
 /// values — models physically clustered storage with imperfect ordering.
 pub fn clustered(n: usize, cardinality: u32, cluster_len: usize, seed: u64) -> Column {
     assert!(cluster_len > 0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut values = Vec::with_capacity(n);
     while values.len() < n {
-        let v = rng.random_range(0..cardinality);
+        let v = rng.below_u32(cardinality);
         let take = cluster_len.min(n - values.len());
         values.extend(std::iter::repeat_n(v, take));
     }
@@ -107,7 +108,13 @@ mod tests {
     fn zipf_skews_toward_small_ranks() {
         let c = zipf(50_000, 100, 1.0, 3);
         let h = c.histogram();
-        assert!(h[0] > h[10] && h[10] > h[60], "{} {} {}", h[0], h[10], h[60]);
+        assert!(
+            h[0] > h[10] && h[10] > h[60],
+            "{} {} {}",
+            h[0],
+            h[10],
+            h[60]
+        );
         assert!(c.values().iter().all(|&v| v < 100));
     }
 
@@ -136,11 +143,7 @@ mod tests {
     fn clustered_has_runs() {
         let c = clustered(1000, 50, 25, 5);
         assert_eq!(c.len(), 1000);
-        let runs = 1 + c
-            .values()
-            .windows(2)
-            .filter(|w| w[0] != w[1])
-            .count();
+        let runs = 1 + c.values().windows(2).filter(|w| w[0] != w[1]).count();
         assert!(runs <= 1000 / 25 + 1, "runs {runs}");
     }
 }

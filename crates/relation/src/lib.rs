@@ -18,8 +18,10 @@
 
 pub mod gen;
 pub mod query;
+pub mod rng;
 pub mod tpcd;
 
 mod column;
 
 pub use column::{Column, ValueMap};
+pub use rng::Rng;

@@ -6,8 +6,7 @@
 //! `{ A op v : op ∈ {≤, =} }`. Both are provided, plus seeded random
 //! workload sampling for wall-clock benchmarks.
 
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use crate::rng::Rng;
 
 /// The six comparison operators of a selection predicate `A op v`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -137,11 +136,11 @@ pub fn compression_study_space(cardinality: u32) -> Vec<SelectionQuery> {
 
 /// A seeded random sample of `n` queries from the full space.
 pub fn sample(cardinality: u32, n: usize, seed: u64) -> Vec<SelectionQuery> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
-            let op = Op::ALL[rng.random_range(0..Op::ALL.len())];
-            SelectionQuery::new(op, rng.random_range(0..cardinality))
+            let op = Op::ALL[rng.below_usize(Op::ALL.len())];
+            SelectionQuery::new(op, rng.below_u32(cardinality))
         })
         .collect()
 }

@@ -7,9 +7,9 @@
 //! buffered bitmap costs no file read.
 
 use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard};
 
 use bindex_bitvec::BitVec;
-use parking_lot::Mutex;
 
 /// Buffer pool statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -29,14 +29,21 @@ struct Inner {
     stats: PoolStats,
 }
 
-/// LRU cache of up to `capacity` bitmaps. Thread-safe (`parking_lot`
-/// mutex), matching the shared buffer pool of a database server.
+/// LRU cache of up to `capacity` bitmaps. Thread-safe, matching the
+/// shared buffer pool of a database server.
 pub struct BufferPool {
     capacity: usize,
     inner: Mutex<Inner>,
 }
 
 impl BufferPool {
+    /// Locks the pool state, recovering from poisoning: the cache holds no
+    /// invariants a panicking reader could break mid-update, so a poisoned
+    /// pool keeps serving rather than cascading the panic.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Creates a pool holding at most `capacity` bitmaps (`m` in the
     /// paper's notation). Zero capacity disables caching.
     pub fn new(capacity: usize) -> Self {
@@ -62,13 +69,13 @@ impl BufferPool {
         load: impl FnOnce() -> Result<BitVec, E>,
     ) -> Result<BitVec, E> {
         if self.capacity == 0 {
-            let mut inner = self.inner.lock();
+            let mut inner = self.lock();
             inner.stats.misses += 1;
             drop(inner);
             return load();
         }
         {
-            let mut inner = self.inner.lock();
+            let mut inner = self.lock();
             inner.tick += 1;
             let tick = inner.tick;
             if let Some((bm, last)) = inner.entries.get_mut(&key) {
@@ -81,16 +88,11 @@ impl BufferPool {
         }
         // Load outside the lock; racing loads are benign (last write wins).
         let bm = load()?;
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
         if inner.entries.len() >= self.capacity && !inner.entries.contains_key(&key) {
-            if let Some((&victim, _)) = inner
-                .entries
-                .iter()
-                .min_by_key(|(_, (_, last))| *last)
-                .map(|(k, v)| (k, v))
-            {
+            if let Some((&victim, _)) = inner.entries.iter().min_by_key(|(_, (_, last))| *last) {
                 inner.entries.remove(&victim);
                 inner.stats.evictions += 1;
             }
@@ -101,17 +103,17 @@ impl BufferPool {
 
     /// Current statistics.
     pub fn stats(&self) -> PoolStats {
-        self.inner.lock().stats
+        self.lock().stats
     }
 
     /// Number of bitmaps currently resident.
     pub fn resident(&self) -> usize {
-        self.inner.lock().entries.len()
+        self.lock().entries.len()
     }
 
     /// Empties the pool and resets statistics.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         inner.entries.clear();
         inner.stats = PoolStats::default();
     }
@@ -122,14 +124,16 @@ mod tests {
     use super::*;
 
     fn bm(tag: usize) -> BitVec {
-        BitVec::from_fn(64, |i| (i + tag) % 3 == 0)
+        BitVec::from_fn(64, |i| (i + tag).is_multiple_of(3))
     }
 
     #[test]
     fn hit_after_load() {
         let pool = BufferPool::new(4);
         let a = pool.get_or_load::<()>((1, 0), || Ok(bm(1))).unwrap();
-        let b = pool.get_or_load::<()>((1, 0), || panic!("must hit")).unwrap();
+        let b = pool
+            .get_or_load::<()>((1, 0), || panic!("must hit"))
+            .unwrap();
         assert_eq!(a, b);
         let s = pool.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
@@ -145,7 +149,8 @@ mod tests {
         assert_eq!(pool.resident(), 2);
         assert_eq!(pool.stats().evictions, 1);
         // (1,1) must reload; (1,0) must still hit.
-        pool.get_or_load::<()>((1, 0), || panic!("still hot")).unwrap();
+        pool.get_or_load::<()>((1, 0), || panic!("still hot"))
+            .unwrap();
         let mut reloaded = false;
         pool.get_or_load::<()>((1, 1), || {
             reloaded = true;

@@ -1,0 +1,73 @@
+//! CRC32 (IEEE 802.3 polynomial), implemented in-repo.
+//!
+//! Every stored file carries a CRC32 of its payload in the frame header
+//! (see [`format`](crate::format)), so a read can distinguish "the bytes I
+//! wrote" from "the bytes the medium gave back". The reflected polynomial
+//! `0xEDB88320` with initial value and final XOR of `!0` matches zlib's
+//! `crc32()`, gzip, and PNG, so checksums are externally checkable.
+
+/// Byte-at-a-time lookup table for the reflected polynomial.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC32 of `data` (IEEE polynomial, zlib-compatible).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC32 check values (same as zlib's crc32()).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let data = vec![0xA5u8; 257];
+        let base = crc32(&data);
+        for byte in [0usize, 100, 256] {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "byte {byte} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn depends_on_position() {
+        assert_ne!(crc32(&[1, 0]), crc32(&[0, 1]));
+    }
+}

@@ -1,0 +1,376 @@
+//! Deterministic fault injection for storage robustness tests.
+//!
+//! [`FaultStore`] wraps any [`ByteStore`] and perturbs its operations
+//! according to a seeded [`FaultPlan`]: transient read errors (retryable),
+//! silent bit flips, truncated reads, and torn (partial) writes. Faults
+//! are a pure function of the plan's seed, the file name, and the
+//! operation sequence number, so a failing test case replays exactly.
+//! Injected faults are tallied in [`FaultCounters`].
+
+use std::io;
+use std::sync::Mutex;
+
+use crate::store::ByteStore;
+
+/// SplitMix64, private to the fault layer so the storage crate stays
+/// dependency-free (the relation crate's `Rng` would invert the layering).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a, enough to give distinct files distinct fault positions.
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// What a matching rule does to the operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultKind {
+    /// The read fails with [`io::ErrorKind::Interrupted`] (transient).
+    TransientError,
+    /// One deterministically-chosen bit of the returned data is flipped.
+    BitFlip,
+    /// Only the first `keep` bytes of the file are returned.
+    Truncate(usize),
+    /// Only a deterministically-chosen prefix of the data is persisted.
+    TornWrite,
+}
+
+#[derive(Debug, Clone)]
+struct Rule {
+    /// Substring match against the file name; empty matches every file.
+    pattern: String,
+    kind: FaultKind,
+    /// Fire on every `nth` matching operation (1 = every one).
+    every_nth: u64,
+    /// Remaining firings; `None` = unlimited.
+    budget: Option<u64>,
+    /// Matching operations seen so far.
+    seen: u64,
+}
+
+impl Rule {
+    fn fire(&mut self) -> bool {
+        self.seen += 1;
+        if !self.seen.is_multiple_of(self.every_nth) {
+            return false;
+        }
+        match &mut self.budget {
+            Some(0) => false,
+            Some(n) => {
+                *n -= 1;
+                true
+            }
+            None => true,
+        }
+    }
+}
+
+/// A seeded, ordered list of fault rules. Build with the `with_*`
+/// methods, then hand to [`FaultStore::new`].
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<Rule>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given determinism seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    fn push(mut self, pattern: &str, kind: FaultKind, every_nth: u64, budget: Option<u64>) -> Self {
+        assert!(every_nth >= 1, "every_nth must be at least 1");
+        self.rules.push(Rule {
+            pattern: pattern.to_string(),
+            kind,
+            every_nth,
+            budget,
+            seen: 0,
+        });
+        self
+    }
+
+    /// The first `count` reads of files whose name contains `pattern`
+    /// fail with a transient [`io::ErrorKind::Interrupted`] error.
+    pub fn with_transient_reads(self, pattern: &str, count: u64) -> Self {
+        self.push(pattern, FaultKind::TransientError, 1, Some(count))
+    }
+
+    /// Every `nth` read (of any file) fails with a transient error.
+    pub fn with_transient_every_nth_read(self, nth: u64) -> Self {
+        self.push("", FaultKind::TransientError, nth, None)
+    }
+
+    /// Every read of files whose name contains `pattern` returns data
+    /// with one seeded bit flipped (silent corruption).
+    pub fn with_bit_flip(self, pattern: &str) -> Self {
+        self.push(pattern, FaultKind::BitFlip, 1, None)
+    }
+
+    /// Every read of files whose name contains `pattern` returns only the
+    /// first `keep` bytes.
+    pub fn with_truncated_reads(self, pattern: &str, keep: usize) -> Self {
+        self.push(pattern, FaultKind::Truncate(keep), 1, None)
+    }
+
+    /// The first `count` writes to files whose name contains `pattern`
+    /// persist only a seeded prefix of the data (a torn write).
+    pub fn with_torn_writes(self, pattern: &str, count: u64) -> Self {
+        self.push(pattern, FaultKind::TornWrite, 1, Some(count))
+    }
+}
+
+/// Tallies of the faults actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Reads failed with a transient error.
+    pub transient_errors: u64,
+    /// Reads returned with a flipped bit.
+    pub bit_flips: u64,
+    /// Reads returned truncated.
+    pub truncated_reads: u64,
+    /// Writes persisted partially.
+    pub torn_writes: u64,
+}
+
+impl FaultCounters {
+    /// Total faults injected across all kinds.
+    pub fn total(&self) -> u64 {
+        self.transient_errors + self.bit_flips + self.truncated_reads + self.torn_writes
+    }
+}
+
+#[derive(Debug)]
+struct FaultState {
+    rules: Vec<Rule>,
+    counters: FaultCounters,
+}
+
+/// A [`ByteStore`] wrapper that injects faults per a [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultStore<S: ByteStore> {
+    inner: S,
+    seed: u64,
+    state: Mutex<FaultState>,
+}
+
+impl<S: ByteStore> FaultStore<S> {
+    /// Wraps `inner` with the fault plan.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            seed: plan.seed,
+            state: Mutex::new(FaultState {
+                rules: plan.rules,
+                counters: FaultCounters::default(),
+            }),
+        }
+    }
+
+    /// Counters of the faults injected so far.
+    pub fn counters(&self) -> FaultCounters {
+        self.lock().counters
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps, discarding the fault plan.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Deterministic value in `0..bound` for this (file, occurrence).
+    fn roll(&self, name: &str, salt: u64, bound: u64) -> u64 {
+        let mut s = self.seed ^ hash_name(name) ^ salt.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        if bound == 0 {
+            return 0;
+        }
+        splitmix64(&mut s) % bound
+    }
+}
+
+impl<S: ByteStore> ByteStore for FaultStore<S> {
+    fn write_file(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+        let mut torn = None;
+        {
+            let mut st = self.lock();
+            for rule in st.rules.iter_mut() {
+                if rule.kind == FaultKind::TornWrite && name.contains(&rule.pattern) && rule.fire()
+                {
+                    torn = Some(rule.seen);
+                    break;
+                }
+            }
+            if torn.is_some() {
+                st.counters.torn_writes += 1;
+            }
+        }
+        match torn {
+            Some(occurrence) => {
+                // Persist a strict prefix: the write started but did not finish.
+                let keep = self.roll(name, occurrence, data.len().max(1) as u64) as usize;
+                self.inner.write_file(name, &data[..keep])
+            }
+            None => self.inner.write_file(name, data),
+        }
+    }
+
+    fn read_file(&self, name: &str) -> io::Result<Vec<u8>> {
+        let mut fault = None;
+        {
+            let mut st = self.lock();
+            for rule in st.rules.iter_mut() {
+                if rule.kind != FaultKind::TornWrite && name.contains(&rule.pattern) && rule.fire()
+                {
+                    fault = Some((rule.kind, rule.seen));
+                    break;
+                }
+            }
+            match fault {
+                Some((FaultKind::TransientError, _)) => st.counters.transient_errors += 1,
+                Some((FaultKind::BitFlip, _)) => st.counters.bit_flips += 1,
+                Some((FaultKind::Truncate(_), _)) => st.counters.truncated_reads += 1,
+                _ => {}
+            }
+        }
+        match fault {
+            Some((FaultKind::TransientError, _)) => Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("injected transient fault reading {name}"),
+            )),
+            Some((FaultKind::BitFlip, occurrence)) => {
+                let mut data = self.inner.read_file(name)?;
+                if !data.is_empty() {
+                    let bit = self.roll(name, occurrence, data.len() as u64 * 8);
+                    data[(bit / 8) as usize] ^= 1 << (bit % 8);
+                }
+                Ok(data)
+            }
+            Some((FaultKind::Truncate(keep), _)) => {
+                let mut data = self.inner.read_file(name)?;
+                data.truncate(keep);
+                Ok(data)
+            }
+            _ => self.inner.read_file(name),
+        }
+    }
+
+    fn file_size(&self, name: &str) -> io::Result<u64> {
+        self.inner.file_size(name)
+    }
+
+    fn file_names(&self) -> io::Result<Vec<String>> {
+        self.inner.file_names()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn seeded_store() -> MemStore {
+        let mut m = MemStore::new();
+        m.write_file("a.bmp", &[0xFF; 32]).unwrap();
+        m.write_file("b.cmp", &[0x00; 32]).unwrap();
+        m
+    }
+
+    #[test]
+    fn clean_plan_is_transparent() {
+        let fs = FaultStore::new(seeded_store(), FaultPlan::new(1));
+        assert_eq!(fs.read_file("a.bmp").unwrap(), vec![0xFF; 32]);
+        assert_eq!(fs.counters().total(), 0);
+    }
+
+    #[test]
+    fn transient_reads_fail_then_recover() {
+        let fs = FaultStore::new(
+            seeded_store(),
+            FaultPlan::new(1).with_transient_reads("a", 2),
+        );
+        for _ in 0..2 {
+            let err = fs.read_file("a.bmp").unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        }
+        assert_eq!(fs.read_file("a.bmp").unwrap(), vec![0xFF; 32]);
+        assert_eq!(fs.read_file("b.cmp").unwrap(), vec![0x00; 32]); // unmatched
+        assert_eq!(fs.counters().transient_errors, 2);
+    }
+
+    #[test]
+    fn every_nth_read_fails() {
+        let fs = FaultStore::new(
+            seeded_store(),
+            FaultPlan::new(1).with_transient_every_nth_read(3),
+        );
+        let mut failures = 0;
+        for _ in 0..9 {
+            if fs.read_file("a.bmp").is_err() {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 3);
+        assert_eq!(fs.counters().transient_errors, 3);
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit_deterministically() {
+        let fs = FaultStore::new(seeded_store(), FaultPlan::new(42).with_bit_flip("a.bmp"));
+        let first = fs.read_file("a.bmp").unwrap();
+        let diff: u32 = first
+            .iter()
+            .zip([0xFFu8; 32])
+            .map(|(&g, w)| (g ^ w).count_ones())
+            .sum();
+        assert_eq!(diff, 1);
+        // Same seed, same occurrence number on a fresh store: same flip.
+        let fs2 = FaultStore::new(seeded_store(), FaultPlan::new(42).with_bit_flip("a.bmp"));
+        assert_eq!(fs2.read_file("a.bmp").unwrap(), first);
+        assert_eq!(fs.counters().bit_flips, 1);
+    }
+
+    #[test]
+    fn truncated_reads_shorten() {
+        let fs = FaultStore::new(
+            seeded_store(),
+            FaultPlan::new(1).with_truncated_reads("b.cmp", 5),
+        );
+        assert_eq!(fs.read_file("b.cmp").unwrap().len(), 5);
+        assert_eq!(fs.read_file("a.bmp").unwrap().len(), 32);
+        assert_eq!(fs.counters().truncated_reads, 1);
+    }
+
+    #[test]
+    fn torn_write_persists_strict_prefix() {
+        let mut fs = FaultStore::new(MemStore::new(), FaultPlan::new(7).with_torn_writes("x", 1));
+        fs.write_file("x.bin", &[9u8; 100]).unwrap();
+        let stored = fs.inner().read_file("x.bin").unwrap();
+        assert!(stored.len() < 100, "got {} bytes", stored.len());
+        assert!(stored.iter().all(|&b| b == 9));
+        // Budget exhausted: second write lands whole.
+        fs.write_file("x.bin", &[9u8; 100]).unwrap();
+        assert_eq!(fs.inner().read_file("x.bin").unwrap().len(), 100);
+        assert_eq!(fs.counters().torn_writes, 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Checksummed on-disk frame wrapped around every stored file.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "BIXF"
+//! 4       4     format version, u32 little-endian (currently 2)
+//! 8       8     payload length, u64 little-endian
+//! 16      4     CRC32 of the payload (see [`checksum`](crate::checksum))
+//! 20      …     payload (compressed bitmap bytes, or manifest text)
+//! ```
+//!
+//! Compression happens first and the frame wraps the compressed bytes, so
+//! verification reads exactly the stored size. Version 1 stores predate
+//! the frame (raw payloads, plain-text manifest) and are still readable;
+//! [`sniff`] tells the two apart by the magic.
+
+use crate::checksum::crc32;
+use crate::error::StorageError;
+
+/// Frame magic, first four bytes of every framed file.
+pub const MAGIC: [u8; 4] = *b"BIXF";
+/// Current format version written by [`frame`].
+pub const FORMAT_VERSION: u32 = 2;
+/// Bytes of header before the payload.
+pub const HEADER_LEN: usize = 20;
+
+/// Wraps `payload` in a checksummed frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// `true` if `data` begins with the frame magic (a v2+ file); `false`
+/// means a bare v1 payload.
+pub fn sniff(data: &[u8]) -> bool {
+    data.len() >= MAGIC.len() && data[..MAGIC.len()] == MAGIC
+}
+
+/// Verifies the frame around `data` and returns the payload. `file` names
+/// the source in errors.
+pub fn unframe(file: &str, data: &[u8]) -> Result<Vec<u8>, StorageError> {
+    if data.len() < HEADER_LEN {
+        return Err(StorageError::corrupt(
+            file,
+            format!(
+                "{} bytes is shorter than the {HEADER_LEN}-byte header",
+                data.len()
+            ),
+        ));
+    }
+    if data[..4] != MAGIC {
+        return Err(StorageError::corrupt(file, "bad magic"));
+    }
+    let version = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(StorageError::corrupt(
+            file,
+            format!("unsupported format version {version}"),
+        ));
+    }
+    let payload_len = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes")) as usize;
+    let expected = u32::from_le_bytes(data[16..20].try_into().expect("4 bytes"));
+    let payload = &data[HEADER_LEN..];
+    if payload.len() != payload_len {
+        return Err(StorageError::corrupt(
+            file,
+            format!(
+                "header says {payload_len} payload bytes, file holds {}",
+                payload.len()
+            ),
+        ));
+    }
+    let actual = crc32(payload);
+    if actual != expected {
+        return Err(StorageError::ChecksumMismatch {
+            file: file.to_string(),
+            expected,
+            actual,
+        });
+    }
+    Ok(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for payload in [&b""[..], b"x", &[0xAB; 1000][..]] {
+            let framed = frame(payload);
+            assert_eq!(framed.len(), HEADER_LEN + payload.len());
+            assert!(sniff(&framed));
+            assert_eq!(unframe("t", &framed).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn sniff_rejects_raw_payloads() {
+        assert!(!sniff(b""));
+        assert!(!sniff(b"BIX"));
+        assert!(!sniff(b"version=1\nn_rows=3\n"));
+    }
+
+    #[test]
+    fn detects_any_flipped_bit() {
+        let framed = frame(b"some payload worth protecting");
+        for byte in 0..framed.len() {
+            let mut bad = framed.clone();
+            bad[byte] ^= 0x10;
+            assert!(
+                unframe("t", &bad).is_err(),
+                "flip in byte {byte} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let framed = frame(&[7u8; 64]);
+        for keep in [0, 10, HEADER_LEN, framed.len() - 1] {
+            assert!(unframe("t", &framed[..keep]).is_err(), "keep {keep}");
+        }
+    }
+
+    #[test]
+    fn checksum_error_is_typed() {
+        let mut framed = frame(b"payload");
+        let last = framed.len() - 1;
+        framed[last] ^= 0xFF; // corrupt payload, header intact
+        match unframe("f.bmp", &framed) {
+            Err(StorageError::ChecksumMismatch { file, .. }) => assert_eq!(file, "f.bmp"),
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_future_versions() {
+        let mut framed = frame(b"data");
+        framed[4] = 99;
+        assert!(matches!(
+            unframe("t", &framed),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+}

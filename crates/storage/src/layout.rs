@@ -1,11 +1,17 @@
 //! The three physical organizations of Section 9.1 and the stored-index
-//! reader with I/O accounting.
-
-use std::io;
+//! reader with I/O accounting, checksummed framing, and bounded retry.
+//!
+//! Version 2 stores wrap every file — bitmap payloads and the manifest —
+//! in the checksummed frame of [`format`](crate::format), so a read either
+//! returns the bytes that were written or a typed
+//! [`StorageError`]. Version 1 stores (raw payloads, plain-text manifest)
+//! remain readable; the manifest's leading bytes tell the two apart.
 
 use bindex_bitvec::BitVec;
 use bindex_compress::CodecKind;
 
+use crate::error::{RetryPolicy, ScrubFailure, ScrubReport, StorageError};
+use crate::format;
 use crate::store::{ByteStore, IoStats};
 
 /// Physical organization of an index's bit matrix (Section 9.1).
@@ -49,7 +55,10 @@ pub struct StoredIndexMeta {
 impl StoredIndexMeta {
     /// Total stored bitmaps `n`.
     pub fn total_bitmaps(&self) -> u64 {
-        self.bitmaps_per_component.iter().map(|&x| u64::from(x)).sum()
+        self.bitmaps_per_component
+            .iter()
+            .map(|&x| u64::from(x))
+            .sum()
     }
 
     /// Serializes the metadata as the manifest file format (one
@@ -61,7 +70,8 @@ impl StoredIndexMeta {
             .map(u32::to_string)
             .collect();
         format!(
-            "version=1\nn_rows={}\nscheme={}\ncodec={}\ncomponents={}\n",
+            "version={}\nn_rows={}\nscheme={}\ncodec={}\ncomponents={}\n",
+            format::FORMAT_VERSION,
             self.n_rows,
             match self.scheme {
                 StorageScheme::BitmapLevel => "bs",
@@ -73,9 +83,11 @@ impl StoredIndexMeta {
         )
     }
 
-    /// Parses a manifest produced by [`StoredIndexMeta::to_manifest`].
-    fn from_manifest(text: &str) -> io::Result<Self> {
-        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, format!("manifest: {msg}"));
+    /// Parses a manifest produced by [`StoredIndexMeta::to_manifest`] (or
+    /// its version-1 predecessor), returning the metadata and the store's
+    /// format version.
+    fn from_manifest(text: &str) -> Result<(Self, u32), StorageError> {
+        let bad = |msg: &str| StorageError::corrupt(MANIFEST_FILE, format!("manifest: {msg}"));
         let mut n_rows = None;
         let mut scheme = None;
         let mut codec = None;
@@ -109,42 +121,53 @@ impl StoredIndexMeta {
                     comps = Some(
                         v.split(',')
                             .map(|x| x.parse().map_err(|_| bad("bad component count")))
-                            .collect::<io::Result<Vec<u32>>>()?,
+                            .collect::<Result<Vec<u32>, StorageError>>()?,
                     )
                 }
                 other => return Err(bad(&format!("unknown key {other}"))),
             }
         }
-        if version.as_deref() != Some("1") {
-            return Err(bad("unsupported version"));
-        }
-        Ok(Self {
-            n_rows: n_rows.ok_or_else(|| bad("missing n_rows"))?,
-            bitmaps_per_component: comps.ok_or_else(|| bad("missing components"))?,
-            scheme: scheme.ok_or_else(|| bad("missing scheme"))?,
-            codec: codec.ok_or_else(|| bad("missing codec"))?,
-        })
+        let version = match version.as_deref() {
+            Some("1") => 1,
+            Some("2") => 2,
+            _ => return Err(bad("unsupported version")),
+        };
+        Ok((
+            Self {
+                n_rows: n_rows.ok_or_else(|| bad("missing n_rows"))?,
+                bitmaps_per_component: comps.ok_or_else(|| bad("missing components"))?,
+                scheme: scheme.ok_or_else(|| bad("missing scheme"))?,
+                codec: codec.ok_or_else(|| bad("missing codec"))?,
+            },
+            version,
+        ))
     }
 }
 
 /// An index laid out in a [`ByteStore`] under one of the three schemes,
-/// readable bitmap-by-bitmap with byte-level I/O accounting.
+/// readable bitmap-by-bitmap with byte-level I/O accounting. Reads retry
+/// transient failures per the [`RetryPolicy`]; checksum and structure
+/// failures surface as permanent [`StorageError`]s.
 #[derive(Debug)]
 pub struct StoredIndex<S: ByteStore> {
     store: S,
     meta: StoredIndexMeta,
     stats: IoStats,
+    /// `true` for version-2 stores whose files carry the checksummed frame.
+    framed: bool,
+    retry: RetryPolicy,
 }
 
 impl<S: ByteStore> StoredIndex<S> {
     /// Writes `components[i-1][j]` (bitmap `j` of component `i`) into
-    /// `store` under `scheme`, compressing each file with `codec`.
+    /// `store` under `scheme`, compressing each file with `codec` and
+    /// wrapping it in the checksummed version-2 frame.
     pub fn create(
         mut store: S,
         components: &[Vec<BitVec>],
         scheme: StorageScheme,
         codec: CodecKind,
-    ) -> io::Result<Self> {
+    ) -> Result<Self, StorageError> {
         let n_rows = components
             .first()
             .and_then(|c| c.first())
@@ -163,41 +186,69 @@ impl<S: ByteStore> StoredIndex<S> {
                 for (ci, comp) in components.iter().enumerate() {
                     for (j, bm) in comp.iter().enumerate() {
                         let raw = bm.to_bytes();
-                        store.write_file(&bitmap_file(ci + 1, j), &codec.compress(&raw))?;
+                        store.write_file(
+                            &bitmap_file(ci + 1, j),
+                            &format::frame(&codec.compress(&raw)),
+                        )?;
                     }
                 }
             }
             StorageScheme::ComponentLevel => {
                 for (ci, comp) in components.iter().enumerate() {
                     let raw = row_major(comp, n_rows);
-                    store.write_file(&component_file(ci + 1), &codec.compress(&raw))?;
+                    store.write_file(
+                        &component_file(ci + 1),
+                        &format::frame(&codec.compress(&raw)),
+                    )?;
                 }
             }
             StorageScheme::IndexLevel => {
                 let all: Vec<&BitVec> = components.iter().flatten().collect();
                 let raw = row_major_refs(&all, n_rows);
-                store.write_file(INDEX_FILE, &codec.compress(&raw))?;
+                store.write_file(INDEX_FILE, &format::frame(&codec.compress(&raw)))?;
             }
         }
-        store.write_file(MANIFEST_FILE, meta.to_manifest().as_bytes())?;
+        store.write_file(MANIFEST_FILE, &format::frame(meta.to_manifest().as_bytes()))?;
         Ok(Self {
             store,
             meta,
             stats: IoStats::default(),
+            framed: true,
+            retry: RetryPolicy::default(),
         })
     }
 
     /// Re-opens an index previously written with [`StoredIndex::create`],
     /// reading its shape from the manifest file — no rebuild needed.
-    pub fn open(store: S) -> io::Result<Self> {
-        let manifest = store.read_file(MANIFEST_FILE)?;
-        let text = std::str::from_utf8(&manifest)
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "manifest not UTF-8"))?;
-        let meta = StoredIndexMeta::from_manifest(text)?;
+    /// Version-1 stores (unframed files) open transparently.
+    pub fn open(store: S) -> Result<Self, StorageError> {
+        let retry = RetryPolicy::default();
+        let mut retries = 0;
+        let data = read_with_retry(&store, MANIFEST_FILE, retry, &mut retries)?;
+        let framed = format::sniff(&data);
+        let payload = if framed {
+            format::unframe(MANIFEST_FILE, &data)?
+        } else {
+            data
+        };
+        let text = std::str::from_utf8(&payload)
+            .map_err(|_| StorageError::corrupt(MANIFEST_FILE, "manifest not UTF-8"))?;
+        let (meta, version) = StoredIndexMeta::from_manifest(text)?;
+        if framed != (version == 2) {
+            return Err(StorageError::corrupt(
+                MANIFEST_FILE,
+                format!("manifest framing does not match declared version {version}"),
+            ));
+        }
         Ok(Self {
             store,
             meta,
-            stats: IoStats::default(),
+            stats: IoStats {
+                retries,
+                ..IoStats::default()
+            },
+            framed,
+            retry,
         })
     }
 
@@ -206,12 +257,47 @@ impl<S: ByteStore> StoredIndex<S> {
         &self.meta
     }
 
-    /// Total stored bytes across all bitmap files (compressed size if
-    /// compressed) — the space metric of Section 9. The tiny manifest is
-    /// excluded.
+    /// On-disk format version: 2 for checksum-framed stores, 1 for legacy.
+    pub fn format_version(&self) -> u32 {
+        if self.framed {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// The retry policy applied to transient read failures.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Replaces the retry policy.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The underlying byte store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Consumes the index, returning the underlying store.
+    pub fn into_store(self) -> S {
+        self.store
+    }
+
+    /// Total stored bytes across all bitmap files (physical size including
+    /// frame headers; compressed size when compressed) — the space metric
+    /// of Section 9. The tiny manifest is excluded. Files whose size
+    /// cannot be read count as zero.
     pub fn total_stored_bytes(&self) -> u64 {
-        self.store.total_bytes()
-            - self.store.file_size(MANIFEST_FILE).unwrap_or(0)
+        self.store
+            .file_names()
+            .unwrap_or_default()
+            .iter()
+            .filter(|n| n.as_str() != MANIFEST_FILE)
+            .map(|n| self.store.file_size(n).unwrap_or(0))
+            .sum()
     }
 
     /// Cumulative I/O statistics.
@@ -229,9 +315,22 @@ impl<S: ByteStore> StoredIndex<S> {
     /// Under BS this reads one bitmap file; under CS it reads and
     /// transposes the whole component file; under IS the whole index file
     /// — exactly the access-cost asymmetry Section 9.2 describes.
-    pub fn read_bitmap(&mut self, comp: usize, slot: usize) -> io::Result<BitVec> {
-        let n_i = self.meta.bitmaps_per_component[comp - 1] as usize;
-        assert!(slot < n_i, "slot {slot} out of range for component {comp}");
+    ///
+    /// Out-of-shape addresses return [`StorageError::InvalidSlot`];
+    /// transient store failures are retried up to the policy bound and
+    /// then propagate; corruption is reported as a permanent error, never
+    /// as a wrong bitmap.
+    pub fn read_bitmap(&mut self, comp: usize, slot: usize) -> Result<BitVec, StorageError> {
+        let n_i = match comp
+            .checked_sub(1)
+            .and_then(|c| self.meta.bitmaps_per_component.get(c))
+        {
+            Some(&n) => n as usize,
+            None => return Err(StorageError::InvalidSlot { comp, slot }),
+        };
+        if slot >= n_i {
+            return Err(StorageError::InvalidSlot { comp, slot });
+        }
         let n_rows = self.meta.n_rows;
         match self.meta.scheme {
             StorageScheme::BitmapLevel => {
@@ -257,25 +356,84 @@ impl<S: ByteStore> StoredIndex<S> {
         }
     }
 
-    fn read_and_decompress(&mut self, name: &str, raw_len: usize) -> io::Result<Vec<u8>> {
-        let data = self.store.read_file(name)?;
+    /// Verifies every file in the store against its frame header and
+    /// reports (rather than fails on) each corrupt file. Version-1 stores
+    /// carry no checksums, so only readability is checked there.
+    pub fn scrub(&mut self) -> Result<ScrubReport, StorageError> {
+        let mut names = self.store.file_names()?;
+        names.sort();
+        let mut report = ScrubReport::default();
+        for name in &names {
+            report.files_checked += 1;
+            let outcome = read_with_retry(&self.store, name, self.retry, &mut self.stats.retries)
+                .and_then(|data| {
+                    if self.framed {
+                        format::unframe(name, &data).map(|_| ())
+                    } else {
+                        Ok(())
+                    }
+                });
+            if let Err(e) = outcome {
+                report.failures.push(ScrubFailure {
+                    file: name.clone(),
+                    error: e.to_string(),
+                });
+            }
+        }
+        Ok(report)
+    }
+
+    fn read_and_decompress(&mut self, name: &str, raw_len: usize) -> Result<Vec<u8>, StorageError> {
+        let data = read_with_retry(&self.store, name, self.retry, &mut self.stats.retries)?;
         self.stats.reads += 1;
         self.stats.bytes_read += data.len() as u64;
+        let payload = if self.framed {
+            format::unframe(name, &data)?
+        } else {
+            data
+        };
         if self.meta.codec == CodecKind::None {
-            return Ok(data);
+            return Ok(payload);
         }
         let out = self
             .meta
             .codec
-            .decompress(&data, raw_len)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            .decompress(&payload, raw_len)
+            .map_err(|e| StorageError::corrupt(name, e.to_string()))?;
         self.stats.bytes_decompressed += out.len() as u64;
         Ok(out)
     }
 }
 
+/// Reads `name`, retrying transient failures up to `retry.max_attempts`
+/// total attempts and counting each retry into `retries`.
+fn read_with_retry<S: ByteStore>(
+    store: &S,
+    name: &str,
+    retry: RetryPolicy,
+    retries: &mut u64,
+) -> Result<Vec<u8>, StorageError> {
+    let mut attempt = 1;
+    loop {
+        match store.read_file(name) {
+            Ok(data) => return Ok(data),
+            Err(e) => {
+                let err = StorageError::from(e);
+                if err.is_transient() && attempt < retry.max_attempts {
+                    attempt += 1;
+                    *retries += 1;
+                } else {
+                    return Err(err);
+                }
+            }
+        }
+    }
+}
+
+/// Name of the single index file under the IS scheme.
 const INDEX_FILE: &str = "index.bix";
-const MANIFEST_FILE: &str = "manifest.bixm";
+/// Name of the manifest file present under every scheme.
+pub(crate) const MANIFEST_FILE: &str = "manifest.bixm";
 
 fn bitmap_file(comp: usize, slot: usize) -> String {
     format!("c{comp}_b{slot}.bmp")
@@ -320,11 +478,13 @@ fn extract_column(raw: &[u8], n_rows: usize, width: usize, j: usize) -> BitVec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, FaultStore};
     use crate::store::MemStore;
 
     /// Two components: 3 bitmaps of 20 rows and 2 bitmaps of 20 rows.
     fn sample_components() -> Vec<Vec<BitVec>> {
-        let pat = |step: usize, off: usize| BitVec::from_fn(20, move |i| (i + off) % step == 0);
+        let pat =
+            |step: usize, off: usize| BitVec::from_fn(20, move |i| (i + off).is_multiple_of(step));
         vec![
             vec![pat(2, 0), pat(3, 1), pat(5, 2)],
             vec![pat(4, 0), pat(7, 3)],
@@ -370,7 +530,7 @@ mod tests {
             CodecKind::None,
         )
         .unwrap();
-        assert_eq!(bs.store.file_names().len(), 6); // 5 bitmaps + manifest
+        assert_eq!(bs.store.file_names().unwrap().len(), 6); // 5 bitmaps + manifest
         let cs = StoredIndex::create(
             MemStore::new(),
             &comps,
@@ -378,7 +538,7 @@ mod tests {
             CodecKind::None,
         )
         .unwrap();
-        assert_eq!(cs.store.file_names().len(), 3); // 2 components + manifest
+        assert_eq!(cs.store.file_names().unwrap().len(), 3); // 2 components + manifest
         let is = StoredIndex::create(
             MemStore::new(),
             &comps,
@@ -386,7 +546,7 @@ mod tests {
             CodecKind::None,
         )
         .unwrap();
-        assert_eq!(is.store.file_names().len(), 2); // index + manifest
+        assert_eq!(is.store.file_names().unwrap().len(), 2); // index + manifest
     }
 
     #[test]
@@ -402,7 +562,8 @@ mod tests {
         bs.read_bitmap(1, 0).unwrap();
         let bs_stats = bs.take_stats();
         assert_eq!(bs_stats.reads, 1);
-        assert_eq!(bs_stats.bytes_read, 3); // ceil(20/8)
+        // ceil(20/8) = 3 payload bytes + 20-byte frame header.
+        assert_eq!(bs_stats.bytes_read, 3 + format::HEADER_LEN as u64);
 
         let mut cs = StoredIndex::create(
             MemStore::new(),
@@ -413,8 +574,8 @@ mod tests {
         .unwrap();
         cs.read_bitmap(1, 0).unwrap();
         let cs_stats = cs.take_stats();
-        // CS reads the whole 20x3-bit component: ceil(60/8) = 8 bytes.
-        assert_eq!(cs_stats.bytes_read, 8);
+        // CS reads the whole 20x3-bit component: ceil(60/8) = 8 bytes + header.
+        assert_eq!(cs_stats.bytes_read, 8 + format::HEADER_LEN as u64);
         assert!(cs_stats.bytes_read > bs_stats.bytes_read);
     }
 
@@ -446,8 +607,8 @@ mod tests {
         .unwrap();
         assert_eq!(s.meta().total_bitmaps(), 5);
         assert_eq!(s.meta().n_rows, 20);
-        // IS file: ceil(20*5/8) = 13 bytes
-        assert_eq!(s.total_stored_bytes(), 13);
+        // IS file: ceil(20*5/8) = 13 payload bytes + frame header.
+        assert_eq!(s.total_stored_bytes(), 13 + format::HEADER_LEN as u64);
     }
 
     #[test]
@@ -468,6 +629,7 @@ mod tests {
         assert_eq!(reopened.meta().bitmaps_per_component, vec![3, 2]);
         assert_eq!(reopened.meta().scheme, StorageScheme::ComponentLevel);
         assert_eq!(reopened.meta().codec, CodecKind::Deflate);
+        assert_eq!(reopened.format_version(), 2);
         for (ci, comp) in comps.iter().enumerate() {
             for (j, bm) in comp.iter().enumerate() {
                 assert_eq!(&reopened.read_bitmap(ci + 1, j).unwrap(), bm);
@@ -484,7 +646,12 @@ mod tests {
             codec: CodecKind::Lzss,
         };
         let text = meta.to_manifest();
-        assert_eq!(StoredIndexMeta::from_manifest(&text).unwrap(), meta);
+        let (parsed, version) = StoredIndexMeta::from_manifest(&text).unwrap();
+        assert_eq!(parsed, meta);
+        assert_eq!(version, 2);
+        // Version-1 manifests still parse.
+        let v1 = text.replace("version=2", "version=1");
+        assert_eq!(StoredIndexMeta::from_manifest(&v1).unwrap(), (meta, 1));
         assert!(StoredIndexMeta::from_manifest("").is_err());
         assert!(StoredIndexMeta::from_manifest("version=9\n").is_err());
         assert!(StoredIndexMeta::from_manifest(&text.replace("lzss", "zip")).is_err());
@@ -504,13 +671,12 @@ mod tests {
             CodecKind::None,
         )
         .unwrap();
-        // IS file alone: ceil(20*5/8) = 13 bytes.
-        assert_eq!(s.total_stored_bytes(), 13);
+        // IS file alone: ceil(20*5/8) = 13 payload bytes + frame header.
+        assert_eq!(s.total_stored_bytes(), 13 + format::HEADER_LEN as u64);
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn bad_slot_panics() {
+    fn bad_slot_is_typed_error() {
         let comps = sample_components();
         let mut s = StoredIndex::create(
             MemStore::new(),
@@ -519,6 +685,141 @@ mod tests {
             CodecKind::None,
         )
         .unwrap();
-        let _ = s.read_bitmap(1, 3);
+        assert!(matches!(
+            s.read_bitmap(1, 3),
+            Err(StorageError::InvalidSlot { comp: 1, slot: 3 })
+        ));
+        assert!(matches!(
+            s.read_bitmap(0, 0),
+            Err(StorageError::InvalidSlot { comp: 0, slot: 0 })
+        ));
+        assert!(matches!(
+            s.read_bitmap(7, 0),
+            Err(StorageError::InvalidSlot { comp: 7, slot: 0 })
+        ));
+    }
+
+    /// Builds a version-1 store by hand (raw payloads, plain manifest).
+    fn v1_store(comps: &[Vec<BitVec>], codec: CodecKind) -> MemStore {
+        let mut store = MemStore::new();
+        for (ci, comp) in comps.iter().enumerate() {
+            for (j, bm) in comp.iter().enumerate() {
+                store
+                    .write_file(&bitmap_file(ci + 1, j), &codec.compress(&bm.to_bytes()))
+                    .unwrap();
+            }
+        }
+        let manifest = format!(
+            "version=1\nn_rows=20\nscheme=bs\ncodec={}\ncomponents=3,2\n",
+            codec.name()
+        );
+        store
+            .write_file(MANIFEST_FILE, manifest.as_bytes())
+            .unwrap();
+        store
+    }
+
+    #[test]
+    fn v1_stores_still_open_and_read() {
+        let comps = sample_components();
+        for codec in [CodecKind::None, CodecKind::Deflate] {
+            let mut stored = StoredIndex::open(v1_store(&comps, codec)).unwrap();
+            assert_eq!(stored.format_version(), 1);
+            for (ci, comp) in comps.iter().enumerate() {
+                for (j, bm) in comp.iter().enumerate() {
+                    assert_eq!(&stored.read_bitmap(ci + 1, j).unwrap(), bm, "{codec:?}");
+                }
+            }
+            // v1 files carry no checksums: scrub only checks readability.
+            assert!(stored.scrub().unwrap().is_clean());
+        }
+    }
+
+    #[test]
+    fn corruption_is_reported_not_returned() {
+        let comps = sample_components();
+        let stored = StoredIndex::create(
+            MemStore::new(),
+            &comps,
+            StorageScheme::BitmapLevel,
+            CodecKind::None,
+        )
+        .unwrap();
+        let mut store = stored.into_store();
+        // Flip one payload bit of c1_b0.bmp behind the index's back.
+        let mut data = store.read_file("c1_b0.bmp").unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0x01;
+        store.write_file("c1_b0.bmp", &data).unwrap();
+
+        let mut reopened = StoredIndex::open(store).unwrap();
+        match reopened.read_bitmap(1, 0) {
+            Err(StorageError::ChecksumMismatch { file, .. }) => assert_eq!(file, "c1_b0.bmp"),
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+        // Other bitmaps are unaffected.
+        assert!(reopened.read_bitmap(1, 1).is_ok());
+        // Scrub pinpoints exactly the corrupt file.
+        let report = reopened.scrub().unwrap();
+        assert_eq!(report.files_checked, 6);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].file, "c1_b0.bmp");
+    }
+
+    #[test]
+    fn truncation_is_a_clean_error() {
+        let comps = sample_components();
+        let stored = StoredIndex::create(
+            MemStore::new(),
+            &comps,
+            StorageScheme::IndexLevel,
+            CodecKind::None,
+        )
+        .unwrap();
+        let mut store = stored.into_store();
+        let data = store.read_file(INDEX_FILE).unwrap();
+        store
+            .write_file(INDEX_FILE, &data[..data.len() / 2])
+            .unwrap();
+        let mut reopened = StoredIndex::open(store).unwrap();
+        assert!(matches!(
+            reopened.read_bitmap(1, 0),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn transient_faults_are_retried_within_policy() {
+        let comps = sample_components();
+        let store = StoredIndex::create(
+            MemStore::new(),
+            &comps,
+            StorageScheme::BitmapLevel,
+            CodecKind::None,
+        )
+        .unwrap()
+        .into_store();
+        // Two transient failures, then success: within the default 3 attempts.
+        let faulty = FaultStore::new(store, FaultPlan::new(5).with_transient_reads("c1_b0", 2));
+        let mut stored = StoredIndex::open(faulty).unwrap();
+        let bm = stored.read_bitmap(1, 0).unwrap();
+        assert_eq!(&bm, &comps[0][0]);
+        assert_eq!(stored.stats().retries, 2);
+
+        // Three failures exceed the default policy: the error propagates.
+        let store2 = StoredIndex::create(
+            MemStore::new(),
+            &comps,
+            StorageScheme::BitmapLevel,
+            CodecKind::None,
+        )
+        .unwrap()
+        .into_store();
+        let faulty2 = FaultStore::new(store2, FaultPlan::new(5).with_transient_reads("c1_b0", 3));
+        let mut stored2 = StoredIndex::open(faulty2).unwrap();
+        let err = stored2.read_bitmap(1, 0).unwrap_err();
+        assert!(err.is_transient());
+        // A follow-up read succeeds (the budget is spent).
+        assert!(stored2.read_bitmap(1, 0).is_ok());
     }
 }

@@ -20,14 +20,27 @@
 //! (plus [`TempDir`]) for the wall-clock experiments — and are optionally
 //! compressed with a [`CodecKind`](bindex_compress::CodecKind); `cBS`,
 //! `cCS`, `cIS` in the paper's notation.
+//!
+//! Every stored file — bitmap payloads and the manifest — is wrapped in a
+//! checksummed frame ([`format`], [`checksum`]) verified on every read, so
+//! corruption surfaces as a typed [`StorageError`] rather than a silently
+//! wrong bitmap. Transient I/O failures are retried per [`RetryPolicy`];
+//! [`FaultStore`] injects deterministic faults for robustness testing; and
+//! [`StoredIndex::scrub`] audits a whole store file-by-file.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod buffer_pool;
+pub mod checksum;
+mod error;
+mod fault;
+pub mod format;
 mod layout;
 mod store;
 
 pub use buffer_pool::BufferPool;
+pub use error::{RetryPolicy, ScrubFailure, ScrubReport, StorageError};
+pub use fault::{FaultCounters, FaultPlan, FaultStore};
 pub use layout::{StorageScheme, StoredIndex, StoredIndexMeta};
 pub use store::{ByteStore, DiskStore, IoStats, MemStore, TempDir};

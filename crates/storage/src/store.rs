@@ -15,6 +15,8 @@ pub struct IoStats {
     pub bytes_read: u64,
     /// Bytes produced by decompression (0 for uncompressed files).
     pub bytes_decompressed: u64,
+    /// Reads retried after a transient failure (fault tolerance layer).
+    pub retries: u64,
 }
 
 impl IoStats {
@@ -23,6 +25,7 @@ impl IoStats {
         self.reads += other.reads;
         self.bytes_read += other.bytes_read;
         self.bytes_decompressed += other.bytes_decompressed;
+        self.retries += other.retries;
     }
 }
 
@@ -34,15 +37,17 @@ pub trait ByteStore {
     fn read_file(&self, name: &str) -> io::Result<Vec<u8>>;
     /// Size of a file in bytes.
     fn file_size(&self, name: &str) -> io::Result<u64>;
-    /// Names of all files, in unspecified order.
-    fn file_names(&self) -> Vec<String>;
+    /// Names of all files, in unspecified order. Directory-read failures
+    /// propagate rather than masquerading as an empty store.
+    fn file_names(&self) -> io::Result<Vec<String>>;
 
     /// Total bytes across all files.
-    fn total_bytes(&self) -> u64 {
-        self.file_names()
-            .iter()
-            .map(|n| self.file_size(n).unwrap_or(0))
-            .sum()
+    fn total_bytes(&self) -> io::Result<u64> {
+        let mut sum = 0;
+        for name in self.file_names()? {
+            sum += self.file_size(&name)?;
+        }
+        Ok(sum)
     }
 }
 
@@ -79,8 +84,8 @@ impl ByteStore for MemStore {
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
     }
 
-    fn file_names(&self) -> Vec<String> {
-        self.files.keys().cloned().collect()
+    fn file_names(&self) -> io::Result<Vec<String>> {
+        Ok(self.files.keys().cloned().collect())
     }
 }
 
@@ -115,8 +120,20 @@ impl DiskStore {
 }
 
 impl ByteStore for DiskStore {
+    /// Atomic replace: the data lands under a temporary name, is fsynced,
+    /// and only then renamed into place, so a crash mid-write leaves
+    /// either the old file or the new one — never a torn mixture.
     fn write_file(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
-        fs::write(self.path_of(name), data)
+        use std::io::Write;
+        let id = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.path_of(&format!("{name}.tmp{id}"));
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(data)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, self.path_of(name)).inspect_err(|_| {
+            let _ = fs::remove_file(&tmp);
+        })
     }
 
     fn read_file(&self, name: &str) -> io::Result<Vec<u8>> {
@@ -127,15 +144,17 @@ impl ByteStore for DiskStore {
         Ok(fs::metadata(self.path_of(name))?.len())
     }
 
-    fn file_names(&self) -> Vec<String> {
-        fs::read_dir(&self.dir)
-            .map(|rd| {
-                rd.filter_map(|e| e.ok())
-                    .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
-                    .filter_map(|e| e.file_name().into_string().ok())
-                    .collect()
-            })
-            .unwrap_or_default()
+    fn file_names(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Ok(name) = entry.file_name().into_string() {
+                    names.push(name);
+                }
+            }
+        }
+        Ok(names)
     }
 }
 
@@ -152,10 +171,7 @@ impl TempDir {
     /// Creates a fresh directory under the system temp dir.
     pub fn new(tag: &str) -> io::Result<Self> {
         let id = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "bindex-{tag}-{}-{id}",
-            std::process::id()
-        ));
+        let path = std::env::temp_dir().join(format!("bindex-{tag}-{}-{id}", std::process::id()));
         fs::create_dir_all(&path)?;
         Ok(Self { path })
     }
@@ -182,10 +198,10 @@ mod tests {
         assert_eq!(store.read_file("a.bin").unwrap(), vec![1, 2, 3]);
         assert_eq!(store.file_size("b.bin").unwrap(), 100);
         assert!(store.read_file("missing").is_err());
-        let mut names = store.file_names();
+        let mut names = store.file_names().unwrap();
         names.sort();
         assert_eq!(names, vec!["a.bin", "b.bin"]);
-        assert_eq!(store.total_bytes(), 103);
+        assert_eq!(store.total_bytes().unwrap(), 103);
         // overwrite
         store.write_file("a.bin", &[7]).unwrap();
         assert_eq!(store.read_file("a.bin").unwrap(), vec![7]);
@@ -201,6 +217,16 @@ mod tests {
         let tmp = TempDir::new("store-test").unwrap();
         let mut store = DiskStore::open(tmp.path()).unwrap();
         exercise(&mut store);
+    }
+
+    #[test]
+    fn disk_write_replaces_atomically_and_leaves_no_temp_files() {
+        let tmp = TempDir::new("atomic").unwrap();
+        let mut store = DiskStore::open(tmp.path()).unwrap();
+        store.write_file("f.bin", &[1; 64]).unwrap();
+        store.write_file("f.bin", &[2; 32]).unwrap();
+        assert_eq!(store.read_file("f.bin").unwrap(), vec![2; 32]);
+        assert_eq!(store.file_names().unwrap(), vec!["f.bin"]);
     }
 
     #[test]
@@ -221,14 +247,17 @@ mod tests {
             reads: 1,
             bytes_read: 10,
             bytes_decompressed: 20,
+            retries: 1,
         };
         a.add(&IoStats {
             reads: 2,
             bytes_read: 5,
             bytes_decompressed: 0,
+            retries: 2,
         });
         assert_eq!(a.reads, 3);
         assert_eq!(a.bytes_read, 15);
         assert_eq!(a.bytes_decompressed, 20);
+        assert_eq!(a.retries, 3);
     }
 }

@@ -20,7 +20,11 @@ fn index_of(column: &Column) -> BitmapIndex {
 
 fn report(label: &str, idx: &BitmapIndex) {
     let raw = idx.size_bytes() as f64;
-    println!("\n{label}: {} bitmaps, {:.1} KB raw", idx.stored_bitmaps(), raw / 1024.0);
+    println!(
+        "\n{label}: {} bitmaps, {:.1} KB raw",
+        idx.stored_bitmaps(),
+        raw / 1024.0
+    );
     println!("  {:<22} {:>12} {:>8}", "scheme+codec", "bytes", "% of BS");
     for (scheme, sname) in [
         (StorageScheme::BitmapLevel, "BS"),
@@ -66,7 +70,10 @@ fn main() {
     println!("Compression explorer: {rows} rows, C = {c}, knee-base range-encoded index");
 
     // Three data layouts with very different compressibility.
-    report("uniform (random row order)", &index_of(&gen::uniform(rows, c, 1)));
+    report(
+        "uniform (random row order)",
+        &index_of(&gen::uniform(rows, c, 1)),
+    );
     report(
         "clustered (runs of 64 equal values)",
         &index_of(&gen::clustered(rows, c, 64, 2)),

@@ -81,7 +81,11 @@ fn main() {
         "  plan P3 bytes: bitmaps {} KB vs RID-lists {} KB -> {}",
         bitmap_bytes / 1024,
         rid_bytes / 1024,
-        if bitmap_bytes < rid_bytes { "bitmaps win" } else { "RID-lists win" }
+        if bitmap_bytes < rid_bytes {
+            "bitmaps win"
+        } else {
+            "RID-lists win"
+        }
     );
 
     // A highly selective point query — the regime where RID-lists win.
@@ -96,7 +100,11 @@ fn main() {
         found2.count_ones(),
         bitmap_bytes2 / 1024,
         rid_bytes2 / 1024,
-        if bitmap_bytes2 < rid_bytes2 { "bitmaps win" } else { "RID-lists win" }
+        if bitmap_bytes2 < rid_bytes2 {
+            "bitmaps win"
+        } else {
+            "RID-lists win"
+        }
     );
 
     // Group-by style breakdown using the equality-encoded Value-List

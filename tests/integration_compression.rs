@@ -125,9 +125,7 @@ fn codec_kind_dispatch_equivalence() {
         let direct = match kind {
             CodecKind::Rle => Rle.compress(&data),
             CodecKind::Lzss => Lzss::default().compress(&data),
-            CodecKind::Deflate => {
-                bindex::compress::Deflate::default().compress(&data)
-            }
+            CodecKind::Deflate => bindex::compress::Deflate::default().compress(&data),
             CodecKind::None => unreachable!(),
         };
         assert_eq!(kind.compress(&data), direct);

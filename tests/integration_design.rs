@@ -57,10 +57,7 @@ fn constrained_optimum_interpolates() {
         assert!(t <= prev + 1e-12, "M={m}");
         prev = t;
     }
-    assert_eq!(
-        time_opt_alg(C, C as u64 - 1).unwrap().to_msb_vec(),
-        vec![C]
-    );
+    assert_eq!(time_opt_alg(C, C as u64 - 1).unwrap().to_msb_vec(), vec![C]);
 }
 
 #[test]
@@ -76,11 +73,13 @@ fn measured_time_ranks_designs_like_the_model() {
     let queries = query::full_space(C);
     let mut measured = Vec::new();
     for base in &designs {
-        let idx =
-            BitmapIndex::build(&col, IndexSpec::new(base.clone(), Encoding::Range)).unwrap();
+        let idx = BitmapIndex::build(&col, IndexSpec::new(base.clone(), Encoding::Range)).unwrap();
         let mut total = 0usize;
         for &q in &queries {
-            total += evaluate(&mut idx.source(), q, Algorithm::Auto).unwrap().1.scans;
+            total += evaluate(&mut idx.source(), q, Algorithm::Auto)
+                .unwrap()
+                .1
+                .scans;
         }
         measured.push(total as f64 / queries.len() as f64);
     }

@@ -2,9 +2,9 @@
 //! TPC-D-like columns, per-attribute design points, conjunctive queries
 //! through all three plans, and the paper's break-even behaviour.
 
+use bindex::core::eval::naive;
 use bindex::engine::plan::{candidate_plans, choose, estimate, execute};
 use bindex::engine::{ConjunctiveQuery, IndexChoice, Plan, Table};
-use bindex::core::eval::naive;
 use bindex::relation::{gen, query::Op, query::SelectionQuery, tpcd};
 use bindex::BitVec;
 

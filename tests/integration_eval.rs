@@ -81,10 +81,7 @@ fn range_predicates_roughly_halve_operations() {
     let idx = BitmapIndex::build(&col, spec).unwrap();
     let mut ops_re = 0usize;
     let mut ops_opt = 0usize;
-    for q in query::full_space(c)
-        .into_iter()
-        .filter(|q| q.op.is_range())
-    {
+    for q in query::full_space(c).into_iter().filter(|q| q.op.is_range()) {
         ops_re += evaluate(&mut idx.source(), q, Algorithm::RangeEval)
             .unwrap()
             .1

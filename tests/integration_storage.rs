@@ -33,7 +33,7 @@ fn disk_roundtrip_all_schemes() {
             let tmp = TempDir::new("int-storage").unwrap();
             let store = DiskStore::open(tmp.path()).unwrap();
             let mut stored = persist_index(&idx, store, scheme, codec).unwrap();
-            let mut src = StorageSource::new(&mut stored, spec.clone());
+            let mut src = StorageSource::try_new(&mut stored, spec.clone()).unwrap();
             for q in query::sample(30, 40, 5) {
                 let (found, _) = evaluate(&mut src, q, Algorithm::Auto).unwrap();
                 assert_eq!(found, naive::evaluate(&col, q), "{scheme:?}/{codec:?} {q}");
@@ -55,11 +55,16 @@ fn bs_reads_only_needed_bitmaps_cs_reads_component() {
         CodecKind::None,
     )
     .unwrap();
-    let mut src = StorageSource::new(&mut bs, spec.clone());
+    let mut src = StorageSource::try_new(&mut bs, spec.clone()).unwrap();
     let (_, stats) = evaluate(&mut src, q, Algorithm::Auto).unwrap();
     let io = bs.take_stats();
     assert_eq!(io.reads as usize, stats.scans);
-    assert_eq!(io.bytes_read, stats.scans as u64 * n_rows.div_ceil(8));
+    // Each BS read fetches one bitmap payload plus the checksummed frame header.
+    let header = bindex::storage::format::HEADER_LEN as u64;
+    assert_eq!(
+        io.bytes_read,
+        stats.scans as u64 * (n_rows.div_ceil(8) + header)
+    );
 
     let mut cs = persist_index(
         &idx,
@@ -68,7 +73,7 @@ fn bs_reads_only_needed_bitmaps_cs_reads_component() {
         CodecKind::None,
     )
     .unwrap();
-    let mut src = StorageSource::new(&mut cs, spec.clone());
+    let mut src = StorageSource::try_new(&mut cs, spec.clone()).unwrap();
     let _ = evaluate(&mut src, q, Algorithm::Auto).unwrap();
     let cs_io = cs.take_stats();
     // CS reads whole row-major component files: strictly more bytes.
@@ -114,7 +119,9 @@ fn buffer_pool_eliminates_repeat_reads() {
     )
     .unwrap();
     let pool = BufferPool::new(64); // holds the whole index
-    let mut src = StorageSource::new(&mut stored, spec).with_pool(&pool);
+    let mut src = StorageSource::try_new(&mut stored, spec)
+        .unwrap()
+        .with_pool(&pool);
     let queries = query::full_space(30);
     for &q in &queries {
         let (found, _) = evaluate(&mut src, q, Algorithm::Auto).unwrap();
@@ -139,7 +146,9 @@ fn small_pool_evicts_but_stays_correct() {
     )
     .unwrap();
     let pool = BufferPool::new(2);
-    let mut src = StorageSource::new(&mut stored, spec).with_pool(&pool);
+    let mut src = StorageSource::try_new(&mut stored, spec)
+        .unwrap()
+        .with_pool(&pool);
     for q in query::full_space(30) {
         let (found, _) = evaluate(&mut src, q, Algorithm::Auto).unwrap();
         assert_eq!(found, naive::evaluate(&col, q), "{q}");
@@ -161,7 +170,7 @@ fn equality_encoded_index_through_storage() {
         CodecKind::Lzss,
     )
     .unwrap();
-    let mut src = StorageSource::new(&mut stored, spec);
+    let mut src = StorageSource::try_new(&mut stored, spec).unwrap();
     for q in query::full_space(30) {
         let (found, _) = evaluate(&mut src, q, Algorithm::Auto).unwrap();
         assert_eq!(found, naive::evaluate(&col, q), "{q}");

@@ -1,7 +1,12 @@
-//! Property-based tests (proptest) over the core data structures and
-//! invariants: bit-vector algebra, codec round-trips, mixed-radix
-//! decomposition, evaluator/oracle equivalence on random columns, and the
-//! Theorem 8.1 refinement invariants.
+//! Property-style tests over the core data structures and invariants:
+//! bit-vector algebra, codec round-trips, mixed-radix decomposition,
+//! evaluator/oracle equivalence on random columns, and the Theorem 8.1
+//! refinement invariants.
+//!
+//! Each property is checked over many seeded random cases drawn from the
+//! in-repo [`Rng`] (the build environment has no crates-registry access,
+//! so an external property-testing framework is not available). Failures
+//! print the case seed, which reproduces the case deterministically.
 
 use bindex::compress::wah::WahBitmap;
 use bindex::compress::{Codec, Lzss, Rle};
@@ -10,137 +15,212 @@ use bindex::core::design::constrained::refine_index;
 use bindex::core::design::range_space;
 use bindex::core::eval::{evaluate, naive, Algorithm};
 use bindex::relation::query::{Op, SelectionQuery};
-use bindex::relation::Column;
+use bindex::relation::{Column, Rng};
 use bindex::{Base, BitVec, BitmapIndex, Encoding, IndexSpec};
-use proptest::prelude::*;
 
-fn bitvec_strategy(max_len: usize) -> impl Strategy<Value = BitVec> {
-    prop::collection::vec(any::<bool>(), 0..max_len).prop_map(|bits| BitVec::from_bools(&bits))
+const CASES: u64 = 64;
+
+fn rand_bitvec_len(rng: &mut Rng, len: usize) -> BitVec {
+    let bools: Vec<bool> = (0..len).map(|_| rng.next_bool()).collect();
+    BitVec::from_bools(&bools)
 }
 
-fn bitvec_pair(max_len: usize) -> impl Strategy<Value = (BitVec, BitVec)> {
-    (0..max_len).prop_flat_map(|len| {
-        (
-            prop::collection::vec(any::<bool>(), len..=len),
-            prop::collection::vec(any::<bool>(), len..=len),
-        )
-            .prop_map(|(a, b)| (BitVec::from_bools(&a), BitVec::from_bools(&b)))
-    })
+fn rand_bitvec(rng: &mut Rng, max_len: usize) -> BitVec {
+    let len = rng.below_usize(max_len + 1);
+    rand_bitvec_len(rng, len)
 }
 
-/// A well-defined base with product in [2, 4096].
-fn base_strategy() -> impl Strategy<Value = Base> {
-    prop::collection::vec(2u32..13, 1..5)
-        .prop_filter("bounded product", |v| {
-            v.iter().map(|&b| u64::from(b)).product::<u64>() <= 4096
-        })
-        .prop_map(|v| Base::new(v).unwrap())
+/// Two random bit-vectors of the same (random) length.
+fn rand_pair(rng: &mut Rng, max_len: usize) -> (BitVec, BitVec) {
+    let len = rng.below_usize(max_len + 1);
+    (rand_bitvec_len(rng, len), rand_bitvec_len(rng, len))
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop::sample::select(Op::ALL.to_vec())
+fn rand_bytes(rng: &mut Rng, max_len: usize) -> Vec<u8> {
+    let len = rng.below_usize(max_len + 1);
+    (0..len).map(|_| rng.next_u64() as u8).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    // ---- bit-vector algebra ----
-
-    #[test]
-    fn bv_double_complement_is_identity(a in bitvec_strategy(300)) {
-        prop_assert_eq!(a.complement().complement(), a);
+/// A well-defined base: 1..=4 components with digits in `2..13` and
+/// product at most 4096 (mirrors the old proptest strategy).
+fn rand_base(rng: &mut Rng) -> Base {
+    loop {
+        let k = rng.range_usize(1, 5);
+        let digits: Vec<u32> = (0..k).map(|_| 2 + rng.below_u32(11)).collect();
+        if digits.iter().map(|&b| u64::from(b)).product::<u64>() <= 4096 {
+            return Base::new(digits).unwrap();
+        }
     }
+}
 
-    #[test]
-    fn bv_demorgan((a, b) in bitvec_pair(300)) {
-        prop_assert_eq!((&a & &b).complement(), &a.complement() | &b.complement());
-        prop_assert_eq!((&a | &b).complement(), &a.complement() & &b.complement());
+// ---- bit-vector algebra ----
+
+#[test]
+fn bv_double_complement_is_identity() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x1000 + seed);
+        let a = rand_bitvec(&mut rng, 300);
+        assert_eq!(a.complement().complement(), a, "seed {seed}");
     }
+}
 
-    #[test]
-    fn bv_xor_is_symmetric_difference((a, b) in bitvec_pair(300)) {
+#[test]
+fn bv_demorgan() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x2000 + seed);
+        let (a, b) = rand_pair(&mut rng, 300);
+        assert_eq!(
+            (&a & &b).complement(),
+            &a.complement() | &b.complement(),
+            "seed {seed}"
+        );
+        assert_eq!(
+            (&a | &b).complement(),
+            &a.complement() & &b.complement(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn bv_xor_is_symmetric_difference() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x3000 + seed);
+        let (a, b) = rand_pair(&mut rng, 300);
         let direct = &a ^ &b;
         let mut or = a.clone() | &b;
         or.and_not_assign(&(&a & &b));
-        prop_assert_eq!(direct, or);
+        assert_eq!(direct, or, "seed {seed}");
     }
+}
 
-    #[test]
-    fn bv_popcount_consistency((a, b) in bitvec_pair(300)) {
+#[test]
+fn bv_popcount_consistency() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x4000 + seed);
+        let (a, b) = rand_pair(&mut rng, 300);
         // |A| + |B| = |A∪B| + |A∩B|
-        prop_assert_eq!(
+        assert_eq!(
             a.count_ones() + b.count_ones(),
-            (&a | &b).count_ones() + (&a & &b).count_ones()
+            (&a | &b).count_ones() + (&a & &b).count_ones(),
+            "seed {seed}"
         );
     }
+}
 
-    #[test]
-    fn bv_bytes_roundtrip(a in bitvec_strategy(500)) {
-        prop_assert_eq!(BitVec::from_bytes(a.len(), &a.to_bytes()), a);
+#[test]
+fn bv_bytes_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5000 + seed);
+        let a = rand_bitvec(&mut rng, 500);
+        assert_eq!(BitVec::from_bytes(a.len(), &a.to_bytes()), a, "seed {seed}");
     }
+}
 
-    #[test]
-    fn bv_iter_ones_sorted_and_complete(a in bitvec_strategy(500)) {
+#[test]
+fn bv_iter_ones_sorted_and_complete() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x6000 + seed);
+        let a = rand_bitvec(&mut rng, 500);
         let ones: Vec<usize> = a.iter_ones().collect();
-        prop_assert!(ones.windows(2).all(|w| w[0] < w[1]));
-        prop_assert_eq!(ones.len(), a.count_ones());
+        assert!(ones.windows(2).all(|w| w[0] < w[1]), "seed {seed}");
+        assert_eq!(ones.len(), a.count_ones(), "seed {seed}");
         for i in ones {
-            prop_assert!(a.get(i));
+            assert!(a.get(i), "seed {seed} bit {i}");
         }
     }
+}
 
-    // ---- codecs ----
+// ---- codecs ----
 
-    #[test]
-    fn rle_roundtrip(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+#[test]
+fn rle_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x7000 + seed);
+        let data = rand_bytes(&mut rng, 2000);
         let c = Rle.compress(&data);
-        prop_assert_eq!(Rle.decompress(&c, data.len()).unwrap(), data);
+        assert_eq!(Rle.decompress(&c, data.len()).unwrap(), data, "seed {seed}");
     }
+}
 
-    #[test]
-    fn lzss_roundtrip(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+#[test]
+fn lzss_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x8000 + seed);
+        let data = rand_bytes(&mut rng, 2000);
         let codec = Lzss::default();
         let c = codec.compress(&data);
-        prop_assert_eq!(codec.decompress(&c, data.len()).unwrap(), data);
+        assert_eq!(
+            codec.decompress(&c, data.len()).unwrap(),
+            data,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn lzss_roundtrip_runny(runs in prop::collection::vec((any::<u8>(), 1usize..200), 0..40) ) {
-        let data: Vec<u8> = runs.iter().flat_map(|&(b, n)| std::iter::repeat_n(b, n)).collect();
+#[test]
+fn lzss_roundtrip_runny() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x9000 + seed);
+        let n_runs = rng.below_usize(40 + 1);
+        let data: Vec<u8> = (0..n_runs)
+            .flat_map(|_| {
+                let byte = rng.next_u64() as u8;
+                let len = rng.range_usize(1, 200);
+                std::iter::repeat_n(byte, len)
+            })
+            .collect();
         let codec = Lzss::default();
         let c = codec.compress(&data);
-        prop_assert_eq!(codec.decompress(&c, data.len()).unwrap(), data);
+        assert_eq!(
+            codec.decompress(&c, data.len()).unwrap(),
+            data,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn wah_roundtrip_and_ops((a, b) in bitvec_pair(600)) {
+#[test]
+fn wah_roundtrip_and_ops() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xa000 + seed);
+        let (a, b) = rand_pair(&mut rng, 600);
         let (wa, wb) = (WahBitmap::from_bitvec(&a), WahBitmap::from_bitvec(&b));
-        prop_assert_eq!(wa.to_bitvec(), a.clone());
-        prop_assert_eq!(wa.count_ones(), a.count_ones());
-        prop_assert_eq!(wa.and(&wb).to_bitvec(), &a & &b);
-        prop_assert_eq!(wa.or(&wb).to_bitvec(), &a | &b);
-        prop_assert_eq!(wa.xor(&wb).to_bitvec(), &a ^ &b);
-        prop_assert_eq!(wa.not().to_bitvec(), a.complement());
+        assert_eq!(wa.to_bitvec(), a.clone(), "seed {seed}");
+        assert_eq!(wa.count_ones(), a.count_ones(), "seed {seed}");
+        assert_eq!(wa.and(&wb).to_bitvec(), &a & &b, "seed {seed}");
+        assert_eq!(wa.or(&wb).to_bitvec(), &a | &b, "seed {seed}");
+        assert_eq!(wa.xor(&wb).to_bitvec(), &a ^ &b, "seed {seed}");
+        assert_eq!(wa.not().to_bitvec(), a.complement(), "seed {seed}");
     }
+}
 
-    // ---- mixed-radix decomposition ----
+// ---- mixed-radix decomposition ----
 
-    #[test]
-    fn decompose_compose_roundtrip(base in base_strategy(), vs in prop::collection::vec(0u32..4096, 1..20)) {
+#[test]
+fn decompose_compose_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xb000 + seed);
+        let base = rand_base(&mut rng);
         let product = base.product() as u32;
-        for v in vs {
-            let v = v % product;
+        let n_values = rng.range_usize(1, 20);
+        for _ in 0..n_values {
+            let v = rng.below_u32(4096) % product;
             let digits = base.decompose(v).unwrap();
-            prop_assert_eq!(digits.len(), base.n_components());
+            assert_eq!(digits.len(), base.n_components(), "seed {seed}");
             for (i, &d) in digits.iter().enumerate() {
-                prop_assert!(d < base.as_lsb_slice()[i]);
+                assert!(d < base.as_lsb_slice()[i], "seed {seed}");
             }
-            prop_assert_eq!(base.compose(&digits).unwrap(), v);
+            assert_eq!(base.compose(&digits).unwrap(), v, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn decomposition_preserves_order(base in base_strategy()) {
+#[test]
+fn decomposition_preserves_order() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xc000 + seed);
+        let base = rand_base(&mut rng);
         // Mixed-radix with msb-first digit comparison is order-preserving.
         let product = base.product() as u32;
         let step = (product / 50).max(1);
@@ -150,64 +230,83 @@ proptest! {
             let mut digits = base.decompose(v).unwrap();
             digits.reverse(); // msb first for lexicographic comparison
             if let Some(p) = &prev {
-                prop_assert!(p < &digits);
+                assert!(p < &digits, "seed {seed} v {v}");
             }
             prev = Some(digits);
             v += step;
         }
     }
+}
 
-    // ---- evaluation equivalence on random columns ----
+// ---- evaluation equivalence on random columns ----
 
-    #[test]
-    fn evaluators_match_oracle(
-        base in base_strategy(),
-        values in prop::collection::vec(0u32..4096, 1..120),
-        op in op_strategy(),
-        constant in 0u32..4096,
-    ) {
+#[test]
+fn evaluators_match_oracle() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xd000 + seed);
+        let base = rand_base(&mut rng);
         let c = base.product() as u32;
-        let values: Vec<u32> = values.into_iter().map(|v| v % c).collect();
+        let n_rows = rng.range_usize(1, 120);
+        let values: Vec<u32> = (0..n_rows).map(|_| rng.below_u32(c)).collect();
         let column = Column::new(values, c);
-        let q = SelectionQuery::new(op, constant % c);
+        let op = Op::ALL[rng.below_usize(Op::ALL.len())];
+        let q = SelectionQuery::new(op, rng.below_u32(c));
         let want = naive::evaluate(&column, q);
         for (encoding, algos) in [
-            (Encoding::Range, &[Algorithm::RangeEval, Algorithm::RangeEvalOpt][..]),
+            (
+                Encoding::Range,
+                &[Algorithm::RangeEval, Algorithm::RangeEvalOpt][..],
+            ),
             (Encoding::Equality, &[Algorithm::EqualityEval][..]),
             (Encoding::Interval, &[Algorithm::IntervalEval][..]),
         ] {
             let idx = BitmapIndex::build(&column, IndexSpec::new(base.clone(), encoding)).unwrap();
             for &algo in algos {
                 let (found, stats) = evaluate(&mut idx.source(), q, algo).unwrap();
-                prop_assert_eq!(&found, &want, "{:?} {:?} {}", encoding, algo, q);
-                prop_assert_eq!(
+                assert_eq!(&found, &want, "seed {seed} {encoding:?} {algo:?} {q}");
+                assert_eq!(
                     stats.scans,
                     cost::predicted_scans(&base, q, algo),
-                    "scan prediction {:?} {}", algo, q
+                    "scan prediction seed {seed} {algo:?} {q}"
                 );
             }
         }
     }
+}
 
-    // ---- design-layer invariants ----
+// ---- design-layer invariants ----
 
-    #[test]
-    fn refine_index_theorem_8_1(base in base_strategy()) {
+#[test]
+fn refine_index_theorem_8_1() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xe000 + seed);
+        let base = rand_base(&mut rng);
         // Refinement never increases space or time and keeps coverage,
         // for any cardinality the base covers.
         let product = base.product() as u32;
         for c in [product, product / 2 + 1, (product * 3 / 4).max(2)] {
-            if !base.covers(c) || c < 2 { continue; }
+            if !base.covers(c) || c < 2 {
+                continue;
+            }
             let refined = refine_index(&base, c);
-            prop_assert!(refined.covers(c), "{} -> {} does not cover {}", base, refined, c);
-            prop_assert!(range_space(&refined) <= range_space(&base));
-            prop_assert!(time_range_paper(&refined) <= time_range_paper(&base) + 1e-12,
-                "{} -> {} time grew for C={}", base, refined, c);
+            assert!(
+                refined.covers(c),
+                "seed {seed}: {base} -> {refined} does not cover {c}"
+            );
+            assert!(range_space(&refined) <= range_space(&base), "seed {seed}");
+            assert!(
+                time_range_paper(&refined) <= time_range_paper(&base) + 1e-12,
+                "seed {seed}: {base} -> {refined} time grew for C={c}"
+            );
         }
     }
+}
 
-    #[test]
-    fn space_formulas_match_built_indexes(base in base_strategy()) {
+#[test]
+fn space_formulas_match_built_indexes() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xf000 + seed);
+        let base = rand_base(&mut rng);
         let c = base.product() as u32;
         let column = Column::new(vec![0, c - 1, c / 2], c);
         for encoding in [Encoding::Range, Encoding::Equality, Encoding::Interval] {
@@ -215,7 +314,7 @@ proptest! {
             let expected = spec.stored_bitmaps();
             let idx = BitmapIndex::build(&column, spec).unwrap();
             let actual: u64 = idx.components().iter().map(|comp| comp.len() as u64).sum();
-            prop_assert_eq!(actual, expected);
+            assert_eq!(actual, expected, "seed {seed} {encoding:?}");
         }
     }
 }
