@@ -1,6 +1,7 @@
 //! Microbench: throughput of the bit-vector substrate's logical operations
 //! and popcount on 1M-bit bitmaps — the inner loop of every query.
 
+use bindex::bitvec::kernels;
 use bindex::bitvec::rank::RankIndex;
 use bindex::BitVec;
 use bindex_bench::microbench::{BatchSize, Criterion, Throughput};
@@ -59,6 +60,32 @@ fn bench(c: &mut Criterion) {
         bench.iter(|| RankIndex::new(black_box(&a)).total_ones())
     });
     g.finish();
+
+    // Fused k-ary kernels vs the pairwise fold they replace: a 16-way
+    // union is the shape of a wide equality-encoded `≤` predicate.
+    let operands: Vec<BitVec> = (0..16).map(mk).collect();
+    let refs: Vec<&BitVec> = operands.iter().collect();
+    let mut k = c.benchmark_group("kary_kernels");
+    k.throughput(Throughput::Bytes((16 * BITS / 8) as u64));
+    k.bench_function("or_16way_pairwise", |bench| {
+        bench.iter(|| {
+            let mut acc = operands[0].clone();
+            for op in &operands[1..] {
+                acc.or_assign(black_box(op));
+            }
+            black_box(acc)
+        })
+    });
+    k.bench_function("or_16way_fused", |bench| {
+        bench.iter(|| black_box(kernels::or_all(black_box(&refs))))
+    });
+    k.bench_function("count_or_16way_materialized", |bench| {
+        bench.iter(|| black_box(kernels::or_all(black_box(&refs)).count_ones()))
+    });
+    k.bench_function("count_or_16way_fused", |bench| {
+        bench.iter(|| black_box(kernels::count_or(black_box(&refs))))
+    });
+    k.finish();
 }
 
 criterion_group!(benches, bench);

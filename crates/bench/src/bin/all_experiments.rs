@@ -1,6 +1,11 @@
 //! Runs every experiment binary in sequence — the one-shot reproduction
 //! of the paper's full evaluation. Equivalent to invoking each
 //! `cargo run --release -p bindex-bench --bin <experiment>` by hand.
+//!
+//! `--threads N` sets `BINDEX_THREADS=N` for every child experiment, so
+//! reproductions that use the batch engine (e.g. `ext_batch_throughput`)
+//! opt into the parallel path; experiments that evaluate sequentially
+//! ignore it. Remaining arguments are forwarded to each child.
 
 use std::process::Command;
 
@@ -19,15 +24,46 @@ const EXPERIMENTS: &[&str] = &[
     "fig16_compression",
     "fig17_buffering",
     "ext_interval_encoding",
+    "ext_fault_tolerance",
+    "ext_batch_throughput",
 ];
 
 fn main() {
+    let mut threads: Option<String> = None;
+    let mut forwarded: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            let n = args
+                .next()
+                .expect("--threads requires a value, e.g. --threads 4");
+            assert!(
+                n.parse::<usize>().is_ok_and(|v| v >= 1),
+                "--threads expects a positive integer, got {n:?}"
+            );
+            threads = Some(n);
+        } else if let Some(n) = arg.strip_prefix("--threads=") {
+            assert!(
+                n.parse::<usize>().is_ok_and(|v| v >= 1),
+                "--threads expects a positive integer, got {n:?}"
+            );
+            threads = Some(n.to_string());
+        } else {
+            forwarded.push(arg);
+        }
+    }
+
     let exe = std::env::current_exe().expect("own path");
     let bin_dir = exe.parent().expect("bin dir");
     let mut failed = Vec::new();
     for name in EXPERIMENTS {
         println!("\n########## {name} ##########");
-        let status = Command::new(bin_dir.join(name))
+        let mut cmd = Command::new(bin_dir.join(name));
+        cmd.args(&forwarded);
+        if let Some(n) = &threads {
+            cmd.env("BINDEX_THREADS", n);
+        }
+        let status = cmd
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
         if !status.success() {

@@ -1,0 +1,220 @@
+//! Extension experiment: batch query throughput — single- vs
+//! multi-threaded queries/sec through `engine::batch`, and fused k-ary
+//! kernels vs the pairwise folds they replace.
+//!
+//! Not a figure from the paper: the paper prices queries in scans and
+//! operations, and this experiment tracks how fast the runtime actually
+//! executes them, so later performance PRs have a trajectory to compare
+//! against. Emits `BENCH_batch_throughput.json` at the workspace root
+//! (and the usual CSV under `results/`).
+//!
+//! `--quick` shrinks the workload for CI smoke runs; `BINDEX_THREADS`
+//! (forwarded by `all_experiments --threads N`) caps the widest
+//! multi-thread configuration measured.
+
+use std::time::Instant;
+
+use bindex::bitvec::kernels;
+use bindex::engine::batch::{execute_workload, BatchOptions};
+use bindex::engine::{ConjunctiveQuery, IndexChoice, Table};
+use bindex::relation::gen;
+use bindex::relation::query::{Op, SelectionQuery};
+use bindex::BitVec;
+use bindex_bench::{f2, print_table, results_dir, Csv};
+
+struct Config {
+    rows: usize,
+    queries: usize,
+    union_bits: usize,
+    kernel_reps: usize,
+}
+
+fn build_table(rows: usize) -> Table {
+    Table::builder()
+        .column("qty", gen::uniform(rows, 50, 1), IndexChoice::Knee)
+        .column(
+            "day",
+            gen::uniform(rows, 300, 2),
+            IndexChoice::SpaceBudget(40),
+        )
+        .column("region", gen::uniform(rows, 25, 3), IndexChoice::Knee)
+        .build()
+        .expect("table builds")
+}
+
+fn workload(n: usize) -> Vec<ConjunctiveQuery> {
+    (0..n as u32)
+        .map(|v| {
+            ConjunctiveQuery::new()
+                .and("qty", SelectionQuery::new(Op::Gt, v % 50))
+                .and("day", SelectionQuery::new(Op::Le, (v * 13) % 300))
+                .and("region", SelectionQuery::new(Op::Ne, v % 25))
+        })
+        .collect()
+}
+
+/// Queries/sec of one batch configuration (best of `reps` runs, so a cold
+/// first run doesn't understate the steady state).
+fn qps(table: &Table, queries: &[ConjunctiveQuery], threads: usize, reps: usize) -> f64 {
+    let opts = BatchOptions::with_threads(threads);
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = execute_workload(table, queries, opts).expect("workload executes");
+        assert_eq!(out.len(), queries.len());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    queries.len() as f64 / best
+}
+
+/// Seconds per 16-way union, pairwise vs fused (best of `reps`).
+fn union_times(bits: usize, reps: usize) -> (f64, f64, f64, f64) {
+    let operands: Vec<BitVec> = (0..16)
+        .map(|s| BitVec::from_fn(bits, |i| (i * 2654435761 + s).is_multiple_of(7)))
+        .collect();
+    let refs: Vec<&BitVec> = operands.iter().collect();
+    let time = |f: &mut dyn FnMut() -> usize| {
+        let mut best = f64::MAX;
+        let mut sink = 0;
+        for _ in 0..reps {
+            let start = Instant::now();
+            sink ^= f();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        assert!(sink < usize::MAX);
+        best
+    };
+    let pairwise = time(&mut || {
+        let mut acc = operands[0].clone();
+        for op in &operands[1..] {
+            acc.or_assign(op);
+        }
+        acc.count_ones()
+    });
+    let fused = time(&mut || kernels::or_all(&refs).count_ones());
+    let count_mat = time(&mut || kernels::or_all(&refs).count_ones());
+    let count_fused = time(&mut || kernels::count_or(&refs));
+    (pairwise, fused, count_mat, count_fused)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        Config {
+            rows: 20_000,
+            queries: 32,
+            union_bits: 1 << 16,
+            kernel_reps: 20,
+        }
+    } else {
+        Config {
+            rows: 200_000,
+            queries: 200,
+            union_bits: 1 << 20,
+            kernel_reps: 200,
+        }
+    };
+
+    let hw_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let max_threads = BatchOptions::from_env().threads().max(4);
+
+    let table = build_table(cfg.rows);
+    let queries = workload(cfg.queries);
+
+    let mut thread_counts = vec![1usize, 2, 4];
+    if max_threads > 4 {
+        thread_counts.push(max_threads);
+    }
+    let reps = if quick { 2 } else { 3 };
+    let measured: Vec<(usize, f64)> = thread_counts
+        .iter()
+        .map(|&t| (t, qps(&table, &queries, t, reps)))
+        .collect();
+    let single_qps = measured[0].1;
+
+    let mut rows = Vec::new();
+    for &(t, q) in &measured {
+        rows.push(vec![t.to_string(), f2(q), f2(q / single_qps)]);
+    }
+    print_table(
+        "batch throughput (queries/sec)",
+        &["threads", "qps", "speedup"],
+        &rows,
+    );
+    println!(
+        "  ({} hardware threads available; speedups are hardware-bound)",
+        hw_threads
+    );
+
+    let (pair_s, fused_s, count_mat_s, count_fused_s) =
+        union_times(cfg.union_bits, cfg.kernel_reps);
+    print_table(
+        "16-way union kernels",
+        &["variant", "seconds", "speedup"],
+        &[
+            vec![
+                "pairwise fold".into(),
+                format!("{pair_s:.6}"),
+                "1.00".into(),
+            ],
+            vec![
+                "fused or_all".into(),
+                format!("{fused_s:.6}"),
+                f2(pair_s / fused_s),
+            ],
+            vec![
+                "count via materialize".into(),
+                format!("{count_mat_s:.6}"),
+                "1.00".into(),
+            ],
+            vec![
+                "fused count_or".into(),
+                format!("{count_fused_s:.6}"),
+                f2(count_mat_s / count_fused_s),
+            ],
+        ],
+    );
+
+    let mut csv = Csv::create("ext_batch_throughput", &["threads", "qps", "speedup"]).expect("csv");
+    for &(t, q) in &measured {
+        csv.row(&[&t, &f2(q), &f2(q / single_qps)]).expect("row");
+    }
+    println!("\nCSV: {}", csv.path().display());
+
+    // Hand-rolled JSON (no serde in the dependency set).
+    let threads_json: Vec<String> = measured
+        .iter()
+        .map(|(t, q)| {
+            format!(
+                "    {{\"threads\": {t}, \"qps\": {q:.2}, \"speedup\": {:.3}}}",
+                q / single_qps
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"batch_throughput\",\n  \"quick\": {quick},\n  \
+         \"rows\": {rows},\n  \"queries\": {nq},\n  \"hardware_threads\": {hw},\n  \
+         \"batch\": [\n{threads}\n  ],\n  \"union_16way\": {{\n    \
+         \"bits\": {bits},\n    \"pairwise_seconds\": {pair:.6},\n    \
+         \"fused_seconds\": {fused:.6},\n    \"fused_speedup\": {sp:.3},\n    \
+         \"count_materialized_seconds\": {cmat:.6},\n    \
+         \"count_fused_seconds\": {cfused:.6},\n    \"count_fused_speedup\": {csp:.3}\n  }}\n}}\n",
+        rows = cfg.rows,
+        nq = cfg.queries,
+        hw = hw_threads,
+        threads = threads_json.join(",\n"),
+        bits = cfg.union_bits,
+        pair = pair_s,
+        fused = fused_s,
+        sp = pair_s / fused_s,
+        cmat = count_mat_s,
+        cfused = count_fused_s,
+        csp = count_mat_s / count_fused_s,
+    );
+    let json_path = results_dir()
+        .parent()
+        .map(|p| p.join("BENCH_batch_throughput.json"))
+        .expect("results dir has a parent");
+    std::fs::write(&json_path, json).expect("write json");
+    println!("JSON: {}", json_path.display());
+}

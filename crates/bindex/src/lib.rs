@@ -45,4 +45,4 @@ pub use bindex_core::{
 };
 pub use bindex_relation::query::{Op, SelectionQuery};
 pub use bindex_relation::Column;
-pub use stored::StorageSource;
+pub use stored::{SharedSource, StorageSource};

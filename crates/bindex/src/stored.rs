@@ -11,7 +11,9 @@
 
 use bindex_bitvec::BitVec;
 use bindex_core::{BitmapIndex, BitmapSource, Error, IndexSpec};
-use bindex_storage::{BufferPool, ByteStore, IoStats, StorageError, StorageScheme, StoredIndex};
+use bindex_storage::{
+    BufferPool, ByteStore, IoStats, SharedIndexReader, StorageError, StorageScheme, StoredIndex,
+};
 
 /// Maps a storage-layer error onto the core error type, preserving the
 /// transient/permanent distinction the evaluators care about.
@@ -97,6 +99,70 @@ impl<S: ByteStore> BitmapSource for StorageSource<'_, S> {
     }
 }
 
+/// A `Send + Sync` [`BitmapSource`] over a [`SharedIndexReader`]: the
+/// storage-backed read path of the parallel batch engine. Each worker
+/// thread builds one `SharedSource` borrowing the same reader; bitmap
+/// reads go through the reader's sharded cache (when attached) and its
+/// atomic I/O counters, so no worker needs `&mut` access to the store.
+pub struct SharedSource<'a, S: ByteStore> {
+    reader: &'a SharedIndexReader<S>,
+    spec: IndexSpec,
+    nn: Option<BitVec>,
+}
+
+impl<'a, S: ByteStore> SharedSource<'a, S> {
+    /// Wraps a shared reader. `spec` must describe the layout the index
+    /// was written with; a mismatch against the stored metadata is
+    /// reported as [`Error::CorruptIndex`].
+    pub fn try_new(reader: &'a SharedIndexReader<S>, spec: IndexSpec) -> Result<Self, Error> {
+        let expect: Vec<u32> = (1..=spec.n_components())
+            .map(|i| spec.stored_in_component(i))
+            .collect();
+        if reader.meta().bitmaps_per_component != expect {
+            return Err(Error::CorruptIndex(format!(
+                "stored layout does not match the index spec: store holds {:?} bitmaps per \
+                 component, spec expects {:?}",
+                reader.meta().bitmaps_per_component,
+                expect
+            )));
+        }
+        Ok(Self {
+            reader,
+            spec,
+            nn: None,
+        })
+    }
+
+    /// Attaches a non-null bitmap (kept in memory; columns with nulls).
+    pub fn with_nn(mut self, nn: BitVec) -> Self {
+        self.nn = Some(nn);
+        self
+    }
+
+    /// The shared reader behind this source.
+    pub fn reader(&self) -> &SharedIndexReader<S> {
+        self.reader
+    }
+}
+
+impl<S: ByteStore> BitmapSource for SharedSource<'_, S> {
+    fn spec(&self) -> &IndexSpec {
+        &self.spec
+    }
+
+    fn n_rows(&self) -> usize {
+        self.reader.meta().n_rows
+    }
+
+    fn try_fetch(&mut self, comp: usize, slot: usize) -> Result<BitVec, Error> {
+        self.reader.read_bitmap(comp, slot).map_err(storage_error)
+    }
+
+    fn try_fetch_nn(&mut self) -> Result<Option<BitVec>, Error> {
+        Ok(self.nn.clone())
+    }
+}
+
 /// Writes an in-memory [`BitmapIndex`] into `store` under `scheme`,
 /// compressed with `codec`; returns the stored index ready for
 /// [`StorageSource`].
@@ -173,6 +239,61 @@ mod tests {
         assert!(stats.hits >= stats.misses, "{stats:?}");
         // second pass reads nothing from storage
         assert_eq!(src.io_stats().reads as usize, stats.misses as usize);
+    }
+
+    #[test]
+    fn shared_source_evaluates_concurrently() {
+        use bindex_engine::batch::{evaluate_selection_workload, BatchOptions};
+        use bindex_storage::ShardedPool;
+
+        let col = column();
+        let spec = IndexSpec::new(Base::from_msb(&[4, 5]).unwrap(), Encoding::Range);
+        let idx = BitmapIndex::build(&col, spec.clone()).unwrap();
+        let stored = persist_index(
+            &idx,
+            MemStore::new(),
+            StorageScheme::BitmapLevel,
+            CodecKind::Deflate,
+        )
+        .unwrap();
+        let reader = SharedIndexReader::with_pool(stored, ShardedPool::new(32, 4));
+        let queries = full_space(20);
+        let results = evaluate_selection_workload(
+            || SharedSource::try_new(&reader, spec.clone()).expect("spec matches"),
+            &queries,
+            Algorithm::Auto,
+            BatchOptions::with_threads(4),
+        )
+        .unwrap();
+        for (q, (found, _)) in queries.iter().zip(&results) {
+            let want = bindex_core::eval::naive::evaluate(&col, *q);
+            assert_eq!(found, &want, "{q}");
+        }
+        // The cache means each distinct bitmap is read from storage once.
+        let io = reader.stats();
+        assert!(io.reads <= reader.meta().total_bitmaps());
+        let pool = reader.pool_stats().unwrap();
+        assert!(pool.hits > 0, "repeated fetches must hit the cache");
+    }
+
+    #[test]
+    fn shared_source_spec_mismatch_is_a_typed_error() {
+        let col = column();
+        let spec = IndexSpec::new(Base::from_msb(&[4, 5]).unwrap(), Encoding::Range);
+        let idx = BitmapIndex::build(&col, spec).unwrap();
+        let stored = persist_index(
+            &idx,
+            MemStore::new(),
+            StorageScheme::BitmapLevel,
+            CodecKind::None,
+        )
+        .unwrap();
+        let reader = SharedIndexReader::new(stored);
+        let wrong = IndexSpec::new(Base::from_msb(&[5, 4]).unwrap(), Encoding::Range);
+        assert!(matches!(
+            SharedSource::try_new(&reader, wrong),
+            Err(Error::CorruptIndex(_))
+        ));
     }
 
     #[test]

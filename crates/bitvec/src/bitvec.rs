@@ -44,38 +44,63 @@ impl BitVec {
         v
     }
 
+    /// Wraps already-canonical words (crate-internal; used by the fused
+    /// kernels, whose combinations of canonical operands are canonical).
+    pub(crate) fn from_words_unmasked(words: Vec<u64>, len: usize) -> Self {
+        debug_assert_eq!(words.len(), words_for(len));
+        let v = Self { words, len };
+        debug_assert!(
+            len.is_multiple_of(WORD_BITS)
+                || v.words.last().is_none_or(|w| w >> (len % WORD_BITS) == 0),
+            "tail bits past len must be zero"
+        );
+        v
+    }
+
     /// Creates a bit vector of `len` bits with the given positions set.
     ///
     /// # Panics
     /// Panics if any index is `>= len`.
     pub fn from_indices(len: usize, indices: &[usize]) -> Self {
-        let mut v = Self::zeros(len);
+        let mut words = vec![0u64; words_for(len)];
         for &i in indices {
-            v.set(i, true);
+            assert!(i < len, "bit index {i} out of range (len {len})");
+            words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
         }
-        v
+        Self { words, len }
     }
 
     /// Creates a bit vector from a boolean slice (`slice[i]` becomes bit `i`).
     pub fn from_bools(bits: &[bool]) -> Self {
-        let mut v = Self::zeros(bits.len());
-        for (i, &b) in bits.iter().enumerate() {
-            if b {
-                v.set(i, true);
+        let mut words = Vec::with_capacity(words_for(bits.len()));
+        for chunk in bits.chunks(WORD_BITS) {
+            let mut w = 0u64;
+            for (bit, &b) in chunk.iter().enumerate() {
+                w |= (b as u64) << bit;
             }
+            words.push(w);
         }
-        v
+        Self {
+            words,
+            len: bits.len(),
+        }
     }
 
     /// Collects the bits produced by `f(i)` for `i in 0..len`.
     pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
-        let mut v = Self::zeros(len);
+        let mut words = Vec::with_capacity(words_for(len));
+        let mut w = 0u64;
         for i in 0..len {
-            if f(i) {
-                v.set(i, true);
+            w |= (f(i) as u64) << (i % WORD_BITS);
+            if (i + 1).is_multiple_of(WORD_BITS) {
+                words.push(w);
+                w = 0;
             }
         }
-        v
+        if !len.is_multiple_of(WORD_BITS) {
+            words.push(w);
+        }
+        Self { words, len }
     }
 
     /// Number of bits.
@@ -243,6 +268,7 @@ impl BitVec {
     }
 
     /// Owned complement.
+    #[must_use = "complement returns a new bitmap without modifying self"]
     pub fn complement(&self) -> Self {
         let mut out = self.clone();
         out.not_assign();
@@ -368,13 +394,20 @@ impl Iterator for OnesIter<'_> {
 }
 
 macro_rules! owned_binop {
-    ($trait:ident, $method:ident, $assign:ident) => {
+    ($trait:ident, $method:ident, $assign:ident, $op:tt) => {
         impl $trait<&BitVec> for &BitVec {
             type Output = BitVec;
+            /// Sizes the output once and writes each combined word
+            /// directly — no clone-then-assign double pass.
             fn $method(self, rhs: &BitVec) -> BitVec {
-                let mut out = self.clone();
-                out.$assign(rhs);
-                out
+                self.check_len(rhs);
+                let words: Vec<u64> = self
+                    .words
+                    .iter()
+                    .zip(&rhs.words)
+                    .map(|(&a, &b)| a $op b)
+                    .collect();
+                BitVec::from_words_unmasked(words, self.len)
             }
         }
         impl $trait<&BitVec> for BitVec {
@@ -387,9 +420,9 @@ macro_rules! owned_binop {
     };
 }
 
-owned_binop!(BitAnd, bitand, and_assign);
-owned_binop!(BitOr, bitor, or_assign);
-owned_binop!(BitXor, bitxor, xor_assign);
+owned_binop!(BitAnd, bitand, and_assign, &);
+owned_binop!(BitOr, bitor, or_assign, |);
+owned_binop!(BitXor, bitxor, xor_assign, ^);
 
 impl BitAndAssign<&BitVec> for BitVec {
     fn bitand_assign(&mut self, rhs: &BitVec) {

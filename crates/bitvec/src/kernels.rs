@@ -1,0 +1,271 @@
+//! Fused k-ary bitmap kernels: horizontal combine and combine-and-count
+//! operations over any number of operands in a single cache-blocked pass.
+//!
+//! The evaluation algorithms frequently fold a *wide* fan-in of bitmaps —
+//! an equality-encoded `≤` predicate ORs up to half a component's slot
+//! bitmaps, the engine's P3 plan ANDs one foundset per predicate. Folding
+//! those pairwise costs `k − 1` full-size allocations and `k − 1` sweeps
+//! over memory. The kernels here combine all `k` operands with **one**
+//! output allocation, walking the operands in blocks small enough that the
+//! accumulator stays L1-resident, so every operand word is read exactly
+//! once (the "horizontal" algorithms of Kaser & Lemire, *Compressed bitmap
+//! indexes: beyond unions and intersections*).
+//!
+//! The fused counting kernels (`count_and`, `count_or`, `count_xor`) go
+//! one step further for callers that only need the cardinality of a
+//! combination: they popcount the combined words on the fly, in a
+//! fixed-size stack buffer, without materializing the result bitmap at all
+//! (the "symmetric functions over bitmaps" shape).
+//!
+//! All loops are plain chunked `u64` iteration — no per-bit access — so
+//! the compiler can autovectorize them.
+//!
+//! # Panics
+//! Every kernel panics on an empty operand list or mismatched operand
+//! lengths; bitmaps of one index always share the relation cardinality
+//! `N`, so a mismatch is a logic error (matching [`BitVec`]'s own binary
+//! operations).
+
+use crate::bitvec::BitVec;
+
+/// Words per block: 8 KiB of accumulator, comfortably L1-resident even
+/// with an operand stream being pulled through the cache alongside it.
+const BLOCK_WORDS: usize = 1024;
+
+/// Words per stack buffer used by the fused counting kernels (2 KiB).
+const COUNT_BLOCK_WORDS: usize = 256;
+
+fn check_operands(operands: &[&BitVec]) -> usize {
+    let first = operands
+        .first()
+        .expect("k-ary kernel needs at least one operand");
+    for op in &operands[1..] {
+        assert_eq!(
+            first.len(),
+            op.len(),
+            "bitmap length mismatch: {} vs {}",
+            first.len(),
+            op.len()
+        );
+    }
+    first.len()
+}
+
+/// Folds `operands` into a fresh output vector with `combine`, one block
+/// at a time so the output block stays in L1 while each operand streams
+/// through exactly once.
+fn fold_blocks(operands: &[&BitVec], combine: impl Fn(&mut u64, u64)) -> BitVec {
+    let len = check_operands(operands);
+    let mut words = operands[0].words().to_vec();
+    let n_words = words.len();
+    let mut start = 0;
+    while start < n_words {
+        let end = (start + BLOCK_WORDS).min(n_words);
+        let dst = &mut words[start..end];
+        for op in &operands[1..] {
+            let src = &op.words()[start..end];
+            for (a, &b) in dst.iter_mut().zip(src) {
+                combine(a, b);
+            }
+        }
+        start = end;
+    }
+    BitVec::from_words_unmasked(words, len)
+}
+
+/// Counts the set bits of the k-ary combination without materializing it:
+/// each block of combined words lives only in a stack buffer that is
+/// popcounted and discarded.
+fn count_blocks(operands: &[&BitVec], combine: impl Fn(&mut u64, u64)) -> usize {
+    check_operands(operands);
+    let n_words = operands[0].words().len();
+    let mut buf = [0u64; COUNT_BLOCK_WORDS];
+    let mut ones = 0usize;
+    let mut start = 0;
+    while start < n_words {
+        let end = (start + COUNT_BLOCK_WORDS).min(n_words);
+        let width = end - start;
+        buf[..width].copy_from_slice(&operands[0].words()[start..end]);
+        for op in &operands[1..] {
+            let src = &op.words()[start..end];
+            for (a, &b) in buf[..width].iter_mut().zip(src) {
+                combine(a, b);
+            }
+        }
+        ones += buf[..width]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum::<usize>();
+        start = end;
+    }
+    ones
+}
+
+/// AND of all operands in a single pass with one output allocation.
+///
+/// Equivalent to (but faster than) the pairwise fold
+/// `operands[0] & operands[1] & …`.
+#[must_use]
+pub fn and_all(operands: &[&BitVec]) -> BitVec {
+    fold_blocks(operands, |a, b| *a &= b)
+}
+
+/// OR of all operands in a single pass with one output allocation.
+#[must_use]
+pub fn or_all(operands: &[&BitVec]) -> BitVec {
+    fold_blocks(operands, |a, b| *a |= b)
+}
+
+/// XOR of all operands in a single pass with one output allocation.
+#[must_use]
+pub fn xor_all(operands: &[&BitVec]) -> BitVec {
+    fold_blocks(operands, |a, b| *a ^= b)
+}
+
+/// `a ∧ ¬b` with the output sized once — the owned counterpart of
+/// [`BitVec::and_not_assign`], without the clone-then-assign double pass.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[must_use]
+pub fn and_not(a: &BitVec, b: &BitVec) -> BitVec {
+    fold_blocks(&[a, b], |x, y| *x &= !y)
+}
+
+/// `|operands[0] ∧ operands[1] ∧ …|` without materializing the result.
+#[must_use]
+pub fn count_and(operands: &[&BitVec]) -> usize {
+    count_blocks(operands, |a, b| *a &= b)
+}
+
+/// `|operands[0] ∨ operands[1] ∨ …|` without materializing the result.
+#[must_use]
+pub fn count_or(operands: &[&BitVec]) -> usize {
+    count_blocks(operands, |a, b| *a |= b)
+}
+
+/// `|operands[0] ⊕ operands[1] ⊕ …|` without materializing the result.
+#[must_use]
+pub fn count_xor(operands: &[&BitVec]) -> usize {
+    count_blocks(operands, |a, b| *a ^= b)
+}
+
+/// `|a ∧ ¬b|` without materializing the difference.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[must_use]
+pub fn count_and_not(a: &BitVec, b: &BitVec) -> usize {
+    count_blocks(&[a, b], |x, y| *x &= !y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(len: usize, seed: u64) -> BitVec {
+        // Deterministic pseudo-random words (splitmix64), canonically masked.
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        BitVec::from_fn(len, |_| {
+            state = state.wrapping_mul(0xBF58_476D_1CE4_E5B9).rotate_left(31);
+            state & 1 == 1
+        })
+    }
+
+    fn pairwise(operands: &[&BitVec], f: impl Fn(&mut BitVec, &BitVec)) -> BitVec {
+        let mut acc = operands[0].clone();
+        for op in &operands[1..] {
+            f(&mut acc, op);
+        }
+        acc
+    }
+
+    #[test]
+    fn kary_matches_pairwise_fold() {
+        // Lengths straddling block and word boundaries, including the
+        // tail-word cases len % 64 ∈ {0, 1, 63}.
+        for len in [1usize, 63, 64, 65, 127, 128, 8 * 1024, 64 * 1024 + 63] {
+            let owned: Vec<BitVec> = (0..9).map(|k| sample(len, k as u64)).collect();
+            let ops: Vec<&BitVec> = owned.iter().collect();
+            assert_eq!(
+                and_all(&ops),
+                pairwise(&ops, |a, b| a.and_assign(b)),
+                "and len {len}"
+            );
+            assert_eq!(
+                or_all(&ops),
+                pairwise(&ops, |a, b| a.or_assign(b)),
+                "or len {len}"
+            );
+            assert_eq!(
+                xor_all(&ops),
+                pairwise(&ops, |a, b| a.xor_assign(b)),
+                "xor len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_operand_is_identity() {
+        let v = sample(1000, 3);
+        assert_eq!(and_all(&[&v]), v);
+        assert_eq!(or_all(&[&v]), v);
+        assert_eq!(xor_all(&[&v]), v);
+        assert_eq!(count_and(&[&v]), v.count_ones());
+    }
+
+    #[test]
+    fn fused_counts_match_materialized() {
+        for len in [65usize, 4096, 16 * 1024 + 1] {
+            let owned: Vec<BitVec> = (0..5).map(|k| sample(len, 17 + k as u64)).collect();
+            let ops: Vec<&BitVec> = owned.iter().collect();
+            assert_eq!(count_and(&ops), and_all(&ops).count_ones(), "len {len}");
+            assert_eq!(count_or(&ops), or_all(&ops).count_ones(), "len {len}");
+            assert_eq!(count_xor(&ops), xor_all(&ops).count_ones(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn and_not_matches_assign() {
+        let a = sample(777, 1);
+        let b = sample(777, 2);
+        let mut want = a.clone();
+        want.and_not_assign(&b);
+        assert_eq!(and_not(&a, &b), want);
+        assert_eq!(count_and_not(&a, &b), want.count_ones());
+    }
+
+    #[test]
+    fn canonical_tail_preserved() {
+        // All-ones operands: results must stay masked past `len`.
+        let a = BitVec::ones(65);
+        let b = BitVec::ones(65);
+        let o = or_all(&[&a, &b]);
+        assert_eq!(o.count_ones(), 65);
+        assert_eq!(o.words()[1], 1);
+        let x = xor_all(&[&a, &b]);
+        assert_eq!(x.count_ones(), 0);
+    }
+
+    #[test]
+    fn empty_length_operands() {
+        let a = BitVec::zeros(0);
+        let b = BitVec::zeros(0);
+        assert_eq!(or_all(&[&a, &b]).len(), 0);
+        assert_eq!(count_or(&[&a, &b]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operand")]
+    fn empty_operand_list_panics() {
+        let _ = and_all(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let a = BitVec::zeros(10);
+        let b = BitVec::zeros(11);
+        let _ = or_all(&[&a, &b]);
+    }
+}

@@ -9,6 +9,8 @@
 //! algorithms need, implemented word-at-a-time:
 //!
 //! * logical AND / OR / XOR / AND-NOT / NOT (in-place and owned),
+//! * fused k-ary combine and combine-and-count kernels ([`kernels`]) that
+//!   fold any number of operands in one cache-blocked pass,
 //! * population count ([`BitVec::count_ones`]) for foundset cardinalities,
 //! * iteration over set bits ([`BitVec::iter_ones`]) to materialize RID lists,
 //! * O(1) rank and O(log n) select via a sampled [`rank::RankIndex`],
@@ -22,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 mod bitvec;
+pub mod kernels;
 pub mod rank;
 
 pub use crate::bitvec::{BitVec, OnesIter};

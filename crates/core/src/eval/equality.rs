@@ -94,20 +94,21 @@ fn eq_bitmap<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, comp: usize, j: u32)
     }
 }
 
-/// OR of `E_i^{lo} … E_i^{hi}` (inclusive). Assumes `lo <= hi` and the
-/// component has base > 2 (callers special-case base 2).
+/// OR of `E_i^{lo} … E_i^{hi}` (inclusive) via the fused k-ary kernel:
+/// one pass, one output allocation, `hi − lo` ORs charged — identical to
+/// the pairwise fold it replaces. Assumes `lo <= hi` and the component has
+/// base > 2 (callers special-case base 2).
 fn or_range<S: BitmapSource>(
     ctx: &mut ExecContext<'_, S>,
     comp: usize,
     lo: u32,
     hi: u32,
 ) -> Result<BitVec> {
-    let mut acc = (*ctx.fetch(comp, lo as usize)?).clone();
-    for j in lo + 1..=hi {
-        let bm = ctx.fetch(comp, j as usize)?;
-        ctx.or(&mut acc, &bm);
-    }
-    Ok(acc)
+    let slots: Vec<_> = (lo..=hi)
+        .map(|j| ctx.fetch(comp, j as usize))
+        .collect::<Result<_>>()?;
+    let operands: Vec<&BitVec> = slots.iter().map(|a| a.as_ref()).collect();
+    Ok(ctx.or_all(&operands))
 }
 
 /// `d_1 ≤ v_1` for component 1, choosing the cheaper of the direct OR-prefix
@@ -180,16 +181,16 @@ fn le_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, le: u32) -> Result<Bi
     Ok(b)
 }
 
-/// `A = v`: AND of the per-component equality bitmaps.
+/// `A = v`: fused AND of the per-component equality bitmaps (`n − 1` ANDs
+/// charged, as the pairwise chain would).
 fn eq_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, v: u32) -> Result<BitVec> {
     let digits = digits_of(ctx, v);
     let n = ctx.spec().n_components();
-    let mut b = eq_bitmap(ctx, 1, digits[0])?;
-    for i in 2..=n {
-        let bm = eq_bitmap(ctx, i, digits[i - 1])?;
-        ctx.and(&mut b, &bm);
-    }
-    Ok(b)
+    let bitmaps: Vec<BitVec> = (1..=n)
+        .map(|i| eq_bitmap(ctx, i, digits[i - 1]))
+        .collect::<Result<_>>()?;
+    let operands: Vec<&BitVec> = bitmaps.iter().collect();
+    Ok(ctx.and_all(&operands))
 }
 
 /// Predicted number of bitmap scans for one query on an equality-encoded

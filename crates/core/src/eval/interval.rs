@@ -190,15 +190,16 @@ fn le_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, le: u32) -> Result<Bi
     Ok(b)
 }
 
+/// `A = v`: fused AND of the per-component digit bitmaps (`n − 1` ANDs
+/// charged, exactly as the pairwise chain would).
 fn eq_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, v: u32) -> Result<BitVec> {
     let digits = digits_of(ctx, v);
     let n = ctx.spec().n_components();
-    let mut b = eq_digit(ctx, 1, digits[0])?;
-    for i in 2..=n {
-        let bm = eq_digit(ctx, i, digits[i - 1])?;
-        ctx.and(&mut b, &bm);
-    }
-    Ok(b)
+    let bitmaps: Vec<BitVec> = (1..=n)
+        .map(|i| eq_digit(ctx, i, digits[i - 1]))
+        .collect::<Result<_>>()?;
+    let operands: Vec<&BitVec> = bitmaps.iter().collect();
+    Ok(ctx.and_all(&operands))
 }
 
 /// Stored window slots a digit-level helper touches (for the predictor).

@@ -47,16 +47,14 @@ pub fn evaluate<S: BitmapSource>(
             if let Some(lt) = b_lt.as_mut() {
                 // B_LT = B_LT ∨ (B_EQ ∧ B_i^{v_i − 1})
                 let bm = ctx.fetch(i, vi as usize - 1)?;
-                let mut t = b_eq.clone();
-                ctx.and(&mut t, &bm);
+                let t = ctx.and_pair(&b_eq, &bm);
                 ctx.or(lt, &t);
             }
             if vi < bi - 1 {
                 if let Some(gt) = b_gt.as_mut() {
                     // B_GT = B_GT ∨ (B_EQ ∧ ¬B_i^{v_i})
                     let bm = ctx.fetch(i, vi as usize)?;
-                    let mut t = b_eq.clone();
-                    ctx.and_not(&mut t, &bm);
+                    let t = ctx.and_not_pair(&b_eq, &bm);
                     ctx.or(gt, &t);
                 }
                 // B_EQ = B_EQ ∧ (B_i^{v_i} ⊕ B_i^{v_i − 1})
@@ -73,8 +71,7 @@ pub fn evaluate<S: BitmapSource>(
             if let Some(gt) = b_gt.as_mut() {
                 // B_GT = B_GT ∨ (B_EQ ∧ ¬B_i^0)
                 let bm = ctx.fetch(i, 0)?;
-                let mut t = b_eq.clone();
-                ctx.and_not(&mut t, &bm);
+                let t = ctx.and_not_pair(&b_eq, &bm);
                 ctx.or(gt, &t);
             }
             // B_EQ = B_EQ ∧ B_i^0

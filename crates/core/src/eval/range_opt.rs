@@ -110,29 +110,40 @@ fn le_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, le: u32) -> Result<Bi
 }
 
 /// The `A = v` chain (lines 10–13 of the listing). `B` starts as the
-/// all-ones `B_1` and is ANDed with every per-digit equality bitmap.
+/// all-ones `B_1` and is ANDed with every per-digit equality bitmap; the
+/// final AND chain runs through the fused k-ary kernel with the all-ones
+/// seed as first operand, so exactly `n` ANDs are charged — identical to
+/// the pairwise listing (the NOT/XOR charges for deriving interior and
+/// top-digit bitmaps are likewise unchanged).
 fn eq_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, v: u32) -> Result<BitVec> {
     let digits = digits_of(ctx, v);
     let n = ctx.spec().n_components();
-    let mut b = BitVec::ones(ctx.n_rows());
+    let ones = BitVec::ones(ctx.n_rows());
 
+    // Per-digit equality bitmaps: stored `B_i^0` directly (shared via the
+    // fetch cache), derived `¬B` / `B ⊕ B` as counted fresh bitmaps.
+    let mut shared = Vec::new();
+    let mut derived = Vec::new();
     for i in 1..=n {
         let bi = ctx.spec().base.component(i);
         let vi = digits[i - 1];
         if vi == 0 {
-            let bm = ctx.fetch(i, 0)?;
-            ctx.and(&mut b, &bm);
+            shared.push(ctx.fetch(i, 0)?);
         } else if vi == bi - 1 {
             let bm = ctx.fetch(i, bi as usize - 2)?;
-            ctx.and_not(&mut b, &bm);
+            derived.push(ctx.not_of(&bm));
         } else {
             let hi = ctx.fetch(i, vi as usize)?;
             let lo = ctx.fetch(i, vi as usize - 1)?;
-            let digit_bm = ctx.xor(&hi, &lo);
-            ctx.and(&mut b, &digit_bm);
+            derived.push(ctx.xor(&hi, &lo));
         }
     }
-    Ok(b)
+
+    let mut operands: Vec<&BitVec> = Vec::with_capacity(1 + n);
+    operands.push(&ones);
+    operands.extend(shared.iter().map(|a| a.as_ref()));
+    operands.extend(derived.iter());
+    Ok(ctx.and_all(&operands))
 }
 
 #[cfg(test)]

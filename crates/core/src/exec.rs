@@ -14,9 +14,9 @@
 //! bitmaps cost no scan either (Section 10's buffering model).
 
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
-use bindex_bitvec::BitVec;
+use bindex_bitvec::{kernels, BitVec};
 
 use crate::encoding::IndexSpec;
 use crate::error::Result;
@@ -103,8 +103,10 @@ pub struct ExecContext<'a, S: BitmapSource> {
     buffer: Option<&'a BufferSet>,
     stats: EvalStats,
     /// Per-query cache of fetched bitmaps, so repeated references within
-    /// one evaluation cost a single scan.
-    fetched: HashMap<(usize, usize), Rc<BitVec>>,
+    /// one evaluation cost a single scan. `Arc` (not `Rc`) so that contexts
+    /// — and the sources behind them — can live on worker threads of the
+    /// parallel batch engine.
+    fetched: HashMap<(usize, usize), Arc<BitVec>>,
 }
 
 impl<'a, S: BitmapSource> ExecContext<'a, S> {
@@ -155,34 +157,34 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
     /// unless it was already fetched this query or is buffer-resident.
     /// Storage failures propagate; nothing is cached on error, so a retried
     /// query re-reads the bitmap.
-    pub fn fetch(&mut self, comp: usize, slot: usize) -> Result<Rc<BitVec>> {
+    pub fn fetch(&mut self, comp: usize, slot: usize) -> Result<Arc<BitVec>> {
         if let Some(bm) = self.fetched.get(&(comp, slot)) {
-            return Ok(Rc::clone(bm));
+            return Ok(Arc::clone(bm));
         }
-        let bm = Rc::new(self.source.try_fetch(comp, slot)?);
+        let bm = Arc::new(self.source.try_fetch(comp, slot)?);
         let resident = self.buffer.is_some_and(|b| b.contains(comp, slot));
         if resident {
             self.stats.buffer_hits += 1;
         } else {
             self.stats.scans += 1;
         }
-        self.fetched.insert((comp, slot), Rc::clone(&bm));
+        self.fetched.insert((comp, slot), Arc::clone(&bm));
         Ok(bm)
     }
 
     /// Fetches the non-null bitmap if the index has one. Charged as a scan
     /// (it is a stored bitmap) the first time per query.
-    pub fn fetch_nn(&mut self) -> Result<Option<Rc<BitVec>>> {
+    pub fn fetch_nn(&mut self) -> Result<Option<Arc<BitVec>>> {
         const NN_KEY: (usize, usize) = (0, usize::MAX);
         if let Some(bm) = self.fetched.get(&NN_KEY) {
-            return Ok(Some(Rc::clone(bm)));
+            return Ok(Some(Arc::clone(bm)));
         }
         let Some(nn) = self.source.try_fetch_nn()? else {
             return Ok(None);
         };
-        let bm = Rc::new(nn);
+        let bm = Arc::new(nn);
         self.stats.scans += 1;
-        self.fetched.insert(NN_KEY, Rc::clone(&bm));
+        self.fetched.insert(NN_KEY, Arc::clone(&bm));
         Ok(Some(bm))
     }
 
@@ -201,7 +203,7 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
     /// Counted XOR returning a fresh bitmap.
     pub fn xor(&mut self, a: &BitVec, b: &BitVec) -> BitVec {
         self.stats.xors += 1;
-        a.clone() ^ b
+        kernels::xor_all(&[a, b])
     }
 
     /// Counted NOT in place.
@@ -210,12 +212,62 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
         self.stats.nots += 1;
     }
 
+    /// Counted NOT returning a fresh bitmap (one NOT charged).
+    pub fn not_of(&mut self, a: &BitVec) -> BitVec {
+        self.stats.nots += 1;
+        a.complement()
+    }
+
     /// Counted AND-NOT: `acc &= !rhs` (one AND plus one NOT, as the paper's
     /// algorithms spell it).
     pub fn and_not(&mut self, acc: &mut BitVec, rhs: &BitVec) {
         acc.and_not_assign(rhs);
         self.stats.ands += 1;
         self.stats.nots += 1;
+    }
+
+    /// Counted AND returning a fresh bitmap: `a ∧ b` with the output sized
+    /// once (no clone-then-assign double pass). Charges one AND — exactly
+    /// what the pairwise step it replaces would charge.
+    pub fn and_pair(&mut self, a: &BitVec, b: &BitVec) -> BitVec {
+        self.stats.ands += 1;
+        kernels::and_all(&[a, b])
+    }
+
+    /// Counted OR returning a fresh bitmap (one OR charged).
+    pub fn or_pair(&mut self, a: &BitVec, b: &BitVec) -> BitVec {
+        self.stats.ors += 1;
+        kernels::or_all(&[a, b])
+    }
+
+    /// Counted AND-NOT returning a fresh bitmap: `a ∧ ¬b`. Charges one AND
+    /// plus one NOT, matching [`ExecContext::and_not`].
+    pub fn and_not_pair(&mut self, a: &BitVec, b: &BitVec) -> BitVec {
+        self.stats.ands += 1;
+        self.stats.nots += 1;
+        kernels::and_not(a, b)
+    }
+
+    /// Counted k-ary AND via the fused kernel: one cache-blocked pass, one
+    /// output allocation. Charges `operands.len() − 1` ANDs — identical to
+    /// the pairwise fold it replaces, so [`EvalStats`] match the paper's
+    /// cost model bit for bit.
+    ///
+    /// # Panics
+    /// Panics on an empty operand list or mismatched lengths.
+    pub fn and_all(&mut self, operands: &[&BitVec]) -> BitVec {
+        self.stats.ands += operands.len() - 1;
+        kernels::and_all(operands)
+    }
+
+    /// Counted k-ary OR via the fused kernel; charges
+    /// `operands.len() − 1` ORs (see [`ExecContext::and_all`]).
+    ///
+    /// # Panics
+    /// Panics on an empty operand list or mismatched lengths.
+    pub fn or_all(&mut self, operands: &[&BitVec]) -> BitVec {
+        self.stats.ors += operands.len() - 1;
+        kernels::or_all(operands)
     }
 }
 
@@ -242,7 +294,7 @@ mod tests {
         let mut ctx = ExecContext::new(&mut src);
         let a = ctx.fetch(1, 0).unwrap();
         let b = ctx.fetch(1, 0).unwrap();
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(ctx.stats().scans, 1);
         ctx.fetch(1, 1).unwrap();
         assert_eq!(ctx.stats().scans, 2);
@@ -287,5 +339,35 @@ mod tests {
         let s = ctx.stats();
         assert_eq!((s.ands, s.ors, s.xors, s.nots), (2, 1, 1, 2));
         assert_eq!(s.total_ops(), 6);
+    }
+
+    #[test]
+    fn kary_ops_charge_pairwise_equivalent_counts() {
+        let idx = small_index();
+        let mut src = idx.source();
+        let mut ctx = ExecContext::new(&mut src);
+        let a = BitVec::from_indices(8, &[0, 1, 2]);
+        let b = BitVec::from_indices(8, &[1, 2, 3]);
+        let c = BitVec::from_indices(8, &[2, 3, 4]);
+        let and = ctx.and_all(&[&a, &b, &c]);
+        assert_eq!(ctx.stats().ands, 2, "k operands charge k-1 ANDs");
+        assert_eq!(and, BitVec::from_indices(8, &[2]));
+        let or = ctx.or_all(&[&a, &b, &c]);
+        assert_eq!(ctx.stats().ors, 2);
+        assert_eq!(or, BitVec::from_indices(8, &[0, 1, 2, 3, 4]));
+        // Single operand: zero ops charged, identity result.
+        let one = ctx.and_all(&[&a]);
+        assert_eq!(ctx.stats().ands, 2);
+        assert_eq!(one, a);
+        // Pair helpers charge exactly one logical op (AND-NOT = AND + NOT).
+        let d = ctx.and_pair(&a, &b);
+        let e = ctx.or_pair(&a, &b);
+        let f = ctx.and_not_pair(&a, &b);
+        assert_eq!(ctx.stats().ands, 4);
+        assert_eq!(ctx.stats().ors, 3);
+        assert_eq!(ctx.stats().nots, 1);
+        assert_eq!(d, BitVec::from_indices(8, &[1, 2]));
+        assert_eq!(e, BitVec::from_indices(8, &[0, 1, 2, 3]));
+        assert_eq!(f, BitVec::from_indices(8, &[0]));
     }
 }

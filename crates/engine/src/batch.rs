@@ -1,0 +1,329 @@
+//! Parallel batch query execution: evaluate a workload of queries across
+//! worker threads with work-stealing-style dynamic dispatch.
+//!
+//! A decision-support session rarely asks one question; it asks hundreds
+//! (the paper's Section 9 experiments average over 100-query workloads).
+//! Queries of a workload are independent, so they parallelize trivially —
+//! once everything on the read path is shareable. That is what the `Arc`
+//! fetch cache in [`ExecContext`], the owned [`Table`], and the
+//! `&self`-based `SharedIndexReader` of the storage crate buy: worker
+//! threads borrow one table (or build one [`BitmapSource`] each from a
+//! shared factory) and pull query indices off a shared atomic counter
+//! until the workload drains.
+//!
+//! Built on `std::thread::scope` — no runtime, no dependency, no unsafe.
+//! `threads = 1` runs inline on the calling thread, so single-threaded
+//! baselines measure the sequential path itself rather than a one-worker
+//! thread pool.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use bindex_bitvec::BitVec;
+use bindex_core::error::{Error, Result};
+use bindex_core::eval::{evaluate_in, Algorithm};
+use bindex_core::{BitmapSource, EvalStats, ExecContext};
+use bindex_relation::query::SelectionQuery;
+
+use crate::plan::{self, ConjunctiveQuery, ExecutionStats};
+use crate::table::Table;
+
+/// Environment variable overriding the default worker count
+/// (`all_experiments --threads N` forwards it to every experiment).
+pub const THREADS_ENV: &str = "BINDEX_THREADS";
+
+/// Worker configuration for a batch run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOptions {
+    threads: usize,
+}
+
+impl BatchOptions {
+    /// Runs with `threads` workers (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Runs inline on the calling thread.
+    pub fn single_threaded() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// Reads the worker count from the `BINDEX_THREADS` environment
+    /// variable, falling back to the machine's available parallelism.
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            });
+        Self::with_threads(threads)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Runs `work(i)` for every `i in 0..n` across `threads` workers, keeping
+/// results in input order. Workers claim indices from a shared atomic
+/// counter, so long queries don't stall the queue behind them. The first
+/// error wins; remaining workers stop claiming new work.
+fn run_indexed<T, F>(n: usize, threads: usize, work: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(&work).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let failed = AtomicUsize::new(0);
+    let worker = |out: &mut Vec<(usize, T)>| -> Result<()> {
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n || failed.load(Ordering::Relaxed) != 0 {
+                return Ok(());
+            }
+            match work(i) {
+                Ok(v) => out.push((i, v)),
+                Err(e) => {
+                    failed.store(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+            }
+        }
+    };
+    let mut chunks: Vec<Result<Vec<(usize, T)>>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.min(n))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    worker(&mut out).map(|()| out)
+                })
+            })
+            .collect();
+        for h in handles {
+            chunks.push(
+                h.join()
+                    .unwrap_or_else(|_| Err(Error::Infeasible("batch worker panicked".into()))),
+            );
+        }
+    });
+    let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+    for chunk in chunks {
+        for (i, v) in chunk? {
+            slots[i] = Some(v);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.ok_or_else(|| Error::Infeasible("batch worker dropped a query".into())))
+        .collect()
+}
+
+/// Executes a workload of conjunctive queries against `table`, choosing
+/// the cheapest plan per query and fanning the queries out across the
+/// configured worker threads. Results come back in workload order; the
+/// first failing query aborts the batch.
+pub fn execute_workload(
+    table: &Table,
+    queries: &[ConjunctiveQuery],
+    options: BatchOptions,
+) -> Result<Vec<(BitVec, ExecutionStats)>> {
+    run_indexed(queries.len(), options.threads(), |i| {
+        let q = &queries[i];
+        let best = plan::choose(table, q)?;
+        plan::execute(table, q, &best.plan)
+    })
+}
+
+/// A per-query evaluation result: the foundset and its cost statistics.
+type Evaluated = (BitVec, EvalStats);
+
+/// Evaluates a workload of single-attribute selection queries, one
+/// [`BitmapSource`] per worker from `make_source` (e.g. a closure opening
+/// a source backed by the storage crate's `SharedIndexReader`). Returns
+/// per-query foundsets and [`EvalStats`] in workload order.
+pub fn evaluate_selection_workload<S, F>(
+    make_source: F,
+    queries: &[SelectionQuery],
+    algorithm: Algorithm,
+    options: BatchOptions,
+) -> Result<Vec<(BitVec, EvalStats)>>
+where
+    S: BitmapSource,
+    F: Fn() -> S + Sync,
+{
+    let threads = options.threads().min(queries.len().max(1));
+    if threads <= 1 {
+        let mut source = make_source();
+        let mut ctx = ExecContext::new(&mut source);
+        return queries
+            .iter()
+            .map(|&q| {
+                let found = evaluate_in(&mut ctx, q, algorithm)?;
+                Ok((found, ctx.take_stats()))
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut chunks: Vec<Result<Vec<(usize, Evaluated)>>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut source = make_source();
+                    let mut ctx = ExecContext::new(&mut source);
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= queries.len() {
+                            return Ok(out);
+                        }
+                        let found = evaluate_in(&mut ctx, queries[i], algorithm)?;
+                        out.push((i, (found, ctx.take_stats())));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            chunks.push(
+                h.join()
+                    .unwrap_or_else(|_| Err(Error::Infeasible("batch worker panicked".into()))),
+            );
+        }
+    });
+    let mut slots: Vec<Option<Evaluated>> = std::iter::repeat_with(|| None)
+        .take(queries.len())
+        .collect();
+    for chunk in chunks {
+        for (i, v) in chunk? {
+            slots[i] = Some(v);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.ok_or_else(|| Error::Infeasible("batch worker dropped a query".into())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::IndexChoice;
+    use bindex_core::eval::naive;
+    use bindex_relation::gen;
+    use bindex_relation::query::Op;
+
+    fn table() -> Table {
+        Table::builder()
+            .column("qty", gen::uniform(2000, 50, 1), IndexChoice::Knee)
+            .column(
+                "day",
+                gen::uniform(2000, 300, 2),
+                IndexChoice::SpaceBudget(40),
+            )
+            .column("note", gen::uniform(2000, 7, 3), IndexChoice::None)
+            .build()
+            .unwrap()
+    }
+
+    fn workload() -> Vec<ConjunctiveQuery> {
+        let mut out = Vec::new();
+        for v in 0..24u32 {
+            out.push(
+                ConjunctiveQuery::new()
+                    .and("qty", SelectionQuery::new(Op::Gt, v % 50))
+                    .and("day", SelectionQuery::new(Op::Le, (v * 11) % 300))
+                    .and("note", SelectionQuery::new(Op::Ne, v % 7)),
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn parallel_matches_single_thread() {
+        let t = table();
+        let qs = workload();
+        let single = execute_workload(&t, &qs, BatchOptions::single_threaded()).unwrap();
+        let multi = execute_workload(&t, &qs, BatchOptions::with_threads(4)).unwrap();
+        assert_eq!(single.len(), multi.len());
+        for (i, ((bs, ss), (bm, sm))) in single.iter().zip(&multi).enumerate() {
+            assert_eq!(bs, bm, "query {i} foundset");
+            assert_eq!(ss, sm, "query {i} stats");
+        }
+    }
+
+    #[test]
+    fn selection_workload_matches_naive_in_parallel() {
+        let col = gen::uniform(1500, 40, 7);
+        let idx = bindex_core::BitmapIndex::build(
+            &col,
+            bindex_core::IndexSpec::new(
+                bindex_core::Base::from_msb(&[5, 8]).unwrap(),
+                bindex_core::Encoding::Range,
+            ),
+        )
+        .unwrap();
+        let queries: Vec<SelectionQuery> = (0..40)
+            .map(|v| SelectionQuery::new(if v % 2 == 0 { Op::Le } else { Op::Eq }, v))
+            .collect();
+        let results = evaluate_selection_workload(
+            || idx.source(),
+            &queries,
+            Algorithm::Auto,
+            BatchOptions::with_threads(4),
+        )
+        .unwrap();
+        assert_eq!(results.len(), queries.len());
+        for (q, (found, stats)) in queries.iter().zip(&results) {
+            assert_eq!(found, &naive::evaluate(&col, *q), "{q}");
+            assert!(stats.scans > 0 || q.constant == 0, "{q}");
+        }
+        // Stats must be identical to the sequential run, per query.
+        let sequential = evaluate_selection_workload(
+            || idx.source(),
+            &queries,
+            Algorithm::Auto,
+            BatchOptions::single_threaded(),
+        )
+        .unwrap();
+        assert_eq!(results, sequential);
+    }
+
+    #[test]
+    fn options_clamp_and_env_parse() {
+        assert_eq!(BatchOptions::with_threads(0).threads(), 1);
+        assert_eq!(BatchOptions::with_threads(8).threads(), 8);
+        assert!(BatchOptions::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn failing_query_aborts_batch() {
+        let t = table();
+        let qs = vec![
+            ConjunctiveQuery::new().and("qty", SelectionQuery::new(Op::Le, 10)),
+            ConjunctiveQuery::new().and("missing", SelectionQuery::new(Op::Le, 1)),
+        ];
+        assert!(execute_workload(&t, &qs, BatchOptions::with_threads(2)).is_err());
+        assert!(execute_workload(&t, &qs, BatchOptions::single_threaded()).is_err());
+    }
+
+    #[test]
+    fn empty_workload_is_fine() {
+        let t = table();
+        let out = execute_workload(&t, &[], BatchOptions::with_threads(4)).unwrap();
+        assert!(out.is_empty());
+    }
+}

@@ -24,8 +24,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod plan;
 mod table;
 
+pub use batch::{execute_workload, BatchOptions};
 pub use plan::{ConjunctiveQuery, ExecutionStats, Plan, PlanCost};
 pub use table::{IndexChoice, Table, TableBuilder};

@@ -15,7 +15,7 @@
 //! exercise is the *comparison* between plans, which is what the paper's
 //! `N/32` break-even describes.
 
-use bindex_bitvec::BitVec;
+use bindex_bitvec::{kernels, BitVec};
 use bindex_core::cost::predicted_scans;
 use bindex_core::error::{Error, Result};
 use bindex_core::eval::{evaluate_in, naive, Algorithm};
@@ -240,29 +240,28 @@ pub fn execute(
             }
         }
         Plan::IndexMerge => {
-            let mut merged: Option<BitVec> = None;
+            let mut foundsets = Vec::new();
             let mut residual_attrs = Vec::new();
             for (attr, q) in query.predicates() {
                 match table.index(attr)? {
                     Some(idx) => {
                         let mut src = idx.source();
                         let mut ctx = ExecContext::new(&mut src);
-                        let f = evaluate_in(&mut ctx, *q, Algorithm::Auto)?;
+                        foundsets.push(evaluate_in(&mut ctx, *q, Algorithm::Auto)?);
                         let scans = ctx.take_stats().scans;
                         stats.bitmap_scans += scans;
                         stats.bytes_read += scans as u64 * bitmap_bytes(n_rows);
-                        merged = Some(match merged {
-                            Some(mut m) => {
-                                m.and_assign(&f);
-                                m
-                            }
-                            None => f,
-                        });
                     }
                     None => residual_attrs.push(attr.clone()),
                 }
             }
-            let merged = merged.unwrap_or_else(|| BitVec::ones(n_rows));
+            // Merge all per-predicate foundsets in one fused pass.
+            let merged = if foundsets.is_empty() {
+                BitVec::ones(n_rows)
+            } else {
+                let operands: Vec<&BitVec> = foundsets.iter().collect();
+                kernels::and_all(&operands)
+            };
             if residual_attrs.is_empty() {
                 merged
             } else {
@@ -295,14 +294,18 @@ fn residual_query(query: &ConjunctiveQuery, consumed: &[String]) -> ConjunctiveQ
     }
 }
 
-/// Filters `candidates` by evaluating every predicate against the columns.
+/// Filters `candidates` by evaluating every predicate against the columns,
+/// intersecting everything in one fused k-ary pass.
 fn filter_rows(table: &Table, query: &ConjunctiveQuery, candidates: &BitVec) -> Result<BitVec> {
-    let mut out = candidates.clone();
-    for (attr, q) in query.predicates() {
-        let col = table.column(attr)?;
-        out.and_assign(&naive::evaluate(col, *q));
-    }
-    Ok(out)
+    let per_predicate: Vec<BitVec> = query
+        .predicates()
+        .iter()
+        .map(|(attr, q)| Ok(naive::evaluate(table.column(attr)?, *q)))
+        .collect::<Result<_>>()?;
+    let mut operands: Vec<&BitVec> = Vec::with_capacity(1 + per_predicate.len());
+    operands.push(candidates);
+    operands.extend(per_predicate.iter());
+    Ok(kernels::and_all(&operands))
 }
 
 #[cfg(test)]

@@ -119,6 +119,86 @@ impl BufferPool {
     }
 }
 
+/// A sharded bitmap cache for the parallel read path: `n_shards`
+/// independent [`BufferPool`]s, with each `(component, slot)` key pinned
+/// to one shard, so concurrent readers contend only when they touch the
+/// same shard rather than on one global lock.
+pub struct ShardedPool {
+    shards: Vec<BufferPool>,
+}
+
+impl ShardedPool {
+    /// Creates a pool of `capacity` bitmaps total, spread over `n_shards`
+    /// shards (each shard holds `⌈capacity / n_shards⌉` at most; zero
+    /// capacity disables caching).
+    ///
+    /// # Panics
+    /// Panics if `n_shards` is zero.
+    pub fn new(capacity: usize, n_shards: usize) -> Self {
+        assert!(n_shards > 0, "ShardedPool needs at least one shard");
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(n_shards)
+        };
+        Self {
+            shards: (0..n_shards).map(|_| BufferPool::new(per_shard)).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total capacity across shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(BufferPool::capacity).sum()
+    }
+
+    fn shard_of(&self, key: (usize, usize)) -> &BufferPool {
+        // Fibonacci hash of the key: cheap and spreads the sequential
+        // slot numbers of one component across shards.
+        let h = (key.0 as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((key.1 as u64).wrapping_mul(0x517C_C1B7_2722_0A95));
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Fetches the bitmap for `key` from its shard, loading on a miss.
+    pub fn get_or_load<E>(
+        &self,
+        key: (usize, usize),
+        load: impl FnOnce() -> Result<BitVec, E>,
+    ) -> Result<BitVec, E> {
+        self.shard_of(key).get_or_load(key, load)
+    }
+
+    /// Aggregated statistics across all shards.
+    pub fn stats(&self) -> PoolStats {
+        let mut total = PoolStats::default();
+        for s in &self.shards {
+            let p = s.stats();
+            total.hits += p.hits;
+            total.misses += p.misses;
+            total.evictions += p.evictions;
+        }
+        total
+    }
+
+    /// Total resident bitmaps across all shards.
+    pub fn resident(&self) -> usize {
+        self.shards.iter().map(BufferPool::resident).sum()
+    }
+
+    /// Empties every shard and resets statistics.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.clear();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,5 +265,56 @@ mod tests {
         pool.clear();
         assert_eq!(pool.resident(), 0);
         assert_eq!(pool.stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn sharded_pool_caches_and_aggregates() {
+        let pool = ShardedPool::new(16, 4);
+        assert_eq!(pool.n_shards(), 4);
+        assert_eq!(pool.capacity(), 16);
+        for slot in 0..8 {
+            pool.get_or_load::<()>((1, slot), || Ok(bm(slot))).unwrap();
+        }
+        for slot in 0..8 {
+            let got = pool
+                .get_or_load::<()>((1, slot), || panic!("must hit"))
+                .unwrap();
+            assert_eq!(got, bm(slot));
+        }
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (8, 8));
+        assert_eq!(pool.resident(), 8);
+        pool.clear();
+        assert_eq!(pool.resident(), 0);
+        assert_eq!(pool.stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn sharded_pool_zero_capacity_never_caches() {
+        let pool = ShardedPool::new(0, 4);
+        for _ in 0..3 {
+            pool.get_or_load::<()>((2, 1), || Ok(bm(1))).unwrap();
+        }
+        assert_eq!(pool.stats().misses, 3);
+        assert_eq!(pool.resident(), 0);
+    }
+
+    #[test]
+    fn sharded_pool_is_shareable_across_threads() {
+        let pool = ShardedPool::new(64, 8);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let pool = &pool;
+                scope.spawn(move || {
+                    for slot in 0..16 {
+                        pool.get_or_load::<()>((t, slot), || Ok(bm(slot))).unwrap();
+                        pool.get_or_load::<()>((t, slot), || Ok(bm(slot))).unwrap();
+                    }
+                });
+            }
+        });
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, 128);
+        assert!(s.hits >= 64, "second touch of each key must hit");
     }
 }

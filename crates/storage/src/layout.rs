@@ -321,6 +321,34 @@ impl<S: ByteStore> StoredIndex<S> {
     /// then propagate; corruption is reported as a permanent error, never
     /// as a wrong bitmap.
     pub fn read_bitmap(&mut self, comp: usize, slot: usize) -> Result<BitVec, StorageError> {
+        let mut delta = IoStats::default();
+        let out = self.read_bitmap_into(comp, slot, &mut delta);
+        self.stats.add(&delta);
+        out
+    }
+
+    /// Shared-state variant of [`StoredIndex::read_bitmap`]: takes `&self`
+    /// and returns the bitmap together with the I/O cost of this one read,
+    /// instead of accumulating into the index's own counters. This is the
+    /// read path of [`SharedIndexReader`](crate::shared::SharedIndexReader),
+    /// which lets many threads read one stored index concurrently and merge
+    /// the per-read deltas into atomic totals.
+    pub fn read_bitmap_shared(
+        &self,
+        comp: usize,
+        slot: usize,
+    ) -> Result<(BitVec, IoStats), StorageError> {
+        let mut delta = IoStats::default();
+        let bm = self.read_bitmap_into(comp, slot, &mut delta)?;
+        Ok((bm, delta))
+    }
+
+    fn read_bitmap_into(
+        &self,
+        comp: usize,
+        slot: usize,
+        delta: &mut IoStats,
+    ) -> Result<BitVec, StorageError> {
         let n_i = match comp
             .checked_sub(1)
             .and_then(|c| self.meta.bitmaps_per_component.get(c))
@@ -334,18 +362,19 @@ impl<S: ByteStore> StoredIndex<S> {
         let n_rows = self.meta.n_rows;
         match self.meta.scheme {
             StorageScheme::BitmapLevel => {
-                let raw = self.read_and_decompress(&bitmap_file(comp, slot), n_rows.div_ceil(8))?;
+                let raw =
+                    self.read_and_decompress(&bitmap_file(comp, slot), n_rows.div_ceil(8), delta)?;
                 Ok(BitVec::from_bytes(n_rows, &raw))
             }
             StorageScheme::ComponentLevel => {
                 let raw_len = (n_rows * n_i).div_ceil(8);
-                let raw = self.read_and_decompress(&component_file(comp), raw_len)?;
+                let raw = self.read_and_decompress(&component_file(comp), raw_len, delta)?;
                 Ok(extract_column(&raw, n_rows, n_i, slot))
             }
             StorageScheme::IndexLevel => {
                 let n = self.meta.total_bitmaps() as usize;
                 let raw_len = (n_rows * n).div_ceil(8);
-                let raw = self.read_and_decompress(INDEX_FILE, raw_len)?;
+                let raw = self.read_and_decompress(INDEX_FILE, raw_len, delta)?;
                 let global: usize = self.meta.bitmaps_per_component[..comp - 1]
                     .iter()
                     .map(|&x| x as usize)
@@ -383,10 +412,15 @@ impl<S: ByteStore> StoredIndex<S> {
         Ok(report)
     }
 
-    fn read_and_decompress(&mut self, name: &str, raw_len: usize) -> Result<Vec<u8>, StorageError> {
-        let data = read_with_retry(&self.store, name, self.retry, &mut self.stats.retries)?;
-        self.stats.reads += 1;
-        self.stats.bytes_read += data.len() as u64;
+    fn read_and_decompress(
+        &self,
+        name: &str,
+        raw_len: usize,
+        delta: &mut IoStats,
+    ) -> Result<Vec<u8>, StorageError> {
+        let data = read_with_retry(&self.store, name, self.retry, &mut delta.retries)?;
+        delta.reads += 1;
+        delta.bytes_read += data.len() as u64;
         let payload = if self.framed {
             format::unframe(name, &data)?
         } else {
@@ -400,7 +434,7 @@ impl<S: ByteStore> StoredIndex<S> {
             .codec
             .decompress(&payload, raw_len)
             .map_err(|e| StorageError::corrupt(name, e.to_string()))?;
-        self.stats.bytes_decompressed += out.len() as u64;
+        delta.bytes_decompressed += out.len() as u64;
         Ok(out)
     }
 }

@@ -37,10 +37,12 @@ mod error;
 mod fault;
 pub mod format;
 mod layout;
+pub mod shared;
 mod store;
 
-pub use buffer_pool::BufferPool;
+pub use buffer_pool::{BufferPool, PoolStats, ShardedPool};
 pub use error::{RetryPolicy, ScrubFailure, ScrubReport, StorageError};
 pub use fault::{FaultCounters, FaultPlan, FaultStore};
 pub use layout::{StorageScheme, StoredIndex, StoredIndexMeta};
+pub use shared::SharedIndexReader;
 pub use store::{ByteStore, DiskStore, IoStats, MemStore, TempDir};

@@ -1,0 +1,212 @@
+//! A thread-safe read path over a stored index: many readers, one store,
+//! atomic I/O accounting, and an optional sharded bitmap cache.
+//!
+//! [`StoredIndex`] accumulates its [`IoStats`] in plain fields, so reading
+//! it requires `&mut self` — fine for the single-threaded experiments, but
+//! a dead end for the parallel batch engine, where every worker thread
+//! evaluates queries against the same stored index. [`SharedIndexReader`]
+//! wraps a `StoredIndex` in a `&self` interface: each read goes through
+//! [`StoredIndex::read_bitmap_shared`], which returns the per-read
+//! [`IoStats`] delta, and the delta is folded into atomic totals. With a
+//! [`ShardedPool`] attached, hot bitmaps are served from the cache without
+//! touching the store at all.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bindex_bitvec::BitVec;
+
+use crate::buffer_pool::{PoolStats, ShardedPool};
+use crate::error::StorageError;
+use crate::layout::{StoredIndex, StoredIndexMeta};
+use crate::store::{ByteStore, IoStats};
+
+/// Lock-free accumulator for [`IoStats`], one counter per field.
+#[derive(Debug, Default)]
+struct AtomicIoStats {
+    reads: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_decompressed: AtomicU64,
+    retries: AtomicU64,
+}
+
+impl AtomicIoStats {
+    fn add(&self, delta: &IoStats) {
+        // Relaxed is enough: the counters are independent monotonic sums
+        // read only for reporting, never for synchronization.
+        self.reads.fetch_add(delta.reads, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add(delta.bytes_read, Ordering::Relaxed);
+        self.bytes_decompressed
+            .fetch_add(delta.bytes_decompressed, Ordering::Relaxed);
+        self.retries.fetch_add(delta.retries, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> IoStats {
+        IoStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_decompressed: self.bytes_decompressed.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A `Send + Sync` reader over a [`StoredIndex`]: shared-reference reads
+/// with atomic I/O statistics and an optional sharded bitmap cache.
+///
+/// Cloning is not needed — worker threads borrow one reader
+/// (`&SharedIndexReader<S>`), which is `Sync` whenever the underlying
+/// [`ByteStore`] is.
+pub struct SharedIndexReader<S: ByteStore> {
+    index: StoredIndex<S>,
+    stats: AtomicIoStats,
+    pool: Option<ShardedPool>,
+}
+
+impl<S: ByteStore> SharedIndexReader<S> {
+    /// Wraps `index` for shared reading, with no cache.
+    pub fn new(index: StoredIndex<S>) -> Self {
+        Self {
+            index,
+            stats: AtomicIoStats::default(),
+            pool: None,
+        }
+    }
+
+    /// Wraps `index` with a sharded bitmap cache: reads of cached bitmaps
+    /// cost no store I/O, and cache hits/misses are counted per shard.
+    pub fn with_pool(index: StoredIndex<S>, pool: ShardedPool) -> Self {
+        Self {
+            index,
+            stats: AtomicIoStats::default(),
+            pool: Some(pool),
+        }
+    }
+
+    /// Shape metadata of the wrapped index.
+    pub fn meta(&self) -> &StoredIndexMeta {
+        self.index.meta()
+    }
+
+    /// The wrapped index (read-only).
+    pub fn index(&self) -> &StoredIndex<S> {
+        &self.index
+    }
+
+    /// Consumes the reader, returning the wrapped index.
+    pub fn into_index(self) -> StoredIndex<S> {
+        self.index
+    }
+
+    /// Reads stored bitmap `slot` of component `comp` (1-based), serving
+    /// from the cache when one is attached. Concurrent callers are safe;
+    /// I/O costs accumulate into the shared atomic totals.
+    pub fn read_bitmap(&self, comp: usize, slot: usize) -> Result<BitVec, StorageError> {
+        match &self.pool {
+            Some(pool) => pool.get_or_load((comp, slot), || self.read_uncached(comp, slot)),
+            None => self.read_uncached(comp, slot),
+        }
+    }
+
+    fn read_uncached(&self, comp: usize, slot: usize) -> Result<BitVec, StorageError> {
+        let (bm, delta) = self.index.read_bitmap_shared(comp, slot)?;
+        self.stats.add(&delta);
+        Ok(bm)
+    }
+
+    /// Snapshot of the I/O statistics accumulated across all threads.
+    pub fn stats(&self) -> IoStats {
+        self.stats.snapshot()
+    }
+
+    /// Cache statistics, if a pool is attached.
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.pool.as_ref().map(ShardedPool::stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::StorageScheme;
+    use crate::store::MemStore;
+    use bindex_compress::CodecKind;
+
+    fn sample_reader(pool: Option<ShardedPool>) -> SharedIndexReader<MemStore> {
+        let comps = vec![
+            (0..4)
+                .map(|j| BitVec::from_fn(100, move |i| (i + j).is_multiple_of(3)))
+                .collect::<Vec<_>>(),
+            (0..3)
+                .map(|j| BitVec::from_fn(100, move |i| (i * 7 + j) % 5 == 0))
+                .collect(),
+        ];
+        let idx = StoredIndex::create(
+            MemStore::new(),
+            &comps,
+            StorageScheme::BitmapLevel,
+            CodecKind::None,
+        )
+        .unwrap();
+        match pool {
+            Some(p) => SharedIndexReader::with_pool(idx, p),
+            None => SharedIndexReader::new(idx),
+        }
+    }
+
+    #[test]
+    fn shared_reads_match_exclusive_reads() {
+        let reader = sample_reader(None);
+        let mut exclusive = StoredIndex::open(reader.index().store().clone()).unwrap();
+        for comp in 1..=2usize {
+            let n = reader.meta().bitmaps_per_component[comp - 1] as usize;
+            for slot in 0..n {
+                assert_eq!(
+                    reader.read_bitmap(comp, slot).unwrap(),
+                    exclusive.read_bitmap(comp, slot).unwrap()
+                );
+            }
+        }
+        assert_eq!(reader.stats().reads, 7);
+        assert!(reader.stats().bytes_read > 0);
+    }
+
+    #[test]
+    fn concurrent_reads_account_every_read() {
+        let reader = sample_reader(None);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let reader = &reader;
+                scope.spawn(move || {
+                    for slot in 0..4 {
+                        reader.read_bitmap(1, slot).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(reader.stats().reads, 16);
+    }
+
+    #[test]
+    fn pooled_reader_hits_skip_store_io() {
+        let reader = sample_reader(Some(ShardedPool::new(16, 4)));
+        for _ in 0..3 {
+            for slot in 0..4 {
+                reader.read_bitmap(1, slot).unwrap();
+            }
+        }
+        // First round misses, the rest hit: only 4 store reads.
+        assert_eq!(reader.stats().reads, 4);
+        let pool = reader.pool_stats().unwrap();
+        assert_eq!((pool.hits, pool.misses), (8, 4));
+    }
+
+    #[test]
+    fn invalid_slot_propagates() {
+        let reader = sample_reader(None);
+        assert!(matches!(
+            reader.read_bitmap(1, 99),
+            Err(StorageError::InvalidSlot { comp: 1, slot: 99 })
+        ));
+    }
+}

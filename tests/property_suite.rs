@@ -131,6 +131,121 @@ fn bv_iter_ones_sorted_and_complete() {
     }
 }
 
+// ---- fused k-ary kernels ----
+
+/// Lengths that exercise the word-boundary tails: exact multiples of 64,
+/// one straggler bit, a nearly-full tail word, plus a random length.
+fn kernel_len(rng: &mut Rng, case: u64) -> usize {
+    let words = rng.range_usize(1, 16);
+    match case % 4 {
+        0 => words * 64,
+        1 => words * 64 + 1,
+        2 => words * 64 + 63,
+        _ => rng.range_usize(1, 1000),
+    }
+}
+
+fn rand_operands(rng: &mut Rng, case: u64) -> Vec<BitVec> {
+    let len = kernel_len(rng, case);
+    let k = rng.range_usize(1, 9);
+    (0..k).map(|_| rand_bitvec_len(rng, len)).collect()
+}
+
+#[test]
+fn kary_kernels_match_pairwise_folds() {
+    use bindex::bitvec::kernels;
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x1_1000 + seed);
+        let operands = rand_operands(&mut rng, seed);
+        let refs: Vec<&BitVec> = operands.iter().collect();
+        let fold = |op: fn(&mut BitVec, &BitVec)| {
+            let mut acc = operands[0].clone();
+            for o in &operands[1..] {
+                op(&mut acc, o);
+            }
+            acc
+        };
+        assert_eq!(
+            kernels::and_all(&refs),
+            fold(BitVec::and_assign),
+            "seed {seed}"
+        );
+        assert_eq!(
+            kernels::or_all(&refs),
+            fold(BitVec::or_assign),
+            "seed {seed}"
+        );
+        assert_eq!(
+            kernels::xor_all(&refs),
+            fold(BitVec::xor_assign),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn kary_and_not_matches_two_step() {
+    use bindex::bitvec::kernels;
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x1_2000 + seed);
+        let len = kernel_len(&mut rng, seed);
+        let a = rand_bitvec_len(&mut rng, len);
+        let b = rand_bitvec_len(&mut rng, len);
+        let mut want = a.clone();
+        want.and_assign(&b.complement());
+        assert_eq!(kernels::and_not(&a, &b), want, "seed {seed}");
+    }
+}
+
+#[test]
+fn fused_counts_match_materialized_counts() {
+    use bindex::bitvec::kernels;
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x1_3000 + seed);
+        let operands = rand_operands(&mut rng, seed);
+        let refs: Vec<&BitVec> = operands.iter().collect();
+        assert_eq!(
+            kernels::count_and(&refs),
+            kernels::and_all(&refs).count_ones(),
+            "seed {seed}"
+        );
+        assert_eq!(
+            kernels::count_or(&refs),
+            kernels::or_all(&refs).count_ones(),
+            "seed {seed}"
+        );
+        assert_eq!(
+            kernels::count_xor(&refs),
+            kernels::xor_all(&refs).count_ones(),
+            "seed {seed}"
+        );
+        let (a, b) = (refs[0], refs[refs.len() - 1]);
+        assert_eq!(
+            kernels::count_and_not(a, b),
+            kernels::and_not(a, b).count_ones(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn kary_kernels_preserve_canonical_tail() {
+    use bindex::bitvec::kernels;
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x1_4000 + seed);
+        let operands = rand_operands(&mut rng, seed);
+        let refs: Vec<&BitVec> = operands.iter().collect();
+        // Complementing twice round-trips only if the tail stayed zero.
+        for out in [
+            kernels::and_all(&refs),
+            kernels::or_all(&refs),
+            kernels::xor_all(&refs),
+        ] {
+            assert_eq!(out.complement().complement(), out, "seed {seed}");
+        }
+    }
+}
+
 // ---- codecs ----
 
 #[test]
