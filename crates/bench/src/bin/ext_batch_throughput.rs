@@ -60,8 +60,9 @@ fn qps(table: &Table, queries: &[ConjunctiveQuery], threads: usize, reps: usize)
     let mut best = f64::MAX;
     for _ in 0..reps {
         let start = Instant::now();
-        let out = execute_workload(table, queries, opts).expect("workload executes");
-        assert_eq!(out.len(), queries.len());
+        let out = execute_workload(table, queries, &opts);
+        assert!(out.health.all_ok(), "workload executes: {:?}", out.health);
+        assert_eq!(out.outcomes.len(), queries.len());
         best = best.min(start.elapsed().as_secs_f64());
     }
     queries.len() as f64 / best

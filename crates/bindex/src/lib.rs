@@ -42,7 +42,8 @@ pub mod stored;
 pub use bindex_bitvec::BitVec;
 pub use bindex_core::{
     Algorithm, Base, BitmapIndex, BitmapSource, BufferSet, Encoding, Error, EvalStats, IndexSpec,
+    RecoveryPolicy,
 };
 pub use bindex_relation::query::{Op, SelectionQuery};
 pub use bindex_relation::Column;
-pub use stored::{SharedSource, StorageSource};
+pub use stored::{scrub_and_repair_index, SharedSource, StorageSource};

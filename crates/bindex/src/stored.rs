@@ -9,10 +9,14 @@
 //! query path — checksum mismatches as [`Error::ChecksumMismatch`], other
 //! store failures as [`Error::Storage`] — never as panics.
 
+use std::collections::HashMap;
+
 use bindex_bitvec::BitVec;
-use bindex_core::{BitmapIndex, BitmapSource, Error, IndexSpec};
+use bindex_core::{rebuild_slot, BitmapIndex, BitmapSource, Encoding, Error, IndexSpec};
+use bindex_relation::Column;
 use bindex_storage::{
-    BufferPool, ByteStore, IoStats, SharedIndexReader, StorageError, StorageScheme, StoredIndex,
+    BufferPool, ByteStore, IoStats, RepairReport, SharedIndexReader, StorageError, StorageScheme,
+    StoredIndex,
 };
 
 /// Maps a storage-layer error onto the core error type, preserving the
@@ -175,6 +179,83 @@ pub fn persist_index<S: ByteStore>(
     StoredIndex::create(store, index.components(), scheme, codec)
 }
 
+/// Online repair of a damaged stored index: scrubs the store, rebuilds
+/// every bitmap a corrupt file held — from surviving equality siblings
+/// where the identity applies, else by a digit-level scan of `column` —
+/// and drives [`StoredIndex::scrub_and_repair`] to rewrite the files and
+/// journal the repairs in the manifest.
+///
+/// `spec` must be the layout the index was written with; `null_mask`
+/// flags null rows exactly as
+/// [`BitmapIndex::build_with_nulls`] took it. With a `column` every slot
+/// of every scheme is recoverable; without one only equality-encoded BS
+/// slots with readable siblings are.
+pub fn scrub_and_repair_index<S: ByteStore>(
+    stored: &mut StoredIndex<S>,
+    spec: &IndexSpec,
+    column: Option<&Column>,
+    null_mask: Option<&BitVec>,
+) -> Result<RepairReport, Error> {
+    let pre = stored.scrub().map_err(storage_error)?;
+    // Reconstruct before repairing: sibling reads must happen while the
+    // store is still readable slot-by-slot.
+    let mut fixes: HashMap<(usize, usize), BitVec> = HashMap::new();
+    for failure in &pre.failures {
+        for (comp, slot) in stored.file_slots(&failure.file) {
+            if fixes.contains_key(&(comp, slot)) {
+                continue;
+            }
+            if let Some(bm) = reconstruct_slot(stored, spec, column, null_mask, comp, slot) {
+                fixes.insert((comp, slot), bm);
+            }
+        }
+    }
+    stored
+        .scrub_and_repair(|comp, slot| fixes.get(&(comp, slot)).cloned())
+        .map_err(storage_error)
+}
+
+/// Best-effort reconstruction of one stored bitmap, outside any query:
+/// the equality sibling identity first (only reachable under BS — under
+/// CS/IS the corrupt file took the siblings with it), then the relation
+/// scan. `None` when neither path applies.
+fn reconstruct_slot<S: ByteStore>(
+    stored: &StoredIndex<S>,
+    spec: &IndexSpec,
+    column: Option<&Column>,
+    null_mask: Option<&BitVec>,
+    comp: usize,
+    slot: usize,
+) -> Option<BitVec> {
+    let b = spec.base.component(comp) as usize;
+    if spec.encoding == Encoding::Equality && b > 2 {
+        let mut acc: Option<BitVec> = None;
+        let mut all_readable = true;
+        for s in (0..b).filter(|&s| s != slot) {
+            match stored.read_bitmap_shared(comp, s) {
+                Ok((bm, _)) => match acc.as_mut() {
+                    Some(a) => a.or_assign(&bm),
+                    None => acc = Some(bm),
+                },
+                Err(_) => {
+                    all_readable = false;
+                    break;
+                }
+            }
+        }
+        if all_readable {
+            if let Some(mut bm) = acc {
+                bm.not_assign();
+                if let Some(mask) = null_mask {
+                    bm.and_not_assign(mask);
+                }
+                return Some(bm);
+            }
+        }
+    }
+    rebuild_slot(column?, null_mask, spec, comp, slot).ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,8 +343,9 @@ mod tests {
             || SharedSource::try_new(&reader, spec.clone()).expect("spec matches"),
             &queries,
             Algorithm::Auto,
-            BatchOptions::with_threads(4),
+            &BatchOptions::with_threads(4),
         )
+        .into_results()
         .unwrap();
         for (q, (found, _)) in queries.iter().zip(&results) {
             let want = bindex_core::eval::naive::evaluate(&col, *q);
@@ -294,6 +376,112 @@ mod tests {
             SharedSource::try_new(&reader, wrong),
             Err(Error::CorruptIndex(_))
         ));
+    }
+
+    /// Flips one payload byte of the first data file matching `pattern`
+    /// behind the index's back, then reopens the store.
+    fn corrupt_first_data_file(
+        stored: StoredIndex<MemStore>,
+        pattern: &str,
+    ) -> (StoredIndex<MemStore>, String) {
+        let mut store = stored.into_store();
+        let mut names = store.file_names().unwrap();
+        names.sort();
+        let victim = names
+            .iter()
+            .find(|n| n.contains(pattern))
+            .expect("a data file to corrupt")
+            .clone();
+        let mut bytes = store.read_file(&victim).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        store.write_file(&victim, &bytes).unwrap();
+        (StoredIndex::open(store).unwrap(), victim)
+    }
+
+    #[test]
+    fn repair_from_siblings_needs_no_column() {
+        let col = column();
+        let spec = IndexSpec::new(Base::single(20).unwrap(), Encoding::Equality);
+        let idx = BitmapIndex::build(&col, spec.clone()).unwrap();
+        let stored = persist_index(
+            &idx,
+            MemStore::new(),
+            StorageScheme::BitmapLevel,
+            CodecKind::None,
+        )
+        .unwrap();
+        let (mut stored, victim) = corrupt_first_data_file(stored, ".bmp");
+
+        let report = scrub_and_repair_index(&mut stored, &spec, None, None).unwrap();
+        assert!(report.fully_repaired(), "{report:?}");
+        assert!(report.repaired.contains(&victim), "{report:?}");
+        assert!(stored.scrub().unwrap().is_clean());
+        let mut src = StorageSource::try_new(&mut stored, spec).unwrap();
+        for q in full_space(20) {
+            let (got, _) = evaluate(&mut src, q, Algorithm::Auto).unwrap();
+            assert_eq!(got, bindex_core::eval::naive::evaluate(&col, q), "{q}");
+        }
+    }
+
+    #[test]
+    fn repair_from_column_covers_every_scheme_and_encoding() {
+        for scheme in [
+            StorageScheme::BitmapLevel,
+            StorageScheme::ComponentLevel,
+            StorageScheme::IndexLevel,
+        ] {
+            for encoding in [Encoding::Equality, Encoding::Range, Encoding::Interval] {
+                let col = column();
+                let spec = IndexSpec::new(Base::from_msb(&[4, 5]).unwrap(), encoding);
+                let idx = BitmapIndex::build(&col, spec.clone()).unwrap();
+                let stored = persist_index(&idx, MemStore::new(), scheme, CodecKind::None).unwrap();
+                let pattern = match scheme {
+                    StorageScheme::BitmapLevel => ".bmp",
+                    StorageScheme::ComponentLevel => ".cmp",
+                    StorageScheme::IndexLevel => "index.bix",
+                };
+                let (mut stored, _) = corrupt_first_data_file(stored, pattern);
+
+                let report = scrub_and_repair_index(&mut stored, &spec, Some(&col), None).unwrap();
+                assert!(
+                    report.fully_repaired(),
+                    "{scheme:?}/{encoding:?} {report:?}"
+                );
+                assert!(
+                    stored.scrub().unwrap().is_clean(),
+                    "{scheme:?}/{encoding:?}"
+                );
+                let mut src = StorageSource::try_new(&mut stored, spec).unwrap();
+                for q in full_space(20) {
+                    let (got, _) = evaluate(&mut src, q, Algorithm::Auto).unwrap();
+                    let want = bindex_core::eval::naive::evaluate(&col, q);
+                    assert_eq!(got, want, "{scheme:?}/{encoding:?} {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repair_without_any_source_reports_unrepaired() {
+        let col = column();
+        // Components are stored lsb-first, so component 2 has base 2: a
+        // single stored slot, no sibling identity — and no column given.
+        let spec = IndexSpec::new(Base::from_msb(&[2, 2, 5]).unwrap(), Encoding::Equality);
+        let idx = BitmapIndex::build(&col, spec.clone()).unwrap();
+        let stored = persist_index(
+            &idx,
+            MemStore::new(),
+            StorageScheme::BitmapLevel,
+            CodecKind::None,
+        )
+        .unwrap();
+        let (mut stored, victim) = corrupt_first_data_file(stored, "c2_b0.bmp");
+
+        let report = scrub_and_repair_index(&mut stored, &spec, None, None).unwrap();
+        assert!(!report.fully_repaired());
+        assert_eq!(report.unrepaired.len(), 1, "{report:?}");
+        assert_eq!(report.unrepaired[0].file, victim);
     }
 
     #[test]

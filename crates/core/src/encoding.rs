@@ -32,6 +32,27 @@ impl Encoding {
         }
     }
 
+    /// Whether stored bitmap `slot` of a component with base number `b`
+    /// has its bit set for a row whose digit is `digit` — the single
+    /// source of truth for the per-encoding storage rule (equality `b = 2`
+    /// components store only `E^1` in slot 0).
+    pub fn bit_for(self, b: u32, digit: u32, slot: usize) -> bool {
+        match self {
+            Encoding::Equality => {
+                if b == 2 {
+                    digit == 1
+                } else {
+                    digit as usize == slot
+                }
+            }
+            Encoding::Range => digit as usize <= slot,
+            Encoding::Interval => {
+                let m = b.div_ceil(2) as usize;
+                slot <= digit as usize && (digit as usize) < slot + m
+            }
+        }
+    }
+
     /// Number of bitmaps *stored* for a component with base number `b`.
     pub fn stored_bitmaps(self, b: u32) -> u32 {
         match self {

@@ -39,6 +39,10 @@ pub enum Error {
     /// A stored file failed its checksum: the bytes on storage are not the
     /// bytes that were written. Permanent — retrying cannot help.
     ChecksumMismatch(String),
+    /// A batch worker panicked while evaluating a query. The payload is
+    /// the panic message; the panic is confined to the one query it
+    /// interrupted, so the rest of the workload still completes.
+    WorkerPanic(String),
 }
 
 impl std::fmt::Display for Error {
@@ -70,6 +74,7 @@ impl std::fmt::Display for Error {
             // The carried message is a rendered storage error that already
             // names the file and both checksums; no extra prefix.
             Error::ChecksumMismatch(msg) => write!(f, "{msg}"),
+            Error::WorkerPanic(msg) => write!(f, "batch worker panicked: {msg}"),
         }
     }
 }

@@ -17,10 +17,11 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use bindex_bitvec::{kernels, BitVec};
+use bindex_relation::Column;
 
-use crate::encoding::IndexSpec;
-use crate::error::Result;
-use crate::index::BitmapSource;
+use crate::encoding::{Encoding, IndexSpec};
+use crate::error::{Error, Result};
+use crate::index::{rebuild_slot, BitmapSource};
 
 /// Per-query evaluation statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -37,6 +38,14 @@ pub struct EvalStats {
     pub nots: usize,
     /// Fetches served by the buffer pool (no scan charged).
     pub buffer_hits: usize,
+    /// Fetches served by the degraded path: the stored bitmap was
+    /// unreadable after retries, and the answer was reconstructed instead.
+    /// Zero on a healthy store; the answer is still exact.
+    pub degraded_fetches: usize,
+    /// Degraded fetches answered purely from surviving sibling bitmaps
+    /// (the `NOT(OR(siblings))` identity). The remainder of
+    /// `degraded_fetches` fell back to a digit-level scan of the relation.
+    pub reconstructed_bitmaps: usize,
 }
 
 impl EvalStats {
@@ -53,7 +62,45 @@ impl EvalStats {
         self.xors += other.xors;
         self.nots += other.nots;
         self.buffer_hits += other.buffer_hits;
+        self.degraded_fetches += other.degraded_fetches;
+        self.reconstructed_bitmaps += other.reconstructed_bitmaps;
     }
+}
+
+/// What [`ExecContext::fetch`] may do when a stored bitmap is unreadable
+/// after the storage layer's retries are exhausted — a lattice from "fail
+/// fast" to "answer from anything that survives".
+///
+/// Every recovered fetch keeps the answer exact (the encodings are
+/// information-redundant) but is tallied in
+/// [`EvalStats::degraded_fetches`], so degradation is observable.
+#[derive(Debug, Clone, Default)]
+pub enum RecoveryPolicy {
+    /// Propagate the error. The pre-recovery behavior, and the default.
+    #[default]
+    Fail,
+    /// Rebuild an equality-encoded slot from its surviving siblings
+    /// (`E^j = NOT(OR(E^k, k ≠ j))`, masked by `B_nn` when the column has
+    /// nulls). Errors on slots the identity cannot reach still propagate.
+    Reconstruct,
+    /// [`RecoveryPolicy::Reconstruct`], then fall back to a digit-level
+    /// scan of the base column — for a range-encoded slot this evaluates
+    /// `B^j = OR(E^0..E^j)` from the digit projection. Every slot is
+    /// recoverable; only an unreadable column itself can fail.
+    ReconstructOrScan(Arc<Column>),
+}
+
+impl RecoveryPolicy {
+    /// `true` when any recovery at all is enabled.
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, RecoveryPolicy::Fail)
+    }
+}
+
+/// Whether a fetch error is worth a recovery attempt: permanent storage
+/// damage, not caller errors like an out-of-shape slot address.
+fn recoverable(e: &Error) -> bool {
+    matches!(e, Error::Storage(_) | Error::ChecksumMismatch(_))
 }
 
 /// The set of bitmaps held resident in memory by a buffering policy
@@ -102,6 +149,7 @@ pub struct ExecContext<'a, S: BitmapSource> {
     source: &'a mut S,
     buffer: Option<&'a BufferSet>,
     stats: EvalStats,
+    recovery: RecoveryPolicy,
     /// Per-query cache of fetched bitmaps, so repeated references within
     /// one evaluation cost a single scan. `Arc` (not `Rc`) so that contexts
     /// — and the sources behind them — can live on worker threads of the
@@ -116,6 +164,7 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
             source,
             buffer: None,
             stats: EvalStats::default(),
+            recovery: RecoveryPolicy::Fail,
             fetched: HashMap::new(),
         }
     }
@@ -127,8 +176,16 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
             source,
             buffer: Some(buffer),
             stats: EvalStats::default(),
+            recovery: RecoveryPolicy::Fail,
             fetched: HashMap::new(),
         }
+    }
+
+    /// Sets the degraded-mode recovery policy applied when a fetch fails
+    /// permanently (see [`RecoveryPolicy`]).
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
     }
 
     /// The index layout being evaluated.
@@ -161,15 +218,90 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
         if let Some(bm) = self.fetched.get(&(comp, slot)) {
             return Ok(Arc::clone(bm));
         }
-        let bm = Arc::new(self.source.try_fetch(comp, slot)?);
-        let resident = self.buffer.is_some_and(|b| b.contains(comp, slot));
-        if resident {
-            self.stats.buffer_hits += 1;
-        } else {
-            self.stats.scans += 1;
-        }
+        let bm = match self.source.try_fetch(comp, slot) {
+            Ok(bm) => {
+                let resident = self.buffer.is_some_and(|b| b.contains(comp, slot));
+                if resident {
+                    self.stats.buffer_hits += 1;
+                } else {
+                    self.stats.scans += 1;
+                }
+                Arc::new(bm)
+            }
+            Err(e) if self.recovery.is_enabled() && recoverable(&e) => {
+                let rebuilt = self.recover(comp, slot, e)?;
+                self.stats.degraded_fetches += 1;
+                Arc::new(rebuilt)
+            }
+            Err(e) => return Err(e),
+        };
         self.fetched.insert((comp, slot), Arc::clone(&bm));
         Ok(bm)
+    }
+
+    /// Degraded-mode reconstruction of an unreadable stored bitmap: the
+    /// sibling identity where it applies, then the relation scan if the
+    /// policy allows, else `original` propagates. Sibling reads, ORs, the
+    /// NOT, and the `B_nn` mask are all charged at their normal rates, so
+    /// the cost model prices the degraded path honestly.
+    fn recover(&mut self, comp: usize, slot: usize, original: Error) -> Result<BitVec> {
+        if let Some(bm) = self.reconstruct_from_siblings(comp, slot)? {
+            self.stats.reconstructed_bitmaps += 1;
+            return Ok(bm);
+        }
+        if let RecoveryPolicy::ReconstructOrScan(column) = &self.recovery {
+            let column = Arc::clone(column);
+            let spec = self.source.spec().clone();
+            let null_mask = self.fetch_nn()?.map(|nn| nn.complement());
+            return rebuild_slot(&column, null_mask.as_ref(), &spec, comp, slot);
+        }
+        Err(original)
+    }
+
+    /// `E^j = NOT(OR(siblings)) AND B_nn` for an equality-encoded
+    /// component with base `b > 2`; `Ok(None)` when the identity does not
+    /// apply or a sibling is itself unreadable. Siblings are fetched
+    /// through the per-query cache (never recursively recovered — two
+    /// missing slots of one component cannot rebuild each other).
+    fn reconstruct_from_siblings(&mut self, comp: usize, slot: usize) -> Result<Option<BitVec>> {
+        let spec = self.source.spec();
+        if spec.encoding != Encoding::Equality || comp == 0 || comp > spec.n_components() {
+            return Ok(None);
+        }
+        let b = spec.base.component(comp) as usize;
+        if b <= 2 || slot >= b {
+            return Ok(None);
+        }
+        let mut siblings: Vec<Arc<BitVec>> = Vec::with_capacity(b - 1);
+        for s in (0..b).filter(|&s| s != slot) {
+            if let Some(bm) = self.fetched.get(&(comp, s)) {
+                siblings.push(Arc::clone(bm));
+                continue;
+            }
+            match self.source.try_fetch(comp, s) {
+                Ok(bm) => {
+                    let resident = self.buffer.is_some_and(|buf| buf.contains(comp, s));
+                    if resident {
+                        self.stats.buffer_hits += 1;
+                    } else {
+                        self.stats.scans += 1;
+                    }
+                    let bm = Arc::new(bm);
+                    self.fetched.insert((comp, s), Arc::clone(&bm));
+                    siblings.push(bm);
+                }
+                Err(_) => return Ok(None),
+            }
+        }
+        let refs: Vec<&BitVec> = siblings.iter().map(Arc::as_ref).collect();
+        let mut rebuilt = self.or_all(&refs);
+        self.not(&mut rebuilt);
+        // NOT sets null rows too (they are absent from every bitmap); mask
+        // them back out when the column has nulls.
+        if let Some(nn) = self.fetch_nn()? {
+            self.and(&mut rebuilt, &nn);
+        }
+        Ok(Some(rebuilt))
     }
 
     /// Fetches the non-null bitmap if the index has one. Charged as a scan
@@ -276,7 +408,32 @@ mod tests {
     use super::*;
     use crate::encoding::{Encoding, IndexSpec};
     use crate::index::BitmapIndex;
-    use bindex_relation::Column;
+
+    /// A [`BitmapSource`] that fails permanently on chosen slots.
+    struct FlakySource<'a> {
+        index: &'a BitmapIndex,
+        broken: HashSet<(usize, usize)>,
+    }
+
+    impl BitmapSource for FlakySource<'_> {
+        fn spec(&self) -> &IndexSpec {
+            self.index.spec()
+        }
+        fn n_rows(&self) -> usize {
+            self.index.n_rows()
+        }
+        fn try_fetch(&mut self, comp: usize, slot: usize) -> Result<BitVec> {
+            if self.broken.contains(&(comp, slot)) {
+                return Err(Error::ChecksumMismatch(format!(
+                    "checksum mismatch in c{comp}_b{slot}.bmp"
+                )));
+            }
+            Ok(self.index.bitmap(comp, slot).clone())
+        }
+        fn try_fetch_nn(&mut self) -> Result<Option<BitVec>> {
+            Ok(self.index.nn().cloned())
+        }
+    }
 
     fn small_index() -> BitmapIndex {
         let col = Column::new(vec![0, 1, 2, 3, 2, 1], 4);
@@ -369,5 +526,110 @@ mod tests {
         assert_eq!(d, BitVec::from_indices(8, &[1, 2]));
         assert_eq!(e, BitVec::from_indices(8, &[0, 1, 2, 3]));
         assert_eq!(f, BitVec::from_indices(8, &[0]));
+    }
+
+    fn equality_index() -> (Column, BitmapIndex) {
+        let col = Column::new(vec![0, 1, 2, 3, 2, 1, 0, 3, 1], 4);
+        let idx = BitmapIndex::build(
+            &col,
+            IndexSpec::new(crate::base::Base::single(4).unwrap(), Encoding::Equality),
+        )
+        .unwrap();
+        (col, idx)
+    }
+
+    #[test]
+    fn default_policy_propagates_fetch_errors() {
+        let (_, idx) = equality_index();
+        let mut src = FlakySource {
+            index: &idx,
+            broken: HashSet::from([(1, 2)]),
+        };
+        let mut ctx = ExecContext::new(&mut src);
+        assert!(matches!(ctx.fetch(1, 2), Err(Error::ChecksumMismatch(_))));
+        assert_eq!(ctx.stats().degraded_fetches, 0);
+    }
+
+    #[test]
+    fn equality_slot_rebuilt_from_siblings() {
+        let (_, idx) = equality_index();
+        let mut src = FlakySource {
+            index: &idx,
+            broken: HashSet::from([(1, 2)]),
+        };
+        let mut ctx = ExecContext::new(&mut src).with_recovery(RecoveryPolicy::Reconstruct);
+        let got = ctx.fetch(1, 2).unwrap();
+        assert_eq!(got.as_ref(), idx.bitmap(1, 2));
+        let s = ctx.stats();
+        assert_eq!(s.degraded_fetches, 1);
+        assert_eq!(s.reconstructed_bitmaps, 1);
+        // 3 sibling scans, OR-folded (2 ORs) and complemented (1 NOT).
+        assert_eq!((s.scans, s.ors, s.nots), (3, 2, 1));
+        // Siblings landed in the cache: refetching one costs nothing new.
+        ctx.fetch(1, 0).unwrap();
+        assert_eq!(ctx.stats().scans, 3);
+    }
+
+    #[test]
+    fn sibling_rebuild_masks_null_rows() {
+        let col = Column::new(vec![0, 1, 2, 3, 2, 1], 4);
+        let nulls = BitVec::from_indices(6, &[1, 4]);
+        let idx = BitmapIndex::build_with_nulls(
+            &col,
+            &nulls,
+            IndexSpec::new(crate::base::Base::single(4).unwrap(), Encoding::Equality),
+        )
+        .unwrap();
+        let mut src = FlakySource {
+            index: &idx,
+            broken: HashSet::from([(1, 1)]),
+        };
+        let mut ctx = ExecContext::new(&mut src).with_recovery(RecoveryPolicy::Reconstruct);
+        let got = ctx.fetch(1, 1).unwrap();
+        // Rows 1 and 4 are null: NOT(OR(siblings)) alone would set them.
+        assert_eq!(got.as_ref(), idx.bitmap(1, 1));
+        assert_eq!(got.iter_ones().collect::<Vec<_>>(), vec![5]);
+    }
+
+    #[test]
+    fn scan_fallback_covers_range_and_two_missing_slots() {
+        // Range encoding has no sibling identity; only the relation scan
+        // can recover it.
+        let col = Column::new(vec![3, 2, 1, 2, 8, 2, 2, 0, 7, 5, 6, 4], 9);
+        let spec = IndexSpec::new(crate::base::Base::single(9).unwrap(), Encoding::Range);
+        let idx = BitmapIndex::build(&col, spec).unwrap();
+        let mut src = FlakySource {
+            index: &idx,
+            broken: HashSet::from([(1, 3)]),
+        };
+        let mut ctx = ExecContext::new(&mut src).with_recovery(RecoveryPolicy::Reconstruct);
+        assert!(ctx.fetch(1, 3).is_err(), "reconstruct-only cannot help");
+        let mut ctx = ExecContext::new(&mut src)
+            .with_recovery(RecoveryPolicy::ReconstructOrScan(Arc::new(col.clone())));
+        let got = ctx.fetch(1, 3).unwrap();
+        assert_eq!(got.as_ref(), idx.bitmap(1, 3));
+        let s = ctx.stats();
+        assert_eq!(s.degraded_fetches, 1);
+        assert_eq!(s.reconstructed_bitmaps, 0, "scan, not sibling identity");
+
+        // Two broken slots of one equality component: siblings cannot
+        // rebuild each other, but the scan rebuilds both.
+        let (col, idx) = equality_index();
+        let mut src = FlakySource {
+            index: &idx,
+            broken: HashSet::from([(1, 0), (1, 2)]),
+        };
+        let mut ctx = ExecContext::new(&mut src)
+            .with_recovery(RecoveryPolicy::ReconstructOrScan(Arc::new(col)));
+        for slot in [0usize, 2] {
+            let got = ctx.fetch(1, slot).unwrap();
+            assert_eq!(got.as_ref(), idx.bitmap(1, slot), "slot {slot}");
+        }
+        let s = ctx.stats();
+        assert_eq!(s.degraded_fetches, 2);
+        // Slot 0 fell back to the scan (slot 2 was unreadable as its
+        // sibling), but once recovered it sits in the fetch cache, so
+        // slot 2 rebuilds from siblings after all.
+        assert_eq!(s.reconstructed_bitmaps, 1);
     }
 }

@@ -193,21 +193,7 @@ impl BitmapIndex {
         for (ci, &digit) in digits.iter().enumerate() {
             let b = self.spec.base.component(ci + 1);
             for (slot, bm) in self.components[ci].iter_mut().enumerate() {
-                let bit = match self.spec.encoding {
-                    Encoding::Equality => {
-                        if b == 2 {
-                            digit == 1
-                        } else {
-                            digit as usize == slot
-                        }
-                    }
-                    Encoding::Range => digit as usize <= slot,
-                    Encoding::Interval => {
-                        let m = b.div_ceil(2) as usize;
-                        slot <= digit as usize && (digit as usize) < slot + m
-                    }
-                };
-                bm.push(bit);
+                bm.push(self.spec.encoding.bit_for(b, digit, slot));
             }
         }
         if let Some(nn) = self.nn.as_mut() {
@@ -254,24 +240,7 @@ impl BitmapIndex {
                 let b = self.spec.base.component(ci + 1);
                 let bitmaps = &self.components[ci];
                 for (slot, bm) in bitmaps.iter().enumerate() {
-                    let expect = if is_null {
-                        false
-                    } else {
-                        match self.spec.encoding {
-                            Encoding::Equality => {
-                                if b == 2 {
-                                    digit == 1
-                                } else {
-                                    digit as usize == slot
-                                }
-                            }
-                            Encoding::Range => digit as usize <= slot,
-                            Encoding::Interval => {
-                                let m = b.div_ceil(2) as usize;
-                                slot <= digit as usize && (digit as usize) < slot + m
-                            }
-                        }
-                    };
+                    let expect = !is_null && self.spec.encoding.bit_for(b, digit, slot);
                     if bm.get(rid) != expect {
                         return Err(Error::CorruptIndex(format!(
                             "row {rid} value {v}: component {} slot {slot} is {}, expected {}",
@@ -285,6 +254,56 @@ impl BitmapIndex {
         }
         Ok(())
     }
+}
+
+/// Rebuilds stored bitmap `slot` of component `comp` (1-based) by a
+/// digit-level scan of the base relation — the last-resort reconstruction
+/// path of degraded-mode evaluation and online repair. Rows flagged in
+/// `null_mask` are excluded, matching [`BitmapIndex::build_with_nulls`].
+///
+/// The result is bit-identical to what [`BitmapIndex::build`] would have
+/// stored: for a range-encoded slot this computes `B^j = OR(E^0..E^j)` at
+/// the digit level (`digit <= j`), without needing any surviving bitmap.
+pub fn rebuild_slot(
+    column: &Column,
+    null_mask: Option<&BitVec>,
+    spec: &IndexSpec,
+    comp: usize,
+    slot: usize,
+) -> Result<BitVec> {
+    if comp == 0 || comp > spec.n_components() || slot >= spec.stored_in_component(comp) as usize {
+        return Err(Error::CorruptIndex(format!(
+            "cannot rebuild component {comp} slot {slot}: outside the index shape"
+        )));
+    }
+    if let Some(mask) = null_mask {
+        if mask.len() != column.len() {
+            return Err(Error::CorruptIndex(format!(
+                "null mask has {} bits for {} rows",
+                mask.len(),
+                column.len()
+            )));
+        }
+    }
+    let b = spec.base.component(comp);
+    // Per-digit truth table: bit_for depends only on the value's digit, so
+    // decompose each distinct value once, not once per row.
+    let card = column.cardinality();
+    let mut table = Vec::with_capacity(card as usize);
+    for v in 0..card {
+        let digit = spec.base.decompose(v)?[comp - 1];
+        table.push(spec.encoding.bit_for(b, digit, slot));
+    }
+    let mut out = BitVec::zeros(column.len());
+    for (rid, &v) in column.values().iter().enumerate() {
+        if null_mask.is_some_and(|m| m.get(rid)) {
+            continue;
+        }
+        if table[v as usize] {
+            out.set(rid, true);
+        }
+    }
+    Ok(out)
 }
 
 /// Borrowing [`BitmapSource`] over an in-memory [`BitmapIndex`].

@@ -62,5 +62,5 @@ pub use base::Base;
 pub use encoding::{Encoding, IndexSpec};
 pub use error::{Error, Result};
 pub use eval::Algorithm;
-pub use exec::{BufferSet, EvalStats, ExecContext};
-pub use index::{BitmapIndex, BitmapSource, MemorySource};
+pub use exec::{BufferSet, EvalStats, ExecContext, RecoveryPolicy};
+pub use index::{rebuild_slot, BitmapIndex, BitmapSource, MemorySource};

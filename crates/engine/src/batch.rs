@@ -1,5 +1,6 @@
 //! Parallel batch query execution: evaluate a workload of queries across
-//! worker threads with work-stealing-style dynamic dispatch.
+//! worker threads with work-stealing-style dynamic dispatch, isolating
+//! each query's failures from the rest of the workload.
 //!
 //! A decision-support session rarely asks one question; it asks hundreds
 //! (the paper's Section 9 experiments average over 100-query workloads).
@@ -11,17 +12,28 @@
 //! shared factory) and pull query indices off a shared atomic counter
 //! until the workload drains.
 //!
+//! Independence cuts the other way too: one query hitting a corrupt
+//! bitmap — or a bug that panics — is no reason to throw away the other
+//! ninety-nine answers. Each query therefore runs under
+//! [`catch_unwind`], its failure is recorded as its own
+//! [`QueryOutcome`], and the workload keeps draining; a [`Deadline`]
+//! and a failure cap bound how long and how hard a sick store is
+//! hammered. The caller gets every per-query outcome plus a
+//! [`BatchHealth`] summary instead of a first-error abort.
+//!
 //! Built on `std::thread::scope` — no runtime, no dependency, no unsafe.
 //! `threads = 1` runs inline on the calling thread, so single-threaded
 //! baselines measure the sequential path itself rather than a one-worker
 //! thread pool.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use bindex_bitvec::BitVec;
 use bindex_core::error::{Error, Result};
 use bindex_core::eval::{evaluate_in, Algorithm};
-use bindex_core::{BitmapSource, EvalStats, ExecContext};
+use bindex_core::{BitmapSource, EvalStats, ExecContext, RecoveryPolicy};
 use bindex_relation::query::SelectionQuery;
 
 use crate::plan::{self, ConjunctiveQuery, ExecutionStats};
@@ -31,10 +43,190 @@ use crate::table::Table;
 /// (`all_experiments --threads N` forwards it to every experiment).
 pub const THREADS_ENV: &str = "BINDEX_THREADS";
 
-/// Worker configuration for a batch run.
+/// A wall-clock cut-off for a workload. Checked cooperatively between
+/// queries: a query that is already running finishes, queries claimed
+/// after expiry come back [`QueryOutcome::TimedOut`] without running.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `d` from now.
+    pub fn after(d: Duration) -> Self {
+        Self {
+            at: Instant::now() + d,
+        }
+    }
+
+    /// A deadline at an absolute instant.
+    pub fn at(at: Instant) -> Self {
+        Self { at }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+}
+
+/// What happened to one query of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome<T> {
+    /// Evaluated normally.
+    Ok(T),
+    /// Evaluated to an exact answer, but through the degraded path: at
+    /// least one stored bitmap was unreadable and had to be reconstructed
+    /// (see [`RecoveryPolicy`]).
+    Degraded(T),
+    /// The query failed — including [`Error::WorkerPanic`] when its
+    /// evaluation panicked. Other queries are unaffected.
+    Failed(Error),
+    /// The workload [`Deadline`] expired before this query started.
+    TimedOut,
+    /// The failure cap ([`BatchOptions::with_max_failures`]) was reached
+    /// before this query started.
+    Skipped,
+}
+
+impl<T> QueryOutcome<T> {
+    /// The answer, if the query produced one (normally or degraded).
+    pub fn result(&self) -> Option<&T> {
+        match self {
+            QueryOutcome::Ok(v) | QueryOutcome::Degraded(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome into its answer, if any.
+    pub fn into_result(self) -> Option<T> {
+        match self {
+            QueryOutcome::Ok(v) | QueryOutcome::Degraded(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`QueryOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, QueryOutcome::Ok(_))
+    }
+
+    /// `true` for [`QueryOutcome::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, QueryOutcome::Degraded(_))
+    }
+
+    /// `true` when the query was answered, normally or degraded.
+    pub fn is_answered(&self) -> bool {
+        self.result().is_some()
+    }
+
+    /// The error, for [`QueryOutcome::Failed`].
+    pub fn error(&self) -> Option<&Error> {
+        match self {
+            QueryOutcome::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Per-workload outcome tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchHealth {
+    /// Queries answered normally.
+    pub ok: usize,
+    /// Queries answered exactly but through the degraded path.
+    pub degraded: usize,
+    /// Queries that failed (including worker panics).
+    pub failed: usize,
+    /// Queries not started because the deadline expired.
+    pub timed_out: usize,
+    /// Queries not started because the failure cap was reached.
+    pub skipped: usize,
+    /// Of `failed`, how many were [`Error::WorkerPanic`]s.
+    pub worker_panics: usize,
+}
+
+impl BatchHealth {
+    fn tally<T>(outcomes: &[QueryOutcome<T>]) -> Self {
+        let mut h = Self::default();
+        for o in outcomes {
+            match o {
+                QueryOutcome::Ok(_) => h.ok += 1,
+                QueryOutcome::Degraded(_) => h.degraded += 1,
+                QueryOutcome::Failed(e) => {
+                    h.failed += 1;
+                    if matches!(e, Error::WorkerPanic(_)) {
+                        h.worker_panics += 1;
+                    }
+                }
+                QueryOutcome::TimedOut => h.timed_out += 1,
+                QueryOutcome::Skipped => h.skipped += 1,
+            }
+        }
+        h
+    }
+
+    /// Every query answered normally — no degradation, failure, timeout,
+    /// or skip.
+    pub fn all_ok(&self) -> bool {
+        self.degraded == 0 && self.failed == 0 && self.timed_out == 0 && self.skipped == 0
+    }
+
+    /// Queries that produced an answer (ok + degraded).
+    pub fn answered(&self) -> usize {
+        self.ok + self.degraded
+    }
+
+    /// Total queries in the workload.
+    pub fn total(&self) -> usize {
+        self.ok + self.degraded + self.failed + self.timed_out + self.skipped
+    }
+}
+
+/// Everything a workload run produced: one [`QueryOutcome`] per query in
+/// workload order, plus the [`BatchHealth`] tallies.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport<T> {
+    /// Per-query outcomes, in workload order.
+    pub outcomes: Vec<QueryOutcome<T>>,
+    /// Outcome tallies.
+    pub health: BatchHealth,
+}
+
+impl<T> WorkloadReport<T> {
+    /// Strict view: every answer in workload order, or the first
+    /// non-answer as an error — the pre-isolation calling convention, for
+    /// callers that treat any incomplete workload as a failure.
+    pub fn into_results(self) -> Result<Vec<T>> {
+        self.outcomes
+            .into_iter()
+            .map(|o| match o {
+                QueryOutcome::Ok(v) | QueryOutcome::Degraded(v) => Ok(v),
+                QueryOutcome::Failed(e) => Err(e),
+                QueryOutcome::TimedOut => Err(Error::Infeasible(
+                    "query missed the workload deadline".into(),
+                )),
+                QueryOutcome::Skipped => Err(Error::Infeasible(
+                    "query skipped after the workload failure cap".into(),
+                )),
+            })
+            .collect()
+    }
+}
+
+/// Worker configuration for a batch run.
+#[derive(Debug, Clone, Default)]
 pub struct BatchOptions {
     threads: usize,
+    deadline: Option<Deadline>,
+    max_failures: Option<usize>,
+    recovery: RecoveryPolicy,
 }
 
 impl BatchOptions {
@@ -42,6 +234,9 @@ impl BatchOptions {
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            deadline: None,
+            max_failures: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -51,171 +246,235 @@ impl BatchOptions {
     }
 
     /// Reads the worker count from the `BINDEX_THREADS` environment
-    /// variable, falling back to the machine's available parallelism.
+    /// variable, falling back to the machine's available parallelism —
+    /// with a warning to stderr when the variable is set to something
+    /// unusable, rather than silently ignoring it.
     pub fn from_env() -> Self {
-        let threads = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-            });
+        let fallback =
+            || std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let threads = match std::env::var(THREADS_ENV) {
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!(
+                        "warning: ignoring {THREADS_ENV}={raw:?} (expected a positive \
+                         integer); using available parallelism"
+                    );
+                    fallback()
+                }
+            },
+            Err(_) => fallback(),
+        };
         Self::with_threads(threads)
+    }
+
+    /// Sets a wall-clock deadline; queries claimed after it expires come
+    /// back [`QueryOutcome::TimedOut`].
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Stops starting new queries once `max` have failed; the remainder
+    /// come back [`QueryOutcome::Skipped`]. Unlimited by default.
+    pub fn with_max_failures(mut self, max: usize) -> Self {
+        self.max_failures = Some(max);
+        self
+    }
+
+    /// Sets the degraded-mode [`RecoveryPolicy`] applied to every query's
+    /// [`ExecContext`] (storage-backed selection workloads only).
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
     }
 
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.threads.max(1)
+    }
+
+    /// The workload deadline, if any.
+    pub fn deadline(&self) -> Option<Deadline> {
+        self.deadline
+    }
+
+    /// The failure cap, if any.
+    pub fn max_failures(&self) -> Option<usize> {
+        self.max_failures
+    }
+
+    /// The degraded-mode recovery policy.
+    pub fn recovery(&self) -> &RecoveryPolicy {
+        &self.recovery
     }
 }
 
-impl Default for BatchOptions {
-    fn default() -> Self {
-        Self::from_env()
+/// Renders a panic payload for [`Error::WorkerPanic`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
     }
 }
 
-/// Runs `work(i)` for every `i in 0..n` across `threads` workers, keeping
-/// results in input order. Workers claim indices from a shared atomic
-/// counter, so long queries don't stall the queue behind them. The first
-/// error wins; remaining workers stop claiming new work.
-fn run_indexed<T, F>(n: usize, threads: usize, work: F) -> Result<Vec<T>>
+/// The resilient workload driver behind [`execute_workload`] and
+/// [`evaluate_selection_workload`]. Runs `step(state, i)` for every
+/// `i in 0..n` across the configured workers, keeping outcomes in input
+/// order. Workers claim indices from a shared atomic counter, so long
+/// queries don't stall the queue behind them.
+///
+/// Each worker owns one `init()`-built state (a table handle, a bitmap
+/// source). Every step runs under [`catch_unwind`]: a panic becomes that
+/// query's [`QueryOutcome::Failed`]\([`Error::WorkerPanic`]\) and the
+/// worker rebuilds its state — which the panic may have left inconsistent
+/// — before claiming the next query. `step` returns the answer plus a
+/// flag marking it degraded. Deadline and failure-cap checks happen
+/// between queries, never mid-query.
+fn run_workload<St, T, I, W>(
+    n: usize,
+    options: &BatchOptions,
+    init: I,
+    step: W,
+) -> WorkloadReport<T>
 where
     T: Send,
-    F: Fn(usize) -> Result<T> + Sync,
+    I: Fn() -> St + Sync,
+    W: Fn(&mut St, usize) -> Result<(T, bool)> + Sync,
 {
-    if threads <= 1 || n <= 1 {
-        return (0..n).map(&work).collect();
-    }
+    let threads = options.threads().min(n.max(1));
     let next = AtomicUsize::new(0);
-    let failed = AtomicUsize::new(0);
-    let worker = |out: &mut Vec<(usize, T)>| -> Result<()> {
+    let failures = AtomicUsize::new(0);
+    let worker = |out: &mut Vec<(usize, QueryOutcome<T>)>| {
+        let mut state = init();
         loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= n || failed.load(Ordering::Relaxed) != 0 {
-                return Ok(());
+            if i >= n {
+                return;
             }
-            match work(i) {
-                Ok(v) => out.push((i, v)),
-                Err(e) => {
-                    failed.store(1, Ordering::Relaxed);
-                    return Err(e);
+            if options
+                .max_failures()
+                .is_some_and(|cap| failures.load(Ordering::Relaxed) >= cap)
+            {
+                out.push((i, QueryOutcome::Skipped));
+                continue;
+            }
+            if options.deadline().is_some_and(|d| d.expired()) {
+                out.push((i, QueryOutcome::TimedOut));
+                continue;
+            }
+            // Unwind safety: on panic the worker state is discarded and
+            // rebuilt from `init`, so no broken invariant is observed.
+            let outcome = match catch_unwind(AssertUnwindSafe(|| step(&mut state, i))) {
+                Ok(Ok((v, false))) => QueryOutcome::Ok(v),
+                Ok(Ok((v, true))) => QueryOutcome::Degraded(v),
+                Ok(Err(e)) => {
+                    failures.fetch_add(1, Ordering::Relaxed);
+                    QueryOutcome::Failed(e)
                 }
-            }
+                Err(payload) => {
+                    failures.fetch_add(1, Ordering::Relaxed);
+                    state = init();
+                    QueryOutcome::Failed(Error::WorkerPanic(panic_message(payload.as_ref())))
+                }
+            };
+            out.push((i, outcome));
         }
     };
-    let mut chunks: Vec<Result<Vec<(usize, T)>>> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads.min(n))
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut out = Vec::new();
-                    worker(&mut out).map(|()| out)
+
+    let mut collected: Vec<(usize, QueryOutcome<T>)> = Vec::new();
+    if threads <= 1 {
+        worker(&mut collected);
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        worker(&mut out);
+                        out
+                    })
                 })
-            })
-            .collect();
-        for h in handles {
-            chunks.push(
-                h.join()
-                    .unwrap_or_else(|_| Err(Error::Infeasible("batch worker panicked".into()))),
-            );
-        }
-    });
-    let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
-    for chunk in chunks {
-        for (i, v) in chunk? {
-            slots[i] = Some(v);
-        }
+                .collect();
+            for h in handles {
+                // A worker can only die outside `catch_unwind` (its state
+                // factory panicked). Its claimed-but-unreported queries
+                // surface below as WorkerPanic outcomes.
+                if let Ok(chunk) = h.join() {
+                    collected.extend(chunk);
+                }
+            }
+        });
     }
-    slots
+
+    let mut slots: Vec<Option<QueryOutcome<T>>> = std::iter::repeat_with(|| None).take(n).collect();
+    for (i, o) in collected {
+        slots[i] = Some(o);
+    }
+    let outcomes: Vec<QueryOutcome<T>> = slots
         .into_iter()
-        .map(|s| s.ok_or_else(|| Error::Infeasible("batch worker dropped a query".into())))
-        .collect()
+        .map(|s| {
+            s.unwrap_or_else(|| {
+                QueryOutcome::Failed(Error::WorkerPanic(
+                    "worker thread died before reporting its results".into(),
+                ))
+            })
+        })
+        .collect();
+    let health = BatchHealth::tally(&outcomes);
+    WorkloadReport { outcomes, health }
 }
 
 /// Executes a workload of conjunctive queries against `table`, choosing
 /// the cheapest plan per query and fanning the queries out across the
-/// configured worker threads. Results come back in workload order; the
-/// first failing query aborts the batch.
+/// configured worker threads. Outcomes come back in workload order; a
+/// failing (or panicking) query is recorded in its own slot and never
+/// aborts the rest of the workload.
 pub fn execute_workload(
     table: &Table,
     queries: &[ConjunctiveQuery],
-    options: BatchOptions,
-) -> Result<Vec<(BitVec, ExecutionStats)>> {
-    run_indexed(queries.len(), options.threads(), |i| {
-        let q = &queries[i];
-        let best = plan::choose(table, q)?;
-        plan::execute(table, q, &best.plan)
-    })
+    options: &BatchOptions,
+) -> WorkloadReport<(BitVec, ExecutionStats)> {
+    run_workload(
+        queries.len(),
+        options,
+        || (),
+        |_, i| {
+            let q = &queries[i];
+            let best = plan::choose(table, q)?;
+            let (found, stats) = plan::execute(table, q, &best.plan)?;
+            let degraded = stats.degraded_fetches > 0;
+            Ok(((found, stats), degraded))
+        },
+    )
 }
-
-/// A per-query evaluation result: the foundset and its cost statistics.
-type Evaluated = (BitVec, EvalStats);
 
 /// Evaluates a workload of single-attribute selection queries, one
 /// [`BitmapSource`] per worker from `make_source` (e.g. a closure opening
 /// a source backed by the storage crate's `SharedIndexReader`). Returns
-/// per-query foundsets and [`EvalStats`] in workload order.
+/// per-query outcomes holding foundsets and [`EvalStats`], in workload
+/// order. With a [`RecoveryPolicy`] in `options`, queries that had to
+/// reconstruct an unreadable bitmap come back
+/// [`QueryOutcome::Degraded`] — still bit-exact.
 pub fn evaluate_selection_workload<S, F>(
     make_source: F,
     queries: &[SelectionQuery],
     algorithm: Algorithm,
-    options: BatchOptions,
-) -> Result<Vec<(BitVec, EvalStats)>>
+    options: &BatchOptions,
+) -> WorkloadReport<(BitVec, EvalStats)>
 where
     S: BitmapSource,
     F: Fn() -> S + Sync,
 {
-    let threads = options.threads().min(queries.len().max(1));
-    if threads <= 1 {
-        let mut source = make_source();
-        let mut ctx = ExecContext::new(&mut source);
-        return queries
-            .iter()
-            .map(|&q| {
-                let found = evaluate_in(&mut ctx, q, algorithm)?;
-                Ok((found, ctx.take_stats()))
-            })
-            .collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut chunks: Vec<Result<Vec<(usize, Evaluated)>>> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut source = make_source();
-                    let mut ctx = ExecContext::new(&mut source);
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= queries.len() {
-                            return Ok(out);
-                        }
-                        let found = evaluate_in(&mut ctx, queries[i], algorithm)?;
-                        out.push((i, (found, ctx.take_stats())));
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            chunks.push(
-                h.join()
-                    .unwrap_or_else(|_| Err(Error::Infeasible("batch worker panicked".into()))),
-            );
-        }
-    });
-    let mut slots: Vec<Option<Evaluated>> = std::iter::repeat_with(|| None)
-        .take(queries.len())
-        .collect();
-    for chunk in chunks {
-        for (i, v) in chunk? {
-            slots[i] = Some(v);
-        }
-    }
-    slots
-        .into_iter()
-        .map(|s| s.ok_or_else(|| Error::Infeasible("batch worker dropped a query".into())))
-        .collect()
+    run_workload(queries.len(), options, &make_source, |source, i| {
+        let mut ctx = ExecContext::new(source).with_recovery(options.recovery().clone());
+        let found = evaluate_in(&mut ctx, queries[i], algorithm)?;
+        let stats = ctx.take_stats();
+        Ok(((found, stats), stats.degraded_fetches > 0))
+    })
 }
 
 #[cfg(test)]
@@ -223,6 +482,7 @@ mod tests {
     use super::*;
     use crate::table::IndexChoice;
     use bindex_core::eval::naive;
+    use bindex_core::IndexSpec;
     use bindex_relation::gen;
     use bindex_relation::query::Op;
 
@@ -256,12 +516,13 @@ mod tests {
     fn parallel_matches_single_thread() {
         let t = table();
         let qs = workload();
-        let single = execute_workload(&t, &qs, BatchOptions::single_threaded()).unwrap();
-        let multi = execute_workload(&t, &qs, BatchOptions::with_threads(4)).unwrap();
-        assert_eq!(single.len(), multi.len());
-        for (i, ((bs, ss), (bm, sm))) in single.iter().zip(&multi).enumerate() {
-            assert_eq!(bs, bm, "query {i} foundset");
-            assert_eq!(ss, sm, "query {i} stats");
+        let single = execute_workload(&t, &qs, &BatchOptions::single_threaded());
+        let multi = execute_workload(&t, &qs, &BatchOptions::with_threads(4));
+        assert!(single.health.all_ok(), "{:?}", single.health);
+        assert!(multi.health.all_ok(), "{:?}", multi.health);
+        assert_eq!(single.outcomes.len(), multi.outcomes.len());
+        for (i, (s, m)) in single.outcomes.iter().zip(&multi.outcomes).enumerate() {
+            assert_eq!(s, m, "query {i}");
         }
     }
 
@@ -270,7 +531,7 @@ mod tests {
         let col = gen::uniform(1500, 40, 7);
         let idx = bindex_core::BitmapIndex::build(
             &col,
-            bindex_core::IndexSpec::new(
+            IndexSpec::new(
                 bindex_core::Base::from_msb(&[5, 8]).unwrap(),
                 bindex_core::Encoding::Range,
             ),
@@ -283,8 +544,9 @@ mod tests {
             || idx.source(),
             &queries,
             Algorithm::Auto,
-            BatchOptions::with_threads(4),
+            &BatchOptions::with_threads(4),
         )
+        .into_results()
         .unwrap();
         assert_eq!(results.len(), queries.len());
         for (q, (found, stats)) in queries.iter().zip(&results) {
@@ -296,8 +558,9 @@ mod tests {
             || idx.source(),
             &queries,
             Algorithm::Auto,
-            BatchOptions::single_threaded(),
+            &BatchOptions::single_threaded(),
         )
+        .into_results()
         .unwrap();
         assert_eq!(results, sequential);
     }
@@ -310,20 +573,121 @@ mod tests {
     }
 
     #[test]
-    fn failing_query_aborts_batch() {
+    fn failing_query_is_isolated() {
         let t = table();
         let qs = vec![
             ConjunctiveQuery::new().and("qty", SelectionQuery::new(Op::Le, 10)),
             ConjunctiveQuery::new().and("missing", SelectionQuery::new(Op::Le, 1)),
+            ConjunctiveQuery::new().and("day", SelectionQuery::new(Op::Le, 100)),
         ];
-        assert!(execute_workload(&t, &qs, BatchOptions::with_threads(2)).is_err());
-        assert!(execute_workload(&t, &qs, BatchOptions::single_threaded()).is_err());
+        for options in [
+            BatchOptions::with_threads(2),
+            BatchOptions::single_threaded(),
+        ] {
+            let report = execute_workload(&t, &qs, &options);
+            assert_eq!(report.health.ok, 2, "{:?}", report.health);
+            assert_eq!(report.health.failed, 1, "{:?}", report.health);
+            assert!(report.outcomes[0].is_ok());
+            assert!(report.outcomes[1].error().is_some());
+            assert!(report.outcomes[2].is_ok());
+            assert!(report.into_results().is_err());
+        }
+    }
+
+    /// A source whose fetches panic: drives the panic-isolation path.
+    struct PanickySource {
+        spec: IndexSpec,
+        n_rows: usize,
+    }
+
+    impl BitmapSource for PanickySource {
+        fn spec(&self) -> &IndexSpec {
+            &self.spec
+        }
+        fn n_rows(&self) -> usize {
+            self.n_rows
+        }
+        fn try_fetch(&mut self, comp: usize, slot: usize) -> bindex_core::error::Result<BitVec> {
+            panic!("injected panic fetching ({comp}, {slot})");
+        }
+        fn try_fetch_nn(&mut self) -> bindex_core::error::Result<Option<BitVec>> {
+            Ok(None)
+        }
+    }
+
+    #[test]
+    fn panicking_queries_become_worker_panic_outcomes() {
+        let spec = IndexSpec::new(
+            bindex_core::Base::from_msb(&[4, 5]).unwrap(),
+            bindex_core::Encoding::Range,
+        );
+        let queries: Vec<SelectionQuery> = (1..9).map(|v| SelectionQuery::new(Op::Eq, v)).collect();
+        for threads in [1, 3] {
+            let report = evaluate_selection_workload(
+                || PanickySource {
+                    spec: spec.clone(),
+                    n_rows: 100,
+                },
+                &queries,
+                Algorithm::Auto,
+                &BatchOptions::with_threads(threads),
+            );
+            assert_eq!(report.health.failed, queries.len(), "{:?}", report.health);
+            assert_eq!(
+                report.health.worker_panics,
+                queries.len(),
+                "{:?}",
+                report.health
+            );
+            for o in &report.outcomes {
+                match o.error() {
+                    Some(Error::WorkerPanic(msg)) => {
+                        assert!(msg.contains("injected panic"), "{msg}")
+                    }
+                    other => panic!("expected WorkerPanic, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_times_out_unstarted_queries() {
+        let t = table();
+        let qs = workload();
+        let options = BatchOptions::with_threads(2).with_deadline(Deadline::after(Duration::ZERO));
+        let report = execute_workload(&t, &qs, &options);
+        assert_eq!(report.health.timed_out, qs.len(), "{:?}", report.health);
+        assert!(report.into_results().is_err());
+    }
+
+    #[test]
+    fn failure_cap_skips_the_tail() {
+        let t = table();
+        let qs: Vec<ConjunctiveQuery> = (0..12)
+            .map(|_| ConjunctiveQuery::new().and("missing", SelectionQuery::new(Op::Le, 1)))
+            .collect();
+        let options = BatchOptions::single_threaded().with_max_failures(3);
+        let report = execute_workload(&t, &qs, &options);
+        assert_eq!(report.health.failed, 3, "{:?}", report.health);
+        assert_eq!(report.health.skipped, 9, "{:?}", report.health);
+    }
+
+    #[test]
+    fn deadline_accessors_behave() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.remaining() > Duration::from_secs(3000));
+        let past = Deadline::at(Instant::now());
+        assert!(past.expired());
+        assert_eq!(past.remaining(), Duration::ZERO);
     }
 
     #[test]
     fn empty_workload_is_fine() {
         let t = table();
-        let out = execute_workload(&t, &[], BatchOptions::with_threads(4)).unwrap();
-        assert!(out.is_empty());
+        let out = execute_workload(&t, &[], &BatchOptions::with_threads(4));
+        assert!(out.outcomes.is_empty());
+        assert!(out.health.all_ok());
+        assert_eq!(out.health.total(), 0);
     }
 }

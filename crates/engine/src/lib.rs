@@ -20,6 +20,12 @@
 //! [`plan::estimate`] prices each plan in bytes read with the paper's
 //! cost model, [`plan::choose`] picks the cheapest, and
 //! [`plan::execute`] runs any of them and reports what it actually read.
+//!
+//! The [`batch`] module fans workloads of queries across worker threads
+//! with per-query fault isolation: failures, panics, deadline expiry, and
+//! degraded (reconstructed-bitmap) evaluations each surface as that
+//! query's own [`QueryOutcome`] in a [`WorkloadReport`], never as a
+//! workload-wide abort.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,6 +34,9 @@ pub mod batch;
 pub mod plan;
 mod table;
 
-pub use batch::{execute_workload, BatchOptions};
+pub use batch::{
+    evaluate_selection_workload, execute_workload, BatchHealth, BatchOptions, Deadline,
+    QueryOutcome, WorkloadReport,
+};
 pub use plan::{ConjunctiveQuery, ExecutionStats, Plan, PlanCost};
 pub use table::{IndexChoice, Table, TableBuilder};

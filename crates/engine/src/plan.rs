@@ -115,6 +115,9 @@ pub struct ExecutionStats {
     pub bitmap_scans: usize,
     /// Rows fetched for residual filtering (or scanned, for P1).
     pub rows_fetched: usize,
+    /// Bitmap fetches answered through the degraded path (reconstruction
+    /// of an unreadable stored bitmap). Zero on a healthy store.
+    pub degraded_fetches: usize,
 }
 
 fn bitmap_bytes(n_rows: usize) -> u64 {
@@ -226,9 +229,10 @@ pub fn execute(
             let mut src = idx.source();
             let mut ctx = ExecContext::new(&mut src);
             let base_found = evaluate_in(&mut ctx, *q, Algorithm::Auto)?;
-            let scans = ctx.take_stats().scans;
-            stats.bitmap_scans += scans;
-            stats.bytes_read += scans as u64 * bitmap_bytes(n_rows);
+            let s = ctx.take_stats();
+            stats.bitmap_scans += s.scans;
+            stats.bytes_read += s.scans as u64 * bitmap_bytes(n_rows);
+            stats.degraded_fetches += s.degraded_fetches;
             if query.predicates().len() > 1 {
                 let rest = residual_query(query, std::slice::from_ref(attr));
                 let fetched = base_found.count_ones();
@@ -248,9 +252,10 @@ pub fn execute(
                         let mut src = idx.source();
                         let mut ctx = ExecContext::new(&mut src);
                         foundsets.push(evaluate_in(&mut ctx, *q, Algorithm::Auto)?);
-                        let scans = ctx.take_stats().scans;
-                        stats.bitmap_scans += scans;
-                        stats.bytes_read += scans as u64 * bitmap_bytes(n_rows);
+                        let s = ctx.take_stats();
+                        stats.bitmap_scans += s.scans;
+                        stats.bytes_read += s.scans as u64 * bitmap_bytes(n_rows);
+                        stats.degraded_fetches += s.degraded_fetches;
                     }
                     None => residual_attrs.push(attr.clone()),
                 }

@@ -143,6 +143,27 @@ impl ScrubReport {
     }
 }
 
+/// Outcome of a [`scrub_and_repair`](crate::StoredIndex::scrub_and_repair)
+/// pass: the integrity scan that drove it, plus what was rewritten.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// The scan that found the damage.
+    pub scrub: ScrubReport,
+    /// Files rewritten with reconstructed content, in scan order.
+    pub repaired: Vec<String>,
+    /// Corrupt files left in place — no content provider could supply
+    /// their bitmaps.
+    pub unrepaired: Vec<ScrubFailure>,
+}
+
+impl RepairReport {
+    /// `true` when every corrupt file was rewritten (vacuously true for a
+    /// clean store).
+    pub fn fully_repaired(&self) -> bool {
+        self.unrepaired.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,7 +10,7 @@
 use bindex_bitvec::BitVec;
 use bindex_compress::CodecKind;
 
-use crate::error::{RetryPolicy, ScrubFailure, ScrubReport, StorageError};
+use crate::error::{RepairReport, RetryPolicy, ScrubFailure, ScrubReport, StorageError};
 use crate::format;
 use crate::store::{ByteStore, IoStats};
 
@@ -50,6 +50,12 @@ pub struct StoredIndexMeta {
     pub scheme: StorageScheme,
     /// Per-file compression codec.
     pub codec: CodecKind,
+    /// Repair journal: every file ever rewritten by
+    /// [`StoredIndex::scrub_and_repair`], oldest first, persisted as
+    /// `repaired=` lines in the manifest. A non-empty journal tells an
+    /// operator the store has lost bytes before, even though reads are
+    /// clean now.
+    pub repairs: Vec<String>,
 }
 
 impl StoredIndexMeta {
@@ -69,7 +75,7 @@ impl StoredIndexMeta {
             .iter()
             .map(u32::to_string)
             .collect();
-        format!(
+        let mut text = format!(
             "version={}\nn_rows={}\nscheme={}\ncodec={}\ncomponents={}\n",
             format::FORMAT_VERSION,
             self.n_rows,
@@ -80,7 +86,14 @@ impl StoredIndexMeta {
             },
             self.codec.name(),
             comps.join(",")
-        )
+        );
+        // The repair journal: one repeatable line per rewritten file.
+        for file in &self.repairs {
+            text.push_str("repaired=");
+            text.push_str(file);
+            text.push('\n');
+        }
+        text
     }
 
     /// Parses a manifest produced by [`StoredIndexMeta::to_manifest`] (or
@@ -93,6 +106,7 @@ impl StoredIndexMeta {
         let mut codec = None;
         let mut comps: Option<Vec<u32>> = None;
         let mut version = None;
+        let mut repairs = Vec::new();
         for line in text.lines().filter(|l| !l.trim().is_empty()) {
             let (k, v) = line
                 .split_once('=')
@@ -124,6 +138,7 @@ impl StoredIndexMeta {
                             .collect::<Result<Vec<u32>, StorageError>>()?,
                     )
                 }
+                "repaired" => repairs.push(v.to_string()),
                 other => return Err(bad(&format!("unknown key {other}"))),
             }
         }
@@ -138,6 +153,7 @@ impl StoredIndexMeta {
                 bitmaps_per_component: comps.ok_or_else(|| bad("missing components"))?,
                 scheme: scheme.ok_or_else(|| bad("missing scheme"))?,
                 codec: codec.ok_or_else(|| bad("missing codec"))?,
+                repairs,
             },
             version,
         ))
@@ -180,6 +196,7 @@ impl<S: ByteStore> StoredIndex<S> {
             bitmaps_per_component: components.iter().map(|c| c.len() as u32).collect(),
             scheme,
             codec,
+            repairs: Vec::new(),
         };
         match scheme {
             StorageScheme::BitmapLevel => {
@@ -410,6 +427,128 @@ impl<S: ByteStore> StoredIndex<S> {
             }
         }
         Ok(report)
+    }
+
+    /// The `(component, slot)` addresses whose bits live in file `name` —
+    /// one bitmap under BS, a whole component under CS, every bitmap under
+    /// IS. Empty for the manifest and for names outside the layout.
+    pub fn file_slots(&self, name: &str) -> Vec<(usize, usize)> {
+        let shape = &self.meta.bitmaps_per_component;
+        match self.meta.scheme {
+            StorageScheme::BitmapLevel => {
+                for (ci, &n_i) in shape.iter().enumerate() {
+                    for slot in 0..n_i as usize {
+                        if bitmap_file(ci + 1, slot) == name {
+                            return vec![(ci + 1, slot)];
+                        }
+                    }
+                }
+                Vec::new()
+            }
+            StorageScheme::ComponentLevel => {
+                for (ci, &n_i) in shape.iter().enumerate() {
+                    if component_file(ci + 1) == name {
+                        return (0..n_i as usize).map(|slot| (ci + 1, slot)).collect();
+                    }
+                }
+                Vec::new()
+            }
+            StorageScheme::IndexLevel => {
+                if name != INDEX_FILE {
+                    return Vec::new();
+                }
+                shape
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(ci, &n_i)| (0..n_i as usize).map(move |slot| (ci + 1, slot)))
+                    .collect()
+            }
+        }
+    }
+
+    /// Extends [`StoredIndex::scrub`] into online repair: every corrupt
+    /// file whose bitmaps `content` can supply (`content(comp, slot)` must
+    /// return a bitmap of the store's row count) is rewritten — compressed,
+    /// framed, and through the store's write path, which on
+    /// [`DiskStore`](crate::DiskStore) is the atomic temp-file+rename —
+    /// and journaled in the manifest's `repaired=` lines. A corrupt
+    /// manifest is rewritten from the in-memory metadata. Files `content`
+    /// cannot cover are reported, not failed on.
+    pub fn scrub_and_repair<F>(&mut self, mut content: F) -> Result<RepairReport, StorageError>
+    where
+        F: FnMut(usize, usize) -> Option<BitVec>,
+    {
+        let scrub = self.scrub()?;
+        let mut report = RepairReport {
+            scrub,
+            ..RepairReport::default()
+        };
+        let mut manifest_dirty = false;
+        for failure in report.scrub.failures.clone() {
+            if failure.file == MANIFEST_FILE {
+                manifest_dirty = true;
+                continue;
+            }
+            let slots = self.file_slots(&failure.file);
+            if slots.is_empty() {
+                report.unrepaired.push(failure);
+                continue;
+            }
+            let mut bitmaps = Vec::with_capacity(slots.len());
+            for &(comp, slot) in &slots {
+                match content(comp, slot) {
+                    Some(bm) if bm.len() == self.meta.n_rows => bitmaps.push(bm),
+                    _ => break,
+                }
+            }
+            if bitmaps.len() != slots.len() {
+                report.unrepaired.push(failure);
+                continue;
+            }
+            let raw = match self.meta.scheme {
+                StorageScheme::BitmapLevel => bitmaps[0].to_bytes(),
+                StorageScheme::ComponentLevel | StorageScheme::IndexLevel => {
+                    row_major(&bitmaps, self.meta.n_rows)
+                }
+            };
+            let payload = self.meta.codec.compress(&raw);
+            let data = if self.framed {
+                format::frame(&payload)
+            } else {
+                payload
+            };
+            self.store.write_file(&failure.file, &data)?;
+            report.repaired.push(failure.file);
+        }
+        if manifest_dirty {
+            report.repaired.push(MANIFEST_FILE.to_string());
+        }
+        if !report.repaired.is_empty() {
+            self.meta.repairs.extend(report.repaired.iter().cloned());
+            let text = self.manifest_text();
+            let data = if self.framed {
+                format::frame(text.as_bytes())
+            } else {
+                text.into_bytes()
+            };
+            self.store.write_file(MANIFEST_FILE, &data)?;
+        }
+        Ok(report)
+    }
+
+    /// The manifest serialization matching this store's format version
+    /// (repairs never upgrade a version-1 store to the framed format).
+    fn manifest_text(&self) -> String {
+        let text = self.meta.to_manifest();
+        if self.framed {
+            text
+        } else {
+            text.replacen(
+                &format!("version={}", format::FORMAT_VERSION),
+                "version=1",
+                1,
+            )
+        }
     }
 
     fn read_and_decompress(
@@ -678,6 +817,7 @@ mod tests {
             bitmaps_per_component: vec![7, 1, 4],
             scheme: StorageScheme::BitmapLevel,
             codec: CodecKind::Lzss,
+            repairs: vec!["c1_b0.bmp".into(), "c3_b2.bmp".into()],
         };
         let text = meta.to_manifest();
         let (parsed, version) = StoredIndexMeta::from_manifest(&text).unwrap();
@@ -820,6 +960,107 @@ mod tests {
             reopened.read_bitmap(1, 0),
             Err(StorageError::Corrupt { .. })
         ));
+    }
+
+    #[test]
+    fn file_slots_maps_every_scheme() {
+        let comps = sample_components();
+        let bs = StoredIndex::create(
+            MemStore::new(),
+            &comps,
+            StorageScheme::BitmapLevel,
+            CodecKind::None,
+        )
+        .unwrap();
+        assert_eq!(bs.file_slots("c2_b1.bmp"), vec![(2, 1)]);
+        assert_eq!(bs.file_slots(MANIFEST_FILE), vec![]);
+        assert_eq!(bs.file_slots("stray.tmp"), vec![]);
+        let cs = StoredIndex::create(
+            MemStore::new(),
+            &comps,
+            StorageScheme::ComponentLevel,
+            CodecKind::None,
+        )
+        .unwrap();
+        assert_eq!(cs.file_slots("c1.cmp"), vec![(1, 0), (1, 1), (1, 2)]);
+        let is = StoredIndex::create(
+            MemStore::new(),
+            &comps,
+            StorageScheme::IndexLevel,
+            CodecKind::None,
+        )
+        .unwrap();
+        assert_eq!(
+            is.file_slots(INDEX_FILE),
+            vec![(1, 0), (1, 1), (1, 2), (2, 0), (2, 1)]
+        );
+    }
+
+    #[test]
+    fn scrub_and_repair_restores_corrupt_files_and_journals() {
+        for scheme in [
+            StorageScheme::BitmapLevel,
+            StorageScheme::ComponentLevel,
+            StorageScheme::IndexLevel,
+        ] {
+            let comps = sample_components();
+            let stored =
+                StoredIndex::create(MemStore::new(), &comps, scheme, CodecKind::Deflate).unwrap();
+            let mut store = stored.into_store();
+            // Corrupt one payload byte of the first data file.
+            let name = store
+                .file_names()
+                .unwrap()
+                .into_iter()
+                .find(|n| n != MANIFEST_FILE)
+                .unwrap();
+            let mut data = store.read_file(&name).unwrap();
+            let last = data.len() - 1;
+            data[last] ^= 0x10;
+            store.write_file(&name, &data).unwrap();
+
+            let mut stored = StoredIndex::open(store).unwrap();
+            let report = stored
+                .scrub_and_repair(|comp, slot| Some(comps[comp - 1][slot].clone()))
+                .unwrap();
+            assert_eq!(report.repaired, vec![name.clone()], "{scheme:?}");
+            assert!(report.fully_repaired(), "{scheme:?}");
+            assert!(stored.scrub().unwrap().is_clean(), "{scheme:?}");
+            // A fresh open reads every bitmap clean and sees the journal.
+            let mut reopened = StoredIndex::open(stored.into_store()).unwrap();
+            assert_eq!(reopened.meta().repairs, vec![name], "{scheme:?}");
+            for (ci, comp) in comps.iter().enumerate() {
+                for (j, bm) in comp.iter().enumerate() {
+                    assert_eq!(&reopened.read_bitmap(ci + 1, j).unwrap(), bm, "{scheme:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unrepairable_files_are_reported_not_failed() {
+        let comps = sample_components();
+        let stored = StoredIndex::create(
+            MemStore::new(),
+            &comps,
+            StorageScheme::BitmapLevel,
+            CodecKind::None,
+        )
+        .unwrap();
+        let mut store = stored.into_store();
+        let mut data = store.read_file("c1_b0.bmp").unwrap();
+        data[0] ^= 0xFF;
+        store.write_file("c1_b0.bmp", &data).unwrap();
+        let mut stored = StoredIndex::open(store).unwrap();
+        // A provider with nothing to offer leaves the file corrupt.
+        let report = stored.scrub_and_repair(|_, _| None).unwrap();
+        assert!(report.repaired.is_empty());
+        assert_eq!(report.unrepaired.len(), 1);
+        assert_eq!(report.unrepaired[0].file, "c1_b0.bmp");
+        assert!(!report.fully_repaired());
+        assert!(!stored.scrub().unwrap().is_clean());
+        // No repair happened, so nothing was journaled.
+        assert!(stored.meta().repairs.is_empty());
     }
 
     #[test]

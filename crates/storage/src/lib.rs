@@ -41,7 +41,7 @@ pub mod shared;
 mod store;
 
 pub use buffer_pool::{BufferPool, PoolStats, ShardedPool};
-pub use error::{RetryPolicy, ScrubFailure, ScrubReport, StorageError};
+pub use error::{RepairReport, RetryPolicy, ScrubFailure, ScrubReport, StorageError};
 pub use fault::{FaultCounters, FaultPlan, FaultStore};
 pub use layout::{StorageScheme, StoredIndex, StoredIndexMeta};
 pub use shared::SharedIndexReader;

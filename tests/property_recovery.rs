@@ -1,0 +1,225 @@
+//! Property tests for the information-redundancy identities behind
+//! degraded-mode evaluation and online repair:
+//!
+//! * an equality slot equals `NOT(OR(siblings))` (masked by `B_nn` when
+//!   the column has nulls);
+//! * a range slot `B^j` equals `OR(E^0 ..= E^j)` over the same base;
+//! * [`rebuild_slot`] reproduces every stored bitmap of every encoding
+//!   from the base relation alone.
+//!
+//! Checked over seeded random bases, columns, and row counts — including
+//! word-boundary counts (63/64/65/...), where bit-vector tail handling is
+//! most likely to go wrong. Failures print the case seed.
+
+use bindex::bitvec::kernels;
+use bindex::core::rebuild_slot;
+use bindex::relation::{Column, Rng};
+use bindex::{Base, BitVec, BitmapIndex, Encoding, IndexSpec};
+
+const CASES: u64 = 64;
+
+/// Word-boundary row counts interleaved with random ones.
+const BOUNDARY_ROWS: &[usize] = &[63, 64, 65, 127, 128, 129, 192];
+
+fn rand_rows(rng: &mut Rng, seed: u64) -> usize {
+    if seed.is_multiple_of(3) {
+        BOUNDARY_ROWS[rng.below_usize(BOUNDARY_ROWS.len())]
+    } else {
+        rng.range_usize(1, 400)
+    }
+}
+
+/// A well-defined base: 1..=4 components with digits in `2..13` and
+/// product at most 4096.
+fn rand_base(rng: &mut Rng) -> Base {
+    loop {
+        let k = rng.range_usize(1, 5);
+        let digits: Vec<u32> = (0..k).map(|_| 2 + rng.below_u32(11)).collect();
+        if digits.iter().map(|&b| u64::from(b)).product::<u64>() <= 4096 {
+            return Base::new(digits).unwrap();
+        }
+    }
+}
+
+/// A random column whose cardinality the base covers.
+fn rand_column(rng: &mut Rng, base: &Base, rows: usize) -> Column {
+    let card = base.product().min(4096) as u32;
+    Column::from_values((0..rows).map(|_| rng.below_u32(card)).collect())
+}
+
+fn rand_null_mask(rng: &mut Rng, rows: usize) -> BitVec {
+    BitVec::from_bools(&(0..rows).map(|_| rng.next_bool()).collect::<Vec<_>>())
+}
+
+#[test]
+fn equality_slot_is_not_or_of_siblings() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xEC01 + seed);
+        let base = rand_base(&mut rng);
+        let rows = rand_rows(&mut rng, seed);
+        let col = rand_column(&mut rng, &base, rows);
+        let spec = IndexSpec::new(base.clone(), Encoding::Equality);
+        let idx = BitmapIndex::build(&col, spec).unwrap();
+        for (ci, comp_bitmaps) in idx.components().iter().enumerate() {
+            let b = base.component(ci + 1) as usize;
+            if b <= 2 {
+                continue; // base-2 equality stores a single slot: no siblings
+            }
+            for slot in 0..b {
+                let siblings: Vec<&BitVec> = comp_bitmaps
+                    .iter()
+                    .enumerate()
+                    .filter(|&(s, _)| s != slot)
+                    .map(|(_, bm)| bm)
+                    .collect();
+                let mut rebuilt = kernels::or_all(&siblings);
+                rebuilt.not_assign();
+                assert_eq!(
+                    rebuilt,
+                    comp_bitmaps[slot],
+                    "seed {seed}: comp {} slot {slot} of base {}",
+                    ci + 1,
+                    base.display()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn equality_sibling_identity_respects_nulls() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xEC02 + seed);
+        let base = rand_base(&mut rng);
+        let rows = rand_rows(&mut rng, seed);
+        let col = rand_column(&mut rng, &base, rows);
+        let null_mask = rand_null_mask(&mut rng, rows);
+        let spec = IndexSpec::new(base.clone(), Encoding::Equality);
+        let idx = BitmapIndex::build_with_nulls(&col, &null_mask, spec).unwrap();
+        let nn = null_mask.complement();
+        for (ci, comp_bitmaps) in idx.components().iter().enumerate() {
+            let b = base.component(ci + 1) as usize;
+            if b <= 2 {
+                continue;
+            }
+            for slot in 0..b {
+                let siblings: Vec<&BitVec> = comp_bitmaps
+                    .iter()
+                    .enumerate()
+                    .filter(|&(s, _)| s != slot)
+                    .map(|(_, bm)| bm)
+                    .collect();
+                let mut rebuilt = kernels::or_all(&siblings);
+                rebuilt.not_assign();
+                // With nulls the complement overshoots onto null rows;
+                // the B_nn mask restores the stored bitmap exactly.
+                rebuilt.and_assign(&nn);
+                assert_eq!(
+                    rebuilt,
+                    comp_bitmaps[slot],
+                    "seed {seed}: comp {} slot {slot}",
+                    ci + 1
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn range_slot_is_prefix_or_of_equality_slots() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xEC03 + seed);
+        let base = rand_base(&mut rng);
+        let rows = rand_rows(&mut rng, seed);
+        let col = rand_column(&mut rng, &base, rows);
+        let range =
+            BitmapIndex::build(&col, IndexSpec::new(base.clone(), Encoding::Range)).unwrap();
+        let equality =
+            BitmapIndex::build(&col, IndexSpec::new(base.clone(), Encoding::Equality)).unwrap();
+        for ci in 0..base.n_components() {
+            let b = base.component(ci + 1) as usize;
+            let eq_bitmaps = &equality.components()[ci];
+            // Materialize E^0..E^{b-1}: base-2 equality stores only E^1.
+            let eq_slots: Vec<BitVec> = if b == 2 {
+                vec![eq_bitmaps[0].complement(), eq_bitmaps[0].clone()]
+            } else {
+                eq_bitmaps.clone()
+            };
+            // Range stores B^0..B^{b-2}; B^j holds rows with digit <= j.
+            for (j, range_slot) in range.components()[ci].iter().enumerate() {
+                let prefix: Vec<&BitVec> = eq_slots[..=j].iter().collect();
+                let rebuilt = kernels::or_all(&prefix);
+                assert_eq!(
+                    &rebuilt,
+                    range_slot,
+                    "seed {seed}: comp {} slot {j} of base {}",
+                    ci + 1,
+                    base.display()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rebuild_slot_reproduces_every_stored_bitmap() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xEC04 + seed);
+        let base = rand_base(&mut rng);
+        let rows = rand_rows(&mut rng, seed);
+        let col = rand_column(&mut rng, &base, rows);
+        for encoding in [Encoding::Equality, Encoding::Range, Encoding::Interval] {
+            let spec = IndexSpec::new(base.clone(), encoding);
+            let idx = BitmapIndex::build(&col, spec.clone()).unwrap();
+            for (ci, comp_bitmaps) in idx.components().iter().enumerate() {
+                for (slot, stored) in comp_bitmaps.iter().enumerate() {
+                    let rebuilt = rebuild_slot(&col, None, &spec, ci + 1, slot).unwrap();
+                    assert_eq!(
+                        &rebuilt,
+                        stored,
+                        "seed {seed}: {encoding:?} comp {} slot {slot}",
+                        ci + 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn rebuild_slot_reproduces_null_masked_bitmaps() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xEC05 + seed);
+        let base = rand_base(&mut rng);
+        let rows = rand_rows(&mut rng, seed);
+        let col = rand_column(&mut rng, &base, rows);
+        let null_mask = rand_null_mask(&mut rng, rows);
+        for encoding in [Encoding::Equality, Encoding::Range] {
+            let spec = IndexSpec::new(base.clone(), encoding);
+            let idx = BitmapIndex::build_with_nulls(&col, &null_mask, spec.clone()).unwrap();
+            for (ci, comp_bitmaps) in idx.components().iter().enumerate() {
+                for (slot, stored) in comp_bitmaps.iter().enumerate() {
+                    let rebuilt =
+                        rebuild_slot(&col, Some(&null_mask), &spec, ci + 1, slot).unwrap();
+                    assert_eq!(
+                        &rebuilt,
+                        stored,
+                        "seed {seed}: {encoding:?} comp {} slot {slot}",
+                        ci + 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn rebuild_slot_rejects_out_of_shape_addresses() {
+    let col = Column::from_values(vec![0, 1, 2, 3]);
+    let spec = IndexSpec::new(Base::single(4).unwrap(), Encoding::Equality);
+    assert!(rebuild_slot(&col, None, &spec, 0, 0).is_err());
+    assert!(rebuild_slot(&col, None, &spec, 2, 0).is_err());
+    assert!(rebuild_slot(&col, None, &spec, 1, 4).is_err());
+    let short_mask = BitVec::zeros(3);
+    assert!(rebuild_slot(&col, Some(&short_mask), &spec, 1, 0).is_err());
+}
