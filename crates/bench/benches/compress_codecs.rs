@@ -1,7 +1,8 @@
 //! Microbench: the compression substrate — RLE and LZSS on bitmap bytes of
 //! different densities, plus WAH compressed-form logical operations.
 
-use bindex::compress::wah::WahBitmap;
+use bindex::bitvec::kernels;
+use bindex::compress::wah::{self, WahBitmap};
 use bindex::compress::{Codec, Deflate, Lzss, Rle};
 use bindex::BitVec;
 use bindex_bench::microbench::{Criterion, Throughput};
@@ -49,6 +50,45 @@ fn bench(c: &mut Criterion) {
         let bits = bitmap(1000);
         b.iter(|| black_box(WahBitmap::from_bitvec(&bits).compressed_bytes()))
     });
+
+    // Compressed-domain 4-way ops vs decompress-then-operate (the
+    // executor's real alternative: a fetched slot arrives compressed, so
+    // the dense kernels pay decompression first). Clustered bitmaps —
+    // 32-bit runs, one in `m` set — as bitmap-index slots over a sorted
+    // column would be; density = 1/m.
+    for (label, m) in [
+        ("d0.001", 1000usize),
+        ("d0.010", 100),
+        ("d0.050", 20),
+        ("d0.200", 5),
+        ("d0.500", 2),
+    ] {
+        let dense_ops: Vec<BitVec> = (0..4)
+            .map(|s| BitVec::from_fn(BITS, move |i| ((i >> 5) + s * 7) % m == 0))
+            .collect();
+        let wahs: Vec<WahBitmap> = dense_ops.iter().map(WahBitmap::from_bitvec).collect();
+        let wrefs: Vec<&WahBitmap> = wahs.iter().collect();
+        g.bench_function(format!("wah_and4_{label}"), |b| {
+            b.iter(|| black_box(wah::count_and(&wrefs)))
+        });
+        g.bench_function(format!("wah_or4_{label}"), |b| {
+            b.iter(|| black_box(wah::count_or(&wrefs)))
+        });
+        g.bench_function(format!("decomp_and4_{label}"), |b| {
+            b.iter(|| {
+                let dense: Vec<BitVec> = wahs.iter().map(WahBitmap::to_bitvec).collect();
+                let refs: Vec<&BitVec> = dense.iter().collect();
+                black_box(kernels::count_and(&refs))
+            })
+        });
+        g.bench_function(format!("decomp_or4_{label}"), |b| {
+            b.iter(|| {
+                let dense: Vec<BitVec> = wahs.iter().map(WahBitmap::to_bitvec).collect();
+                let refs: Vec<&BitVec> = dense.iter().collect();
+                black_box(kernels::count_or(&refs))
+            })
+        });
+    }
     g.finish();
 }
 

@@ -54,8 +54,10 @@ fn workload(n: usize) -> Vec<ConjunctiveQuery> {
 }
 
 /// Queries/sec of one batch configuration (best of `reps` runs, so a cold
-/// first run doesn't understate the steady state).
-fn qps(table: &Table, queries: &[ConjunctiveQuery], threads: usize, reps: usize) -> f64 {
+/// first run doesn't understate the steady state). Returns the effective
+/// worker count alongside — `BatchOptions` clamps the request to the
+/// machine's available parallelism.
+fn qps(table: &Table, queries: &[ConjunctiveQuery], threads: usize, reps: usize) -> (usize, f64) {
     let opts = BatchOptions::with_threads(threads);
     let mut best = f64::MAX;
     for _ in 0..reps {
@@ -65,7 +67,7 @@ fn qps(table: &Table, queries: &[ConjunctiveQuery], threads: usize, reps: usize)
         assert_eq!(out.outcomes.len(), queries.len());
         best = best.min(start.elapsed().as_secs_f64());
     }
-    queries.len() as f64 / best
+    (opts.threads(), queries.len() as f64 / best)
 }
 
 /// Seconds per 16-way union, pairwise vs fused (best of `reps`).
@@ -127,19 +129,29 @@ fn main() {
         thread_counts.push(max_threads);
     }
     let reps = if quick { 2 } else { 3 };
-    let measured: Vec<(usize, f64)> = thread_counts
+    // (requested, effective, qps) — effective can be lower than requested
+    // on machines with fewer cores than the sweep asks for.
+    let measured: Vec<(usize, usize, f64)> = thread_counts
         .iter()
-        .map(|&t| (t, qps(&table, &queries, t, reps)))
+        .map(|&t| {
+            let (effective, q) = qps(&table, &queries, t, reps);
+            (t, effective, q)
+        })
         .collect();
-    let single_qps = measured[0].1;
+    let single_qps = measured[0].2;
 
     let mut rows = Vec::new();
-    for &(t, q) in &measured {
-        rows.push(vec![t.to_string(), f2(q), f2(q / single_qps)]);
+    for &(t, eff, q) in &measured {
+        rows.push(vec![
+            t.to_string(),
+            eff.to_string(),
+            f2(q),
+            f2(q / single_qps),
+        ]);
     }
     print_table(
         "batch throughput (queries/sec)",
-        &["threads", "qps", "speedup"],
+        &["requested", "effective", "qps", "speedup"],
         &rows,
     );
     println!(
@@ -176,18 +188,24 @@ fn main() {
         ],
     );
 
-    let mut csv = Csv::create("ext_batch_throughput", &["threads", "qps", "speedup"]).expect("csv");
-    for &(t, q) in &measured {
-        csv.row(&[&t, &f2(q), &f2(q / single_qps)]).expect("row");
+    let mut csv = Csv::create(
+        "ext_batch_throughput",
+        &["requested_threads", "effective_threads", "qps", "speedup"],
+    )
+    .expect("csv");
+    for &(t, eff, q) in &measured {
+        csv.row(&[&t, &eff, &f2(q), &f2(q / single_qps)])
+            .expect("row");
     }
     println!("\nCSV: {}", csv.path().display());
 
     // Hand-rolled JSON (no serde in the dependency set).
     let threads_json: Vec<String> = measured
         .iter()
-        .map(|(t, q)| {
+        .map(|(t, eff, q)| {
             format!(
-                "    {{\"threads\": {t}, \"qps\": {q:.2}, \"speedup\": {:.3}}}",
+                "    {{\"requested_threads\": {t}, \"effective_threads\": {eff}, \
+                 \"qps\": {q:.2}, \"speedup\": {:.3}}}",
                 q / single_qps
             )
         })

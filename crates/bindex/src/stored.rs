@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 
 use bindex_bitvec::BitVec;
+use bindex_compress::Repr;
 use bindex_core::{rebuild_slot, BitmapIndex, BitmapSource, Encoding, Error, IndexSpec};
 use bindex_relation::Column;
 use bindex_storage::{
@@ -101,6 +102,16 @@ impl<S: ByteStore> BitmapSource for StorageSource<'_, S> {
     fn try_fetch_nn(&mut self) -> Result<Option<BitVec>, Error> {
         Ok(self.nn.clone())
     }
+
+    fn try_fetch_repr(&mut self, comp: usize, slot: usize) -> Result<Repr, Error> {
+        let stored = &mut *self.stored;
+        match self.pool {
+            Some(pool) => pool.get_or_load_repr::<Error>((comp, slot), || {
+                stored.read_repr(comp, slot).map_err(storage_error)
+            }),
+            None => stored.read_repr(comp, slot).map_err(storage_error),
+        }
+    }
 }
 
 /// A `Send + Sync` [`BitmapSource`] over a [`SharedIndexReader`]: the
@@ -165,6 +176,10 @@ impl<S: ByteStore> BitmapSource for SharedSource<'_, S> {
     fn try_fetch_nn(&mut self) -> Result<Option<BitVec>, Error> {
         Ok(self.nn.clone())
     }
+
+    fn try_fetch_repr(&mut self, comp: usize, slot: usize) -> Result<Repr, Error> {
+        self.reader.read_repr(comp, slot).map_err(storage_error)
+    }
 }
 
 /// Writes an in-memory [`BitmapIndex`] into `store` under `scheme`,
@@ -177,6 +192,20 @@ pub fn persist_index<S: ByteStore>(
     codec: bindex_compress::CodecKind,
 ) -> Result<StoredIndex<S>, StorageError> {
     StoredIndex::create(store, index.components(), scheme, codec)
+}
+
+/// Writes an in-memory [`BitmapIndex`] into `store` as a **version-3**
+/// per-slot-coded store (bitmap-level layout): sparse slots are kept
+/// WAH-compressed and served to the executor without decompression, dense
+/// slots fall back to `codec`-compressed bytes. The returned index feeds
+/// [`StorageSource`]/[`SharedSource`] like any other; the evaluators see
+/// compressed slots through `try_fetch_repr` automatically.
+pub fn persist_index_v3<S: ByteStore>(
+    index: &BitmapIndex,
+    store: S,
+    codec: bindex_compress::CodecKind,
+) -> Result<StoredIndex<S>, StorageError> {
+    StoredIndex::create_v3(store, index.components(), codec)
 }
 
 /// Online repair of a damaged stored index: scrubs the store, rebuilds
@@ -295,6 +324,67 @@ mod tests {
                 check(scheme, codec, Encoding::Equality);
             }
         }
+    }
+
+    #[test]
+    fn v3_evaluation_matches_naive_for_all_encodings_and_codecs() {
+        let col = column();
+        for codec in [CodecKind::None, CodecKind::Rle, CodecKind::Deflate] {
+            for encoding in [Encoding::Equality, Encoding::Range, Encoding::Interval] {
+                let spec = IndexSpec::new(Base::from_msb(&[4, 5]).unwrap(), encoding);
+                let idx = BitmapIndex::build(&col, spec.clone()).unwrap();
+                let mut stored = persist_index_v3(&idx, MemStore::new(), codec).unwrap();
+                assert_eq!(stored.format_version(), 3);
+                let mut src = StorageSource::try_new(&mut stored, spec).unwrap();
+                for q in full_space(20) {
+                    let (got, _) = evaluate(&mut src, q, Algorithm::Auto).unwrap();
+                    let want = bindex_core::eval::naive::evaluate(&col, q);
+                    assert_eq!(got, want, "v3/{codec:?}/{encoding:?} {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v3_repair_keeps_answers_identical() {
+        let col = column();
+        let spec = IndexSpec::new(Base::single(20).unwrap(), Encoding::Equality);
+        let idx = BitmapIndex::build(&col, spec.clone()).unwrap();
+        let stored = persist_index_v3(&idx, MemStore::new(), CodecKind::None).unwrap();
+        let (mut stored, victim) = corrupt_first_data_file(stored, ".bmp");
+
+        let report = scrub_and_repair_index(&mut stored, &spec, None, None).unwrap();
+        assert!(report.fully_repaired(), "{report:?}");
+        assert!(report.repaired.contains(&victim), "{report:?}");
+        assert!(stored.scrub().unwrap().is_clean());
+        let mut src = StorageSource::try_new(&mut stored, spec).unwrap();
+        for q in full_space(20) {
+            let (got, _) = evaluate(&mut src, q, Algorithm::Auto).unwrap();
+            assert_eq!(got, bindex_core::eval::naive::evaluate(&col, q), "{q}");
+        }
+    }
+
+    #[test]
+    fn v3_pooled_source_serves_compressed_reprs() {
+        // A clustered equality index (sorted column → run-shaped slots):
+        // every slot passes the 4× storage heuristic, is stored WAH, and
+        // stays compressed through the pooled repr path.
+        let values: Vec<u32> = (0..8192).map(|i| (i * 64 / 8192) as u32).collect();
+        let col = Column::new(values, 64);
+        let spec = IndexSpec::new(Base::single(64).unwrap(), Encoding::Equality);
+        let idx = BitmapIndex::build(&col, spec.clone()).unwrap();
+        let mut stored = persist_index_v3(&idx, MemStore::new(), CodecKind::None).unwrap();
+        let pool = BufferPool::with_byte_budget(1 << 20);
+        let mut src = StorageSource::try_new(&mut stored, spec)
+            .unwrap()
+            .with_pool(&pool);
+        let repr = bindex_core::BitmapSource::try_fetch_repr(&mut src, 1, 3).unwrap();
+        assert!(repr.is_compressed(), "sparse v3 slot must arrive as WAH");
+        // Second fetch is a pool hit and preserves the representation.
+        let again = bindex_core::BitmapSource::try_fetch_repr(&mut src, 1, 3).unwrap();
+        assert!(again.is_compressed());
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(*repr.to_bitvec(), idx.components()[0][3]);
     }
 
     #[test]

@@ -57,6 +57,19 @@ impl BitVec {
         v
     }
 
+    /// Creates a bit vector of `len` bits from packed words (bit `i` lives
+    /// in word `i / 64` at position `i % 64`). Surplus words are dropped,
+    /// missing words are zero-filled, and bits at positions `>= len` are
+    /// cleared, so the result is always canonical — the word-level
+    /// counterpart of [`BitVec::from_bytes`], used by decoders that
+    /// assemble whole words (e.g. WAH decompression).
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        words.resize(words_for(len), 0);
+        let mut v = Self { words, len };
+        v.mask_tail();
+        v
+    }
+
     /// Creates a bit vector of `len` bits with the given positions set.
     ///
     /// # Panics

@@ -27,12 +27,14 @@ mod deflate;
 pub mod huffman;
 pub mod lz77;
 mod lzss;
+mod repr;
 mod rle;
 pub mod varint;
 pub mod wah;
 
 pub use deflate::Deflate;
 pub use lzss::Lzss;
+pub use repr::Repr;
 pub use rle::Rle;
 
 /// Error raised when decoding malformed compressed bytes.

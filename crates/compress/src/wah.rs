@@ -12,8 +12,21 @@
 //!
 //! The final group may be partial; the bitmap remembers its exact bit length
 //! and keeps tail bits zero (same canonical-form rule as `BitVec`).
+//!
+//! Beyond the binary ops, this module provides the compressed-domain
+//! counterparts of [`bindex_bitvec::kernels`]: k-ary [`and_all`] /
+//! [`or_all`] / [`xor_all`], [`and_not`], and the fused counting variants
+//! ([`count_and`], [`count_or`], …) that never materialize a result at
+//! all. All of them walk the operands' run decompositions in lockstep —
+//! aligned fill runs are folded `min(count)` groups at a time, so the work
+//! is proportional to the *compressed* size of the operands, not the bit
+//! length. On sparse bitmaps that is the entire point: a RangeEval
+//! predicate over WAH slots touches a handful of words per operand where
+//! the dense kernels sweep the whole relation.
 
-use bindex_bitvec::BitVec;
+use bindex_bitvec::{words_for, BitVec};
+
+use crate::DecodeError;
 
 const GROUP_BITS: usize = 31;
 const GROUP_MASK: u32 = (1 << GROUP_BITS) - 1;
@@ -30,74 +43,155 @@ pub struct WahBitmap {
 }
 
 impl WahBitmap {
-    /// Compresses a [`BitVec`].
+    /// Compresses a [`BitVec`], extracting 31-bit groups straight from the
+    /// packed words (no per-bit access).
     pub fn from_bitvec(bits: &BitVec) -> Self {
         let len = bits.len();
         let ngroups = len.div_ceil(GROUP_BITS);
+        let src = bits.words();
         let mut words: Vec<u32> = Vec::new();
         for g in 0..ngroups {
-            let group = extract_group(bits, g);
-            push_group(&mut words, group);
+            push_group(&mut words, extract_group(src, g));
         }
         Self { words, len }
     }
 
-    /// Decompresses back to a [`BitVec`].
+    /// Decompresses back to a [`BitVec`], assembling whole 64-bit words:
+    /// fill runs become word-level memset-style strides, literals are OR-ed
+    /// in at their bit offset.
     pub fn to_bitvec(&self) -> BitVec {
-        let mut out = BitVec::zeros(self.len);
-        let mut g = 0usize; // group index
+        let mut words = vec![0u64; words_for(self.len)];
+        let mut bitpos = 0usize;
         for &w in &self.words {
             if w & FILL_FLAG != 0 {
-                let count = (w & MAX_FILL) as usize;
+                let span = (w & MAX_FILL) as usize * GROUP_BITS;
                 if w & FILL_VALUE != 0 {
-                    for gg in g..g + count {
-                        write_group(&mut out, gg, GROUP_MASK);
-                    }
+                    set_ones(&mut words, bitpos, (bitpos + span).min(self.len));
                 }
-                g += count;
+                bitpos += span;
             } else {
-                write_group(&mut out, g, w & GROUP_MASK);
-                g += 1;
+                write_group(&mut words, bitpos, w & GROUP_MASK);
+                bitpos += GROUP_BITS;
             }
         }
-        out
+        BitVec::from_words(words, self.len)
     }
 
     /// Number of bits represented.
+    #[inline]
     pub fn len(&self) -> usize {
         self.len
     }
 
     /// `true` if the bitmap holds zero bits.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
 
     /// Size of the compressed form in bytes.
+    #[inline]
     pub fn compressed_bytes(&self) -> usize {
         self.words.len() * 4
     }
 
-    /// Number of set bits, computed without decompressing.
+    /// Fraction of set bits (`count_ones / len`; 0 for an empty bitmap).
+    /// Computed on the compressed form — cost is proportional to the number
+    /// of compressed words, which is exactly when density is low.
+    #[inline]
+    pub fn density(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// Number of set bits, computed without decompressing: fill runs are
+    /// counted arithmetically (O(1) per run, however many groups it spans),
+    /// literals by popcount.
+    #[inline]
     pub fn count_ones(&self) -> usize {
+        let ngroups = self.len.div_ceil(GROUP_BITS);
+        let tail_mask = tail_mask(self.len);
         let mut ones = 0usize;
         let mut g = 0usize;
-        let ngroups = self.len.div_ceil(GROUP_BITS);
         for &w in &self.words {
             if w & FILL_FLAG != 0 {
                 let count = (w & MAX_FILL) as usize;
                 if w & FILL_VALUE != 0 {
-                    for gg in g..g + count {
-                        ones += group_width(self.len, ngroups, gg);
+                    ones += GROUP_BITS * count;
+                    if g + count == ngroups {
+                        ones -= GROUP_BITS - tail_mask.count_ones() as usize;
                     }
                 }
                 g += count;
             } else {
-                ones += (w & GROUP_MASK).count_ones() as usize;
+                let v = if g + 1 == ngroups {
+                    w & tail_mask
+                } else {
+                    w & GROUP_MASK
+                };
+                ones += v.count_ones() as usize;
                 g += 1;
             }
         }
         ones
+    }
+
+    /// Iterates the run decomposition: one [`Run`] per encoded word, fills
+    /// carrying their group count. This is the raw material of the
+    /// run-merging kernels and is exposed for callers that want to walk
+    /// the compressed form themselves.
+    pub fn runs(&self) -> impl Iterator<Item = Run> + '_ {
+        RunIter::new(&self.words)
+    }
+
+    /// Serializes the compressed words (little-endian `u32`s). The bit
+    /// length is *not* included; the storage layer records it out of band,
+    /// exactly as it does for dense bitmap payloads.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.words.len() * 4);
+        for &w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes from [`WahBitmap::to_bytes`] output for a bitmap of
+    /// `len` bits, validating the encoding's structural invariants (word
+    /// alignment, non-zero fill lengths, group count matching `len`) so a
+    /// corrupted payload surfaces as a [`DecodeError`] instead of a panic
+    /// deep inside a logical operation.
+    pub fn from_bytes(len: usize, bytes: &[u8]) -> Result<Self, DecodeError> {
+        if !bytes.len().is_multiple_of(4) {
+            return Err(DecodeError(format!(
+                "WAH payload of {} bytes is not word-aligned",
+                bytes.len()
+            )));
+        }
+        let mut words = Vec::with_capacity(bytes.len() / 4);
+        let mut groups = 0usize;
+        for chunk in bytes.chunks_exact(4) {
+            let w = u32::from_le_bytes(chunk.try_into().expect("chunk of 4"));
+            if w & FILL_FLAG != 0 {
+                let count = w & MAX_FILL;
+                if count == 0 {
+                    return Err(DecodeError("WAH fill word with zero run length".into()));
+                }
+                groups += count as usize;
+            } else {
+                groups += 1;
+            }
+            words.push(w);
+        }
+        let ngroups = len.div_ceil(GROUP_BITS);
+        if groups != ngroups {
+            return Err(DecodeError(format!(
+                "WAH payload encodes {groups} groups, expected {ngroups} for {len} bits"
+            )));
+        }
+        Ok(Self { words, len })
     }
 
     /// Bitwise AND on the compressed form.
@@ -105,7 +199,7 @@ impl WahBitmap {
     /// # Panics
     /// Panics if lengths differ.
     pub fn and(&self, rhs: &Self) -> Self {
-        self.binary_op(rhs, |a, b| a & b)
+        and_all(&[self, rhs])
     }
 
     /// Bitwise OR on the compressed form.
@@ -113,7 +207,7 @@ impl WahBitmap {
     /// # Panics
     /// Panics if lengths differ.
     pub fn or(&self, rhs: &Self) -> Self {
-        self.binary_op(rhs, |a, b| a | b)
+        or_all(&[self, rhs])
     }
 
     /// Bitwise XOR on the compressed form.
@@ -121,67 +215,19 @@ impl WahBitmap {
     /// # Panics
     /// Panics if lengths differ.
     pub fn xor(&self, rhs: &Self) -> Self {
-        self.binary_op(rhs, |a, b| a ^ b)
+        xor_all(&[self, rhs])
     }
 
     /// Bitwise NOT on the compressed form (length-aware).
     pub fn not(&self) -> Self {
-        let ngroups = self.len.div_ceil(GROUP_BITS);
         let mut words = Vec::with_capacity(self.words.len());
-        let mut g = 0usize;
         for &w in &self.words {
             if w & FILL_FLAG != 0 {
-                let count = w & MAX_FILL;
-                g += count as usize;
                 words.push(w ^ FILL_VALUE);
             } else {
                 push_group(&mut words, !w & GROUP_MASK);
-                g += 1;
             }
         }
-        let mut out = Self {
-            words,
-            len: self.len,
-        };
-        debug_assert_eq!(g, ngroups);
-        out.mask_tail();
-        out
-    }
-
-    fn binary_op(&self, rhs: &Self, op: impl Fn(u32, u32) -> u32) -> Self {
-        assert_eq!(
-            self.len, rhs.len,
-            "WAH length mismatch: {} vs {}",
-            self.len, rhs.len
-        );
-        let mut a = RunIter::new(&self.words);
-        let mut b = RunIter::new(&rhs.words);
-        let mut words = Vec::new();
-        let mut ra = a.next();
-        let mut rb = b.next();
-        while let (Some(mut xa), Some(mut xb)) = (ra, rb) {
-            let take = xa.count.min(xb.count);
-            match (xa.kind, xb.kind) {
-                (RunKind::Fill(fa), RunKind::Fill(fb)) => {
-                    let v = op(fill_word(fa), fill_word(fb)) & GROUP_MASK;
-                    push_fill_or_literals(&mut words, v, take);
-                }
-                (RunKind::Fill(fa), RunKind::Literal(lb)) => {
-                    push_group(&mut words, op(fill_word(fa), lb) & GROUP_MASK);
-                }
-                (RunKind::Literal(la), RunKind::Fill(fb)) => {
-                    push_group(&mut words, op(la, fill_word(fb)) & GROUP_MASK);
-                }
-                (RunKind::Literal(la), RunKind::Literal(lb)) => {
-                    push_group(&mut words, op(la, lb) & GROUP_MASK);
-                }
-            }
-            xa.count -= take;
-            xb.count -= take;
-            ra = if xa.count == 0 { a.next() } else { Some(xa) };
-            rb = if xb.count == 0 { b.next() } else { Some(xb) };
-        }
-        assert!(ra.is_none() && rb.is_none(), "WAH group counts disagree");
         let mut out = Self {
             words,
             len: self.len,
@@ -220,48 +266,375 @@ impl WahBitmap {
     }
 }
 
-/// Width in bits of group `g` of a bitmap with `len` bits and `ngroups` groups.
-fn group_width(len: usize, ngroups: usize, g: usize) -> usize {
-    if g + 1 == ngroups {
-        let rem = len % GROUP_BITS;
-        if rem == 0 {
-            GROUP_BITS
-        } else {
-            rem
+/// AND of all operands entirely in the compressed domain: the run
+/// decompositions are merged in lockstep, so aligned fill runs cost one
+/// step regardless of how many groups they span. Mirrors
+/// [`bindex_bitvec::kernels::and_all`].
+///
+/// # Panics
+/// Panics on an empty operand list or mismatched lengths.
+#[must_use]
+pub fn and_all(operands: &[&WahBitmap]) -> WahBitmap {
+    fold_groups(operands, |a, b| a & b, AND_ALGEBRA)
+}
+
+/// OR of all operands in the compressed domain. Mirrors
+/// [`bindex_bitvec::kernels::or_all`].
+///
+/// # Panics
+/// Panics on an empty operand list or mismatched lengths.
+#[must_use]
+pub fn or_all(operands: &[&WahBitmap]) -> WahBitmap {
+    fold_groups(operands, |a, b| a | b, OR_ALGEBRA)
+}
+
+/// XOR of all operands in the compressed domain. Mirrors
+/// [`bindex_bitvec::kernels::xor_all`].
+///
+/// # Panics
+/// Panics on an empty operand list or mismatched lengths.
+#[must_use]
+pub fn xor_all(operands: &[&WahBitmap]) -> WahBitmap {
+    fold_groups(operands, |a, b| a ^ b, XOR_ALGEBRA)
+}
+
+/// `a ∧ ¬b` in the compressed domain. Mirrors
+/// [`bindex_bitvec::kernels::and_not`].
+///
+/// # Panics
+/// Panics if lengths differ.
+#[must_use]
+pub fn and_not(a: &WahBitmap, b: &WahBitmap) -> WahBitmap {
+    fold_groups(&[a, b], |x, y| x & !y, ANDNOT_ALGEBRA)
+}
+
+/// `|operands[0] ∧ operands[1] ∧ …|` without producing a result bitmap:
+/// aligned fill runs are counted arithmetically, literal groups by
+/// popcount. Mirrors [`bindex_bitvec::kernels::count_and`].
+///
+/// # Panics
+/// Panics on an empty operand list or mismatched lengths.
+#[must_use]
+pub fn count_and(operands: &[&WahBitmap]) -> usize {
+    count_groups(operands, |a, b| a & b, AND_ALGEBRA)
+}
+
+/// `|operands[0] ∨ operands[1] ∨ …|` without producing a result bitmap.
+/// Mirrors [`bindex_bitvec::kernels::count_or`].
+///
+/// # Panics
+/// Panics on an empty operand list or mismatched lengths.
+#[must_use]
+pub fn count_or(operands: &[&WahBitmap]) -> usize {
+    count_groups(operands, |a, b| a | b, OR_ALGEBRA)
+}
+
+/// `|operands[0] ⊕ operands[1] ⊕ …|` without producing a result bitmap.
+/// Mirrors [`bindex_bitvec::kernels::count_xor`].
+///
+/// # Panics
+/// Panics on an empty operand list or mismatched lengths.
+#[must_use]
+pub fn count_xor(operands: &[&WahBitmap]) -> usize {
+    count_groups(operands, |a, b| a ^ b, XOR_ALGEBRA)
+}
+
+/// `|a ∧ ¬b|` without producing a result bitmap. Mirrors
+/// [`bindex_bitvec::kernels::count_and_not`].
+///
+/// # Panics
+/// Panics if lengths differ.
+#[must_use]
+pub fn count_and_not(a: &WahBitmap, b: &WahBitmap) -> usize {
+    count_groups(&[a, b], |x, y| x & !y, ANDNOT_ALGEBRA)
+}
+
+fn check_kary(operands: &[&WahBitmap]) -> usize {
+    let first = operands
+        .first()
+        .expect("k-ary WAH kernel needs at least one operand");
+    for op in &operands[1..] {
+        assert_eq!(
+            first.len, op.len,
+            "WAH length mismatch: {} vs {}",
+            first.len, op.len
+        );
+    }
+    first.len
+}
+
+/// One operand's decode state inside the lockstep merge: the current run's
+/// group value (fills expand to `0`/`GROUP_MASK`) and how many groups of
+/// it remain before the next word must be decoded.
+struct Cursor<'a> {
+    words: &'a [u32],
+    idx: usize,
+    value: u32,
+    remaining: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(words: &'a [u32]) -> Self {
+        let mut c = Self {
+            words,
+            idx: 0,
+            value: 0,
+            remaining: 0,
+        };
+        c.decode();
+        c
+    }
+
+    /// Decodes the next word. An exhausted operand parks on an unbounded
+    /// zero run — equal-length operands only reach it once every real
+    /// group has been merged, so the padding is never observed.
+    #[inline]
+    fn decode(&mut self) {
+        match self.words.get(self.idx) {
+            Some(&w) => {
+                self.idx += 1;
+                if w & FILL_FLAG != 0 {
+                    self.value = if w & FILL_VALUE != 0 { GROUP_MASK } else { 0 };
+                    self.remaining = w & MAX_FILL;
+                } else {
+                    self.value = w;
+                    self.remaining = 1;
+                }
+            }
+            None => {
+                self.value = 0;
+                self.remaining = u32::MAX;
+            }
         }
-    } else {
-        GROUP_BITS
+    }
+
+    /// Consumes `n` groups, decoding across run boundaries as needed.
+    #[inline]
+    fn advance(&mut self, mut n: u32) {
+        while n >= self.remaining {
+            n -= self.remaining;
+            self.decode();
+        }
+        self.remaining -= n;
     }
 }
 
-fn fill_word(fill: bool) -> u32 {
-    if fill {
+/// Algebraic structure of a fold operator, enabling run skips beyond the
+/// basic lockstep: `absorbing` (`a op x = a` for every `x`) lets a single
+/// run pin the result across its whole width; `identity` (`e op x = x`)
+/// lets the merge stream one operand's runs verbatim while every other
+/// operand sits in an identity fill.
+#[derive(Clone, Copy)]
+struct OpAlgebra {
+    absorbing: Option<u32>,
+    identity: Option<u32>,
+}
+
+const AND_ALGEBRA: OpAlgebra = OpAlgebra {
+    absorbing: Some(0),
+    identity: Some(GROUP_MASK),
+};
+const OR_ALGEBRA: OpAlgebra = OpAlgebra {
+    absorbing: Some(GROUP_MASK),
+    identity: Some(0),
+};
+const XOR_ALGEBRA: OpAlgebra = OpAlgebra {
+    absorbing: None,
+    identity: Some(0),
+};
+/// `x ∧ ¬y` is neither commutative nor associative, so no element is
+/// absorbing or identity for *both* sides; it runs on the plain lockstep.
+const ANDNOT_ALGEBRA: OpAlgebra = OpAlgebra {
+    absorbing: None,
+    identity: None,
+};
+
+/// The shared run-merging core: walks every operand's runs in lockstep and
+/// hands the folded group value plus the number of aligned groups it
+/// covers to `sink`, in O(total runs) independent of how many groups the
+/// fills span. The operator's [`OpAlgebra`] unlocks two further skips:
+///
+/// * an operand in an **absorbing** run pins the result for that run's
+///   whole width — the other operands' literals are hopped over unfolded;
+/// * when every operand but one sits in an **identity** fill, the active
+///   operand's runs are streamed to the sink verbatim, with no per-group
+///   folding at all (the dominant case for ORs of sparse bitmaps).
+fn merge_groups(
+    operands: &[&WahBitmap],
+    op: impl Fn(u32, u32) -> u32,
+    algebra: OpAlgebra,
+    mut sink: impl FnMut(u32, u32),
+) {
+    let ngroups = operands[0].len.div_ceil(GROUP_BITS) as u64;
+    let mut cursors: Vec<Cursor<'_>> = operands.iter().map(|w| Cursor::new(&w.words)).collect();
+    let mut left = ngroups;
+    while left > 0 {
+        let (first, rest) = cursors.split_first_mut().expect("at least one operand");
+        let mut take = first.remaining;
+        let mut acc = first.value;
+        let mut idle_span = u32::MAX;
+        let mut active = 0usize;
+        let mut active_idx = 0usize;
+        if algebra.identity == Some(first.value) {
+            idle_span = first.remaining;
+        } else {
+            active = 1;
+        }
+        for (i, c) in rest.iter().enumerate() {
+            take = take.min(c.remaining);
+            acc = op(acc, c.value) & GROUP_MASK;
+            if algebra.identity == Some(c.value) {
+                idle_span = idle_span.min(c.remaining);
+            } else {
+                active += 1;
+                active_idx = i + 1;
+            }
+        }
+        if algebra.absorbing == Some(acc) {
+            // The fold is pinned at the absorbing element for as long as
+            // any operand's current run keeps producing it.
+            for c in cursors.iter() {
+                if c.value == acc {
+                    take = take.max(c.remaining);
+                }
+            }
+            let take = u64::from(take).min(left) as u32;
+            sink(acc, take);
+            for c in cursors.iter_mut() {
+                c.advance(take);
+            }
+            left -= u64::from(take);
+            continue;
+        }
+        if active <= 1 && algebra.identity.is_some() && idle_span > take {
+            // At most one operand is contributing; stream its runs
+            // verbatim while the rest stay parked in identity fills.
+            let span = u64::from(idle_span).min(left) as u32;
+            let a = &mut cursors[active_idx];
+            let mut emitted = 0u32;
+            while emitted < span {
+                let m = a.remaining.min(span - emitted);
+                sink(a.value, m);
+                a.advance(m);
+                emitted += m;
+            }
+            for (i, c) in cursors.iter_mut().enumerate() {
+                if i != active_idx {
+                    c.advance(emitted);
+                }
+            }
+            left -= u64::from(emitted);
+            continue;
+        }
+        let take = u64::from(take).min(left) as u32;
+        sink(acc, take);
+        for c in cursors.iter_mut() {
+            c.advance(take);
+        }
+        left -= u64::from(take);
+    }
+}
+
+/// K-ary fold producing a compressed result.
+fn fold_groups(
+    operands: &[&WahBitmap],
+    op: impl Fn(u32, u32) -> u32,
+    algebra: OpAlgebra,
+) -> WahBitmap {
+    let len = check_kary(operands);
+    let mut words = Vec::new();
+    merge_groups(operands, op, algebra, |v, count| {
+        push_fill_or_literals(&mut words, v, count);
+    });
+    let mut out = WahBitmap { words, len };
+    out.mask_tail();
+    out
+}
+
+/// K-ary fold producing only the population count of the (virtual) result.
+fn count_groups(
+    operands: &[&WahBitmap],
+    op: impl Fn(u32, u32) -> u32,
+    algebra: OpAlgebra,
+) -> usize {
+    let len = check_kary(operands);
+    let ngroups = len.div_ceil(GROUP_BITS);
+    let tail_mask = tail_mask(len);
+    let mut ones = 0usize;
+    let mut g = 0usize;
+    merge_groups(operands, op, algebra, |v, count| {
+        let count = count as usize;
+        let covers_tail = g + count == ngroups;
+        if v == GROUP_MASK {
+            ones += GROUP_BITS * count;
+            if covers_tail {
+                ones -= GROUP_BITS - tail_mask.count_ones() as usize;
+            }
+        } else if v != 0 {
+            // A non-fill value only ever covers one group per step, but
+            // count it generally; only the final group needs the tail mask.
+            let last = if covers_tail { v & tail_mask } else { v };
+            ones += v.count_ones() as usize * (count - 1) + last.count_ones() as usize;
+        }
+        g += count;
+    });
+    debug_assert_eq!(g, ngroups, "operands cover all groups");
+    ones
+}
+
+/// Mask selecting the valid bits of the final group.
+#[inline]
+fn tail_mask(len: usize) -> u32 {
+    let rem = len % GROUP_BITS;
+    if rem == 0 {
         GROUP_MASK
     } else {
-        0
+        (1u32 << rem) - 1
     }
 }
 
-/// Extracts 31-bit group `g` from a BitVec (tail group zero-padded).
-fn extract_group(bits: &BitVec, g: usize) -> u32 {
-    let start = g * GROUP_BITS;
-    let end = (start + GROUP_BITS).min(bits.len());
-    let mut v = 0u32;
-    for (k, i) in (start..end).enumerate() {
-        if bits.get(i) {
-            v |= 1 << k;
-        }
+/// Extracts 31-bit group `g` from canonical packed 64-bit words (the tail
+/// group is implicitly zero-padded by the canonical-form invariant).
+#[inline]
+fn extract_group(words: &[u64], g: usize) -> u32 {
+    let bitpos = g * GROUP_BITS;
+    let w = bitpos / 64;
+    let off = bitpos % 64;
+    let mut v = words[w] >> off;
+    if off > 64 - GROUP_BITS && w + 1 < words.len() {
+        v |= words[w + 1] << (64 - off);
     }
-    v
+    (v as u32) & GROUP_MASK
 }
 
-fn write_group(bits: &mut BitVec, g: usize, group: u32) {
-    let start = g * GROUP_BITS;
-    let end = (start + GROUP_BITS).min(bits.len());
-    for (k, i) in (start..end).enumerate() {
-        if group & (1 << k) != 0 {
-            bits.set(i, true);
+/// ORs a 31-bit group into packed 64-bit words at bit offset `bitpos`.
+/// Bits shifted past the final word are dropped (the caller masks the tail).
+#[inline]
+fn write_group(words: &mut [u64], bitpos: usize, group: u32) {
+    let w = bitpos / 64;
+    let off = bitpos % 64;
+    words[w] |= u64::from(group) << off;
+    if off > 64 - GROUP_BITS && w + 1 < words.len() {
+        words[w + 1] |= u64::from(group) >> (64 - off);
+    }
+}
+
+/// Sets bits `start..end` (end exclusive) in packed 64-bit words.
+fn set_ones(words: &mut [u64], start: usize, end: usize) {
+    if start >= end {
+        return;
+    }
+    let (ws, we) = (start / 64, (end - 1) / 64);
+    let lo = !0u64 << (start % 64);
+    let hi = !0u64 >> (63 - (end - 1) % 64);
+    if ws == we {
+        words[ws] |= lo & hi;
+    } else {
+        words[ws] |= lo;
+        for w in &mut words[ws + 1..we] {
+            *w = !0;
         }
+        words[we] |= hi;
     }
 }
 
@@ -320,16 +693,23 @@ fn push_fill_or_literals(words: &mut Vec<u32>, group: u32, count: u32) {
     }
 }
 
-#[derive(Clone, Copy, Debug, PartialEq)]
-enum RunKind {
+/// Payload of a [`Run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunKind {
+    /// Consecutive groups all-zero (`false`) or all-one (`true`).
     Fill(bool),
+    /// One verbatim 31-bit group.
     Literal(u32),
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Run {
-    kind: RunKind,
-    count: u32,
+/// One encoded run of a WAH bitmap: a [`RunKind`] and the number of 31-bit
+/// groups it covers (always ≥ 1; exactly 1 for literals).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Run {
+    /// What the run holds.
+    pub kind: RunKind,
+    /// Number of groups covered.
+    pub count: u32,
 }
 
 struct RunIter<'a> {
@@ -447,5 +827,169 @@ mod tests {
         let a = WahBitmap::from_bitvec(&BitVec::zeros(10));
         let b = WahBitmap::from_bitvec(&BitVec::zeros(11));
         let _ = a.and(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operand")]
+    fn empty_operand_list_panics() {
+        let _ = and_all(&[]);
+    }
+
+    #[test]
+    fn kary_matches_pairwise() {
+        let owned: Vec<BitVec> = (0..7)
+            .map(|k| BitVec::from_fn(4321, |i| (i * 2654435761 + k * 977) % 13 < 2))
+            .collect();
+        let wahs: Vec<WahBitmap> = owned.iter().map(WahBitmap::from_bitvec).collect();
+        let ops: Vec<&WahBitmap> = wahs.iter().collect();
+        let fold = |f: fn(&WahBitmap, &WahBitmap) -> WahBitmap| {
+            let mut acc = wahs[0].clone();
+            for w in &wahs[1..] {
+                acc = f(&acc, w);
+            }
+            acc
+        };
+        assert_eq!(and_all(&ops), fold(WahBitmap::and));
+        assert_eq!(or_all(&ops), fold(WahBitmap::or));
+        assert_eq!(xor_all(&ops), fold(WahBitmap::xor));
+        assert_eq!(and_all(&[&wahs[0]]), wahs[0]);
+    }
+
+    #[test]
+    fn fused_counts_match_materialized() {
+        for len in [1usize, 31, 62, 100, 4096] {
+            let owned: Vec<BitVec> = (0..5)
+                .map(|k| BitVec::from_fn(len, |i| (i * 31 + k * 7) % 9 < 3))
+                .collect();
+            let wahs: Vec<WahBitmap> = owned.iter().map(WahBitmap::from_bitvec).collect();
+            let ops: Vec<&WahBitmap> = wahs.iter().collect();
+            assert_eq!(count_and(&ops), and_all(&ops).count_ones(), "len {len}");
+            assert_eq!(count_or(&ops), or_all(&ops).count_ones(), "len {len}");
+            assert_eq!(count_xor(&ops), xor_all(&ops).count_ones(), "len {len}");
+            assert_eq!(
+                count_and_not(&wahs[0], &wahs[1]),
+                and_not(&wahs[0], &wahs[1]).count_ones(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn and_not_matches_bitvec() {
+        let a = sparse(3000, 5);
+        let b = sparse(3000, 3);
+        let wa = WahBitmap::from_bitvec(&a);
+        let wb = WahBitmap::from_bitvec(&b);
+        let mut want = a.clone();
+        want.and_not_assign(&b);
+        assert_eq!(and_not(&wa, &wb).to_bitvec(), want);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        for bits in [
+            BitVec::zeros(0),
+            sparse(10_000, 37),
+            BitVec::ones(65),
+            BitVec::from_fn(100, |i| i % 2 == 0),
+        ] {
+            let wah = WahBitmap::from_bitvec(&bits);
+            let bytes = wah.to_bytes();
+            let back = WahBitmap::from_bytes(bits.len(), &bytes).unwrap();
+            assert_eq!(back, wah);
+            assert_eq!(back.to_bitvec(), bits);
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_malformed() {
+        // Not word-aligned.
+        assert!(WahBitmap::from_bytes(31, &[0, 0, 0]).is_err());
+        // Zero-length fill word.
+        let zero_fill = FILL_FLAG.to_le_bytes();
+        assert!(WahBitmap::from_bytes(0, &zero_fill).is_err());
+        // Group count disagrees with the bit length.
+        let one_literal = 5u32.to_le_bytes();
+        assert!(WahBitmap::from_bytes(62, &one_literal).is_err());
+        assert!(WahBitmap::from_bytes(31, &one_literal).is_ok());
+    }
+
+    #[test]
+    fn runs_expose_decomposition() {
+        let bits = BitVec::from_fn(31 * 5, |i| (31..62).contains(&i));
+        let wah = WahBitmap::from_bitvec(&bits);
+        let runs: Vec<Run> = wah.runs().collect();
+        assert_eq!(
+            runs,
+            vec![
+                Run {
+                    kind: RunKind::Fill(false),
+                    count: 1
+                },
+                Run {
+                    kind: RunKind::Fill(true),
+                    count: 1
+                },
+                Run {
+                    kind: RunKind::Fill(false),
+                    count: 3
+                },
+            ]
+        );
+        assert_eq!(runs.iter().map(|r| r.count).sum::<u32>(), 5);
+    }
+
+    /// Ops at the `MAX_FILL` run-length boundary, on directly-constructed
+    /// bitmaps (a materialized equivalent would be ~4 GiB): everything is
+    /// arithmetic on runs, so these are O(1).
+    #[test]
+    fn max_fill_boundary_ops() {
+        let len = MAX_FILL as usize * GROUP_BITS;
+        let ones = WahBitmap {
+            words: vec![FILL_FLAG | FILL_VALUE | MAX_FILL],
+            len,
+        };
+        let zeros = WahBitmap {
+            words: vec![FILL_FLAG | MAX_FILL],
+            len,
+        };
+        assert_eq!(ones.count_ones(), len);
+        assert_eq!(zeros.count_ones(), 0);
+        assert_eq!(ones.not(), zeros);
+        assert_eq!(zeros.not(), ones);
+        assert_eq!(ones.and(&zeros), zeros);
+        assert_eq!(ones.or(&zeros), ones);
+        assert_eq!(ones.xor(&ones), zeros);
+        assert_eq!(count_or(&[&ones, &zeros]), len);
+        assert_eq!(count_and_not(&ones, &zeros), len);
+        // One group past MAX_FILL forces a second fill word.
+        let mut words = Vec::new();
+        push_fill_or_literals(&mut words, GROUP_MASK, MAX_FILL);
+        push_fill_or_literals(&mut words, GROUP_MASK, 2);
+        assert_eq!(words.len(), 2);
+        assert_eq!(words[0], FILL_FLAG | FILL_VALUE | MAX_FILL);
+        assert_eq!(words[1], FILL_FLAG | FILL_VALUE | 2);
+        let big = WahBitmap {
+            words,
+            len: (MAX_FILL as usize + 2) * GROUP_BITS,
+        };
+        assert_eq!(big.count_ones(), big.len());
+        assert_eq!(big.not().count_ones(), 0);
+        assert_eq!(big.and(&big), big);
+    }
+
+    #[test]
+    fn max_fill_partial_tail() {
+        // A MAX_FILL ones run that *ends* in a partial tail group.
+        let len = (MAX_FILL as usize - 1) * GROUP_BITS + 7;
+        let ones = WahBitmap {
+            words: vec![FILL_FLAG | FILL_VALUE | (MAX_FILL - 1), (1 << 7) - 1],
+            len,
+        };
+        assert_eq!(ones.count_ones(), len);
+        let compl = ones.not();
+        assert_eq!(compl.count_ones(), 0);
+        assert_eq!(count_xor(&[&ones, &ones]), 0);
+        assert_eq!(count_or(&[&ones, &compl]), len);
     }
 }

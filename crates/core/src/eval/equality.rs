@@ -21,6 +21,7 @@
 //! `R_1 = (d_1 ≤ v_1)`, `R_i = (d_i < v_i) ∨ ((d_i = v_i) ∧ R_{i−1})`.
 
 use bindex_bitvec::BitVec;
+use bindex_compress::Repr;
 use bindex_relation::query::{Op, SelectionQuery};
 
 use crate::error::Result;
@@ -94,10 +95,11 @@ fn eq_bitmap<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, comp: usize, j: u32)
     }
 }
 
-/// OR of `E_i^{lo} … E_i^{hi}` (inclusive) via the fused k-ary kernel:
-/// one pass, one output allocation, `hi − lo` ORs charged — identical to
-/// the pairwise fold it replaces. Assumes `lo <= hi` and the component has
-/// base > 2 (callers special-case base 2).
+/// OR of `E_i^{lo} … E_i^{hi}` (inclusive) via the adaptive k-ary kernel:
+/// slots fetched in their stored representation, folded in the WAH
+/// compressed domain while they are sparse, `hi − lo` ORs charged —
+/// identical to the pairwise fold it replaces. Assumes `lo <= hi` and the
+/// component has base > 2 (callers special-case base 2).
 fn or_range<S: BitmapSource>(
     ctx: &mut ExecContext<'_, S>,
     comp: usize,
@@ -105,10 +107,10 @@ fn or_range<S: BitmapSource>(
     hi: u32,
 ) -> Result<BitVec> {
     let slots: Vec<_> = (lo..=hi)
-        .map(|j| ctx.fetch(comp, j as usize))
+        .map(|j| ctx.fetch_repr(comp, j as usize))
         .collect::<Result<_>>()?;
-    let operands: Vec<&BitVec> = slots.iter().map(|a| a.as_ref()).collect();
-    Ok(ctx.or_all(&operands))
+    let folded = ctx.or_all_reprs(&slots);
+    Ok(ctx.materialize(folded))
 }
 
 /// `d_1 ≤ v_1` for component 1, choosing the cheaper of the direct OR-prefix
@@ -181,16 +183,26 @@ fn le_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, le: u32) -> Result<Bi
     Ok(b)
 }
 
-/// `A = v`: fused AND of the per-component equality bitmaps (`n − 1` ANDs
-/// charged, as the pairwise chain would).
+/// `A = v`: adaptive fused AND of the per-component equality bitmaps
+/// (`n − 1` ANDs charged, as the pairwise chain would). Equality bitmaps
+/// of a compressed store are exactly the sparse case the WAH kernels win
+/// on, so the fold stays compressed until the final materialization.
 fn eq_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, v: u32) -> Result<BitVec> {
     let digits = digits_of(ctx, v);
     let n = ctx.spec().n_components();
-    let bitmaps: Vec<BitVec> = (1..=n)
-        .map(|i| eq_bitmap(ctx, i, digits[i - 1]))
+    let operands: Vec<Repr> = (1..=n)
+        .map(|i| {
+            let j = digits[i - 1];
+            if ctx.spec().base.component(i) == 2 {
+                // Base-2 components derive E^0 = ¬E^1 densely.
+                eq_bitmap(ctx, i, j).map(Repr::from)
+            } else {
+                ctx.fetch_repr(i, j as usize)
+            }
+        })
         .collect::<Result<_>>()?;
-    let operands: Vec<&BitVec> = bitmaps.iter().collect();
-    Ok(ctx.and_all(&operands))
+    let folded = ctx.and_all_reprs(&operands);
+    Ok(ctx.materialize(folded))
 }
 
 /// Predicted number of bitmap scans for one query on an equality-encoded

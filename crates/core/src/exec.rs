@@ -17,6 +17,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use bindex_bitvec::{kernels, BitVec};
+use bindex_compress::{wah, Repr};
 use bindex_relation::Column;
 
 use crate::encoding::{Encoding, IndexSpec};
@@ -46,6 +47,14 @@ pub struct EvalStats {
     /// (the `NOT(OR(siblings))` identity). The remainder of
     /// `degraded_fetches` fell back to a digit-level scan of the relation.
     pub reconstructed_bitmaps: usize,
+    /// Bitmap operations executed in the WAH compressed domain (a subset
+    /// of the AND/OR/XOR/NOT tallies above — compressed execution changes
+    /// where an op runs, never how many the cost model charges).
+    pub compressed_ops: usize,
+    /// WAH bitmaps decompressed to dense words — on adaptive fallback,
+    /// on a dense-form fetch of a compressed slot, or when a compressed
+    /// result is handed back to a caller that needs dense words.
+    pub materializations: usize,
 }
 
 impl EvalStats {
@@ -64,8 +73,17 @@ impl EvalStats {
         self.buffer_hits += other.buffer_hits;
         self.degraded_fetches += other.degraded_fetches;
         self.reconstructed_bitmaps += other.reconstructed_bitmaps;
+        self.compressed_ops += other.compressed_ops;
+        self.materializations += other.materializations;
     }
 }
+
+/// Default density above which a WAH operand is decompressed before
+/// operating (see [`ExecContext::with_wah_crossover`]). Calibrated by the
+/// `ext_compressed_exec` experiment: below ~5 % density the run-merging
+/// kernels beat the dense word loops; above it the compressed form stops
+/// paying for its branchy decode.
+pub const DEFAULT_WAH_CROSSOVER: f64 = 0.05;
 
 /// What [`ExecContext::fetch`] may do when a stored bitmap is unreadable
 /// after the storage layer's retries are exhausted — a lattice from "fail
@@ -150,11 +168,14 @@ pub struct ExecContext<'a, S: BitmapSource> {
     buffer: Option<&'a BufferSet>,
     stats: EvalStats,
     recovery: RecoveryPolicy,
-    /// Per-query cache of fetched bitmaps, so repeated references within
-    /// one evaluation cost a single scan. `Arc` (not `Rc`) so that contexts
-    /// — and the sources behind them — can live on worker threads of the
-    /// parallel batch engine.
-    fetched: HashMap<(usize, usize), Arc<BitVec>>,
+    /// Density threshold for the adaptive representation choice: WAH
+    /// operands at or below it stay compressed, denser ones materialize.
+    wah_crossover: f64,
+    /// Per-query cache of fetched bitmaps in their current representation,
+    /// so repeated references within one evaluation cost a single scan.
+    /// `Arc`-backed (not `Rc`) so that contexts — and the sources behind
+    /// them — can live on worker threads of the parallel batch engine.
+    fetched: HashMap<(usize, usize), Repr>,
 }
 
 impl<'a, S: BitmapSource> ExecContext<'a, S> {
@@ -165,6 +186,7 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
             buffer: None,
             stats: EvalStats::default(),
             recovery: RecoveryPolicy::Fail,
+            wah_crossover: DEFAULT_WAH_CROSSOVER,
             fetched: HashMap::new(),
         }
     }
@@ -177,6 +199,7 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
             buffer: Some(buffer),
             stats: EvalStats::default(),
             recovery: RecoveryPolicy::Fail,
+            wah_crossover: DEFAULT_WAH_CROSSOVER,
             fetched: HashMap::new(),
         }
     }
@@ -186,6 +209,19 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
     pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
         self.recovery = recovery;
         self
+    }
+
+    /// Sets the adaptive-materialization density crossover. `0.0` forces
+    /// every compressed operand dense before operating (the literal path);
+    /// `1.0` keeps compressed operands compressed unconditionally.
+    pub fn with_wah_crossover(mut self, crossover: f64) -> Self {
+        self.wah_crossover = crossover;
+        self
+    }
+
+    /// The adaptive-materialization density crossover in effect.
+    pub fn wah_crossover(&self) -> f64 {
+        self.wah_crossover
     }
 
     /// The index layout being evaluated.
@@ -210,33 +246,74 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
         std::mem::take(&mut self.stats)
     }
 
-    /// Fetches stored bitmap `slot` of component `comp`, charging one scan
-    /// unless it was already fetched this query or is buffer-resident.
-    /// Storage failures propagate; nothing is cached on error, so a retried
-    /// query re-reads the bitmap.
+    /// Fetches stored bitmap `slot` of component `comp` in **dense form**,
+    /// charging one scan unless it was already fetched this query or is
+    /// buffer-resident. A compressed slot is materialized (counted in
+    /// [`EvalStats::materializations`]) and the cache keeps the dense copy,
+    /// so repeated dense fetches decompress once. Storage failures
+    /// propagate; nothing is cached on error, so a retried query re-reads
+    /// the bitmap.
     pub fn fetch(&mut self, comp: usize, slot: usize) -> Result<Arc<BitVec>> {
-        if let Some(bm) = self.fetched.get(&(comp, slot)) {
-            return Ok(Arc::clone(bm));
+        let repr = self.fetch_repr(comp, slot)?;
+        Ok(self.materialize_cached((comp, slot), &repr))
+    }
+
+    /// Fetches stored bitmap `slot` of component `comp` in its **stored
+    /// execution representation** — compressed slots stay compressed.
+    /// Scan/buffer accounting is identical to [`ExecContext::fetch`];
+    /// degraded-mode recovery always produces a dense literal (the rebuild
+    /// identities operate on dense words).
+    pub fn fetch_repr(&mut self, comp: usize, slot: usize) -> Result<Repr> {
+        if let Some(repr) = self.fetched.get(&(comp, slot)) {
+            return Ok(repr.clone());
         }
-        let bm = match self.source.try_fetch(comp, slot) {
-            Ok(bm) => {
+        let repr = match self.source.try_fetch_repr(comp, slot) {
+            Ok(repr) => {
                 let resident = self.buffer.is_some_and(|b| b.contains(comp, slot));
                 if resident {
                     self.stats.buffer_hits += 1;
                 } else {
                     self.stats.scans += 1;
                 }
-                Arc::new(bm)
+                repr
             }
             Err(e) if self.recovery.is_enabled() && recoverable(&e) => {
                 let rebuilt = self.recover(comp, slot, e)?;
                 self.stats.degraded_fetches += 1;
-                Arc::new(rebuilt)
+                Repr::literal(rebuilt)
             }
             Err(e) => return Err(e),
         };
-        self.fetched.insert((comp, slot), Arc::clone(&bm));
-        Ok(bm)
+        self.fetched.insert((comp, slot), repr.clone());
+        Ok(repr)
+    }
+
+    /// Dense words for a cached representation, upgrading the cache entry
+    /// in place so one slot decompresses at most once per query.
+    fn materialize_cached(&mut self, key: (usize, usize), repr: &Repr) -> Arc<BitVec> {
+        match repr {
+            Repr::Literal(b) => Arc::clone(b),
+            Repr::Wah(w) => {
+                let bits = Arc::new(w.to_bitvec());
+                self.stats.materializations += 1;
+                self.fetched.insert(key, Repr::Literal(Arc::clone(&bits)));
+                bits
+            }
+        }
+    }
+
+    /// Consumes a representation into an owned dense bitmap, counting the
+    /// decompression when it was compressed. This is the boundary where an
+    /// adaptive evaluation hands its (possibly still-compressed) result to
+    /// a caller that expects dense words.
+    pub fn materialize(&mut self, repr: Repr) -> BitVec {
+        match repr {
+            Repr::Literal(b) => Arc::try_unwrap(b).unwrap_or_else(|a| (*a).clone()),
+            Repr::Wah(w) => {
+                self.stats.materializations += 1;
+                w.to_bitvec()
+            }
+        }
     }
 
     /// Degraded-mode reconstruction of an unreadable stored bitmap: the
@@ -274,8 +351,8 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
         }
         let mut siblings: Vec<Arc<BitVec>> = Vec::with_capacity(b - 1);
         for s in (0..b).filter(|&s| s != slot) {
-            if let Some(bm) = self.fetched.get(&(comp, s)) {
-                siblings.push(Arc::clone(bm));
+            if let Some(repr) = self.fetched.get(&(comp, s)).cloned() {
+                siblings.push(self.materialize_cached((comp, s), &repr));
                 continue;
             }
             match self.source.try_fetch(comp, s) {
@@ -287,7 +364,8 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
                         self.stats.scans += 1;
                     }
                     let bm = Arc::new(bm);
-                    self.fetched.insert((comp, s), Arc::clone(&bm));
+                    self.fetched
+                        .insert((comp, s), Repr::Literal(Arc::clone(&bm)));
                     siblings.push(bm);
                 }
                 Err(_) => return Ok(None),
@@ -308,15 +386,15 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
     /// (it is a stored bitmap) the first time per query.
     pub fn fetch_nn(&mut self) -> Result<Option<Arc<BitVec>>> {
         const NN_KEY: (usize, usize) = (0, usize::MAX);
-        if let Some(bm) = self.fetched.get(&NN_KEY) {
-            return Ok(Some(Arc::clone(bm)));
+        if let Some(repr) = self.fetched.get(&NN_KEY).cloned() {
+            return Ok(Some(self.materialize_cached(NN_KEY, &repr)));
         }
         let Some(nn) = self.source.try_fetch_nn()? else {
             return Ok(None);
         };
         let bm = Arc::new(nn);
         self.stats.scans += 1;
-        self.fetched.insert(NN_KEY, Arc::clone(&bm));
+        self.fetched.insert(NN_KEY, Repr::Literal(Arc::clone(&bm)));
         Ok(Some(bm))
     }
 
@@ -400,6 +478,101 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
     pub fn or_all(&mut self, operands: &[&BitVec]) -> BitVec {
         self.stats.ors += operands.len() - 1;
         kernels::or_all(operands)
+    }
+
+    /// `true` when a k-ary op over `operands` should run in the WAH
+    /// compressed domain: every operand is compressed, none is denser
+    /// than the crossover, and every compressed form is at most a
+    /// quarter of its literal size. Density is the tunable knob (see
+    /// [`ExecContext::with_wah_crossover`]); the ratio guard filters
+    /// poorly-clustered bitmaps whose WAH form is run-dense — in the
+    /// `ext_compressed_exec` sweep, operands compressing to 0.75–1.0 of
+    /// literal size ran ~25% slower in the compressed domain than
+    /// decompress-then-operate even when their density was under the
+    /// crossover.
+    fn stay_compressed(&self, operands: &[Repr]) -> bool {
+        operands.iter().all(|r| {
+            r.is_compressed() && r.density() <= self.wah_crossover && r.heap_bytes() * 32 <= r.len()
+        })
+    }
+
+    /// Dense operands for the adaptive fallback: each compressed operand
+    /// decompresses (counted), literals pass through as handle clones.
+    fn materialize_operands(&mut self, operands: &[Repr]) -> Vec<Arc<BitVec>> {
+        operands
+            .iter()
+            .map(|r| {
+                if r.is_compressed() {
+                    self.stats.materializations += 1;
+                }
+                r.to_bitvec()
+            })
+            .collect()
+    }
+
+    /// Counted adaptive k-ary AND: runs in the WAH compressed domain while
+    /// every operand is compressed and sparse (see
+    /// [`ExecContext::with_wah_crossover`]), otherwise materializes and
+    /// uses the fused dense kernel. Charges `operands.len() − 1` ANDs
+    /// either way — the representation changes where the op runs, never
+    /// what the cost model sees.
+    ///
+    /// # Panics
+    /// Panics on an empty operand list or mismatched lengths.
+    pub fn and_all_reprs(&mut self, operands: &[Repr]) -> Repr {
+        assert!(
+            !operands.is_empty(),
+            "k-ary kernel needs at least one operand"
+        );
+        if operands.len() == 1 {
+            return operands[0].clone();
+        }
+        self.stats.ands += operands.len() - 1;
+        if self.stay_compressed(operands) {
+            self.stats.compressed_ops += operands.len() - 1;
+            let ws: Vec<&wah::WahBitmap> = operands
+                .iter()
+                .map(|r| match r {
+                    Repr::Wah(w) => w.as_ref(),
+                    Repr::Literal(_) => unreachable!("stay_compressed checked"),
+                })
+                .collect();
+            return Repr::wah(wah::and_all(&ws));
+        }
+        let dense = self.materialize_operands(operands);
+        let refs: Vec<&BitVec> = dense.iter().map(Arc::as_ref).collect();
+        Repr::literal(kernels::and_all(&refs))
+    }
+
+    /// Counted adaptive k-ary OR — the compressed-domain counterpart of
+    /// [`ExecContext::or_all`]; accounting as in
+    /// [`ExecContext::and_all_reprs`].
+    ///
+    /// # Panics
+    /// Panics on an empty operand list or mismatched lengths.
+    pub fn or_all_reprs(&mut self, operands: &[Repr]) -> Repr {
+        assert!(
+            !operands.is_empty(),
+            "k-ary kernel needs at least one operand"
+        );
+        if operands.len() == 1 {
+            return operands[0].clone();
+        }
+        self.stats.ors += operands.len() - 1;
+        if self.stay_compressed(operands) {
+            self.stats.compressed_ops += operands.len() - 1;
+            let ws: Vec<&wah::WahBitmap> = operands
+                .iter()
+                .map(|r| match r {
+                    Repr::Wah(w) => w.as_ref(),
+                    Repr::Literal(_) => unreachable!("stay_compressed checked"),
+                })
+                .collect();
+            return Repr::wah(wah::or_all(&ws));
+        }
+        let dense = self.materialize_operands(operands);
+        let refs: Vec<&BitVec> = dense.iter().map(Arc::as_ref).collect();
+        Repr::literal(kernels::or_all(&refs))
     }
 }
 
@@ -526,6 +699,160 @@ mod tests {
         assert_eq!(d, BitVec::from_indices(8, &[1, 2]));
         assert_eq!(e, BitVec::from_indices(8, &[0, 1, 2, 3]));
         assert_eq!(f, BitVec::from_indices(8, &[0]));
+    }
+
+    /// A source that serves sparse slots WAH-compressed, like a v3 store.
+    struct WahSource<'a> {
+        index: &'a BitmapIndex,
+    }
+
+    impl BitmapSource for WahSource<'_> {
+        fn spec(&self) -> &IndexSpec {
+            self.index.spec()
+        }
+        fn n_rows(&self) -> usize {
+            self.index.n_rows()
+        }
+        fn try_fetch(&mut self, comp: usize, slot: usize) -> Result<BitVec> {
+            Ok(self.index.bitmap(comp, slot).clone())
+        }
+        fn try_fetch_nn(&mut self) -> Result<Option<BitVec>> {
+            Ok(self.index.nn().cloned())
+        }
+        fn try_fetch_repr(&mut self, comp: usize, slot: usize) -> Result<Repr> {
+            Ok(Repr::wah(wah::WahBitmap::from_bitvec(
+                self.index.bitmap(comp, slot),
+            )))
+        }
+    }
+
+    #[test]
+    fn default_source_serves_literal_reprs() {
+        let idx = small_index();
+        let mut src = idx.source();
+        let mut ctx = ExecContext::new(&mut src);
+        let repr = ctx.fetch_repr(1, 0).unwrap();
+        assert!(!repr.is_compressed());
+        assert_eq!(ctx.stats().scans, 1);
+        // The dense fetch reuses the cached entry: no new scan, and no
+        // materialization needed for a literal.
+        let bits = ctx.fetch(1, 0).unwrap();
+        assert_eq!(*bits, *idx.bitmap(1, 0));
+        assert_eq!(ctx.stats().scans, 1);
+        assert_eq!(ctx.stats().materializations, 0);
+    }
+
+    #[test]
+    fn compressed_fetch_materializes_once() {
+        // 6 rows, sparse slots; a big sparse index exercises the same path.
+        let idx = small_index();
+        let mut src = WahSource { index: &idx };
+        let mut ctx = ExecContext::new(&mut src);
+        let repr = ctx.fetch_repr(1, 0).unwrap();
+        assert!(repr.is_compressed());
+        let a = ctx.fetch(1, 0).unwrap();
+        let b = ctx.fetch(1, 0).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "cache upgraded to the dense copy");
+        assert_eq!(*a, *idx.bitmap(1, 0));
+        let s = ctx.stats();
+        assert_eq!(s.scans, 1);
+        assert_eq!(s.materializations, 1);
+    }
+
+    #[test]
+    fn adaptive_ops_stay_compressed_below_crossover() {
+        let n = 4096;
+        // Clustered sparse runs — both compressible (ratio well under 1/4)
+        // and under the density crossover, so the WAH path is eligible.
+        let sparse: Vec<BitVec> = (0..3)
+            .map(|k| BitVec::from_fn(n, move |i| i / 96 == k))
+            .collect();
+        let reprs: Vec<Repr> = sparse
+            .iter()
+            .map(|b| Repr::wah(wah::WahBitmap::from_bitvec(b)))
+            .collect();
+        let idx = small_index();
+        let mut src = idx.source();
+        let mut ctx = ExecContext::new(&mut src);
+        let or = ctx.or_all_reprs(&reprs);
+        assert!(or.is_compressed(), "sparse fold stays in the WAH domain");
+        let and = ctx.and_all_reprs(&reprs);
+        assert!(and.is_compressed());
+        let s = ctx.stats();
+        assert_eq!((s.ors, s.ands), (2, 2), "same charges as the dense fold");
+        assert_eq!(s.compressed_ops, 4);
+        assert_eq!(s.materializations, 0);
+        // Answers are bit-identical to the dense kernels.
+        let refs: Vec<&BitVec> = sparse.iter().collect();
+        assert_eq!(*or.to_bitvec(), kernels::or_all(&refs));
+        assert_eq!(*and.to_bitvec(), kernels::and_all(&refs));
+    }
+
+    #[test]
+    fn adaptive_ops_materialize_past_crossover() {
+        let n = 4096;
+        let dense: Vec<BitVec> = (0..3)
+            .map(|k| BitVec::from_fn(n, move |i| (i + k) % 2 == 0))
+            .collect();
+        let reprs: Vec<Repr> = dense
+            .iter()
+            .map(|b| Repr::wah(wah::WahBitmap::from_bitvec(b)))
+            .collect();
+        let idx = small_index();
+        let mut src = idx.source();
+        let mut ctx = ExecContext::new(&mut src);
+        let or = ctx.or_all_reprs(&reprs);
+        assert!(!or.is_compressed(), "50% density falls back to dense");
+        let s = ctx.stats();
+        assert_eq!(s.ors, 2);
+        assert_eq!(s.compressed_ops, 0);
+        assert_eq!(s.materializations, 3);
+        let refs: Vec<&BitVec> = dense.iter().collect();
+        assert_eq!(*or.to_bitvec(), kernels::or_all(&refs));
+        // Crossover 1.0 keeps dense-but-compressible operands (long runs)
+        // compressed; the alternating bitmaps above would still fall back
+        // because their WAH form is larger than a quarter of literal size.
+        let runs: Vec<BitVec> = (0..3)
+            .map(|k| BitVec::from_fn(n, move |i| (i / 512 + k) % 2 == 0))
+            .collect();
+        let run_reprs: Vec<Repr> = runs
+            .iter()
+            .map(|b| Repr::wah(wah::WahBitmap::from_bitvec(b)))
+            .collect();
+        let mut ctx = ExecContext::new(&mut src).with_wah_crossover(1.0);
+        let or = ctx.or_all_reprs(&run_reprs);
+        assert!(or.is_compressed());
+        assert_eq!(ctx.stats().compressed_ops, 2);
+        let run_refs: Vec<&BitVec> = runs.iter().collect();
+        assert_eq!(*or.to_bitvec(), kernels::or_all(&run_refs));
+        let incompressible = ctx.or_all_reprs(&reprs);
+        assert!(
+            !incompressible.is_compressed(),
+            "run-dense WAH falls back even with crossover 1.0"
+        );
+        // Crossover 0.0 forces the literal path even for sparse operands.
+        let sparse = Repr::wah(wah::WahBitmap::from_bitvec(&BitVec::from_fn(n, |i| i == 3)));
+        let mut ctx = ExecContext::new(&mut src).with_wah_crossover(0.0);
+        let and = ctx.and_all_reprs(&[sparse.clone(), sparse]);
+        assert!(!and.is_compressed());
+    }
+
+    #[test]
+    fn mixed_representations_fall_back_to_dense() {
+        let n = 1024;
+        let a = BitVec::from_fn(n, |i| i % 50 == 0);
+        let b = BitVec::from_fn(n, |i| i % 70 == 0);
+        let reprs = vec![
+            Repr::wah(wah::WahBitmap::from_bitvec(&a)),
+            Repr::literal(b.clone()),
+        ];
+        let idx = small_index();
+        let mut src = idx.source();
+        let mut ctx = ExecContext::new(&mut src);
+        let or = ctx.or_all_reprs(&reprs);
+        assert!(!or.is_compressed());
+        assert_eq!(ctx.stats().materializations, 1, "only the WAH operand");
+        assert_eq!(*or.to_bitvec(), kernels::or_all(&[&a, &b]));
     }
 
     fn equality_index() -> (Column, BitmapIndex) {

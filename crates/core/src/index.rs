@@ -36,6 +36,16 @@ pub trait BitmapSource {
     /// The non-null bitmap `B_nn`, or `None` when the attribute has no
     /// nulls (then `B_nn` is implicitly all ones and costs nothing).
     fn try_fetch_nn(&mut self) -> Result<Option<BitVec>>;
+
+    /// Reads stored bitmap `slot` of component `comp` in its stored
+    /// execution representation. Sources that keep slots compressed (the
+    /// v3 storage layout) override this to hand the executor the
+    /// compressed form; the default materializes through
+    /// [`BitmapSource::try_fetch`], so every existing source keeps
+    /// working unchanged.
+    fn try_fetch_repr(&mut self, comp: usize, slot: usize) -> Result<bindex_compress::Repr> {
+        self.try_fetch(comp, slot).map(bindex_compress::Repr::from)
+    }
 }
 
 /// An in-memory bitmap index over one attribute.

@@ -59,8 +59,9 @@ pub mod exec;
 pub mod index;
 
 pub use base::Base;
+pub use bindex_compress::Repr;
 pub use encoding::{Encoding, IndexSpec};
 pub use error::{Error, Result};
 pub use eval::Algorithm;
-pub use exec::{BufferSet, EvalStats, ExecContext, RecoveryPolicy};
+pub use exec::{BufferSet, EvalStats, ExecContext, RecoveryPolicy, DEFAULT_WAH_CROSSOVER};
 pub use index::{rebuild_slot, BitmapIndex, BitmapSource, MemorySource};

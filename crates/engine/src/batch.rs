@@ -223,6 +223,7 @@ impl<T> WorkloadReport<T> {
 /// Worker configuration for a batch run.
 #[derive(Debug, Clone, Default)]
 pub struct BatchOptions {
+    requested_threads: usize,
     threads: usize,
     deadline: Option<Deadline>,
     max_failures: Option<usize>,
@@ -230,10 +231,24 @@ pub struct BatchOptions {
 }
 
 impl BatchOptions {
-    /// Runs with `threads` workers (clamped to at least 1).
+    /// Runs with `threads` workers. The request is clamped to at least 1
+    /// and at most the machine's available parallelism — oversubscribing
+    /// cores only adds scheduler churn for this CPU-bound workload. A
+    /// clamp is logged to stderr; the original request stays visible via
+    /// [`requested_threads`](Self::requested_threads).
     pub fn with_threads(threads: usize) -> Self {
+        let requested = threads.max(1);
+        let cap =
+            std::thread::available_parallelism().map_or(requested, std::num::NonZeroUsize::get);
+        let effective = requested.min(cap);
+        if effective < requested {
+            eprintln!(
+                "warning: clamping worker count {requested} to available parallelism {effective}"
+            );
+        }
         Self {
-            threads: threads.max(1),
+            requested_threads: requested,
+            threads: effective,
             deadline: None,
             max_failures: None,
             recovery: RecoveryPolicy::default(),
@@ -289,9 +304,15 @@ impl BatchOptions {
         self
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads actually used (after the
+    /// available-parallelism clamp).
     pub fn threads(&self) -> usize {
         self.threads.max(1)
+    }
+
+    /// Number of worker threads originally asked for, before clamping.
+    pub fn requested_threads(&self) -> usize {
+        self.requested_threads.max(1)
     }
 
     /// The workload deadline, if any.
@@ -567,9 +588,14 @@ mod tests {
 
     #[test]
     fn options_clamp_and_env_parse() {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         assert_eq!(BatchOptions::with_threads(0).threads(), 1);
-        assert_eq!(BatchOptions::with_threads(8).threads(), 8);
+        let eight = BatchOptions::with_threads(8);
+        assert_eq!(eight.requested_threads(), 8);
+        assert_eq!(eight.threads(), 8.min(cores));
+        assert!(BatchOptions::with_threads(1).threads() == 1);
         assert!(BatchOptions::from_env().threads() >= 1);
+        assert!(BatchOptions::from_env().threads() <= cores);
     }
 
     #[test]

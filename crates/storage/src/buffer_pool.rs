@@ -3,13 +3,22 @@
 //!
 //! The analytic side of Section 10 lives in `bindex-core::buffer`; this
 //! pool is the runtime counterpart used by the storage-backed experiments:
-//! it caches decompressed bitmaps keyed by `(component, slot)` so that a
+//! it caches fetched bitmaps keyed by `(component, slot)` so that a
 //! buffered bitmap costs no file read.
+//!
+//! Entries are stored as [`Repr`] — dense or WAH-compressed, whichever
+//! form the store handed out — and the pool can be budgeted either in
+//! *slots* (the paper's `m` bitmaps) or in *bytes*
+//! ([`BufferPool::with_byte_budget`]). Byte budgeting is what makes the
+//! compressed execution path pay off twice: a WAH entry is charged its
+//! compressed footprint, so a fixed memory budget keeps more sparse
+//! bitmaps resident than the same budget over dense words.
 
 use std::collections::HashMap;
 use std::sync::{Mutex, MutexGuard};
 
 use bindex_bitvec::BitVec;
+use bindex_compress::Repr;
 
 /// Buffer pool statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -22,17 +31,41 @@ pub struct PoolStats {
     pub evictions: u64,
 }
 
+/// What the pool charges against: a count of resident bitmaps (the
+/// paper's `m`) or their total heap bytes.
+#[derive(Debug, Clone, Copy)]
+enum Budget {
+    Slots(usize),
+    Bytes(usize),
+}
+
 struct Inner {
-    /// (component, slot) -> (bitmap, last-use tick).
-    entries: HashMap<(usize, usize), (BitVec, u64)>,
+    /// (component, slot) -> (bitmap representation, last-use tick).
+    entries: HashMap<(usize, usize), (Repr, u64)>,
+    /// Total [`Repr::heap_bytes`] across resident entries.
+    resident_bytes: usize,
     tick: u64,
     stats: PoolStats,
 }
 
-/// LRU cache of up to `capacity` bitmaps. Thread-safe, matching the
-/// shared buffer pool of a database server.
+impl Inner {
+    /// Evicts the least-recently-used entry; returns `false` when empty.
+    fn evict_lru(&mut self) -> bool {
+        let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, last))| *last) else {
+            return false;
+        };
+        if let Some((repr, _)) = self.entries.remove(&victim) {
+            self.resident_bytes -= repr.heap_bytes();
+            self.stats.evictions += 1;
+        }
+        true
+    }
+}
+
+/// LRU cache of bitmaps under a slot or byte budget. Thread-safe,
+/// matching the shared buffer pool of a database server.
 pub struct BufferPool {
-    capacity: usize,
+    budget: Budget,
     inner: Mutex<Inner>,
 }
 
@@ -44,61 +77,124 @@ impl BufferPool {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Creates a pool holding at most `capacity` bitmaps (`m` in the
-    /// paper's notation). Zero capacity disables caching.
-    pub fn new(capacity: usize) -> Self {
+    fn with_budget(budget: Budget) -> Self {
         Self {
-            capacity,
+            budget,
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
+                resident_bytes: 0,
                 tick: 0,
                 stats: PoolStats::default(),
             }),
         }
     }
 
-    /// Maximum resident bitmaps.
-    pub fn capacity(&self) -> usize {
-        self.capacity
+    /// Creates a pool holding at most `capacity` bitmaps (`m` in the
+    /// paper's notation). Zero capacity disables caching.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_budget(Budget::Slots(capacity))
     }
 
-    /// Fetches the bitmap for `key`, loading it with `load` on a miss.
-    pub fn get_or_load<E>(
+    /// Creates a pool bounded by resident heap bytes instead of a bitmap
+    /// count: each entry is charged its [`Repr::heap_bytes`], so compressed
+    /// entries cost what they actually occupy. Zero disables caching; an
+    /// entry larger than the whole budget is served but never cached.
+    pub fn with_byte_budget(bytes: usize) -> Self {
+        Self::with_budget(Budget::Bytes(bytes))
+    }
+
+    /// Maximum resident bitmaps for a slot-budgeted pool; `usize::MAX`
+    /// for a byte-budgeted pool (no slot bound).
+    pub fn capacity(&self) -> usize {
+        match self.budget {
+            Budget::Slots(n) => n,
+            Budget::Bytes(_) => usize::MAX,
+        }
+    }
+
+    /// The byte budget, when this pool is byte-budgeted.
+    pub fn byte_budget(&self) -> Option<usize> {
+        match self.budget {
+            Budget::Slots(_) => None,
+            Budget::Bytes(b) => Some(b),
+        }
+    }
+
+    fn disabled(&self) -> bool {
+        matches!(self.budget, Budget::Slots(0) | Budget::Bytes(0))
+    }
+
+    /// Fetches the representation for `key`, loading it with `load` on a
+    /// miss. The returned [`Repr`] is an `Arc`-backed handle — a hit costs
+    /// a reference bump, not a bitmap copy.
+    pub fn get_or_load_repr<E>(
         &self,
         key: (usize, usize),
-        load: impl FnOnce() -> Result<BitVec, E>,
-    ) -> Result<BitVec, E> {
-        if self.capacity == 0 {
-            let mut inner = self.lock();
-            inner.stats.misses += 1;
-            drop(inner);
+        load: impl FnOnce() -> Result<Repr, E>,
+    ) -> Result<Repr, E> {
+        if self.disabled() {
+            self.lock().stats.misses += 1;
             return load();
         }
         {
             let mut inner = self.lock();
             inner.tick += 1;
             let tick = inner.tick;
-            if let Some((bm, last)) = inner.entries.get_mut(&key) {
+            if let Some((repr, last)) = inner.entries.get_mut(&key) {
                 *last = tick;
-                let out = bm.clone();
+                let out = repr.clone();
                 inner.stats.hits += 1;
                 return Ok(out);
             }
             inner.stats.misses += 1;
         }
         // Load outside the lock; racing loads are benign (last write wins).
-        let bm = load()?;
+        let repr = load()?;
+        let bytes = repr.heap_bytes();
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        if inner.entries.len() >= self.capacity && !inner.entries.contains_key(&key) {
-            if let Some((&victim, _)) = inner.entries.iter().min_by_key(|(_, (_, last))| *last) {
-                inner.entries.remove(&victim);
-                inner.stats.evictions += 1;
+        if let Some((old, _)) = inner.entries.remove(&key) {
+            inner.resident_bytes -= old.heap_bytes();
+        }
+        match self.budget {
+            Budget::Slots(cap) => {
+                while inner.entries.len() >= cap {
+                    if !inner.evict_lru() {
+                        break;
+                    }
+                }
+            }
+            Budget::Bytes(cap) => {
+                if bytes > cap {
+                    // Oversized for the whole pool: serve without caching.
+                    return Ok(repr);
+                }
+                while inner.resident_bytes + bytes > cap {
+                    if !inner.evict_lru() {
+                        break;
+                    }
+                }
             }
         }
-        inner.entries.insert(key, (bm.clone(), tick));
-        Ok(bm)
+        inner.resident_bytes += bytes;
+        inner.entries.insert(key, (repr.clone(), tick));
+        Ok(repr)
+    }
+
+    /// Fetches the bitmap for `key` in dense form, loading it with `load`
+    /// on a miss. Compressed entries are decompressed on the way out; the
+    /// cached copy keeps its stored representation.
+    pub fn get_or_load<E>(
+        &self,
+        key: (usize, usize),
+        load: impl FnOnce() -> Result<BitVec, E>,
+    ) -> Result<BitVec, E> {
+        let repr = self.get_or_load_repr(key, || load().map(Repr::literal))?;
+        Ok(match repr {
+            Repr::Literal(b) => std::sync::Arc::try_unwrap(b).unwrap_or_else(|a| (*a).clone()),
+            Repr::Wah(w) => w.to_bitvec(),
+        })
     }
 
     /// Current statistics.
@@ -111,10 +207,17 @@ impl BufferPool {
         self.lock().entries.len()
     }
 
+    /// Total heap bytes of the resident entries (each charged in its
+    /// stored representation).
+    pub fn resident_bytes(&self) -> usize {
+        self.lock().resident_bytes
+    }
+
     /// Empties the pool and resets statistics.
     pub fn clear(&self) {
         let mut inner = self.lock();
         inner.entries.clear();
+        inner.resident_bytes = 0;
         inner.stats = PoolStats::default();
     }
 }
@@ -146,14 +249,36 @@ impl ShardedPool {
         }
     }
 
+    /// Creates a byte-budgeted pool of `bytes` total, spread over
+    /// `n_shards` shards.
+    ///
+    /// # Panics
+    /// Panics if `n_shards` is zero.
+    pub fn with_byte_budget(bytes: usize, n_shards: usize) -> Self {
+        assert!(n_shards > 0, "ShardedPool needs at least one shard");
+        let per_shard = if bytes == 0 {
+            0
+        } else {
+            bytes.div_ceil(n_shards)
+        };
+        Self {
+            shards: (0..n_shards)
+                .map(|_| BufferPool::with_byte_budget(per_shard))
+                .collect(),
+        }
+    }
+
     /// Number of shards.
     pub fn n_shards(&self) -> usize {
         self.shards.len()
     }
 
-    /// Total capacity across shards.
+    /// Total slot capacity across shards (`usize::MAX` when byte-budgeted).
     pub fn capacity(&self) -> usize {
-        self.shards.iter().map(BufferPool::capacity).sum()
+        self.shards
+            .iter()
+            .map(BufferPool::capacity)
+            .fold(0usize, usize::saturating_add)
     }
 
     fn shard_of(&self, key: (usize, usize)) -> &BufferPool {
@@ -174,6 +299,16 @@ impl ShardedPool {
         self.shard_of(key).get_or_load(key, load)
     }
 
+    /// Fetches the representation for `key` from its shard, loading on a
+    /// miss.
+    pub fn get_or_load_repr<E>(
+        &self,
+        key: (usize, usize),
+        load: impl FnOnce() -> Result<Repr, E>,
+    ) -> Result<Repr, E> {
+        self.shard_of(key).get_or_load_repr(key, load)
+    }
+
     /// Aggregated statistics across all shards.
     pub fn stats(&self) -> PoolStats {
         let mut total = PoolStats::default();
@@ -191,6 +326,11 @@ impl ShardedPool {
         self.shards.iter().map(BufferPool::resident).sum()
     }
 
+    /// Total resident heap bytes across all shards.
+    pub fn resident_bytes(&self) -> usize {
+        self.shards.iter().map(BufferPool::resident_bytes).sum()
+    }
+
     /// Empties every shard and resets statistics.
     pub fn clear(&self) {
         for s in &self.shards {
@@ -202,6 +342,7 @@ impl ShardedPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bindex_compress::wah::WahBitmap;
 
     fn bm(tag: usize) -> BitVec {
         BitVec::from_fn(64, |i| (i + tag).is_multiple_of(3))
@@ -268,6 +409,78 @@ mod tests {
     }
 
     #[test]
+    fn byte_budget_charges_heap_bytes() {
+        // Each 64-bit literal costs 8 bytes: a 24-byte budget holds 3.
+        let pool = BufferPool::with_byte_budget(24);
+        assert_eq!(pool.byte_budget(), Some(24));
+        for slot in 0..3 {
+            pool.get_or_load::<()>((1, slot), || Ok(bm(slot))).unwrap();
+        }
+        assert_eq!(pool.resident(), 3);
+        assert_eq!(pool.resident_bytes(), 24);
+        // A fourth entry must evict the LRU first.
+        pool.get_or_load::<()>((1, 3), || Ok(bm(3))).unwrap();
+        assert_eq!(pool.resident(), 3);
+        assert_eq!(pool.resident_bytes(), 24);
+        assert_eq!(pool.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_budget_holds_more_compressed_entries() {
+        // Sparse 4096-bit bitmaps: 512 dense bytes each, a handful of
+        // WAH words each. The same byte budget keeps every compressed
+        // entry resident but only one dense one.
+        let sparse = |tag: usize| BitVec::from_fn(4096, move |i| i == tag);
+        let budget = 600;
+        let dense = BufferPool::with_byte_budget(budget);
+        let compressed = BufferPool::with_byte_budget(budget);
+        for slot in 0..8 {
+            dense
+                .get_or_load::<()>((1, slot), || Ok(sparse(slot)))
+                .unwrap();
+            compressed
+                .get_or_load_repr::<()>((1, slot), || {
+                    Ok(Repr::wah(WahBitmap::from_bitvec(&sparse(slot))))
+                })
+                .unwrap();
+        }
+        assert_eq!(dense.resident(), 1);
+        assert_eq!(compressed.resident(), 8);
+        assert!(compressed.resident_bytes() <= budget);
+    }
+
+    #[test]
+    fn oversized_entry_served_not_cached() {
+        let pool = BufferPool::with_byte_budget(8);
+        let big = BitVec::from_fn(1024, |i| i % 2 == 0); // 128 bytes
+        let got = pool.get_or_load::<()>((1, 0), || Ok(big.clone())).unwrap();
+        assert_eq!(got, big);
+        assert_eq!(pool.resident(), 0);
+        assert_eq!(pool.stats().evictions, 0);
+    }
+
+    #[test]
+    fn repr_hits_preserve_representation() {
+        let pool = BufferPool::new(4);
+        let bits = BitVec::from_fn(2048, |i| i == 7);
+        let wah = WahBitmap::from_bitvec(&bits);
+        pool.get_or_load_repr::<()>((2, 0), || Ok(Repr::wah(wah)))
+            .unwrap();
+        let hit = pool
+            .get_or_load_repr::<()>((2, 0), || panic!("must hit"))
+            .unwrap();
+        assert!(hit.is_compressed());
+        assert_eq!(*hit.to_bitvec(), bits);
+        // The dense accessor decompresses on the way out but keeps the
+        // compressed copy cached.
+        let dense = pool
+            .get_or_load::<()>((2, 0), || panic!("must hit"))
+            .unwrap();
+        assert_eq!(dense, bits);
+        assert!(pool.resident_bytes() < bits.words().len() * 8);
+    }
+
+    #[test]
     fn sharded_pool_caches_and_aggregates() {
         let pool = ShardedPool::new(16, 4);
         assert_eq!(pool.n_shards(), 4);
@@ -287,6 +500,16 @@ mod tests {
         pool.clear();
         assert_eq!(pool.resident(), 0);
         assert_eq!(pool.stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn sharded_byte_budget_accounts_bytes() {
+        let pool = ShardedPool::with_byte_budget(1024, 4);
+        for slot in 0..8 {
+            pool.get_or_load::<()>((1, slot), || Ok(bm(slot))).unwrap();
+        }
+        assert_eq!(pool.resident(), 8);
+        assert_eq!(pool.resident_bytes(), 64);
     }
 
     #[test]

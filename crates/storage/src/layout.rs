@@ -6,9 +6,19 @@
 //! returns the bytes that were written or a typed
 //! [`StorageError`]. Version 1 stores (raw payloads, plain-text manifest)
 //! remain readable; the manifest's leading bytes tell the two apart.
+//!
+//! Version 3 ([`StoredIndex::create_v3`]) keeps the checksummed frame but
+//! chooses a representation *per slot* at build time: each bitmap file's
+//! payload starts with a one-byte tag selecting either the dense bytes
+//! (compressed with the store's byte codec, as in v2) or the WAH
+//! compressed form — whichever is smaller by the build heuristic. WAH
+//! slots can be handed to the executor still compressed
+//! ([`StoredIndex::read_repr`]), so sparse bitmaps cost less I/O, less
+//! pool memory, *and* no decompression.
 
 use bindex_bitvec::BitVec;
-use bindex_compress::CodecKind;
+use bindex_compress::wah::WahBitmap;
+use bindex_compress::{CodecKind, Repr};
 
 use crate::error::{RepairReport, RetryPolicy, ScrubFailure, ScrubReport, StorageError};
 use crate::format;
@@ -69,7 +79,7 @@ impl StoredIndexMeta {
 
     /// Serializes the metadata as the manifest file format (one
     /// `key=value` per line; versioned, order-insensitive).
-    fn to_manifest(&self) -> String {
+    fn to_manifest(&self, version: u32) -> String {
         let comps: Vec<String> = self
             .bitmaps_per_component
             .iter()
@@ -77,7 +87,7 @@ impl StoredIndexMeta {
             .collect();
         let mut text = format!(
             "version={}\nn_rows={}\nscheme={}\ncodec={}\ncomponents={}\n",
-            format::FORMAT_VERSION,
+            version,
             self.n_rows,
             match self.scheme {
                 StorageScheme::BitmapLevel => "bs",
@@ -145,6 +155,7 @@ impl StoredIndexMeta {
         let version = match version.as_deref() {
             Some("1") => 1,
             Some("2") => 2,
+            Some("3") => 3,
             _ => return Err(bad("unsupported version")),
         };
         Ok((
@@ -169,8 +180,8 @@ pub struct StoredIndex<S: ByteStore> {
     store: S,
     meta: StoredIndexMeta,
     stats: IoStats,
-    /// `true` for version-2 stores whose files carry the checksummed frame.
-    framed: bool,
+    /// On-disk format version: 1 raw, 2 framed, 3 framed + per-slot codec.
+    version: u32,
     retry: RetryPolicy,
 }
 
@@ -225,12 +236,62 @@ impl<S: ByteStore> StoredIndex<S> {
                 store.write_file(INDEX_FILE, &format::frame(&codec.compress(&raw)))?;
             }
         }
-        store.write_file(MANIFEST_FILE, &format::frame(meta.to_manifest().as_bytes()))?;
+        store.write_file(
+            MANIFEST_FILE,
+            &format::frame(meta.to_manifest(format::FORMAT_VERSION).as_bytes()),
+        )?;
         Ok(Self {
             store,
             meta,
             stats: IoStats::default(),
-            framed: true,
+            version: format::FORMAT_VERSION,
+            retry: RetryPolicy::default(),
+        })
+    }
+
+    /// Writes a **version-3** store: bitmap-level layout where each slot's
+    /// framed payload carries a one-byte representation tag. At build time
+    /// every bitmap is WAH-encoded and the compressed form is kept iff it
+    /// beats the dense bytes by at least 25 % (`4·wah ≤ 3·raw`) — dense
+    /// slots fall back to `codec`-compressed bytes exactly as in v2. WAH
+    /// slots can later be served still-compressed via
+    /// [`StoredIndex::read_repr`].
+    pub fn create_v3(
+        mut store: S,
+        components: &[Vec<BitVec>],
+        codec: CodecKind,
+    ) -> Result<Self, StorageError> {
+        let n_rows = components
+            .first()
+            .and_then(|c| c.first())
+            .map_or(0, BitVec::len);
+        for comp in components.iter().flatten() {
+            assert_eq!(comp.len(), n_rows, "bitmaps must share the row count");
+        }
+        let meta = StoredIndexMeta {
+            n_rows,
+            bitmaps_per_component: components.iter().map(|c| c.len() as u32).collect(),
+            scheme: StorageScheme::BitmapLevel,
+            codec,
+            repairs: Vec::new(),
+        };
+        for (ci, comp) in components.iter().enumerate() {
+            for (j, bm) in comp.iter().enumerate() {
+                store.write_file(
+                    &bitmap_file(ci + 1, j),
+                    &format::frame(&encode_slot_v3(bm, codec)),
+                )?;
+            }
+        }
+        store.write_file(
+            MANIFEST_FILE,
+            &format::frame(meta.to_manifest(3).as_bytes()),
+        )?;
+        Ok(Self {
+            store,
+            meta,
+            stats: IoStats::default(),
+            version: 3,
             retry: RetryPolicy::default(),
         })
     }
@@ -251,10 +312,16 @@ impl<S: ByteStore> StoredIndex<S> {
         let text = std::str::from_utf8(&payload)
             .map_err(|_| StorageError::corrupt(MANIFEST_FILE, "manifest not UTF-8"))?;
         let (meta, version) = StoredIndexMeta::from_manifest(text)?;
-        if framed != (version == 2) {
+        if framed != (version >= 2) {
             return Err(StorageError::corrupt(
                 MANIFEST_FILE,
                 format!("manifest framing does not match declared version {version}"),
+            ));
+        }
+        if version >= 3 && meta.scheme != StorageScheme::BitmapLevel {
+            return Err(StorageError::corrupt(
+                MANIFEST_FILE,
+                "version 3 requires the bitmap-level scheme",
             ));
         }
         Ok(Self {
@@ -264,7 +331,7 @@ impl<S: ByteStore> StoredIndex<S> {
                 retries,
                 ..IoStats::default()
             },
-            framed,
+            version,
             retry,
         })
     }
@@ -274,13 +341,21 @@ impl<S: ByteStore> StoredIndex<S> {
         &self.meta
     }
 
-    /// On-disk format version: 2 for checksum-framed stores, 1 for legacy.
+    /// On-disk format version: 3 for per-slot-coded stores, 2 for
+    /// checksum-framed stores, 1 for legacy.
     pub fn format_version(&self) -> u32 {
-        if self.framed {
-            2
-        } else {
-            1
-        }
+        self.version
+    }
+
+    /// `true` when files carry the checksummed frame (versions ≥ 2).
+    fn framed(&self) -> bool {
+        self.version >= 2
+    }
+
+    /// `true` when each slot payload starts with a representation tag
+    /// (version 3).
+    fn slot_coded(&self) -> bool {
+        self.version >= 3
     }
 
     /// The retry policy applied to transient read failures.
@@ -360,12 +435,46 @@ impl<S: ByteStore> StoredIndex<S> {
         Ok((bm, delta))
     }
 
-    fn read_bitmap_into(
+    /// Like [`StoredIndex::read_bitmap`], but returns the slot in its
+    /// *stored execution representation*: on a version-3 store a
+    /// WAH-tagged slot comes back still compressed
+    /// ([`Repr::Wah`]), skipping decompression entirely; every other
+    /// slot (and every pre-v3 store) materializes to [`Repr::Literal`].
+    pub fn read_repr(&mut self, comp: usize, slot: usize) -> Result<Repr, StorageError> {
+        let mut delta = IoStats::default();
+        let out = self.read_repr_into(comp, slot, &mut delta);
+        self.stats.add(&delta);
+        out
+    }
+
+    /// Shared-state variant of [`StoredIndex::read_repr`], mirroring
+    /// [`StoredIndex::read_bitmap_shared`].
+    pub fn read_repr_shared(
+        &self,
+        comp: usize,
+        slot: usize,
+    ) -> Result<(Repr, IoStats), StorageError> {
+        let mut delta = IoStats::default();
+        let repr = self.read_repr_into(comp, slot, &mut delta)?;
+        Ok((repr, delta))
+    }
+
+    fn read_repr_into(
         &self,
         comp: usize,
         slot: usize,
         delta: &mut IoStats,
-    ) -> Result<BitVec, StorageError> {
+    ) -> Result<Repr, StorageError> {
+        if self.slot_coded() {
+            self.check_slot(comp, slot)?;
+            self.read_slot_repr(&bitmap_file(comp, slot), delta)
+        } else {
+            self.read_bitmap_into(comp, slot, delta).map(Repr::literal)
+        }
+    }
+
+    /// Validates a `(component, slot)` address against the stored shape.
+    fn check_slot(&self, comp: usize, slot: usize) -> Result<usize, StorageError> {
         let n_i = match comp
             .checked_sub(1)
             .and_then(|c| self.meta.bitmaps_per_component.get(c))
@@ -376,8 +485,74 @@ impl<S: ByteStore> StoredIndex<S> {
         if slot >= n_i {
             return Err(StorageError::InvalidSlot { comp, slot });
         }
+        Ok(n_i)
+    }
+
+    /// Reads one version-3 slot file: unframe, dispatch on the leading
+    /// representation tag.
+    fn read_slot_repr(&self, name: &str, delta: &mut IoStats) -> Result<Repr, StorageError> {
+        let n_rows = self.meta.n_rows;
+        let data = read_with_retry(&self.store, name, self.retry, &mut delta.retries)?;
+        delta.reads += 1;
+        delta.bytes_read += data.len() as u64;
+        let payload = format::unframe(name, &data)?;
+        let (&tag, rest) = payload
+            .split_first()
+            .ok_or_else(|| StorageError::corrupt(name, "empty slot payload"))?;
+        match tag {
+            SLOT_TAG_WAH => WahBitmap::from_bytes(n_rows, rest)
+                .map(Repr::wah)
+                .map_err(|e| StorageError::corrupt(name, e.to_string())),
+            SLOT_TAG_LITERAL => {
+                let raw_len = n_rows.div_ceil(8);
+                let raw = if self.meta.codec == CodecKind::None {
+                    rest.to_vec()
+                } else {
+                    let out = self
+                        .meta
+                        .codec
+                        .decompress(rest, raw_len)
+                        .map_err(|e| StorageError::corrupt(name, e.to_string()))?;
+                    delta.bytes_decompressed += out.len() as u64;
+                    out
+                };
+                if raw.len() != raw_len {
+                    return Err(StorageError::corrupt(
+                        name,
+                        format!("slot holds {} bytes, expected {raw_len}", raw.len()),
+                    ));
+                }
+                Ok(Repr::literal(BitVec::from_bytes(n_rows, &raw)))
+            }
+            other => Err(StorageError::corrupt(
+                name,
+                format!("unknown slot representation tag {other}"),
+            )),
+        }
+    }
+
+    fn read_bitmap_into(
+        &self,
+        comp: usize,
+        slot: usize,
+        delta: &mut IoStats,
+    ) -> Result<BitVec, StorageError> {
+        let n_i = self.check_slot(comp, slot)?;
         let n_rows = self.meta.n_rows;
         match self.meta.scheme {
+            StorageScheme::BitmapLevel if self.slot_coded() => {
+                match self.read_slot_repr(&bitmap_file(comp, slot), delta)? {
+                    Repr::Literal(b) => {
+                        Ok(std::sync::Arc::try_unwrap(b).unwrap_or_else(|a| (*a).clone()))
+                    }
+                    Repr::Wah(w) => {
+                        // Decompressing WAH to dense words is the v3
+                        // analogue of a codec decompression.
+                        delta.bytes_decompressed += n_rows.div_ceil(8) as u64;
+                        Ok(w.to_bitvec())
+                    }
+                }
+            }
             StorageScheme::BitmapLevel => {
                 let raw =
                     self.read_and_decompress(&bitmap_file(comp, slot), n_rows.div_ceil(8), delta)?;
@@ -413,7 +588,7 @@ impl<S: ByteStore> StoredIndex<S> {
             report.files_checked += 1;
             let outcome = read_with_retry(&self.store, name, self.retry, &mut self.stats.retries)
                 .and_then(|data| {
-                    if self.framed {
+                    if self.framed() {
                         format::unframe(name, &data).map(|_| ())
                     } else {
                         Ok(())
@@ -505,14 +680,20 @@ impl<S: ByteStore> StoredIndex<S> {
                 report.unrepaired.push(failure);
                 continue;
             }
-            let raw = match self.meta.scheme {
-                StorageScheme::BitmapLevel => bitmaps[0].to_bytes(),
-                StorageScheme::ComponentLevel | StorageScheme::IndexLevel => {
-                    row_major(&bitmaps, self.meta.n_rows)
-                }
+            let payload = if self.slot_coded() {
+                // v3 slots re-encode through the same per-slot heuristic
+                // the store was built with.
+                encode_slot_v3(&bitmaps[0], self.meta.codec)
+            } else {
+                let raw = match self.meta.scheme {
+                    StorageScheme::BitmapLevel => bitmaps[0].to_bytes(),
+                    StorageScheme::ComponentLevel | StorageScheme::IndexLevel => {
+                        row_major(&bitmaps, self.meta.n_rows)
+                    }
+                };
+                self.meta.codec.compress(&raw)
             };
-            let payload = self.meta.codec.compress(&raw);
-            let data = if self.framed {
+            let data = if self.framed() {
                 format::frame(&payload)
             } else {
                 payload
@@ -526,7 +707,7 @@ impl<S: ByteStore> StoredIndex<S> {
         if !report.repaired.is_empty() {
             self.meta.repairs.extend(report.repaired.iter().cloned());
             let text = self.manifest_text();
-            let data = if self.framed {
+            let data = if self.framed() {
                 format::frame(text.as_bytes())
             } else {
                 text.into_bytes()
@@ -537,18 +718,9 @@ impl<S: ByteStore> StoredIndex<S> {
     }
 
     /// The manifest serialization matching this store's format version
-    /// (repairs never upgrade a version-1 store to the framed format).
+    /// (repairs never change a store's version).
     fn manifest_text(&self) -> String {
-        let text = self.meta.to_manifest();
-        if self.framed {
-            text
-        } else {
-            text.replacen(
-                &format!("version={}", format::FORMAT_VERSION),
-                "version=1",
-                1,
-            )
-        }
+        self.meta.to_manifest(self.version)
     }
 
     fn read_and_decompress(
@@ -560,7 +732,7 @@ impl<S: ByteStore> StoredIndex<S> {
         let data = read_with_retry(&self.store, name, self.retry, &mut delta.retries)?;
         delta.reads += 1;
         delta.bytes_read += data.len() as u64;
-        let payload = if self.framed {
+        let payload = if self.framed() {
             format::unframe(name, &data)?
         } else {
             data
@@ -607,6 +779,35 @@ fn read_with_retry<S: ByteStore>(
 const INDEX_FILE: &str = "index.bix";
 /// Name of the manifest file present under every scheme.
 pub(crate) const MANIFEST_FILE: &str = "manifest.bixm";
+
+/// v3 slot tag: dense bytes, compressed with the store's byte codec.
+const SLOT_TAG_LITERAL: u8 = 0;
+/// v3 slot tag: WAH compressed words, operable without decompression.
+const SLOT_TAG_WAH: u8 = 1;
+
+/// Encodes one bitmap as a version-3 slot payload (tag byte + body),
+/// keeping the WAH form iff it is at most a quarter of the dense bytes —
+/// the same structural threshold the executor's stay-compressed rule
+/// uses, so a WAH slot is one the kernels can actually win on. Slots
+/// compressing only marginally (uniform-random bitmaps hover near ratio
+/// 0.75–1.0) stay literal: the modest byte saving does not pay for
+/// decompressing them on every fetch. Shared by
+/// [`StoredIndex::create_v3`] and v3 repair so a repaired slot re-encodes
+/// exactly as the builder would.
+fn encode_slot_v3(bm: &BitVec, codec: CodecKind) -> Vec<u8> {
+    let raw = bm.to_bytes();
+    let wah = WahBitmap::from_bitvec(bm);
+    if wah.compressed_bytes() * 4 <= raw.len() {
+        let mut out = Vec::with_capacity(1 + wah.compressed_bytes());
+        out.push(SLOT_TAG_WAH);
+        out.extend_from_slice(&wah.to_bytes());
+        out
+    } else {
+        let mut out = vec![SLOT_TAG_LITERAL];
+        out.extend_from_slice(&codec.compress(&raw));
+        out
+    }
+}
 
 fn bitmap_file(comp: usize, slot: usize) -> String {
     format!("c{comp}_b{slot}.bmp")
@@ -819,7 +1020,7 @@ mod tests {
             codec: CodecKind::Lzss,
             repairs: vec!["c1_b0.bmp".into(), "c3_b2.bmp".into()],
         };
-        let text = meta.to_manifest();
+        let text = meta.to_manifest(2);
         let (parsed, version) = StoredIndexMeta::from_manifest(&text).unwrap();
         assert_eq!(parsed, meta);
         assert_eq!(version, 2);
@@ -1096,5 +1297,140 @@ mod tests {
         assert!(err.is_transient());
         // A follow-up read succeeds (the budget is spent).
         assert!(stored2.read_bitmap(1, 0).is_ok());
+    }
+
+    /// Wide bitmaps where the per-slot heuristic actually diverges: a very
+    /// sparse column (WAH wins) next to a dense pseudo-random one (dense
+    /// bytes win).
+    fn mixed_density_components() -> Vec<Vec<BitVec>> {
+        let n = 4096;
+        vec![vec![
+            BitVec::from_fn(n, |i| i % 1000 == 0),
+            BitVec::from_fn(n, |i| (i.wrapping_mul(2_654_435_761)) % 3 == 0),
+            BitVec::zeros(n),
+        ]]
+    }
+
+    #[test]
+    fn v3_roundtrips_and_reopens() {
+        let comps = mixed_density_components();
+        for codec in [CodecKind::None, CodecKind::Deflate] {
+            let stored = StoredIndex::create_v3(MemStore::new(), &comps, codec).unwrap();
+            assert_eq!(stored.format_version(), 3);
+            let mut reopened = StoredIndex::open(stored.into_store()).unwrap();
+            assert_eq!(reopened.format_version(), 3);
+            for (j, bm) in comps[0].iter().enumerate() {
+                assert_eq!(
+                    &reopened.read_bitmap(1, j).unwrap(),
+                    bm,
+                    "{codec:?} slot {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v3_repr_keeps_sparse_slots_compressed() {
+        let comps = mixed_density_components();
+        let mut stored = StoredIndex::create_v3(MemStore::new(), &comps, CodecKind::None).unwrap();
+        let sparse = stored.read_repr(1, 0).unwrap();
+        assert!(sparse.is_compressed(), "sparse slot should stay WAH");
+        let dense = stored.read_repr(1, 1).unwrap();
+        assert!(!dense.is_compressed(), "dense slot should be literal");
+        let empty = stored.read_repr(1, 2).unwrap();
+        assert!(empty.is_compressed(), "all-zeros slot should stay WAH");
+        for (j, bm) in comps[0].iter().enumerate() {
+            assert_eq!(*stored.read_repr(1, j).unwrap().to_bitvec(), *bm);
+        }
+        // WAH slot reads cost no codec decompression.
+        let mut fresh = StoredIndex::open(stored.into_store()).unwrap();
+        fresh.read_repr(1, 0).unwrap();
+        assert_eq!(fresh.stats().bytes_decompressed, 0);
+        // Materializing the same slot through read_bitmap does.
+        fresh.read_bitmap(1, 0).unwrap();
+        assert!(fresh.take_stats().bytes_decompressed > 0);
+    }
+
+    #[test]
+    fn v3_stores_sparse_slots_smaller_than_v2() {
+        let comps = mixed_density_components();
+        let v2 = StoredIndex::create(
+            MemStore::new(),
+            &comps,
+            StorageScheme::BitmapLevel,
+            CodecKind::None,
+        )
+        .unwrap();
+        let v3 = StoredIndex::create_v3(MemStore::new(), &comps, CodecKind::None).unwrap();
+        assert!(v3.total_stored_bytes() < v2.total_stored_bytes());
+    }
+
+    #[test]
+    fn v3_scrub_and_repair_preserves_slot_coding() {
+        let comps = mixed_density_components();
+        let stored = StoredIndex::create_v3(MemStore::new(), &comps, CodecKind::Deflate).unwrap();
+        let mut store = stored.into_store();
+        // Corrupt the sparse (WAH-coded) slot file.
+        let mut data = store.read_file("c1_b0.bmp").unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0x40;
+        store.write_file("c1_b0.bmp", &data).unwrap();
+
+        let mut stored = StoredIndex::open(store).unwrap();
+        assert!(stored.read_repr(1, 0).is_err());
+        let report = stored
+            .scrub_and_repair(|comp, slot| Some(comps[comp - 1][slot].clone()))
+            .unwrap();
+        assert_eq!(report.repaired, vec!["c1_b0.bmp".to_string()]);
+        // The repaired slot is WAH again — not silently downgraded to v2.
+        let repr = stored.read_repr(1, 0).unwrap();
+        assert!(repr.is_compressed());
+        assert_eq!(*repr.to_bitvec(), comps[0][0]);
+        // Reopen sees version 3 and the repair journal.
+        let reopened = StoredIndex::open(stored.into_store()).unwrap();
+        assert_eq!(reopened.format_version(), 3);
+        assert_eq!(reopened.meta().repairs, vec!["c1_b0.bmp".to_string()]);
+    }
+
+    #[test]
+    fn pre_v3_read_repr_is_always_literal() {
+        let comps = sample_components();
+        let mut v2 = StoredIndex::create(
+            MemStore::new(),
+            &comps,
+            StorageScheme::ComponentLevel,
+            CodecKind::Rle,
+        )
+        .unwrap();
+        let repr = v2.read_repr(1, 2).unwrap();
+        assert!(!repr.is_compressed());
+        assert_eq!(*repr.to_bitvec(), comps[0][2]);
+    }
+
+    #[test]
+    fn v3_rejects_unknown_tag_and_bad_wah() {
+        let comps = mixed_density_components();
+        let stored = StoredIndex::create_v3(MemStore::new(), &comps, CodecKind::None).unwrap();
+        let mut store = stored.into_store();
+        // Rewrite the sparse slot with an unknown tag, properly framed so
+        // only the tag dispatch can object.
+        store
+            .write_file("c1_b0.bmp", &format::frame(&[9u8, 0, 0, 0, 0]))
+            .unwrap();
+        let mut stored = StoredIndex::open(store).unwrap();
+        match stored.read_repr(1, 0) {
+            Err(StorageError::Corrupt { file, .. }) => assert_eq!(file, "c1_b0.bmp"),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        // A WAH tag with a malformed body is also a clean typed error.
+        let mut store = stored.into_store();
+        store
+            .write_file("c1_b0.bmp", &format::frame(&[SLOT_TAG_WAH, 1, 2, 3]))
+            .unwrap();
+        let mut stored = StoredIndex::open(store).unwrap();
+        assert!(matches!(
+            stored.read_repr(1, 0),
+            Err(StorageError::Corrupt { .. })
+        ));
     }
 }

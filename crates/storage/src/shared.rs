@@ -14,6 +14,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bindex_bitvec::BitVec;
+use bindex_compress::Repr;
 
 use crate::buffer_pool::{PoolStats, ShardedPool};
 use crate::error::StorageError;
@@ -114,6 +115,26 @@ impl<S: ByteStore> SharedIndexReader<S> {
         Ok(bm)
     }
 
+    /// Reads stored bitmap `slot` of component `comp` in its stored
+    /// execution representation: a WAH-coded v3 slot comes back
+    /// compressed, everything else as a dense literal. With a pool
+    /// attached, the cached entry keeps that representation — so a cached
+    /// sparse bitmap occupies its compressed footprint.
+    pub fn read_repr(&self, comp: usize, slot: usize) -> Result<Repr, StorageError> {
+        match &self.pool {
+            Some(pool) => {
+                pool.get_or_load_repr((comp, slot), || self.read_repr_uncached(comp, slot))
+            }
+            None => self.read_repr_uncached(comp, slot),
+        }
+    }
+
+    fn read_repr_uncached(&self, comp: usize, slot: usize) -> Result<Repr, StorageError> {
+        let (repr, delta) = self.index.read_repr_shared(comp, slot)?;
+        self.stats.add(&delta);
+        Ok(repr)
+    }
+
     /// Snapshot of the I/O statistics accumulated across all threads.
     pub fn stats(&self) -> IoStats {
         self.stats.snapshot()
@@ -199,6 +220,25 @@ mod tests {
         assert_eq!(reader.stats().reads, 4);
         let pool = reader.pool_stats().unwrap();
         assert_eq!((pool.hits, pool.misses), (8, 4));
+    }
+
+    #[test]
+    fn v3_repr_reads_cache_compressed_entries() {
+        let comps = vec![vec![
+            BitVec::from_fn(4096, |i| i % 777 == 0),
+            BitVec::from_fn(4096, |i| (i.wrapping_mul(2_654_435_761)) % 3 == 0),
+        ]];
+        let idx = StoredIndex::create_v3(MemStore::new(), &comps, CodecKind::None).unwrap();
+        let reader = SharedIndexReader::with_pool(idx, ShardedPool::with_byte_budget(4096, 2));
+        let sparse = reader.read_repr(1, 0).unwrap();
+        assert!(sparse.is_compressed());
+        assert_eq!(*sparse.to_bitvec(), comps[0][0]);
+        // The hit serves the compressed entry without store I/O.
+        let again = reader.read_repr(1, 0).unwrap();
+        assert!(again.is_compressed());
+        assert_eq!(reader.stats().reads, 1);
+        // Dense slots still round-trip through the same path.
+        assert_eq!(*reader.read_repr(1, 1).unwrap().to_bitvec(), comps[0][1]);
     }
 
     #[test]
