@@ -190,11 +190,17 @@ fn main() {
 
     let mut csv = Csv::create(
         "ext_batch_throughput",
-        &["requested_threads", "effective_threads", "qps", "speedup"],
+        &[
+            "requested_threads",
+            "effective_threads",
+            "oversubscribed",
+            "qps",
+            "speedup",
+        ],
     )
     .expect("csv");
     for &(t, eff, q) in &measured {
-        csv.row(&[&t, &eff, &f2(q), &f2(q / single_qps)])
+        csv.row(&[&t, &eff, &(t > eff), &f2(q), &f2(q / single_qps)])
             .expect("row");
     }
     println!("\nCSV: {}", csv.path().display());
@@ -205,7 +211,8 @@ fn main() {
         .map(|(t, eff, q)| {
             format!(
                 "    {{\"requested_threads\": {t}, \"effective_threads\": {eff}, \
-                 \"qps\": {q:.2}, \"speedup\": {:.3}}}",
+                 \"oversubscribed\": {}, \"qps\": {q:.2}, \"speedup\": {:.3}}}",
+                t > eff,
                 q / single_qps
             )
         })

@@ -337,6 +337,98 @@ impl BitVec {
         v
     }
 
+    /// A zero-copy view of the whole vector.
+    #[inline]
+    pub fn view(&self) -> SegmentView<'_> {
+        SegmentView {
+            words: &self.words,
+            len: self.len,
+        }
+    }
+
+    /// A zero-copy view of bits `start..end` — the unit of segment-at-a-time
+    /// execution. The range must be word-aligned so the view can borrow the
+    /// backing words directly: `start` on a word boundary, `end` on a word
+    /// boundary or at `len`. Both allowed endings keep the view canonical
+    /// (an interior segment fills its last word; a final segment inherits
+    /// the parent's masked tail), so views feed the kernels unchecked.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or not word-aligned as above.
+    pub fn view_range(&self, start: usize, end: usize) -> SegmentView<'_> {
+        assert!(
+            start <= end && end <= self.len,
+            "segment {start}..{end} out of range (len {})",
+            self.len
+        );
+        assert!(
+            start.is_multiple_of(WORD_BITS),
+            "segment start {start} must be word-aligned"
+        );
+        assert!(
+            end.is_multiple_of(WORD_BITS) || end == self.len,
+            "segment end {end} must be word-aligned or the vector end"
+        );
+        SegmentView {
+            words: &self.words[start / WORD_BITS..words_for(end)],
+            len: end - start,
+        }
+    }
+
+    /// In-place AND with a segment view of the same length.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn and_assign_view(&mut self, rhs: SegmentView<'_>) {
+        self.check_view_len(rhs);
+        for (a, &b) in self.words.iter_mut().zip(rhs.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place OR with a segment view of the same length.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn or_assign_view(&mut self, rhs: SegmentView<'_>) {
+        self.check_view_len(rhs);
+        for (a, &b) in self.words.iter_mut().zip(rhs.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place XOR with a segment view of the same length.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn xor_assign_view(&mut self, rhs: SegmentView<'_>) {
+        self.check_view_len(rhs);
+        for (a, &b) in self.words.iter_mut().zip(rhs.words) {
+            *a ^= b;
+        }
+    }
+
+    /// In-place AND-NOT with a segment view of the same length
+    /// (`self & !rhs`).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn and_not_assign_view(&mut self, rhs: SegmentView<'_>) {
+        self.check_view_len(rhs);
+        for (a, &b) in self.words.iter_mut().zip(rhs.words) {
+            *a &= !b;
+        }
+    }
+
+    #[inline]
+    fn check_view_len(&self, rhs: SegmentView<'_>) {
+        assert_eq!(
+            self.len, rhs.len,
+            "bitmap length mismatch: {} vs {}",
+            self.len, rhs.len
+        );
+    }
+
     /// Zeroes any bits at positions `>= len` in the last word.
     #[inline]
     fn mask_tail(&mut self) {
@@ -355,6 +447,56 @@ impl BitVec {
             "bitmap length mismatch: {} vs {}",
             self.len, rhs.len
         );
+    }
+}
+
+/// A zero-copy, word-aligned view of a contiguous bit range of a
+/// [`BitVec`] — the operand type of segment-at-a-time execution.
+///
+/// A view upholds the same canonical-form invariant as `BitVec` (bits past
+/// `len` in the last borrowed word are zero), guaranteed by the alignment
+/// rules of [`BitVec::view_range`], so the fused kernels can combine views
+/// without re-masking. Views are `Copy`: passing one costs two machine
+/// words.
+#[derive(Clone, Copy, Debug)]
+pub struct SegmentView<'a> {
+    words: &'a [u64],
+    len: usize,
+}
+
+impl<'a> SegmentView<'a> {
+    /// Number of bits in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the view holds zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing words (canonically masked).
+    #[inline]
+    pub fn words(&self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Number of set bits in the viewed range.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if no bit in the viewed range is set.
+    pub fn none(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Copies the viewed range into an owned [`BitVec`].
+    #[must_use]
+    pub fn to_bitvec(&self) -> BitVec {
+        BitVec::from_words_unmasked(self.words.to_vec(), self.len)
     }
 }
 

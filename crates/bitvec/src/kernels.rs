@@ -26,7 +26,7 @@
 //! `N`, so a mismatch is a logic error (matching [`BitVec`]'s own binary
 //! operations).
 
-use crate::bitvec::BitVec;
+use crate::bitvec::{BitVec, SegmentView};
 
 /// Words per block: 8 KiB of accumulator, comfortably L1-resident even
 /// with an operand stream being pulled through the cache alongside it.
@@ -35,7 +35,39 @@ const BLOCK_WORDS: usize = 1024;
 /// Words per stack buffer used by the fused counting kernels (2 KiB).
 const COUNT_BLOCK_WORDS: usize = 256;
 
-fn check_operands(operands: &[&BitVec]) -> usize {
+/// Anything the kernels can fold: a whole [`BitVec`] or a word-aligned
+/// [`SegmentView`] of one. Both are canonically masked, so the fold core
+/// never needs to re-mask its output.
+pub trait KernelOperand {
+    /// Number of bits.
+    fn len(&self) -> usize;
+    /// The canonically masked backing words.
+    fn words(&self) -> &[u64];
+    /// `true` if the operand holds zero bits.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl KernelOperand for &BitVec {
+    fn len(&self) -> usize {
+        BitVec::len(self)
+    }
+    fn words(&self) -> &[u64] {
+        BitVec::words(self)
+    }
+}
+
+impl KernelOperand for SegmentView<'_> {
+    fn len(&self) -> usize {
+        SegmentView::len(self)
+    }
+    fn words(&self) -> &[u64] {
+        SegmentView::words(self)
+    }
+}
+
+fn check_operands<T: KernelOperand>(operands: &[T]) -> usize {
     let first = operands
         .first()
         .expect("k-ary kernel needs at least one operand");
@@ -54,7 +86,7 @@ fn check_operands(operands: &[&BitVec]) -> usize {
 /// Folds `operands` into a fresh output vector with `combine`, one block
 /// at a time so the output block stays in L1 while each operand streams
 /// through exactly once.
-fn fold_blocks(operands: &[&BitVec], combine: impl Fn(&mut u64, u64)) -> BitVec {
+fn fold_blocks<T: KernelOperand>(operands: &[T], combine: impl Fn(&mut u64, u64)) -> BitVec {
     let len = check_operands(operands);
     let mut words = operands[0].words().to_vec();
     let n_words = words.len();
@@ -81,7 +113,7 @@ fn fold_blocks(operands: &[&BitVec], combine: impl Fn(&mut u64, u64)) -> BitVec 
 /// with the popcount, so a `k`-operand count makes `k − 1` passes over the
 /// buffer where materialize-then-count makes `k` plus a cold final sweep —
 /// fused counting is strictly less work, never a loss.
-fn count_blocks(operands: &[&BitVec], combine: impl Fn(&mut u64, u64)) -> usize {
+fn count_blocks<T: KernelOperand>(operands: &[T], combine: impl Fn(&mut u64, u64)) -> usize {
     check_operands(operands);
     let (last, rest) = operands.split_last().expect("checked non-empty");
     let popcount = |w: u64| w.count_ones() as usize;
@@ -120,21 +152,23 @@ fn count_blocks(operands: &[&BitVec], combine: impl Fn(&mut u64, u64)) -> usize 
 /// AND of all operands in a single pass with one output allocation.
 ///
 /// Equivalent to (but faster than) the pairwise fold
-/// `operands[0] & operands[1] & …`.
+/// `operands[0] & operands[1] & …`. Operands are whole bitmaps
+/// (`&BitVec`) or word-aligned [`SegmentView`]s — segment-at-a-time
+/// execution drives exactly this kernel over cache-sized slices.
 #[must_use]
-pub fn and_all(operands: &[&BitVec]) -> BitVec {
+pub fn and_all<T: KernelOperand>(operands: &[T]) -> BitVec {
     fold_blocks(operands, |a, b| *a &= b)
 }
 
 /// OR of all operands in a single pass with one output allocation.
 #[must_use]
-pub fn or_all(operands: &[&BitVec]) -> BitVec {
+pub fn or_all<T: KernelOperand>(operands: &[T]) -> BitVec {
     fold_blocks(operands, |a, b| *a |= b)
 }
 
 /// XOR of all operands in a single pass with one output allocation.
 #[must_use]
-pub fn xor_all(operands: &[&BitVec]) -> BitVec {
+pub fn xor_all<T: KernelOperand>(operands: &[T]) -> BitVec {
     fold_blocks(operands, |a, b| *a ^= b)
 }
 
@@ -144,25 +178,25 @@ pub fn xor_all(operands: &[&BitVec]) -> BitVec {
 /// # Panics
 /// Panics if lengths differ.
 #[must_use]
-pub fn and_not(a: &BitVec, b: &BitVec) -> BitVec {
+pub fn and_not<T: KernelOperand + Copy>(a: T, b: T) -> BitVec {
     fold_blocks(&[a, b], |x, y| *x &= !y)
 }
 
 /// `|operands[0] ∧ operands[1] ∧ …|` without materializing the result.
 #[must_use]
-pub fn count_and(operands: &[&BitVec]) -> usize {
+pub fn count_and<T: KernelOperand>(operands: &[T]) -> usize {
     count_blocks(operands, |a, b| *a &= b)
 }
 
 /// `|operands[0] ∨ operands[1] ∨ …|` without materializing the result.
 #[must_use]
-pub fn count_or(operands: &[&BitVec]) -> usize {
+pub fn count_or<T: KernelOperand>(operands: &[T]) -> usize {
     count_blocks(operands, |a, b| *a |= b)
 }
 
 /// `|operands[0] ⊕ operands[1] ⊕ …|` without materializing the result.
 #[must_use]
-pub fn count_xor(operands: &[&BitVec]) -> usize {
+pub fn count_xor<T: KernelOperand>(operands: &[T]) -> usize {
     count_blocks(operands, |a, b| *a ^= b)
 }
 
@@ -171,7 +205,7 @@ pub fn count_xor(operands: &[&BitVec]) -> usize {
 /// # Panics
 /// Panics if lengths differ.
 #[must_use]
-pub fn count_and_not(a: &BitVec, b: &BitVec) -> usize {
+pub fn count_and_not<T: KernelOperand + Copy>(a: T, b: T) -> usize {
     count_blocks(&[a, b], |x, y| *x &= !y)
 }
 
@@ -274,7 +308,41 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one operand")]
     fn empty_operand_list_panics() {
-        let _ = and_all(&[]);
+        let _ = and_all::<&BitVec>(&[]);
+    }
+
+    #[test]
+    fn views_feed_the_same_kernels() {
+        let owned: Vec<BitVec> = (0..4).map(|k| sample(64 * 1024 + 37, 90 + k)).collect();
+        let full: Vec<&BitVec> = owned.iter().collect();
+        let whole = and_all(&full);
+        // Reassemble the whole-bitmap result segment by segment.
+        let seg_bits = 4096;
+        let mut got = Vec::new();
+        let mut lo = 0;
+        while lo < owned[0].len() {
+            let hi = (lo + seg_bits).min(owned[0].len());
+            let views: Vec<_> = owned.iter().map(|b| b.view_range(lo, hi)).collect();
+            let part = and_all(&views);
+            assert_eq!(part.count_ones(), count_and(&views), "{lo}..{hi}");
+            got.extend_from_slice(part.words());
+            lo = hi;
+        }
+        assert_eq!(BitVec::from_words(got, owned[0].len()), whole);
+        // Pairwise view ops agree with their whole-bitmap counterparts.
+        let (a, b) = (&owned[0], &owned[1]);
+        assert_eq!(
+            and_not(a.view_range(0, 4096), b.view_range(0, 4096)),
+            and_not(
+                &a.view_range(0, 4096).to_bitvec(),
+                &b.view_range(0, 4096).to_bitvec()
+            ),
+        );
+        let mut acc = a.view_range(64, 4096 + 64).to_bitvec();
+        acc.or_assign_view(b.view_range(64, 4096 + 64));
+        let mut want = a.view_range(64, 4096 + 64).to_bitvec();
+        want.or_assign(&b.view_range(64, 4096 + 64).to_bitvec());
+        assert_eq!(acc, want);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * logical AND / OR / XOR / AND-NOT / NOT (in-place and owned),
 //! * fused k-ary combine and combine-and-count kernels ([`kernels`]) that
 //!   fold any number of operands in one cache-blocked pass,
+//! * zero-copy word-aligned [`SegmentView`]s so segment-at-a-time
+//!   execution drives the same kernels over cache-sized slices,
 //! * population count ([`BitVec::count_ones`]) for foundset cardinalities,
 //! * iteration over set bits ([`BitVec::iter_ones`]) to materialize RID lists,
 //! * O(1) rank and O(log n) select via a sampled [`rank::RankIndex`],
@@ -27,7 +29,7 @@ mod bitvec;
 pub mod kernels;
 pub mod rank;
 
-pub use crate::bitvec::{BitVec, OnesIter};
+pub use crate::bitvec::{BitVec, OnesIter, SegmentView};
 
 /// Number of bits in one storage word.
 pub const WORD_BITS: usize = 64;

@@ -24,6 +24,8 @@
 //! predicate over WAH slots touches a handful of words per operand where
 //! the dense kernels sweep the whole relation.
 
+use std::sync::Arc;
+
 use bindex_bitvec::{words_for, BitVec};
 
 use crate::DecodeError;
@@ -419,6 +421,160 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// How many bits of a run the current decode position has left. Used by
+/// [`SegmentCursor`] only; the lockstep merge keeps group granularity.
+#[derive(Clone, Copy, Debug)]
+enum RunValue {
+    Zeros,
+    Ones,
+    Literal(u32),
+}
+
+/// A sequential window decoder over one WAH bitmap: emits consecutive
+/// word-aligned bit windows (`[lo, hi)`) as dense [`BitVec`]s without ever
+/// materializing the whole bitmap — the compressed operand's entry point
+/// into segment-at-a-time execution, where a query touches one
+/// cache-sized segment of every operand per step.
+///
+/// The cursor owns its bitmap (`Arc`-shared with whatever cache served
+/// it) and decodes forward: asking for ascending windows costs O(runs
+/// overlapping the window) each. Asking for a window *before* the current
+/// position rewinds to the start and re-decodes — correct, but linear in
+/// the runs skipped, so callers should walk segments in order.
+#[derive(Debug)]
+pub struct SegmentCursor {
+    bitmap: Arc<WahBitmap>,
+    /// Next encoded word to decode.
+    idx: usize,
+    /// Current run covers bits `run_start..run_end` (absolute).
+    run_start: usize,
+    run_end: usize,
+    run: RunValue,
+    /// Next undelivered bit (absolute); `run_start <= pos` once decoding
+    /// has begun.
+    pos: usize,
+}
+
+impl SegmentCursor {
+    /// Wraps a shared WAH bitmap for sequential window decoding.
+    pub fn new(bitmap: Arc<WahBitmap>) -> Self {
+        Self {
+            bitmap,
+            idx: 0,
+            run_start: 0,
+            run_end: 0,
+            run: RunValue::Zeros,
+            pos: 0,
+        }
+    }
+
+    /// Number of bits in the underlying bitmap.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bitmap.len
+    }
+
+    /// `true` if the underlying bitmap holds zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bitmap.len == 0
+    }
+
+    /// The shared bitmap behind this cursor.
+    pub fn bitmap(&self) -> &Arc<WahBitmap> {
+        &self.bitmap
+    }
+
+    /// Decodes bits `lo..hi` into an owned dense bitmap of `hi - lo` bits.
+    /// The window must be word-aligned the same way a
+    /// [`BitVec::view_range`] segment is: `lo` on a 64-bit boundary, `hi`
+    /// on one or at the bitmap's end.
+    ///
+    /// # Panics
+    /// Panics if the window is out of range or misaligned.
+    pub fn window(&mut self, lo: usize, hi: usize) -> BitVec {
+        let len = self.bitmap.len;
+        assert!(
+            lo <= hi && hi <= len,
+            "window {lo}..{hi} out of range (len {len})"
+        );
+        assert!(
+            lo.is_multiple_of(u64::BITS as usize),
+            "window start {lo} must be word-aligned"
+        );
+        assert!(
+            hi.is_multiple_of(u64::BITS as usize) || hi == len,
+            "window end {hi} must be word-aligned or the bitmap end"
+        );
+        if lo < self.pos {
+            // Rewind: re-decode from the first encoded word.
+            self.idx = 0;
+            self.run_start = 0;
+            self.run_end = 0;
+            self.run = RunValue::Zeros;
+        }
+        self.pos = lo;
+        let mut words = vec![0u64; words_for(hi - lo)];
+        while self.pos < hi {
+            if self.pos >= self.run_end {
+                self.decode();
+                continue;
+            }
+            let end = self.run_end.min(hi);
+            match self.run {
+                RunValue::Zeros => {}
+                RunValue::Ones => set_ones(&mut words, self.pos - lo, end - lo),
+                RunValue::Literal(g) => {
+                    // The literal run is exactly one 31-bit group starting
+                    // at `run_start`; emit its `pos..end` sub-range, which
+                    // lands on at most two output words.
+                    let shift = self.pos - self.run_start;
+                    let nbits = end - self.pos;
+                    let v = (u64::from(g) >> shift) & ((1u64 << nbits) - 1);
+                    let off = self.pos - lo;
+                    words[off / 64] |= v << (off % 64);
+                    let spill = 64 - (off % 64);
+                    if nbits > spill {
+                        words[off / 64 + 1] |= v >> spill;
+                    }
+                }
+            }
+            self.pos = end;
+        }
+        // `from_words` re-masks the tail, so a dirty final literal group
+        // can never leak bits past `hi` into the window.
+        BitVec::from_words(words, hi - lo)
+    }
+
+    /// Decodes the next encoded word into the current-run fields. An
+    /// exhausted bitmap parks on an unbounded zero run (the encoding's
+    /// groups always cover `len`, so overrun is defensive only).
+    fn decode(&mut self) {
+        self.run_start = self.run_end;
+        match self.bitmap.words.get(self.idx) {
+            Some(&w) => {
+                self.idx += 1;
+                if w & FILL_FLAG != 0 {
+                    let span = (w & MAX_FILL) as usize * GROUP_BITS;
+                    self.run = if w & FILL_VALUE != 0 {
+                        RunValue::Ones
+                    } else {
+                        RunValue::Zeros
+                    };
+                    self.run_end = self.run_start + span;
+                } else {
+                    self.run = RunValue::Literal(w & GROUP_MASK);
+                    self.run_end = self.run_start + GROUP_BITS;
+                }
+            }
+            None => {
+                self.run = RunValue::Zeros;
+                self.run_end = usize::MAX;
+            }
+        }
+    }
+}
+
 /// Algebraic structure of a fold operator, enabling run skips beyond the
 /// basic lockstep: `absorbing` (`a op x = a` for every `x`) lets a single
 /// run pin the result across its whole width; `identity` (`e op x = x`)
@@ -769,6 +925,58 @@ mod tests {
             assert_eq!(wah.to_bitvec(), bits);
             assert_eq!(wah.count_ones(), bits.count_ones());
         }
+    }
+
+    #[test]
+    fn segment_cursor_windows_reassemble_the_bitmap() {
+        let shapes = [
+            BitVec::zeros(100_000),
+            BitVec::ones(100_000),
+            sparse(100_000, 317),
+            sparse(100_000, 2),
+            BitVec::from_fn(100_000, |i| (i / 31) % 2 == 0),
+            BitVec::from_fn(100_000, |i| (i * 2_654_435_761) % 5 == 0),
+            sparse(64 * 1024, 999), // len a multiple of 64
+            sparse(64 * 1024 + 1, 999),
+        ];
+        for bits in &shapes {
+            let wah = Arc::new(WahBitmap::from_bitvec(bits));
+            for seg_bits in [512usize, 4096, 1 << 17, 1 << 20] {
+                let mut cursor = SegmentCursor::new(Arc::clone(&wah));
+                let mut lo = 0;
+                while lo < bits.len() {
+                    let hi = (lo + seg_bits).min(bits.len());
+                    let window = cursor.window(lo, hi);
+                    let mut want = BitVec::from_fn(hi - lo, |i| bits.get(lo + i));
+                    assert_eq!(window, want, "len {} seg {seg_bits} {lo}..{hi}", bits.len());
+                    // Re-reading the same window rewinds and still agrees.
+                    want = cursor.window(lo, hi);
+                    assert_eq!(window, want, "rewind {lo}..{hi}");
+                    lo = hi;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segment_cursor_random_access_rewinds() {
+        let bits = sparse(50_000, 13);
+        let wah = Arc::new(WahBitmap::from_bitvec(&bits));
+        let mut cursor = SegmentCursor::new(wah);
+        // Jump to a late window, then back to an early one.
+        let late = cursor.window(32_768, 40_960);
+        assert_eq!(late, BitVec::from_fn(8192, |i| bits.get(32_768 + i)));
+        let early = cursor.window(0, 8192);
+        assert_eq!(early, BitVec::from_fn(8192, |i| bits.get(i)));
+        assert_eq!(cursor.len(), 50_000);
+        assert!(!cursor.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "word-aligned")]
+    fn segment_cursor_rejects_misaligned_windows() {
+        let wah = Arc::new(WahBitmap::from_bitvec(&sparse(1000, 3)));
+        let _ = SegmentCursor::new(wah).window(31, 62);
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub fn evaluate<S: BitmapSource>(
     ctx: &mut ExecContext<'_, S>,
     query: SelectionQuery,
 ) -> Result<BitVec> {
-    let n_rows = ctx.n_rows();
+    // Width of the current evaluation window: the full relation in whole
+    // mode, one segment under segmented execution.
+    let n_rows = ctx.view_len();
     let v = query.constant;
 
     let (le_value, complement) = match query.op {
@@ -84,14 +86,15 @@ fn eq_bitmap<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, comp: usize, j: u32)
     if b == 2 {
         let stored = ctx.fetch(comp, 0)?; // E^1
         if j == 1 {
-            Ok((*stored).clone())
+            Ok(ctx.to_window(&stored))
         } else {
-            let mut out = (*stored).clone();
+            let mut out = ctx.to_window(&stored);
             ctx.not(&mut out);
             Ok(out)
         }
     } else {
-        Ok((*ctx.fetch(comp, j as usize)?).clone())
+        let stored = ctx.fetch(comp, j as usize)?;
+        Ok(ctx.to_window(&stored))
     }
 }
 
@@ -106,6 +109,18 @@ fn or_range<S: BitmapSource>(
     lo: u32,
     hi: u32,
 ) -> Result<BitVec> {
+    if ctx.is_segmented() {
+        // Segmented execution works on dense cache-resident windows, so
+        // the fold runs through the dense k-ary kernel. Scans (fetch
+        // cache) and the `hi − lo` OR charges are identical; only the
+        // representation metrics (`compressed_ops`/`materializations`)
+        // legitimately differ from the whole-bitmap plan.
+        let windows: Vec<_> = (lo..=hi)
+            .map(|j| ctx.fetch(comp, j as usize))
+            .collect::<Result<Vec<_>>>()?;
+        let refs: Vec<&BitVec> = windows.iter().map(|a| a.as_ref()).collect();
+        return Ok(ctx.or_all(&refs));
+    }
     let slots: Vec<_> = (lo..=hi)
         .map(|j| ctx.fetch_repr(comp, j as usize))
         .collect::<Result<_>>()?;
@@ -118,7 +133,7 @@ fn or_range<S: BitmapSource>(
 fn le_component1<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, v1: u32) -> Result<BitVec> {
     let b1 = ctx.spec().base.component(1);
     if v1 == b1 - 1 {
-        return Ok(BitVec::ones(ctx.n_rows()));
+        return Ok(BitVec::ones(ctx.view_len()));
     }
     if b1 == 2 {
         // v1 = 0: d <= 0 is E^0 = ¬E^1.
@@ -190,6 +205,15 @@ fn le_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, le: u32) -> Result<Bi
 fn eq_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, v: u32) -> Result<BitVec> {
     let digits = digits_of(ctx, v);
     let n = ctx.spec().n_components();
+    if ctx.is_segmented() {
+        // Dense windowed fold; `n − 1` ANDs charged exactly as the
+        // adaptive repr kernel would (see `or_range`).
+        let bitmaps: Vec<BitVec> = (1..=n)
+            .map(|i| eq_bitmap(ctx, i, digits[i - 1]))
+            .collect::<Result<_>>()?;
+        let operands: Vec<&BitVec> = bitmaps.iter().collect();
+        return Ok(ctx.and_all(&operands));
+    }
     let operands: Vec<Repr> = (1..=n)
         .map(|i| {
             let j = digits[i - 1];

@@ -48,7 +48,9 @@ pub fn evaluate<S: BitmapSource>(
     ctx: &mut ExecContext<'_, S>,
     query: SelectionQuery,
 ) -> Result<BitVec> {
-    let n_rows = ctx.n_rows();
+    // Width of the current evaluation window: the full relation in whole
+    // mode, one segment under segmented execution.
+    let n_rows = ctx.view_len();
     let v = query.constant;
 
     let (le_value, complement) = match query.op {
@@ -94,7 +96,8 @@ fn eq_digit<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, comp: usize, v: u32) 
     let m = windows_of(b);
     Ok(if m == 1 {
         // b <= 2: I^0 = {0}.
-        let w = (*ctx.fetch(comp, 0)?).clone();
+        let stored = ctx.fetch(comp, 0)?;
+        let w = ctx.to_window(&stored);
         if v == 0 {
             w
         } else {
@@ -106,7 +109,7 @@ fn eq_digit<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, comp: usize, v: u32) 
         // uncovered top digit: ¬(I^0 ∨ I^{m−1})
         let w0 = ctx.fetch(comp, 0)?;
         let wt = ctx.fetch(comp, m as usize - 1)?;
-        let mut out = (*w0).clone();
+        let mut out = ctx.to_window(&w0);
         ctx.or(&mut out, &wt);
         ctx.not(&mut out);
         out
@@ -114,21 +117,21 @@ fn eq_digit<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, comp: usize, v: u32) 
         // I^{m−1} ∧ I^0
         let wt = ctx.fetch(comp, m as usize - 1)?;
         let w0 = ctx.fetch(comp, 0)?;
-        let mut out = (*wt).clone();
+        let mut out = ctx.to_window(&wt);
         ctx.and(&mut out, &w0);
         out
     } else if v <= m - 2 {
         // I^v ∧ ¬I^{v+1}
         let wv = ctx.fetch(comp, v as usize)?;
         let wn = ctx.fetch(comp, v as usize + 1)?;
-        let mut out = (*wv).clone();
+        let mut out = ctx.to_window(&wv);
         ctx.and_not(&mut out, &wn);
         out
     } else {
         // m <= v <= 2m−2: I^{v−m+1} ∧ ¬I^{v−m}
         let hi = ctx.fetch(comp, (v - m + 1) as usize)?;
         let lo = ctx.fetch(comp, (v - m) as usize)?;
-        let mut out = (*hi).clone();
+        let mut out = ctx.to_window(&hi);
         ctx.and_not(&mut out, &lo);
         out
     })
@@ -147,21 +150,23 @@ fn le_digit<S: BitmapSource>(
     }
     Ok(Some(if m == 1 {
         // b == 2, v == 0: exactly I^0.
-        (*ctx.fetch(comp, 0)?).clone()
+        let stored = ctx.fetch(comp, 0)?;
+        ctx.to_window(&stored)
     } else if v <= m - 2 {
         // I^0 ∧ ¬I^{v+1}
         let w0 = ctx.fetch(comp, 0)?;
         let wn = ctx.fetch(comp, v as usize + 1)?;
-        let mut out = (*w0).clone();
+        let mut out = ctx.to_window(&w0);
         ctx.and_not(&mut out, &wn);
         out
     } else if v == m - 1 {
-        (*ctx.fetch(comp, 0)?).clone()
+        let stored = ctx.fetch(comp, 0)?;
+        ctx.to_window(&stored)
     } else {
         // m <= v <= 2m−2: I^0 ∨ I^{v−m+1}
         let w0 = ctx.fetch(comp, 0)?;
         let wk = ctx.fetch(comp, (v - m + 1) as usize)?;
-        let mut out = (*w0).clone();
+        let mut out = ctx.to_window(&w0);
         ctx.or(&mut out, &wk);
         out
     }))
@@ -172,7 +177,7 @@ fn le_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, le: u32) -> Result<Bi
     let n = ctx.spec().n_components();
     let mut b = match le_digit(ctx, 1, digits[0])? {
         Some(bm) => bm,
-        None => BitVec::ones(ctx.n_rows()),
+        None => BitVec::ones(ctx.view_len()),
     };
     for i in 2..=n {
         let vi = digits[i - 1];

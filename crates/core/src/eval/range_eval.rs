@@ -25,7 +25,9 @@ pub fn evaluate<S: BitmapSource>(
     ctx: &mut ExecContext<'_, S>,
     query: SelectionQuery,
 ) -> Result<BitVec> {
-    let n_rows = ctx.n_rows();
+    // Width of the current evaluation window: the full relation in whole
+    // mode, one segment under segmented execution.
+    let n_rows = ctx.view_len();
     let n = ctx.spec().n_components();
     let digits = digits_of(ctx, query.constant);
 
@@ -36,7 +38,7 @@ pub fn evaluate<S: BitmapSource>(
     let mut b_gt = needs_gt.then(|| BitVec::zeros(n_rows));
     // Line 2 of the listing: B_EQ starts as B_nn (all ones when no nulls).
     let mut b_eq = match ctx.fetch_nn()? {
-        Some(nn) => (*nn).clone(),
+        Some(nn) => ctx.to_window(&nn),
         None => BitVec::ones(n_rows),
     };
 

@@ -37,7 +37,9 @@ pub fn evaluate<S: BitmapSource>(
     ctx: &mut ExecContext<'_, S>,
     query: SelectionQuery,
 ) -> Result<BitVec> {
-    let n_rows = ctx.n_rows();
+    // Width of the current evaluation window: the full relation in whole
+    // mode, one segment under segmented execution.
+    let n_rows = ctx.view_len();
     let v = query.constant;
 
     // Reduce to a `≤` evaluation plus an optional final complement.
@@ -84,11 +86,12 @@ pub fn evaluate<S: BitmapSource>(
 fn le_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, le: u32) -> Result<BitVec> {
     let digits = digits_of(ctx, le);
     let n = ctx.spec().n_components();
-    let n_rows = ctx.n_rows();
+    let n_rows = ctx.view_len();
 
     let b1 = ctx.spec().base.component(1);
     let mut b = if digits[0] < b1 - 1 {
-        (*ctx.fetch(1, digits[0] as usize)?).clone()
+        let bm = ctx.fetch(1, digits[0] as usize)?;
+        ctx.to_window(&bm)
     } else {
         // v_1 = b_1 − 1: B_1^{v_1} is the unstored all-ones bitmap.
         BitVec::ones(n_rows)
@@ -118,7 +121,7 @@ fn le_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, le: u32) -> Result<Bi
 fn eq_chain<S: BitmapSource>(ctx: &mut ExecContext<'_, S>, v: u32) -> Result<BitVec> {
     let digits = digits_of(ctx, v);
     let n = ctx.spec().n_components();
-    let ones = BitVec::ones(ctx.n_rows());
+    let ones = BitVec::ones(ctx.view_len());
 
     // Per-digit equality bitmaps: stored `B_i^0` directly (shared via the
     // fetch cache), derived `¬B` / `B ⊕ B` as counted fresh bitmaps.

@@ -55,6 +55,16 @@ pub struct EvalStats {
     /// on a dense-form fetch of a compressed slot, or when a compressed
     /// result is handed back to a caller that needs dense words.
     pub materializations: usize,
+    /// Segments driven through the operator tree by segment-at-a-time
+    /// execution. Zero under whole-bitmap evaluation. Scan and operation
+    /// counts above stay bit-identical between the two modes: an op that
+    /// runs once over the whole bitmap runs once *per segment* but is
+    /// charged only on the first, so the paper's cost model is unchanged.
+    pub segments_evaluated: usize,
+    /// Segments where a conjunction's accumulator went all-zero and the
+    /// remaining AND work was short-circuited. Early exit never changes a
+    /// result or a charge — only this counter.
+    pub segments_skipped: usize,
 }
 
 impl EvalStats {
@@ -75,8 +85,18 @@ impl EvalStats {
         self.reconstructed_bitmaps += other.reconstructed_bitmaps;
         self.compressed_ops += other.compressed_ops;
         self.materializations += other.materializations;
+        self.segments_evaluated += other.segments_evaluated;
+        self.segments_skipped += other.segments_skipped;
     }
 }
+
+/// Default segment size of segment-at-a-time execution, in bits: 32 KiB
+/// of bitmap (4096 words), chosen by the `ext_segmented_exec` sweep —
+/// small enough that one accumulator plus a handful of operand segments
+/// stay cache-resident, large enough that per-segment overhead (operator
+/// re-dispatch, window bookkeeping) is amortized to noise. Tunable via
+/// `BINDEX_SEGMENT_BITS` (see `engine::batch::BatchOptions::from_env`).
+pub const DEFAULT_SEGMENT_BITS: usize = 1 << 18;
 
 /// Default density above which a WAH operand is decompressed before
 /// operating (see [`ExecContext::with_wah_crossover`]). Calibrated by the
@@ -162,6 +182,37 @@ impl BufferSet {
     }
 }
 
+/// Per-segment execution state: the window being evaluated, plus the
+/// compressed-operand machinery that lets `Repr::Wah` slots participate
+/// without full materialization.
+///
+/// The evaluators' control flow is *data-independent* — which bitmaps are
+/// fetched and which ops run depend only on the query's digits, base, and
+/// encoding, never on bitmap contents. Segment-at-a-time execution leans
+/// on that twice: every segment re-runs the same operator sequence (so
+/// charging ops on the first segment only reproduces whole-bitmap
+/// counts exactly), and every slot's first touch happens on segment 0
+/// (so the cross-segment fetch cache dedupes scans exactly as whole-mode
+/// does).
+struct SegmentState {
+    /// Bit range of the current segment, `lo..hi`, word-aligned at `lo`.
+    lo: usize,
+    hi: usize,
+    /// Ordinal of the current segment within the query (0-based). Ops are
+    /// charged only when it is 0.
+    index: usize,
+    /// Whether an AND-family op short-circuited on an all-zero window in
+    /// the current segment (rolls into [`EvalStats::segments_skipped`]).
+    skipped_work: bool,
+    /// Dense windows of compressed slots decoded for the *current*
+    /// segment; cleared when the segment advances.
+    windows: HashMap<(usize, usize), Arc<BitVec>>,
+    /// Sequential window decoders over compressed slots; persist across
+    /// segments so each run of the compressed form is decoded once per
+    /// query.
+    cursors: HashMap<(usize, usize), wah::SegmentCursor>,
+}
+
 /// Execution context wrapping a [`BitmapSource`] with accounting.
 pub struct ExecContext<'a, S: BitmapSource> {
     source: &'a mut S,
@@ -176,6 +227,9 @@ pub struct ExecContext<'a, S: BitmapSource> {
     /// `Arc`-backed (not `Rc`) so that contexts — and the sources behind
     /// them — can live on worker threads of the parallel batch engine.
     fetched: HashMap<(usize, usize), Repr>,
+    /// `Some` while the segmented driver is stepping this context through
+    /// a query one window at a time; `None` under whole-bitmap execution.
+    seg: Option<SegmentState>,
 }
 
 impl<'a, S: BitmapSource> ExecContext<'a, S> {
@@ -188,6 +242,7 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
             recovery: RecoveryPolicy::Fail,
             wah_crossover: DEFAULT_WAH_CROSSOVER,
             fetched: HashMap::new(),
+            seg: None,
         }
     }
 
@@ -201,6 +256,7 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
             recovery: RecoveryPolicy::Fail,
             wah_crossover: DEFAULT_WAH_CROSSOVER,
             fetched: HashMap::new(),
+            seg: None,
         }
     }
 
@@ -240,10 +296,107 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
     }
 
     /// Returns and resets the statistics, and clears the per-query fetch
-    /// cache. Call between queries.
+    /// cache (and any segment state a bailed-out segmented run left
+    /// behind). Call between queries.
     pub fn take_stats(&mut self) -> EvalStats {
         self.fetched.clear();
+        self.seg = None;
         std::mem::take(&mut self.stats)
+    }
+
+    /// `true` while the segmented driver is stepping this context through
+    /// a query window by window.
+    pub fn is_segmented(&self) -> bool {
+        self.seg.is_some()
+    }
+
+    /// Width in bits of the bitmaps the evaluators should build: the
+    /// current segment's window under segmented execution, the full row
+    /// count otherwise. Every accumulator an evaluator seeds
+    /// ([`BitVec::ones`], [`BitVec::zeros`], [`ExecContext::to_window`])
+    /// must use this length so the fused kernels see consistent operands.
+    pub fn view_len(&self) -> usize {
+        self.seg.as_ref().map_or(self.n_rows(), |s| s.hi - s.lo)
+    }
+
+    /// An owned copy of `b` at the current evaluation width: the segment
+    /// window of a full-length bitmap under segmented execution, a plain
+    /// clone otherwise. This is how the evaluators seed accumulators from
+    /// fetched bitmaps.
+    #[must_use]
+    pub fn to_window(&self, b: &BitVec) -> BitVec {
+        self.opv(b).to_bitvec()
+    }
+
+    /// Enters segment `index` covering bits `lo..hi`: subsequent ops see
+    /// [`ExecContext::view_len`]` == hi - lo` and slice full-length
+    /// operands down to the window. The per-segment window cache resets;
+    /// cursors and the fetch cache persist. Driven by
+    /// `eval::evaluate_segmented_in`.
+    pub(crate) fn begin_segment(&mut self, lo: usize, hi: usize, index: usize) {
+        match &mut self.seg {
+            Some(s) => {
+                s.lo = lo;
+                s.hi = hi;
+                s.index = index;
+                s.skipped_work = false;
+                s.windows.clear();
+            }
+            None => {
+                self.seg = Some(SegmentState {
+                    lo,
+                    hi,
+                    index,
+                    skipped_work: false,
+                    windows: HashMap::new(),
+                    cursors: HashMap::new(),
+                });
+            }
+        }
+    }
+
+    /// Closes the current segment, rolling its outcome into the stats.
+    pub(crate) fn end_segment(&mut self) {
+        if let Some(s) = &self.seg {
+            self.stats.segments_evaluated += 1;
+            if s.skipped_work {
+                self.stats.segments_skipped += 1;
+            }
+        }
+    }
+
+    /// Leaves segmented mode, dropping window caches and cursors. The
+    /// fetch cache and stats stay (they are per-query, not per-segment).
+    pub(crate) fn exit_segments(&mut self) {
+        self.seg = None;
+    }
+
+    /// `true` when ops should be tallied: always under whole-bitmap
+    /// execution, and on segment 0 only under segmented execution — the
+    /// evaluators' control flow is data-independent, so segment 0 runs
+    /// exactly the whole-bitmap op sequence and later segments repeat it.
+    #[inline]
+    fn charge_ops(&self) -> bool {
+        self.seg.as_ref().is_none_or(|s| s.index == 0)
+    }
+
+    /// The operand view at the current evaluation width: full-length
+    /// bitmaps are sliced to the segment window, already-window-sized
+    /// bitmaps (and everything in whole mode) pass through untouched.
+    #[inline]
+    fn opv<'b>(&self, b: &'b BitVec) -> bindex_bitvec::SegmentView<'b> {
+        match &self.seg {
+            Some(s) if b.len() != s.hi - s.lo => b.view_range(s.lo, s.hi),
+            _ => b.view(),
+        }
+    }
+
+    /// Records an AND-family short-circuit on an all-zero window.
+    #[inline]
+    fn mark_skip(&mut self) {
+        if let Some(s) = &mut self.seg {
+            s.skipped_work = true;
+        }
     }
 
     /// Fetches stored bitmap `slot` of component `comp` in **dense form**,
@@ -253,9 +406,42 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
     /// so repeated dense fetches decompress once. Storage failures
     /// propagate; nothing is cached on error, so a retried query re-reads
     /// the bitmap.
+    ///
+    /// Under segmented execution a compressed slot is **not** fully
+    /// materialized: a [`wah::SegmentCursor`] decodes just the current
+    /// window (one decompression charged when the cursor is created, like
+    /// the one-time dense upgrade in whole mode), so the returned bitmap
+    /// is window-sized. Literal slots come back full-length and the ops
+    /// slice them — either width is valid op input.
     pub fn fetch(&mut self, comp: usize, slot: usize) -> Result<Arc<BitVec>> {
         let repr = self.fetch_repr(comp, slot)?;
+        if self.seg.is_some() {
+            if let Repr::Wah(w) = &repr {
+                let w = Arc::clone(w);
+                return Ok(self.wah_window((comp, slot), w));
+            }
+        }
         Ok(self.materialize_cached((comp, slot), &repr))
+    }
+
+    /// The current segment's window of a compressed slot, decoded through
+    /// the slot's persistent cursor and cached for the segment.
+    fn wah_window(&mut self, key: (usize, usize), w: Arc<wah::WahBitmap>) -> Arc<BitVec> {
+        let seg = self.seg.as_mut().expect("segmented mode");
+        if let Some(win) = seg.windows.get(&key) {
+            return Arc::clone(win);
+        }
+        let created = !seg.cursors.contains_key(&key);
+        let cursor = seg
+            .cursors
+            .entry(key)
+            .or_insert_with(|| wah::SegmentCursor::new(w));
+        let win = Arc::new(cursor.window(seg.lo, seg.hi));
+        seg.windows.insert(key, Arc::clone(&win));
+        if created {
+            self.stats.materializations += 1;
+        }
+        win
     }
 
     /// Fetches stored bitmap `slot` of component `comp` in its **stored
@@ -322,6 +508,18 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
     /// NOT, and the `B_nn` mask are all charged at their normal rates, so
     /// the cost model prices the degraded path honestly.
     fn recover(&mut self, comp: usize, slot: usize, original: Error) -> Result<BitVec> {
+        // Reconstruction always operates on full-length bitmaps, whatever
+        // mode the query runs in: the rebuilt slot enters the fetch cache
+        // and must look exactly like a stored one. Under segmented
+        // execution this only ever runs on segment 0 (first touch), so
+        // its op charges land exactly once — as in whole mode.
+        let seg = self.seg.take();
+        let out = self.recover_whole(comp, slot, original);
+        self.seg = seg;
+        out
+    }
+
+    fn recover_whole(&mut self, comp: usize, slot: usize, original: Error) -> Result<BitVec> {
         if let Some(bm) = self.reconstruct_from_siblings(comp, slot)? {
             self.stats.reconstructed_bitmaps += 1;
             return Ok(bm);
@@ -398,76 +596,127 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
         Ok(Some(bm))
     }
 
-    /// Counted AND: `acc &= rhs`.
+    /// Counted AND: `acc &= rhs`. `rhs` may be full-length under segmented
+    /// execution (it is sliced to the window); `acc` must match
+    /// [`ExecContext::view_len`]. When `acc` is already all-zero in the
+    /// current segment, the word loop is skipped — the result cannot
+    /// change, only [`EvalStats::segments_skipped`] records it.
     pub fn and(&mut self, acc: &mut BitVec, rhs: &BitVec) {
-        acc.and_assign(rhs);
-        self.stats.ands += 1;
+        if self.charge_ops() {
+            self.stats.ands += 1;
+        }
+        if self.seg.is_some() && acc.none() {
+            self.mark_skip();
+            return;
+        }
+        acc.and_assign_view(self.opv(rhs));
     }
 
-    /// Counted OR: `acc |= rhs`.
+    /// Counted OR: `acc |= rhs` (operand widths as in [`ExecContext::and`]).
     pub fn or(&mut self, acc: &mut BitVec, rhs: &BitVec) {
-        acc.or_assign(rhs);
-        self.stats.ors += 1;
+        if self.charge_ops() {
+            self.stats.ors += 1;
+        }
+        acc.or_assign_view(self.opv(rhs));
     }
 
     /// Counted XOR returning a fresh bitmap.
     pub fn xor(&mut self, a: &BitVec, b: &BitVec) -> BitVec {
-        self.stats.xors += 1;
-        kernels::xor_all(&[a, b])
+        if self.charge_ops() {
+            self.stats.xors += 1;
+        }
+        kernels::xor_all(&[self.opv(a), self.opv(b)])
     }
 
     /// Counted NOT in place.
     pub fn not(&mut self, acc: &mut BitVec) {
+        if self.charge_ops() {
+            self.stats.nots += 1;
+        }
         acc.not_assign();
-        self.stats.nots += 1;
     }
 
-    /// Counted NOT returning a fresh bitmap (one NOT charged).
+    /// Counted NOT returning a fresh bitmap (one NOT charged). The result
+    /// is at the current evaluation width.
     pub fn not_of(&mut self, a: &BitVec) -> BitVec {
-        self.stats.nots += 1;
-        a.complement()
+        if self.charge_ops() {
+            self.stats.nots += 1;
+        }
+        let mut out = self.opv(a).to_bitvec();
+        out.not_assign();
+        out
     }
 
     /// Counted AND-NOT: `acc &= !rhs` (one AND plus one NOT, as the paper's
-    /// algorithms spell it).
+    /// algorithms spell it). Short-circuits like [`ExecContext::and`].
     pub fn and_not(&mut self, acc: &mut BitVec, rhs: &BitVec) {
-        acc.and_not_assign(rhs);
-        self.stats.ands += 1;
-        self.stats.nots += 1;
+        if self.charge_ops() {
+            self.stats.ands += 1;
+            self.stats.nots += 1;
+        }
+        if self.seg.is_some() && acc.none() {
+            self.mark_skip();
+            return;
+        }
+        acc.and_not_assign_view(self.opv(rhs));
     }
 
     /// Counted AND returning a fresh bitmap: `a ∧ b` with the output sized
     /// once (no clone-then-assign double pass). Charges one AND — exactly
     /// what the pairwise step it replaces would charge.
     pub fn and_pair(&mut self, a: &BitVec, b: &BitVec) -> BitVec {
-        self.stats.ands += 1;
-        kernels::and_all(&[a, b])
+        if self.charge_ops() {
+            self.stats.ands += 1;
+        }
+        let (va, vb) = (self.opv(a), self.opv(b));
+        if self.seg.is_some() && va.none() {
+            self.mark_skip();
+            return BitVec::zeros(va.len());
+        }
+        kernels::and_all(&[va, vb])
     }
 
     /// Counted OR returning a fresh bitmap (one OR charged).
     pub fn or_pair(&mut self, a: &BitVec, b: &BitVec) -> BitVec {
-        self.stats.ors += 1;
-        kernels::or_all(&[a, b])
+        if self.charge_ops() {
+            self.stats.ors += 1;
+        }
+        kernels::or_all(&[self.opv(a), self.opv(b)])
     }
 
     /// Counted AND-NOT returning a fresh bitmap: `a ∧ ¬b`. Charges one AND
     /// plus one NOT, matching [`ExecContext::and_not`].
     pub fn and_not_pair(&mut self, a: &BitVec, b: &BitVec) -> BitVec {
-        self.stats.ands += 1;
-        self.stats.nots += 1;
-        kernels::and_not(a, b)
+        if self.charge_ops() {
+            self.stats.ands += 1;
+            self.stats.nots += 1;
+        }
+        let (va, vb) = (self.opv(a), self.opv(b));
+        if self.seg.is_some() && va.none() {
+            self.mark_skip();
+            return BitVec::zeros(va.len());
+        }
+        kernels::and_not(va, vb)
     }
 
     /// Counted k-ary AND via the fused kernel: one cache-blocked pass, one
     /// output allocation. Charges `operands.len() − 1` ANDs — identical to
     /// the pairwise fold it replaces, so [`EvalStats`] match the paper's
-    /// cost model bit for bit.
+    /// cost model bit for bit. Under segmented execution an all-zero first
+    /// operand short-circuits the fold.
     ///
     /// # Panics
     /// Panics on an empty operand list or mismatched lengths.
     pub fn and_all(&mut self, operands: &[&BitVec]) -> BitVec {
-        self.stats.ands += operands.len() - 1;
-        kernels::and_all(operands)
+        if self.charge_ops() {
+            self.stats.ands += operands.len() - 1;
+        }
+        let views: Vec<_> = operands.iter().map(|b| self.opv(b)).collect();
+        if self.seg.is_some() && views[0].none() {
+            self.mark_skip();
+            return BitVec::zeros(views[0].len());
+        }
+        kernels::and_all(&views)
     }
 
     /// Counted k-ary OR via the fused kernel; charges
@@ -476,8 +725,11 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
     /// # Panics
     /// Panics on an empty operand list or mismatched lengths.
     pub fn or_all(&mut self, operands: &[&BitVec]) -> BitVec {
-        self.stats.ors += operands.len() - 1;
-        kernels::or_all(operands)
+        if self.charge_ops() {
+            self.stats.ors += operands.len() - 1;
+        }
+        let views: Vec<_> = operands.iter().map(|b| self.opv(b)).collect();
+        kernels::or_all(&views)
     }
 
     /// `true` when a k-ary op over `operands` should run in the WAH
@@ -520,6 +772,11 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
     /// # Panics
     /// Panics on an empty operand list or mismatched lengths.
     pub fn and_all_reprs(&mut self, operands: &[Repr]) -> Repr {
+        debug_assert!(
+            self.seg.is_none(),
+            "repr-domain kernels operate on whole bitmaps; segmented \
+             evaluators must route through the windowed dense ops"
+        );
         assert!(
             !operands.is_empty(),
             "k-ary kernel needs at least one operand"
@@ -551,6 +808,11 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
     /// # Panics
     /// Panics on an empty operand list or mismatched lengths.
     pub fn or_all_reprs(&mut self, operands: &[Repr]) -> Repr {
+        debug_assert!(
+            self.seg.is_none(),
+            "repr-domain kernels operate on whole bitmaps; segmented \
+             evaluators must route through the windowed dense ops"
+        );
         assert!(
             !operands.is_empty(),
             "k-ary kernel needs at least one operand"

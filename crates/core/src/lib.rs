@@ -63,5 +63,7 @@ pub use bindex_compress::Repr;
 pub use encoding::{Encoding, IndexSpec};
 pub use error::{Error, Result};
 pub use eval::Algorithm;
-pub use exec::{BufferSet, EvalStats, ExecContext, RecoveryPolicy, DEFAULT_WAH_CROSSOVER};
+pub use exec::{
+    BufferSet, EvalStats, ExecContext, RecoveryPolicy, DEFAULT_SEGMENT_BITS, DEFAULT_WAH_CROSSOVER,
+};
 pub use index::{rebuild_slot, BitmapIndex, BitmapSource, MemorySource};

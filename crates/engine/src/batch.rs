@@ -28,6 +28,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use bindex_bitvec::BitVec;
@@ -42,6 +43,27 @@ use crate::table::Table;
 /// Environment variable overriding the default worker count
 /// (`all_experiments --threads N` forwards it to every experiment).
 pub const THREADS_ENV: &str = "BINDEX_THREADS";
+
+/// Environment variable selecting the morsel size (in bits) for
+/// segment-at-a-time workload execution. Unset means whole-bitmap
+/// evaluation; a valid value (a power of two, at least
+/// [`MIN_SEGMENT_BITS`]) switches [`evaluate_selection_workload`] to the
+/// segmented path with that segment size.
+pub const SEGMENT_BITS_ENV: &str = "BINDEX_SEGMENT_BITS";
+
+/// Smallest accepted segment size: anything below 512 bits spends more
+/// time on per-segment bookkeeping than on bit operations.
+pub const MIN_SEGMENT_BITS: usize = 512;
+
+/// Validates a `BINDEX_SEGMENT_BITS` value: a positive power of two of at
+/// least [`MIN_SEGMENT_BITS`]. (A value larger than the relation is fine —
+/// the query just runs as one segment.) Returns `None` on anything else so
+/// callers can warn and fall back rather than aborting a workload over a
+/// typo.
+pub fn parse_segment_bits(raw: &str) -> Option<usize> {
+    let n = raw.trim().parse::<usize>().ok()?;
+    (n.is_power_of_two() && n >= MIN_SEGMENT_BITS).then_some(n)
+}
 
 /// A wall-clock cut-off for a workload. Checked cooperatively between
 /// queries: a query that is already running finishes, queries claimed
@@ -228,6 +250,7 @@ pub struct BatchOptions {
     deadline: Option<Deadline>,
     max_failures: Option<usize>,
     recovery: RecoveryPolicy,
+    segment_bits: Option<usize>,
 }
 
 impl BatchOptions {
@@ -252,6 +275,7 @@ impl BatchOptions {
             deadline: None,
             max_failures: None,
             recovery: RecoveryPolicy::default(),
+            segment_bits: None,
         }
     }
 
@@ -280,7 +304,17 @@ impl BatchOptions {
             },
             Err(_) => fallback(),
         };
-        Self::with_threads(threads)
+        let mut options = Self::with_threads(threads);
+        if let Ok(raw) = std::env::var(SEGMENT_BITS_ENV) {
+            match parse_segment_bits(&raw) {
+                Some(bits) => options.segment_bits = Some(bits),
+                None => eprintln!(
+                    "warning: ignoring {SEGMENT_BITS_ENV}={raw:?} (expected a power of two \
+                     >= {MIN_SEGMENT_BITS}); running whole-bitmap"
+                ),
+            }
+        }
+        options
     }
 
     /// Sets a wall-clock deadline; queries claimed after it expires come
@@ -304,6 +338,22 @@ impl BatchOptions {
         self
     }
 
+    /// Switches [`evaluate_selection_workload`] to segment-at-a-time
+    /// execution with morsels of `bits` bits.
+    ///
+    /// # Panics
+    /// Panics unless `bits` is a power of two of at least
+    /// [`MIN_SEGMENT_BITS`] (use [`parse_segment_bits`] to validate
+    /// untrusted input).
+    pub fn with_segment_bits(mut self, bits: usize) -> Self {
+        assert!(
+            bits.is_power_of_two() && bits >= MIN_SEGMENT_BITS,
+            "segment size must be a power of two >= {MIN_SEGMENT_BITS} bits, got {bits}"
+        );
+        self.segment_bits = Some(bits);
+        self
+    }
+
     /// Number of worker threads actually used (after the
     /// available-parallelism clamp).
     pub fn threads(&self) -> usize {
@@ -313,6 +363,18 @@ impl BatchOptions {
     /// Number of worker threads originally asked for, before clamping.
     pub fn requested_threads(&self) -> usize {
         self.requested_threads.max(1)
+    }
+
+    /// `true` when more workers were requested than the machine can run in
+    /// parallel (the clamp kicked in) — worth recording next to any
+    /// throughput number measured under such a configuration.
+    pub fn oversubscribed(&self) -> bool {
+        self.requested_threads() > self.threads()
+    }
+
+    /// The segment size for segment-at-a-time execution, if enabled.
+    pub fn segment_bits(&self) -> Option<usize> {
+        self.segment_bits
     }
 
     /// The workload deadline, if any.
@@ -367,8 +429,36 @@ where
     W: Fn(&mut St, usize) -> Result<(T, bool)> + Sync,
 {
     let threads = options.threads().min(n.max(1));
-    let next = AtomicUsize::new(0);
     let failures = AtomicUsize::new(0);
+    // One query's worth of work, shared by the sequential and parallel
+    // paths so both charge failures and isolate panics identically.
+    let run_one = |state: &mut St, i: usize| -> QueryOutcome<T> {
+        if options
+            .max_failures()
+            .is_some_and(|cap| failures.load(Ordering::Relaxed) >= cap)
+        {
+            return QueryOutcome::Skipped;
+        }
+        if options.deadline().is_some_and(|d| d.expired()) {
+            return QueryOutcome::TimedOut;
+        }
+        // Unwind safety: on panic the worker state is discarded and
+        // rebuilt from `init`, so no broken invariant is observed.
+        match catch_unwind(AssertUnwindSafe(|| step(state, i))) {
+            Ok(Ok((v, false))) => QueryOutcome::Ok(v),
+            Ok(Ok((v, true))) => QueryOutcome::Degraded(v),
+            Ok(Err(e)) => {
+                failures.fetch_add(1, Ordering::Relaxed);
+                QueryOutcome::Failed(e)
+            }
+            Err(payload) => {
+                failures.fetch_add(1, Ordering::Relaxed);
+                *state = init();
+                QueryOutcome::Failed(Error::WorkerPanic(panic_message(payload.as_ref())))
+            }
+        }
+    };
+    let next = AtomicUsize::new(0);
     let worker = |out: &mut Vec<(usize, QueryOutcome<T>)>| {
         let mut state = init();
         loop {
@@ -376,39 +466,19 @@ where
             if i >= n {
                 return;
             }
-            if options
-                .max_failures()
-                .is_some_and(|cap| failures.load(Ordering::Relaxed) >= cap)
-            {
-                out.push((i, QueryOutcome::Skipped));
-                continue;
-            }
-            if options.deadline().is_some_and(|d| d.expired()) {
-                out.push((i, QueryOutcome::TimedOut));
-                continue;
-            }
-            // Unwind safety: on panic the worker state is discarded and
-            // rebuilt from `init`, so no broken invariant is observed.
-            let outcome = match catch_unwind(AssertUnwindSafe(|| step(&mut state, i))) {
-                Ok(Ok((v, false))) => QueryOutcome::Ok(v),
-                Ok(Ok((v, true))) => QueryOutcome::Degraded(v),
-                Ok(Err(e)) => {
-                    failures.fetch_add(1, Ordering::Relaxed);
-                    QueryOutcome::Failed(e)
-                }
-                Err(payload) => {
-                    failures.fetch_add(1, Ordering::Relaxed);
-                    state = init();
-                    QueryOutcome::Failed(Error::WorkerPanic(panic_message(payload.as_ref())))
-                }
-            };
-            out.push((i, outcome));
+            out.push((i, run_one(&mut state, i)));
         }
     };
 
     let mut collected: Vec<(usize, QueryOutcome<T>)> = Vec::new();
     if threads <= 1 {
-        worker(&mut collected);
+        // Straight-line sequential path: no shared claim counter, no
+        // thread scope — a single-worker run measures the sequential
+        // algorithm, not a one-worker thread pool.
+        let mut state = init();
+        for i in 0..n {
+            collected.push((i, run_one(&mut state, i)));
+        }
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
@@ -490,12 +560,270 @@ where
     S: BitmapSource,
     F: Fn() -> S + Sync,
 {
+    if let Some(segment_bits) = options.segment_bits() {
+        return evaluate_segmented_workload(make_source, queries, algorithm, options, segment_bits);
+    }
     run_workload(queries.len(), options, &make_source, |source, i| {
         let mut ctx = ExecContext::new(source).with_recovery(options.recovery().clone());
         let found = evaluate_in(&mut ctx, queries[i], algorithm)?;
         let stats = ctx.take_stats();
         Ok(((found, stats), stats.degraded_fetches > 0))
     })
+}
+
+/// One morsel of work on the shared queue: a contiguous run of segments
+/// of one query.
+#[derive(Debug, Clone, Copy)]
+struct Morsel {
+    query: usize,
+    row_lo: usize,
+    row_hi: usize,
+}
+
+/// Lifecycle of one query on the segmented path. `FRESH` → (`RUNNING` |
+/// `DEAD`) happens exactly once, on the query's first claimed morsel, so
+/// deadline and failure-cap checks keep whole-query granularity: a query
+/// that has started always finishes (bit-exact answers or a real error),
+/// exactly as on the whole-bitmap path.
+const FRESH: usize = 0;
+const RUNNING: usize = 1;
+const DEAD: usize = 2;
+
+/// Shared per-query assembly state for the segmented path.
+struct QueryCell {
+    state: AtomicUsize,
+    /// Morsels not yet finished; the worker that drops this to zero
+    /// finalizes the outcome.
+    pending: AtomicUsize,
+    /// Full-length foundset words; morsels write disjoint ranges under a
+    /// short lock (evaluation itself runs on a morsel-local buffer).
+    words: Mutex<Vec<u64>>,
+    /// Merged statistics: the morsel containing segment 0 contributes the
+    /// paper-model counters (op charges land only there, and its fetch
+    /// cache touches every slot the query needs, so they equal the
+    /// whole-bitmap numbers); every morsel contributes its segment
+    /// counters.
+    stats: Mutex<EvalStats>,
+    /// The terminal outcome for a `DEAD` query (failed / timed out /
+    /// skipped), recorded by whichever worker killed it.
+    verdict: Mutex<Option<QueryOutcome<(BitVec, EvalStats)>>>,
+}
+
+/// The segmented workload driver: every query is cut into at most
+/// `threads` contiguous segment-aligned morsels, all morsels go onto one
+/// shared queue, and workers drain it — so a workload of one huge query
+/// and a workload of many small ones saturate the same pool
+/// (inter-query and intra-query parallelism are the same mechanism).
+fn evaluate_segmented_workload<S, F>(
+    make_source: F,
+    queries: &[SelectionQuery],
+    algorithm: Algorithm,
+    options: &BatchOptions,
+    segment_bits: usize,
+) -> WorkloadReport<(BitVec, EvalStats)>
+where
+    S: BitmapSource,
+    F: Fn() -> S + Sync,
+{
+    let n = queries.len();
+    if n == 0 {
+        return WorkloadReport {
+            outcomes: Vec::new(),
+            health: BatchHealth::default(),
+        };
+    }
+    let n_rows = make_source().n_rows();
+    let threads = options.threads();
+    let n_segments = n_rows.div_ceil(segment_bits).max(1);
+    // At most `threads` morsels per query: enough to keep every worker
+    // busy on a single-query workload, without flooding the queue (and
+    // multiplying per-chunk fetch work) on wide ones.
+    let morsels_per_query = threads.min(n_segments).max(1);
+    let segs_per_morsel = n_segments.div_ceil(morsels_per_query);
+    let mut morsels = Vec::with_capacity(n * morsels_per_query);
+    let mut cells = Vec::with_capacity(n);
+    for query in 0..n {
+        let mut count = 0usize;
+        let mut seg0 = 0usize;
+        while seg0 < n_segments {
+            let row_lo = seg0 * segment_bits;
+            let row_hi = ((seg0 + segs_per_morsel) * segment_bits).min(n_rows);
+            morsels.push(Morsel {
+                query,
+                row_lo,
+                row_hi,
+            });
+            count += 1;
+            seg0 += segs_per_morsel;
+        }
+        cells.push(QueryCell {
+            state: AtomicUsize::new(FRESH),
+            pending: AtomicUsize::new(count),
+            words: Mutex::new(vec![0u64; bindex_bitvec::words_for(n_rows)]),
+            stats: Mutex::new(EvalStats::default()),
+            verdict: Mutex::new(None),
+        });
+    }
+
+    let failures = AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
+    let worker = |out: &mut Vec<(usize, QueryOutcome<(BitVec, EvalStats)>)>| {
+        let mut source = make_source();
+        loop {
+            let mi = next.fetch_add(1, Ordering::Relaxed);
+            let Some(&morsel) = morsels.get(mi) else {
+                return;
+            };
+            let cell = &cells[morsel.query];
+            // Deadline / failure-cap gate, decided once per query on its
+            // first claimed morsel.
+            if cell.state.load(Ordering::Acquire) == FRESH {
+                let kill = if options
+                    .max_failures()
+                    .is_some_and(|cap| failures.load(Ordering::Relaxed) >= cap)
+                {
+                    Some(QueryOutcome::Skipped)
+                } else if options.deadline().is_some_and(|d| d.expired()) {
+                    Some(QueryOutcome::TimedOut)
+                } else {
+                    None
+                };
+                let target = if kill.is_some() { DEAD } else { RUNNING };
+                if cell
+                    .state
+                    .compare_exchange(FRESH, target, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    if let Some(v) = kill {
+                        *cell.verdict.lock().unwrap() = Some(v);
+                    }
+                }
+            }
+            if cell.state.load(Ordering::Acquire) == RUNNING {
+                let words_lo = morsel.row_lo / 64;
+                let span = bindex_bitvec::words_for(morsel.row_hi) - words_lo;
+                // Unwind safety: on panic the morsel buffer and context
+                // are discarded and the source is rebuilt.
+                let ran = catch_unwind(AssertUnwindSafe(|| {
+                    let mut ctx =
+                        ExecContext::new(&mut source).with_recovery(options.recovery().clone());
+                    let mut local = vec![0u64; span];
+                    let res = bindex_core::eval::evaluate_segment_range_in(
+                        &mut ctx,
+                        queries[morsel.query],
+                        algorithm,
+                        segment_bits,
+                        morsel.row_lo,
+                        morsel.row_hi,
+                        &mut local,
+                    );
+                    (res.map(|()| local), ctx.take_stats())
+                }));
+                match ran {
+                    Ok((Ok(local), stats)) => {
+                        let contributed = if morsel.row_lo == 0 {
+                            stats
+                        } else {
+                            // Off-zero morsels re-fetch and re-run the op
+                            // sequence for their own rows; only their
+                            // segment counters are new information.
+                            EvalStats {
+                                segments_evaluated: stats.segments_evaluated,
+                                segments_skipped: stats.segments_skipped,
+                                ..EvalStats::default()
+                            }
+                        };
+                        cell.stats.lock().unwrap().add(&contributed);
+                        cell.words.lock().unwrap()[words_lo..words_lo + span]
+                            .copy_from_slice(&local);
+                    }
+                    Ok((Err(e), _)) => {
+                        if kill_query(cell, &failures) {
+                            *cell.verdict.lock().unwrap() = Some(QueryOutcome::Failed(e));
+                        }
+                    }
+                    Err(payload) => {
+                        source = make_source();
+                        if kill_query(cell, &failures) {
+                            *cell.verdict.lock().unwrap() = Some(QueryOutcome::Failed(
+                                Error::WorkerPanic(panic_message(payload.as_ref())),
+                            ));
+                        }
+                    }
+                }
+            }
+            if cell.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last morsel of this query: assemble the outcome.
+                let outcome = match cell.verdict.lock().unwrap().take() {
+                    Some(v) => v,
+                    None => {
+                        let words = std::mem::take(&mut *cell.words.lock().unwrap());
+                        let stats = *cell.stats.lock().unwrap();
+                        let found = BitVec::from_words(words, n_rows);
+                        if stats.degraded_fetches > 0 {
+                            QueryOutcome::Degraded((found, stats))
+                        } else {
+                            QueryOutcome::Ok((found, stats))
+                        }
+                    }
+                };
+                out.push((morsel.query, outcome));
+            }
+        }
+    };
+
+    let mut collected: Vec<(usize, QueryOutcome<(BitVec, EvalStats)>)> = Vec::new();
+    if threads <= 1 {
+        worker(&mut collected);
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads.min(morsels.len()))
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        worker(&mut out);
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                if let Ok(chunk) = h.join() {
+                    collected.extend(chunk);
+                }
+            }
+        });
+    }
+
+    let mut slots: Vec<Option<QueryOutcome<(BitVec, EvalStats)>>> =
+        std::iter::repeat_with(|| None).take(n).collect();
+    for (i, o) in collected {
+        slots[i] = Some(o);
+    }
+    let outcomes: Vec<_> = slots
+        .into_iter()
+        .map(|s| {
+            s.unwrap_or_else(|| {
+                QueryOutcome::Failed(Error::WorkerPanic(
+                    "worker thread died before reporting its results".into(),
+                ))
+            })
+        })
+        .collect();
+    let health = BatchHealth::tally(&outcomes);
+    WorkloadReport { outcomes, health }
+}
+
+/// Transitions a query to `DEAD`, charging the workload failure counter.
+/// Returns `true` for the worker that performed the transition (and so
+/// owns writing the verdict); later morsels of an already-dead query are
+/// no-ops.
+fn kill_query(cell: &QueryCell, failures: &AtomicUsize) -> bool {
+    if cell.state.swap(DEAD, Ordering::AcqRel) != DEAD {
+        failures.fetch_add(1, Ordering::Relaxed);
+        true
+    } else {
+        false
+    }
 }
 
 #[cfg(test)]
@@ -584,6 +912,115 @@ mod tests {
         .into_results()
         .unwrap();
         assert_eq!(results, sequential);
+    }
+
+    /// Segment-at-a-time workload execution returns the same foundsets
+    /// and the same paper-model statistics as the whole-bitmap path, for
+    /// both the sequential and the morsel-queue parallel drivers.
+    #[test]
+    fn segmented_workload_matches_whole_bitmap() {
+        let col = gen::uniform(3000, 40, 11);
+        let idx = bindex_core::BitmapIndex::build(
+            &col,
+            IndexSpec::new(
+                bindex_core::Base::from_msb(&[5, 8]).unwrap(),
+                bindex_core::Encoding::Range,
+            ),
+        )
+        .unwrap();
+        let queries: Vec<SelectionQuery> = (0..40)
+            .map(|v| SelectionQuery::new(if v % 2 == 0 { Op::Le } else { Op::Gt }, v))
+            .collect();
+        let whole = evaluate_selection_workload(
+            || idx.source(),
+            &queries,
+            Algorithm::Auto,
+            &BatchOptions::single_threaded(),
+        )
+        .into_results()
+        .unwrap();
+        for threads in [1usize, 4] {
+            let options = BatchOptions::with_threads(threads).with_segment_bits(512);
+            let report =
+                evaluate_selection_workload(|| idx.source(), &queries, Algorithm::Auto, &options);
+            assert!(report.health.all_ok(), "{:?}", report.health);
+            let segmented = report.into_results().unwrap();
+            for (i, ((wf, ws), (sf, ss))) in whole.iter().zip(&segmented).enumerate() {
+                assert_eq!(wf, sf, "foundset query {i} threads {threads}");
+                assert_eq!(
+                    (ws.scans, ws.ands, ws.ors, ws.xors, ws.nots),
+                    (ss.scans, ss.ands, ss.ors, ss.xors, ss.nots),
+                    "stats query {i} threads {threads}"
+                );
+                assert_eq!(ss.segments_evaluated, 3000usize.div_ceil(512));
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_workload_isolates_panics_and_deadlines() {
+        let spec = IndexSpec::new(
+            bindex_core::Base::from_msb(&[4, 5]).unwrap(),
+            bindex_core::Encoding::Range,
+        );
+        let queries: Vec<SelectionQuery> = (1..9).map(|v| SelectionQuery::new(Op::Eq, v)).collect();
+        for threads in [1, 3] {
+            let options = BatchOptions::with_threads(threads).with_segment_bits(512);
+            let report = evaluate_selection_workload(
+                || PanickySource {
+                    spec: spec.clone(),
+                    n_rows: 5000,
+                },
+                &queries,
+                Algorithm::Auto,
+                &options,
+            );
+            assert_eq!(report.health.failed, queries.len(), "{:?}", report.health);
+            assert_eq!(report.health.worker_panics, queries.len());
+        }
+        // An already-expired deadline times out every query before it runs.
+        let col = gen::uniform(2000, 9, 3);
+        let idx = bindex_core::BitmapIndex::build(
+            &col,
+            IndexSpec::new(
+                bindex_core::Base::single(9).unwrap(),
+                bindex_core::Encoding::Range,
+            ),
+        )
+        .unwrap();
+        let options = BatchOptions::with_threads(2)
+            .with_segment_bits(512)
+            .with_deadline(Deadline::after(Duration::ZERO));
+        let report =
+            evaluate_selection_workload(|| idx.source(), &queries, Algorithm::Auto, &options);
+        assert_eq!(
+            report.health.timed_out,
+            queries.len(),
+            "{:?}",
+            report.health
+        );
+    }
+
+    #[test]
+    fn segment_bits_validation() {
+        assert_eq!(parse_segment_bits("512"), Some(512));
+        assert_eq!(parse_segment_bits(" 262144 "), Some(262_144));
+        assert_eq!(parse_segment_bits("1024"), Some(1024));
+        // Not a power of two, too small, junk, negative, empty.
+        assert_eq!(parse_segment_bits("1000"), None);
+        assert_eq!(parse_segment_bits("256"), None);
+        assert_eq!(parse_segment_bits("banana"), None);
+        assert_eq!(parse_segment_bits("-512"), None);
+        assert_eq!(parse_segment_bits(""), None);
+        let opts = BatchOptions::single_threaded().with_segment_bits(4096);
+        assert_eq!(opts.segment_bits(), Some(4096));
+        assert!(BatchOptions::single_threaded().segment_bits().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn with_segment_bits_rejects_invalid() {
+        let _ = BatchOptions::single_threaded().with_segment_bits(1000);
     }
 
     #[test]

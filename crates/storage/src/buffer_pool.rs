@@ -15,7 +15,7 @@
 //! bitmaps resident than the same budget over dense words.
 
 use std::collections::HashMap;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use bindex_bitvec::BitVec;
 use bindex_compress::Repr;
@@ -192,9 +192,61 @@ impl BufferPool {
     ) -> Result<BitVec, E> {
         let repr = self.get_or_load_repr(key, || load().map(Repr::literal))?;
         Ok(match repr {
-            Repr::Literal(b) => std::sync::Arc::try_unwrap(b).unwrap_or_else(|a| (*a).clone()),
+            Repr::Literal(b) => Arc::try_unwrap(b).unwrap_or_else(|a| (*a).clone()),
             Repr::Wah(w) => w.to_bitvec(),
         })
+    }
+
+    /// Fetches the bitmap for `key` as a **shared dense handle**: a hit on
+    /// a dense entry is a reference-count bump, never a word copy. This is
+    /// the read path for segment-at-a-time workers — many morsels of one
+    /// query touching the same slot share a single resident copy.
+    ///
+    /// A cached compressed entry is decompressed once and the cache entry
+    /// is upgraded in place to the dense form (re-charged at its dense
+    /// footprint, evicting colder entries if the byte budget demands it),
+    /// so concurrent readers of a hot slot do not repeat the decode.
+    pub fn get_or_load_arc<E>(
+        &self,
+        key: (usize, usize),
+        load: impl FnOnce() -> Result<BitVec, E>,
+    ) -> Result<Arc<BitVec>, E> {
+        let repr = self.get_or_load_repr(key, || load().map(Repr::literal))?;
+        let upgraded_from = repr.heap_bytes();
+        let dense = match repr {
+            Repr::Literal(b) => return Ok(b),
+            Repr::Wah(w) => Arc::new(w.to_bitvec()),
+        };
+        let new_repr = Repr::Literal(Arc::clone(&dense));
+        let new_bytes = new_repr.heap_bytes();
+        let mut inner = self.lock();
+        // Upgrade only if the compressed entry is still resident (it may
+        // have been evicted or replaced while we decoded).
+        let still_compressed = inner
+            .entries
+            .get(&key)
+            .is_some_and(|(r, _)| r.is_compressed());
+        if still_compressed {
+            if let Budget::Bytes(cap) = self.budget {
+                if new_bytes > cap {
+                    // Dense form oversized for the whole pool: keep the
+                    // compressed entry, serve the decode uncached.
+                    return Ok(dense);
+                }
+            }
+            if let Some((slot, _)) = inner.entries.get_mut(&key) {
+                *slot = new_repr;
+            }
+            inner.resident_bytes = inner.resident_bytes - upgraded_from + new_bytes;
+            if let Budget::Bytes(cap) = self.budget {
+                while inner.resident_bytes > cap {
+                    if !inner.evict_lru() {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(dense)
     }
 
     /// Current statistics.
@@ -297,6 +349,16 @@ impl ShardedPool {
         load: impl FnOnce() -> Result<BitVec, E>,
     ) -> Result<BitVec, E> {
         self.shard_of(key).get_or_load(key, load)
+    }
+
+    /// Fetches the bitmap for `key` from its shard as a shared dense
+    /// handle (see [`BufferPool::get_or_load_arc`]).
+    pub fn get_or_load_arc<E>(
+        &self,
+        key: (usize, usize),
+        load: impl FnOnce() -> Result<BitVec, E>,
+    ) -> Result<Arc<BitVec>, E> {
+        self.shard_of(key).get_or_load_arc(key, load)
     }
 
     /// Fetches the representation for `key` from its shard, loading on a
@@ -478,6 +540,54 @@ mod tests {
             .unwrap();
         assert_eq!(dense, bits);
         assert!(pool.resident_bytes() < bits.words().len() * 8);
+    }
+
+    #[test]
+    fn arc_hits_share_one_copy() {
+        let pool = BufferPool::new(4);
+        let a = pool.get_or_load_arc::<()>((1, 0), || Ok(bm(1))).unwrap();
+        let b = pool
+            .get_or_load_arc::<()>((1, 0), || panic!("must hit"))
+            .unwrap();
+        // Both handles point at the same resident words — no deep copy.
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, bm(1));
+    }
+
+    #[test]
+    fn arc_read_upgrades_compressed_entry_once() {
+        let pool = BufferPool::new(4);
+        let bits = BitVec::from_fn(4096, |i| i == 9);
+        let wah = WahBitmap::from_bitvec(&bits);
+        pool.get_or_load_repr::<()>((3, 0), || Ok(Repr::wah(wah)))
+            .unwrap();
+        let first = pool
+            .get_or_load_arc::<()>((3, 0), || panic!("must hit"))
+            .unwrap();
+        assert_eq!(*first, bits);
+        // The entry is now dense: the next arc read shares the decode.
+        let second = pool
+            .get_or_load_arc::<()>((3, 0), || panic!("must hit"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        // Byte accounting now charges the dense footprint.
+        assert_eq!(pool.resident_bytes(), bits.words().len() * 8);
+    }
+
+    #[test]
+    fn arc_upgrade_respects_byte_budget() {
+        // Budget fits the compressed form but not the dense one: the
+        // decode is served, the compressed entry stays.
+        let bits = BitVec::from_fn(4096, |i| i == 5);
+        let pool = BufferPool::with_byte_budget(64);
+        pool.get_or_load_repr::<()>((1, 0), || Ok(Repr::wah(WahBitmap::from_bitvec(&bits))))
+            .unwrap();
+        let before = pool.resident_bytes();
+        let got = pool
+            .get_or_load_arc::<()>((1, 0), || panic!("must hit"))
+            .unwrap();
+        assert_eq!(*got, bits);
+        assert_eq!(pool.resident_bytes(), before, "entry must stay compressed");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! touching the store at all.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bindex_bitvec::BitVec;
 use bindex_compress::Repr;
@@ -113,6 +114,19 @@ impl<S: ByteStore> SharedIndexReader<S> {
         let (bm, delta) = self.index.read_bitmap_shared(comp, slot)?;
         self.stats.add(&delta);
         Ok(bm)
+    }
+
+    /// Reads stored bitmap `slot` of component `comp` as a shared dense
+    /// handle. With a pool attached, concurrent readers of a hot slot —
+    /// the segment-at-a-time engine's morsel workers all walking the same
+    /// query — share one resident copy per pool shard instead of deep-
+    /// copying it per read; a cached compressed slot is decompressed once
+    /// and upgraded in place (see `BufferPool::get_or_load_arc`).
+    pub fn read_bitmap_arc(&self, comp: usize, slot: usize) -> Result<Arc<BitVec>, StorageError> {
+        match &self.pool {
+            Some(pool) => pool.get_or_load_arc((comp, slot), || self.read_uncached(comp, slot)),
+            None => self.read_uncached(comp, slot).map(Arc::new),
+        }
     }
 
     /// Reads stored bitmap `slot` of component `comp` in its stored
@@ -239,6 +253,23 @@ mod tests {
         assert_eq!(reader.stats().reads, 1);
         // Dense slots still round-trip through the same path.
         assert_eq!(*reader.read_repr(1, 1).unwrap().to_bitvec(), comps[0][1]);
+    }
+
+    #[test]
+    fn arc_reads_share_the_resident_copy() {
+        let reader = sample_reader(Some(ShardedPool::new(16, 4)));
+        let a = reader.read_bitmap_arc(1, 0).unwrap();
+        let b = reader.read_bitmap_arc(1, 0).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, reader.read_bitmap(1, 0).unwrap());
+        // One store read for any number of shared handles.
+        assert_eq!(reader.stats().reads, 1);
+        // Without a pool each arc read is its own store read.
+        let bare = sample_reader(None);
+        let x = bare.read_bitmap_arc(1, 0).unwrap();
+        let y = bare.read_bitmap_arc(1, 0).unwrap();
+        assert!(!Arc::ptr_eq(&x, &y));
+        assert_eq!(bare.stats().reads, 2);
     }
 
     #[test]
