@@ -20,7 +20,7 @@ use bindex::engine::{ConjunctiveQuery, IndexChoice, Table};
 use bindex::relation::gen;
 use bindex::relation::query::{Op, SelectionQuery};
 use bindex::BitVec;
-use bindex_bench::{f2, print_table, results_dir, Csv};
+use bindex_bench::{f2, print_table, results_dir, Csv, RunProvenance};
 
 struct Config {
     rows: usize,
@@ -118,7 +118,6 @@ fn main() {
         }
     };
 
-    let hw_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let max_threads = BatchOptions::from_env().threads().max(4);
 
     let table = build_table(cfg.rows);
@@ -128,6 +127,8 @@ fn main() {
     if max_threads > 4 {
         thread_counts.push(max_threads);
     }
+    let provenance = RunProvenance::capture(*thread_counts.iter().max().unwrap());
+    let hw_threads = provenance.hardware_threads;
     let reps = if quick { 2 } else { 3 };
     // (requested, effective, qps) — effective can be lower than requested
     // on machines with fewer cores than the sweep asks for.
@@ -219,7 +220,7 @@ fn main() {
         .collect();
     let json = format!(
         "{{\n  \"experiment\": \"batch_throughput\",\n  \"quick\": {quick},\n  \
-         \"rows\": {rows},\n  \"queries\": {nq},\n  \"hardware_threads\": {hw},\n  \
+         \"rows\": {rows},\n  \"queries\": {nq},\n  {prov},\n  \
          \"batch\": [\n{threads}\n  ],\n  \"union_16way\": {{\n    \
          \"bits\": {bits},\n    \"pairwise_seconds\": {pair:.6},\n    \
          \"fused_seconds\": {fused:.6},\n    \"fused_speedup\": {sp:.3},\n    \
@@ -227,7 +228,7 @@ fn main() {
          \"count_fused_seconds\": {cfused:.6},\n    \"count_fused_speedup\": {csp:.3}\n  }}\n}}\n",
         rows = cfg.rows,
         nq = cfg.queries,
-        hw = hw_threads,
+        prov = provenance.json_fields(),
         threads = threads_json.join(",\n"),
         bits = cfg.union_bits,
         pair = pair_s,

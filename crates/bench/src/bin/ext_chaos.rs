@@ -33,7 +33,7 @@ use bindex::{
     Base, BitVec, BitmapIndex, Column, Encoding, EvalStats, IndexSpec, RecoveryPolicy,
     SelectionQuery,
 };
-use bindex_bench::{f2, print_table, results_dir, Csv};
+use bindex_bench::{f2, print_table, results_dir, Csv, RunProvenance};
 
 const CARDINALITY: u32 = 30;
 
@@ -195,6 +195,7 @@ fn main() {
         .unwrap_or(42);
     let rows = if quick { 8_000 } else { 60_000 };
     let threads = BatchOptions::from_env().threads().clamp(2, 8);
+    let provenance = RunProvenance::capture(threads);
 
     let column = Arc::new(gen::uniform(rows, CARDINALITY, seed));
     let spec = IndexSpec::new(Base::from_msb(&[5, 6]).unwrap(), Encoding::Equality);
@@ -385,9 +386,10 @@ fn main() {
     // Hand-rolled JSON (no serde in the dependency set).
     let json = format!(
         "{{\n  \"experiment\": \"chaos_recovery\",\n  \"quick\": {quick},\n  \
-         \"rows\": {rows},\n  \"queries\": {nq},\n  \"threads\": {threads},\n  \
+         \"rows\": {rows},\n  \"queries\": {nq},\n  \"threads\": {threads},\n  {prov},\n  \
          \"seed\": {seed},\n  \"recovery_rate_pct\": 100.0,\n  \"schemes\": [\n{schemes}\n  ]\n}}\n",
         nq = queries.len(),
+        prov = provenance.json_fields(),
         schemes = scheme_json.join(",\n"),
     );
     let json_path = results_dir()

@@ -31,7 +31,7 @@ use bindex::relation::{gen, Column};
 use bindex::storage::{BufferPool, MemStore, StorageScheme, StoredIndex};
 use bindex::stored::{persist_index, persist_index_v3, StorageSource};
 use bindex::{Base, BitVec, BitmapIndex, Encoding, IndexSpec};
-use bindex_bench::{f2, print_table, results_dir, Csv};
+use bindex_bench::{f2, print_table, results_dir, Csv, RunProvenance};
 
 struct Config {
     bits: usize,
@@ -265,6 +265,7 @@ fn pool_residency(col: &Column, cfg: &Config) -> PoolResidency {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let provenance = RunProvenance::capture(1);
     let cfg = if quick {
         Config {
             bits: 1 << 18,
@@ -436,7 +437,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"experiment\": \"compressed_exec\",\n  \"quick\": {quick},\n  \
+        "{{\n  \"experiment\": \"compressed_exec\",\n  \"quick\": {quick},\n  {prov},\n  \
          \"bits\": {bits},\n  \"operands\": {OPERANDS},\n  \
          \"default_crossover\": {DEFAULT_WAH_CROSSOVER},\n  \
          \"measured_crossover\": {crossover},\n  \"kernel_sweep\": [\n{sweep}\n  ],\n  \
@@ -445,6 +446,7 @@ fn main() {
          \"adaptive_high_density_loss_le_5pct\": {adaptive_ok},\n  \
          \"pool\": {{\"byte_budget\": {budget}, \"literal_resident_slots\": {lit_res}, \
          \"v3_resident_slots\": {v3_res}}}\n}}\n",
+        prov = provenance.json_fields(),
         bits = cfg.bits,
         crossover = crossover.map_or("null".into(), |d| format!("{d:.3}")),
         sweep = sweep_json.join(",\n"),

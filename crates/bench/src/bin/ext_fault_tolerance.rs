@@ -17,7 +17,7 @@ use bindex::storage::{
 };
 use bindex::stored::{persist_index, StorageSource};
 use bindex::{Base, BitmapIndex, Encoding, IndexSpec};
-use bindex_bench::{average_wall_time, f2, pct, print_table, Csv};
+use bindex_bench::{average_wall_time, f2, pct, print_table, results_dir, Csv, RunProvenance};
 
 const N_ROWS: usize = 100_000;
 const CARDINALITY: u32 = 50;
@@ -145,6 +145,7 @@ fn main() {
         }
     }
     let injected = stored.store().counters();
+    let retries = stored.stats().retries;
     println!("\n== Retry under transient faults (every 5th read fails once) ==");
     println!(
         "queries: {} ({correct} correct), reads: {}, injected transient errors: {}, retries: {}",
@@ -189,4 +190,25 @@ fn main() {
         corrupted,
         "scrub must find every corrupt file"
     );
+
+    // Hand-rolled JSON (no serde in the dependency set).
+    let provenance = RunProvenance::capture(1);
+    let json = format!(
+        "{{\n  \"experiment\": \"fault_tolerance\",\n  {prov},\n  \
+         \"rows\": {N_ROWS},\n  \"queries\": {nq},\n  \
+         \"transient_errors_injected\": {injected},\n  \"retries\": {retries},\n  \
+         \"scrub_files_checked\": {checked},\n  \"scrub_failures_found\": {found},\n  \
+         \"corrupted_files\": {corrupted}\n}}\n",
+        prov = provenance.json_fields(),
+        nq = queries.len(),
+        injected = injected.transient_errors,
+        checked = report.files_checked,
+        found = report.failures.len(),
+    );
+    let json_path = results_dir()
+        .parent()
+        .map(|p| p.join("BENCH_fault_tolerance.json"))
+        .expect("results dir has a parent");
+    std::fs::write(&json_path, json).expect("write json");
+    println!("JSON: {}", json_path.display());
 }

@@ -12,7 +12,7 @@ use bindex::core::cost::{expected_scans, time_range_paper};
 use bindex::core::design::frontier::{all_points, pareto};
 use bindex::core::eval::Algorithm;
 use bindex::{Base, Encoding};
-use bindex_bench::{f3, print_table, Csv};
+use bindex_bench::{f3, print_table, results_dir, Csv, RunProvenance};
 
 fn main() {
     let cards: Vec<u32> = {
@@ -39,7 +39,7 @@ fn main() {
     )
     .unwrap();
 
-    for c in cards {
+    for &c in &cards {
         let mut rows = Vec::new();
         for encoding in [Encoding::Equality, Encoding::Range, Encoding::Interval] {
             for p in pareto(all_points(c, encoding, usize::MAX)) {
@@ -78,4 +78,21 @@ fn main() {
     }
     println!("\n(1999 paper's headline: half the space at <= 2 scans per digit predicate.)");
     println!("CSV: {}", csv.path().display());
+
+    // Hand-rolled JSON (no serde in the dependency set).
+    let provenance = RunProvenance::capture(1);
+    let cards_json: Vec<String> = cards.iter().map(u32::to_string).collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"interval_encoding\",\n  {prov},\n  \
+         \"cardinalities\": [{cards}],\n  \
+         \"headline\": \"interval halves range space at comparable scans\"\n}}\n",
+        prov = provenance.json_fields(),
+        cards = cards_json.join(", "),
+    );
+    let json_path = results_dir()
+        .parent()
+        .map(|p| p.join("BENCH_interval_encoding.json"))
+        .expect("results dir has a parent");
+    std::fs::write(&json_path, json).expect("write json");
+    println!("JSON: {}", json_path.display());
 }

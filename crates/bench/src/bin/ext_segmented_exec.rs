@@ -28,7 +28,7 @@ use bindex::core::DEFAULT_SEGMENT_BITS;
 use bindex::relation::gen;
 use bindex::relation::query::{full_space, Op, SelectionQuery};
 use bindex::{Base, BitVec, BitmapIndex, Encoding, IndexSpec};
-use bindex_bench::{f2, print_table, results_dir, Csv};
+use bindex_bench::{f2, print_table, results_dir, Csv, RunProvenance};
 
 struct Config {
     /// Bits per operand in the 8-way fold sweep.
@@ -360,6 +360,7 @@ fn seg_label(seg: Option<usize>) -> String {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let provenance = RunProvenance::capture(1);
     let cfg = if quick {
         Config {
             fold_bits: 1 << 20,
@@ -521,13 +522,14 @@ fn main() {
             .map_or(0.0, |p| p.speedup)
     };
     let json = format!(
-        "{{\n  \"experiment\": \"segmented_exec\",\n  \"quick\": {quick},\n  \
+        "{{\n  \"experiment\": \"segmented_exec\",\n  \"quick\": {quick},\n  {prov},\n  \
          \"default_segment_bits\": {default},\n  \"fold_bits\": {fold_bits},\n  \
          \"fold_operands\": {operands},\n  \"rows\": {rows},\n  \
          \"and_8way_speedup_at_default\": {and_sp:.3},\n  \
          \"or_8way_speedup_at_default\": {or_sp:.3},\n  \
          \"fold_8way\": [\n{folds}\n  ],\n  \"evaluators\": [\n{evals}\n  ],\n  \
          \"density\": [\n{densities}\n  ]\n}}\n",
+        prov = provenance.json_fields(),
         default = DEFAULT_SEGMENT_BITS,
         fold_bits = cfg.fold_bits,
         operands = OPERANDS,

@@ -1,0 +1,528 @@
+//! **Extension experiment** — service tail latency under offered load.
+//!
+//! An open-loop load generator drives a real [`bindex_server::Server`]
+//! (ephemeral TCP port, real wire protocol) with Poisson-free fixed-rate
+//! arrivals: request *i* is scheduled at `start + i/qps` and its latency
+//! is measured **from the scheduled arrival**, not from the send — the
+//! coordinated-omission-aware convention, so a stalled server cannot
+//! hide queueing delay by slowing the generator down.
+//!
+//! Three parts:
+//!
+//! 1. a sweep of offered qps × admission-queue depth over a slow store,
+//!    recording p50/p99/p999 and the shed/ok mix — the headline is that
+//!    overload degrades into *typed sheds at bounded latency*, never
+//!    into unbounded queueing;
+//! 2. a chaos stage: the same load against an index whose bitmap files
+//!    are durably corrupted, with an online `Repair` fired mid-stage —
+//!    availability must stay partial (degraded-but-exact answers, typed
+//!    failures, zero transport errors) and the breaker must return to
+//!    healthy strict serving after the repair;
+//! 3. `BENCH_service_latency.json` + the usual CSV under `results/`.
+//!
+//! `--quick` shrinks durations; `--smoke` shrinks them further for CI.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bindex::compress::CodecKind;
+use bindex::relation::gen;
+use bindex::relation::query::{Op, SelectionQuery};
+use bindex::storage::{ByteStore, MemStore, StorageScheme};
+use bindex::stored::persist_index;
+use bindex::{Base, BitmapIndex, Encoding, IndexSpec};
+use bindex_bench::{f2, percentile, print_table, results_dir, Csv, RunProvenance};
+use bindex_server::{
+    Client, ErrorCode, IndexTuning, Registry, Response, ServedIndex, Server, ServerConfig,
+};
+
+const N_ROWS: usize = 1 << 16;
+const CARDINALITY: u32 = 100;
+const WORKERS: usize = 2;
+const DEADLINE_MS: u64 = 50;
+
+fn spec() -> IndexSpec {
+    IndexSpec::new(Base::from_msb(&[10, 10]).unwrap(), Encoding::Range)
+}
+
+/// A `ByteStore` whose reads cost `delay` — stands in for a disk so the
+/// service saturates at an interesting, machine-independent qps.
+struct SlowStore {
+    inner: MemStore,
+    delay: Duration,
+}
+
+impl ByteStore for SlowStore {
+    fn write_file(&mut self, name: &str, data: &[u8]) -> std::io::Result<()> {
+        self.inner.write_file(name, data)
+    }
+
+    fn read_file(&self, name: &str) -> std::io::Result<Vec<u8>> {
+        std::thread::sleep(self.delay);
+        self.inner.read_file(name)
+    }
+
+    fn file_size(&self, name: &str) -> std::io::Result<u64> {
+        self.inner.file_size(name)
+    }
+
+    fn file_names(&self) -> std::io::Result<Vec<String>> {
+        self.inner.file_names()
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct Counts {
+    sent: usize,
+    ok: usize,
+    cached: usize,
+    degraded: usize,
+    shed_overload: usize,
+    shed_deadline: usize,
+    failed: usize,
+    transport_errors: usize,
+}
+
+#[derive(Debug, Clone)]
+struct StageResult {
+    name: String,
+    offered_qps: f64,
+    queue_depth: usize,
+    counts: Counts,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    max_ms: f64,
+    achieved_qps: f64,
+}
+
+/// Drives `total` fixed-rate arrivals at `qps` against `index_name` over
+/// `conns` connections; returns per-request latencies (ms, from
+/// scheduled arrival) and the response mix. `at_halfway` runs once on a
+/// controller thread near the midpoint (the chaos stage repairs there).
+fn drive(
+    addr: std::net::SocketAddr,
+    index_name: &str,
+    qps: f64,
+    total: usize,
+    conns: usize,
+    at_halfway: Option<Box<dyn FnOnce() + Send>>,
+) -> (Vec<f64>, Counts, Duration) {
+    let next = AtomicUsize::new(0);
+    let all_latencies = Mutex::new(Vec::with_capacity(total));
+    let all_counts = Mutex::new(Counts::default());
+    let start = Instant::now();
+    let halfway_at = Duration::from_secs_f64(0.5 * total as f64 / qps);
+    std::thread::scope(|scope| {
+        if let Some(action) = at_halfway {
+            scope.spawn(move || {
+                std::thread::sleep(halfway_at);
+                action();
+            });
+        }
+        for _ in 0..conns {
+            scope.spawn(|| {
+                let mut client = Client::connect(addr).expect("connect");
+                client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+                let mut latencies = Vec::new();
+                let mut counts = Counts::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let scheduled = Duration::from_secs_f64(i as f64 / qps);
+                    if let Some(wait) = scheduled.checked_sub(start.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                    let query =
+                        SelectionQuery::new(Op::Le, (i as u32).wrapping_mul(17) % CARDINALITY);
+                    counts.sent += 1;
+                    let resp = client.query(index_name, query, false, DEADLINE_MS);
+                    latencies.push((start.elapsed() - scheduled).as_secs_f64() * 1e3);
+                    match resp {
+                        Ok(Response::Count {
+                            degraded, cached, ..
+                        }) => {
+                            counts.ok += 1;
+                            if degraded {
+                                counts.degraded += 1;
+                            }
+                            if cached {
+                                counts.cached += 1;
+                            }
+                        }
+                        Ok(Response::Error { code, .. }) => match code {
+                            ErrorCode::Overloaded => counts.shed_overload += 1,
+                            ErrorCode::DeadlineExceeded => counts.shed_deadline += 1,
+                            ErrorCode::QueryFailed => counts.failed += 1,
+                            _ => counts.transport_errors += 1,
+                        },
+                        Ok(_) | Err(_) => counts.transport_errors += 1,
+                    }
+                }
+                all_latencies.lock().unwrap().extend(latencies);
+                let mut merged = all_counts.lock().unwrap();
+                merged.sent += counts.sent;
+                merged.ok += counts.ok;
+                merged.cached += counts.cached;
+                merged.degraded += counts.degraded;
+                merged.shed_overload += counts.shed_overload;
+                merged.shed_deadline += counts.shed_deadline;
+                merged.failed += counts.failed;
+                merged.transport_errors += counts.transport_errors;
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let latencies = all_latencies.into_inner().unwrap();
+    let counts = all_counts.into_inner().unwrap();
+    (latencies, counts, elapsed)
+}
+
+fn summarize(
+    name: &str,
+    offered_qps: f64,
+    queue_depth: usize,
+    mut latencies: Vec<f64>,
+    counts: Counts,
+    elapsed: Duration,
+) -> StageResult {
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    StageResult {
+        name: name.to_string(),
+        offered_qps,
+        queue_depth,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        p999_ms: percentile(&latencies, 0.999),
+        max_ms: latencies.last().copied().unwrap_or(0.0),
+        achieved_qps: counts.sent as f64 / elapsed.as_secs_f64().max(1e-9),
+        counts,
+    }
+}
+
+fn start_server(registry: Registry, queue_depth: usize) -> Server {
+    let config = ServerConfig {
+        workers: WORKERS,
+        queue_depth,
+        default_deadline: Duration::from_millis(DEADLINE_MS),
+    };
+    Server::start(registry, config, "127.0.0.1:0").expect("bind ephemeral port")
+}
+
+fn stage_json(s: &StageResult) -> String {
+    let c = &s.counts;
+    format!(
+        "    {{\"name\": \"{name}\", \"offered_qps\": {qps:.1}, \"queue_depth\": {depth}, \
+         \"sent\": {sent}, \"ok\": {ok}, \"cached\": {cached}, \"degraded\": {degraded}, \
+         \"shed_overload\": {so}, \"shed_deadline\": {sd}, \"failed\": {failed}, \
+         \"transport_errors\": {te}, \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \
+         \"p999_ms\": {p999:.3}, \"max_ms\": {max:.3}, \"achieved_qps\": {aq:.1}}}",
+        name = s.name,
+        qps = s.offered_qps,
+        depth = s.queue_depth,
+        sent = c.sent,
+        ok = c.ok,
+        cached = c.cached,
+        degraded = c.degraded,
+        so = c.shed_overload,
+        sd = c.shed_deadline,
+        failed = c.failed,
+        te = c.transport_errors,
+        p50 = s.p50_ms,
+        p99 = s.p99_ms,
+        p999 = s.p999_ms,
+        max = s.max_ms,
+        aq = s.achieved_qps,
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let provenance = RunProvenance::capture(WORKERS);
+
+    // Connections must exceed `workers + depth` at the shallow depth, or
+    // the generator itself becomes the admission limit and the queue can
+    // never fill (one outstanding request per connection).
+    let (stage_secs, conns, depths): (f64, usize, &[usize]) = if smoke {
+        (0.4, 12, &[4])
+    } else if quick {
+        (0.8, 12, &[4])
+    } else {
+        (2.0, 16, &[4, 64])
+    };
+    let qps_points = [100.0, 400.0, 1600.0];
+
+    let column = gen::uniform(N_ROWS, CARDINALITY, 23);
+    let index = BitmapIndex::build(&column, spec()).unwrap();
+    let clean_store = persist_index(
+        &index,
+        MemStore::new(),
+        StorageScheme::BitmapLevel,
+        CodecKind::None,
+    )
+    .unwrap()
+    .into_store();
+    // Serving tuning for the sweep: cache and pool off so every query
+    // pays the (slowed) store, small segments so deadlines can cancel.
+    let tuning = IndexTuning {
+        segment_bits: 4096,
+        cache_capacity: 0,
+        pool_capacity: 0,
+        ..IndexTuning::default()
+    };
+
+    println!(
+        "service latency: {N_ROWS} rows, {WORKERS} workers, {DEADLINE_MS}ms deadline, \
+         {conns} connections, {stage_secs}s per stage"
+    );
+
+    // -- Part 1: offered load × queue depth sweep -------------------------
+    let mut stages: Vec<StageResult> = Vec::new();
+    for &depth in depths {
+        for &qps in &qps_points {
+            let mut registry = Registry::new();
+            registry.insert(
+                ServedIndex::new(
+                    "t",
+                    spec(),
+                    Box::new(SlowStore {
+                        inner: clean_store.clone(),
+                        delay: Duration::from_millis(2),
+                    }),
+                    None,
+                    None,
+                    tuning.clone(),
+                )
+                .expect("serve index"),
+            );
+            let server = start_server(registry, depth);
+            let total = (qps * stage_secs).round().max(1.0) as usize;
+            let (latencies, counts, elapsed) = drive(server.addr(), "t", qps, total, conns, None);
+            server.shutdown();
+            stages.push(summarize("load", qps, depth, latencies, counts, elapsed));
+        }
+    }
+
+    let mut rows = Vec::new();
+    for s in &stages {
+        let c = &s.counts;
+        rows.push(vec![
+            format!("{:.0}", s.offered_qps),
+            s.queue_depth.to_string(),
+            c.sent.to_string(),
+            c.ok.to_string(),
+            (c.shed_overload + c.shed_deadline).to_string(),
+            f2(s.p50_ms),
+            f2(s.p99_ms),
+            f2(s.p999_ms),
+            format!("{:.0}", s.achieved_qps),
+        ]);
+    }
+    print_table(
+        "open-loop sweep (latency ms from scheduled arrival)",
+        &[
+            "offered qps",
+            "depth",
+            "sent",
+            "ok",
+            "shed",
+            "p50",
+            "p99",
+            "p999",
+            "achieved",
+        ],
+        &rows,
+    );
+
+    // -- Part 2: chaos under load with mid-stage repair -------------------
+    let mut chaos_store = clean_store.clone();
+    let mut corrupted_files = 0;
+    for name in chaos_store.file_names().unwrap() {
+        if !name.ends_with(".bmp") {
+            continue;
+        }
+        let mut data = chaos_store.read_file(&name).unwrap();
+        if let Some(byte) = data.last_mut() {
+            *byte ^= 0x40;
+            chaos_store.write_file(&name, &data).unwrap();
+            corrupted_files += 1;
+        }
+    }
+    assert!(
+        corrupted_files > 0,
+        "nothing corrupted — wrong file suffix?"
+    );
+    let chaos_tuning = IndexTuning {
+        breaker_trip: 3,
+        breaker_close: 2,
+        breaker_cooldown: Duration::from_secs(600),
+        ..tuning.clone()
+    };
+    let mut registry = Registry::new();
+    registry.insert(
+        ServedIndex::new(
+            "chaos",
+            spec(),
+            Box::new(chaos_store),
+            Some(Arc::new(column)),
+            None,
+            chaos_tuning,
+        )
+        .expect("serve chaos index"),
+    );
+    let served = registry.get("chaos").unwrap();
+    let server = start_server(registry, 16);
+    let chaos_qps = 200.0;
+    let chaos_total = (chaos_qps * stage_secs * 2.0).round().max(16.0) as usize;
+    let repair_addr = server.addr();
+    let (latencies, counts, elapsed) = drive(
+        server.addr(),
+        "chaos",
+        chaos_qps,
+        chaos_total,
+        conns,
+        Some(Box::new(move || {
+            let mut client = Client::connect(repair_addr).expect("connect for repair");
+            client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+            let (repaired, unrepaired) = client.repair("chaos").expect("repair");
+            println!("  mid-stage repair: {repaired} files repaired, {unrepaired} unrepaired");
+        })),
+    );
+    // A few clean probes after the storm close the breaker if load alone
+    // did not (breaker_close successes needed after HalfOpen).
+    let mut probe = Client::connect(server.addr()).expect("connect");
+    probe.set_timeout(Some(Duration::from_secs(60))).unwrap();
+    for i in 0..4u32 {
+        let _ = probe.query(
+            "chaos",
+            SelectionQuery::new(Op::Gt, i * 9 % CARDINALITY),
+            false,
+            0,
+        );
+    }
+    let healthy_after = served.healthy();
+    let final_stats = server.stats();
+    server.shutdown();
+    let chaos = summarize("chaos", chaos_qps, 16, latencies, counts, elapsed);
+
+    let slo_bound_ms = (4 * DEADLINE_MS + 1000) as f64;
+    let c = &chaos.counts;
+    let partial_availability = c.ok > 0 && c.degraded > 0 && c.failed > 0;
+    print_table(
+        "chaos stage (corrupted store, repair at midpoint)",
+        &[
+            "sent",
+            "ok",
+            "degraded",
+            "failed",
+            "shed",
+            "p999",
+            "healthy after",
+        ],
+        &[vec![
+            c.sent.to_string(),
+            c.ok.to_string(),
+            c.degraded.to_string(),
+            c.failed.to_string(),
+            (c.shed_overload + c.shed_deadline).to_string(),
+            f2(chaos.p999_ms),
+            healthy_after.to_string(),
+        ]],
+    );
+    println!(
+        "  partial availability: {partial_availability} \
+         (typed failures pre-trip, exact degraded answers post-trip, strict post-repair)"
+    );
+    println!(
+        "  p999 {:.2}ms vs SLO bound {slo_bound_ms:.0}ms; transport errors: {}",
+        chaos.p999_ms, c.transport_errors
+    );
+
+    // -- Part 3: CSV + BENCH JSON ----------------------------------------
+    let mut csv = Csv::create(
+        "ext_service_latency",
+        &[
+            "stage",
+            "offered_qps",
+            "queue_depth",
+            "sent",
+            "ok",
+            "degraded",
+            "failed",
+            "shed_overload",
+            "shed_deadline",
+            "p50_ms",
+            "p99_ms",
+            "p999_ms",
+            "achieved_qps",
+        ],
+    )
+    .expect("csv");
+    for s in stages.iter().chain(std::iter::once(&chaos)) {
+        let c = &s.counts;
+        csv.row(&[
+            &s.name,
+            &format!("{:.1}", s.offered_qps),
+            &s.queue_depth,
+            &c.sent,
+            &c.ok,
+            &c.degraded,
+            &c.failed,
+            &c.shed_overload,
+            &c.shed_deadline,
+            &format!("{:.3}", s.p50_ms),
+            &format!("{:.3}", s.p99_ms),
+            &format!("{:.3}", s.p999_ms),
+            &format!("{:.1}", s.achieved_qps),
+        ])
+        .expect("row");
+    }
+    println!("\nCSV: {}", csv.path().display());
+
+    // Hand-rolled JSON (no serde in the dependency set).
+    let stage_rows: Vec<String> = stages.iter().map(stage_json).collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"service_latency\",\n  \"quick\": {quick},\n  \
+         \"smoke\": {smoke},\n  {prov},\n  \"rows\": {rows},\n  \"workers\": {workers},\n  \
+         \"deadline_ms\": {deadline},\n  \"connections\": {conns},\n  \
+         \"stage_seconds\": {secs},\n  \"stages\": [\n{stages}\n  ],\n  \
+         \"chaos\": {{\n    \"corrupted_files\": {corrupted},\n    \"stage\":\n{chaos_row},\n    \
+         \"repairs\": {repairs},\n    \"breaker_trips\": {trips},\n    \
+         \"partial_availability\": {partial},\n    \"slo_bound_ms\": {bound:.0},\n    \
+         \"p999_within_bound\": {p999_ok},\n    \"zero_transport_errors\": {no_te},\n    \
+         \"healthy_after_repair\": {healthy}\n  }}\n}}\n",
+        prov = provenance.json_fields(),
+        rows = N_ROWS,
+        workers = WORKERS,
+        deadline = DEADLINE_MS,
+        secs = stage_secs,
+        stages = stage_rows.join(",\n"),
+        corrupted = corrupted_files,
+        chaos_row = stage_json(&chaos),
+        repairs = final_stats.repairs,
+        trips = final_stats.breaker_trips,
+        partial = partial_availability,
+        bound = slo_bound_ms,
+        p999_ok = chaos.p999_ms <= slo_bound_ms,
+        no_te = c.transport_errors == 0,
+        healthy = healthy_after,
+    );
+    let json_path = results_dir()
+        .parent()
+        .map(|p| p.join("BENCH_service_latency.json"))
+        .expect("results dir has a parent");
+    std::fs::write(&json_path, json).expect("write json");
+    println!("JSON: {}", json_path.display());
+
+    assert!(
+        chaos.p999_ms <= slo_bound_ms,
+        "chaos p999 {:.2}ms blew the SLO bound {slo_bound_ms:.0}ms",
+        chaos.p999_ms
+    );
+    assert!(healthy_after, "breaker did not close after repair");
+    assert_eq!(c.transport_errors, 0, "chaos stage dropped connections");
+}

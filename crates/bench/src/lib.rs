@@ -127,6 +127,63 @@ pub fn average_wall_time<S: BitmapSource>(
     start.elapsed().as_secs_f64() / queries.len().max(1) as f64
 }
 
+/// Execution-environment provenance recorded by every `ext_*` BENCH
+/// JSON. Results measured with more requested threads than the machine
+/// has hardware threads are flagged (`oversubscribed`) and warned about,
+/// so JSON consumers cannot mistake time-sliced rows for real parallel
+/// speedups.
+#[derive(Debug, Clone, Copy)]
+pub struct RunProvenance {
+    /// Hardware threads the machine exposes.
+    pub hardware_threads: usize,
+    /// The most threads any row of the experiment asked for.
+    pub requested_threads: usize,
+    /// `requested_threads > hardware_threads`.
+    pub oversubscribed: bool,
+}
+
+impl RunProvenance {
+    /// Captures provenance for an experiment whose widest row requests
+    /// `requested_threads`, warning when the box cannot actually run
+    /// them in parallel.
+    pub fn capture(requested_threads: usize) -> Self {
+        let hardware_threads =
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let provenance = Self {
+            hardware_threads,
+            requested_threads,
+            oversubscribed: requested_threads > hardware_threads,
+        };
+        if provenance.oversubscribed {
+            println!(
+                "warning: {requested_threads} threads requested on a \
+                 {hardware_threads}-thread box; multi-thread rows are \
+                 time-sliced, not parallel"
+            );
+        }
+        provenance
+    }
+
+    /// The provenance fields as a JSON fragment (no surrounding braces),
+    /// ready to splice into a hand-rolled BENCH JSON object.
+    pub fn json_fields(&self) -> String {
+        format!(
+            "\"hardware_threads\": {}, \"requested_threads\": {}, \"oversubscribed\": {}",
+            self.hardware_threads, self.requested_threads, self.oversubscribed
+        )
+    }
+}
+
+/// Nearest-rank percentile (`q` in `[0, 1]`) of an ascending-sorted
+/// slice; `0.0` for an empty slice.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 /// Formats a float with 3 decimal places (paper-style table cells).
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")
@@ -158,6 +215,30 @@ mod tests {
         let (scans, ops) = average_costs(&mut src, &queries, Algorithm::RangeEvalOpt);
         assert!(scans > 0.0 && scans < 3.0);
         assert!(ops < 3.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 0.5), 5.0);
+        assert_eq!(percentile(&sorted, 0.99), 10.0);
+        assert_eq!(percentile(&sorted, 1.0), 10.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[42.0], 0.999), 42.0);
+    }
+
+    #[test]
+    fn provenance_flags_oversubscription() {
+        let sane = RunProvenance::capture(1);
+        assert!(!sane.oversubscribed);
+        assert!(sane.hardware_threads >= 1);
+        let wild = RunProvenance::capture(usize::MAX);
+        assert!(wild.oversubscribed);
+        let fields = wild.json_fields();
+        assert!(fields.contains("\"hardware_threads\""));
+        assert!(fields.contains("\"requested_threads\""));
+        assert!(fields.contains("\"oversubscribed\": true"));
     }
 
     #[test]

@@ -43,6 +43,17 @@ pub enum Error {
     /// the panic message; the panic is confined to the one query it
     /// interrupted, so the rest of the workload still completes.
     WorkerPanic(String),
+    /// The query's deadline expired while it was running. Segment-at-a-time
+    /// evaluation checks the [`Deadline`](crate::Deadline) between morsels
+    /// and bails out with this error, so shed work stops consuming cores
+    /// instead of running to completion for an answer nobody is waiting
+    /// for. The partial foundset is discarded.
+    DeadlineExceeded,
+    /// The serving layer refused the query before evaluation started:
+    /// its admission queue was already at its high-water mark. The payload
+    /// says which bound was hit. Retryable by the client after backoff —
+    /// the index itself is healthy.
+    Overloaded(String),
 }
 
 impl std::fmt::Display for Error {
@@ -75,6 +86,10 @@ impl std::fmt::Display for Error {
             // names the file and both checksums; no extra prefix.
             Error::ChecksumMismatch(msg) => write!(f, "{msg}"),
             Error::WorkerPanic(msg) => write!(f, "batch worker panicked: {msg}"),
+            Error::DeadlineExceeded => {
+                write!(f, "deadline exceeded: query cancelled between segments")
+            }
+            Error::Overloaded(msg) => write!(f, "overloaded: {msg}"),
         }
     }
 }

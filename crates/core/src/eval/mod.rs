@@ -210,6 +210,12 @@ pub fn evaluate_segment_range_in<S: BitmapSource>(
     }
     let mut lo = row_lo;
     while lo < row_hi {
+        // Cooperative cancellation between segments: the chunk's first
+        // segment always runs (guaranteed progress), later ones are shed
+        // once the context's deadline has passed.
+        if lo > row_lo && ctx.deadline_expired() {
+            return Err(Error::DeadlineExceeded);
+        }
         let hi = (lo + segment_bits).min(n_rows);
         ctx.begin_segment(lo, hi, lo / segment_bits);
         let part = evaluate_in(ctx, query, algorithm)?;

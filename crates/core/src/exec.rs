@@ -15,6 +15,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bindex_bitvec::{kernels, BitVec};
 use bindex_compress::{wah, Repr};
@@ -104,6 +105,42 @@ pub const DEFAULT_SEGMENT_BITS: usize = 1 << 18;
 /// kernels beat the dense word loops; above it the compressed form stops
 /// paying for its branchy decode.
 pub const DEFAULT_WAH_CROSSOVER: f64 = 0.05;
+
+/// A wall-clock cut-off for a query or workload. Checked cooperatively:
+/// the batch engine checks it between queries and between morsels, and
+/// segment-at-a-time evaluation checks it between segments (via
+/// [`ExecContext::with_deadline`]), bailing out with
+/// [`Error::DeadlineExceeded`] so cancelled work stops consuming cores.
+/// Whole-bitmap evaluation never checks mid-query — a query that has
+/// started on that path always finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `d` from now.
+    pub fn after(d: Duration) -> Self {
+        Self {
+            at: Instant::now() + d,
+        }
+    }
+
+    /// A deadline at an absolute instant.
+    pub fn at(at: Instant) -> Self {
+        Self { at }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+}
 
 /// What [`ExecContext::fetch`] may do when a stored bitmap is unreadable
 /// after the storage layer's retries are exhausted — a lattice from "fail
@@ -230,6 +267,10 @@ pub struct ExecContext<'a, S: BitmapSource> {
     /// `Some` while the segmented driver is stepping this context through
     /// a query one window at a time; `None` under whole-bitmap execution.
     seg: Option<SegmentState>,
+    /// Cooperative cancellation point: segment-at-a-time evaluation checks
+    /// this between segments and bails out with
+    /// [`Error::DeadlineExceeded`] once it has passed.
+    deadline: Option<Deadline>,
 }
 
 impl<'a, S: BitmapSource> ExecContext<'a, S> {
@@ -243,6 +284,7 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
             wah_crossover: DEFAULT_WAH_CROSSOVER,
             fetched: HashMap::new(),
             seg: None,
+            deadline: None,
         }
     }
 
@@ -257,7 +299,27 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
             wah_crossover: DEFAULT_WAH_CROSSOVER,
             fetched: HashMap::new(),
             seg: None,
+            deadline: None,
         }
+    }
+
+    /// Sets (or clears) the cooperative deadline. Segment-at-a-time
+    /// evaluation checks it between segments and returns
+    /// [`Error::DeadlineExceeded`] once it has passed; whole-bitmap
+    /// evaluation ignores it (a started query finishes).
+    pub fn with_deadline(mut self, deadline: Option<Deadline>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// The cooperative deadline, if any.
+    pub fn deadline(&self) -> Option<Deadline> {
+        self.deadline
+    }
+
+    /// `true` once the attached deadline (if any) has passed.
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| d.expired())
     }
 
     /// Sets the degraded-mode recovery policy applied when a fetch fails

@@ -64,6 +64,7 @@ pub use encoding::{Encoding, IndexSpec};
 pub use error::{Error, Result};
 pub use eval::Algorithm;
 pub use exec::{
-    BufferSet, EvalStats, ExecContext, RecoveryPolicy, DEFAULT_SEGMENT_BITS, DEFAULT_WAH_CROSSOVER,
+    BufferSet, Deadline, EvalStats, ExecContext, RecoveryPolicy, DEFAULT_SEGMENT_BITS,
+    DEFAULT_WAH_CROSSOVER,
 };
 pub use index::{rebuild_slot, BitmapIndex, BitmapSource, MemorySource};

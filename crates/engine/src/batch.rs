@@ -29,7 +29,6 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
 
 use bindex_bitvec::BitVec;
 use bindex_core::error::{Error, Result};
@@ -65,37 +64,15 @@ pub fn parse_segment_bits(raw: &str) -> Option<usize> {
     (n.is_power_of_two() && n >= MIN_SEGMENT_BITS).then_some(n)
 }
 
-/// A wall-clock cut-off for a workload. Checked cooperatively between
-/// queries: a query that is already running finishes, queries claimed
-/// after expiry come back [`QueryOutcome::TimedOut`] without running.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Deadline {
-    at: Instant,
-}
-
-impl Deadline {
-    /// A deadline `d` from now.
-    pub fn after(d: Duration) -> Self {
-        Self {
-            at: Instant::now() + d,
-        }
-    }
-
-    /// A deadline at an absolute instant.
-    pub fn at(at: Instant) -> Self {
-        Self { at }
-    }
-
-    /// Whether the deadline has passed.
-    pub fn expired(&self) -> bool {
-        Instant::now() >= self.at
-    }
-
-    /// Time left before expiry (zero once expired).
-    pub fn remaining(&self) -> Duration {
-        self.at.saturating_duration_since(Instant::now())
-    }
-}
+/// A wall-clock cut-off for a workload — now defined in `bindex-core`
+/// (see [`bindex_core::Deadline`]) so segment-at-a-time evaluation can
+/// check it between morsels, and re-exported here where it has always
+/// lived. Queries claimed after expiry come back
+/// [`QueryOutcome::TimedOut`] without running; a segmented query that is
+/// already running is cancelled at its next segment boundary and comes
+/// back [`QueryOutcome::DeadlineExceeded`]; a whole-bitmap query that is
+/// already running finishes.
+pub use bindex_core::Deadline;
 
 /// What happened to one query of a workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,6 +88,12 @@ pub enum QueryOutcome<T> {
     Failed(Error),
     /// The workload [`Deadline`] expired before this query started.
     TimedOut,
+    /// The [`Deadline`] expired while this query was running on the
+    /// segmented path: evaluation was cancelled at a segment boundary and
+    /// its partial foundset discarded, so shed work stops consuming
+    /// cores. Only segment-at-a-time execution can produce this — a
+    /// whole-bitmap query that has started always finishes.
+    DeadlineExceeded,
     /// The failure cap ([`BatchOptions::with_max_failures`]) was reached
     /// before this query started.
     Skipped,
@@ -168,6 +151,9 @@ pub struct BatchHealth {
     pub failed: usize,
     /// Queries not started because the deadline expired.
     pub timed_out: usize,
+    /// Queries cancelled mid-run at a segment boundary because the
+    /// deadline expired (segmented execution only).
+    pub deadline_exceeded: usize,
     /// Queries not started because the failure cap was reached.
     pub skipped: usize,
     /// Of `failed`, how many were [`Error::WorkerPanic`]s.
@@ -188,6 +174,7 @@ impl BatchHealth {
                     }
                 }
                 QueryOutcome::TimedOut => h.timed_out += 1,
+                QueryOutcome::DeadlineExceeded => h.deadline_exceeded += 1,
                 QueryOutcome::Skipped => h.skipped += 1,
             }
         }
@@ -195,9 +182,13 @@ impl BatchHealth {
     }
 
     /// Every query answered normally — no degradation, failure, timeout,
-    /// or skip.
+    /// cancellation, or skip.
     pub fn all_ok(&self) -> bool {
-        self.degraded == 0 && self.failed == 0 && self.timed_out == 0 && self.skipped == 0
+        self.degraded == 0
+            && self.failed == 0
+            && self.timed_out == 0
+            && self.deadline_exceeded == 0
+            && self.skipped == 0
     }
 
     /// Queries that produced an answer (ok + degraded).
@@ -207,7 +198,12 @@ impl BatchHealth {
 
     /// Total queries in the workload.
     pub fn total(&self) -> usize {
-        self.ok + self.degraded + self.failed + self.timed_out + self.skipped
+        self.ok
+            + self.degraded
+            + self.failed
+            + self.timed_out
+            + self.deadline_exceeded
+            + self.skipped
     }
 }
 
@@ -234,6 +230,7 @@ impl<T> WorkloadReport<T> {
                 QueryOutcome::TimedOut => Err(Error::Infeasible(
                     "query missed the workload deadline".into(),
                 )),
+                QueryOutcome::DeadlineExceeded => Err(Error::DeadlineExceeded),
                 QueryOutcome::Skipped => Err(Error::Infeasible(
                     "query skipped after the workload failure cap".into(),
                 )),
@@ -285,35 +282,25 @@ impl BatchOptions {
     }
 
     /// Reads the worker count from the `BINDEX_THREADS` environment
-    /// variable, falling back to the machine's available parallelism —
-    /// with a warning to stderr when the variable is set to something
-    /// unusable, rather than silently ignoring it.
+    /// variable (falling back to the machine's available parallelism) and
+    /// the segment size from `BINDEX_SEGMENT_BITS` — with a warning to
+    /// stderr, via [`crate::envcfg::parse_env`], when either variable is
+    /// set to something unusable, rather than silently ignoring it.
     pub fn from_env() -> Self {
-        let fallback =
-            || std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        let threads = match std::env::var(THREADS_ENV) {
-            Ok(raw) => match raw.trim().parse::<usize>() {
-                Ok(n) if n >= 1 => n,
-                _ => {
-                    eprintln!(
-                        "warning: ignoring {THREADS_ENV}={raw:?} (expected a positive \
-                         integer); using available parallelism"
-                    );
-                    fallback()
-                }
-            },
-            Err(_) => fallback(),
-        };
+        let threads = crate::envcfg::parse_env(
+            THREADS_ENV,
+            "a positive integer",
+            crate::envcfg::positive_usize,
+        )
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
         let mut options = Self::with_threads(threads);
-        if let Ok(raw) = std::env::var(SEGMENT_BITS_ENV) {
-            match parse_segment_bits(&raw) {
-                Some(bits) => options.segment_bits = Some(bits),
-                None => eprintln!(
-                    "warning: ignoring {SEGMENT_BITS_ENV}={raw:?} (expected a power of two \
-                     >= {MIN_SEGMENT_BITS}); running whole-bitmap"
-                ),
-            }
-        }
+        options.segment_bits = crate::envcfg::parse_env(
+            SEGMENT_BITS_ENV,
+            &format!("a power of two >= {MIN_SEGMENT_BITS}"),
+            parse_segment_bits,
+        );
         options
     }
 
@@ -416,7 +403,10 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// worker rebuilds its state — which the panic may have left inconsistent
 /// — before claiming the next query. `step` returns the answer plus a
 /// flag marking it degraded. Deadline and failure-cap checks happen
-/// between queries, never mid-query.
+/// between queries; a `step` that cancels itself mid-query by returning
+/// [`Error::DeadlineExceeded`] (segment-at-a-time evaluation checks the
+/// deadline between morsels) is reported as
+/// [`QueryOutcome::DeadlineExceeded`] without charging the failure cap.
 fn run_workload<St, T, I, W>(
     n: usize,
     options: &BatchOptions,
@@ -447,6 +437,10 @@ where
         match catch_unwind(AssertUnwindSafe(|| step(state, i))) {
             Ok(Ok((v, false))) => QueryOutcome::Ok(v),
             Ok(Ok((v, true))) => QueryOutcome::Degraded(v),
+            // Cooperative cancellation is the deadline working as designed,
+            // not a storage fault: report it without charging the failure
+            // cap, so shed queries never trip `max_failures`.
+            Ok(Err(Error::DeadlineExceeded)) => QueryOutcome::DeadlineExceeded,
             Ok(Err(e)) => {
                 failures.fetch_add(1, Ordering::Relaxed);
                 QueryOutcome::Failed(e)
@@ -564,7 +558,9 @@ where
         return evaluate_segmented_workload(make_source, queries, algorithm, options, segment_bits);
     }
     run_workload(queries.len(), options, &make_source, |source, i| {
-        let mut ctx = ExecContext::new(source).with_recovery(options.recovery().clone());
+        let mut ctx = ExecContext::new(source)
+            .with_recovery(options.recovery().clone())
+            .with_deadline(options.deadline());
         let found = evaluate_in(&mut ctx, queries[i], algorithm)?;
         let stats = ctx.take_stats();
         Ok(((found, stats), stats.degraded_fetches > 0))
@@ -699,14 +695,26 @@ where
                     }
                 }
             }
+            if cell.state.load(Ordering::Acquire) == RUNNING
+                && options.deadline().is_some_and(|d| d.expired())
+            {
+                // The deadline expired after this query started: cancel it
+                // before doing any more work, without charging the failure
+                // cap — remaining morsels fall through as no-ops and the
+                // queue keeps serving other queries.
+                if kill_query_quiet(cell) {
+                    *cell.verdict.lock().unwrap() = Some(QueryOutcome::DeadlineExceeded);
+                }
+            }
             if cell.state.load(Ordering::Acquire) == RUNNING {
                 let words_lo = morsel.row_lo / 64;
                 let span = bindex_bitvec::words_for(morsel.row_hi) - words_lo;
                 // Unwind safety: on panic the morsel buffer and context
                 // are discarded and the source is rebuilt.
                 let ran = catch_unwind(AssertUnwindSafe(|| {
-                    let mut ctx =
-                        ExecContext::new(&mut source).with_recovery(options.recovery().clone());
+                    let mut ctx = ExecContext::new(&mut source)
+                        .with_recovery(options.recovery().clone())
+                        .with_deadline(options.deadline());
                     let mut local = vec![0u64; span];
                     let res = bindex_core::eval::evaluate_segment_range_in(
                         &mut ctx,
@@ -736,6 +744,13 @@ where
                         cell.stats.lock().unwrap().add(&contributed);
                         cell.words.lock().unwrap()[words_lo..words_lo + span]
                             .copy_from_slice(&local);
+                    }
+                    Ok((Err(Error::DeadlineExceeded), _)) => {
+                        // Mid-morsel cooperative cancellation: the eval
+                        // loop noticed the deadline between segments.
+                        if kill_query_quiet(cell) {
+                            *cell.verdict.lock().unwrap() = Some(QueryOutcome::DeadlineExceeded);
+                        }
                     }
                     Ok((Err(e), _)) => {
                         if kill_query(cell, &failures) {
@@ -818,12 +833,20 @@ where
 /// owns writing the verdict); later morsels of an already-dead query are
 /// no-ops.
 fn kill_query(cell: &QueryCell, failures: &AtomicUsize) -> bool {
-    if cell.state.swap(DEAD, Ordering::AcqRel) != DEAD {
+    if kill_query_quiet(cell) {
         failures.fetch_add(1, Ordering::Relaxed);
         true
     } else {
         false
     }
+}
+
+/// Transitions a query to `DEAD` **without** charging the failure counter
+/// — for deadline cancellations, which are the serving layer shedding load
+/// by design, not evidence of a broken query or store. Returns `true` for
+/// the worker that owns writing the verdict.
+fn kill_query_quiet(cell: &QueryCell) -> bool {
+    cell.state.swap(DEAD, Ordering::AcqRel) != DEAD
 }
 
 #[cfg(test)]
@@ -834,6 +857,7 @@ mod tests {
     use bindex_core::IndexSpec;
     use bindex_relation::gen;
     use bindex_relation::query::Op;
+    use std::time::{Duration, Instant};
 
     fn table() -> Table {
         Table::builder()

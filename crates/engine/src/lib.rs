@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod envcfg;
 pub mod plan;
 mod table;
 

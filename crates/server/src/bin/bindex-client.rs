@@ -1,0 +1,173 @@
+//! The `bindex-client` binary: a command-line client for `bindex-server`.
+//!
+//! ```text
+//! bindex-client [--addr HOST:PORT] ping
+//! bindex-client [--addr HOST:PORT] stats
+//! bindex-client [--addr HOST:PORT] query INDEX OP CONST [--bitmap] [--deadline-ms N]
+//! bindex-client [--addr HOST:PORT] repair INDEX
+//! bindex-client [--addr HOST:PORT] shutdown
+//! ```
+//!
+//! `OP` is one of `< <= > >= = !=`. Typed server errors (`Overloaded`,
+//! `DeadlineExceeded`, …) print to stderr and exit 1; transport errors
+//! exit 2.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use bindex::relation::query::{Op, SelectionQuery};
+use bindex_server::{Client, Response};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bindex-client [--addr HOST:PORT] \
+         (ping | stats | shutdown | repair INDEX | \
+         query INDEX OP CONST [--bitmap] [--deadline-ms N])"
+    );
+    std::process::exit(2)
+}
+
+fn parse_op(s: &str) -> Option<Op> {
+    Some(match s {
+        "<" => Op::Lt,
+        "<=" => Op::Le,
+        ">" => Op::Gt,
+        ">=" => Op::Ge,
+        "=" | "==" => Op::Eq,
+        "!=" | "<>" => Op::Ne,
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7654".to_string();
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--addr" {
+            match args.next() {
+                Some(a) => addr = a,
+                None => usage(),
+            }
+        } else {
+            rest.push(arg);
+        }
+    }
+    if rest.is_empty() {
+        usage();
+    }
+
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: connecting to {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let _ = client.set_timeout(Some(Duration::from_secs(30)));
+
+    let outcome = match rest[0].as_str() {
+        "ping" => client.ping().map(|()| println!("pong")),
+        "stats" => client.stats().map(|s| {
+            println!(
+                "admitted {} completed {} shed_overload {} shed_deadline {} degraded {} \
+                 failed {} cache_hits {} cache_misses {} repairs {} breaker_trips {}",
+                s.admitted,
+                s.completed,
+                s.shed_overload,
+                s.shed_deadline,
+                s.degraded,
+                s.failed,
+                s.cache_hits,
+                s.cache_misses,
+                s.repairs,
+                s.breaker_trips
+            )
+        }),
+        "shutdown" => client.shutdown().map(|()| println!("draining")),
+        "repair" => {
+            if rest.len() != 2 {
+                usage();
+            }
+            client.repair(&rest[1]).map(|(repaired, unrepaired)| {
+                println!("repaired {repaired} unrepaired {unrepaired}")
+            })
+        }
+        "query" => {
+            if rest.len() < 4 {
+                usage();
+            }
+            let index = rest[1].clone();
+            let Some(op) = parse_op(&rest[2]) else {
+                usage()
+            };
+            let Ok(constant) = rest[3].parse::<u32>() else {
+                usage()
+            };
+            let mut want_bitmap = false;
+            let mut deadline_ms = 0u64;
+            let mut i = 4;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--bitmap" => want_bitmap = true,
+                    "--deadline-ms" => {
+                        i += 1;
+                        match rest.get(i).and_then(|v| v.parse().ok()) {
+                            Some(ms) => deadline_ms = ms,
+                            None => usage(),
+                        }
+                    }
+                    _ => usage(),
+                }
+                i += 1;
+            }
+            let query = SelectionQuery::new(op, constant);
+            match client.query(&index, query, want_bitmap, deadline_ms) {
+                Err(e) => Err(e),
+                Ok(Response::Count {
+                    cardinality,
+                    degraded,
+                    cached,
+                }) => {
+                    println!(
+                        "count {cardinality}{}{}",
+                        if degraded { " (degraded)" } else { "" },
+                        if cached { " (cached)" } else { "" }
+                    );
+                    Ok(())
+                }
+                Ok(Response::Bitmap {
+                    cardinality,
+                    degraded,
+                    n_bits,
+                    words,
+                    ..
+                }) => {
+                    println!(
+                        "count {cardinality} of {n_bits} rows ({} words){}",
+                        words.len(),
+                        if degraded { " (degraded)" } else { "" }
+                    );
+                    Ok(())
+                }
+                Ok(Response::Error { code, message }) => {
+                    eprintln!("error: {code:?}: {message}");
+                    return ExitCode::FAILURE;
+                }
+                Ok(other) => {
+                    eprintln!("error: unexpected response {other:?}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        _ => usage(),
+    };
+
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! A circuit breaker guarding each served index's storage path.
+//!
+//! States and transitions:
+//!
+//! ```text
+//!            N consecutive faults
+//!   Closed ───────────────────────▶ Open
+//!     ▲                              │ repair notification,
+//!     │ K consecutive                │ or cooldown elapsed
+//!     │ clean probes                 ▼
+//!     └────────────────────────── HalfOpen
+//!          (any fault while probing reopens)
+//! ```
+//!
+//! *Closed* serves **strict**: storage faults propagate as typed query
+//! failures, so corruption is loud. After `trip_threshold` consecutive
+//! faults the breaker *opens* and the index switches to **degraded**
+//! serving — every query runs with bitmap reconstruction enabled, trading
+//! extra reads for availability. An open breaker moves to *HalfOpen* when
+//! the index is repaired (the repair epoch advances) or a cooldown
+//! elapses; `probe_successes` consecutive clean answers close it again,
+//! while any faulted probe reopens it. Fault accounting is whole-query:
+//! one query that reconstructs three bitmaps is one fault.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The three serving states. See the module docs for the transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: strict serving, faults propagate.
+    Closed,
+    /// Tripped: degraded serving (reconstruction enabled).
+    Open,
+    /// Probing: still degraded serving, but clean answers count toward
+    /// closing.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_faults: usize,
+    probe_successes: usize,
+    opened_at: Option<Instant>,
+    trips: u64,
+}
+
+/// A mutex-guarded breaker; every operation is a short critical section.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    inner: Mutex<Inner>,
+    trip_threshold: usize,
+    close_threshold: usize,
+    cooldown: Duration,
+}
+
+impl CircuitBreaker {
+    /// `trip_threshold` consecutive faults open the breaker;
+    /// `close_threshold` consecutive clean probes close it; an open
+    /// breaker starts probing on its own after `cooldown` even without a
+    /// repair notification.
+    pub fn new(trip_threshold: usize, close_threshold: usize, cooldown: Duration) -> Self {
+        assert!(trip_threshold >= 1 && close_threshold >= 1);
+        Self {
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_faults: 0,
+                probe_successes: 0,
+                opened_at: None,
+                trips: 0,
+            }),
+            trip_threshold,
+            close_threshold,
+            cooldown,
+        }
+    }
+
+    /// Current state, applying the lazy Open → HalfOpen cooldown
+    /// transition.
+    pub fn state(&self) -> BreakerState {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.state == BreakerState::Open {
+            if let Some(at) = inner.opened_at {
+                if at.elapsed() >= self.cooldown {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_successes = 0;
+                }
+            }
+        }
+        inner.state
+    }
+
+    /// `true` when queries should run with reconstruction enabled.
+    pub fn degraded_serving(&self) -> bool {
+        self.state() != BreakerState::Closed
+    }
+
+    /// Records a query that completed without touching recovery.
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.state {
+            BreakerState::Closed => inner.consecutive_faults = 0,
+            BreakerState::HalfOpen => {
+                inner.probe_successes += 1;
+                if inner.probe_successes >= self.close_threshold {
+                    inner.state = BreakerState::Closed;
+                    inner.consecutive_faults = 0;
+                    inner.opened_at = None;
+                }
+            }
+            // Success under Open (e.g. a cache hit) says nothing about
+            // the store; only HalfOpen probes count.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records a query that hit a storage fault (strict failure or a
+    /// degraded answer that needed reconstruction).
+    pub fn record_fault(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive_faults += 1;
+                if inner.consecutive_faults >= self.trip_threshold {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = Some(Instant::now());
+                    inner.probe_successes = 0;
+                    inner.trips += 1;
+                }
+            }
+            BreakerState::HalfOpen => {
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(Instant::now());
+                inner.probe_successes = 0;
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Notification that the underlying index was repaired (its repair
+    /// epoch advanced): an open breaker starts probing immediately
+    /// instead of waiting out the cooldown.
+    pub fn on_repair(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.state == BreakerState::Open {
+            inner.state = BreakerState::HalfOpen;
+            inner.probe_successes = 0;
+        }
+        // A repair under Closed just resets the fault streak: the store
+        // was rewritten, old faults are stale evidence.
+        inner.consecutive_faults = 0;
+    }
+
+    /// Closed → Open transitions so far.
+    pub fn trips(&self) -> u64 {
+        self.inner.lock().unwrap().trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        // Long cooldown so tests exercise the repair path, not the timer.
+        CircuitBreaker::new(3, 2, Duration::from_secs(3600))
+    }
+
+    #[test]
+    fn trips_after_consecutive_faults_only() {
+        let b = breaker();
+        b.record_fault();
+        b.record_fault();
+        b.record_success(); // streak broken
+        b.record_fault();
+        b.record_fault();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_fault();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert!(b.degraded_serving());
+    }
+
+    #[test]
+    fn repair_starts_probing_and_probes_close() {
+        let b = breaker();
+        for _ in 0..3 {
+            b.record_fault();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        b.on_repair();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.degraded_serving());
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(!b.degraded_serving());
+    }
+
+    #[test]
+    fn faulted_probe_reopens() {
+        let b = breaker();
+        for _ in 0..3 {
+            b.record_fault();
+        }
+        b.on_repair();
+        b.record_success();
+        b.record_fault();
+        assert_eq!(b.state(), BreakerState::Open);
+        // And the probe streak restarts from zero after the next repair.
+        b.on_repair();
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn cooldown_moves_open_to_probing() {
+        let b = CircuitBreaker::new(1, 1, Duration::from_millis(1));
+        b.record_fault();
+        assert!(b.degraded_serving());
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

@@ -1,0 +1,101 @@
+//! A minimal blocking client for the wire protocol — enough for the
+//! CLI, the load generator, and the integration tests.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use bindex::relation::query::SelectionQuery;
+
+use crate::protocol::{read_frame, write_frame, Request, Response, StatsSnapshot};
+
+fn proto(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// One connection to a `bindex-server`; requests are serial
+/// (request/response lockstep, like the wire protocol itself).
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Caps how long any single reply is waited for; protects callers
+    /// against a hung server.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &req.encode()?)?;
+        let payload =
+            read_frame(&mut self.stream)?.ok_or_else(|| proto("server closed the connection"))?;
+        Response::decode(&payload)
+    }
+
+    /// Evaluates `query` against the served index `index`.
+    /// `deadline_ms = 0` uses the server's default deadline.
+    pub fn query(
+        &mut self,
+        index: &str,
+        query: SelectionQuery,
+        want_bitmap: bool,
+        deadline_ms: u64,
+    ) -> io::Result<Response> {
+        self.request(&Request::Query {
+            index: index.to_string(),
+            query,
+            want_bitmap,
+            deadline_ms,
+        })
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(proto(&format!("expected Pong, got {other:?}"))),
+        }
+    }
+
+    /// Fetches the server counters.
+    pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(proto(&format!("expected Stats, got {other:?}"))),
+        }
+    }
+
+    /// Runs scrub-and-repair on `index`; returns `(repaired,
+    /// unrepaired)` file counts.
+    pub fn repair(&mut self, index: &str) -> io::Result<(u32, u32)> {
+        match self.request(&Request::Repair {
+            index: index.to_string(),
+        })? {
+            Response::Repaired {
+                repaired,
+                unrepaired,
+            } => Ok((repaired, unrepaired)),
+            Response::Error { code, message } => {
+                Err(proto(&format!("repair failed: {code:?}: {message}")))
+            }
+            other => Err(proto(&format!("expected Repaired, got {other:?}"))),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(proto(&format!("expected ShutdownAck, got {other:?}"))),
+        }
+    }
+}

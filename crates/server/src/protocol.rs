@@ -1,0 +1,602 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every message is one *frame*: a little-endian `u32` payload length
+//! followed by that many bytes. The first payload byte is a message tag;
+//! the rest is tag-specific, all integers little-endian, strings as a
+//! `u16` length plus UTF-8 bytes. The format is deliberately boring — the
+//! interesting machinery (admission control, breakers, deadlines) lives
+//! behind it, and a hand-rolled codec keeps the crate dependency-free.
+//!
+//! Malformed input never panics the server: every decoder returns
+//! `io::Error` with [`io::ErrorKind::InvalidData`], which the connection
+//! handler answers with [`ErrorCode::BadRequest`] before closing.
+
+use std::io::{self, Read, Write};
+
+use bindex::relation::query::{Op, SelectionQuery};
+
+/// Hard cap on a frame payload (64 MiB) — a length prefix beyond this is
+/// treated as a protocol violation rather than an allocation request.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Protocol version byte carried in every request frame; bumped on any
+/// incompatible change.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| bad("frame too large to encode"))?;
+    if len > MAX_FRAME {
+        return Err(bad(format!("frame of {len} bytes exceeds MAX_FRAME")));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, blocking until the payload is complete. Returns
+/// `Ok(None)` on a clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_buf[n..])?,
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(bad(format!("frame length {len} exceeds MAX_FRAME")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Typed error codes carried in [`Response::Error`] — the client-visible
+/// taxonomy of "no answer": each code tells the caller what to do next
+/// (back off, retry elsewhere, fix the request, give up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Admission queue at its high-water mark; retry after backoff.
+    Overloaded = 1,
+    /// The request's deadline expired before an answer was produced.
+    DeadlineExceeded = 2,
+    /// The server is draining; no new queries are admitted.
+    ShuttingDown = 3,
+    /// No served index has the requested name.
+    UnknownIndex = 4,
+    /// The request frame did not decode or carried invalid fields.
+    BadRequest = 5,
+    /// Evaluation failed (storage fault with strict serving, corrupt
+    /// index, worker panic); the message carries the rendered error.
+    QueryFailed = 6,
+    /// The server lost the reply path internally; retryable.
+    Internal = 7,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> io::Result<Self> {
+        Ok(match v {
+            1 => ErrorCode::Overloaded,
+            2 => ErrorCode::DeadlineExceeded,
+            3 => ErrorCode::ShuttingDown,
+            4 => ErrorCode::UnknownIndex,
+            5 => ErrorCode::BadRequest,
+            6 => ErrorCode::QueryFailed,
+            7 => ErrorCode::Internal,
+            other => return Err(bad(format!("unknown error code {other}"))),
+        })
+    }
+}
+
+fn op_to_u8(op: Op) -> u8 {
+    match op {
+        Op::Lt => 0,
+        Op::Le => 1,
+        Op::Gt => 2,
+        Op::Ge => 3,
+        Op::Eq => 4,
+        Op::Ne => 5,
+    }
+}
+
+fn op_from_u8(v: u8) -> io::Result<Op> {
+    Ok(match v {
+        0 => Op::Lt,
+        1 => Op::Le,
+        2 => Op::Gt,
+        3 => Op::Ge,
+        4 => Op::Eq,
+        5 => Op::Ne,
+        other => return Err(bad(format!("unknown operator code {other}"))),
+    })
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Evaluate `A op v` on a served index. `deadline_ms == 0` means "use
+    /// the server's default deadline"; `want_bitmap` asks for the full
+    /// foundset instead of just its cardinality.
+    Query {
+        /// Name of the served index.
+        index: String,
+        /// The selection predicate.
+        query: SelectionQuery,
+        /// `true` to return the foundset words, `false` for the count.
+        want_bitmap: bool,
+        /// Per-request deadline in milliseconds; `0` = server default.
+        deadline_ms: u64,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Snapshot of the server counters.
+    Stats,
+    /// Run scrub-and-repair on a served index (drains its readers,
+    /// rewrites damaged files, invalidates caches, notifies the breaker).
+    Repair {
+        /// Name of the served index.
+        index: String,
+    },
+    /// Ask the server to drain and exit.
+    Shutdown,
+}
+
+const TAG_QUERY: u8 = 0x01;
+const TAG_PING: u8 = 0x02;
+const TAG_STATS: u8 = 0x03;
+const TAG_REPAIR: u8 = 0x04;
+const TAG_SHUTDOWN: u8 = 0x05;
+
+const TAG_COUNT: u8 = 0x81;
+const TAG_BITMAP: u8 = 0x82;
+const TAG_PONG: u8 = 0x83;
+const TAG_STATS_REPLY: u8 = 0x84;
+const TAG_REPAIRED: u8 = 0x85;
+const TAG_SHUTDOWN_ACK: u8 = 0x86;
+const TAG_ERROR: u8 = 0xEE;
+
+fn put_str(out: &mut Vec<u8>, s: &str) -> io::Result<()> {
+    let len = u16::try_from(s.len()).map_err(|_| bad("string too long for wire"))?;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+/// A cursor over a received payload; every getter bounds-checks.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| bad("truncated frame"))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> io::Result<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad("string is not UTF-8"))
+    }
+
+    fn done(&self) -> io::Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(bad("trailing bytes after message"))
+        }
+    }
+}
+
+impl Request {
+    /// Serializes into a frame payload (version byte + tag + fields).
+    pub fn encode(&self) -> io::Result<Vec<u8>> {
+        let mut out = vec![PROTOCOL_VERSION];
+        match self {
+            Request::Query {
+                index,
+                query,
+                want_bitmap,
+                deadline_ms,
+            } => {
+                out.push(TAG_QUERY);
+                put_str(&mut out, index)?;
+                out.push(op_to_u8(query.op));
+                out.extend_from_slice(&query.constant.to_le_bytes());
+                out.push(u8::from(*want_bitmap));
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+            }
+            Request::Ping => out.push(TAG_PING),
+            Request::Stats => out.push(TAG_STATS),
+            Request::Repair { index } => {
+                out.push(TAG_REPAIR);
+                put_str(&mut out, index)?;
+            }
+            Request::Shutdown => out.push(TAG_SHUTDOWN),
+        }
+        Ok(out)
+    }
+
+    /// Parses a frame payload.
+    pub fn decode(payload: &[u8]) -> io::Result<Self> {
+        let mut c = Cursor::new(payload);
+        let version = c.u8()?;
+        if version != PROTOCOL_VERSION {
+            return Err(bad(format!("unsupported protocol version {version}")));
+        }
+        let tag = c.u8()?;
+        let req = match tag {
+            TAG_QUERY => {
+                let index = c.str()?;
+                let op = op_from_u8(c.u8()?)?;
+                let constant = c.u32()?;
+                let want_bitmap = c.u8()? != 0;
+                let deadline_ms = c.u64()?;
+                Request::Query {
+                    index,
+                    query: SelectionQuery::new(op, constant),
+                    want_bitmap,
+                    deadline_ms,
+                }
+            }
+            TAG_PING => Request::Ping,
+            TAG_STATS => Request::Stats,
+            TAG_REPAIR => Request::Repair { index: c.str()? },
+            TAG_SHUTDOWN => Request::Shutdown,
+            other => return Err(bad(format!("unknown request tag {other:#x}"))),
+        };
+        c.done()?;
+        Ok(req)
+    }
+}
+
+/// Aggregate server counters, as carried by [`Response::Stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Queries admitted to the queue.
+    pub admitted: u64,
+    /// Queries answered (any terminal response, including typed errors).
+    pub completed: u64,
+    /// Queries refused at admission because the queue was full.
+    pub shed_overload: u64,
+    /// Queries cancelled (pre- or mid-evaluation) by their deadline.
+    pub shed_deadline: u64,
+    /// Queries answered from reconstructed bitmaps (degraded serving).
+    pub degraded: u64,
+    /// Queries that failed with a storage or evaluation error.
+    pub failed: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Repair operations performed.
+    pub repairs: u64,
+    /// Circuit-breaker trips (Closed → Open transitions).
+    pub breaker_trips: u64,
+}
+
+impl StatsSnapshot {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.admitted,
+            self.completed,
+            self.shed_overload,
+            self.shed_deadline,
+            self.degraded,
+            self.failed,
+            self.cache_hits,
+            self.cache_misses,
+            self.repairs,
+            self.breaker_trips,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn decode_from(c: &mut Cursor<'_>) -> io::Result<Self> {
+        Ok(Self {
+            admitted: c.u64()?,
+            completed: c.u64()?,
+            shed_overload: c.u64()?,
+            shed_deadline: c.u64()?,
+            degraded: c.u64()?,
+            failed: c.u64()?,
+            cache_hits: c.u64()?,
+            cache_misses: c.u64()?,
+            repairs: c.u64()?,
+            breaker_trips: c.u64()?,
+        })
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Foundset cardinality of a `want_bitmap = false` query.
+    Count {
+        /// Number of qualifying rows.
+        cardinality: u64,
+        /// Answer came from reconstructed bitmaps (breaker open).
+        degraded: bool,
+        /// Answer was served from the result cache.
+        cached: bool,
+    },
+    /// Full foundset of a `want_bitmap = true` query.
+    Bitmap {
+        /// Number of qualifying rows (redundant with the words; cheap).
+        cardinality: u64,
+        /// Answer came from reconstructed bitmaps.
+        degraded: bool,
+        /// Answer was served from the result cache.
+        cached: bool,
+        /// Foundset length in bits.
+        n_bits: u64,
+        /// Foundset payload, 64 bits per word, row 0 = LSB of word 0.
+        words: Vec<u64>,
+    },
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Reply to [`Request::Stats`].
+    Stats(StatsSnapshot),
+    /// Reply to [`Request::Repair`].
+    Repaired {
+        /// Files rewritten with reconstructed content.
+        repaired: u32,
+        /// Corrupt files no provider could rebuild.
+        unrepaired: u32,
+    },
+    /// Reply to [`Request::Shutdown`]; the server drains after sending.
+    ShutdownAck,
+    /// A typed failure; see [`ErrorCode`].
+    Error {
+        /// What kind of failure.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Serializes into a frame payload.
+    pub fn encode(&self) -> io::Result<Vec<u8>> {
+        let mut out = Vec::new();
+        match self {
+            Response::Count {
+                cardinality,
+                degraded,
+                cached,
+            } => {
+                out.push(TAG_COUNT);
+                out.extend_from_slice(&cardinality.to_le_bytes());
+                out.push(u8::from(*degraded));
+                out.push(u8::from(*cached));
+            }
+            Response::Bitmap {
+                cardinality,
+                degraded,
+                cached,
+                n_bits,
+                words,
+            } => {
+                out.push(TAG_BITMAP);
+                out.extend_from_slice(&cardinality.to_le_bytes());
+                out.push(u8::from(*degraded));
+                out.push(u8::from(*cached));
+                out.extend_from_slice(&n_bits.to_le_bytes());
+                let n_words = u32::try_from(words.len()).map_err(|_| bad("bitmap too large"))?;
+                out.extend_from_slice(&n_words.to_le_bytes());
+                for w in words {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+            Response::Pong => out.push(TAG_PONG),
+            Response::Stats(snapshot) => {
+                out.push(TAG_STATS_REPLY);
+                snapshot.encode_into(&mut out);
+            }
+            Response::Repaired {
+                repaired,
+                unrepaired,
+            } => {
+                out.push(TAG_REPAIRED);
+                out.extend_from_slice(&repaired.to_le_bytes());
+                out.extend_from_slice(&unrepaired.to_le_bytes());
+            }
+            Response::ShutdownAck => out.push(TAG_SHUTDOWN_ACK),
+            Response::Error { code, message } => {
+                out.push(TAG_ERROR);
+                out.push(*code as u8);
+                put_str(&mut out, message)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses a frame payload.
+    pub fn decode(payload: &[u8]) -> io::Result<Self> {
+        let mut c = Cursor::new(payload);
+        let tag = c.u8()?;
+        let resp = match tag {
+            TAG_COUNT => Response::Count {
+                cardinality: c.u64()?,
+                degraded: c.u8()? != 0,
+                cached: c.u8()? != 0,
+            },
+            TAG_BITMAP => {
+                let cardinality = c.u64()?;
+                let degraded = c.u8()? != 0;
+                let cached = c.u8()? != 0;
+                let n_bits = c.u64()?;
+                let n_words = c.u32()? as usize;
+                let mut words = Vec::with_capacity(n_words.min(MAX_FRAME as usize / 8));
+                for _ in 0..n_words {
+                    words.push(c.u64()?);
+                }
+                Response::Bitmap {
+                    cardinality,
+                    degraded,
+                    cached,
+                    n_bits,
+                    words,
+                }
+            }
+            TAG_PONG => Response::Pong,
+            TAG_STATS_REPLY => Response::Stats(StatsSnapshot::decode_from(&mut c)?),
+            TAG_REPAIRED => Response::Repaired {
+                repaired: c.u32()?,
+                unrepaired: c.u32()?,
+            },
+            TAG_SHUTDOWN_ACK => Response::ShutdownAck,
+            TAG_ERROR => Response::Error {
+                code: ErrorCode::from_u8(c.u8()?)?,
+                message: c.str()?,
+            },
+            other => return Err(bad(format!("unknown response tag {other:#x}"))),
+        };
+        c.done()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let bytes = req.encode().unwrap();
+        assert_eq!(Request::decode(&bytes).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let bytes = resp.encode().unwrap();
+        assert_eq!(Response::decode(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for op in Op::ALL {
+            round_trip_request(Request::Query {
+                index: "lineitem.qty".into(),
+                query: SelectionQuery::new(op, 4711),
+                want_bitmap: op == Op::Eq,
+                deadline_ms: 250,
+            });
+        }
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Repair { index: "x".into() });
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Count {
+            cardinality: 123_456,
+            degraded: true,
+            cached: false,
+        });
+        round_trip_response(Response::Bitmap {
+            cardinality: 3,
+            degraded: false,
+            cached: true,
+            n_bits: 130,
+            words: vec![0b1011, 0, u64::MAX],
+        });
+        round_trip_response(Response::Pong);
+        round_trip_response(Response::Stats(StatsSnapshot {
+            admitted: 10,
+            completed: 9,
+            shed_overload: 1,
+            ..StatsSnapshot::default()
+        }));
+        round_trip_response(Response::Repaired {
+            repaired: 2,
+            unrepaired: 0,
+        });
+        round_trip_response(Response::ShutdownAck);
+        round_trip_response(Response::Error {
+            code: ErrorCode::Overloaded,
+            message: "queue full (depth 64)".into(),
+        });
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let req = Request::Query {
+            index: "t".into(),
+            query: SelectionQuery::new(Op::Le, 9),
+            want_bitmap: false,
+            deadline_ms: 0,
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode().unwrap()).unwrap();
+        write_frame(&mut wire, &Request::Ping.encode().unwrap()).unwrap();
+        let mut r = &wire[..];
+        assert_eq!(
+            Request::decode(&read_frame(&mut r).unwrap().unwrap()).unwrap(),
+            req
+        );
+        assert_eq!(
+            Request::decode(&read_frame(&mut r).unwrap().unwrap()).unwrap(),
+            Request::Ping
+        );
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(read_frame(&mut &wire[..]).is_err());
+
+        let mut short = Vec::new();
+        write_frame(&mut short, &[PROTOCOL_VERSION, TAG_QUERY, 5, 0]).unwrap();
+        let payload = read_frame(&mut &short[..]).unwrap().unwrap();
+        assert!(Request::decode(&payload).is_err());
+
+        // Trailing garbage after a well-formed message is a violation.
+        let mut bytes = Request::Ping.encode().unwrap();
+        bytes.push(0xAB);
+        assert!(Request::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_tags_and_versions_are_rejected() {
+        assert!(Request::decode(&[PROTOCOL_VERSION, 0x7F]).is_err());
+        assert!(Request::decode(&[99, TAG_PING]).is_err());
+        assert!(Response::decode(&[0x42]).is_err());
+    }
+}

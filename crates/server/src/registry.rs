@@ -1,0 +1,312 @@
+//! Served indexes: the bridge between the wire layer and the evaluation
+//! engine.
+//!
+//! A [`ServedIndex`] owns one stored bitmap index behind a
+//! [`SharedIndexReader`] in an `RwLock`: query execution takes read locks
+//! (many concurrent workers), repair takes the write lock — which *is*
+//! the drain: a repair waits for in-flight queries on that index and
+//! blocks new ones only for the rewrite itself. Around the reader sit the
+//! per-index [`CircuitBreaker`] (strict vs. degraded serving) and
+//! [`ResultCache`] (invalidated by the reader's repair epoch).
+//!
+//! Everything is type-erased over [`DynStore`] so the server binary,
+//! tests, and benchmarks can serve disk-backed, in-memory, and
+//! fault-injected indexes through one non-generic type.
+
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use bindex::core::eval::Algorithm;
+use bindex::core::Deadline;
+use bindex::engine::batch::{evaluate_selection_workload, BatchOptions, QueryOutcome};
+use bindex::relation::query::SelectionQuery;
+use bindex::storage::{
+    ByteStore, RepairReport, ShardedPool, SharedIndexReader, StorageError, StoredIndex,
+};
+use bindex::{
+    scrub_and_repair_index, BitVec, Column, Error, IndexSpec, RecoveryPolicy, SharedSource,
+};
+
+use crate::breaker::{BreakerState, CircuitBreaker};
+use crate::cache::{normalize, CachedAnswer, ResultCache};
+
+/// The one store type the server deals in; anything `ByteStore + Send +
+/// Sync` boxes into it.
+pub type DynStore = Box<dyn ByteStore + Send + Sync>;
+
+/// Tuning knobs for one served index; the defaults suit the demo and the
+/// integration tests.
+#[derive(Debug, Clone)]
+pub struct IndexTuning {
+    /// Morsel size for segment-at-a-time evaluation (power of two,
+    /// >= 512); smaller segments mean finer-grained deadline checks.
+    pub segment_bits: usize,
+    /// Result-cache capacity in foundsets; zero disables it.
+    pub cache_capacity: usize,
+    /// Bitmap buffer-pool capacity in bitmaps; zero disables it.
+    pub pool_capacity: usize,
+    /// Consecutive faulted queries that trip the breaker.
+    pub breaker_trip: usize,
+    /// Consecutive clean probes that close it again.
+    pub breaker_close: usize,
+    /// How long an open breaker waits before probing on its own.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for IndexTuning {
+    fn default() -> Self {
+        Self {
+            segment_bits: 1 << 16,
+            cache_capacity: 256,
+            pool_capacity: 512,
+            breaker_trip: 3,
+            breaker_close: 2,
+            breaker_cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One query's answer, ready for the wire.
+#[derive(Debug, Clone)]
+pub struct QueryAnswer {
+    /// The foundset.
+    pub bits: Arc<BitVec>,
+    /// `bits.count_ones()`.
+    pub cardinality: u64,
+    /// Answer was produced through bitmap reconstruction (breaker open).
+    pub degraded: bool,
+    /// Answer came from the result cache.
+    pub cached: bool,
+}
+
+/// A stored index being served: reader + breaker + cache + repair inputs.
+pub struct ServedIndex {
+    name: String,
+    spec: IndexSpec,
+    /// The base column, when available: enables scan-based reconstruction
+    /// (every slot recoverable) and full repair.
+    column: Option<Arc<Column>>,
+    null_mask: Option<BitVec>,
+    reader: RwLock<SharedIndexReader<DynStore>>,
+    breaker: CircuitBreaker,
+    cache: ResultCache,
+    segment_bits: usize,
+}
+
+impl ServedIndex {
+    /// Opens the stored index in `store` and wraps it for serving.
+    /// `spec` must be the layout the index was written with (validated
+    /// here, so query-time construction cannot fail); `column` and
+    /// `null_mask` feed reconstruction and repair when present.
+    pub fn new(
+        name: impl Into<String>,
+        spec: IndexSpec,
+        store: DynStore,
+        column: Option<Arc<Column>>,
+        null_mask: Option<BitVec>,
+        tuning: IndexTuning,
+    ) -> Result<Self, Error> {
+        let stored = StoredIndex::open(store).map_err(storage_error)?;
+        let reader = if tuning.pool_capacity > 0 {
+            SharedIndexReader::with_pool(stored, ShardedPool::new(tuning.pool_capacity, 8))
+        } else {
+            SharedIndexReader::new(stored)
+        };
+        // Validate the layout once, while we hold the only reference.
+        SharedSource::try_new(&reader, spec.clone())?;
+        Ok(Self {
+            name: name.into(),
+            spec,
+            column,
+            null_mask,
+            reader: RwLock::new(reader),
+            breaker: CircuitBreaker::new(
+                tuning.breaker_trip,
+                tuning.breaker_close,
+                tuning.breaker_cooldown,
+            ),
+            cache: ResultCache::new(tuning.cache_capacity),
+            segment_bits: tuning.segment_bits,
+        })
+    }
+
+    /// The name clients address this index by.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The index layout.
+    pub fn spec(&self) -> IndexSpec {
+        self.spec.clone()
+    }
+
+    /// Rows in the indexed relation.
+    pub fn n_rows(&self) -> usize {
+        self.reader.read().unwrap().meta().n_rows
+    }
+
+    /// The per-index circuit breaker (read-only access for stats and
+    /// tests).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// `(hits, misses, invalidations)` of the result cache.
+    pub fn cache_stats(&self) -> (u64, u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Current repair epoch of the underlying reader.
+    pub fn repair_epoch(&self) -> u64 {
+        self.reader.read().unwrap().repair_epoch()
+    }
+
+    /// Evaluates one selection predicate under this index's serving
+    /// policy: result cache first; then segment-at-a-time evaluation with
+    /// the deadline checked between morsels; recovery strict or degraded
+    /// per the breaker; outcome fed back into breaker and cache.
+    pub fn execute(
+        &self,
+        query: SelectionQuery,
+        deadline: Option<Deadline>,
+    ) -> Result<QueryAnswer, Error> {
+        let guard = self.reader.read().unwrap();
+        let epoch = guard.repair_epoch();
+        let key = normalize(query);
+        if let Some(hit) = self.cache.get(key, epoch) {
+            return Ok(QueryAnswer {
+                bits: hit.bits,
+                cardinality: hit.cardinality,
+                degraded: false,
+                cached: true,
+            });
+        }
+        let recovery = if self.breaker.degraded_serving() {
+            match &self.column {
+                Some(column) => RecoveryPolicy::ReconstructOrScan(Arc::clone(column)),
+                None => RecoveryPolicy::Reconstruct,
+            }
+        } else {
+            RecoveryPolicy::Fail
+        };
+        let mut options = BatchOptions::single_threaded()
+            .with_recovery(recovery)
+            .with_segment_bits(self.segment_bits);
+        if let Some(d) = deadline {
+            options = options.with_deadline(d);
+        }
+        let spec = &self.spec;
+        let report = evaluate_selection_workload(
+            || {
+                SharedSource::try_new(&guard, spec.clone())
+                    .expect("layout validated at registration")
+            },
+            std::slice::from_ref(&query),
+            Algorithm::Auto,
+            &options,
+        );
+        let outcome = report
+            .outcomes
+            .into_iter()
+            .next()
+            .expect("one query in, one outcome out");
+        match outcome {
+            QueryOutcome::Ok((bits, _stats)) => {
+                self.breaker.record_success();
+                let cardinality = bits.count_ones() as u64;
+                let bits = Arc::new(bits);
+                self.cache.insert(
+                    key,
+                    CachedAnswer {
+                        bits: Arc::clone(&bits),
+                        cardinality,
+                    },
+                    epoch,
+                );
+                Ok(QueryAnswer {
+                    bits,
+                    cardinality,
+                    degraded: false,
+                    cached: false,
+                })
+            }
+            QueryOutcome::Degraded((bits, _stats)) => {
+                // Exact answer, faulty store: count it against the
+                // breaker, serve it, never cache it.
+                self.breaker.record_fault();
+                let cardinality = bits.count_ones() as u64;
+                Ok(QueryAnswer {
+                    bits: Arc::new(bits),
+                    cardinality,
+                    degraded: true,
+                    cached: false,
+                })
+            }
+            QueryOutcome::Failed(e) => {
+                self.breaker.record_fault();
+                Err(e)
+            }
+            QueryOutcome::TimedOut | QueryOutcome::DeadlineExceeded => Err(Error::DeadlineExceeded),
+            // No failure cap is configured on the serving path.
+            QueryOutcome::Skipped => Err(Error::Storage("query skipped unexpectedly".into())),
+        }
+    }
+
+    /// Scrubs and repairs the stored index. Takes the write lock — all
+    /// readers of this index drain first — then rewrites damaged files,
+    /// flushes the bitmap pool, bumps the repair epoch (invalidating the
+    /// result cache), and moves an open breaker to probing.
+    pub fn repair(&self) -> Result<RepairReport, Error> {
+        let mut guard = self.reader.write().unwrap();
+        let spec = &self.spec;
+        let column = self.column.as_deref();
+        let null_mask = self.null_mask.as_ref();
+        let report =
+            guard.repair_index(|stored| scrub_and_repair_index(stored, spec, column, null_mask))?;
+        self.breaker.on_repair();
+        Ok(report)
+    }
+
+    /// `true` when the index currently serves strict (breaker closed).
+    pub fn healthy(&self) -> bool {
+        self.breaker.state() == BreakerState::Closed
+    }
+}
+
+fn storage_error(e: StorageError) -> Error {
+    Error::Storage(e.to_string())
+}
+
+/// The set of indexes one server instance serves, by name.
+#[derive(Default)]
+pub struct Registry {
+    indexes: Vec<Arc<ServedIndex>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an index; replaces any previous index of the same name.
+    pub fn insert(&mut self, index: ServedIndex) {
+        self.indexes.retain(|i| i.name() != index.name());
+        self.indexes.push(Arc::new(index));
+    }
+
+    /// Looks up an index by name.
+    pub fn get(&self, name: &str) -> Option<Arc<ServedIndex>> {
+        self.indexes.iter().find(|i| i.name() == name).cloned()
+    }
+
+    /// Names of all served indexes, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.indexes.iter().map(|i| i.name().to_string()).collect()
+    }
+
+    /// All served indexes.
+    pub fn all(&self) -> &[Arc<ServedIndex>] {
+        &self.indexes
+    }
+}

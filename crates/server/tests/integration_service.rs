@@ -1,0 +1,531 @@
+//! End-to-end service tests: a real `Server` on an ephemeral port, real
+//! TCP clients, and the full robustness surface — exactness over the
+//! wire, overload shedding, per-request deadlines, chaos under load with
+//! online repair, result-cache semantics, and graceful drain.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bindex::compress::CodecKind;
+use bindex::core::eval::Algorithm;
+use bindex::relation::gen;
+use bindex::relation::query::{Op, SelectionQuery};
+use bindex::storage::{ByteStore, MemStore, StorageScheme};
+use bindex::stored::persist_index;
+use bindex::{Base, BitmapIndex, Column, Encoding, IndexSpec};
+use bindex_server::{
+    BreakerState, Client, ErrorCode, IndexTuning, Registry, Response, ServedIndex, Server,
+    ServerConfig,
+};
+
+const N_ROWS: usize = 8192;
+const CARDINALITY: u32 = 64;
+
+fn spec() -> IndexSpec {
+    IndexSpec::new(Base::from_msb(&[8, 8]).unwrap(), Encoding::Range)
+}
+
+fn build() -> (Column, BitmapIndex, MemStore) {
+    let column = gen::uniform(N_ROWS, CARDINALITY, 11);
+    let index = BitmapIndex::build(&column, spec()).unwrap();
+    let store = persist_index(
+        &index,
+        MemStore::new(),
+        StorageScheme::BitmapLevel,
+        CodecKind::None,
+    )
+    .unwrap()
+    .into_store();
+    (column, index, store)
+}
+
+fn direct_count(index: &BitmapIndex, query: SelectionQuery) -> u64 {
+    let (bits, _) =
+        bindex::core::eval::evaluate(&mut index.source(), query, Algorithm::Auto).unwrap();
+    bits.count_ones() as u64
+}
+
+/// A `ByteStore` whose reads sleep — a saturated disk for overload,
+/// deadline, and drain tests.
+struct SlowStore {
+    inner: MemStore,
+    delay: Duration,
+}
+
+impl ByteStore for SlowStore {
+    fn write_file(&mut self, name: &str, data: &[u8]) -> std::io::Result<()> {
+        self.inner.write_file(name, data)
+    }
+
+    fn read_file(&self, name: &str) -> std::io::Result<Vec<u8>> {
+        std::thread::sleep(self.delay);
+        self.inner.read_file(name)
+    }
+
+    fn file_size(&self, name: &str) -> std::io::Result<u64> {
+        self.inner.file_size(name)
+    }
+
+    fn file_names(&self) -> std::io::Result<Vec<String>> {
+        self.inner.file_names()
+    }
+}
+
+/// Tuning shared by the tests that must observe every store access:
+/// result cache and buffer pool off, segments small enough that the
+/// deadline has boundaries to check.
+fn uncached_tuning() -> IndexTuning {
+    IndexTuning {
+        segment_bits: 512,
+        cache_capacity: 0,
+        pool_capacity: 0,
+        ..IndexTuning::default()
+    }
+}
+
+fn start_server(registry: Registry, config: ServerConfig) -> Server {
+    Server::start(registry, config, "127.0.0.1:0").expect("bind ephemeral port")
+}
+
+fn connect(server: &Server) -> Client {
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(60)))
+        .expect("set timeout");
+    client
+}
+
+#[test]
+fn end_to_end_answers_are_exact_over_the_wire() {
+    let (_column, index, store) = build();
+    let mut registry = Registry::new();
+    registry.insert(
+        ServedIndex::new(
+            "t",
+            spec(),
+            Box::new(store),
+            None,
+            None,
+            IndexTuning::default(),
+        )
+        .unwrap(),
+    );
+    let config = ServerConfig {
+        workers: 2,
+        queue_depth: 16,
+        default_deadline: Duration::from_secs(10),
+    };
+    let server = start_server(registry, config);
+    let mut client = connect(&server);
+
+    client.ping().expect("ping");
+    let queries = [
+        SelectionQuery::new(Op::Le, 40),
+        SelectionQuery::new(Op::Gt, 50),
+        SelectionQuery::new(Op::Eq, 3),
+        SelectionQuery::new(Op::Ne, 3),
+        SelectionQuery::new(Op::Ge, 0),
+        SelectionQuery::new(Op::Lt, 64),
+    ];
+    for query in queries {
+        match client.query("t", query, false, 0).expect("query") {
+            Response::Count {
+                cardinality,
+                degraded,
+                ..
+            } => {
+                assert_eq!(cardinality, direct_count(&index, query), "{query:?}");
+                assert!(!degraded);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    // Bitmap round trip: the foundset words survive the wire intact.
+    let query = SelectionQuery::new(Op::Le, 17);
+    match client.query("t", query, true, 0).expect("bitmap query") {
+        Response::Bitmap {
+            cardinality,
+            n_bits,
+            words,
+            ..
+        } => {
+            let (want, _) =
+                bindex::core::eval::evaluate(&mut index.source(), query, Algorithm::Auto).unwrap();
+            assert_eq!(n_bits as usize, want.len());
+            assert_eq!(cardinality, want.count_ones() as u64);
+            assert_eq!(words, want.words().to_vec());
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+    // Unknown index: a typed error, not a dropped connection.
+    match client
+        .query("nope", SelectionQuery::new(Op::Le, 1), false, 0)
+        .expect("unknown-index query")
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownIndex),
+        other => panic!("unexpected response {other:?}"),
+    }
+    let stats = client.stats().expect("stats");
+    assert!(stats.admitted >= 7, "stats: {stats:?}");
+    assert_eq!(stats.failed, 0, "stats: {stats:?}");
+
+    client.shutdown().expect("shutdown request");
+    assert!(server.shutdown_requested());
+    let report = server.shutdown();
+    assert_eq!(report.shed_overload, 0);
+}
+
+#[test]
+fn overload_is_shed_with_typed_responses() {
+    let (_column, index, store) = build();
+    let slow = SlowStore {
+        inner: store,
+        delay: Duration::from_millis(100),
+    };
+    let mut registry = Registry::new();
+    registry.insert(
+        ServedIndex::new("t", spec(), Box::new(slow), None, None, uncached_tuning()).unwrap(),
+    );
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        default_deadline: Duration::from_secs(10),
+    };
+    let server = start_server(registry, config);
+
+    let (tx, rx) = mpsc::channel();
+    std::thread::scope(|scope| {
+        for i in 0..8u32 {
+            let tx = tx.clone();
+            let addr = server.addr();
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+                let query = SelectionQuery::new(Op::Le, 8 * i % CARDINALITY);
+                let resp = client.query("t", query, false, 0).expect("transport");
+                tx.send((query, resp)).unwrap();
+            });
+        }
+    });
+    drop(tx);
+
+    let (mut ok, mut overloaded) = (0, 0);
+    for (query, resp) in rx {
+        match resp {
+            Response::Count { cardinality, .. } => {
+                assert_eq!(cardinality, direct_count(&index, query));
+                ok += 1;
+            }
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                ..
+            } => overloaded += 1,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(ok >= 1, "ok {ok}, overloaded {overloaded}");
+    assert!(overloaded >= 1, "ok {ok}, overloaded {overloaded}");
+    assert_eq!(ok + overloaded, 8);
+    let stats = server.stats();
+    assert!(stats.shed_overload >= 1, "stats: {stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn per_request_deadline_sheds_mid_query() {
+    let (_column, _index, store) = build();
+    let slow = SlowStore {
+        inner: store,
+        delay: Duration::from_millis(150),
+    };
+    let mut registry = Registry::new();
+    registry.insert(
+        ServedIndex::new("t", spec(), Box::new(slow), None, None, uncached_tuning()).unwrap(),
+    );
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 4,
+        default_deadline: Duration::from_secs(10),
+    };
+    let server = start_server(registry, config);
+    let mut client = connect(&server);
+
+    // One 150ms fetch outlasts the 50ms budget: the engine cancels at
+    // the first segment boundary and the client gets a typed error.
+    match client
+        .query("t", SelectionQuery::new(Op::Le, 40), false, 50)
+        .expect("transport")
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::DeadlineExceeded),
+        other => panic!("unexpected response {other:?}"),
+    }
+    // The service is still healthy: control traffic and a patient query
+    // both succeed afterwards.
+    client.ping().expect("ping after shed");
+    match client
+        .query("t", SelectionQuery::new(Op::Le, 40), false, 30_000)
+        .expect("transport")
+    {
+        Response::Count { .. } => {}
+        other => panic!("unexpected response {other:?}"),
+    }
+    let stats = client.stats().expect("stats");
+    assert!(stats.shed_deadline >= 1, "stats: {stats:?}");
+    server.shutdown();
+}
+
+/// The acceptance scenario: storage corruption under concurrent load
+/// yields typed failures, then the breaker flips to degraded serving
+/// (exact answers via reconstruction), online repair heals the store,
+/// and the index probes its way back to strict, healthy serving — zero
+/// panics, zero dropped connections.
+#[test]
+fn chaos_under_load_degrades_then_repairs_to_healthy() {
+    let (column, index, mut store) = build();
+    // Durably corrupt every bitmap payload: every strict read fails its
+    // checksum until repair rewrites the files.
+    let mut corrupted = 0;
+    for name in store.file_names().unwrap() {
+        if !name.ends_with(".bmp") {
+            continue;
+        }
+        let mut data = store.read_file(&name).unwrap();
+        if let Some(byte) = data.last_mut() {
+            *byte ^= 0x40;
+            store.write_file(&name, &data).unwrap();
+            corrupted += 1;
+        }
+    }
+    assert!(corrupted > 0, "expected bitmap files to corrupt");
+
+    let tuning = IndexTuning {
+        breaker_trip: 2,
+        breaker_close: 2,
+        breaker_cooldown: Duration::from_secs(600),
+        ..uncached_tuning()
+    };
+    let mut registry = Registry::new();
+    registry.insert(
+        ServedIndex::new(
+            "chaos",
+            spec(),
+            Box::new(store),
+            Some(Arc::new(column)),
+            None,
+            tuning,
+        )
+        .unwrap(),
+    );
+    let served = registry.get("chaos").unwrap();
+    let config = ServerConfig {
+        workers: 2,
+        queue_depth: 32,
+        default_deadline: Duration::from_secs(30),
+    };
+    let server = start_server(registry, config);
+
+    // Phase 1: concurrent load against the corrupted store. Early
+    // queries fail strictly; once the breaker trips, answers keep
+    // flowing through scan-based reconstruction — degraded but exact.
+    let (tx, rx) = mpsc::channel();
+    std::thread::scope(|scope| {
+        for t in 0..3u32 {
+            let tx = tx.clone();
+            let addr = server.addr();
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+                for q in 0..8u32 {
+                    let query = SelectionQuery::new(Op::Le, (t * 19 + q * 7) % CARDINALITY);
+                    let resp = client.query("chaos", query, false, 0).expect("transport");
+                    tx.send((query, resp)).unwrap();
+                }
+            });
+        }
+    });
+    drop(tx);
+
+    let (mut failed, mut degraded, mut strict_ok) = (0, 0, 0);
+    for (query, resp) in rx {
+        match resp {
+            Response::Error {
+                code: ErrorCode::QueryFailed,
+                ..
+            } => failed += 1,
+            Response::Count {
+                cardinality,
+                degraded: true,
+                ..
+            } => {
+                assert_eq!(cardinality, direct_count(&index, query), "{query:?}");
+                degraded += 1;
+            }
+            Response::Count {
+                cardinality,
+                degraded: false,
+                ..
+            } => {
+                assert_eq!(cardinality, direct_count(&index, query), "{query:?}");
+                strict_ok += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(failed + degraded + strict_ok, 24);
+    assert!(failed >= 1, "failed {failed}, degraded {degraded}");
+    assert!(degraded >= 1, "failed {failed}, degraded {degraded}");
+    assert!(
+        !served.healthy(),
+        "breaker should be open, state {:?}",
+        served.breaker().state()
+    );
+
+    // Phase 2: online repair rewrites the damaged files and moves the
+    // breaker to probing.
+    let mut client = connect(&server);
+    let epoch_before = served.repair_epoch();
+    let (repaired, unrepaired) = client.repair("chaos").expect("repair");
+    assert!(repaired >= 1, "repaired {repaired}");
+    assert_eq!(unrepaired, 0);
+    assert_eq!(served.repair_epoch(), epoch_before + 1);
+    assert_eq!(served.breaker().state(), BreakerState::HalfOpen);
+
+    // Phase 3: clean probes close the breaker; serving is strict again.
+    for q in 0..4u32 {
+        let query = SelectionQuery::new(Op::Gt, (q * 13) % CARDINALITY);
+        match client.query("chaos", query, false, 0).expect("transport") {
+            Response::Count {
+                cardinality,
+                degraded,
+                ..
+            } => {
+                assert_eq!(cardinality, direct_count(&index, query), "{query:?}");
+                assert!(!degraded, "post-repair answers must be strict");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(served.healthy(), "state {:?}", served.breaker().state());
+    let stats = client.stats().expect("stats");
+    assert!(stats.failed >= 1, "stats: {stats:?}");
+    assert!(stats.degraded >= 1, "stats: {stats:?}");
+    assert!(stats.breaker_trips >= 1, "stats: {stats:?}");
+    assert_eq!(stats.repairs, 1, "stats: {stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn result_cache_hits_normalized_predicates_and_repair_invalidates() {
+    let (_column, index, store) = build();
+    let mut registry = Registry::new();
+    registry.insert(
+        ServedIndex::new(
+            "t",
+            spec(),
+            Box::new(store),
+            None,
+            None,
+            IndexTuning::default(),
+        )
+        .unwrap(),
+    );
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 8,
+        default_deadline: Duration::from_secs(10),
+    };
+    let server = start_server(registry, config);
+    let mut client = connect(&server);
+
+    let cached_of = |resp: Response, index: &BitmapIndex, query: SelectionQuery| -> bool {
+        match resp {
+            Response::Count {
+                cardinality,
+                cached,
+                ..
+            } => {
+                assert_eq!(cardinality, direct_count(index, query));
+                cached
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    };
+
+    let le40 = SelectionQuery::new(Op::Le, 40);
+    let lt41 = SelectionQuery::new(Op::Lt, 41);
+    let first = client.query("t", le40, false, 0).expect("transport");
+    assert!(!cached_of(first, &index, le40), "cold query must miss");
+    let second = client.query("t", le40, false, 0).expect("transport");
+    assert!(cached_of(second, &index, le40), "repeat query must hit");
+    // `x < 41` normalizes to `x <= 40`: same cache entry.
+    let normalized = client.query("t", lt41, false, 0).expect("transport");
+    assert!(
+        cached_of(normalized, &index, lt41),
+        "normalized form must hit"
+    );
+
+    // Repair bumps the epoch; the cache may not serve pre-repair answers.
+    client.repair("t").expect("repair");
+    let after = client.query("t", le40, false, 0).expect("transport");
+    assert!(!cached_of(after, &index, le40), "repair must invalidate");
+    let stats = client.stats().expect("stats");
+    assert!(stats.cache_hits >= 2, "stats: {stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn graceful_drain_finishes_admitted_work() {
+    let (_column, index, store) = build();
+    let slow = SlowStore {
+        inner: store,
+        delay: Duration::from_millis(100),
+    };
+    let mut registry = Registry::new();
+    registry.insert(
+        ServedIndex::new("t", spec(), Box::new(slow), None, None, uncached_tuning()).unwrap(),
+    );
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 8,
+        default_deadline: Duration::from_secs(30),
+    };
+    let server = start_server(registry, config);
+
+    // Four queries pile onto one slow worker; shutdown begins while most
+    // are still queued. Every admitted query must still be answered.
+    let (tx, rx) = mpsc::channel();
+    let handles: Vec<_> = (0..4u32)
+        .map(|i| {
+            let tx = tx.clone();
+            let addr = server.addr();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+                let query = SelectionQuery::new(Op::Le, (i * 11) % CARDINALITY);
+                let resp = client.query("t", query, false, 0).expect("transport");
+                tx.send((query, resp)).unwrap();
+            })
+        })
+        .collect();
+    drop(tx);
+    std::thread::sleep(Duration::from_millis(150));
+    let report = server.shutdown();
+
+    let mut answered = 0;
+    for (query, resp) in rx {
+        match resp {
+            Response::Count { cardinality, .. } => {
+                assert_eq!(cardinality, direct_count(&index, query));
+                answered += 1;
+            }
+            other => panic!("drain dropped a query: {other:?}"),
+        }
+    }
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+    assert_eq!(answered, 4);
+    assert_eq!(report.completed, 4, "report: {report:?}");
+    assert_eq!(report.shed_overload, 0, "report: {report:?}");
+}

@@ -63,6 +63,11 @@ pub struct SharedIndexReader<S: ByteStore> {
     index: StoredIndex<S>,
     stats: AtomicIoStats,
     pool: Option<ShardedPool>,
+    /// Bumped by [`repair_index`](Self::repair_index) every time the
+    /// underlying store is mutated, so layers above (result caches,
+    /// circuit breakers) can tell "same bytes as before" from "the index
+    /// was rewritten under me".
+    repair_epoch: AtomicU64,
 }
 
 impl<S: ByteStore> SharedIndexReader<S> {
@@ -72,6 +77,7 @@ impl<S: ByteStore> SharedIndexReader<S> {
             index,
             stats: AtomicIoStats::default(),
             pool: None,
+            repair_epoch: AtomicU64::new(0),
         }
     }
 
@@ -82,6 +88,7 @@ impl<S: ByteStore> SharedIndexReader<S> {
             index,
             stats: AtomicIoStats::default(),
             pool: Some(pool),
+            repair_epoch: AtomicU64::new(0),
         }
     }
 
@@ -157,6 +164,29 @@ impl<S: ByteStore> SharedIndexReader<S> {
     /// Cache statistics, if a pool is attached.
     pub fn pool_stats(&self) -> Option<PoolStats> {
         self.pool.as_ref().map(ShardedPool::stats)
+    }
+
+    /// How many times [`repair_index`](Self::repair_index) has mutated the
+    /// wrapped index. Monotonic; starts at zero.
+    pub fn repair_epoch(&self) -> u64 {
+        self.repair_epoch.load(Ordering::Acquire)
+    }
+
+    /// Runs a mutating maintenance operation (scrub-and-repair, slot
+    /// rewrite) against the wrapped index, then invalidates the bitmap
+    /// cache and bumps the repair epoch — in that order, so a reader that
+    /// observes the new epoch can never see a stale cached bitmap.
+    ///
+    /// Requires `&mut self`: the caller's exclusion (e.g. an `RwLock`
+    /// write guard) is what keeps concurrent readers out of the store
+    /// while its files are rewritten.
+    pub fn repair_index<R>(&mut self, f: impl FnOnce(&mut StoredIndex<S>) -> R) -> R {
+        let out = f(&mut self.index);
+        if let Some(pool) = &self.pool {
+            pool.clear();
+        }
+        self.repair_epoch.fetch_add(1, Ordering::Release);
+        out
     }
 }
 

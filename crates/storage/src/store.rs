@@ -51,6 +51,32 @@ pub trait ByteStore {
     }
 }
 
+/// Boxed stores forward to the inner store, so code that must be
+/// non-generic over storage (the query server holds disk-backed, faulty,
+/// and in-memory indexes behind one type) can use
+/// `Box<dyn ByteStore + Send + Sync>` wherever a `ByteStore` is expected.
+impl ByteStore for Box<dyn ByteStore + Send + Sync> {
+    fn write_file(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+        (**self).write_file(name, data)
+    }
+
+    fn read_file(&self, name: &str) -> io::Result<Vec<u8>> {
+        (**self).read_file(name)
+    }
+
+    fn file_size(&self, name: &str) -> io::Result<u64> {
+        (**self).file_size(name)
+    }
+
+    fn file_names(&self) -> io::Result<Vec<String>> {
+        (**self).file_names()
+    }
+
+    fn total_bytes(&self) -> io::Result<u64> {
+        (**self).total_bytes()
+    }
+}
+
 /// In-memory store, for unit tests and scan-count experiments.
 #[derive(Debug, Default, Clone)]
 pub struct MemStore {
