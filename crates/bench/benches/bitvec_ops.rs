@@ -86,6 +86,29 @@ fn bench(c: &mut Criterion) {
         bench.iter(|| black_box(kernels::count_or(black_box(&refs))))
     });
     k.finish();
+
+    // Scalar vs unrolled dispatch tiers on the same 16-way operands: the
+    // explicit `[u64; LANES]` tier against the autovectorized reference.
+    let mut d = c.benchmark_group("kernel_dispatch");
+    d.throughput(Throughput::Bytes((16 * BITS / 8) as u64));
+    for dispatch in [
+        bindex::KernelDispatch::Scalar,
+        bindex::KernelDispatch::Unrolled,
+    ] {
+        d.bench_function(format!("and_16way_{}", dispatch.name()), |bench| {
+            bench.iter(|| black_box(kernels::and_all_with(dispatch, black_box(&refs))))
+        });
+        d.bench_function(format!("or_16way_{}", dispatch.name()), |bench| {
+            bench.iter(|| black_box(kernels::or_all_with(dispatch, black_box(&refs))))
+        });
+        d.bench_function(format!("count_or_16way_{}", dispatch.name()), |bench| {
+            bench.iter(|| black_box(kernels::count_or_with(dispatch, black_box(&refs))))
+        });
+        d.bench_function(format!("count_and_16way_{}", dispatch.name()), |bench| {
+            bench.iter(|| black_box(kernels::count_and_with(dispatch, black_box(&refs))))
+        });
+    }
+    d.finish();
 }
 
 criterion_group!(benches, bench);

@@ -1,6 +1,8 @@
 //! Extension experiment: batch query throughput — single- vs
-//! multi-threaded queries/sec through `engine::batch`, and fused k-ary
-//! kernels vs the pairwise folds they replace.
+//! multi-threaded queries/sec through `engine::batch`, fused k-ary
+//! kernels vs the pairwise folds they replace, and the kernel-bandwidth
+//! ceiling: GB/s per kernel × fan-in × dispatch tier against `memcpy`
+//! and STREAM-triad baselines.
 //!
 //! Not a figure from the paper: the paper prices queries in scans and
 //! operations, and this experiment tracks how fast the runtime actually
@@ -8,9 +10,11 @@
 //! against. Emits `BENCH_batch_throughput.json` at the workspace root
 //! (and the usual CSV under `results/`).
 //!
-//! `--quick` shrinks the workload for CI smoke runs; `BINDEX_THREADS`
-//! (forwarded by `all_experiments --threads N`) caps the widest
-//! multi-thread configuration measured.
+//! `--quick` (alias `--smoke`) shrinks the workload for CI smoke runs;
+//! `BINDEX_THREADS` (forwarded by `all_experiments --threads N`) caps the
+//! widest multi-thread configuration measured. On a single-core box every
+//! multi-thread row is time-sliced; the JSON carries `scaling_valid:
+//! false` so such a run can never masquerade as a scaling result.
 
 use std::time::Instant;
 
@@ -19,14 +23,16 @@ use bindex::engine::batch::{execute_workload, BatchOptions};
 use bindex::engine::{ConjunctiveQuery, IndexChoice, Table};
 use bindex::relation::gen;
 use bindex::relation::query::{Op, SelectionQuery};
-use bindex::BitVec;
-use bindex_bench::{f2, print_table, results_dir, Csv, RunProvenance};
+use bindex::{BitVec, KernelDispatch};
+use bindex_bench::{f2, print_table, results_dir, synthetic_bitmaps, Csv, RunProvenance};
 
 struct Config {
     rows: usize,
     queries: usize,
     union_bits: usize,
     kernel_reps: usize,
+    bandwidth_bits: usize,
+    bandwidth_reps: usize,
 }
 
 fn build_table(rows: usize) -> Table {
@@ -55,59 +61,205 @@ fn workload(n: usize) -> Vec<ConjunctiveQuery> {
 
 /// Queries/sec of one batch configuration (best of `reps` runs, so a cold
 /// first run doesn't understate the steady state). Returns the effective
-/// worker count alongside — `BatchOptions` clamps the request to the
-/// machine's available parallelism.
-fn qps(table: &Table, queries: &[ConjunctiveQuery], threads: usize, reps: usize) -> (usize, f64) {
+/// worker count and the steal count of the best run alongside —
+/// `BatchOptions` clamps the request to the machine's available
+/// parallelism.
+fn qps(
+    table: &Table,
+    queries: &[ConjunctiveQuery],
+    threads: usize,
+    reps: usize,
+) -> (usize, f64, usize) {
     let opts = BatchOptions::with_threads(threads);
     let mut best = f64::MAX;
+    let mut steals = 0usize;
     for _ in 0..reps {
         let start = Instant::now();
         let out = execute_workload(table, queries, &opts);
         assert!(out.health.all_ok(), "workload executes: {:?}", out.health);
         assert_eq!(out.outcomes.len(), queries.len());
-        best = best.min(start.elapsed().as_secs_f64());
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed < best {
+            best = elapsed;
+            steals = out.steals;
+        }
     }
-    (opts.threads(), queries.len() as f64 / best)
+    (opts.threads(), queries.len() as f64 / best, steals)
 }
 
-/// Seconds per 16-way union, pairwise vs fused (best of `reps`).
-fn union_times(bits: usize, reps: usize) -> (f64, f64, f64, f64) {
-    let operands: Vec<BitVec> = (0..16)
-        .map(|s| BitVec::from_fn(bits, |i| (i * 2654435761 + s).is_multiple_of(7)))
-        .collect();
-    let refs: Vec<&BitVec> = operands.iter().collect();
-    let time = |f: &mut dyn FnMut() -> usize| {
-        let mut best = f64::MAX;
-        let mut sink = 0;
-        for _ in 0..reps {
-            let start = Instant::now();
+/// Best-of-`reps` wall time of `f`, with an accumulated sink so the
+/// compiler cannot elide the work. Each timed sample runs `inner`
+/// back-to-back calls and reports the mean — a single small-operand call
+/// is a few microseconds, well inside timer noise, and best-of over raw
+/// single-call samples just picks whichever variant got the luckiest
+/// minimum.
+fn best_of(reps: usize, inner: usize, f: &mut dyn FnMut() -> usize) -> f64 {
+    let mut best = f64::MAX;
+    let mut sink = 0usize;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..inner {
             sink ^= f();
-            best = best.min(start.elapsed().as_secs_f64());
         }
-        assert!(sink < usize::MAX);
-        best
-    };
-    let pairwise = time(&mut || {
+        best = best.min(start.elapsed().as_secs_f64() / inner as f64);
+    }
+    assert!(sink < usize::MAX);
+    best
+}
+
+/// Inner iterations per timed sample, sized so a sample covers at least
+/// ~4 MiB of operand traffic regardless of the configured bitmap size.
+fn inner_iters(bits: usize) -> usize {
+    ((1usize << 25) / bits.max(1)).max(1)
+}
+
+/// Seconds per 16-way union, pairwise vs fused (best of `reps`). Operands
+/// come from the shared [`synthetic_bitmaps`] generator — the same bits
+/// `ext_segmented_exec` folds.
+fn union_times(bits: usize, reps: usize) -> (f64, f64, f64, f64) {
+    let operands = synthetic_bitmaps(bits, 16, 0xB17);
+    let refs: Vec<&BitVec> = operands.iter().collect();
+    let inner = inner_iters(bits);
+    let pairwise = best_of(reps, inner, &mut || {
         let mut acc = operands[0].clone();
         for op in &operands[1..] {
             acc.or_assign(op);
         }
         acc.count_ones()
     });
-    let fused = time(&mut || kernels::or_all(&refs).count_ones());
-    let count_mat = time(&mut || kernels::or_all(&refs).count_ones());
-    let count_fused = time(&mut || kernels::count_or(&refs));
+    let fused = best_of(reps, inner, &mut || kernels::or_all(&refs).count_ones());
+    let count_mat = best_of(reps, inner, &mut || kernels::or_all(&refs).count_ones());
+    let count_fused = best_of(reps, inner, &mut || kernels::count_or(&refs));
     (pairwise, fused, count_mat, count_fused)
 }
 
+/// One measured point of the kernel-bandwidth sweep.
+struct BwRow {
+    kernel: &'static str,
+    fan_in: usize,
+    dispatch: KernelDispatch,
+    seconds: f64,
+    gbps: f64,
+}
+
+/// GB/s per kernel × fan-in × dispatch tier, plus `memcpy` and
+/// STREAM-triad baselines measured on the same working set.
+///
+/// Byte accounting is stream-based: a fold kernel moves
+/// `(fan_in + 1) × bits/8` bytes (k operand reads + 1 output write), a
+/// fused count kernel `fan_in × bits/8` (reads only — that is its whole
+/// point), `memcpy` 2 streams, triad 3. The baselines put an upper bound
+/// on what any word kernel can achieve on this box: a kernel at
+/// memcpy-rate is memory-bound, a kernel well below it is compute-bound
+/// and worth vectorizing harder.
+fn kernel_bandwidth(bits: usize, reps: usize) -> (Vec<BwRow>, f64, f64) {
+    let operands = synthetic_bitmaps(bits, 16, 0xB17);
+    let refs: Vec<&BitVec> = operands.iter().collect();
+    let stream_bytes = (bits / 8) as f64;
+    let gbps = |streams: usize, seconds: f64| streams as f64 * stream_bytes / seconds / 1e9;
+    let inner = inner_iters(bits);
+
+    let mut rows = Vec::new();
+    for dispatch in [KernelDispatch::Scalar, KernelDispatch::Unrolled] {
+        for fan_in in [2usize, 8, 16] {
+            let ops = &refs[..fan_in];
+            // Sink on a single output word: counting the result would add
+            // an unaccounted read pass to every fold measurement.
+            let s = best_of(reps, inner, &mut || {
+                kernels::and_all_with(dispatch, ops).words()[0] as usize
+            });
+            rows.push(BwRow {
+                kernel: "and_all",
+                fan_in,
+                dispatch,
+                seconds: s,
+                gbps: gbps(fan_in + 1, s),
+            });
+            let s = best_of(reps, inner, &mut || {
+                kernels::or_all_with(dispatch, ops).words()[0] as usize
+            });
+            rows.push(BwRow {
+                kernel: "or_all",
+                fan_in,
+                dispatch,
+                seconds: s,
+                gbps: gbps(fan_in + 1, s),
+            });
+            let s = best_of(reps, inner, &mut || {
+                kernels::xor_all_with(dispatch, ops).words()[0] as usize
+            });
+            rows.push(BwRow {
+                kernel: "xor_all",
+                fan_in,
+                dispatch,
+                seconds: s,
+                gbps: gbps(fan_in + 1, s),
+            });
+            let s = best_of(reps, inner, &mut || kernels::count_and_with(dispatch, ops));
+            rows.push(BwRow {
+                kernel: "count_and",
+                fan_in,
+                dispatch,
+                seconds: s,
+                gbps: gbps(fan_in, s),
+            });
+            let s = best_of(reps, inner, &mut || kernels::count_or_with(dispatch, ops));
+            rows.push(BwRow {
+                kernel: "count_or",
+                fan_in,
+                dispatch,
+                seconds: s,
+                gbps: gbps(fan_in, s),
+            });
+        }
+        let s = best_of(reps, inner, &mut || {
+            kernels::and_not_with(dispatch, refs[0], refs[1]).words()[0] as usize
+        });
+        rows.push(BwRow {
+            kernel: "and_not",
+            fan_in: 2,
+            dispatch,
+            seconds: s,
+            gbps: gbps(3, s),
+        });
+    }
+
+    // memcpy baseline: 1 read + 1 write stream.
+    let src = operands[0].words().to_vec();
+    let mut dst = vec![0u64; src.len()];
+    let s = best_of(reps, inner, &mut || {
+        dst.copy_from_slice(&src);
+        dst[0] as usize
+    });
+    let memcpy_gbps = gbps(2, s);
+    // STREAM-triad-shaped baseline: 2 reads + 1 write with one bitwise op
+    // per word — the roofline for every fan-in-2 fold kernel.
+    let b = operands[1].words().to_vec();
+    let c = operands[2].words().to_vec();
+    let s = best_of(reps, inner, &mut || {
+        for i in 0..dst.len() {
+            dst[i] = b[i] ^ (c[i] & 0x5555_5555_5555_5555);
+        }
+        dst[0] as usize
+    });
+    let triad_gbps = gbps(3, s);
+    (rows, memcpy_gbps, triad_gbps)
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = std::env::args().any(|a| a == "--quick" || a == "--smoke");
     let cfg = if quick {
         Config {
             rows: 20_000,
             queries: 32,
-            union_bits: 1 << 16,
+            // Same operand size as the full run: at L1-resident sizes the
+            // fused-vs-materialized comparison measures buffer-setup
+            // overhead instead of the kernels, and the regression gate
+            // below would gate on noise.
+            union_bits: 1 << 20,
             kernel_reps: 20,
+            bandwidth_bits: 1 << 18,
+            bandwidth_reps: 5,
         }
     } else {
         Config {
@@ -115,6 +267,8 @@ fn main() {
             queries: 200,
             union_bits: 1 << 20,
             kernel_reps: 200,
+            bandwidth_bits: 1 << 23,
+            bandwidth_reps: 11,
         }
     };
 
@@ -130,29 +284,30 @@ fn main() {
     let provenance = RunProvenance::capture(*thread_counts.iter().max().unwrap());
     let hw_threads = provenance.hardware_threads;
     let reps = if quick { 2 } else { 3 };
-    // (requested, effective, qps) — effective can be lower than requested
-    // on machines with fewer cores than the sweep asks for.
-    let measured: Vec<(usize, usize, f64)> = thread_counts
+    // (requested, effective, qps, steals) — effective can be lower than
+    // requested on machines with fewer cores than the sweep asks for.
+    let measured: Vec<(usize, usize, f64, usize)> = thread_counts
         .iter()
         .map(|&t| {
-            let (effective, q) = qps(&table, &queries, t, reps);
-            (t, effective, q)
+            let (effective, q, steals) = qps(&table, &queries, t, reps);
+            (t, effective, q, steals)
         })
         .collect();
     let single_qps = measured[0].2;
 
     let mut rows = Vec::new();
-    for &(t, eff, q) in &measured {
+    for &(t, eff, q, steals) in &measured {
         rows.push(vec![
             t.to_string(),
             eff.to_string(),
             f2(q),
             f2(q / single_qps),
+            steals.to_string(),
         ]);
     }
     print_table(
         "batch throughput (queries/sec)",
-        &["requested", "effective", "qps", "speedup"],
+        &["requested", "effective", "qps", "speedup", "steals"],
         &rows,
     );
     println!(
@@ -162,6 +317,7 @@ fn main() {
 
     let (pair_s, fused_s, count_mat_s, count_fused_s) =
         union_times(cfg.union_bits, cfg.kernel_reps);
+    let count_fused_speedup = count_mat_s / count_fused_s;
     print_table(
         "16-way union kernels",
         &["variant", "seconds", "speedup"],
@@ -184,9 +340,42 @@ fn main() {
             vec![
                 "fused count_or".into(),
                 format!("{count_fused_s:.6}"),
-                f2(count_mat_s / count_fused_s),
+                f2(count_fused_speedup),
             ],
         ],
+    );
+    // Fused counting does strictly less work than materialize-then-count
+    // (k−1 buffer passes instead of k plus a cold sweep); anything below
+    // 1.0 is a kernel regression, which this run refuses to record
+    // silently.
+    assert!(
+        count_fused_speedup >= 1.0,
+        "count_fused_speedup regressed below 1.0: {count_fused_speedup:.3} \
+         (fused {count_fused_s:.6}s vs materialized {count_mat_s:.6}s)"
+    );
+
+    let (bw, memcpy_gbps, triad_gbps) = kernel_bandwidth(cfg.bandwidth_bits, cfg.bandwidth_reps);
+    let bw_rows: Vec<Vec<String>> = bw
+        .iter()
+        .map(|r| {
+            vec![
+                r.kernel.to_string(),
+                r.fan_in.to_string(),
+                r.dispatch.name().to_string(),
+                f2(r.gbps),
+                f2(r.gbps / memcpy_gbps),
+            ]
+        })
+        .collect();
+    print_table(
+        "kernel bandwidth (GB/s)",
+        &["kernel", "fan_in", "dispatch", "GB/s", "vs memcpy"],
+        &bw_rows,
+    );
+    println!(
+        "  baselines: memcpy {} GB/s, triad {} GB/s",
+        f2(memcpy_gbps),
+        f2(triad_gbps)
     );
 
     let mut csv = Csv::create(
@@ -197,11 +386,12 @@ fn main() {
             "oversubscribed",
             "qps",
             "speedup",
+            "steals",
         ],
     )
     .expect("csv");
-    for &(t, eff, q) in &measured {
-        csv.row(&[&t, &eff, &(t > eff), &f2(q), &f2(q / single_qps)])
+    for &(t, eff, q, steals) in &measured {
+        csv.row(&[&t, &eff, &(t > eff), &f2(q), &f2(q / single_qps), &steals])
             .expect("row");
     }
     println!("\nCSV: {}", csv.path().display());
@@ -209,12 +399,27 @@ fn main() {
     // Hand-rolled JSON (no serde in the dependency set).
     let threads_json: Vec<String> = measured
         .iter()
-        .map(|(t, eff, q)| {
+        .map(|(t, eff, q, steals)| {
             format!(
                 "    {{\"requested_threads\": {t}, \"effective_threads\": {eff}, \
-                 \"oversubscribed\": {}, \"qps\": {q:.2}, \"speedup\": {:.3}}}",
+                 \"oversubscribed\": {}, \"qps\": {q:.2}, \"speedup\": {:.3}, \
+                 \"steals\": {steals}}}",
                 t > eff,
                 q / single_qps
+            )
+        })
+        .collect();
+    let bw_json: Vec<String> = bw
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{\"kernel\": \"{}\", \"fan_in\": {}, \"dispatch\": \"{}\", \
+                 \"seconds\": {:.6}, \"gbps\": {:.3}}}",
+                r.kernel,
+                r.fan_in,
+                r.dispatch.name(),
+                r.seconds,
+                r.gbps
             )
         })
         .collect();
@@ -225,7 +430,10 @@ fn main() {
          \"bits\": {bits},\n    \"pairwise_seconds\": {pair:.6},\n    \
          \"fused_seconds\": {fused:.6},\n    \"fused_speedup\": {sp:.3},\n    \
          \"count_materialized_seconds\": {cmat:.6},\n    \
-         \"count_fused_seconds\": {cfused:.6},\n    \"count_fused_speedup\": {csp:.3}\n  }}\n}}\n",
+         \"count_fused_seconds\": {cfused:.6},\n    \"count_fused_speedup\": {csp:.3}\n  }},\n  \
+         \"kernel_bandwidth\": {{\n    \"bits\": {bwbits},\n    \
+         \"memcpy_gbps\": {memcpy:.3},\n    \"triad_gbps\": {triad:.3},\n    \
+         \"rows\": [\n{bwrows}\n    ]\n  }}\n}}\n",
         rows = cfg.rows,
         nq = cfg.queries,
         prov = provenance.json_fields(),
@@ -236,7 +444,11 @@ fn main() {
         sp = pair_s / fused_s,
         cmat = count_mat_s,
         cfused = count_fused_s,
-        csp = count_mat_s / count_fused_s,
+        csp = count_fused_speedup,
+        bwbits = cfg.bandwidth_bits,
+        memcpy = memcpy_gbps,
+        triad = triad_gbps,
+        bwrows = bw_json.join(",\n"),
     );
     let json_path = results_dir()
         .parent()

@@ -47,21 +47,16 @@ const OPERANDS: usize = 8;
 /// sweep shows why it was chosen.
 const SEGMENT_SWEEP: [usize; 4] = [1 << 16, DEFAULT_SEGMENT_BITS, 1 << 20, 1 << 22];
 
-/// Deterministic pseudo-random bitmap, ~50% dense, generated a word at a
-/// time (xorshift64) so multi-hundred-MiB operand sets build in
-/// milliseconds. Density is irrelevant to the dense kernels' cost — the
-/// density axis is swept end-to-end, where it sets chain lengths.
+/// One operand of the shared ~50%-dense generator
+/// ([`bindex_bench::synthetic_bitmaps`]) — the same bits
+/// `ext_batch_throughput`'s union and bandwidth sweeps fold, so the two
+/// experiments measure the same workload. Density is irrelevant to the
+/// dense kernels' cost — the density axis is swept end-to-end, where it
+/// sets chain lengths.
 fn random_bitmap(bits: usize, seed: u64) -> BitVec {
-    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-    let words = (0..bits.div_ceil(64))
-        .map(|_| {
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
-            x
-        })
-        .collect();
-    BitVec::from_words(words, bits)
+    bindex_bench::synthetic_bitmaps(bits, 1, seed)
+        .pop()
+        .expect("one bitmap")
 }
 
 /// Best-of-`reps` wall time of `f`, with a sink so the work is not

@@ -23,6 +23,34 @@ use std::time::Instant;
 use bindex::core::eval::{evaluate_in, Algorithm};
 use bindex::core::{BitmapSource, ExecContext};
 use bindex::relation::query::SelectionQuery;
+use bindex::BitVec;
+
+/// Deterministic ~50%-dense pseudo-random operand bitmaps, generated a
+/// word at a time (xorshift64). The one operand generator shared by
+/// `ext_segmented_exec`, `ext_batch_throughput`, and the kernel-bandwidth
+/// sweep — so "the same workload" really is the same bits everywhere,
+/// instead of each experiment seeding its own density. Dense-kernel cost
+/// is density-independent (every word is touched either way); ~50% keeps
+/// popcounts and early-exit checks honest by defeating both all-zero and
+/// all-one shortcuts.
+pub fn synthetic_bitmaps(bits: usize, count: usize, seed: u64) -> Vec<BitVec> {
+    (0..count as u64)
+        .map(|k| {
+            let mut state = seed
+                .wrapping_add(k.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .max(1);
+            let words: Vec<u64> = (0..bindex::bitvec::words_for(bits))
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                })
+                .collect();
+            BitVec::from_words(words, bits)
+        })
+        .collect()
+}
 
 /// Directory experiment CSVs are written to (`results/` at the workspace
 /// root, overridable with `BINDEX_RESULTS`).
@@ -161,15 +189,34 @@ impl RunProvenance {
                  time-sliced, not parallel"
             );
         }
+        if !provenance.scaling_valid() {
+            println!(
+                "warning: single-core box — every multi-thread measurement \
+                 in this run is time-sliced; scaling_valid is false in the \
+                 emitted JSON"
+            );
+        }
         provenance
     }
 
+    /// `false` on a single-core box, where no measurement in the run can
+    /// demonstrate parallel scaling no matter what the rows say.
+    pub fn scaling_valid(&self) -> bool {
+        self.hardware_threads >= 2
+    }
+
     /// The provenance fields as a JSON fragment (no surrounding braces),
-    /// ready to splice into a hand-rolled BENCH JSON object.
+    /// ready to splice into a hand-rolled BENCH JSON object. Includes the
+    /// top-level `scaling_valid` flag so a 1-core CI run can never
+    /// masquerade as a scaling result.
     pub fn json_fields(&self) -> String {
         format!(
-            "\"hardware_threads\": {}, \"requested_threads\": {}, \"oversubscribed\": {}",
-            self.hardware_threads, self.requested_threads, self.oversubscribed
+            "\"hardware_threads\": {}, \"requested_threads\": {}, \
+             \"oversubscribed\": {}, \"scaling_valid\": {}",
+            self.hardware_threads,
+            self.requested_threads,
+            self.oversubscribed,
+            self.scaling_valid()
         )
     }
 }
@@ -239,6 +286,26 @@ mod tests {
         assert!(fields.contains("\"hardware_threads\""));
         assert!(fields.contains("\"requested_threads\""));
         assert!(fields.contains("\"oversubscribed\": true"));
+        assert!(fields.contains("\"scaling_valid\""));
+        assert_eq!(wild.scaling_valid(), wild.hardware_threads >= 2);
+    }
+
+    #[test]
+    fn synthetic_bitmaps_are_deterministic_and_half_dense() {
+        let a = synthetic_bitmaps(100_000, 4, 42);
+        let b = synthetic_bitmaps(100_000, 4, 42);
+        assert_eq!(a, b);
+        for (i, bm) in a.iter().enumerate() {
+            assert_eq!(bm.len(), 100_000);
+            let density = bm.count_ones() as f64 / 100_000.0;
+            assert!((0.45..0.55).contains(&density), "operand {i}: {density}");
+        }
+        // Distinct operands and distinct seeds differ.
+        assert_ne!(a[0], a[1]);
+        assert_ne!(a[0], synthetic_bitmaps(100_000, 1, 43)[0]);
+        // Ragged lengths stay canonical.
+        let odd = synthetic_bitmaps(1001, 1, 7);
+        assert_eq!(odd[0].len(), 1001);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub use bindex_storage as storage;
 
 pub mod stored;
 
-pub use bindex_bitvec::BitVec;
+pub use bindex_bitvec::{BitVec, KernelDispatch};
 pub use bindex_core::{
     Algorithm, Base, BitmapIndex, BitmapSource, BufferSet, Encoding, Error, EvalStats, IndexSpec,
     RecoveryPolicy,

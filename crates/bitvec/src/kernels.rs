@@ -17,8 +17,31 @@
 //! fixed-size stack buffer, without materializing the result bitmap at all
 //! (the "symmetric functions over bitmaps" shape).
 //!
-//! All loops are plain chunked `u64` iteration — no per-bit access — so
-//! the compiler can autovectorize them.
+//! # Dispatch tiers
+//!
+//! Every kernel exists in two implementations selected by
+//! [`KernelDispatch`]:
+//!
+//! * **`Scalar`** — plain chunked `u64` iteration, no explicit widening.
+//!   The reference implementation and guaranteed-available fallback.
+//! * **`Unrolled`** — the inner combine loop runs over fixed-size
+//!   `[u64; LANES]` arrays (u64x8), which the compiler lowers to vector
+//!   loads/stores and vector bitwise ops on any target with SIMD (SSE2,
+//!   AVX2, NEON) without `unsafe` or nightly `std::simd`. The counting
+//!   kernels additionally accumulate popcounts through a 4-way carry-save
+//!   adder (the Harley–Seal shape): only every fourth combined word pays a
+//!   full popcount, the rest fold into `ones`/`twos` carry words.
+//!
+//! The two tiers are **bit-identical by construction**: AND/OR/XOR/ANDNOT
+//! are lane-independent, so any blocking or unrolling of the same operand
+//! walk produces the same words, and the carry-save accumulation is exact
+//! integer arithmetic. `property_kernels_dispatch` proves it over random
+//! operands, ragged tails, and segment views.
+//!
+//! The process-wide tier is chosen once, on first use, from the
+//! `BINDEX_KERNEL` environment variable (`scalar` | `unrolled`, default
+//! `unrolled`); benches and tests can pin it with
+//! [`KernelDispatch::force`] or call the explicit `*_with` entry points.
 //!
 //! # Panics
 //! Every kernel panics on an empty operand list or mismatched operand
@@ -26,14 +49,139 @@
 //! `N`, so a mismatch is a logic error (matching [`BitVec`]'s own binary
 //! operations).
 
+use std::sync::atomic::{AtomicU8, Ordering};
+
 use crate::bitvec::{BitVec, SegmentView};
+
+/// Environment variable selecting the process-wide dispatch tier
+/// (`scalar` | `unrolled`). Read once, on the first kernel call.
+pub const KERNEL_ENV: &str = "BINDEX_KERNEL";
+
+/// Words per SIMD lane group of the unrolled tier: `[u64; 8]` is 512 bits,
+/// one AVX-512 register or two AVX2 / four NEON registers — wide enough
+/// that the compiler vectorizes the fixed-size loop on every common
+/// target, narrow enough that the ragged tail costs at most 7 scalar ops.
+pub const LANES: usize = 8;
 
 /// Words per block: 8 KiB of accumulator, comfortably L1-resident even
 /// with an operand stream being pulled through the cache alongside it.
 const BLOCK_WORDS: usize = 1024;
 
-/// Words per stack buffer used by the fused counting kernels (2 KiB).
-const COUNT_BLOCK_WORDS: usize = 256;
+/// Words per stack buffer used by the fused counting kernels. Matches
+/// [`BLOCK_WORDS`] (8 KiB): the previous 2 KiB buffer re-entered the
+/// per-block setup (operand slicing, loop prologue) 4× as often, which at
+/// 16-way fan-in cost more than the fused popcount saved — the
+/// `count_fused_speedup < 1.0` regression in `BENCH_batch_throughput.json`.
+const COUNT_BLOCK_WORDS: usize = 1024;
+
+/// Which kernel implementation tier runs (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelDispatch {
+    /// Plain chunked `u64` loops — the reference tier, always available.
+    Scalar,
+    /// `[u64; LANES]` array arithmetic plus carry-save popcount
+    /// accumulation — the default tier.
+    Unrolled,
+}
+
+/// The process-wide tier: 0 = undecided, else `code()` of the choice.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+impl KernelDispatch {
+    /// Parses an environment-variable value (case-insensitive, trimmed).
+    pub fn parse(raw: &str) -> Option<Self> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(Self::Scalar),
+            "unrolled" => Some(Self::Unrolled),
+            _ => None,
+        }
+    }
+
+    /// The tier's name as accepted by [`KernelDispatch::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Scalar => "scalar",
+            Self::Unrolled => "unrolled",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            Self::Scalar => 1,
+            Self::Unrolled => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(Self::Scalar),
+            2 => Some(Self::Unrolled),
+            _ => None,
+        }
+    }
+
+    /// The process-wide dispatch tier, decided once: `BINDEX_KERNEL` if
+    /// set and valid (an invalid value warns to stderr rather than
+    /// silently changing the tier), otherwise [`KernelDispatch::Unrolled`].
+    pub fn active() -> Self {
+        if let Some(d) = Self::from_code(ACTIVE.load(Ordering::Relaxed)) {
+            return d;
+        }
+        let chosen = match std::env::var(KERNEL_ENV) {
+            Ok(raw) => Self::parse(&raw).unwrap_or_else(|| {
+                eprintln!(
+                    "warning: {KERNEL_ENV}={raw:?} is not \"scalar\" or \
+                     \"unrolled\"; using the unrolled tier"
+                );
+                Self::Unrolled
+            }),
+            Err(_) => Self::Unrolled,
+        };
+        ACTIVE.store(chosen.code(), Ordering::Relaxed);
+        chosen
+    }
+
+    /// Overrides the process-wide tier (tests and benches that compare
+    /// tiers in one process; production code should set `BINDEX_KERNEL`).
+    pub fn force(self) {
+        ACTIVE.store(self.code(), Ordering::Relaxed);
+    }
+}
+
+/// A word-level binary operation, monomorphized into both dispatch tiers.
+trait WordOp {
+    fn apply(a: u64, b: u64) -> u64;
+}
+
+struct OpAnd;
+struct OpOr;
+struct OpXor;
+struct OpAndNot;
+
+impl WordOp for OpAnd {
+    #[inline(always)]
+    fn apply(a: u64, b: u64) -> u64 {
+        a & b
+    }
+}
+impl WordOp for OpOr {
+    #[inline(always)]
+    fn apply(a: u64, b: u64) -> u64 {
+        a | b
+    }
+}
+impl WordOp for OpXor {
+    #[inline(always)]
+    fn apply(a: u64, b: u64) -> u64 {
+        a ^ b
+    }
+}
+impl WordOp for OpAndNot {
+    #[inline(always)]
+    fn apply(a: u64, b: u64) -> u64 {
+        a & !b
+    }
+}
 
 /// Anything the kernels can fold: a whole [`BitVec`] or a word-aligned
 /// [`SegmentView`] of one. Both are canonically masked, so the fold core
@@ -83,10 +231,166 @@ fn check_operands<T: KernelOperand>(operands: &[T]) -> usize {
     first.len()
 }
 
-/// Folds `operands` into a fresh output vector with `combine`, one block
-/// at a time so the output block stays in L1 while each operand streams
+/// Scalar combine: one word at a time, relying on autovectorization.
+///
+/// `inline(never)` on this and the other per-block combine loops is
+/// deliberate: inlined into large callers they land in arbitrary
+/// codegen-unit contexts where the vectorizer sometimes gives up (measured
+/// ~35% throughput swings between identical instantiations). As
+/// standalone symbols every instantiation compiles to the same vector
+/// loop, and one call per 8 KiB block is free.
+#[inline(never)]
+fn combine_scalar<O: WordOp>(dst: &mut [u64], src: &[u64]) {
+    for (a, &b) in dst.iter_mut().zip(src) {
+        *a = O::apply(*a, b);
+    }
+}
+
+/// Unrolled combine: `[u64; LANES]` groups the compiler lowers to vector
+/// loads, vector bitwise ops, and vector stores; the ragged tail (at most
+/// `LANES − 1` words, only ever in the final block) runs scalar.
+/// `inline(never)`: see [`combine_scalar`].
+#[inline(never)]
+fn combine_unrolled<O: WordOp>(dst: &mut [u64], src: &[u64]) {
+    let n = dst.len().min(src.len());
+    let split = n - n % LANES;
+    let (dst_body, dst_tail) = dst[..n].split_at_mut(split);
+    let (src_body, src_tail) = src[..n].split_at(split);
+    for (dc, sc) in dst_body
+        .chunks_exact_mut(LANES)
+        .zip(src_body.chunks_exact(LANES))
+    {
+        let d: &mut [u64; LANES] = dc.try_into().expect("exact chunk");
+        let s: &[u64; LANES] = sc.try_into().expect("exact chunk");
+        for l in 0..LANES {
+            d[l] = O::apply(d[l], s[l]);
+        }
+    }
+    for (a, &b) in dst_tail.iter_mut().zip(src_tail) {
+        *a = O::apply(*a, b);
+    }
+}
+
+#[inline]
+fn combine<O: WordOp>(dispatch: KernelDispatch, dst: &mut [u64], src: &[u64]) {
+    match dispatch {
+        KernelDispatch::Scalar => combine_scalar::<O>(dst, src),
+        KernelDispatch::Unrolled => combine_unrolled::<O>(dst, src),
+    }
+}
+
+/// `dst[i] = O::apply(a[i], b[i])`: seeds the count buffer from the first
+/// two operands in one pass, where copy-then-combine would take two.
+/// `inline(never)`: see [`combine_scalar`].
+#[inline(never)]
+fn combine2<O: WordOp>(dispatch: KernelDispatch, dst: &mut [u64], a: &[u64], b: &[u64]) {
+    match dispatch {
+        KernelDispatch::Scalar => {
+            for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+                *d = O::apply(x, y);
+            }
+        }
+        KernelDispatch::Unrolled => {
+            let n = dst.len();
+            let split = n - n % LANES;
+            for ((dc, xc), yc) in dst[..split]
+                .chunks_exact_mut(LANES)
+                .zip(a[..split].chunks_exact(LANES))
+                .zip(b[..split].chunks_exact(LANES))
+            {
+                let d: &mut [u64; LANES] = dc.try_into().expect("exact chunk");
+                let x: &[u64; LANES] = xc.try_into().expect("exact chunk");
+                let y: &[u64; LANES] = yc.try_into().expect("exact chunk");
+                for l in 0..LANES {
+                    d[l] = O::apply(x[l], y[l]);
+                }
+            }
+            for ((d, &x), &y) in dst[split..n].iter_mut().zip(&a[split..n]).zip(&b[split..n]) {
+                *d = O::apply(x, y);
+            }
+        }
+    }
+}
+
+/// Fused combine-and-popcount of two word slices, per dispatch tier.
+#[inline]
+fn count2<O: WordOp>(dispatch: KernelDispatch, a: &[u64], b: &[u64]) -> usize {
+    match dispatch {
+        KernelDispatch::Scalar => a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| O::apply(x, y).count_ones() as usize)
+            .sum(),
+        KernelDispatch::Unrolled => csa_count_fused::<O>(a, b),
+    }
+}
+
+/// One carry-save adder step: `(carry, sum)` of three one-bit-per-lane
+/// addends — `sum` holds the low bit of `a + b + c` per bit position,
+/// `carry` the high bit.
+#[inline(always)]
+fn csa(a: u64, b: u64, c: u64) -> (u64, u64) {
+    ((a & b) | ((a ^ b) & c), a ^ b ^ c)
+}
+
+/// Popcount of `O::apply(a[i], b[i])` through a lane-wide 4-way carry-save
+/// adder (the Harley–Seal accumulation shape): the `ones`/`twos` carry
+/// state is a `[u64; LANES]` vector, so each step folds `4 × LANES` words
+/// with pure lane-parallel bitwise ops and only every fourth word pays a
+/// full popcount. A scalar carry would serialize the loop on the
+/// `ones`/`twos` dependency chain; keeping the carries lane-wide lets the
+/// compiler run the chain in vector registers. Exact by construction —
+/// carry-save addition loses no bits — hence bit-identical to the scalar
+/// sweep. Counting a single bitmap reuses this with `OpOr` and `a == b`
+/// (`w | w == w`). `inline(never)`: see [`combine_scalar`].
+#[inline(never)]
+fn csa_count_fused<O: WordOp>(a: &[u64], b: &[u64]) -> usize {
+    const STEP: usize = 4 * LANES;
+    let n = a.len().min(b.len());
+    let split = n - n % STEP;
+    let mut ones = [0u64; LANES];
+    let mut twos = [0u64; LANES];
+    // Per-lane popcount accumulator: folding `f.count_ones()` into one
+    // scalar inside the lane loop would put a horizontal reduction on the
+    // critical path; per-lane sums keep the loop body lane-parallel and
+    // cannot overflow (≤ 64 per step, and callers hand in one
+    // cache-blocked slice at a time).
+    let mut fours = [0u64; LANES];
+    for (ac, bc) in a[..split]
+        .chunks_exact(STEP)
+        .zip(b[..split].chunks_exact(STEP))
+    {
+        let ac: &[u64; STEP] = ac.try_into().expect("exact chunk");
+        let bc: &[u64; STEP] = bc.try_into().expect("exact chunk");
+        for l in 0..LANES {
+            let d0 = O::apply(ac[l], bc[l]);
+            let d1 = O::apply(ac[LANES + l], bc[LANES + l]);
+            let d2 = O::apply(ac[2 * LANES + l], bc[2 * LANES + l]);
+            let d3 = O::apply(ac[3 * LANES + l], bc[3 * LANES + l]);
+            let (t1, o1) = csa(ones[l], d0, d1);
+            let (t2, o2) = csa(o1, d2, d3);
+            let (f, t) = csa(twos[l], t1, t2);
+            ones[l] = o2;
+            twos[l] = t;
+            fours[l] += u64::from(f.count_ones());
+        }
+    }
+    let mut total = 0usize;
+    for l in 0..LANES {
+        total += 4 * fours[l] as usize
+            + 2 * twos[l].count_ones() as usize
+            + ones[l].count_ones() as usize;
+    }
+    for (&x, &y) in a[split..n].iter().zip(&b[split..n]) {
+        total += O::apply(x, y).count_ones() as usize;
+    }
+    total
+}
+
+/// Folds `operands` into a fresh output vector with `O`, one block at a
+/// time so the output block stays in L1 while each operand streams
 /// through exactly once.
-fn fold_blocks<T: KernelOperand>(operands: &[T], combine: impl Fn(&mut u64, u64)) -> BitVec {
+fn fold_blocks<T: KernelOperand, O: WordOp>(operands: &[T], dispatch: KernelDispatch) -> BitVec {
     let len = check_operands(operands);
     let mut words = operands[0].words().to_vec();
     let n_words = words.len();
@@ -95,10 +399,7 @@ fn fold_blocks<T: KernelOperand>(operands: &[T], combine: impl Fn(&mut u64, u64)
         let end = (start + BLOCK_WORDS).min(n_words);
         let dst = &mut words[start..end];
         for op in &operands[1..] {
-            let src = &op.words()[start..end];
-            for (a, &b) in dst.iter_mut().zip(src) {
-                combine(a, b);
-            }
+            combine::<O>(dispatch, dst, &op.words()[start..end]);
         }
         start = end;
     }
@@ -109,17 +410,30 @@ fn fold_blocks<T: KernelOperand>(operands: &[T], combine: impl Fn(&mut u64, u64)
 /// each block of combined words lives only in a stack buffer that is
 /// popcounted and discarded.
 ///
-/// The last operand is never written into the buffer: its combine is fused
-/// with the popcount, so a `k`-operand count makes `k − 1` passes over the
-/// buffer where materialize-then-count makes `k` plus a cold final sweep —
-/// fused counting is strictly less work, never a loss.
-fn count_blocks<T: KernelOperand>(operands: &[T], combine: impl Fn(&mut u64, u64)) -> usize {
+/// The buffer is seeded by [`combine2`] (first two operands in one pass)
+/// and the last operand's combine is fused with the popcount, so a
+/// `k`-operand count makes `k − 2` buffer-writing passes plus one counting
+/// pass where materialize-then-count makes an allocation, `k` passes, and
+/// a cold final sweep — fused counting is strictly less work, never a
+/// loss. One- and two-operand counts skip the buffer entirely and count
+/// straight off the input slices. Under the unrolled tier the counting
+/// pass accumulates through [`csa_count_fused`].
+fn count_blocks<T: KernelOperand, O: WordOp>(operands: &[T], dispatch: KernelDispatch) -> usize {
     check_operands(operands);
     let (last, rest) = operands.split_last().expect("checked non-empty");
-    let popcount = |w: u64| w.count_ones() as usize;
-    let Some((first, mids)) = rest.split_first() else {
-        // Single operand: no combining at all, just a popcount sweep.
-        return last.words().iter().copied().map(popcount).sum();
+    let (first, second, mids) = match rest {
+        [] => {
+            // Single operand: no combining at all, just a popcount sweep
+            // (the unrolled tier reuses the CSA path with `w | w == w`).
+            let words = last.words();
+            return match dispatch {
+                KernelDispatch::Scalar => words.iter().map(|w| w.count_ones() as usize).sum(),
+                KernelDispatch::Unrolled => csa_count_fused::<OpOr>(words, words),
+            };
+        }
+        // Two operands: one fused pass over the inputs, no buffer.
+        [first] => return count2::<O>(dispatch, first.words(), last.words()),
+        [first, second, mids @ ..] => (first, second, mids),
     };
     let n_words = first.words().len();
     let mut buf = [0u64; COUNT_BLOCK_WORDS];
@@ -128,22 +442,16 @@ fn count_blocks<T: KernelOperand>(operands: &[T], combine: impl Fn(&mut u64, u64
     while start < n_words {
         let end = (start + COUNT_BLOCK_WORDS).min(n_words);
         let width = end - start;
-        buf[..width].copy_from_slice(&first.words()[start..end]);
+        combine2::<O>(
+            dispatch,
+            &mut buf[..width],
+            &first.words()[start..end],
+            &second.words()[start..end],
+        );
         for op in mids {
-            let src = &op.words()[start..end];
-            for (a, &b) in buf[..width].iter_mut().zip(src) {
-                combine(a, b);
-            }
+            combine::<O>(dispatch, &mut buf[..width], &op.words()[start..end]);
         }
-        ones += buf[..width]
-            .iter()
-            .zip(&last.words()[start..end])
-            .map(|(&a, &b)| {
-                let mut w = a;
-                combine(&mut w, b);
-                popcount(w)
-            })
-            .sum::<usize>();
+        ones += count2::<O>(dispatch, &buf[..width], &last.words()[start..end]);
         start = end;
     }
     ones
@@ -157,19 +465,37 @@ fn count_blocks<T: KernelOperand>(operands: &[T], combine: impl Fn(&mut u64, u64
 /// execution drives exactly this kernel over cache-sized slices.
 #[must_use]
 pub fn and_all<T: KernelOperand>(operands: &[T]) -> BitVec {
-    fold_blocks(operands, |a, b| *a &= b)
+    and_all_with(KernelDispatch::active(), operands)
+}
+
+/// [`and_all`] pinned to a dispatch tier (benches and property tests).
+#[must_use]
+pub fn and_all_with<T: KernelOperand>(dispatch: KernelDispatch, operands: &[T]) -> BitVec {
+    fold_blocks::<T, OpAnd>(operands, dispatch)
 }
 
 /// OR of all operands in a single pass with one output allocation.
 #[must_use]
 pub fn or_all<T: KernelOperand>(operands: &[T]) -> BitVec {
-    fold_blocks(operands, |a, b| *a |= b)
+    or_all_with(KernelDispatch::active(), operands)
+}
+
+/// [`or_all`] pinned to a dispatch tier.
+#[must_use]
+pub fn or_all_with<T: KernelOperand>(dispatch: KernelDispatch, operands: &[T]) -> BitVec {
+    fold_blocks::<T, OpOr>(operands, dispatch)
 }
 
 /// XOR of all operands in a single pass with one output allocation.
 #[must_use]
 pub fn xor_all<T: KernelOperand>(operands: &[T]) -> BitVec {
-    fold_blocks(operands, |a, b| *a ^= b)
+    xor_all_with(KernelDispatch::active(), operands)
+}
+
+/// [`xor_all`] pinned to a dispatch tier.
+#[must_use]
+pub fn xor_all_with<T: KernelOperand>(dispatch: KernelDispatch, operands: &[T]) -> BitVec {
+    fold_blocks::<T, OpXor>(operands, dispatch)
 }
 
 /// `a ∧ ¬b` with the output sized once — the owned counterpart of
@@ -179,25 +505,49 @@ pub fn xor_all<T: KernelOperand>(operands: &[T]) -> BitVec {
 /// Panics if lengths differ.
 #[must_use]
 pub fn and_not<T: KernelOperand + Copy>(a: T, b: T) -> BitVec {
-    fold_blocks(&[a, b], |x, y| *x &= !y)
+    and_not_with(KernelDispatch::active(), a, b)
+}
+
+/// [`and_not`] pinned to a dispatch tier.
+#[must_use]
+pub fn and_not_with<T: KernelOperand + Copy>(dispatch: KernelDispatch, a: T, b: T) -> BitVec {
+    fold_blocks::<T, OpAndNot>(&[a, b], dispatch)
 }
 
 /// `|operands[0] ∧ operands[1] ∧ …|` without materializing the result.
 #[must_use]
 pub fn count_and<T: KernelOperand>(operands: &[T]) -> usize {
-    count_blocks(operands, |a, b| *a &= b)
+    count_and_with(KernelDispatch::active(), operands)
+}
+
+/// [`count_and`] pinned to a dispatch tier.
+#[must_use]
+pub fn count_and_with<T: KernelOperand>(dispatch: KernelDispatch, operands: &[T]) -> usize {
+    count_blocks::<T, OpAnd>(operands, dispatch)
 }
 
 /// `|operands[0] ∨ operands[1] ∨ …|` without materializing the result.
 #[must_use]
 pub fn count_or<T: KernelOperand>(operands: &[T]) -> usize {
-    count_blocks(operands, |a, b| *a |= b)
+    count_or_with(KernelDispatch::active(), operands)
+}
+
+/// [`count_or`] pinned to a dispatch tier.
+#[must_use]
+pub fn count_or_with<T: KernelOperand>(dispatch: KernelDispatch, operands: &[T]) -> usize {
+    count_blocks::<T, OpOr>(operands, dispatch)
 }
 
 /// `|operands[0] ⊕ operands[1] ⊕ …|` without materializing the result.
 #[must_use]
 pub fn count_xor<T: KernelOperand>(operands: &[T]) -> usize {
-    count_blocks(operands, |a, b| *a ^= b)
+    count_xor_with(KernelDispatch::active(), operands)
+}
+
+/// [`count_xor`] pinned to a dispatch tier.
+#[must_use]
+pub fn count_xor_with<T: KernelOperand>(dispatch: KernelDispatch, operands: &[T]) -> usize {
+    count_blocks::<T, OpXor>(operands, dispatch)
 }
 
 /// `|a ∧ ¬b|` without materializing the difference.
@@ -206,7 +556,13 @@ pub fn count_xor<T: KernelOperand>(operands: &[T]) -> usize {
 /// Panics if lengths differ.
 #[must_use]
 pub fn count_and_not<T: KernelOperand + Copy>(a: T, b: T) -> usize {
-    count_blocks(&[a, b], |x, y| *x &= !y)
+    count_and_not_with(KernelDispatch::active(), a, b)
+}
+
+/// [`count_and_not`] pinned to a dispatch tier.
+#[must_use]
+pub fn count_and_not_with<T: KernelOperand + Copy>(dispatch: KernelDispatch, a: T, b: T) -> usize {
+    count_blocks::<T, OpAndNot>(&[a, b], dispatch)
 }
 
 #[cfg(test)]
@@ -231,27 +587,29 @@ mod tests {
     }
 
     #[test]
-    fn kary_matches_pairwise_fold() {
-        // Lengths straddling block and word boundaries, including the
-        // tail-word cases len % 64 ∈ {0, 1, 63}.
+    fn kary_matches_pairwise_fold_on_both_tiers() {
+        // Lengths straddling block, lane, and word boundaries, including
+        // the tail-word cases len % 64 ∈ {0, 1, 63} and ragged lane tails.
         for len in [1usize, 63, 64, 65, 127, 128, 8 * 1024, 64 * 1024 + 63] {
             let owned: Vec<BitVec> = (0..9).map(|k| sample(len, k as u64)).collect();
             let ops: Vec<&BitVec> = owned.iter().collect();
-            assert_eq!(
-                and_all(&ops),
-                pairwise(&ops, |a, b| a.and_assign(b)),
-                "and len {len}"
-            );
-            assert_eq!(
-                or_all(&ops),
-                pairwise(&ops, |a, b| a.or_assign(b)),
-                "or len {len}"
-            );
-            assert_eq!(
-                xor_all(&ops),
-                pairwise(&ops, |a, b| a.xor_assign(b)),
-                "xor len {len}"
-            );
+            for dispatch in [KernelDispatch::Scalar, KernelDispatch::Unrolled] {
+                assert_eq!(
+                    and_all_with(dispatch, &ops),
+                    pairwise(&ops, |a, b| a.and_assign(b)),
+                    "and len {len} {dispatch:?}"
+                );
+                assert_eq!(
+                    or_all_with(dispatch, &ops),
+                    pairwise(&ops, |a, b| a.or_assign(b)),
+                    "or len {len} {dispatch:?}"
+                );
+                assert_eq!(
+                    xor_all_with(dispatch, &ops),
+                    pairwise(&ops, |a, b| a.xor_assign(b)),
+                    "xor len {len} {dispatch:?}"
+                );
+            }
         }
     }
 
@@ -261,17 +619,34 @@ mod tests {
         assert_eq!(and_all(&[&v]), v);
         assert_eq!(or_all(&[&v]), v);
         assert_eq!(xor_all(&[&v]), v);
-        assert_eq!(count_and(&[&v]), v.count_ones());
+        for dispatch in [KernelDispatch::Scalar, KernelDispatch::Unrolled] {
+            assert_eq!(count_and_with(dispatch, &[&v]), v.count_ones());
+        }
     }
 
     #[test]
-    fn fused_counts_match_materialized() {
+    fn fused_counts_match_materialized_on_both_tiers() {
         for len in [65usize, 4096, 16 * 1024 + 1] {
             let owned: Vec<BitVec> = (0..5).map(|k| sample(len, 17 + k as u64)).collect();
             let ops: Vec<&BitVec> = owned.iter().collect();
-            assert_eq!(count_and(&ops), and_all(&ops).count_ones(), "len {len}");
-            assert_eq!(count_or(&ops), or_all(&ops).count_ones(), "len {len}");
-            assert_eq!(count_xor(&ops), xor_all(&ops).count_ones(), "len {len}");
+            let (and, or, xor) = (
+                and_all(&ops).count_ones(),
+                or_all(&ops).count_ones(),
+                xor_all(&ops).count_ones(),
+            );
+            for dispatch in [KernelDispatch::Scalar, KernelDispatch::Unrolled] {
+                assert_eq!(
+                    count_and_with(dispatch, &ops),
+                    and,
+                    "len {len} {dispatch:?}"
+                );
+                assert_eq!(count_or_with(dispatch, &ops), or, "len {len} {dispatch:?}");
+                assert_eq!(
+                    count_xor_with(dispatch, &ops),
+                    xor,
+                    "len {len} {dispatch:?}"
+                );
+            }
         }
     }
 
@@ -281,8 +656,10 @@ mod tests {
         let b = sample(777, 2);
         let mut want = a.clone();
         want.and_not_assign(&b);
-        assert_eq!(and_not(&a, &b), want);
-        assert_eq!(count_and_not(&a, &b), want.count_ones());
+        for dispatch in [KernelDispatch::Scalar, KernelDispatch::Unrolled] {
+            assert_eq!(and_not_with(dispatch, &a, &b), want);
+            assert_eq!(count_and_not_with(dispatch, &a, &b), want.count_ones());
+        }
     }
 
     #[test]
@@ -351,5 +728,64 @@ mod tests {
         let a = BitVec::zeros(10);
         let b = BitVec::zeros(11);
         let _ = or_all(&[&a, &b]);
+    }
+
+    #[test]
+    fn csa_count_is_exact() {
+        // Lengths that hit the 4×LANES CSA body, its scalar tail, the
+        // empty case, and multi-step bodies with ragged remainders.
+        for n_words in [0usize, 1, 2, 31, 32, 33, 63, 64, 65, 127, 128, 200] {
+            let a: Vec<u64> = (0..n_words as u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i << 3))
+                .collect();
+            let b: Vec<u64> = (0..n_words as u64)
+                .map(|i| i.wrapping_mul(0xC2B2_AE3D_27D4_EB4F).rotate_left(17))
+                .collect();
+            let want_or: usize = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| (x | y).count_ones() as usize)
+                .sum();
+            assert_eq!(csa_count_fused::<OpOr>(&a, &b), want_or, "{n_words} words");
+            let want_and: usize = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| (x & y).count_ones() as usize)
+                .sum();
+            assert_eq!(
+                csa_count_fused::<OpAnd>(&a, &b),
+                want_and,
+                "{n_words} words"
+            );
+            // Single-bitmap counting path: OpOr with both slices aliased.
+            let want_self: usize = a.iter().map(|w| w.count_ones() as usize).sum();
+            assert_eq!(
+                csa_count_fused::<OpOr>(&a, &a),
+                want_self,
+                "{n_words} words"
+            );
+        }
+        let full = vec![u64::MAX; 37];
+        assert_eq!(csa_count_fused::<OpOr>(&full, &full), 37 * 64);
+        let empty = vec![0u64; 41];
+        assert_eq!(csa_count_fused::<OpAnd>(&empty, &empty), 0);
+    }
+
+    #[test]
+    fn dispatch_parse_and_names() {
+        assert_eq!(
+            KernelDispatch::parse("scalar"),
+            Some(KernelDispatch::Scalar)
+        );
+        assert_eq!(
+            KernelDispatch::parse(" UNROLLED "),
+            Some(KernelDispatch::Unrolled)
+        );
+        assert_eq!(KernelDispatch::parse("avx9000"), None);
+        assert_eq!(KernelDispatch::parse(""), None);
+        assert_eq!(KernelDispatch::Scalar.name(), "scalar");
+        assert_eq!(KernelDispatch::Unrolled.name(), "unrolled");
+        // active() always resolves to a concrete tier and is stable.
+        assert_eq!(KernelDispatch::active(), KernelDispatch::active());
     }
 }

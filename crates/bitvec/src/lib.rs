@@ -30,6 +30,7 @@ pub mod kernels;
 pub mod rank;
 
 pub use crate::bitvec::{BitVec, OnesIter, SegmentView};
+pub use crate::kernels::{KernelDispatch, KERNEL_ENV, LANES};
 
 /// Number of bits in one storage word.
 pub const WORD_BITS: usize = 64;

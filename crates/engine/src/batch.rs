@@ -9,8 +9,13 @@
 //! fetch cache in [`ExecContext`], the owned [`Table`], and the
 //! `&self`-based `SharedIndexReader` of the storage crate buy: worker
 //! threads borrow one table (or build one [`BitmapSource`] each from a
-//! shared factory) and pull query indices off a shared atomic counter
-//! until the workload drains.
+//! shared factory) and drain tasks from a work-stealing [`StealQueue`]:
+//! each worker owns a deque seeded with a contiguous block of the
+//! workload and steals half of a victim's remaining tail when its own
+//! runs dry, so a skewed mix (one huge query among many cheap ones)
+//! rebalances instead of convoying behind whichever worker drew the
+//! expensive block. Workers that find nothing to steal spin briefly, then
+//! park with a timeout until the workload drains.
 //!
 //! Independence cuts the other way too: one query hitting a corrupt
 //! bitmap — or a bug that panics — is no reason to throw away the other
@@ -26,9 +31,11 @@
 //! baselines measure the sequential path itself rather than a one-worker
 //! thread pool.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use bindex_bitvec::BitVec;
 use bindex_core::error::{Error, Result};
@@ -215,6 +222,11 @@ pub struct WorkloadReport<T> {
     pub outcomes: Vec<QueryOutcome<T>>,
     /// Outcome tallies.
     pub health: BatchHealth,
+    /// Successful work-steal operations during the run: how often an idle
+    /// worker took half of another's remaining tasks. Zero on the
+    /// sequential path and on perfectly balanced workloads; greater than
+    /// zero is the signature of a skewed mix being rebalanced.
+    pub steals: usize,
 }
 
 impl<T> WorkloadReport<T> {
@@ -279,6 +291,19 @@ impl BatchOptions {
     /// Runs inline on the calling thread.
     pub fn single_threaded() -> Self {
         Self::with_threads(1)
+    }
+
+    /// Runs with exactly `threads` workers, skipping the
+    /// available-parallelism clamp — deliberate oversubscription. For
+    /// tests and harnesses that must exercise the multi-worker machinery
+    /// (work stealing, morsel assembly, panic isolation) on boxes with
+    /// fewer cores than workers; production callers should prefer
+    /// [`BatchOptions::with_threads`].
+    pub fn with_threads_unclamped(threads: usize) -> Self {
+        let mut options = Self::with_threads(1);
+        options.requested_threads = threads.max(1);
+        options.threads = threads.max(1);
+        options
     }
 
     /// Reads the worker count from the `BINDEX_THREADS` environment
@@ -380,6 +405,127 @@ impl BatchOptions {
     }
 }
 
+/// Failed claim attempts a worker spins through (with
+/// [`std::hint::spin_loop`]) before backing off to
+/// [`std::thread::park_timeout`]. Spinning covers the common
+/// milliseconds-long gap while a steal is in flight; parking caps the
+/// cost of waiting out one long straggler task.
+const IDLE_SPINS: u32 = 64;
+
+/// Park interval while idle: long enough not to busy-wait, short enough
+/// that the last worker to finish never strands the others noticeably.
+const PARK_INTERVAL: Duration = Duration::from_micros(100);
+
+/// Work-stealing task queue: per-worker deques of task indices, seeded
+/// with contiguous blocks of the workload in index order.
+///
+/// A worker pops its own deque from the front (preserving input order, so
+/// early tasks — which seed caches and op accounting — run early) and, on
+/// empty, steals the back *half* of the first non-empty victim's deque.
+/// Steal-half rather than steal-one amortizes the lock traffic: a worker
+/// that went idle takes enough work to stay busy, instead of coming back
+/// for every task. Tasks are never re-enqueued, so `remaining` (tasks not
+/// yet finished) is the drain condition; the brief window where stolen
+/// tasks are in a thief's hands but not yet re-dequed is covered by the
+/// claim-side spin.
+struct StealQueue {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+    /// Tasks claimed but whose execution has not finished, plus tasks
+    /// still queued. Zero ⇔ the workload is fully drained.
+    remaining: AtomicUsize,
+    /// Successful steal operations (each moves half a victim's tail).
+    steals: AtomicUsize,
+}
+
+impl StealQueue {
+    /// Distributes `0..n_tasks` over `workers` deques in contiguous
+    /// blocks. Contiguity is deliberate: it keeps each worker streaming
+    /// adjacent tasks (locality), and it means a skewed workload lands on
+    /// one deque — exactly the shape stealing exists to fix.
+    fn new(n_tasks: usize, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let chunk = n_tasks.div_ceil(workers).max(1);
+        let deques = (0..workers)
+            .map(|w| {
+                let lo = (w * chunk).min(n_tasks);
+                let hi = ((w + 1) * chunk).min(n_tasks);
+                Mutex::new((lo..hi).collect::<VecDeque<usize>>())
+            })
+            .collect();
+        Self {
+            deques,
+            remaining: AtomicUsize::new(n_tasks),
+            steals: AtomicUsize::new(0),
+        }
+    }
+
+    /// Next task for worker `w`: own deque first, else steal. `None`
+    /// means nothing was claimable *right now* — not that the workload is
+    /// done (see [`StealQueue::drained`]).
+    fn claim(&self, w: usize) -> Option<usize> {
+        if let Some(i) = self.deques[w].lock().unwrap().pop_front() {
+            return Some(i);
+        }
+        let n = self.deques.len();
+        for v in (w + 1..n).chain(0..w) {
+            let mut stolen = {
+                let mut victim = self.deques[v].lock().unwrap();
+                let len = victim.len();
+                if len == 0 {
+                    continue;
+                }
+                victim.split_off(len - len.div_ceil(2))
+            };
+            self.steals.fetch_add(1, Ordering::Relaxed);
+            let first = stolen.pop_front().expect("stole at least one task");
+            if !stolen.is_empty() {
+                self.deques[w].lock().unwrap().append(&mut stolen);
+            }
+            return Some(first);
+        }
+        None
+    }
+
+    /// Marks one claimed task as executed.
+    fn finish_task(&self) {
+        self.remaining.fetch_sub(1, Ordering::Release);
+    }
+
+    /// `true` once every task has finished executing.
+    fn drained(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    /// Successful steals over the queue's lifetime.
+    fn steals(&self) -> usize {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Runs `work(i)` for every task the queue yields to worker `w`,
+    /// with idle-spin → park backoff between failed claims, returning
+    /// when the whole workload has drained.
+    fn drain(&self, w: usize, mut work: impl FnMut(usize)) {
+        let mut idle = 0u32;
+        loop {
+            if let Some(i) = self.claim(w) {
+                idle = 0;
+                work(i);
+                self.finish_task();
+                continue;
+            }
+            if self.drained() {
+                return;
+            }
+            idle += 1;
+            if idle < IDLE_SPINS {
+                std::hint::spin_loop();
+            } else {
+                std::thread::park_timeout(PARK_INTERVAL);
+            }
+        }
+    }
+}
+
 /// Renders a panic payload for [`Error::WorkerPanic`].
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -394,8 +540,9 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// The resilient workload driver behind [`execute_workload`] and
 /// [`evaluate_selection_workload`]. Runs `step(state, i)` for every
 /// `i in 0..n` across the configured workers, keeping outcomes in input
-/// order. Workers claim indices from a shared atomic counter, so long
-/// queries don't stall the queue behind them.
+/// order. Workers claim indices from a work-stealing [`StealQueue`], so
+/// long queries don't stall the queue behind them and a skewed block of
+/// expensive queries gets redistributed.
 ///
 /// Each worker owns one `init()`-built state (a table handle, a bitmap
 /// source). Every step runs under [`catch_unwind`]: a panic becomes that
@@ -452,23 +599,18 @@ where
             }
         }
     };
-    let next = AtomicUsize::new(0);
-    let worker = |out: &mut Vec<(usize, QueryOutcome<T>)>| {
+    let queue = StealQueue::new(n, threads);
+    let worker = |w: usize, out: &mut Vec<(usize, QueryOutcome<T>)>| {
         let mut state = init();
-        loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= n {
-                return;
-            }
-            out.push((i, run_one(&mut state, i)));
-        }
+        queue.drain(w, |i| out.push((i, run_one(&mut state, i))));
     };
 
     let mut collected: Vec<(usize, QueryOutcome<T>)> = Vec::new();
+    let mut steals = 0usize;
     if threads <= 1 {
-        // Straight-line sequential path: no shared claim counter, no
-        // thread scope — a single-worker run measures the sequential
-        // algorithm, not a one-worker thread pool.
+        // Straight-line sequential path: no shared queue, no thread
+        // scope — a single-worker run measures the sequential algorithm,
+        // not a one-worker thread pool.
         let mut state = init();
         for i in 0..n {
             collected.push((i, run_one(&mut state, i)));
@@ -476,10 +618,11 @@ where
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(|| {
+                .map(|w| {
+                    let worker = &worker;
+                    scope.spawn(move || {
                         let mut out = Vec::new();
-                        worker(&mut out);
+                        worker(w, &mut out);
                         out
                     })
                 })
@@ -493,6 +636,7 @@ where
                 }
             }
         });
+        steals = queue.steals();
     }
 
     let mut slots: Vec<Option<QueryOutcome<T>>> = std::iter::repeat_with(|| None).take(n).collect();
@@ -510,7 +654,11 @@ where
         })
         .collect();
     let health = BatchHealth::tally(&outcomes);
-    WorkloadReport { outcomes, health }
+    WorkloadReport {
+        outcomes,
+        health,
+        steals,
+    }
 }
 
 /// Executes a workload of conjunctive queries against `table`, choosing
@@ -606,10 +754,15 @@ struct QueryCell {
 }
 
 /// The segmented workload driver: every query is cut into at most
-/// `threads` contiguous segment-aligned morsels, all morsels go onto one
-/// shared queue, and workers drain it — so a workload of one huge query
-/// and a workload of many small ones saturate the same pool
-/// (inter-query and intra-query parallelism are the same mechanism).
+/// `threads` contiguous segment-aligned morsels, the morsels (in
+/// query-major order) seed a work-stealing [`StealQueue`], and workers
+/// drain it — so a workload of one huge query and a workload of many
+/// small ones saturate the same pool (inter-query and intra-query
+/// parallelism are the same mechanism). Because distribution is
+/// contiguous, one pathologically expensive query initially lands on one
+/// worker's deque — and gets stolen away morsel by morsel as the others
+/// run dry, which is what keeps wall-clock near the longest single query
+/// rather than the longest initial block.
 fn evaluate_segmented_workload<S, F>(
     make_source: F,
     queries: &[SelectionQuery],
@@ -626,6 +779,7 @@ where
         return WorkloadReport {
             outcomes: Vec::new(),
             health: BatchHealth::default(),
+            steals: 0,
         };
     }
     let n_rows = make_source().n_rows();
@@ -662,14 +816,12 @@ where
     }
 
     let failures = AtomicUsize::new(0);
-    let next = AtomicUsize::new(0);
-    let worker = |out: &mut Vec<(usize, QueryOutcome<(BitVec, EvalStats)>)>| {
+    let workers = threads.min(morsels.len()).max(1);
+    let queue = StealQueue::new(morsels.len(), workers);
+    let worker = |w: usize, out: &mut Vec<(usize, QueryOutcome<(BitVec, EvalStats)>)>| {
         let mut source = make_source();
-        loop {
-            let mi = next.fetch_add(1, Ordering::Relaxed);
-            let Some(&morsel) = morsels.get(mi) else {
-                return;
-            };
+        queue.drain(w, |mi| {
+            let morsel = morsels[mi];
             let cell = &cells[morsel.query];
             // Deadline / failure-cap gate, decided once per query on its
             // first claimed morsel.
@@ -784,19 +936,20 @@ where
                 };
                 out.push((morsel.query, outcome));
             }
-        }
+        });
     };
 
     let mut collected: Vec<(usize, QueryOutcome<(BitVec, EvalStats)>)> = Vec::new();
     if threads <= 1 {
-        worker(&mut collected);
+        worker(0, &mut collected);
     } else {
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads.min(morsels.len()))
-                .map(|_| {
-                    scope.spawn(|| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let worker = &worker;
+                    scope.spawn(move || {
                         let mut out = Vec::new();
-                        worker(&mut out);
+                        worker(w, &mut out);
                         out
                     })
                 })
@@ -808,6 +961,7 @@ where
             }
         });
     }
+    let steals = queue.steals();
 
     let mut slots: Vec<Option<QueryOutcome<(BitVec, EvalStats)>>> =
         std::iter::repeat_with(|| None).take(n).collect();
@@ -825,7 +979,11 @@ where
         })
         .collect();
     let health = BatchHealth::tally(&outcomes);
-    WorkloadReport { outcomes, health }
+    WorkloadReport {
+        outcomes,
+        health,
+        steals,
+    }
 }
 
 /// Transitions a query to `DEAD`, charging the workload failure counter.
@@ -1167,6 +1325,65 @@ mod tests {
         let past = Deadline::at(Instant::now());
         assert!(past.expired());
         assert_eq!(past.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn steal_queue_semantics() {
+        // Contiguous block distribution: 10 tasks over 3 workers.
+        let q = StealQueue::new(10, 3);
+        assert!(!q.drained());
+        // Worker 0 owns 0..4 and pops them in order.
+        for want in 0..4 {
+            assert_eq!(q.claim(0), Some(want));
+            q.finish_task();
+        }
+        // Its deque is dry: the next claim steals half of worker 1's
+        // remaining tail {4,5,6,7} → takes {6,7}, runs 6 first.
+        assert_eq!(q.claim(0), Some(6));
+        q.finish_task();
+        assert_eq!(q.steals(), 1);
+        assert_eq!(q.claim(0), Some(7));
+        q.finish_task();
+        // Worker 1 still holds its unstolen front.
+        assert_eq!(q.claim(1), Some(4));
+        q.finish_task();
+        // Drain the rest from anywhere; claim returns None only when
+        // every deque is empty.
+        let mut rest = Vec::new();
+        while let Some(i) = q.claim(2) {
+            rest.push(i);
+            q.finish_task();
+        }
+        rest.sort_unstable();
+        assert_eq!(rest, vec![5, 8, 9]);
+        assert!(q.drained());
+        assert_eq!(q.claim(0), None);
+    }
+
+    #[test]
+    fn steal_queue_single_worker_never_steals() {
+        let q = StealQueue::new(5, 1);
+        let mut got = Vec::new();
+        q.drain(0, |i| got.push(i));
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.steals(), 0);
+        assert!(q.drained());
+    }
+
+    #[test]
+    fn unclamped_threads_skip_the_parallelism_cap() {
+        let o = BatchOptions::with_threads_unclamped(6);
+        assert_eq!(o.threads(), 6);
+        assert_eq!(o.requested_threads(), 6);
+        assert!(!o.oversubscribed());
+        // And the workload still runs correctly with more workers than
+        // cores (the whole point on a small CI box).
+        let t = table();
+        let qs = workload();
+        let report = execute_workload(&t, &qs, &o);
+        assert!(report.health.all_ok(), "{:?}", report.health);
+        let single = execute_workload(&t, &qs, &BatchOptions::single_threaded());
+        assert_eq!(report.outcomes, single.outcomes);
     }
 
     #[test]

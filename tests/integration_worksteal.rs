@@ -1,0 +1,164 @@
+//! Work-stealing scheduler integration: one pathologically long query
+//! among 63 cheap ones must not starve the rest of the workload. The
+//! queue seeds per-worker deques with contiguous blocks, so the skewed
+//! block lands on one worker — the others must drain their own blocks and
+//! then *steal* the victim's tail (steal counter > 0), keeping wall-clock
+//! near the longest single query instead of the longest initial block,
+//! and the answers bit-identical to the sequential run.
+//!
+//! Runs with `BatchOptions::with_threads_unclamped`, so the multi-worker
+//! machinery is exercised even on a single-core CI box (where
+//! `with_threads` would clamp everything to one worker and the test would
+//! be vacuous).
+
+use std::time::{Duration, Instant};
+
+use bindex::core::error::Result;
+use bindex::core::eval::Algorithm;
+use bindex::engine::batch::{evaluate_selection_workload, BatchOptions};
+use bindex::relation::gen;
+use bindex::relation::query::{Op, SelectionQuery};
+use bindex::{Base, BitVec, BitmapIndex, BitmapSource, Encoding, IndexSpec};
+
+/// Wraps a real source, sleeping on every fetch of one designated slot —
+/// the "pathologically long query" is the one whose predicate needs that
+/// slot. Everything else passes straight through, so answers stay exact.
+struct SlowSource<S: BitmapSource> {
+    inner: S,
+    slow_slot: (usize, usize),
+    delay: Duration,
+}
+
+impl<S: BitmapSource> BitmapSource for SlowSource<S> {
+    fn spec(&self) -> &IndexSpec {
+        self.inner.spec()
+    }
+    fn n_rows(&self) -> usize {
+        self.inner.n_rows()
+    }
+    fn try_fetch(&mut self, comp: usize, slot: usize) -> Result<BitVec> {
+        if (comp, slot) == self.slow_slot {
+            std::thread::sleep(self.delay);
+        }
+        self.inner.try_fetch(comp, slot)
+    }
+    fn try_fetch_nn(&mut self) -> Result<Option<BitVec>> {
+        self.inner.try_fetch_nn()
+    }
+}
+
+const CARD: u32 = 64;
+const DELAY: Duration = Duration::from_millis(25);
+
+fn index() -> BitmapIndex {
+    let col = gen::uniform(8192, CARD, 77);
+    BitmapIndex::build(
+        &col,
+        IndexSpec::new(Base::single(CARD).unwrap(), Encoding::Equality),
+    )
+    .unwrap()
+}
+
+/// 1 slow + 63 cheap queries: `Eq(0)` touches the slow slot, the rest
+/// don't.
+fn workload() -> Vec<SelectionQuery> {
+    (0..CARD).map(|v| SelectionQuery::new(Op::Eq, v)).collect()
+}
+
+fn slow_source(idx: &BitmapIndex) -> SlowSource<impl BitmapSource + '_> {
+    // Components are numbered 1-based (paper convention): the single
+    // component of `Base::single` is comp 1, and `Eq(0)` fetches its
+    // slot 0.
+    SlowSource {
+        inner: idx.source(),
+        slow_slot: (1, 0),
+        delay: DELAY,
+    }
+}
+
+#[test]
+fn skewed_workload_triggers_stealing_on_the_query_queue() {
+    let idx = index();
+    let queries = workload();
+    let sequential = evaluate_selection_workload(
+        || slow_source(&idx),
+        &queries,
+        Algorithm::Auto,
+        &BatchOptions::single_threaded(),
+    );
+    assert!(sequential.health.all_ok(), "{:?}", sequential.health);
+    assert_eq!(sequential.steals, 0, "sequential path never steals");
+
+    // Query 0 (the slow one) sits at the head of worker 0's contiguous
+    // block of 16; workers 1..4 drain their own cheap blocks and must
+    // steal worker 0's remainder while it sleeps in the fetch.
+    let options = BatchOptions::with_threads_unclamped(4);
+    let start = Instant::now();
+    let parallel =
+        evaluate_selection_workload(|| slow_source(&idx), &queries, Algorithm::Auto, &options);
+    let elapsed = start.elapsed();
+    assert!(parallel.health.all_ok(), "{:?}", parallel.health);
+    assert!(
+        parallel.steals > 0,
+        "no steals: worker 0's block convoyed behind the slow query"
+    );
+    // Wall-clock sanity: the slow query costs one DELAY; everything else
+    // is microseconds. A broken idle/park loop (workers parking forever,
+    // or the drain condition never firing) would blow far past this very
+    // generous bound even on a time-sliced single-core box.
+    assert!(
+        elapsed < DELAY * 10 + Duration::from_secs(5),
+        "workload took {elapsed:?} — workers starved"
+    );
+    // Stealing must not change a single answer.
+    for (i, (s, p)) in sequential
+        .outcomes
+        .iter()
+        .zip(&parallel.outcomes)
+        .enumerate()
+    {
+        assert_eq!(s, p, "query {i}");
+    }
+}
+
+#[test]
+fn skewed_workload_triggers_stealing_on_the_morsel_queue() {
+    let idx = index();
+    let queries = workload();
+    let sequential = evaluate_selection_workload(
+        || slow_source(&idx),
+        &queries,
+        Algorithm::Auto,
+        &BatchOptions::single_threaded().with_segment_bits(512),
+    );
+    assert!(sequential.health.all_ok(), "{:?}", sequential.health);
+
+    // Segmented path: 8192 rows / 512-bit segments = 16 segments, cut
+    // into 4 morsels per query at 4 workers. Query 0's four morsels each
+    // re-fetch the slow slot (windowed fetches are per-morsel), so its
+    // block pins worker 0 while the other workers go dry and steal.
+    let options = BatchOptions::with_threads_unclamped(4).with_segment_bits(512);
+    let start = Instant::now();
+    let parallel =
+        evaluate_selection_workload(|| slow_source(&idx), &queries, Algorithm::Auto, &options);
+    let elapsed = start.elapsed();
+    assert!(parallel.health.all_ok(), "{:?}", parallel.health);
+    assert!(
+        parallel.steals > 0,
+        "no steals: morsel queue convoyed behind the slow query"
+    );
+    assert!(
+        elapsed < DELAY * 20 + Duration::from_secs(5),
+        "workload took {elapsed:?} — workers starved"
+    );
+    for (i, (s, p)) in sequential
+        .outcomes
+        .iter()
+        .zip(&parallel.outcomes)
+        .enumerate()
+    {
+        let (sf, _) = s.result().expect("sequential answered");
+        let (pf, _) = p.result().expect("parallel answered");
+        assert_eq!(sf, pf, "foundset query {i}");
+    }
+}

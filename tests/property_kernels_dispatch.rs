@@ -1,0 +1,251 @@
+//! Property suite for the kernel dispatch tiers: the `Scalar` reference
+//! implementation and the `Unrolled` `[u64; LANES]` + carry-save tier
+//! must be **bit-identical** — same result bitmaps, same fused counts,
+//! and same `EvalStats` op accounting — across random operand lengths
+//! (including non-multiple-of-LANES word tails), empty and all-ones
+//! operands, and `SegmentView` operands.
+//!
+//! CI runs this binary under both `BINDEX_KERNEL=scalar` and
+//! `BINDEX_KERNEL=unrolled` (the `kernel-matrix` job), so the
+//! default-dispatch path itself is exercised under each tier;
+//! `active_tier_honors_env_and_force` additionally checks the env wiring
+//! from inside the process. Everything else pins tiers explicitly through
+//! the `*_with` entry points, which are safe against the process-global
+//! dispatch being forced concurrently.
+
+use bindex::bitvec::kernels;
+use bindex::core::eval::{evaluate_in, evaluate_segmented_in, Algorithm};
+use bindex::relation::query::full_space;
+use bindex::relation::{gen, Rng};
+use bindex::{Base, BitVec, BitmapIndex, Encoding, IndexSpec, KernelDispatch};
+
+const SCALAR: KernelDispatch = KernelDispatch::Scalar;
+const UNROLLED: KernelDispatch = KernelDispatch::Unrolled;
+
+fn random_bitvec(rng: &mut Rng, len: usize) -> BitVec {
+    BitVec::from_fn(len, |_| rng.below_u32(2) == 1)
+}
+
+/// Operand lengths chosen to make the unrolled tier's tail handling
+/// sweat: word-exact, lane-exact (LANES·64 bits), one-off-lane, ragged
+/// word tails, and sizes straddling the 1024-word block boundary.
+fn lengths(rng: &mut Rng) -> Vec<usize> {
+    let lane_bits = bindex::bitvec::LANES * 64;
+    let mut out = vec![
+        1,
+        63,
+        64,
+        65,
+        lane_bits - 64,
+        lane_bits,
+        lane_bits + 1,
+        lane_bits + 63,
+        3 * lane_bits + 17,
+        1024 * 64,     // exactly one kernel block
+        1024 * 64 + 9, // block + ragged tail
+    ];
+    for _ in 0..4 {
+        out.push(rng.range_usize(1, 100_000));
+    }
+    out
+}
+
+#[test]
+fn fold_kernels_bit_identical_across_tiers() {
+    let mut rng = Rng::seed_from_u64(0xD15_9A7C);
+    for len in lengths(&mut rng) {
+        for fan_in in [1usize, 2, 3, 7, 16] {
+            let owned: Vec<BitVec> = (0..fan_in).map(|_| random_bitvec(&mut rng, len)).collect();
+            let ops: Vec<&BitVec> = owned.iter().collect();
+            let label = format!("len {len} fan_in {fan_in}");
+            assert_eq!(
+                kernels::and_all_with(SCALAR, &ops),
+                kernels::and_all_with(UNROLLED, &ops),
+                "and {label}"
+            );
+            assert_eq!(
+                kernels::or_all_with(SCALAR, &ops),
+                kernels::or_all_with(UNROLLED, &ops),
+                "or {label}"
+            );
+            assert_eq!(
+                kernels::xor_all_with(SCALAR, &ops),
+                kernels::xor_all_with(UNROLLED, &ops),
+                "xor {label}"
+            );
+            assert_eq!(
+                kernels::count_and_with(SCALAR, &ops),
+                kernels::count_and_with(UNROLLED, &ops),
+                "count_and {label}"
+            );
+            assert_eq!(
+                kernels::count_or_with(SCALAR, &ops),
+                kernels::count_or_with(UNROLLED, &ops),
+                "count_or {label}"
+            );
+            assert_eq!(
+                kernels::count_xor_with(SCALAR, &ops),
+                kernels::count_xor_with(UNROLLED, &ops),
+                "count_xor {label}"
+            );
+            // And both tiers agree with the definitional pairwise fold.
+            let mut acc = owned[0].clone();
+            for op in &owned[1..] {
+                acc.or_assign(op);
+            }
+            assert_eq!(kernels::or_all_with(UNROLLED, &ops), acc, "{label}");
+            assert_eq!(
+                kernels::count_or_with(UNROLLED, &ops),
+                acc.count_ones(),
+                "{label}"
+            );
+        }
+        let a = random_bitvec(&mut rng, len);
+        let b = random_bitvec(&mut rng, len);
+        assert_eq!(
+            kernels::and_not_with(SCALAR, &a, &b),
+            kernels::and_not_with(UNROLLED, &a, &b),
+            "and_not len {len}"
+        );
+        assert_eq!(
+            kernels::count_and_not_with(SCALAR, &a, &b),
+            kernels::count_and_not_with(UNROLLED, &a, &b),
+            "count_and_not len {len}"
+        );
+    }
+}
+
+#[test]
+fn edge_operands_bit_identical_across_tiers() {
+    // Empty (zero-length), all-zeros, and all-ones operands at tail
+    // lengths where the canonical-form mask matters.
+    for len in [0usize, 1, 64, 65, 512 + 7] {
+        let zeros = BitVec::zeros(len);
+        let ones = BitVec::ones(len);
+        for ops in [
+            vec![&zeros, &zeros],
+            vec![&ones, &ones],
+            vec![&zeros, &ones, &zeros],
+            vec![&ones, &zeros, &ones, &ones],
+        ] {
+            assert_eq!(
+                kernels::or_all_with(SCALAR, &ops),
+                kernels::or_all_with(UNROLLED, &ops),
+                "or len {len}"
+            );
+            assert_eq!(
+                kernels::xor_all_with(SCALAR, &ops),
+                kernels::xor_all_with(UNROLLED, &ops),
+                "xor len {len}"
+            );
+            assert_eq!(
+                kernels::count_and_with(SCALAR, &ops),
+                kernels::count_and_with(UNROLLED, &ops),
+                "count len {len}"
+            );
+        }
+        // All-ones results must stay canonically masked under both tiers.
+        if len > 0 {
+            let o = kernels::or_all_with(UNROLLED, &[&ones, &ones]);
+            assert_eq!(o.count_ones(), len);
+            assert_eq!(o, ones);
+        }
+    }
+}
+
+#[test]
+fn segment_views_bit_identical_across_tiers() {
+    let mut rng = Rng::seed_from_u64(0x5E6);
+    let len = 64 * 1024 + 37;
+    let owned: Vec<BitVec> = (0..6).map(|_| random_bitvec(&mut rng, len)).collect();
+    // Word-aligned windows including ragged final ones.
+    for (lo, hi) in [(0usize, 4096), (4096, 8192 + 64), (63 * 1024, len)] {
+        let views: Vec<_> = owned.iter().map(|b| b.view_range(lo, hi)).collect();
+        assert_eq!(
+            kernels::and_all_with(SCALAR, &views),
+            kernels::and_all_with(UNROLLED, &views),
+            "and view {lo}..{hi}"
+        );
+        assert_eq!(
+            kernels::or_all_with(SCALAR, &views),
+            kernels::or_all_with(UNROLLED, &views),
+            "or view {lo}..{hi}"
+        );
+        assert_eq!(
+            kernels::count_or_with(SCALAR, &views),
+            kernels::count_or_with(UNROLLED, &views),
+            "count view {lo}..{hi}"
+        );
+        assert_eq!(
+            kernels::and_not_with(SCALAR, views[0], views[1]),
+            kernels::and_not_with(UNROLLED, views[0], views[1]),
+            "and_not view {lo}..{hi}"
+        );
+        // Views and their materialized copies agree under the unrolled
+        // tier (the view word-slicing path is tier-independent).
+        let mats: Vec<BitVec> = views.iter().map(|v| v.to_bitvec()).collect();
+        let mat_refs: Vec<&BitVec> = mats.iter().collect();
+        assert_eq!(
+            kernels::or_all_with(UNROLLED, &views),
+            kernels::or_all_with(UNROLLED, &mat_refs),
+            "view vs materialized {lo}..{hi}"
+        );
+    }
+}
+
+/// Full-evaluator bit-identity: foundsets **and** `EvalStats` op counts
+/// must not move with the dispatch tier, for whole-bitmap and segmented
+/// execution alike. This is the one test that touches the process-global
+/// dispatch ([`KernelDispatch::force`]); the env-wiring check lives here
+/// too so the global is only mutated from a single test.
+#[test]
+fn eval_stats_and_foundsets_identical_across_tiers() {
+    // The process-wide tier must honor BINDEX_KERNEL when it is set and
+    // valid (the CI kernel-matrix runs this binary under both values).
+    let initial = KernelDispatch::active();
+    if let Ok(raw) = std::env::var(kernels::KERNEL_ENV) {
+        if let Some(want) = KernelDispatch::parse(&raw) {
+            assert_eq!(
+                initial,
+                want,
+                "active tier must follow {}={raw}",
+                kernels::KERNEL_ENV
+            );
+        }
+    }
+
+    let col = gen::uniform(3000, 36, 5);
+    let mut per_tier = Vec::new();
+    for dispatch in [SCALAR, UNROLLED] {
+        dispatch.force();
+        let mut runs = Vec::new();
+        for encoding in [Encoding::Range, Encoding::Equality, Encoding::Interval] {
+            let idx = BitmapIndex::build(
+                &col,
+                IndexSpec::new(Base::from_msb(&[6, 6]).unwrap(), encoding),
+            )
+            .unwrap();
+            for q in full_space(36) {
+                let mut source = idx.source();
+                let mut ctx = bindex::core::ExecContext::new(&mut source);
+                let found = evaluate_in(&mut ctx, q, Algorithm::Auto).unwrap();
+                let stats = ctx.take_stats();
+                let seg_found = evaluate_segmented_in(&mut ctx, q, Algorithm::Auto, 512).unwrap();
+                let seg_stats = ctx.take_stats();
+                runs.push((q, found, stats, seg_found, seg_stats));
+            }
+        }
+        per_tier.push(runs);
+    }
+    initial.force(); // restore whatever the environment chose
+
+    let (scalar_runs, unrolled_runs) = (&per_tier[0], &per_tier[1]);
+    assert_eq!(scalar_runs.len(), unrolled_runs.len());
+    for (s, u) in scalar_runs.iter().zip(unrolled_runs) {
+        assert_eq!(s.0, u.0);
+        assert_eq!(s.1, u.1, "whole foundset {}", s.0);
+        assert_eq!(s.2, u.2, "whole EvalStats {}", s.0);
+        assert_eq!(s.3, u.3, "segmented foundset {}", s.0);
+        assert_eq!(s.4, u.4, "segmented EvalStats {}", s.0);
+    }
+}
