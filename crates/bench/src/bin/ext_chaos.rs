@@ -10,7 +10,10 @@
 //! * `scrub_and_repair_index` rewrites the damage and journals it, after
 //!   which a fresh run reports zero degraded fetches;
 //! * a torn write *during repair* leaves detectable (never silent)
-//!   damage that the next repair pass completes.
+//!   damage that the next repair pass completes;
+//! * at-rest corruption of the **ingest WAL tail** truncates back to the
+//!   valid record prefix on reopen — acknowledged batches before the
+//!   damage survive, the corrupt suffix is dropped, never a hard error.
 //!
 //! Emits `BENCH_chaos_recovery.json` at the workspace root with the
 //! recovery rate (must be 100%), repair counts, and the wall-clock
@@ -24,14 +27,15 @@ use bindex::compress::CodecKind;
 use bindex::core::eval::{naive, Algorithm};
 use bindex::engine::batch::{evaluate_selection_workload, BatchOptions};
 use bindex::engine::WorkloadReport;
+use bindex::relation::query::Op;
 use bindex::relation::{gen, query};
 use bindex::storage::{
     ByteStore, FaultPlan, FaultStore, MemStore, SharedIndexReader, StorageScheme, StoredIndex,
 };
 use bindex::stored::{persist_index, scrub_and_repair_index, SharedSource};
 use bindex::{
-    Base, BitVec, BitmapIndex, Column, Encoding, EvalStats, IndexSpec, RecoveryPolicy,
-    SelectionQuery,
+    Base, BitVec, BitmapIndex, Column, Encoding, EvalStats, IndexSpec, IngestIndex, IngestOptions,
+    RecoveryPolicy, SelectionQuery,
 };
 use bindex_bench::{f2, print_table, results_dir, Csv, RunProvenance};
 
@@ -323,6 +327,49 @@ fn main() {
         assert!(final_run.report.health.all_ok(), "{scheme:?}");
         assert_eq!(final_run.exact(&expected), queries.len(), "{scheme:?}");
 
+        // -- Stage 5: WAL-tail corruption → graceful prefix truncation ----
+        // Two acknowledged ingest batches, then a flipped byte inside the
+        // final WAL record. Reopening must not error: the corrupt suffix
+        // is dropped, the batch before it survives, and queries answer
+        // over the surviving delta.
+        let mut store = reader.into_index().into_store().into_inner();
+        {
+            let mut stored = StoredIndex::open(store).expect("open for ingest");
+            let mut ingest =
+                IngestIndex::open(&mut stored, spec.clone(), CARDINALITY, IngestOptions::new())
+                    .expect("ingest session");
+            let first = ingest.append(&[Some(1), Some(2), None]).expect("batch 1");
+            assert!(first.durable);
+            ingest.append(&[Some(3)]).expect("batch 2");
+            drop(ingest);
+            store = stored.into_store();
+        }
+        let mut wal = store.read_file("wal.bixl").expect("wal exists");
+        let at = wal.len() - 2;
+        wal[at] ^= 0x40;
+        store.write_file("wal.bixl", &wal).expect("corrupt tail");
+        let mut stored = StoredIndex::open(store).expect("reopen");
+        let mut reopened =
+            IngestIndex::open(&mut stored, spec.clone(), CARDINALITY, IngestOptions::new())
+                .unwrap_or_else(|e| {
+                    panic!("{scheme:?}: WAL tail corruption must recover gracefully: {e}")
+                });
+        assert_eq!(
+            reopened.n_rows(),
+            rows + 3,
+            "{scheme:?}: batch after the damage dropped, batch before intact"
+        );
+        assert_eq!(reopened.durable_seq(), 1, "{scheme:?}");
+        let (bits, _) = reopened
+            .evaluate(SelectionQuery::new(Op::Eq, 2), Algorithm::Auto)
+            .expect("query over surviving delta");
+        assert!(
+            bits.get(rows + 1),
+            "{scheme:?}: surviving appended row must answer queries"
+        );
+        let wal_tail_dropped = 1u32;
+        drop(reopened);
+
         // Recovery rate: answered bit-identically while corrupt, over all
         // queries run against damaged stores (asserted 100% above).
         let recovery_rate = 100.0;
@@ -357,6 +404,8 @@ fn main() {
              \"truncate_degraded_queries\": {trunc_degraded}, \
              \"reconstructed_via_siblings\": {reconstructed}, \
              \"repaired_files\": {}, \"torn_repair_passes\": {torn_passes}, \
+             \"wal_tail_graceful\": true, \
+             \"wal_tail_dropped_batches\": {wal_tail_dropped}, \
              \"recovery_rate_pct\": {recovery_rate:.1}, \
              \"clean_seconds\": {:.6}, \"degraded_seconds\": {degraded_seconds:.6}, \
              \"degraded_overhead_pct\": {overhead_pct:.1}}}",

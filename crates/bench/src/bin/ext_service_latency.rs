@@ -70,6 +70,14 @@ impl ByteStore for SlowStore {
     fn file_names(&self) -> std::io::Result<Vec<String>> {
         self.inner.file_names()
     }
+
+    fn append_file(&mut self, name: &str, data: &[u8]) -> std::io::Result<()> {
+        self.inner.append_file(name, data)
+    }
+
+    fn remove_file(&mut self, name: &str) -> std::io::Result<()> {
+        self.inner.remove_file(name)
+    }
 }
 
 #[derive(Debug, Default, Clone)]

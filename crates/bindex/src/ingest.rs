@@ -1,0 +1,599 @@
+//! Crash-consistent streaming ingest: a WAL-backed delta segment in
+//! front of a [`StoredIndex`], with atomic compaction.
+//!
+//! An [`IngestIndex`] absorbs append and delete batches into an
+//! in-memory delta (uncompressed equality/range bitmaps plus a
+//! deleted-rows mask) while logging every batch to a CRC32-framed
+//! write-ahead log ([`bindex_storage::wal`]) *before* applying it. A
+//! batch is **acknowledged** ([`IngestAck::durable`]) only once its
+//! record is appended *and* fsynced, so an acknowledged batch survives
+//! any crash: reopening replays the WAL's valid prefix and reconstructs
+//! the exact delta state. Fsyncs can be batched (group commit) with
+//! [`IngestOptions::with_fsync_interval`] / `BINDEX_WAL_FSYNC_MS`,
+//! trading bounded staleness of the acknowledgement for throughput —
+//! never correctness: an unsynced batch is simply not yet acknowledged.
+//!
+//! Queries merge base ⊕ delta through the ordinary evaluation machinery:
+//! [`IngestIndex::overlay`] snapshots the delta as a
+//! [`DeltaOverlay`] for [`ExecContext::with_overlay`] or
+//! `BatchOptions::with_overlay`, leaving all five evaluators bit-exact
+//! (deleted rows are treated as nulls).
+//!
+//! [`IngestIndex::compact`] re-encodes base ⊕ delta into a fresh
+//! storage generation via [`StoredIndex::install_generation`]: new
+//! files first, then one atomic manifest swap as the commit point, then
+//! best-effort cleanup. A crash at *any* byte of compaction leaves
+//! either the old generation (WAL intact, delta replayed on reopen) or
+//! the new one (WAL covered by `wal_applied`, replay skips it) — never
+//! a torn mix. `BINDEX_DELTA_MAX_ROWS` bounds the delta and triggers
+//! compaction automatically from [`IngestIndex::commit`].
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bindex_bitvec::BitVec;
+use bindex_core::eval::evaluate_in;
+use bindex_core::{Algorithm, BitmapIndex, DeltaOverlay, Error, EvalStats, ExecContext, IndexSpec};
+use bindex_engine::envcfg;
+use bindex_relation::query::SelectionQuery;
+use bindex_relation::Column;
+use bindex_storage::wal::{self, WalOp};
+use bindex_storage::{ByteStore, StoredIndex};
+
+use crate::stored::{storage_error, StorageSource};
+
+/// Environment variable: group-commit fsync interval in milliseconds.
+/// Unset means fsync on every commit (every ack is immediate); a
+/// positive value batches fsyncs, so commits inside the window come back
+/// with [`IngestAck::durable`] `false` until the next sync.
+pub const WAL_FSYNC_MS_ENV: &str = "BINDEX_WAL_FSYNC_MS";
+
+/// Environment variable: delta-segment row cap. When a commit pushes the
+/// delta past this many appended rows, [`IngestIndex::commit`] runs an
+/// automatic [`IngestIndex::compact`]. Unset means compaction is manual.
+pub const DELTA_MAX_ROWS_ENV: &str = "BINDEX_DELTA_MAX_ROWS";
+
+/// Tuning knobs for an [`IngestIndex`].
+#[derive(Debug, Clone, Default)]
+pub struct IngestOptions {
+    fsync_interval: Option<Duration>,
+    delta_max_rows: Option<usize>,
+}
+
+impl IngestOptions {
+    /// Defaults: fsync every commit, no automatic compaction.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads `BINDEX_WAL_FSYNC_MS` and `BINDEX_DELTA_MAX_ROWS` — with a
+    /// warning to stderr, via [`envcfg::parse_env`], when either is set
+    /// to something unusable, rather than silently ignoring it.
+    pub fn from_env() -> Self {
+        Self {
+            fsync_interval: envcfg::parse_env(
+                WAL_FSYNC_MS_ENV,
+                "a positive integer (milliseconds)",
+                envcfg::positive_u64,
+            )
+            .map(Duration::from_millis),
+            delta_max_rows: envcfg::parse_env(
+                DELTA_MAX_ROWS_ENV,
+                "a positive integer",
+                envcfg::positive_usize,
+            ),
+        }
+    }
+
+    /// Sets the group-commit window; `None` fsyncs every commit.
+    pub fn with_fsync_interval(mut self, interval: Option<Duration>) -> Self {
+        self.fsync_interval = interval;
+        self
+    }
+
+    /// Sets the delta row cap that triggers automatic compaction; `None`
+    /// leaves compaction manual.
+    pub fn with_delta_max_rows(mut self, max: Option<usize>) -> Self {
+        self.delta_max_rows = max;
+        self
+    }
+
+    /// The group-commit window, if any.
+    pub fn fsync_interval(&self) -> Option<Duration> {
+        self.fsync_interval
+    }
+
+    /// The automatic-compaction row cap, if any.
+    pub fn delta_max_rows(&self) -> Option<usize> {
+        self.delta_max_rows
+    }
+}
+
+/// What [`IngestIndex::commit`] returns for a logged batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestAck {
+    /// The batch's WAL sequence number.
+    pub seq: u64,
+    /// `true` once the batch's record is fsynced — the durability
+    /// acknowledgement. Under group commit a recent batch may come back
+    /// `false`; it becomes durable at the next sync ([`IngestIndex::flush`]
+    /// forces one).
+    pub durable: bool,
+    /// The new storage generation, when this commit tripped the
+    /// `BINDEX_DELTA_MAX_ROWS` cap and compacted.
+    pub compacted: Option<u64>,
+}
+
+/// A [`StoredIndex`] with a crash-consistent append path: WAL-logged
+/// delta segment, overlay queries, atomic compaction.
+///
+/// Borrows the stored index for the session's lifetime, so an owner that
+/// must keep serving reads between sessions (e.g. `bindex-server`'s
+/// `SharedIndexReader`) can open one, commit, compact, and drop it
+/// without giving up the index.
+pub struct IngestIndex<'a, S: ByteStore> {
+    stored: &'a mut StoredIndex<S>,
+    spec: IndexSpec,
+    cardinality: u32,
+    options: IngestOptions,
+    /// Sequence number the next committed batch gets.
+    next_seq: u64,
+    /// Highest fsync-acknowledged sequence number.
+    durable_seq: u64,
+    /// Rows covered by the stored base generation.
+    base_rows: usize,
+    /// Appended delta rows in commit order (`None` = null).
+    delta_values: Vec<Option<u32>>,
+    /// Deleted rows over the full logical range (base + delta).
+    deleted: BitVec,
+    /// Set when an append failed partway: the log may carry a torn tail
+    /// that must be truncated (atomically) before the next append.
+    wal_dirty: bool,
+    last_sync: Option<Instant>,
+    overlay_cache: Option<Arc<DeltaOverlay>>,
+}
+
+impl<'a, S: ByteStore> IngestIndex<'a, S> {
+    /// Opens a stored index for ingest, replaying the write-ahead log.
+    ///
+    /// `spec` must describe the stored layout (checked against the
+    /// manifest) and cover `cardinality`, the attribute's value range.
+    /// Records the manifest already covers (`seq <= wal_applied`) are
+    /// skipped; a torn WAL tail is truncated away through the atomic
+    /// write path. A WAL with a corrupt *header* is a hard error —
+    /// acknowledged batches may be lost, which must not be silent.
+    pub fn open(
+        stored: &'a mut StoredIndex<S>,
+        spec: IndexSpec,
+        cardinality: u32,
+        options: IngestOptions,
+    ) -> Result<Self, Error> {
+        spec.check_covers(cardinality)?;
+        let expect: Vec<u32> = (1..=spec.n_components())
+            .map(|i| spec.stored_in_component(i))
+            .collect();
+        if stored.meta().bitmaps_per_component != expect {
+            return Err(Error::CorruptIndex(format!(
+                "stored layout does not match the index spec: store holds {:?} bitmaps per \
+                 component, spec expects {:?}",
+                stored.meta().bitmaps_per_component,
+                expect
+            )));
+        }
+        let base_rows = stored.meta().n_rows;
+        let wal_applied = stored.meta().wal_applied;
+        let bytes = match stored.store().read_file(wal::WAL_FILE) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(Error::Storage(e.to_string())),
+        };
+        let replayed = wal::replay(&bytes).map_err(storage_error)?;
+        let mut index = Self {
+            stored,
+            spec,
+            cardinality,
+            options,
+            next_seq: wal_applied + 1,
+            durable_seq: wal_applied,
+            base_rows,
+            delta_values: Vec::new(),
+            deleted: BitVec::zeros(base_rows),
+            wal_dirty: false,
+            last_sync: None,
+            overlay_cache: None,
+        };
+        for record in &replayed.records {
+            if record.seq <= wal_applied {
+                continue;
+            }
+            index.validate(&record.op)?;
+            index.apply(&record.op);
+            // Everything replayed from disk survived at least one fsync
+            // or a clean shutdown; treat it as acknowledged.
+            index.next_seq = record.seq + 1;
+            index.durable_seq = record.seq;
+        }
+        if replayed.truncated {
+            // Drop the torn tail on disk too — atomically (tmp + rename),
+            // so a crash mid-truncation never eats valid records.
+            let keep = &bytes[..replayed.valid_bytes as usize];
+            let image = if keep.is_empty() {
+                wal::wal_header()
+            } else {
+                keep.to_vec()
+            };
+            index
+                .stored
+                .store_mut()
+                .write_file(wal::WAL_FILE, &image)
+                .map_err(|e| Error::Storage(e.to_string()))?;
+        }
+        Ok(index)
+    }
+
+    /// Commits one mutation batch: validates it, appends its WAL record,
+    /// fsyncs (or defers the fsync under group commit), applies it to
+    /// the in-memory delta, and — when the delta trips the configured
+    /// row cap — compacts.
+    ///
+    /// On a failed WAL append nothing is applied in memory and the batch
+    /// is **not** acknowledged; after a crash, reopening may or may not
+    /// observe it (both are consistent states). When only the *fsync*
+    /// fails the batch is applied in memory but still unacknowledged —
+    /// the same contract, since the in-memory state is the post-batch
+    /// snapshot and a reopen lands on pre or post. When the error comes
+    /// from the automatic compaction, the batch's record was already
+    /// durably logged, so reopening *will* observe it.
+    pub fn commit(&mut self, op: WalOp) -> Result<IngestAck, Error> {
+        self.validate(&op)?;
+        if self.wal_dirty {
+            self.repair_wal_tail()?;
+        }
+        let seq = self.next_seq;
+        let record = wal::encode_record(seq, &op);
+        if self.stored.store().file_size(wal::WAL_FILE).is_err() {
+            // First commit against a store created before the WAL existed:
+            // seed the header so replay finds a well-formed log. A failure
+            // can leave a torn header; mark the log dirty so the next
+            // commit rewrites it before appending anything.
+            if let Err(e) = self
+                .stored
+                .store_mut()
+                .append_file(wal::WAL_FILE, &wal::wal_header())
+            {
+                self.wal_dirty = true;
+                return Err(Error::Storage(e.to_string()));
+            }
+        }
+        if let Err(e) = self.stored.store_mut().append_file(wal::WAL_FILE, &record) {
+            // The log may now end in a torn record; truncate before any
+            // further append so a retry's record isn't hidden behind
+            // garbage at replay.
+            self.wal_dirty = true;
+            return Err(Error::Storage(e.to_string()));
+        }
+        self.next_seq = seq + 1;
+        self.apply(&op);
+        let durable = self.maybe_sync(seq)?;
+        let compacted = match self.options.delta_max_rows {
+            Some(cap) if self.delta_values.len() >= cap => Some(self.compact()?),
+            _ => None,
+        };
+        Ok(IngestAck {
+            seq,
+            durable: durable || compacted.is_some(),
+            compacted,
+        })
+    }
+
+    /// Appends a batch of rows (`None` = null row). Convenience wrapper
+    /// over [`IngestIndex::commit`].
+    pub fn append(&mut self, values: &[Option<u32>]) -> Result<IngestAck, Error> {
+        self.commit(WalOp::Append {
+            values: values.to_vec(),
+        })
+    }
+
+    /// Deletes a batch of rows by absolute row id. Deleting an
+    /// already-deleted row is a no-op. Convenience wrapper over
+    /// [`IngestIndex::commit`].
+    pub fn delete(&mut self, rows: &[u64]) -> Result<IngestAck, Error> {
+        self.commit(WalOp::Delete {
+            rows: rows.to_vec(),
+        })
+    }
+
+    /// Forces an fsync of any batches the group-commit window is still
+    /// holding; returns the highest acknowledged sequence number.
+    pub fn flush(&mut self) -> Result<u64, Error> {
+        if self.durable_seq + 1 < self.next_seq {
+            self.stored
+                .store_mut()
+                .sync_file(wal::WAL_FILE)
+                .map_err(|e| Error::Storage(e.to_string()))?;
+            self.last_sync = Some(Instant::now());
+            self.durable_seq = self.next_seq - 1;
+        }
+        Ok(self.durable_seq)
+    }
+
+    /// Re-encodes base ⊕ delta into a fresh storage generation and
+    /// resets the delta and the WAL. The commit point is a single atomic
+    /// manifest swap inside [`StoredIndex::install_generation`]: a crash
+    /// before it leaves the old generation (the WAL replays the delta on
+    /// reopen), a crash after it leaves the new one (the WAL is covered
+    /// by `wal_applied` and replay skips it). Returns the new generation
+    /// number.
+    pub fn compact(&mut self) -> Result<u64, Error> {
+        let wal_applied = self.next_seq - 1;
+        let delta = self.delta_index()?;
+        let delta_components = delta.as_ref().map(BitmapIndex::components);
+        let mut components = Vec::with_capacity(self.spec.n_components());
+        for comp in 1..=self.spec.n_components() {
+            let n_slots = self.spec.stored_in_component(comp) as usize;
+            let mut slots = Vec::with_capacity(n_slots);
+            for slot in 0..n_slots {
+                let mut bm = self.stored.read_bitmap(comp, slot).map_err(storage_error)?;
+                if let Some(dc) = delta_components {
+                    bm.extend_from(&dc[comp - 1][slot]);
+                }
+                bm.and_not_assign(&self.deleted);
+                slots.push(bm);
+            }
+            components.push(slots);
+        }
+        let base_nn = self.stored.read_nn().map_err(storage_error)?;
+        let delta_nn = delta.as_ref().and_then(|d| d.nn().cloned());
+        let added = self.delta_values.len();
+        let nn = if base_nn.is_none() && delta_nn.is_none() && self.deleted.none() {
+            None
+        } else {
+            let mut nn = base_nn.unwrap_or_else(|| BitVec::ones(self.base_rows));
+            nn.extend_from(&delta_nn.unwrap_or_else(|| BitVec::ones(added)));
+            nn.and_not_assign(&self.deleted);
+            Some(nn)
+        };
+        let generation = self
+            .stored
+            .install_generation(&components, nn.as_ref(), wal_applied)
+            .map_err(storage_error)?;
+        self.base_rows += added;
+        self.delta_values.clear();
+        self.deleted = BitVec::zeros(self.base_rows);
+        self.overlay_cache = None;
+        // Every applied batch is now durable in the base files.
+        self.durable_seq = wal_applied;
+        Ok(generation)
+    }
+
+    /// Snapshots the delta as a [`DeltaOverlay`] for query evaluation
+    /// (cached until the next mutation). A freshly compacted or untouched
+    /// index yields a quiesced overlay, which attach points drop.
+    pub fn overlay(&mut self) -> Result<Arc<DeltaOverlay>, Error> {
+        if let Some(o) = &self.overlay_cache {
+            return Ok(Arc::clone(o));
+        }
+        let overlay = match self.delta_index()? {
+            Some(delta) => DeltaOverlay::from_index(self.base_rows, &delta, self.deleted.clone())?,
+            None => {
+                // Deletes only (or nothing): empty delta bitmaps, shaped to
+                // the spec so slot lookups still resolve.
+                let slots: Vec<Vec<BitVec>> = (1..=self.spec.n_components())
+                    .map(|c| vec![BitVec::new(); self.spec.stored_in_component(c) as usize])
+                    .collect();
+                DeltaOverlay::new(self.base_rows, slots, None, self.deleted.clone())?
+            }
+        };
+        let overlay = Arc::new(overlay);
+        self.overlay_cache = Some(Arc::clone(&overlay));
+        Ok(overlay)
+    }
+
+    /// Evaluates one selection query over base ⊕ delta.
+    pub fn evaluate(
+        &mut self,
+        query: SelectionQuery,
+        algorithm: Algorithm,
+    ) -> Result<(BitVec, EvalStats), Error> {
+        let overlay = self.overlay()?;
+        let base_nn = self.stored.read_nn().map_err(storage_error)?;
+        let mut source = StorageSource::try_new(&mut *self.stored, self.spec.clone())?;
+        if let Some(nn) = base_nn {
+            source = source.with_nn(nn);
+        }
+        let mut ctx = ExecContext::new(&mut source).with_overlay(Some(overlay));
+        let found = evaluate_in(&mut ctx, query, algorithm)?;
+        Ok((found, ctx.take_stats()))
+    }
+
+    /// Total logical rows: stored base plus appended delta (deleted rows
+    /// keep their row ids and stay counted).
+    pub fn n_rows(&self) -> usize {
+        self.base_rows + self.delta_values.len()
+    }
+
+    /// Rows in the not-yet-compacted delta segment.
+    pub fn delta_rows(&self) -> usize {
+        self.delta_values.len()
+    }
+
+    /// Rows currently marked deleted.
+    pub fn deleted_rows(&self) -> usize {
+        self.deleted.count_ones()
+    }
+
+    /// Highest fsync-acknowledged WAL sequence number.
+    pub fn durable_seq(&self) -> u64 {
+        self.durable_seq
+    }
+
+    /// Sequence number the next committed batch will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The underlying stored index.
+    pub fn stored(&self) -> &StoredIndex<S> {
+        self.stored
+    }
+
+    /// Checks a batch against the current logical state without touching
+    /// anything: append values must be within the attribute's
+    /// cardinality, delete row ids within the logical row range.
+    fn validate(&self, op: &WalOp) -> Result<(), Error> {
+        match op {
+            WalOp::Append { values } => {
+                for v in values.iter().flatten() {
+                    if *v >= self.cardinality {
+                        return Err(Error::ValueOutOfRange {
+                            value: *v,
+                            cardinality: self.cardinality,
+                        });
+                    }
+                }
+            }
+            WalOp::Delete { rows } => {
+                for &r in rows {
+                    if usize::try_from(r).map_or(true, |r| r >= self.n_rows()) {
+                        return Err(Error::CorruptIndex(format!(
+                            "delete targets row {r}, index holds {} rows",
+                            self.n_rows()
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a validated batch to the in-memory delta.
+    fn apply(&mut self, op: &WalOp) {
+        match op {
+            WalOp::Append { values } => {
+                self.delta_values.extend(values.iter().copied());
+                for _ in values {
+                    self.deleted.push(false);
+                }
+            }
+            WalOp::Delete { rows } => {
+                for &r in rows {
+                    self.deleted.set(r as usize, true);
+                }
+            }
+        }
+        self.overlay_cache = None;
+    }
+
+    /// Builds the delta rows into a [`BitmapIndex`] under the base's
+    /// spec; `None` when no rows have been appended.
+    fn delta_index(&self) -> Result<Option<BitmapIndex>, Error> {
+        if self.delta_values.is_empty() {
+            return Ok(None);
+        }
+        let mut values = Vec::with_capacity(self.delta_values.len());
+        let mut nulls = BitVec::zeros(self.delta_values.len());
+        for (i, v) in self.delta_values.iter().enumerate() {
+            values.push(v.unwrap_or(0));
+            if v.is_none() {
+                nulls.set(i, true);
+            }
+        }
+        let column = Column::new(values, self.cardinality);
+        BitmapIndex::build_with_nulls(&column, &nulls, self.spec.clone()).map(Some)
+    }
+
+    /// Fsyncs the WAL now, or defers inside an open group-commit window.
+    /// Returns whether `seq` is acknowledged.
+    fn maybe_sync(&mut self, seq: u64) -> Result<bool, Error> {
+        let due = match (self.options.fsync_interval, self.last_sync) {
+            (None, _) | (Some(_), None) => true,
+            (Some(window), Some(last)) => last.elapsed() >= window,
+        };
+        if due {
+            self.stored
+                .store_mut()
+                .sync_file(wal::WAL_FILE)
+                .map_err(|e| Error::Storage(e.to_string()))?;
+            self.last_sync = Some(Instant::now());
+            self.durable_seq = seq;
+        }
+        Ok(self.durable_seq >= seq)
+    }
+
+    /// After a failed append: rewrites the WAL's valid prefix through the
+    /// atomic write path, dropping whatever torn bytes the failure left.
+    fn repair_wal_tail(&mut self) -> Result<(), Error> {
+        let bytes = match self.stored.store().read_file(wal::WAL_FILE) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(Error::Storage(e.to_string())),
+        };
+        let replayed = wal::replay(&bytes).map_err(storage_error)?;
+        let keep = &bytes[..replayed.valid_bytes as usize];
+        let image = if keep.is_empty() {
+            wal::wal_header()
+        } else {
+            keep.to_vec()
+        };
+        self.stored
+            .store_mut()
+            .write_file(wal::WAL_FILE, &image)
+            .map_err(|e| Error::Storage(e.to_string()))?;
+        self.wal_dirty = false;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test covers every interaction with `BINDEX_WAL_FSYNC_MS` and
+    /// `BINDEX_DELTA_MAX_ROWS` — set, unset, and malformed (which warns
+    /// via `envcfg::parse_env` and falls back to the default) — so
+    /// parallel test threads never race on the process environment: these
+    /// two variables are read nowhere else in this test binary.
+    #[test]
+    fn env_knobs_configure_fsync_window_and_delta_cap() {
+        // Unset: fsync every commit, manual compaction.
+        std::env::remove_var(WAL_FSYNC_MS_ENV);
+        std::env::remove_var(DELTA_MAX_ROWS_ENV);
+        let opts = IngestOptions::from_env();
+        assert_eq!(opts.fsync_interval(), None);
+        assert_eq!(opts.delta_max_rows(), None);
+
+        // Set: both knobs land, with the documented units.
+        std::env::set_var(WAL_FSYNC_MS_ENV, "250");
+        std::env::set_var(DELTA_MAX_ROWS_ENV, " 4096 ");
+        let opts = IngestOptions::from_env();
+        assert_eq!(opts.fsync_interval(), Some(Duration::from_millis(250)));
+        assert_eq!(opts.delta_max_rows(), Some(4096));
+
+        // Malformed values warn and fall back rather than misconfigure:
+        // zero is not a usable window or cap, text is not a number.
+        for bad in ["0", "soon", "-5", "1.5"] {
+            std::env::set_var(WAL_FSYNC_MS_ENV, bad);
+            std::env::set_var(DELTA_MAX_ROWS_ENV, bad);
+            let opts = IngestOptions::from_env();
+            assert_eq!(opts.fsync_interval(), None, "{bad:?} must fall back");
+            assert_eq!(opts.delta_max_rows(), None, "{bad:?} must fall back");
+        }
+
+        // A bad window does not poison a good cap (independent knobs).
+        std::env::set_var(WAL_FSYNC_MS_ENV, "never");
+        std::env::set_var(DELTA_MAX_ROWS_ENV, "100000");
+        let opts = IngestOptions::from_env();
+        assert_eq!(opts.fsync_interval(), None);
+        assert_eq!(opts.delta_max_rows(), Some(100_000));
+
+        std::env::remove_var(WAL_FSYNC_MS_ENV);
+        std::env::remove_var(DELTA_MAX_ROWS_ENV);
+
+        // The builder mirrors the env path.
+        let opts = IngestOptions::new()
+            .with_fsync_interval(Some(Duration::from_millis(7)))
+            .with_delta_max_rows(Some(32));
+        assert_eq!(opts.fsync_interval(), Some(Duration::from_millis(7)));
+        assert_eq!(opts.delta_max_rows(), Some(32));
+    }
+}

@@ -37,6 +37,7 @@ pub use bindex_engine as engine;
 pub use bindex_relation as relation;
 pub use bindex_storage as storage;
 
+pub mod ingest;
 pub mod stored;
 
 pub use bindex_bitvec::{BitVec, KernelDispatch};
@@ -46,4 +47,5 @@ pub use bindex_core::{
 };
 pub use bindex_relation::query::{Op, SelectionQuery};
 pub use bindex_relation::Column;
+pub use ingest::{IngestAck, IngestIndex, IngestOptions};
 pub use stored::{scrub_and_repair_index, SharedSource, StorageSource};

@@ -22,7 +22,7 @@ use bindex_storage::{
 
 /// Maps a storage-layer error onto the core error type, preserving the
 /// transient/permanent distinction the evaluators care about.
-fn storage_error(e: StorageError) -> Error {
+pub(crate) fn storage_error(e: StorageError) -> Error {
     match e {
         StorageError::ChecksumMismatch { .. } => Error::ChecksumMismatch(e.to_string()),
         other => Error::Storage(other.to_string()),

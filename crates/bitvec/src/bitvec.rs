@@ -179,6 +179,32 @@ impl BitVec {
         }
     }
 
+    /// Appends every bit of `other` after the current bits — bitmap
+    /// concatenation. This is the delta-merge primitive: a base-length
+    /// bitmap grows by its delta-segment tail in one word-level splice
+    /// (shifting each incoming word across the unaligned boundary)
+    /// instead of `other.len()` single-bit pushes.
+    pub fn extend_from(&mut self, other: &BitVec) {
+        if other.len == 0 {
+            return;
+        }
+        let rem = self.len % WORD_BITS;
+        if rem == 0 {
+            self.words.extend_from_slice(&other.words);
+        } else {
+            let shift = WORD_BITS - rem;
+            self.words.reserve(other.words.len());
+            for (splice, &w) in (self.words.len() - 1..).zip(other.words.iter()) {
+                self.words[splice] |= w << rem;
+                self.words.push(w >> shift);
+            }
+        }
+        self.len += other.len;
+        // Both inputs are canonical, so the spliced words carry no bits
+        // past the new length; only the word count can overshoot by one.
+        self.words.truncate(words_for(self.len));
+    }
+
     /// Number of set bits (the foundset cardinality of a result bitmap).
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -724,6 +750,28 @@ mod tests {
         assert!(v.all());
         v.clear_all();
         assert!(v.none());
+    }
+
+    #[test]
+    fn extend_from_matches_push_loop() {
+        // Every tail offset around the word boundary, including aligned.
+        for a_len in [0usize, 1, 63, 64, 65, 127, 128, 200] {
+            for b_len in [0usize, 1, 64, 70, 130] {
+                let a = BitVec::from_fn(a_len, |i| i % 3 == 0);
+                let b = BitVec::from_fn(b_len, |i| i % 5 != 2);
+                let mut got = a.clone();
+                got.extend_from(&b);
+                let mut want = a.clone();
+                for i in 0..b_len {
+                    want.push(b.get(i));
+                }
+                assert_eq!(got, want, "a_len={a_len} b_len={b_len}");
+                assert_eq!(got.len(), a_len + b_len);
+                assert_eq!(got.words().len(), words_for(a_len + b_len));
+                // Canonical form survives: complement + count agree.
+                assert_eq!(got.complement().count_ones(), got.count_zeros());
+            }
+        }
     }
 
     #[test]

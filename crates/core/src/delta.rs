@@ -1,0 +1,335 @@
+//! Delta overlay for streaming ingest: merges an in-memory delta segment
+//! (recently appended rows plus a deleted-rows mask) into query evaluation
+//! over an immutable base index.
+//!
+//! The base index covers rows `0..base_rows`; the delta covers rows
+//! `base_rows..base_rows + added` appended since the base was built.
+//! Queries see one logical index of `base_rows + added` rows: every fetch
+//! of a base bitmap is extended with the matching delta bitmap's bits
+//! ([`bindex_bitvec::BitVec::extend_from`]) and deleted rows are masked
+//! out. Deleted rows are treated exactly like nulls — absent from every
+//! equality/range bitmap *and* from the non-null mask — so all five
+//! evaluators handle them through the ordinary null path, unchanged.
+//!
+//! A **quiesced** overlay (nothing added, nothing deleted) is dropped at
+//! attach time ([`crate::exec::ExecContext::with_overlay`]), so a quiesced
+//! index evaluates bit-identically — results *and*
+//! [`EvalStats`](crate::EvalStats) — to a plain base index.
+
+use bindex_bitvec::BitVec;
+
+use crate::error::{Error, Result};
+use crate::index::BitmapIndex;
+
+/// An immutable snapshot of the in-memory delta, applied to every bitmap
+/// fetch of an [`ExecContext`](crate::exec::ExecContext).
+///
+/// Cheap to share: the batch engine clones one `Arc<DeltaOverlay>` into
+/// every worker's context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaOverlay {
+    /// Rows covered by the base index.
+    base_rows: usize,
+    /// Rows appended since the base was built.
+    added: usize,
+    /// Delta bitmaps: `slots[comp-1][slot]` holds the *delta rows only*
+    /// (length [`DeltaOverlay::added`]) of stored bitmap `slot` of
+    /// component `comp`, in the base index's spec.
+    slots: Vec<Vec<BitVec>>,
+    /// Non-null mask of the delta rows; `None` when no delta row is null.
+    delta_nn: Option<BitVec>,
+    /// Deleted rows over the *full* logical row range
+    /// (`base_rows + added` bits) — deletes may target base or delta rows.
+    deleted: BitVec,
+}
+
+impl DeltaOverlay {
+    /// Builds an overlay from raw parts, validating every length: each
+    /// delta bitmap and the optional delta non-null mask must be `added`
+    /// bits, where `added = deleted.len() - base_rows`.
+    pub fn new(
+        base_rows: usize,
+        slots: Vec<Vec<BitVec>>,
+        delta_nn: Option<BitVec>,
+        deleted: BitVec,
+    ) -> Result<Self> {
+        let added = deleted.len().checked_sub(base_rows).ok_or_else(|| {
+            Error::CorruptIndex(format!(
+                "deleted mask covers {} rows, fewer than the {base_rows} base rows",
+                deleted.len()
+            ))
+        })?;
+        for (ci, comp) in slots.iter().enumerate() {
+            for (j, bm) in comp.iter().enumerate() {
+                if bm.len() != added {
+                    return Err(Error::CorruptIndex(format!(
+                        "delta bitmap c{}_b{j} holds {} rows, expected {added}",
+                        ci + 1,
+                        bm.len()
+                    )));
+                }
+            }
+        }
+        if let Some(nn) = &delta_nn {
+            if nn.len() != added {
+                return Err(Error::CorruptIndex(format!(
+                    "delta nn mask holds {} rows, expected {added}",
+                    nn.len()
+                )));
+            }
+        }
+        Ok(Self {
+            base_rows,
+            added,
+            slots,
+            delta_nn,
+            deleted,
+        })
+    }
+
+    /// Builds an overlay from a delta [`BitmapIndex`] (built over the
+    /// delta rows only, in the base's spec) plus a full-range deleted
+    /// mask.
+    pub fn from_index(base_rows: usize, delta: &BitmapIndex, deleted: BitVec) -> Result<Self> {
+        Self::new(
+            base_rows,
+            delta.components().to_vec(),
+            delta.nn().cloned(),
+            deleted,
+        )
+    }
+
+    /// An overlay with nothing appended and nothing deleted — dropped at
+    /// attach time, so it evaluates exactly like no overlay at all.
+    pub fn quiesced(base_rows: usize) -> Self {
+        Self {
+            base_rows,
+            added: 0,
+            slots: Vec::new(),
+            delta_nn: None,
+            deleted: BitVec::zeros(base_rows),
+        }
+    }
+
+    /// Rows covered by the base index.
+    pub fn base_rows(&self) -> usize {
+        self.base_rows
+    }
+
+    /// Rows appended since the base was built.
+    pub fn added(&self) -> usize {
+        self.added
+    }
+
+    /// Total logical rows: base plus appended.
+    pub fn n_rows(&self) -> usize {
+        self.base_rows + self.added
+    }
+
+    /// The deleted-rows mask over the full logical row range.
+    pub fn deleted(&self) -> &BitVec {
+        &self.deleted
+    }
+
+    /// Number of deleted rows.
+    pub fn deleted_count(&self) -> usize {
+        self.deleted.count_ones()
+    }
+
+    /// `true` when the overlay changes nothing: no rows appended, none
+    /// deleted.
+    pub fn is_quiesced(&self) -> bool {
+        self.added == 0 && self.deleted.none()
+    }
+
+    /// Extends a fetched base bitmap in place with the delta rows of
+    /// `(comp, slot)` and masks deleted rows out, producing the bitmap of
+    /// the full logical row range.
+    ///
+    /// # Panics
+    /// Panics when `(comp, slot)` is outside the overlay's shape — the
+    /// source's own slot validation runs first, so a mismatch means the
+    /// overlay was built against a different spec.
+    pub fn extend_slot_into(&self, bm: &mut BitVec, comp: usize, slot: usize) {
+        debug_assert_eq!(bm.len(), self.base_rows, "base bitmap length");
+        bm.extend_from(&self.slots[comp - 1][slot]);
+        bm.and_not_assign(&self.deleted);
+    }
+
+    /// Merges the base's non-null bitmap with the delta's, masking deleted
+    /// rows (a deleted row is null from the evaluators' point of view).
+    /// Always `Some` for a non-quiesced overlay: even if neither side has
+    /// nulls, the merged mask is what hides deleted rows from range scans.
+    pub fn merge_nn(&self, base_nn: Option<&BitVec>) -> Option<BitVec> {
+        if self.is_quiesced() {
+            return base_nn.cloned();
+        }
+        let mut out = base_nn.map_or_else(|| BitVec::ones(self.base_rows), BitVec::clone);
+        match &self.delta_nn {
+            Some(nn) => out.extend_from(nn),
+            None => out.extend_from(&BitVec::ones(self.added)),
+        }
+        out.and_not_assign(&self.deleted);
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::Base;
+    use crate::encoding::{Encoding, IndexSpec};
+    use bindex_relation::Column;
+
+    fn delta_index(values: &[u32], cardinality: u32) -> BitmapIndex {
+        let col = Column::new(values.to_vec(), cardinality);
+        BitmapIndex::build(
+            &col,
+            IndexSpec::new(Base::single(cardinality).unwrap(), Encoding::Equality),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn quiesced_overlay_is_detected() {
+        let o = DeltaOverlay::quiesced(10);
+        assert!(o.is_quiesced());
+        assert_eq!(o.n_rows(), 10);
+        assert_eq!(o.merge_nn(None), None);
+        let nn = BitVec::ones(10);
+        assert_eq!(o.merge_nn(Some(&nn)), Some(nn));
+
+        // A delete alone (no appends) de-quiesces.
+        let mut deleted = BitVec::zeros(10);
+        deleted.set(4, true);
+        let o = DeltaOverlay::new(10, Vec::new(), None, deleted).unwrap();
+        assert!(!o.is_quiesced());
+        assert_eq!(o.added(), 0);
+        assert_eq!(o.deleted_count(), 1);
+    }
+
+    #[test]
+    fn extend_and_mask() {
+        // Base 4 rows; delta appends rows with values [1, 0, 1]; delete
+        // base row 1 and delta row 0 (logical row 4).
+        let delta = delta_index(&[1, 0, 1], 2);
+        let deleted = BitVec::from_indices(7, &[1, 4]);
+        let o = DeltaOverlay::from_index(4, &delta, deleted).unwrap();
+        assert_eq!(o.n_rows(), 7);
+        assert_eq!(o.added(), 3);
+
+        // Base bitmap for value 1 over rows [0,1,0,1] (base-2 equality
+        // stores the single digit==1 bitmap as slot 0).
+        let mut bm = BitVec::from_indices(4, &[1, 3]);
+        o.extend_slot_into(&mut bm, 1, 0);
+        // Row 1 deleted, delta rows 4 (deleted) and 6 hold value 1.
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), vec![3, 6]);
+
+        // Merged nn hides exactly the deleted rows (no nulls anywhere).
+        let nn = o.merge_nn(None).unwrap();
+        assert_eq!(nn.iter_ones().collect::<Vec<_>>(), vec![0, 2, 3, 5, 6]);
+    }
+
+    #[test]
+    fn overlay_matches_rebuilt_index_across_evaluators() {
+        use crate::eval::{evaluate, evaluate_in, evaluate_segmented_in, Algorithm};
+        use crate::exec::ExecContext;
+        use bindex_relation::query::{Op, SelectionQuery};
+        use std::sync::Arc;
+
+        let base_vals = vec![3, 2, 1, 2, 8, 2, 2, 0, 7, 5, 6, 4];
+        let delta_vals = vec![8, 0, 3, 5];
+        let deleted_rows = [1usize, 4, 13]; // two base rows, one delta row
+        let cardinality = 9;
+
+        for encoding in [Encoding::Range, Encoding::Equality, Encoding::Interval] {
+            let spec = IndexSpec::new(Base::from_msb(&[3, 3]).unwrap(), encoding);
+            let base_col = Column::new(base_vals.clone(), cardinality);
+            let base = BitmapIndex::build(&base_col, spec.clone()).unwrap();
+
+            let delta_col = Column::new(delta_vals.clone(), cardinality);
+            let delta = BitmapIndex::build(&delta_col, spec.clone()).unwrap();
+            let mut deleted = BitVec::zeros(16);
+            for &r in &deleted_rows {
+                deleted.set(r, true);
+            }
+            let overlay = Arc::new(DeltaOverlay::from_index(12, &delta, deleted.clone()).unwrap());
+            assert!(!overlay.is_quiesced());
+
+            // Reference: one index over all 16 rows, deleted rows null.
+            let merged: Vec<u32> = base_vals.iter().chain(&delta_vals).copied().collect();
+            let reference = BitmapIndex::build_with_nulls(
+                &Column::new(merged, cardinality),
+                &deleted,
+                spec.clone(),
+            )
+            .unwrap();
+
+            let algorithms: &[Algorithm] = match encoding {
+                Encoding::Range => &[Algorithm::RangeEval, Algorithm::RangeEvalOpt],
+                Encoding::Equality => &[Algorithm::EqualityEval],
+                Encoding::Interval => &[Algorithm::IntervalEval],
+            };
+            for &algorithm in algorithms {
+                for op in [Op::Lt, Op::Le, Op::Gt, Op::Ge, Op::Eq, Op::Ne] {
+                    for v in 0..cardinality {
+                        let q = SelectionQuery::new(op, v);
+                        let (want, _) = evaluate(&mut reference.source(), q, algorithm).unwrap();
+                        let mut src = base.source();
+                        let mut ctx =
+                            ExecContext::new(&mut src).with_overlay(Some(Arc::clone(&overlay)));
+                        let got = evaluate_in(&mut ctx, q, algorithm).unwrap();
+                        assert_eq!(got, want, "{encoding:?}/{algorithm:?} {op:?} {v}");
+                        ctx.take_stats();
+                        let seg = evaluate_segmented_in(&mut ctx, q, algorithm, 64).unwrap();
+                        assert_eq!(seg, want, "segmented {encoding:?}/{algorithm:?} {op:?} {v}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quiesced_overlay_is_bit_identical_including_stats() {
+        use crate::eval::{evaluate, evaluate_in, Algorithm};
+        use crate::exec::ExecContext;
+        use bindex_relation::query::{Op, SelectionQuery};
+        use std::sync::Arc;
+
+        let col = Column::new(vec![3, 2, 1, 2, 8, 2, 2, 0, 7, 5, 6, 4], 9);
+        let spec = IndexSpec::new(Base::from_msb(&[3, 3]).unwrap(), Encoding::Range);
+        let index = BitmapIndex::build(&col, spec).unwrap();
+        let overlay = Arc::new(DeltaOverlay::quiesced(12));
+        for op in [Op::Le, Op::Eq, Op::Ne] {
+            for v in [0, 4, 8] {
+                let q = SelectionQuery::new(op, v);
+                let (want, want_stats) = evaluate(&mut index.source(), q, Algorithm::Auto).unwrap();
+                let mut src = index.source();
+                let mut ctx = ExecContext::new(&mut src).with_overlay(Some(Arc::clone(&overlay)));
+                assert!(ctx.overlay().is_none(), "quiesced overlay is dropped");
+                let got = evaluate_in(&mut ctx, q, Algorithm::Auto).unwrap();
+                let got_stats = ctx.take_stats();
+                assert_eq!(got, want);
+                assert_eq!(got_stats, want_stats, "stats must match bit for bit");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let delta = delta_index(&[1, 0], 2);
+        // Deleted mask shorter than the base row count.
+        assert!(DeltaOverlay::from_index(4, &delta, BitVec::zeros(3)).is_err());
+        // Deleted mask not covering base + delta.
+        assert!(DeltaOverlay::from_index(4, &delta, BitVec::zeros(5)).is_err());
+        assert!(DeltaOverlay::from_index(4, &delta, BitVec::zeros(6)).is_ok());
+        // Mismatched nn length.
+        assert!(DeltaOverlay::new(
+            4,
+            vec![vec![BitVec::zeros(2), BitVec::zeros(2)]],
+            Some(BitVec::zeros(3)),
+            BitVec::zeros(6),
+        )
+        .is_err());
+    }
+}

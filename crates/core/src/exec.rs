@@ -21,6 +21,7 @@ use bindex_bitvec::{kernels, BitVec};
 use bindex_compress::{wah, Repr};
 use bindex_relation::Column;
 
+use crate::delta::DeltaOverlay;
 use crate::encoding::{Encoding, IndexSpec};
 use crate::error::{Error, Result};
 use crate::index::{rebuild_slot, BitmapSource};
@@ -271,6 +272,12 @@ pub struct ExecContext<'a, S: BitmapSource> {
     /// this between segments and bails out with
     /// [`Error::DeadlineExceeded`] once it has passed.
     deadline: Option<Deadline>,
+    /// Streaming-ingest delta overlay: when present, every fetched bitmap
+    /// is extended with the delta rows and masked by the deleted-rows
+    /// mask, so queries see base ⊕ delta as one logical index. A quiesced
+    /// overlay is dropped at attach time, keeping the no-ingest path
+    /// bit-identical.
+    overlay: Option<Arc<DeltaOverlay>>,
 }
 
 impl<'a, S: BitmapSource> ExecContext<'a, S> {
@@ -285,6 +292,7 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
             fetched: HashMap::new(),
             seg: None,
             deadline: None,
+            overlay: None,
         }
     }
 
@@ -300,7 +308,33 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
             fetched: HashMap::new(),
             seg: None,
             deadline: None,
+            overlay: None,
         }
+    }
+
+    /// Attaches (or clears) a streaming-ingest delta overlay. Fetches then
+    /// return bitmaps of the full logical row range — base rows extended
+    /// with the delta's, deleted rows masked out — and
+    /// [`ExecContext::n_rows`] reports the logical count, so every
+    /// evaluator runs unchanged over base ⊕ delta. A quiesced overlay
+    /// (nothing appended, nothing deleted) is dropped here, so evaluation
+    /// of a quiesced index is bit-identical — results and stats — to
+    /// evaluation with no overlay at all.
+    pub fn with_overlay(mut self, overlay: Option<Arc<DeltaOverlay>>) -> Self {
+        self.overlay = overlay.filter(|o| !o.is_quiesced());
+        if let Some(o) = &self.overlay {
+            debug_assert_eq!(
+                o.base_rows(),
+                self.source.n_rows(),
+                "overlay base row count must match the source"
+            );
+        }
+        self
+    }
+
+    /// The attached delta overlay, if any survived the quiesced filter.
+    pub fn overlay(&self) -> Option<&Arc<DeltaOverlay>> {
+        self.overlay.as_ref()
     }
 
     /// Sets (or clears) the cooperative deadline. Segment-at-a-time
@@ -347,9 +381,39 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
         self.source.spec()
     }
 
-    /// Number of rows.
+    /// Number of rows — the full logical count (base plus appended delta
+    /// rows) when a delta overlay is attached.
     pub fn n_rows(&self) -> usize {
-        self.source.n_rows()
+        self.overlay
+            .as_ref()
+            .map_or_else(|| self.source.n_rows(), |o| o.n_rows())
+    }
+
+    /// Extends a dense base bitmap with the overlay's delta rows and masks
+    /// deletions; a no-op without an overlay.
+    fn apply_overlay_dense(&self, comp: usize, slot: usize, bm: &mut BitVec) {
+        if let Some(o) = &self.overlay {
+            o.extend_slot_into(bm, comp, slot);
+        }
+    }
+
+    /// Overlay form of a freshly fetched representation: with an overlay
+    /// attached, the slot materializes to dense words (counted when it was
+    /// compressed — the concatenation needs them) and is extended to the
+    /// logical row range. Without one, the representation passes through.
+    fn apply_overlay_repr(&mut self, comp: usize, slot: usize, repr: Repr) -> Repr {
+        if self.overlay.is_none() {
+            return repr;
+        }
+        let mut bm = match repr {
+            Repr::Literal(b) => Arc::try_unwrap(b).unwrap_or_else(|a| (*a).clone()),
+            Repr::Wah(w) => {
+                self.stats.materializations += 1;
+                w.to_bitvec()
+            }
+        };
+        self.apply_overlay_dense(comp, slot, &mut bm);
+        Repr::literal(bm)
     }
 
     /// Statistics accumulated since the last [`ExecContext::take_stats`].
@@ -564,7 +628,7 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
                 } else {
                     self.stats.scans += 1;
                 }
-                repr
+                self.apply_overlay_repr(comp, slot, repr)
             }
             Err(e) if self.recovery.is_enabled() && recoverable(&e) => {
                 let rebuilt = self.recover(comp, slot, e)?;
@@ -630,8 +694,23 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
         if let RecoveryPolicy::ReconstructOrScan(column) = &self.recovery {
             let column = Arc::clone(column);
             let spec = self.source.spec().clone();
-            let null_mask = self.fetch_nn()?.map(|nn| nn.complement());
-            return rebuild_slot(&column, null_mask.as_ref(), &spec, comp, slot);
+            // The relation scan rebuilds the *base* rows only (the policy
+            // carries the base column), so the null mask here must be
+            // base-length; the overlay then extends the rebuilt slot to
+            // the logical range like any other fetch.
+            let null_mask = match &self.overlay {
+                Some(_) => {
+                    let base = self.source.try_fetch_nn()?;
+                    if base.is_some() {
+                        self.stats.scans += 1;
+                    }
+                    base.map(|nn| nn.complement())
+                }
+                None => self.fetch_nn()?.map(|nn| nn.complement()),
+            };
+            let mut bm = rebuild_slot(&column, null_mask.as_ref(), &spec, comp, slot)?;
+            self.apply_overlay_dense(comp, slot, &mut bm);
+            return Ok(bm);
         }
         Err(original)
     }
@@ -657,13 +736,14 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
                 continue;
             }
             match self.source.try_fetch(comp, s) {
-                Ok(bm) => {
+                Ok(mut bm) => {
                     let resident = self.buffer.is_some_and(|buf| buf.contains(comp, s));
                     if resident {
                         self.stats.buffer_hits += 1;
                     } else {
                         self.stats.scans += 1;
                     }
+                    self.apply_overlay_dense(comp, s, &mut bm);
                     let bm = Arc::new(bm);
                     self.fetched
                         .insert((comp, s), Repr::Literal(Arc::clone(&bm)));
@@ -690,11 +770,18 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
         if let Some(repr) = self.fetched.get(&NN_KEY).cloned() {
             return Ok(Some(self.materialize_cached(NN_KEY, &repr)));
         }
-        let Some(nn) = self.source.try_fetch_nn()? else {
+        let base = self.source.try_fetch_nn()?;
+        if base.is_some() {
+            self.stats.scans += 1;
+        }
+        let merged = match &self.overlay {
+            Some(o) => o.merge_nn(base.as_ref()),
+            None => base,
+        };
+        let Some(nn) = merged else {
             return Ok(None);
         };
         let bm = Arc::new(nn);
-        self.stats.scans += 1;
         self.fetched.insert(NN_KEY, Repr::Literal(Arc::clone(&bm)));
         Ok(Some(bm))
     }

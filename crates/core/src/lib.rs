@@ -51,6 +51,7 @@
 pub mod base;
 pub mod buffer;
 pub mod cost;
+pub mod delta;
 pub mod design;
 pub mod encoding;
 pub mod error;
@@ -60,6 +61,7 @@ pub mod index;
 
 pub use base::Base;
 pub use bindex_compress::Repr;
+pub use delta::DeltaOverlay;
 pub use encoding::{Encoding, IndexSpec};
 pub use error::{Error, Result};
 pub use eval::Algorithm;

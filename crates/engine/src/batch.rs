@@ -34,13 +34,13 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use bindex_bitvec::BitVec;
 use bindex_core::error::{Error, Result};
 use bindex_core::eval::{evaluate_in, Algorithm};
-use bindex_core::{BitmapSource, EvalStats, ExecContext, RecoveryPolicy};
+use bindex_core::{BitmapSource, DeltaOverlay, EvalStats, ExecContext, RecoveryPolicy};
 use bindex_relation::query::SelectionQuery;
 
 use crate::plan::{self, ConjunctiveQuery, ExecutionStats};
@@ -260,6 +260,7 @@ pub struct BatchOptions {
     max_failures: Option<usize>,
     recovery: RecoveryPolicy,
     segment_bits: Option<usize>,
+    overlay: Option<Arc<DeltaOverlay>>,
 }
 
 impl BatchOptions {
@@ -285,6 +286,7 @@ impl BatchOptions {
             max_failures: None,
             recovery: RecoveryPolicy::default(),
             segment_bits: None,
+            overlay: None,
         }
     }
 
@@ -402,6 +404,21 @@ impl BatchOptions {
     /// The degraded-mode recovery policy.
     pub fn recovery(&self) -> &RecoveryPolicy {
         &self.recovery
+    }
+
+    /// Attaches a streaming-ingest [`DeltaOverlay`] applied to every
+    /// query's [`ExecContext`] (storage-backed selection workloads only):
+    /// workers see the base index plus the not-yet-compacted appends and
+    /// deletes. A quiesced overlay is dropped, keeping the workload
+    /// bit-identical — statistics included — to running without one.
+    pub fn with_overlay(mut self, overlay: Option<Arc<DeltaOverlay>>) -> Self {
+        self.overlay = overlay.filter(|o| !o.is_quiesced());
+        self
+    }
+
+    /// The ingest overlay, if one is attached (and not quiesced).
+    pub fn overlay(&self) -> Option<&Arc<DeltaOverlay>> {
+        self.overlay.as_ref()
     }
 }
 
@@ -708,7 +725,8 @@ where
     run_workload(queries.len(), options, &make_source, |source, i| {
         let mut ctx = ExecContext::new(source)
             .with_recovery(options.recovery().clone())
-            .with_deadline(options.deadline());
+            .with_deadline(options.deadline())
+            .with_overlay(options.overlay().cloned());
         let found = evaluate_in(&mut ctx, queries[i], algorithm)?;
         let stats = ctx.take_stats();
         Ok(((found, stats), stats.degraded_fetches > 0))
@@ -782,7 +800,11 @@ where
             steals: 0,
         };
     }
-    let n_rows = make_source().n_rows();
+    // The overlay extends the logical relation past the base index, so
+    // morsel partitioning must cover the merged row count.
+    let n_rows = options
+        .overlay()
+        .map_or_else(|| make_source().n_rows(), |o| o.n_rows());
     let threads = options.threads();
     let n_segments = n_rows.div_ceil(segment_bits).max(1);
     // At most `threads` morsels per query: enough to keep every worker
@@ -866,7 +888,8 @@ where
                 let ran = catch_unwind(AssertUnwindSafe(|| {
                     let mut ctx = ExecContext::new(&mut source)
                         .with_recovery(options.recovery().clone())
-                        .with_deadline(options.deadline());
+                        .with_deadline(options.deadline())
+                        .with_overlay(options.overlay().cloned());
                     let mut local = vec![0u64; span];
                     let res = bindex_core::eval::evaluate_segment_range_in(
                         &mut ctx,
@@ -1094,6 +1117,72 @@ mod tests {
         .into_results()
         .unwrap();
         assert_eq!(results, sequential);
+    }
+
+    /// A workload over base index ⊕ ingest overlay (appends plus deletes
+    /// that have not been compacted yet) answers exactly like the same
+    /// workload over an index rebuilt from the merged relation — on the
+    /// whole-bitmap path and the segmented path, sequential and parallel.
+    #[test]
+    fn overlay_workload_matches_rebuilt_index() {
+        let cardinality = 40;
+        let base_col = gen::uniform(1400, cardinality, 13);
+        let delta_col = gen::uniform(200, cardinality, 17);
+        let spec = IndexSpec::new(
+            bindex_core::Base::from_msb(&[5, 8]).unwrap(),
+            bindex_core::Encoding::Range,
+        );
+        let base_idx = bindex_core::BitmapIndex::build(&base_col, spec.clone()).unwrap();
+        let delta_idx = bindex_core::BitmapIndex::build(&delta_col, spec.clone()).unwrap();
+        let n_rows = base_col.len() + delta_col.len();
+        let deleted = BitVec::from_indices(n_rows, &[3, 777, 1399, 1400, 1555]);
+        let overlay = Arc::new(
+            bindex_core::DeltaOverlay::from_index(base_col.len(), &delta_idx, deleted.clone())
+                .unwrap(),
+        );
+        let merged: Vec<u32> = base_col
+            .values()
+            .iter()
+            .chain(delta_col.values())
+            .copied()
+            .collect();
+        let merged_col = bindex_relation::Column::new(merged, cardinality);
+        let ref_idx =
+            bindex_core::BitmapIndex::build_with_nulls(&merged_col, &deleted, spec).unwrap();
+        let queries: Vec<SelectionQuery> = (0..40)
+            .map(|v| SelectionQuery::new([Op::Le, Op::Gt, Op::Eq, Op::Ne][v as usize % 4], v))
+            .collect();
+        let expected = evaluate_selection_workload(
+            || ref_idx.source(),
+            &queries,
+            Algorithm::Auto,
+            &BatchOptions::single_threaded(),
+        )
+        .into_results()
+        .unwrap();
+        for threads in [1usize, 4] {
+            for segment_bits in [None, Some(512)] {
+                let mut options =
+                    BatchOptions::with_threads(threads).with_overlay(Some(overlay.clone()));
+                if let Some(bits) = segment_bits {
+                    options = options.with_segment_bits(bits);
+                }
+                let report = evaluate_selection_workload(
+                    || base_idx.source(),
+                    &queries,
+                    Algorithm::Auto,
+                    &options,
+                );
+                assert!(report.health.all_ok(), "{:?}", report.health);
+                let got = report.into_results().unwrap();
+                for (i, ((ef, _), (gf, _))) in expected.iter().zip(&got).enumerate() {
+                    assert_eq!(
+                        ef, gf,
+                        "foundset query {i} threads {threads} segment {segment_bits:?}"
+                    );
+                }
+            }
+        }
     }
 
     /// Segment-at-a-time workload execution returns the same foundsets

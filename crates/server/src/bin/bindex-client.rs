@@ -4,13 +4,17 @@
 //! bindex-client [--addr HOST:PORT] ping
 //! bindex-client [--addr HOST:PORT] stats
 //! bindex-client [--addr HOST:PORT] query INDEX OP CONST [--bitmap] [--deadline-ms N]
+//! bindex-client [--addr HOST:PORT] ingest INDEX [--append V,null,...] [--delete R,...]
 //! bindex-client [--addr HOST:PORT] repair INDEX
 //! bindex-client [--addr HOST:PORT] shutdown
 //! ```
 //!
-//! `OP` is one of `< <= > >= = !=`. Typed server errors (`Overloaded`,
-//! `DeadlineExceeded`, …) print to stderr and exit 1; transport errors
-//! exit 2.
+//! `OP` is one of `< <= > >= = !=`. `ingest` appends comma-separated
+//! values (`null` for a null row) and/or deletes comma-separated row
+//! ids; the batch is WAL-logged, compacted, and acknowledged with its
+//! commit sequence and new generation. Typed server errors
+//! (`Overloaded`, `DeadlineExceeded`, …) print to stderr and exit 1;
+//! transport errors exit 2.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -22,7 +26,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: bindex-client [--addr HOST:PORT] \
          (ping | stats | shutdown | repair INDEX | \
-         query INDEX OP CONST [--bitmap] [--deadline-ms N])"
+         query INDEX OP CONST [--bitmap] [--deadline-ms N] | \
+         ingest INDEX [--append V,null,...] [--delete R,...])"
     );
     std::process::exit(2)
 }
@@ -71,7 +76,8 @@ fn main() -> ExitCode {
         "stats" => client.stats().map(|s| {
             println!(
                 "admitted {} completed {} shed_overload {} shed_deadline {} degraded {} \
-                 failed {} cache_hits {} cache_misses {} repairs {} breaker_trips {}",
+                 failed {} cache_hits {} cache_misses {} repairs {} ingests {} \
+                 breaker_trips {}",
                 s.admitted,
                 s.completed,
                 s.shed_overload,
@@ -81,6 +87,7 @@ fn main() -> ExitCode {
                 s.cache_hits,
                 s.cache_misses,
                 s.repairs,
+                s.ingests,
                 s.breaker_trips
             )
         }),
@@ -92,6 +99,53 @@ fn main() -> ExitCode {
             client.repair(&rest[1]).map(|(repaired, unrepaired)| {
                 println!("repaired {repaired} unrepaired {unrepaired}")
             })
+        }
+        "ingest" => {
+            if rest.len() < 2 {
+                usage();
+            }
+            let index = rest[1].clone();
+            let mut appends: Vec<Option<u32>> = Vec::new();
+            let mut deletes: Vec<u64> = Vec::new();
+            let mut i = 2;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--append" => {
+                        i += 1;
+                        let Some(list) = rest.get(i) else { usage() };
+                        for v in list.split(',').filter(|v| !v.is_empty()) {
+                            if v == "null" {
+                                appends.push(None);
+                            } else {
+                                match v.parse() {
+                                    Ok(v) => appends.push(Some(v)),
+                                    Err(_) => usage(),
+                                }
+                            }
+                        }
+                    }
+                    "--delete" => {
+                        i += 1;
+                        let Some(list) = rest.get(i) else { usage() };
+                        for r in list.split(',').filter(|r| !r.is_empty()) {
+                            match r.parse() {
+                                Ok(r) => deletes.push(r),
+                                Err(_) => usage(),
+                            }
+                        }
+                    }
+                    _ => usage(),
+                }
+                i += 1;
+            }
+            if appends.is_empty() && deletes.is_empty() {
+                usage();
+            }
+            client
+                .ingest(&index, &appends, &deletes)
+                .map(|(seq, generation, n_rows)| {
+                    println!("ingested seq {seq} generation {generation} n_rows {n_rows}")
+                })
         }
         "query" => {
             if rest.len() < 4 {

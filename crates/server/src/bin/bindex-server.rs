@@ -30,8 +30,8 @@ use std::time::{Duration, Instant};
 
 use bindex::compress::CodecKind;
 use bindex::relation::gen;
-use bindex::storage::{DiskStore, StorageScheme, TempDir};
-use bindex::stored::persist_index;
+use bindex::storage::{DiskStore, TempDir};
+use bindex::stored::persist_index_v3;
 use bindex::{Base, BitmapIndex, Encoding, IndexSpec};
 use bindex_server::{IndexTuning, Registry, ServedIndex, Server, ServerConfig};
 
@@ -90,8 +90,9 @@ fn demo_index() -> Result<(ServedIndex, TempDir), String> {
     let index = BitmapIndex::build(&column, spec.clone()).map_err(|e| e.to_string())?;
     let dir = TempDir::new("server-demo").map_err(|e| e.to_string())?;
     let store = DiskStore::open(dir.path()).map_err(|e| e.to_string())?;
-    let stored = persist_index(&index, store, StorageScheme::BitmapLevel, CodecKind::None)
-        .map_err(|e| e.to_string())?;
+    // Version-3: checksummed frames, so the demo also accepts ingest
+    // batches (compaction refuses the guarantee-free v1 layout).
+    let stored = persist_index_v3(&index, store, CodecKind::None).map_err(|e| e.to_string())?;
     let served = ServedIndex::new(
         "demo",
         spec,

@@ -91,6 +91,32 @@ impl Client {
         }
     }
 
+    /// Applies one ingest batch (appends with `None` = null, deletes by
+    /// row id) to served index `index` and compacts it; returns `(seq,
+    /// generation, n_rows)` from the server's acknowledgement.
+    pub fn ingest(
+        &mut self,
+        index: &str,
+        appends: &[Option<u32>],
+        deletes: &[u64],
+    ) -> io::Result<(u64, u64, u64)> {
+        match self.request(&Request::Ingest {
+            index: index.to_string(),
+            appends: appends.to_vec(),
+            deletes: deletes.to_vec(),
+        })? {
+            Response::Ingested {
+                seq,
+                generation,
+                n_rows,
+            } => Ok((seq, generation, n_rows)),
+            Response::Error { code, message } => {
+                Err(proto(&format!("ingest failed: {code:?}: {message}")))
+            }
+            other => Err(proto(&format!("expected Ingested, got {other:?}"))),
+        }
+    }
+
     /// Asks the server to drain and exit.
     pub fn shutdown(&mut self) -> io::Result<()> {
         match self.request(&Request::Shutdown)? {

@@ -40,5 +40,5 @@ pub use breaker::{BreakerState, CircuitBreaker};
 pub use cache::{normalize, NormKey, ResultCache};
 pub use client::Client;
 pub use protocol::{ErrorCode, Request, Response, StatsSnapshot};
-pub use registry::{DynStore, IndexTuning, QueryAnswer, Registry, ServedIndex};
+pub use registry::{DynStore, IndexTuning, IngestSummary, QueryAnswer, Registry, ServedIndex};
 pub use service::{DrainReport, Server, ServerConfig, DEADLINE_MS_ENV, QUEUE_DEPTH_ENV};

@@ -20,8 +20,9 @@ use bindex::relation::query::{Op, SelectionQuery};
 pub const MAX_FRAME: u32 = 64 << 20;
 
 /// Protocol version byte carried in every request frame; bumped on any
-/// incompatible change.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// incompatible change. Version 2 added [`Request::Ingest`] /
+/// [`Response::Ingested`] and the `ingests` counter in [`StatsSnapshot`].
+pub const PROTOCOL_VERSION: u8 = 2;
 
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -145,6 +146,18 @@ pub enum Request {
     },
     /// Ask the server to drain and exit.
     Shutdown,
+    /// Apply one ingest batch to a served index and compact it into a
+    /// fresh storage generation (WAL-logged; drains that index's readers
+    /// for the rewrite, like `Repair`). Deletes may target rows appended
+    /// in the same batch.
+    Ingest {
+        /// Name of the served index.
+        index: String,
+        /// Rows to append; `None` is a null row.
+        appends: Vec<Option<u32>>,
+        /// Absolute row ids to delete.
+        deletes: Vec<u64>,
+    },
 }
 
 const TAG_QUERY: u8 = 0x01;
@@ -152,6 +165,7 @@ const TAG_PING: u8 = 0x02;
 const TAG_STATS: u8 = 0x03;
 const TAG_REPAIR: u8 = 0x04;
 const TAG_SHUTDOWN: u8 = 0x05;
+const TAG_INGEST: u8 = 0x06;
 
 const TAG_COUNT: u8 = 0x81;
 const TAG_BITMAP: u8 = 0x82;
@@ -159,7 +173,13 @@ const TAG_PONG: u8 = 0x83;
 const TAG_STATS_REPLY: u8 = 0x84;
 const TAG_REPAIRED: u8 = 0x85;
 const TAG_SHUTDOWN_ACK: u8 = 0x86;
+const TAG_INGESTED: u8 = 0x87;
 const TAG_ERROR: u8 = 0xEE;
+
+/// Null-row sentinel in an ingest frame's append values — the same
+/// convention the on-disk WAL uses; real values are always below the
+/// attribute's cardinality, which is at most `u32::MAX`.
+const NULL_SENTINEL: u32 = u32::MAX;
 
 fn put_str(out: &mut Vec<u8>, s: &str) -> io::Result<()> {
     let len = u16::try_from(s.len()).map_err(|_| bad("string too long for wire"))?;
@@ -246,6 +266,27 @@ impl Request {
                 put_str(&mut out, index)?;
             }
             Request::Shutdown => out.push(TAG_SHUTDOWN),
+            Request::Ingest {
+                index,
+                appends,
+                deletes,
+            } => {
+                out.push(TAG_INGEST);
+                put_str(&mut out, index)?;
+                let n = u32::try_from(appends.len()).map_err(|_| bad("too many appends"))?;
+                out.extend_from_slice(&n.to_le_bytes());
+                for v in appends {
+                    if *v == Some(NULL_SENTINEL) {
+                        return Err(bad("append value collides with the null sentinel"));
+                    }
+                    out.extend_from_slice(&v.unwrap_or(NULL_SENTINEL).to_le_bytes());
+                }
+                let n = u32::try_from(deletes.len()).map_err(|_| bad("too many deletes"))?;
+                out.extend_from_slice(&n.to_le_bytes());
+                for r in deletes {
+                    out.extend_from_slice(&r.to_le_bytes());
+                }
+            }
         }
         Ok(out)
     }
@@ -276,6 +317,25 @@ impl Request {
             TAG_STATS => Request::Stats,
             TAG_REPAIR => Request::Repair { index: c.str()? },
             TAG_SHUTDOWN => Request::Shutdown,
+            TAG_INGEST => {
+                let index = c.str()?;
+                let n = c.u32()? as usize;
+                let mut appends = Vec::with_capacity(n.min(MAX_FRAME as usize / 4));
+                for _ in 0..n {
+                    let v = c.u32()?;
+                    appends.push((v != NULL_SENTINEL).then_some(v));
+                }
+                let n = c.u32()? as usize;
+                let mut deletes = Vec::with_capacity(n.min(MAX_FRAME as usize / 8));
+                for _ in 0..n {
+                    deletes.push(c.u64()?);
+                }
+                Request::Ingest {
+                    index,
+                    appends,
+                    deletes,
+                }
+            }
             other => return Err(bad(format!("unknown request tag {other:#x}"))),
         };
         c.done()?;
@@ -304,6 +364,8 @@ pub struct StatsSnapshot {
     pub cache_misses: u64,
     /// Repair operations performed.
     pub repairs: u64,
+    /// Ingest batches applied and compacted.
+    pub ingests: u64,
     /// Circuit-breaker trips (Closed → Open transitions).
     pub breaker_trips: u64,
 }
@@ -320,6 +382,7 @@ impl StatsSnapshot {
             self.cache_hits,
             self.cache_misses,
             self.repairs,
+            self.ingests,
             self.breaker_trips,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
@@ -337,6 +400,7 @@ impl StatsSnapshot {
             cache_hits: c.u64()?,
             cache_misses: c.u64()?,
             repairs: c.u64()?,
+            ingests: c.u64()?,
             breaker_trips: c.u64()?,
         })
     }
@@ -380,6 +444,15 @@ pub enum Response {
     },
     /// Reply to [`Request::Shutdown`]; the server drains after sending.
     ShutdownAck,
+    /// Reply to [`Request::Ingest`].
+    Ingested {
+        /// Highest durable WAL sequence number covered by the compaction.
+        seq: u64,
+        /// The storage generation the batch landed in.
+        generation: u64,
+        /// Logical rows after the batch.
+        n_rows: u64,
+    },
     /// A typed failure; see [`ErrorCode`].
     Error {
         /// What kind of failure.
@@ -436,6 +509,16 @@ impl Response {
                 out.extend_from_slice(&unrepaired.to_le_bytes());
             }
             Response::ShutdownAck => out.push(TAG_SHUTDOWN_ACK),
+            Response::Ingested {
+                seq,
+                generation,
+                n_rows,
+            } => {
+                out.push(TAG_INGESTED);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&generation.to_le_bytes());
+                out.extend_from_slice(&n_rows.to_le_bytes());
+            }
             Response::Error { code, message } => {
                 out.push(TAG_ERROR);
                 out.push(*code as u8);
@@ -480,6 +563,11 @@ impl Response {
                 unrepaired: c.u32()?,
             },
             TAG_SHUTDOWN_ACK => Response::ShutdownAck,
+            TAG_INGESTED => Response::Ingested {
+                seq: c.u64()?,
+                generation: c.u64()?,
+                n_rows: c.u64()?,
+            },
             TAG_ERROR => Response::Error {
                 code: ErrorCode::from_u8(c.u8()?)?,
                 message: c.str()?,
@@ -519,6 +607,26 @@ mod tests {
         round_trip_request(Request::Stats);
         round_trip_request(Request::Repair { index: "x".into() });
         round_trip_request(Request::Shutdown);
+        round_trip_request(Request::Ingest {
+            index: "lineitem.qty".into(),
+            appends: vec![Some(3), None, Some(0), Some(u32::MAX - 1)],
+            deletes: vec![0, 17, u64::from(u32::MAX) + 1],
+        });
+        round_trip_request(Request::Ingest {
+            index: "deletes-only".into(),
+            appends: vec![],
+            deletes: vec![4],
+        });
+    }
+
+    #[test]
+    fn null_sentinel_collision_is_rejected_at_encode() {
+        let req = Request::Ingest {
+            index: "x".into(),
+            appends: vec![Some(u32::MAX)],
+            deletes: vec![],
+        };
+        assert!(req.encode().is_err());
     }
 
     #[test]
@@ -547,6 +655,11 @@ mod tests {
             unrepaired: 0,
         });
         round_trip_response(Response::ShutdownAck);
+        round_trip_response(Response::Ingested {
+            seq: 42,
+            generation: 3,
+            n_rows: 1_000_001,
+        });
         round_trip_response(Response::Error {
             code: ErrorCode::Overloaded,
             message: "queue full (depth 64)".into(),

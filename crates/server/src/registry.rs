@@ -24,7 +24,8 @@ use bindex::storage::{
     ByteStore, RepairReport, ShardedPool, SharedIndexReader, StorageError, StoredIndex,
 };
 use bindex::{
-    scrub_and_repair_index, BitVec, Column, Error, IndexSpec, RecoveryPolicy, SharedSource,
+    scrub_and_repair_index, BitVec, Column, Error, IndexSpec, IngestIndex, IngestOptions,
+    RecoveryPolicy, SharedSource,
 };
 
 use crate::breaker::{BreakerState, CircuitBreaker};
@@ -79,14 +80,29 @@ pub struct QueryAnswer {
     pub cached: bool,
 }
 
+/// What [`ServedIndex::ingest`] returns for an applied batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestSummary {
+    /// Highest durable WAL sequence number covered by the compaction.
+    pub seq: u64,
+    /// The storage generation the batch was compacted into.
+    pub generation: u64,
+    /// Logical rows after the batch (deleted rows keep their ids).
+    pub n_rows: u64,
+}
+
 /// A stored index being served: reader + breaker + cache + repair inputs.
 pub struct ServedIndex {
     name: String,
     spec: IndexSpec,
+    /// Upper bound for ingested values: the column's cardinality when one
+    /// is attached, otherwise everything the spec's base can represent.
+    cardinality: u32,
     /// The base column, when available: enables scan-based reconstruction
-    /// (every slot recoverable) and full repair.
-    column: Option<Arc<Column>>,
-    null_mask: Option<BitVec>,
+    /// (every slot recoverable) and full repair. Behind a lock because
+    /// [`ServedIndex::ingest`] must extend it in step with the index.
+    column: RwLock<Option<Arc<Column>>>,
+    null_mask: RwLock<Option<BitVec>>,
     reader: RwLock<SharedIndexReader<DynStore>>,
     breaker: CircuitBreaker,
     cache: ResultCache,
@@ -114,11 +130,17 @@ impl ServedIndex {
         };
         // Validate the layout once, while we hold the only reference.
         SharedSource::try_new(&reader, spec.clone())?;
+        let cardinality = match &column {
+            Some(c) => c.cardinality(),
+            // Anything the base can decompose is admissible.
+            None => spec.base.product().min(u128::from(u32::MAX)) as u32,
+        };
         Ok(Self {
             name: name.into(),
             spec,
-            column,
-            null_mask,
+            cardinality,
+            column: RwLock::new(column),
+            null_mask: RwLock::new(null_mask),
             reader: RwLock::new(reader),
             breaker: CircuitBreaker::new(
                 tuning.breaker_trip,
@@ -182,7 +204,7 @@ impl ServedIndex {
             });
         }
         let recovery = if self.breaker.degraded_serving() {
-            match &self.column {
+            match &*self.column.read().unwrap() {
                 Some(column) => RecoveryPolicy::ReconstructOrScan(Arc::clone(column)),
                 None => RecoveryPolicy::Reconstruct,
             }
@@ -196,10 +218,18 @@ impl ServedIndex {
             options = options.with_deadline(d);
         }
         let spec = &self.spec;
+        // Columns with nulls (including rows masked out by an ingest
+        // delete) carry a stored not-null bitmap; `Ne` and negated
+        // predicates are wrong without it.
+        let nn = guard.index().read_nn_shared().map_err(storage_error)?.0;
         let report = evaluate_selection_workload(
             || {
-                SharedSource::try_new(&guard, spec.clone())
-                    .expect("layout validated at registration")
+                let source = SharedSource::try_new(&guard, spec.clone())
+                    .expect("layout validated at registration");
+                match &nn {
+                    Some(nn) => source.with_nn(nn.clone()),
+                    None => source,
+                }
             },
             std::slice::from_ref(&query),
             Algorithm::Auto,
@@ -258,13 +288,89 @@ impl ServedIndex {
     /// result cache), and moves an open breaker to probing.
     pub fn repair(&self) -> Result<RepairReport, Error> {
         let mut guard = self.reader.write().unwrap();
+        let column = self.column.read().unwrap();
+        let null_mask = self.null_mask.read().unwrap();
         let spec = &self.spec;
-        let column = self.column.as_deref();
-        let null_mask = self.null_mask.as_ref();
-        let report =
-            guard.repair_index(|stored| scrub_and_repair_index(stored, spec, column, null_mask))?;
+        let report = guard.repair_index(|stored| {
+            scrub_and_repair_index(stored, spec, column.as_deref(), null_mask.as_ref())
+        })?;
         self.breaker.on_repair();
         Ok(report)
+    }
+
+    /// Applies one ingest batch — appended rows (`None` = null) and/or
+    /// deleted row ids — and compacts it straight into a fresh storage
+    /// generation.
+    ///
+    /// Takes the reader's write lock (in-flight queries drain first), runs
+    /// a WAL-logged [`IngestIndex`] session through
+    /// [`SharedIndexReader::repair_index`] — so the bitmap pool is flushed
+    /// and the repair epoch bumps, which invalidates every cached result —
+    /// then extends the repair column/null-mask to match the rewritten
+    /// index and notifies the breaker. Deletes may target rows appended in
+    /// the same batch.
+    pub fn ingest(&self, appends: &[Option<u32>], deletes: &[u64]) -> Result<IngestSummary, Error> {
+        let mut guard = self.reader.write().unwrap();
+        let mut column = self.column.write().unwrap();
+        let mut null_mask = self.null_mask.write().unwrap();
+        let spec = self.spec.clone();
+        let cardinality = self.cardinality;
+        let summary = guard.repair_index(|stored| -> Result<IngestSummary, Error> {
+            let mut session = IngestIndex::open(stored, spec, cardinality, IngestOptions::new())?;
+            // Validate the whole batch before logging any of it, so a
+            // bad delete cannot leave a half-applied batch in the WAL.
+            for v in appends.iter().flatten() {
+                if *v >= cardinality {
+                    return Err(Error::ValueOutOfRange {
+                        value: *v,
+                        cardinality,
+                    });
+                }
+            }
+            let n_after = session.n_rows() + appends.len();
+            for &r in deletes {
+                if usize::try_from(r).map_or(true, |r| r >= n_after) {
+                    return Err(Error::CorruptIndex(format!(
+                        "delete targets row {r}, batch leaves {n_after} rows"
+                    )));
+                }
+            }
+            if !appends.is_empty() {
+                session.append(appends)?;
+            }
+            if !deletes.is_empty() {
+                session.delete(deletes)?;
+            }
+            let generation = session.compact()?;
+            Ok(IngestSummary {
+                seq: session.durable_seq(),
+                generation,
+                n_rows: session.n_rows() as u64,
+            })
+        })?;
+        // Keep the recovery inputs in step with the rewritten index:
+        // appended rows extend the column, nulls and deletions extend the
+        // mask — exactly what compaction persisted.
+        if let Some(col) = column.clone() {
+            let mut values = col.values().to_vec();
+            let mut mask = null_mask
+                .take()
+                .unwrap_or_else(|| BitVec::zeros(values.len()));
+            for v in appends {
+                values.push(v.unwrap_or(0));
+                mask.push(v.is_none());
+            }
+            for &r in deletes {
+                mask.set(r as usize, true);
+            }
+            *column = Some(Arc::new(Column::new(values, col.cardinality())));
+            *null_mask = Some(mask);
+        } else {
+            // Without a column a stale mask is worse than none.
+            *null_mask = None;
+        }
+        self.breaker.on_repair();
+        Ok(summary)
     }
 
     /// `true` when the index currently serves strict (breaker closed).

@@ -107,6 +107,7 @@ struct Metrics {
     degraded: AtomicU64,
     failed: AtomicU64,
     repairs: AtomicU64,
+    ingests: AtomicU64,
 }
 
 /// One admitted query on its way to a worker.
@@ -144,6 +145,7 @@ impl Shared {
             degraded: self.metrics.degraded.load(Ordering::Relaxed),
             failed: self.metrics.failed.load(Ordering::Relaxed),
             repairs: self.metrics.repairs.load(Ordering::Relaxed),
+            ingests: self.metrics.ingests.load(Ordering::Relaxed),
             ..StatsSnapshot::default()
         };
         for index in self.registry.all() {
@@ -172,6 +174,29 @@ impl Shared {
                             repaired: report.repaired.len() as u32,
                             unrepaired: report.unrepaired.len() as u32,
                         }
+                    }
+                    Err(e) => Self::err(ErrorCode::Internal, e.to_string()),
+                },
+            },
+            Request::Ingest {
+                index,
+                appends,
+                deletes,
+            } => match self.registry.get(&index) {
+                None => Self::err(ErrorCode::UnknownIndex, format!("no index named {index:?}")),
+                Some(served) => match served.ingest(&appends, &deletes) {
+                    Ok(summary) => {
+                        self.metrics.ingests.fetch_add(1, Ordering::Relaxed);
+                        Response::Ingested {
+                            seq: summary.seq,
+                            generation: summary.generation,
+                            n_rows: summary.n_rows,
+                        }
+                    }
+                    // An out-of-range value or row id is the client's
+                    // mistake; anything else is a server-side failure.
+                    Err(e @ Error::ValueOutOfRange { .. }) => {
+                        Self::err(ErrorCode::BadRequest, e.to_string())
                     }
                     Err(e) => Self::err(ErrorCode::Internal, e.to_string()),
                 },

@@ -12,7 +12,7 @@ use bindex::core::eval::Algorithm;
 use bindex::relation::gen;
 use bindex::relation::query::{Op, SelectionQuery};
 use bindex::storage::{ByteStore, MemStore, StorageScheme};
-use bindex::stored::persist_index;
+use bindex::stored::{persist_index, persist_index_v3};
 use bindex::{Base, BitmapIndex, Column, Encoding, IndexSpec};
 use bindex_server::{
     BreakerState, Client, ErrorCode, IndexTuning, Registry, Response, ServedIndex, Server,
@@ -69,6 +69,14 @@ impl ByteStore for SlowStore {
 
     fn file_names(&self) -> std::io::Result<Vec<String>> {
         self.inner.file_names()
+    }
+
+    fn append_file(&mut self, name: &str, data: &[u8]) -> std::io::Result<()> {
+        self.inner.append_file(name, data)
+    }
+
+    fn remove_file(&mut self, name: &str) -> std::io::Result<()> {
+        self.inner.remove_file(name)
     }
 }
 
@@ -471,6 +479,116 @@ fn result_cache_hits_normalized_predicates_and_repair_invalidates() {
     assert!(!cached_of(after, &index, le40), "repair must invalidate");
     let stats = client.stats().expect("stats");
     assert!(stats.cache_hits >= 2, "stats: {stats:?}");
+    server.shutdown();
+}
+
+/// The ingest ⊕ cache contract over the wire: an ingest batch compacts
+/// into a fresh generation through the repair-epoch bump, so a count that
+/// was cached before the batch is never served stale afterwards.
+#[test]
+fn ingest_batch_invalidates_cached_counts_over_the_wire() {
+    let column = gen::uniform(N_ROWS, CARDINALITY, 23);
+    let index = BitmapIndex::build(&column, spec()).unwrap();
+    let store = persist_index_v3(&index, MemStore::new(), CodecKind::None)
+        .unwrap()
+        .into_store();
+    let mut registry = Registry::new();
+    registry.insert(
+        ServedIndex::new(
+            "t",
+            spec(),
+            Box::new(store),
+            Some(Arc::new(column.clone())),
+            None,
+            IndexTuning::default(),
+        )
+        .unwrap(),
+    );
+    let served = registry.get("t").unwrap();
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 8,
+        default_deadline: Duration::from_secs(10),
+    };
+    let server = start_server(registry, config);
+    let mut client = connect(&server);
+
+    let count_of = |resp: Response| -> (u64, bool) {
+        match resp {
+            Response::Count {
+                cardinality,
+                cached,
+                degraded,
+            } => {
+                assert!(!degraded);
+                (cardinality, cached)
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    };
+
+    // Warm the cache on `A = 7` and `A != 7`.
+    let eq7 = SelectionQuery::new(Op::Eq, 7);
+    let ne7 = SelectionQuery::new(Op::Ne, 7);
+    let eq_before = direct_count(&index, eq7);
+    let ne_before = direct_count(&index, ne7);
+    let (got, cached) = count_of(client.query("t", eq7, false, 0).expect("transport"));
+    assert_eq!((got, cached), (eq_before, false), "cold query must miss");
+    let (_, cached) = count_of(client.query("t", eq7, false, 0).expect("transport"));
+    assert!(cached, "repeat query must hit");
+    count_of(client.query("t", ne7, false, 0).expect("transport"));
+
+    // Ingest: three value-7 rows plus a null, delete one pre-existing
+    // value-7 row — net `A = 7` count rises by two, `A != 7` is
+    // untouched (the null and the deleted row both fall outside it).
+    let victim = column.values().iter().position(|&v| v == 7).unwrap() as u64;
+    let epoch_before = served.repair_epoch();
+    let (seq, generation, n_rows) = client
+        .ingest("t", &[Some(7), None, Some(7), Some(7)], &[victim])
+        .expect("ingest");
+    assert_eq!(seq, 2, "append batch + delete batch");
+    assert_eq!(generation, 1, "first compaction after the v3 seed");
+    assert_eq!(n_rows, N_ROWS as u64 + 4);
+    assert!(
+        served.repair_epoch() > epoch_before,
+        "ingest must bump the epoch"
+    );
+    assert_eq!(served.n_rows(), N_ROWS + 4);
+
+    // The pre-ingest cached counts must not be served: fresh answers
+    // over the rewritten generation.
+    let (got, cached) = count_of(client.query("t", eq7, false, 0).expect("transport"));
+    assert!(!cached, "stale cached count served after ingest");
+    assert_eq!(got, eq_before + 2);
+    let (got, cached) = count_of(client.query("t", ne7, false, 0).expect("transport"));
+    assert!(!cached);
+    assert_eq!(
+        got, ne_before,
+        "null append and masked delete stay outside A != 7"
+    );
+
+    // A deletes-only batch invalidates again; deleting an appended row
+    // in the same generation works by absolute row id.
+    let (seq, generation, _) = client
+        .ingest("t", &[], &[N_ROWS as u64])
+        .expect("deletes-only ingest");
+    assert_eq!((seq, generation), (3, 2));
+    let (got, cached) = count_of(client.query("t", eq7, false, 0).expect("transport"));
+    assert!(!cached);
+    assert_eq!(got, eq_before + 1, "appended value-7 row deleted again");
+
+    // An out-of-range value is the client's mistake — typed BadRequest,
+    // nothing applied.
+    let err = client
+        .ingest("t", &[Some(CARDINALITY)], &[])
+        .expect_err("out-of-range append");
+    assert!(err.to_string().contains("BadRequest"), "{err}");
+    let (got, _) = count_of(client.query("t", eq7, false, 0).expect("transport"));
+    assert_eq!(got, eq_before + 1, "failed ingest must not change answers");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.ingests, 2, "stats: {stats:?}");
+    assert!(stats.cache_hits >= 1, "stats: {stats:?}");
     server.shutdown();
 }
 

@@ -80,6 +80,11 @@ impl Rule {
 pub struct FaultPlan {
     seed: u64,
     rules: Vec<Rule>,
+    /// Mutation-byte budget after which the store "crashes" (every later
+    /// mutation fails); `None` = never.
+    crash_after: Option<u64>,
+    /// Record every mutation in a replayable trace.
+    trace: bool,
 }
 
 impl FaultPlan {
@@ -88,6 +93,8 @@ impl FaultPlan {
         Self {
             seed,
             rules: Vec::new(),
+            crash_after: None,
+            trace: false,
         }
     }
 
@@ -140,6 +147,31 @@ impl FaultPlan {
     pub fn with_torn_writes(self, pattern: &str, count: u64) -> Self {
         self.push(pattern, FaultKind::TornWrite, 1, Some(count))
     }
+
+    /// The process "crashes" once `budget` mutation bytes have been
+    /// charged: the mutation that crosses the budget fails — an atomic
+    /// `write_file` persists nothing, an `append_file` persists exactly
+    /// the remaining-budget prefix (a torn tail) — and every later
+    /// mutation fails too. Reads keep working (post-mortem inspection).
+    ///
+    /// Every mutation is charged its data length with a one-byte floor,
+    /// so zero-length operations (`sync_file`, `remove_file`) are
+    /// distinct crash points. Combined with the trace of a clean run
+    /// ([`FaultStore::write_trace`] under [`FaultPlan::with_write_trace`])
+    /// this enumerates a deterministic crash-point matrix: every
+    /// operation boundary plus any mid-operation byte offset.
+    pub fn with_crash_after_bytes(mut self, budget: u64) -> Self {
+        self.crash_after = Some(budget);
+        self
+    }
+
+    /// Records every mutating operation (name and cumulative charged
+    /// bytes) for retrieval via [`FaultStore::write_trace`]. Off by
+    /// default — the trace grows without bound on long workloads.
+    pub fn with_write_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
 }
 
 /// Tallies of the faults actually injected.
@@ -166,6 +198,31 @@ impl FaultCounters {
 struct FaultState {
     rules: Vec<Rule>,
     counters: FaultCounters,
+    /// Remaining mutation-byte budget before the injected crash.
+    crash_remaining: Option<u64>,
+    /// Once set, every mutation fails.
+    crashed: bool,
+    /// Mutation bytes charged so far (data length, one-byte floor).
+    written: u64,
+    /// `Some` when tracing: (op:file, cumulative charged bytes) pairs.
+    trace: Option<Vec<(String, u64)>>,
+}
+
+/// What a charged mutation may do, given the crash budget.
+enum Charge {
+    /// The whole operation proceeds.
+    Proceed,
+    /// The crash point landed inside (or before) this operation: persist
+    /// at most `keep` bytes, then fail.
+    Crash {
+        /// Surviving prefix length for append-style mutations; atomic
+        /// replaces persist nothing regardless.
+        keep: u64,
+    },
+}
+
+fn crash_error(op: &str, name: &str) -> io::Error {
+    io::Error::other(format!("injected crash: {op} {name} rejected"))
 }
 
 /// A [`ByteStore`] wrapper that injects faults per a [`FaultPlan`].
@@ -185,6 +242,10 @@ impl<S: ByteStore> FaultStore<S> {
             state: Mutex::new(FaultState {
                 rules: plan.rules,
                 counters: FaultCounters::default(),
+                crash_remaining: plan.crash_after,
+                crashed: false,
+                written: 0,
+                trace: plan.trace.then(Vec::new),
             }),
         }
     }
@@ -192,6 +253,27 @@ impl<S: ByteStore> FaultStore<S> {
     /// Counters of the faults injected so far.
     pub fn counters(&self) -> FaultCounters {
         self.lock().counters
+    }
+
+    /// Mutation bytes charged so far (data length, one-byte floor per
+    /// operation) — the coordinate system of
+    /// [`FaultPlan::with_crash_after_bytes`].
+    pub fn bytes_written(&self) -> u64 {
+        self.lock().written
+    }
+
+    /// `true` once the injected crash point has been hit.
+    pub fn has_crashed(&self) -> bool {
+        self.lock().crashed
+    }
+
+    /// The mutation trace of a [`FaultPlan::with_write_trace`] run:
+    /// `(op:file, cumulative charged bytes)` per mutation, in order. A
+    /// crash harness records this on a clean run, then replays with
+    /// [`FaultPlan::with_crash_after_bytes`] at every boundary and
+    /// mid-operation offset it exposes. Empty when tracing is off.
+    pub fn write_trace(&self) -> Vec<(String, u64)> {
+        self.lock().trace.clone().unwrap_or_default()
     }
 
     /// The wrapped store.
@@ -208,6 +290,37 @@ impl<S: ByteStore> FaultStore<S> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Charges a mutation of `len` data bytes against the crash budget
+    /// (one-byte floor) and appends it to the trace when tracing.
+    fn charge(&self, op: &str, name: &str, len: u64) -> Charge {
+        let mut st = self.lock();
+        if st.crashed {
+            return Charge::Crash { keep: 0 };
+        }
+        let cost = len.max(1);
+        let keep = match st.crash_remaining {
+            Some(remaining) if remaining < cost => {
+                st.crashed = true;
+                Some(remaining.min(len))
+            }
+            _ => {
+                if let Some(remaining) = &mut st.crash_remaining {
+                    *remaining -= cost;
+                }
+                None
+            }
+        };
+        st.written += keep.unwrap_or(cost);
+        let written = st.written;
+        if let Some(trace) = &mut st.trace {
+            trace.push((format!("{op}:{name}"), written));
+        }
+        match keep {
+            Some(keep) => Charge::Crash { keep },
+            None => Charge::Proceed,
+        }
+    }
+
     /// Deterministic value in `0..bound` for this (file, occurrence).
     fn roll(&self, name: &str, salt: u64, bound: u64) -> u64 {
         let mut s = self.seed ^ hash_name(name) ^ salt.wrapping_mul(0x2545_F491_4F6C_DD1D);
@@ -220,6 +333,11 @@ impl<S: ByteStore> FaultStore<S> {
 
 impl<S: ByteStore> ByteStore for FaultStore<S> {
     fn write_file(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+        // Crash budget first: an atomic replace that crashes persists
+        // nothing (the temp file never got renamed into place).
+        if let Charge::Crash { .. } = self.charge("write", name, data.len() as u64) {
+            return Err(crash_error("write", name));
+        }
         let mut torn = None;
         {
             let mut st = self.lock();
@@ -241,6 +359,65 @@ impl<S: ByteStore> ByteStore for FaultStore<S> {
                 self.inner.write_file(name, &data[..keep])
             }
             None => self.inner.write_file(name, data),
+        }
+    }
+
+    /// Appends honor both injections: a crash persists exactly the
+    /// remaining-budget prefix (a torn log tail), and a matching
+    /// [`FaultPlan::with_torn_writes`] rule models a **torn fsync** —
+    /// a seeded prefix lands but the operation reports failure, so a
+    /// correct caller must not acknowledge the batch.
+    fn append_file(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+        match self.charge("append", name, data.len() as u64) {
+            Charge::Crash { keep } => {
+                if keep > 0 {
+                    self.inner.append_file(name, &data[..keep as usize])?;
+                }
+                Err(crash_error("append", name))
+            }
+            Charge::Proceed => {
+                let mut torn = None;
+                {
+                    let mut st = self.lock();
+                    for rule in st.rules.iter_mut() {
+                        if rule.kind == FaultKind::TornWrite
+                            && name.contains(&rule.pattern)
+                            && rule.fire()
+                        {
+                            torn = Some(rule.seen);
+                            break;
+                        }
+                    }
+                    if torn.is_some() {
+                        st.counters.torn_writes += 1;
+                    }
+                }
+                match torn {
+                    Some(occurrence) => {
+                        let keep = self.roll(name, occurrence, data.len().max(1) as u64) as usize;
+                        self.inner.append_file(name, &data[..keep])?;
+                        Err(io::Error::new(
+                            io::ErrorKind::WriteZero,
+                            format!("injected torn fsync appending {name}"),
+                        ))
+                    }
+                    None => self.inner.append_file(name, data),
+                }
+            }
+        }
+    }
+
+    fn sync_file(&mut self, name: &str) -> io::Result<()> {
+        match self.charge("sync", name, 0) {
+            Charge::Crash { .. } => Err(crash_error("sync", name)),
+            Charge::Proceed => self.inner.sync_file(name),
+        }
+    }
+
+    fn remove_file(&mut self, name: &str) -> io::Result<()> {
+        match self.charge("remove", name, 0) {
+            Charge::Crash { .. } => Err(crash_error("remove", name)),
+            Charge::Proceed => self.inner.remove_file(name),
         }
     }
 
@@ -368,6 +545,70 @@ mod tests {
         assert_eq!(fs.read_file("b.cmp").unwrap().len(), 5);
         assert_eq!(fs.read_file("a.bmp").unwrap().len(), 32);
         assert_eq!(fs.counters().truncated_reads, 1);
+    }
+
+    #[test]
+    fn crash_budget_fails_mutations_at_the_byte_boundary() {
+        // Budget 10: an 8-byte write proceeds, the next 8-byte append
+        // crosses the budget and persists exactly the 2 remaining bytes.
+        let mut fs = FaultStore::new(
+            MemStore::new(),
+            FaultPlan::new(1)
+                .with_crash_after_bytes(10)
+                .with_write_trace(),
+        );
+        fs.write_file("w.bin", &[1u8; 8]).unwrap();
+        let err = fs.append_file("log", &[2u8; 8]).unwrap_err();
+        assert!(err.to_string().contains("injected crash"), "{err}");
+        assert!(fs.has_crashed());
+        assert_eq!(fs.inner().read_file("log").unwrap(), vec![2u8; 2]);
+        // After the crash every mutation fails; reads still work.
+        assert!(fs.write_file("x", &[0]).is_err());
+        assert!(fs.sync_file("w.bin").is_err());
+        assert!(fs.remove_file("w.bin").is_err());
+        assert_eq!(fs.read_file("w.bin").unwrap(), vec![1u8; 8]);
+        assert_eq!(fs.bytes_written(), 10);
+        let trace = fs.write_trace();
+        assert_eq!(trace[0], ("write:w.bin".to_string(), 8));
+        assert_eq!(trace[1], ("append:log".to_string(), 10));
+    }
+
+    #[test]
+    fn crash_mid_atomic_write_persists_nothing() {
+        let mut fs = FaultStore::new(seeded_store(), FaultPlan::new(1).with_crash_after_bytes(3));
+        let err = fs.write_file("a.bmp", &[7u8; 16]).unwrap_err();
+        assert!(err.to_string().contains("injected crash"), "{err}");
+        // The old content survives untouched: atomic replace semantics.
+        assert_eq!(fs.inner().read_file("a.bmp").unwrap(), vec![0xFF; 32]);
+    }
+
+    #[test]
+    fn zero_length_mutations_are_distinct_crash_points() {
+        // Budget 1 admits the 1-byte append; the sync (1-byte floor)
+        // crashes — the torn-fsync boundary.
+        let mut fs = FaultStore::new(MemStore::new(), FaultPlan::new(1).with_crash_after_bytes(1));
+        fs.append_file("log", &[5]).unwrap();
+        assert!(fs.sync_file("log").is_err());
+        assert_eq!(fs.inner().read_file("log").unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn torn_fsync_on_append_persists_prefix_and_errors() {
+        let mut fs = FaultStore::new(
+            MemStore::new(),
+            FaultPlan::new(7).with_torn_writes("log", 1),
+        );
+        let err = fs.append_file("log", &[9u8; 100]).unwrap_err();
+        assert!(err.to_string().contains("torn fsync"), "{err}");
+        let stored = fs.inner().read_file("log").unwrap();
+        assert!(stored.len() < 100, "got {} bytes", stored.len());
+        // Budget exhausted: the next append lands whole and succeeds.
+        fs.append_file("log", &[9u8; 10]).unwrap();
+        assert_eq!(
+            fs.inner().read_file("log").unwrap().len(),
+            stored.len() + 10
+        );
+        assert_eq!(fs.counters().torn_writes, 1);
     }
 
     #[test]

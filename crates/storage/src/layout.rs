@@ -66,9 +66,47 @@ pub struct StoredIndexMeta {
     /// operator the store has lost bytes before, even though reads are
     /// clean now.
     pub repairs: Vec<String>,
+    /// Base generation. Generation 0 uses the legacy file names
+    /// (`c{i}_b{j}.bmp`); every [`StoredIndex::install_generation`] bumps
+    /// it and writes `g{G}_`-prefixed files, so the old and new base never
+    /// collide and a crash mid-compaction leaves whichever generation the
+    /// manifest points at.
+    pub generation: u64,
+    /// Highest WAL sequence number folded into this base by compaction.
+    /// Replay after reopen skips records at or below it.
+    pub wal_applied: u64,
+    /// Whether a non-null bitmap file is persisted alongside the slots
+    /// (deleted rows are stored as nulls, so any compaction that absorbed
+    /// a delete writes one).
+    pub has_nn: bool,
+    /// Compaction journal: one line per installed generation, oldest
+    /// first, persisted as `compacted=` manifest lines — the ingest
+    /// counterpart of the `repaired=` journal.
+    pub compactions: Vec<String>,
 }
 
 impl StoredIndexMeta {
+    /// Metadata for a freshly built generation-0 store with empty
+    /// journals.
+    fn fresh(
+        n_rows: usize,
+        bitmaps_per_component: Vec<u32>,
+        scheme: StorageScheme,
+        codec: CodecKind,
+    ) -> Self {
+        Self {
+            n_rows,
+            bitmaps_per_component,
+            scheme,
+            codec,
+            repairs: Vec::new(),
+            generation: 0,
+            wal_applied: 0,
+            has_nn: false,
+            compactions: Vec::new(),
+        }
+    }
+
     /// Total stored bitmaps `n`.
     pub fn total_bitmaps(&self) -> u64 {
         self.bitmaps_per_component
@@ -97,10 +135,28 @@ impl StoredIndexMeta {
             self.codec.name(),
             comps.join(",")
         );
+        // Ingest metadata is emitted only when set, so a never-ingested
+        // store's manifest stays byte-identical to what older builds wrote.
+        if self.generation != 0 {
+            text.push_str(&format!("generation={}\n", self.generation));
+        }
+        if self.wal_applied != 0 {
+            text.push_str(&format!("wal_applied={}\n", self.wal_applied));
+        }
+        if self.has_nn {
+            text.push_str("nn=1\n");
+        }
         // The repair journal: one repeatable line per rewritten file.
         for file in &self.repairs {
             text.push_str("repaired=");
             text.push_str(file);
+            text.push('\n');
+        }
+        // The compaction journal: one repeatable line per installed
+        // generation.
+        for entry in &self.compactions {
+            text.push_str("compacted=");
+            text.push_str(entry);
             text.push('\n');
         }
         text
@@ -117,6 +173,10 @@ impl StoredIndexMeta {
         let mut comps: Option<Vec<u32>> = None;
         let mut version = None;
         let mut repairs = Vec::new();
+        let mut generation = 0;
+        let mut wal_applied = 0;
+        let mut has_nn = false;
+        let mut compactions = Vec::new();
         for line in text.lines().filter(|l| !l.trim().is_empty()) {
             let (k, v) = line
                 .split_once('=')
@@ -149,6 +209,16 @@ impl StoredIndexMeta {
                     )
                 }
                 "repaired" => repairs.push(v.to_string()),
+                "generation" => generation = v.parse().map_err(|_| bad("bad generation"))?,
+                "wal_applied" => wal_applied = v.parse().map_err(|_| bad("bad wal_applied"))?,
+                "nn" => {
+                    has_nn = match v {
+                        "1" => true,
+                        "0" => false,
+                        other => return Err(bad(&format!("bad nn flag {other}"))),
+                    }
+                }
+                "compacted" => compactions.push(v.to_string()),
                 other => return Err(bad(&format!("unknown key {other}"))),
             }
         }
@@ -165,6 +235,10 @@ impl StoredIndexMeta {
                 scheme: scheme.ok_or_else(|| bad("missing scheme"))?,
                 codec: codec.ok_or_else(|| bad("missing codec"))?,
                 repairs,
+                generation,
+                wal_applied,
+                has_nn,
+                compactions,
             },
             version,
         ))
@@ -202,13 +276,12 @@ impl<S: ByteStore> StoredIndex<S> {
         for comp in components.iter().flatten() {
             assert_eq!(comp.len(), n_rows, "bitmaps must share the row count");
         }
-        let meta = StoredIndexMeta {
+        let meta = StoredIndexMeta::fresh(
             n_rows,
-            bitmaps_per_component: components.iter().map(|c| c.len() as u32).collect(),
+            components.iter().map(|c| c.len() as u32).collect(),
             scheme,
             codec,
-            repairs: Vec::new(),
-        };
+        );
         match scheme {
             StorageScheme::BitmapLevel => {
                 for (ci, comp) in components.iter().enumerate() {
@@ -268,13 +341,12 @@ impl<S: ByteStore> StoredIndex<S> {
         for comp in components.iter().flatten() {
             assert_eq!(comp.len(), n_rows, "bitmaps must share the row count");
         }
-        let meta = StoredIndexMeta {
+        let meta = StoredIndexMeta::fresh(
             n_rows,
-            bitmaps_per_component: components.iter().map(|c| c.len() as u32).collect(),
-            scheme: StorageScheme::BitmapLevel,
+            components.iter().map(|c| c.len() as u32).collect(),
+            StorageScheme::BitmapLevel,
             codec,
-            repairs: Vec::new(),
-        };
+        );
         for (ci, comp) in components.iter().enumerate() {
             for (j, bm) in comp.iter().enumerate() {
                 store.write_file(
@@ -324,7 +396,7 @@ impl<S: ByteStore> StoredIndex<S> {
                 "version 3 requires the bitmap-level scheme",
             ));
         }
-        Ok(Self {
+        let mut index = Self {
             store,
             meta,
             stats: IoStats {
@@ -333,7 +405,32 @@ impl<S: ByteStore> StoredIndex<S> {
             },
             version,
             retry,
-        })
+        };
+        index.scavenge_stale_generations();
+        Ok(index)
+    }
+
+    /// Removes data files belonging to generations other than the
+    /// manifest's — orphans left by a crash between compaction steps
+    /// (new-generation files written but never committed, or an old
+    /// generation whose garbage collection was interrupted). Best-effort:
+    /// a store that cannot mutate (e.g. a crashed fault store) keeps its
+    /// orphans until the next open; reads never consult them.
+    fn scavenge_stale_generations(&mut self) -> Vec<String> {
+        let names = match self.store.file_names() {
+            Ok(names) => names,
+            Err(_) => return Vec::new(),
+        };
+        let mut removed = Vec::new();
+        for name in names {
+            if data_file_generation(&name).is_some_and(|g| g != self.meta.generation)
+                && self.store.remove_file(&name).is_ok()
+            {
+                removed.push(name);
+            }
+        }
+        removed.sort();
+        removed
     }
 
     /// Shape metadata.
@@ -373,6 +470,18 @@ impl<S: ByteStore> StoredIndex<S> {
         &self.store
     }
 
+    /// Mutable access to the underlying byte store — the ingest layer's
+    /// WAL append path writes through here so the log and the base share
+    /// one store (and one fault plan under test).
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Slot file name under this store's current generation.
+    fn slot_file(&self, comp: usize, slot: usize) -> String {
+        gen_bitmap_file(self.meta.generation, comp, slot)
+    }
+
     /// Consumes the index, returning the underlying store.
     pub fn into_store(self) -> S {
         self.store
@@ -387,7 +496,7 @@ impl<S: ByteStore> StoredIndex<S> {
             .file_names()
             .unwrap_or_default()
             .iter()
-            .filter(|n| n.as_str() != MANIFEST_FILE)
+            .filter(|n| n.as_str() != MANIFEST_FILE && n.as_str() != crate::wal::WAL_FILE)
             .map(|n| self.store.file_size(n).unwrap_or(0))
             .sum()
     }
@@ -459,6 +568,49 @@ impl<S: ByteStore> StoredIndex<S> {
         Ok((repr, delta))
     }
 
+    /// Reads the persisted non-null bitmap, if this generation stored one
+    /// ([`StoredIndexMeta::has_nn`]). Deleted rows are persisted as nulls,
+    /// so evaluators mask them out through the ordinary null-handling
+    /// path.
+    pub fn read_nn(&mut self) -> Result<Option<BitVec>, StorageError> {
+        let mut delta = IoStats::default();
+        let out = self.read_nn_into(&mut delta);
+        self.stats.add(&delta);
+        out
+    }
+
+    /// Shared-state variant of [`StoredIndex::read_nn`], mirroring
+    /// [`StoredIndex::read_bitmap_shared`].
+    pub fn read_nn_shared(&self) -> Result<(Option<BitVec>, IoStats), StorageError> {
+        let mut delta = IoStats::default();
+        let nn = self.read_nn_into(&mut delta)?;
+        Ok((nn, delta))
+    }
+
+    fn read_nn_into(&self, delta: &mut IoStats) -> Result<Option<BitVec>, StorageError> {
+        if !self.meta.has_nn {
+            return Ok(None);
+        }
+        let name = gen_nn_file(self.meta.generation);
+        if self.slot_coded() {
+            self.read_nn_slot(&name, delta).map(Some)
+        } else {
+            let raw = self.read_and_decompress(&name, self.meta.n_rows.div_ceil(8), delta)?;
+            Ok(Some(BitVec::from_bytes(self.meta.n_rows, &raw)))
+        }
+    }
+
+    /// Materializes a v3-tagged nn file.
+    fn read_nn_slot(&self, name: &str, delta: &mut IoStats) -> Result<BitVec, StorageError> {
+        match self.read_slot_repr(name, delta)? {
+            Repr::Literal(b) => Ok(std::sync::Arc::try_unwrap(b).unwrap_or_else(|a| (*a).clone())),
+            Repr::Wah(w) => {
+                delta.bytes_decompressed += self.meta.n_rows.div_ceil(8) as u64;
+                Ok(w.to_bitvec())
+            }
+        }
+    }
+
     fn read_repr_into(
         &self,
         comp: usize,
@@ -467,7 +619,7 @@ impl<S: ByteStore> StoredIndex<S> {
     ) -> Result<Repr, StorageError> {
         if self.slot_coded() {
             self.check_slot(comp, slot)?;
-            self.read_slot_repr(&bitmap_file(comp, slot), delta)
+            self.read_slot_repr(&self.slot_file(comp, slot), delta)
         } else {
             self.read_bitmap_into(comp, slot, delta).map(Repr::literal)
         }
@@ -541,7 +693,7 @@ impl<S: ByteStore> StoredIndex<S> {
         let n_rows = self.meta.n_rows;
         match self.meta.scheme {
             StorageScheme::BitmapLevel if self.slot_coded() => {
-                match self.read_slot_repr(&bitmap_file(comp, slot), delta)? {
+                match self.read_slot_repr(&self.slot_file(comp, slot), delta)? {
                     Repr::Literal(b) => {
                         Ok(std::sync::Arc::try_unwrap(b).unwrap_or_else(|a| (*a).clone()))
                     }
@@ -554,8 +706,11 @@ impl<S: ByteStore> StoredIndex<S> {
                 }
             }
             StorageScheme::BitmapLevel => {
-                let raw =
-                    self.read_and_decompress(&bitmap_file(comp, slot), n_rows.div_ceil(8), delta)?;
+                let raw = self.read_and_decompress(
+                    &self.slot_file(comp, slot),
+                    n_rows.div_ceil(8),
+                    delta,
+                )?;
                 Ok(BitVec::from_bytes(n_rows, &raw))
             }
             StorageScheme::ComponentLevel => {
@@ -588,7 +743,12 @@ impl<S: ByteStore> StoredIndex<S> {
             report.files_checked += 1;
             let outcome = read_with_retry(&self.store, name, self.retry, &mut self.stats.retries)
                 .and_then(|data| {
-                    if self.framed() {
+                    if name == crate::wal::WAL_FILE {
+                        // The WAL is length-framed per record, not
+                        // checksum-framed per file; a torn tail is a normal
+                        // crash artifact, only a corrupt header fails.
+                        crate::wal::replay(&data).map(|_| ())
+                    } else if self.framed() {
                         format::unframe(name, &data).map(|_| ())
                     } else {
                         Ok(())
@@ -613,7 +773,7 @@ impl<S: ByteStore> StoredIndex<S> {
             StorageScheme::BitmapLevel => {
                 for (ci, &n_i) in shape.iter().enumerate() {
                     for slot in 0..n_i as usize {
-                        if bitmap_file(ci + 1, slot) == name {
+                        if self.slot_file(ci + 1, slot) == name {
                             return vec![(ci + 1, slot)];
                         }
                     }
@@ -717,6 +877,101 @@ impl<S: ByteStore> StoredIndex<S> {
         Ok(report)
     }
 
+    /// Installs a compacted base as the next generation, atomically.
+    ///
+    /// The new bitmaps (and optional non-null mask, which also carries
+    /// deleted rows as nulls) are written as **version-3** slot files under
+    /// `g{G+1}_`-prefixed names, so nothing the current generation reads is
+    /// touched. The single commit point is the manifest rewrite — one
+    /// atomic `write_file` that flips generation, scheme (always
+    /// bitmap-level after compaction), `wal_applied` watermark, and appends
+    /// a `compacted=` journal line. A crash strictly before that write
+    /// leaves the old generation fully intact (the orphaned `g{G+1}_` files
+    /// are scavenged on the next open); a crash after it leaves the new
+    /// generation committed (stale old files likewise scavenged). There is
+    /// no intermediate state in which a reader mixes the two.
+    ///
+    /// After the commit, old-generation files are garbage-collected and the
+    /// WAL is reset through the atomic write path — both best-effort, since
+    /// the commit has already happened and reopen repeats the cleanup. The
+    /// WAL is only reset when its highest sequence number is covered by
+    /// `wal_applied`, so records appended concurrently with a lagging
+    /// compaction are never dropped.
+    ///
+    /// Returns the new generation number. Version-1 stores (no checksummed
+    /// frames, hence no atomic-commit guarantee worth the name) are
+    /// rejected.
+    pub fn install_generation(
+        &mut self,
+        components: &[Vec<BitVec>],
+        nn: Option<&BitVec>,
+        wal_applied: u64,
+    ) -> Result<u64, StorageError> {
+        if self.version < 2 {
+            return Err(StorageError::corrupt(
+                MANIFEST_FILE,
+                "version 1 stores cannot install compacted generations",
+            ));
+        }
+        let n_rows = components
+            .first()
+            .and_then(|c| c.first())
+            .map_or(0, BitVec::len);
+        for comp in components.iter().flatten() {
+            assert_eq!(comp.len(), n_rows, "bitmaps must share the row count");
+        }
+        if let Some(nn) = nn {
+            assert_eq!(nn.len(), n_rows, "nn mask must share the row count");
+        }
+        let next = self.meta.generation + 1;
+        // Step 1: write every new-generation file. A crash anywhere in
+        // here leaves orphans; the manifest still names the old base.
+        for (ci, comp) in components.iter().enumerate() {
+            for (j, bm) in comp.iter().enumerate() {
+                self.store.write_file(
+                    &gen_bitmap_file(next, ci + 1, j),
+                    &format::frame(&encode_slot_v3(bm, self.meta.codec)),
+                )?;
+            }
+        }
+        if let Some(nn) = nn {
+            self.store.write_file(
+                &gen_nn_file(next),
+                &format::frame(&encode_slot_v3(nn, self.meta.codec)),
+            )?;
+        }
+        // Step 2: the commit point — one atomic manifest swap.
+        let mut meta = self.meta.clone();
+        meta.n_rows = n_rows;
+        meta.bitmaps_per_component = components.iter().map(|c| c.len() as u32).collect();
+        meta.scheme = StorageScheme::BitmapLevel;
+        meta.generation = next;
+        meta.wal_applied = wal_applied;
+        meta.has_nn = nn.is_some();
+        meta.compactions
+            .push(format!("gen{next}:rows={n_rows}:wal={wal_applied}"));
+        self.store.write_file(
+            MANIFEST_FILE,
+            &format::frame(meta.to_manifest(3).as_bytes()),
+        )?;
+        self.meta = meta;
+        self.version = 3;
+        // Step 3: cleanup, best-effort (reopen scavenges whatever this
+        // misses — including everything, if the store just crashed).
+        self.scavenge_stale_generations();
+        if let Ok(data) = self.store.read_file(crate::wal::WAL_FILE) {
+            let covered = crate::wal::replay(&data)
+                .map(|out| out.records.last().map_or(0, |r| r.seq) <= wal_applied)
+                .unwrap_or(true);
+            if covered {
+                let _ = self
+                    .store
+                    .write_file(crate::wal::WAL_FILE, &crate::wal::wal_header());
+            }
+        }
+        Ok(next)
+    }
+
     /// The manifest serialization matching this store's format version
     /// (repairs never change a store's version).
     fn manifest_text(&self) -> String {
@@ -810,7 +1065,58 @@ fn encode_slot_v3(bm: &BitVec, codec: CodecKind) -> Vec<u8> {
 }
 
 fn bitmap_file(comp: usize, slot: usize) -> String {
-    format!("c{comp}_b{slot}.bmp")
+    gen_bitmap_file(0, comp, slot)
+}
+
+/// Slot file name for a given base generation. Generation 0 keeps the
+/// legacy names so pre-ingest stores stay readable byte-for-byte;
+/// compacted generations are `g{G}_`-prefixed so two generations never
+/// collide in one store.
+fn gen_bitmap_file(generation: u64, comp: usize, slot: usize) -> String {
+    if generation == 0 {
+        format!("c{comp}_b{slot}.bmp")
+    } else {
+        format!("g{generation}_c{comp}_b{slot}.bmp")
+    }
+}
+
+/// Non-null bitmap file name for a given base generation.
+fn gen_nn_file(generation: u64) -> String {
+    if generation == 0 {
+        "nn.bmp".to_string()
+    } else {
+        format!("g{generation}_nn.bmp")
+    }
+}
+
+/// The generation a data file belongs to, or `None` for files outside the
+/// data layout (manifest, WAL, strays). Used to scavenge orphans left by
+/// a crash between compaction steps.
+fn data_file_generation(name: &str) -> Option<u64> {
+    let (generation, rest) = match name.strip_prefix('g') {
+        Some(tail) => {
+            let (num, rest) = tail.split_once('_')?;
+            (num.parse().ok()?, rest)
+        }
+        None => (0, name),
+    };
+    let is_data = rest == "nn.bmp"
+        || rest == INDEX_FILE
+        || parse_slot_name(rest).is_some()
+        || parse_component_name(rest).is_some();
+    is_data.then_some(generation)
+}
+
+/// Parses `c{comp}_b{slot}.bmp`.
+fn parse_slot_name(name: &str) -> Option<(usize, usize)> {
+    let rest = name.strip_prefix('c')?.strip_suffix(".bmp")?;
+    let (comp, slot) = rest.split_once("_b")?;
+    Some((comp.parse().ok()?, slot.parse().ok()?))
+}
+
+/// Parses `c{comp}.cmp`.
+fn parse_component_name(name: &str) -> Option<usize> {
+    name.strip_prefix('c')?.strip_suffix(".cmp")?.parse().ok()
 }
 
 fn component_file(comp: usize) -> String {
@@ -1019,8 +1325,17 @@ mod tests {
             scheme: StorageScheme::BitmapLevel,
             codec: CodecKind::Lzss,
             repairs: vec!["c1_b0.bmp".into(), "c3_b2.bmp".into()],
+            generation: 0,
+            wal_applied: 0,
+            has_nn: false,
+            compactions: Vec::new(),
         };
         let text = meta.to_manifest(2);
+        // Defaulted ingest keys are not emitted: pre-ingest manifests stay
+        // byte-identical to what older builds wrote.
+        assert!(!text.contains("generation="));
+        assert!(!text.contains("wal_applied="));
+        assert!(!text.contains("nn="));
         let (parsed, version) = StoredIndexMeta::from_manifest(&text).unwrap();
         assert_eq!(parsed, meta);
         assert_eq!(version, 2);
@@ -1034,6 +1349,108 @@ mod tests {
         let mut store = MemStore::new();
         store.write_file("other", b"x").unwrap();
         assert!(StoredIndex::open(store).is_err(), "missing manifest");
+    }
+
+    #[test]
+    fn manifest_roundtrips_ingest_metadata() {
+        let meta = StoredIndexMeta {
+            n_rows: 64,
+            bitmaps_per_component: vec![4],
+            scheme: StorageScheme::BitmapLevel,
+            codec: CodecKind::None,
+            repairs: Vec::new(),
+            generation: 3,
+            wal_applied: 17,
+            has_nn: true,
+            compactions: vec!["gen3:rows=64:wal=17".into()],
+        };
+        let text = meta.to_manifest(3);
+        let (parsed, version) = StoredIndexMeta::from_manifest(&text).unwrap();
+        assert_eq!(parsed, meta);
+        assert_eq!(version, 3);
+        assert!(StoredIndexMeta::from_manifest(&text.replace("nn=1", "nn=2")).is_err());
+        assert!(
+            StoredIndexMeta::from_manifest(&text.replace("generation=3", "generation=x")).is_err()
+        );
+    }
+
+    #[test]
+    fn data_file_generation_classifies_names() {
+        assert_eq!(data_file_generation("c1_b0.bmp"), Some(0));
+        assert_eq!(data_file_generation("c2.cmp"), Some(0));
+        assert_eq!(data_file_generation("index.bix"), Some(0));
+        assert_eq!(data_file_generation("nn.bmp"), Some(0));
+        assert_eq!(data_file_generation("g7_c1_b0.bmp"), Some(7));
+        assert_eq!(data_file_generation("g7_nn.bmp"), Some(7));
+        assert_eq!(data_file_generation(MANIFEST_FILE), None);
+        assert_eq!(data_file_generation(crate::wal::WAL_FILE), None);
+        assert_eq!(data_file_generation("stray.tmp"), None);
+        assert_eq!(data_file_generation("gx_c1_b0.bmp"), None);
+    }
+
+    #[test]
+    fn install_generation_swaps_base_atomically() {
+        let comps = sample_components();
+        let mut stored = StoredIndex::create(
+            MemStore::new(),
+            &comps,
+            StorageScheme::BitmapLevel,
+            CodecKind::None,
+        )
+        .unwrap();
+        // New base: same shape, first bitmap complemented, one nulled row.
+        let mut new_comps = comps.clone();
+        new_comps[0][0].not_assign();
+        let mut nn = BitVec::ones(20);
+        nn.set(3, false);
+        let generation = stored.install_generation(&new_comps, Some(&nn), 9).unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(stored.format_version(), 3);
+        assert_eq!(stored.meta().generation, 1);
+        assert_eq!(stored.meta().wal_applied, 9);
+        assert!(stored.meta().has_nn);
+        assert_eq!(stored.meta().compactions, vec!["gen1:rows=20:wal=9"]);
+        for (ci, comp) in new_comps.iter().enumerate() {
+            for (j, bm) in comp.iter().enumerate() {
+                assert_eq!(&stored.read_bitmap(ci + 1, j).unwrap(), bm);
+            }
+        }
+        assert_eq!(stored.read_nn().unwrap(), Some(nn.clone()));
+        // Old-generation files are gone; a reopen sees only the new base.
+        let store = stored.into_store();
+        assert!(store.read_file("c1_b0.bmp").is_err());
+        let mut reopened = StoredIndex::open(store).unwrap();
+        assert_eq!(reopened.meta().generation, 1);
+        assert_eq!(reopened.read_nn().unwrap(), Some(nn));
+        assert_eq!(&reopened.read_bitmap(1, 0).unwrap(), &new_comps[0][0]);
+        assert!(reopened.scrub().unwrap().is_clean());
+    }
+
+    #[test]
+    fn open_scavenges_orphaned_generation_files() {
+        let comps = sample_components();
+        let stored = StoredIndex::create(
+            MemStore::new(),
+            &comps,
+            StorageScheme::BitmapLevel,
+            CodecKind::None,
+        )
+        .unwrap();
+        let mut store = stored.into_store();
+        // Simulate a crash mid-compaction: new-generation files written,
+        // manifest never swapped.
+        store
+            .write_file("g1_c1_b0.bmp", &format::frame(b"orphan"))
+            .unwrap();
+        store
+            .write_file("g1_nn.bmp", &format::frame(b"orphan"))
+            .unwrap();
+        let mut reopened = StoredIndex::open(store).unwrap();
+        assert_eq!(reopened.meta().generation, 0);
+        assert!(reopened.store().read_file("g1_c1_b0.bmp").is_err());
+        assert!(reopened.store().read_file("g1_nn.bmp").is_err());
+        assert!(reopened.scrub().unwrap().is_clean());
+        assert_eq!(&reopened.read_bitmap(1, 0).unwrap(), &comps[0][0]);
     }
 
     #[test]

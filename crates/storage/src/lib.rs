@@ -39,6 +39,7 @@ pub mod format;
 mod layout;
 pub mod shared;
 mod store;
+pub mod wal;
 
 pub use buffer_pool::{BufferPool, PoolStats, ShardedPool};
 pub use error::{RepairReport, RetryPolicy, ScrubFailure, ScrubReport, StorageError};

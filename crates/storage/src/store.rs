@@ -41,6 +41,30 @@ pub trait ByteStore {
     /// propagate rather than masquerading as an empty store.
     fn file_names(&self) -> io::Result<Vec<String>>;
 
+    /// Appends bytes to the end of a file, creating it if absent — the
+    /// write-ahead-log primitive. Unlike [`ByteStore::write_file`] an
+    /// append is **not** atomic: a crash may persist any prefix, which is
+    /// why WAL records carry their own framing and checksum. Durability
+    /// requires a following [`ByteStore::sync_file`].
+    fn append_file(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+        let mut bytes = match self.read_file(name) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        bytes.extend_from_slice(data);
+        self.write_file(name, &bytes)
+    }
+
+    /// Durably flushes a file's content to the medium (fsync). A no-op
+    /// for stores whose writes are immediately durable (memory).
+    fn sync_file(&mut self, _name: &str) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Removes a file. Removing a missing file is an error.
+    fn remove_file(&mut self, name: &str) -> io::Result<()>;
+
     /// Total bytes across all files.
     fn total_bytes(&self) -> io::Result<u64> {
         let mut sum = 0;
@@ -70,6 +94,18 @@ impl ByteStore for Box<dyn ByteStore + Send + Sync> {
 
     fn file_names(&self) -> io::Result<Vec<String>> {
         (**self).file_names()
+    }
+
+    fn append_file(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+        (**self).append_file(name, data)
+    }
+
+    fn sync_file(&mut self, name: &str) -> io::Result<()> {
+        (**self).sync_file(name)
+    }
+
+    fn remove_file(&mut self, name: &str) -> io::Result<()> {
+        (**self).remove_file(name)
     }
 
     fn total_bytes(&self) -> io::Result<u64> {
@@ -113,6 +149,21 @@ impl ByteStore for MemStore {
     fn file_names(&self) -> io::Result<Vec<String>> {
         Ok(self.files.keys().cloned().collect())
     }
+
+    fn append_file(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.files
+            .entry(name.to_string())
+            .or_default()
+            .extend_from_slice(data);
+        Ok(())
+    }
+
+    fn remove_file(&mut self, name: &str) -> io::Result<()> {
+        self.files
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
+    }
 }
 
 /// On-disk store rooted at a directory; used by the wall-clock experiments
@@ -143,12 +194,20 @@ impl DiskStore {
         );
         self.dir.join(name)
     }
+
+    /// Fsyncs the store directory so a just-renamed or just-removed entry
+    /// is durable — without it a crash can roll back the rename itself
+    /// even though the file data was synced.
+    fn sync_dir(&self) -> io::Result<()> {
+        fs::File::open(&self.dir)?.sync_all()
+    }
 }
 
 impl ByteStore for DiskStore {
     /// Atomic replace: the data lands under a temporary name, is fsynced,
-    /// and only then renamed into place, so a crash mid-write leaves
-    /// either the old file or the new one — never a torn mixture.
+    /// and only then renamed into place — followed by a directory fsync so
+    /// the rename is durable — so a crash mid-write leaves either the old
+    /// file or the new one, never a torn mixture.
     fn write_file(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
         use std::io::Write;
         let id = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
@@ -159,7 +218,8 @@ impl ByteStore for DiskStore {
         drop(f);
         fs::rename(&tmp, self.path_of(name)).inspect_err(|_| {
             let _ = fs::remove_file(&tmp);
-        })
+        })?;
+        self.sync_dir()
     }
 
     fn read_file(&self, name: &str) -> io::Result<Vec<u8>> {
@@ -181,6 +241,27 @@ impl ByteStore for DiskStore {
             }
         }
         Ok(names)
+    }
+
+    /// Real positional append (`O_APPEND`), not read-concat-rewrite. Not
+    /// atomic — see the trait docs; callers frame and checksum appended
+    /// records. Durability still requires [`ByteStore::sync_file`].
+    fn append_file(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path_of(name))?;
+        f.write_all(data)
+    }
+
+    fn sync_file(&mut self, name: &str) -> io::Result<()> {
+        fs::File::open(self.path_of(name))?.sync_all()
+    }
+
+    fn remove_file(&mut self, name: &str) -> io::Result<()> {
+        fs::remove_file(self.path_of(name))?;
+        self.sync_dir()
     }
 }
 
@@ -231,6 +312,17 @@ mod tests {
         // overwrite
         store.write_file("a.bin", &[7]).unwrap();
         assert_eq!(store.read_file("a.bin").unwrap(), vec![7]);
+        // append: grows an existing file, creates a missing one
+        store.append_file("a.bin", &[8, 9]).unwrap();
+        assert_eq!(store.read_file("a.bin").unwrap(), vec![7, 8, 9]);
+        store.append_file("log.bin", &[1]).unwrap();
+        store.append_file("log.bin", &[2]).unwrap();
+        assert_eq!(store.read_file("log.bin").unwrap(), vec![1, 2]);
+        store.sync_file("log.bin").unwrap();
+        // remove: gone afterwards, error when missing
+        store.remove_file("log.bin").unwrap();
+        assert!(store.read_file("log.bin").is_err());
+        assert!(store.remove_file("log.bin").is_err());
     }
 
     #[test]
