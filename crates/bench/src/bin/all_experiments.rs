@@ -26,6 +26,7 @@ const EXPERIMENTS: &[&str] = &[
     "ext_interval_encoding",
     "ext_fault_tolerance",
     "ext_batch_throughput",
+    "ext_physical_layout",
 ];
 
 fn main() {

@@ -1,0 +1,487 @@
+//! **Extension** — Compression-aware physical layout, measured end to
+//! end:
+//!
+//! * **Row reordering** — `FrequencySort` and `GrayCode` build orders vs
+//!   natural on shuffled-cluster and Zipf columns: persisted v4 bytes,
+//!   shrink ratio, and proof (bit-for-bit, after externalizing through
+//!   the persisted permutation) that answers are unchanged.
+//! * **Query-config sweep** — {v3 baseline, v4, v4+prune, v4+mmap,
+//!   v4+prune+mmap} over sparse and clustered half-dead domains: average
+//!   wall time per workload pass, end-to-end speedup vs the v3 baseline,
+//!   `segments_pruned`, bytes read, and bytes *not* fetched (v3 bytes
+//!   minus config bytes). Every configuration's answers are asserted
+//!   bit-identical to v3's before anything is timed.
+//!
+//! Emits `BENCH_physical_layout.json` at the workspace root and the
+//! usual CSV under `results/`. `--smoke` (alias `--quick`) shrinks the
+//! workload for CI.
+
+use std::time::Instant;
+
+use bindex::compress::CodecKind;
+use bindex::core::eval::{evaluate_segmented_in, Algorithm};
+use bindex::core::ExecContext;
+use bindex::relation::query::{full_space, SelectionQuery};
+use bindex::relation::{gen, Column};
+use bindex::storage::{ByteStore, MemStore, StoredIndex};
+use bindex::stored::{persist_index_v3, persist_index_v4, persist_permutation, StorageSource};
+use bindex::{
+    build_reordered, Base, BitVec, BuildOptions, Encoding, IndexSpec, MappedStore, RowOrder,
+    SUMMARY_WINDOW_BITS,
+};
+use bindex_bench::{f2, print_table, results_dir, Csv, RunProvenance};
+
+struct Config {
+    rows: usize,
+    cardinality: u32,
+    reps: usize,
+}
+
+/// Morsel size for the query sweep: one summary window per segment, so
+/// pruning decisions are at their finest stored granularity.
+const SEGMENT_BITS: usize = SUMMARY_WINDOW_BITS;
+
+/// One query-path configuration of the sweep.
+struct LayoutConfig {
+    name: &'static str,
+    v4: bool,
+    prune: bool,
+    mmap: bool,
+}
+
+const CONFIGS: [LayoutConfig; 5] = [
+    LayoutConfig {
+        name: "v3",
+        v4: false,
+        prune: false,
+        mmap: false,
+    },
+    LayoutConfig {
+        name: "v4",
+        v4: true,
+        prune: false,
+        mmap: false,
+    },
+    LayoutConfig {
+        name: "v4+prune",
+        v4: true,
+        prune: true,
+        mmap: false,
+    },
+    LayoutConfig {
+        name: "v4+mmap",
+        v4: true,
+        prune: false,
+        mmap: true,
+    },
+    LayoutConfig {
+        name: "v4+prune+mmap",
+        v4: true,
+        prune: true,
+        mmap: true,
+    },
+];
+
+/// Half the domain never occurs (dead slots — what summaries prune), the
+/// live half in medium runs: the clustered shape of the acceptance
+/// criteria.
+fn clustered_half_dead(cfg: &Config, seed: u64) -> Column {
+    let live = (cfg.cardinality / 2).max(1);
+    let runs = gen::clustered(cfg.rows, live, 1024, seed);
+    Column::new(runs.values().to_vec(), cfg.cardinality)
+}
+
+/// An eighth of the domain occurs uniformly: the sparse shape.
+fn sparse_domain(cfg: &Config, seed: u64) -> Column {
+    let live = (cfg.cardinality / 8).max(1);
+    let vals = gen::uniform(cfg.rows, live, seed);
+    Column::new(vals.values().to_vec(), cfg.cardinality)
+}
+
+/// Two-component equality index: every equality probe is a cross-
+/// component AND, every range query an OR-of-ANDs chain — the AND
+/// workloads summary pruning targets.
+fn spec(cfg: &Config) -> IndexSpec {
+    let digits = (f64::from(cfg.cardinality)).sqrt().ceil() as u32;
+    IndexSpec::new(
+        Base::from_msb(&[digits, digits]).expect("base"),
+        Encoding::Equality,
+    )
+}
+
+/// One full workload pass; returns per-query answers plus the pass's
+/// pruned-segment count.
+fn run_pass(
+    stored: &mut StoredIndex<MemStore>,
+    spec: &IndexSpec,
+    mmap: Option<&MappedStore>,
+    prune: bool,
+    queries: &[SelectionQuery],
+) -> (Vec<BitVec>, usize) {
+    let mut answers = Vec::with_capacity(queries.len());
+    let mut pruned = 0usize;
+    let mut src = StorageSource::try_new(stored, spec.clone()).expect("spec matches");
+    if let Some(m) = mmap {
+        src = src.with_mmap(m);
+    }
+    for &q in queries {
+        let mut ctx = ExecContext::new(&mut src).with_pruning(prune);
+        let found = evaluate_segmented_in(&mut ctx, q, Algorithm::EqualityEval, SEGMENT_BITS)
+            .expect("clean store evaluates");
+        pruned += ctx.take_stats().segments_pruned;
+        answers.push(found);
+    }
+    (answers, pruned)
+}
+
+/// Best-of-`reps` wall seconds for one workload pass.
+fn time_pass(
+    stored: &mut StoredIndex<MemStore>,
+    spec: &IndexSpec,
+    mmap: Option<&MappedStore>,
+    prune: bool,
+    queries: &[SelectionQuery],
+    reps: usize,
+) -> f64 {
+    let mut best = f64::MAX;
+    let mut sink = 0usize;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let (answers, _) = run_pass(stored, spec, mmap, prune, queries);
+        best = best.min(start.elapsed().as_secs_f64());
+        sink ^= answers.iter().map(BitVec::count_ones).sum::<usize>();
+    }
+    assert!(sink < usize::MAX);
+    best
+}
+
+struct SweepPoint {
+    data: &'static str,
+    config: &'static str,
+    pruning: bool,
+    mmap: bool,
+    seconds: f64,
+    speedup_vs_v3: f64,
+    segments_pruned: usize,
+    bytes_read: u64,
+    bytes_not_fetched: u64,
+}
+
+/// The {v3, v4} × {pruning} × {mmap} sweep over one dataset. Answers are
+/// asserted bit-identical to the v3 baseline before timing; the pruning
+/// configurations must read strictly fewer bytes.
+fn query_sweep(cfg: &Config, data: &'static str, col: &Column) -> Vec<SweepPoint> {
+    let spec = spec(cfg);
+    let idx = bindex::BitmapIndex::build(col, spec.clone()).expect("index builds");
+    let queries = full_space(cfg.cardinality);
+    let mut points: Vec<SweepPoint> = Vec::new();
+    let mut baseline: Option<(Vec<BitVec>, u64, f64)> = None;
+    for lc in &CONFIGS {
+        // A fresh store per configuration: cold-path byte accounting must
+        // not be contaminated by a previous configuration's reads.
+        let mut stored = if lc.v4 {
+            persist_index_v4(&idx, MemStore::new(), CodecKind::None).expect("persist v4")
+        } else {
+            persist_index_v3(&idx, MemStore::new(), CodecKind::None).expect("persist v3")
+        };
+        let mapped = MappedStore::new();
+        let mmap = lc.mmap.then_some(&mapped);
+        let (answers, pruned) = run_pass(&mut stored, &spec, mmap, lc.prune, &queries);
+        let bytes_read = stored.stats().bytes_read;
+        let seconds = time_pass(&mut stored, &spec, mmap, lc.prune, &queries, cfg.reps);
+        let (v3_answers, v3_bytes, v3_seconds) = baseline.get_or_insert_with(|| {
+            assert_eq!(lc.name, "v3", "v3 runs first");
+            (answers.clone(), bytes_read, seconds)
+        });
+        assert_eq!(
+            &answers, v3_answers,
+            "{data}/{}: answers must be bit-identical to v3",
+            lc.name
+        );
+        if lc.prune {
+            assert!(pruned > 0, "{data}/{}: pruning must fire", lc.name);
+            assert!(
+                bytes_read < *v3_bytes,
+                "{data}/{}: pruning must read strictly fewer bytes ({bytes_read} vs {v3_bytes})",
+                lc.name
+            );
+        } else {
+            assert_eq!(pruned, 0, "{data}/{}: pruning disabled", lc.name);
+        }
+        points.push(SweepPoint {
+            data,
+            config: lc.name,
+            pruning: lc.prune,
+            mmap: lc.mmap,
+            seconds,
+            speedup_vs_v3: *v3_seconds / seconds,
+            segments_pruned: pruned,
+            bytes_read,
+            bytes_not_fetched: v3_bytes.saturating_sub(bytes_read),
+        });
+    }
+    points
+}
+
+struct ReorderPoint {
+    data: &'static str,
+    order: &'static str,
+    /// Bitmap + summary bytes, *excluding* the permutation sidecar — the
+    /// WAH-compressed size the acceptance criterion is about.
+    stored_bytes: u64,
+    /// The permutation sidecar (4 bytes/row + frame); zero for natural
+    /// order. Reported separately: it is row-id metadata shared by every
+    /// index on the table, not compressed bitmap payload.
+    perm_bytes: u64,
+    ratio_vs_natural: f64,
+}
+
+/// Build-order sweep: persisted v4 size per row order, with the answers
+/// of each reordered store externalized through its persisted permutation
+/// and asserted identical to natural order.
+fn reorder_sweep(cfg: &Config, data: &'static str, col: &Column) -> Vec<ReorderPoint> {
+    let spec = spec(cfg);
+    let queries = full_space(cfg.cardinality);
+    let mut points: Vec<ReorderPoint> = Vec::new();
+    let mut natural: Option<(Vec<BitVec>, u64)> = None;
+    for order in RowOrder::ALL {
+        let (idx, perm) =
+            build_reordered(col, None, spec.clone(), BuildOptions { row_order: order })
+                .expect("reordered build");
+        let mut stored =
+            persist_index_v4(&idx, MemStore::new(), CodecKind::None).expect("persist v4");
+        let stored_bytes = stored.store().total_bytes().expect("store size");
+        if let Some(p) = &perm {
+            persist_permutation(&mut stored, p).expect("persist permutation");
+        }
+        let perm_bytes = stored
+            .store()
+            .total_bytes()
+            .expect("store size")
+            .saturating_sub(stored_bytes);
+        let (answers, _) = run_pass(&mut stored, &spec, None, true, &queries);
+        let externalized: Vec<BitVec> = match &perm {
+            None => answers,
+            Some(p) => answers.iter().map(|a| p.externalize(a)).collect(),
+        };
+        let (nat_answers, nat_bytes) = natural.get_or_insert_with(|| {
+            assert!(matches!(order, RowOrder::Natural), "natural runs first");
+            (externalized.clone(), stored_bytes)
+        });
+        assert_eq!(
+            &externalized,
+            nat_answers,
+            "{data}/{}: externalized answers must match natural order",
+            order.as_str()
+        );
+        points.push(ReorderPoint {
+            data,
+            order: order.as_str(),
+            stored_bytes,
+            perm_bytes,
+            ratio_vs_natural: stored_bytes as f64 / *nat_bytes as f64,
+        });
+    }
+    // The acceptance criterion: frequency sort shrinks the WAH-compressed
+    // store on value-skewed data.
+    let freq = points
+        .iter()
+        .find(|p| p.order == "freq")
+        .expect("freq point");
+    assert!(
+        freq.ratio_vs_natural < 1.0,
+        "{data}: frequency sort must shrink the store (ratio {:.3})",
+        freq.ratio_vs_natural
+    );
+    points
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke" || a == "--quick");
+    let provenance = RunProvenance::capture(1);
+    let cfg = if smoke {
+        Config {
+            rows: 1 << 16,
+            cardinality: 16,
+            reps: 1,
+        }
+    } else {
+        Config {
+            // 16 summary windows per slot, 32 segments per query: window-
+            // granular pruning and whole-slot pruning both in play.
+            rows: 1 << 19,
+            cardinality: 64,
+            // Best-of-9: at ~30 ms per pass, best-of-3 still carries ±10%
+            // scheduler jitter on a single-core box.
+            reps: 9,
+        }
+    };
+
+    // Shuffled clusters and Zipf skew: the value-locality shapes row
+    // reordering recovers. (`gen::clustered` scatters runs; Zipf piles
+    // mass on few values; both leave natural row order WAH-hostile.)
+    let reorder_rows = if smoke { 1 << 14 } else { 1 << 17 };
+    let reorder_cfg = Config {
+        rows: reorder_rows,
+        cardinality: cfg.cardinality,
+        reps: 1,
+    };
+    let clustered_col = gen::clustered(reorder_rows, cfg.cardinality, 64, 0xC1);
+    let zipf_col = gen::zipf(reorder_rows, cfg.cardinality, 1.2, 0x21F);
+    let mut reorder = reorder_sweep(&reorder_cfg, "clustered", &clustered_col);
+    reorder.extend(reorder_sweep(&reorder_cfg, "zipf", &zipf_col));
+    print_table(
+        &format!("row reordering, {} rows, v4 stored bytes", reorder_rows),
+        &[
+            "data",
+            "order",
+            "stored_bytes",
+            "perm_bytes",
+            "ratio_vs_natural",
+        ],
+        &reorder
+            .iter()
+            .map(|p| {
+                vec![
+                    p.data.to_string(),
+                    p.order.to_string(),
+                    p.stored_bytes.to_string(),
+                    p.perm_bytes.to_string(),
+                    format!("{:.3}", p.ratio_vs_natural),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let clustered_q = clustered_half_dead(&cfg, 0xAB);
+    let sparse_q = sparse_domain(&cfg, 0xCD);
+    let mut sweep = query_sweep(&cfg, "clustered", &clustered_q);
+    sweep.extend(query_sweep(&cfg, "sparse", &sparse_q));
+    print_table(
+        &format!(
+            "query configs, {} rows, segment {} bits, full space of {}",
+            cfg.rows, SEGMENT_BITS, cfg.cardinality
+        ),
+        &[
+            "data",
+            "config",
+            "seconds",
+            "speedup_vs_v3",
+            "segments_pruned",
+            "bytes_read",
+            "bytes_not_fetched",
+        ],
+        &sweep
+            .iter()
+            .map(|p| {
+                vec![
+                    p.data.to_string(),
+                    p.config.to_string(),
+                    format!("{:.6}", p.seconds),
+                    f2(p.speedup_vs_v3),
+                    p.segments_pruned.to_string(),
+                    p.bytes_read.to_string(),
+                    p.bytes_not_fetched.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let mut csv = Csv::create(
+        "ext_physical_layout",
+        &[
+            "section",
+            "data",
+            "label",
+            "bytes",
+            "seconds",
+            "speedup_or_ratio",
+            "segments_pruned",
+        ],
+    )
+    .expect("csv");
+    for p in &reorder {
+        csv.row(&[
+            &"reorder",
+            &p.data,
+            &p.order,
+            &p.stored_bytes,
+            &"",
+            &format!("{:.3}", p.ratio_vs_natural),
+            &"",
+        ])
+        .expect("row");
+    }
+    for p in &sweep {
+        csv.row(&[
+            &"query_config",
+            &p.data,
+            &p.config,
+            &p.bytes_read,
+            &format!("{:.6}", p.seconds),
+            &f2(p.speedup_vs_v3),
+            &p.segments_pruned,
+        ])
+        .expect("row");
+    }
+    println!("\nCSV: {}", csv.path().display());
+
+    // Hand-rolled JSON (no serde in the dependency set).
+    let reorder_json: Vec<String> = reorder
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"data\": \"{}\", \"order\": \"{}\", \"stored_bytes\": {}, \
+                 \"perm_bytes\": {}, \"ratio_vs_natural\": {:.4}}}",
+                p.data, p.order, p.stored_bytes, p.perm_bytes, p.ratio_vs_natural
+            )
+        })
+        .collect();
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"data\": \"{}\", \"config\": \"{}\", \"pruning\": {}, \"mmap\": {}, \
+                 \"seconds\": {:.6}, \"speedup_vs_v3\": {:.3}, \"segments_pruned\": {}, \
+                 \"bytes_read\": {}, \"bytes_not_fetched\": {}}}",
+                p.data,
+                p.config,
+                p.pruning,
+                p.mmap,
+                p.seconds,
+                p.speedup_vs_v3,
+                p.segments_pruned,
+                p.bytes_read,
+                p.bytes_not_fetched
+            )
+        })
+        .collect();
+    let headline = |data: &str| {
+        sweep
+            .iter()
+            .find(|p| p.data == data && p.config == "v4+prune")
+            .map_or(0.0, |p| p.speedup_vs_v3)
+    };
+    let json = format!(
+        "{{\n  \"experiment\": \"physical_layout\",\n  \"smoke\": {smoke},\n  {prov},\n  \
+         \"summary_window_bits\": {window},\n  \"segment_bits\": {seg},\n  \
+         \"rows\": {rows},\n  \"cardinality\": {card},\n  \"identical_answers\": true,\n  \
+         \"pruned_speedup_clustered\": {sp_c:.3},\n  \"pruned_speedup_sparse\": {sp_s:.3},\n  \
+         \"reorder\": [\n{reorder}\n  ],\n  \"query_configs\": [\n{sweep}\n  ]\n}}\n",
+        prov = provenance.json_fields(),
+        window = SUMMARY_WINDOW_BITS,
+        seg = SEGMENT_BITS,
+        rows = cfg.rows,
+        card = cfg.cardinality,
+        sp_c = headline("clustered"),
+        sp_s = headline("sparse"),
+        reorder = reorder_json.join(",\n"),
+        sweep = sweep_json.join(",\n"),
+    );
+    let json_path = results_dir()
+        .parent()
+        .map(|p| p.join("BENCH_physical_layout.json"))
+        .expect("results dir has a parent");
+    std::fs::write(&json_path, json).expect("write json");
+    println!("JSON: {}", json_path.display());
+}

@@ -142,15 +142,22 @@ pub struct IngestIndex<'a, S: ByteStore> {
     durable_seq: u64,
     /// Rows covered by the stored base generation.
     base_rows: usize,
-    /// Appended delta rows in commit order (`None` = null).
-    delta_values: Vec<Option<u32>>,
+    /// The delta segment as an incrementally maintained [`BitmapIndex`]
+    /// (empty between compactions): each applied batch appends straight
+    /// into the delta bitmaps, so snapshotting an overlay never re-encodes
+    /// the whole delta the way the old rebuild-per-snapshot path did.
+    delta: BitmapIndex,
+    /// Monotonic version, bumped by every applied batch and compaction;
+    /// tags overlay snapshots so [`IngestIndex::overlay`] reuses one
+    /// snapshot across queries until the delta actually changes.
+    delta_version: u64,
     /// Deleted rows over the full logical range (base + delta).
     deleted: BitVec,
     /// Set when an append failed partway: the log may carry a torn tail
     /// that must be truncated (atomically) before the next append.
     wal_dirty: bool,
     last_sync: Option<Instant>,
-    overlay_cache: Option<Arc<DeltaOverlay>>,
+    overlay_cache: Option<(u64, Arc<DeltaOverlay>)>,
 }
 
 impl<'a, S: ByteStore> IngestIndex<'a, S> {
@@ -188,6 +195,7 @@ impl<'a, S: ByteStore> IngestIndex<'a, S> {
             Err(e) => return Err(Error::Storage(e.to_string())),
         };
         let replayed = wal::replay(&bytes).map_err(storage_error)?;
+        let delta = Self::empty_delta(&spec, cardinality)?;
         let mut index = Self {
             stored,
             spec,
@@ -196,7 +204,8 @@ impl<'a, S: ByteStore> IngestIndex<'a, S> {
             next_seq: wal_applied + 1,
             durable_seq: wal_applied,
             base_rows,
-            delta_values: Vec::new(),
+            delta,
+            delta_version: 0,
             deleted: BitVec::zeros(base_rows),
             wal_dirty: false,
             last_sync: None,
@@ -276,7 +285,7 @@ impl<'a, S: ByteStore> IngestIndex<'a, S> {
         self.apply(&op);
         let durable = self.maybe_sync(seq)?;
         let compacted = match self.options.delta_max_rows {
-            Some(cap) if self.delta_values.len() >= cap => Some(self.compact()?),
+            Some(cap) if self.delta.n_rows() >= cap => Some(self.compact()?),
             _ => None,
         };
         Ok(IngestAck {
@@ -326,25 +335,28 @@ impl<'a, S: ByteStore> IngestIndex<'a, S> {
     /// number.
     pub fn compact(&mut self) -> Result<u64, Error> {
         let wal_applied = self.next_seq - 1;
-        let delta = self.delta_index()?;
-        let delta_components = delta.as_ref().map(BitmapIndex::components);
+        let delta_components = self.delta.components();
         let mut components = Vec::with_capacity(self.spec.n_components());
         for comp in 1..=self.spec.n_components() {
             let n_slots = self.spec.stored_in_component(comp) as usize;
+            let delta_slots = &delta_components[comp - 1];
+            debug_assert_eq!(
+                delta_slots.len(),
+                n_slots,
+                "delta built under the same spec"
+            );
             let mut slots = Vec::with_capacity(n_slots);
-            for slot in 0..n_slots {
+            for (slot, delta_bm) in delta_slots.iter().enumerate() {
                 let mut bm = self.stored.read_bitmap(comp, slot).map_err(storage_error)?;
-                if let Some(dc) = delta_components {
-                    bm.extend_from(&dc[comp - 1][slot]);
-                }
+                bm.extend_from(delta_bm);
                 bm.and_not_assign(&self.deleted);
                 slots.push(bm);
             }
             components.push(slots);
         }
         let base_nn = self.stored.read_nn().map_err(storage_error)?;
-        let delta_nn = delta.as_ref().and_then(|d| d.nn().cloned());
-        let added = self.delta_values.len();
+        let delta_nn = self.delta.nn().cloned();
+        let added = self.delta.n_rows();
         let nn = if base_nn.is_none() && delta_nn.is_none() && self.deleted.none() {
             None
         } else {
@@ -358,7 +370,8 @@ impl<'a, S: ByteStore> IngestIndex<'a, S> {
             .install_generation(&components, nn.as_ref(), wal_applied)
             .map_err(storage_error)?;
         self.base_rows += added;
-        self.delta_values.clear();
+        self.delta = Self::empty_delta(&self.spec, self.cardinality)?;
+        self.delta_version += 1;
         self.deleted = BitVec::zeros(self.base_rows);
         self.overlay_cache = None;
         // Every applied batch is now durable in the base files.
@@ -366,26 +379,26 @@ impl<'a, S: ByteStore> IngestIndex<'a, S> {
         Ok(generation)
     }
 
-    /// Snapshots the delta as a [`DeltaOverlay`] for query evaluation
-    /// (cached until the next mutation). A freshly compacted or untouched
-    /// index yields a quiesced overlay, which attach points drop.
+    /// Snapshots the delta as a [`DeltaOverlay`] for query evaluation.
+    /// The snapshot is cached and reused across queries until a committed
+    /// batch bumps the delta version — and because the delta is kept as
+    /// an incrementally maintained index, a cache miss only clones the
+    /// current delta bitmaps, it never re-encodes the delta rows. A
+    /// freshly compacted or untouched index yields a quiesced overlay,
+    /// which attach points drop.
     pub fn overlay(&mut self) -> Result<Arc<DeltaOverlay>, Error> {
-        if let Some(o) = &self.overlay_cache {
-            return Ok(Arc::clone(o));
-        }
-        let overlay = match self.delta_index()? {
-            Some(delta) => DeltaOverlay::from_index(self.base_rows, &delta, self.deleted.clone())?,
-            None => {
-                // Deletes only (or nothing): empty delta bitmaps, shaped to
-                // the spec so slot lookups still resolve.
-                let slots: Vec<Vec<BitVec>> = (1..=self.spec.n_components())
-                    .map(|c| vec![BitVec::new(); self.spec.stored_in_component(c) as usize])
-                    .collect();
-                DeltaOverlay::new(self.base_rows, slots, None, self.deleted.clone())?
+        if let Some((version, o)) = &self.overlay_cache {
+            if *version == self.delta_version {
+                return Ok(Arc::clone(o));
             }
-        };
-        let overlay = Arc::new(overlay);
-        self.overlay_cache = Some(Arc::clone(&overlay));
+        }
+        // An empty delta index has zero-length bitmaps in every slot, so
+        // the deletes-only (and untouched) cases flow through unchanged.
+        let overlay = Arc::new(
+            DeltaOverlay::from_index(self.base_rows, &self.delta, self.deleted.clone())?
+                .with_version(self.delta_version),
+        );
+        self.overlay_cache = Some((self.delta_version, Arc::clone(&overlay)));
         Ok(overlay)
     }
 
@@ -409,12 +422,20 @@ impl<'a, S: ByteStore> IngestIndex<'a, S> {
     /// Total logical rows: stored base plus appended delta (deleted rows
     /// keep their row ids and stay counted).
     pub fn n_rows(&self) -> usize {
-        self.base_rows + self.delta_values.len()
+        self.base_rows + self.delta.n_rows()
     }
 
     /// Rows in the not-yet-compacted delta segment.
     pub fn delta_rows(&self) -> usize {
-        self.delta_values.len()
+        self.delta.n_rows()
+    }
+
+    /// Monotonic delta version: bumped by every applied batch and every
+    /// compaction. Overlay snapshots carry it
+    /// ([`DeltaOverlay::version`]), so callers can tell whether a cached
+    /// snapshot is still current.
+    pub fn delta_version(&self) -> u64 {
+        self.delta_version
     }
 
     /// Rows currently marked deleted.
@@ -466,12 +487,20 @@ impl<'a, S: ByteStore> IngestIndex<'a, S> {
         Ok(())
     }
 
-    /// Applies a validated batch to the in-memory delta.
+    /// Applies a validated batch to the in-memory delta, extending the
+    /// delta index bitmaps in place and bumping the delta version (which
+    /// is what invalidates cached overlay snapshots).
     fn apply(&mut self, op: &WalOp) {
         match op {
             WalOp::Append { values } => {
-                self.delta_values.extend(values.iter().copied());
-                for _ in values {
+                for v in values {
+                    match v {
+                        Some(v) => self
+                            .delta
+                            .append(*v)
+                            .expect("append was validated against the spec's base"),
+                        None => self.delta.append_null(),
+                    }
                     self.deleted.push(false);
                 }
             }
@@ -481,25 +510,13 @@ impl<'a, S: ByteStore> IngestIndex<'a, S> {
                 }
             }
         }
-        self.overlay_cache = None;
+        self.delta_version += 1;
     }
 
-    /// Builds the delta rows into a [`BitmapIndex`] under the base's
-    /// spec; `None` when no rows have been appended.
-    fn delta_index(&self) -> Result<Option<BitmapIndex>, Error> {
-        if self.delta_values.is_empty() {
-            return Ok(None);
-        }
-        let mut values = Vec::with_capacity(self.delta_values.len());
-        let mut nulls = BitVec::zeros(self.delta_values.len());
-        for (i, v) in self.delta_values.iter().enumerate() {
-            values.push(v.unwrap_or(0));
-            if v.is_none() {
-                nulls.set(i, true);
-            }
-        }
-        let column = Column::new(values, self.cardinality);
-        BitmapIndex::build_with_nulls(&column, &nulls, self.spec.clone()).map(Some)
+    /// An empty delta index under the base's spec — the between-batches
+    /// state [`IngestIndex::apply`] appends into.
+    fn empty_delta(spec: &IndexSpec, cardinality: u32) -> Result<BitmapIndex, Error> {
+        BitmapIndex::build(&Column::new(Vec::new(), cardinality.max(1)), spec.clone())
     }
 
     /// Fsyncs the WAL now, or defers inside an open group-commit window.

@@ -40,12 +40,16 @@ pub use bindex_storage as storage;
 pub mod ingest;
 pub mod stored;
 
-pub use bindex_bitvec::{BitVec, KernelDispatch};
+pub use bindex_bitvec::{BitVec, IndexSummaries, KernelDispatch, SUMMARY_WINDOW_BITS};
 pub use bindex_core::{
-    Algorithm, Base, BitmapIndex, BitmapSource, BufferSet, Encoding, Error, EvalStats, IndexSpec,
-    RecoveryPolicy,
+    build_reordered, Algorithm, Base, BitmapIndex, BitmapSource, BufferSet, BuildOptions, Encoding,
+    Error, EvalStats, IndexSpec, RecoveryPolicy, RowOrder, RowPermutation,
 };
 pub use bindex_relation::query::{Op, SelectionQuery};
 pub use bindex_relation::Column;
+pub use bindex_storage::{mmap_enabled, MappedStore, MmapStats, MMAP_ENV};
 pub use ingest::{IngestAck, IngestIndex, IngestOptions};
-pub use stored::{scrub_and_repair_index, SharedSource, StorageSource};
+pub use stored::{
+    load_permutation, persist_index, persist_index_v3, persist_index_v4, persist_permutation,
+    scrub_and_repair_index, SharedSource, StorageSource, PERMUTATION_FILE,
+};

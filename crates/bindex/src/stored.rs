@@ -10,15 +10,24 @@
 //! store failures as [`Error::Storage`] — never as panics.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use bindex_bitvec::BitVec;
+use bindex_bitvec::{BitVec, IndexSummaries};
 use bindex_compress::Repr;
-use bindex_core::{rebuild_slot, BitmapIndex, BitmapSource, Encoding, Error, IndexSpec};
+use bindex_core::{
+    rebuild_slot, BitmapIndex, BitmapSource, Encoding, Error, IndexSpec, RowPermutation,
+};
 use bindex_relation::Column;
 use bindex_storage::{
-    BufferPool, ByteStore, IoStats, RepairReport, SharedIndexReader, StorageError, StorageScheme,
-    StoredIndex,
+    format, BufferPool, ByteStore, IoStats, MappedStore, RepairReport, SharedIndexReader,
+    StorageError, StorageScheme, StoredIndex,
 };
+
+/// File holding the row permutation of a reordered index, framed like
+/// every other stored file. The name is deliberately outside the
+/// generation-classified data layout: the permutation describes the
+/// *logical* row order and survives compaction generation swaps.
+pub const PERMUTATION_FILE: &str = "perm.bix";
 
 /// Maps a storage-layer error onto the core error type, preserving the
 /// transient/permanent distinction the evaluators care about.
@@ -34,6 +43,7 @@ pub struct StorageSource<'a, S: ByteStore> {
     stored: &'a mut StoredIndex<S>,
     spec: IndexSpec,
     pool: Option<&'a BufferPool>,
+    mmap: Option<&'a MappedStore>,
     nn: Option<BitVec>,
 }
 
@@ -57,6 +67,7 @@ impl<'a, S: ByteStore> StorageSource<'a, S> {
             stored,
             spec,
             pool: None,
+            mmap: None,
             nn: None,
         })
     }
@@ -65,6 +76,15 @@ impl<'a, S: ByteStore> StorageSource<'a, S> {
     /// cost no file read).
     pub fn with_pool(mut self, pool: &'a BufferPool) -> Self {
         self.pool = Some(pool);
+        self
+    }
+
+    /// Routes execution-representation fetches through a pinned region
+    /// cache ([`MappedStore`]): after a slot's first checksummed load,
+    /// reads are `Arc` clones with no pool admission and no byte copy.
+    /// Takes precedence over the buffer pool for `try_fetch_repr`.
+    pub fn with_mmap(mut self, mmap: &'a MappedStore) -> Self {
+        self.mmap = Some(mmap);
         self
     }
 
@@ -105,12 +125,21 @@ impl<S: ByteStore> BitmapSource for StorageSource<'_, S> {
 
     fn try_fetch_repr(&mut self, comp: usize, slot: usize) -> Result<Repr, Error> {
         let stored = &mut *self.stored;
+        if let Some(mmap) = self.mmap {
+            return mmap
+                .get_or_map((comp, slot), || stored.read_repr(comp, slot))
+                .map_err(storage_error);
+        }
         match self.pool {
             Some(pool) => pool.get_or_load_repr::<Error>((comp, slot), || {
                 stored.read_repr(comp, slot).map_err(storage_error)
             }),
             None => stored.read_repr(comp, slot).map_err(storage_error),
         }
+    }
+
+    fn try_fetch_summary(&mut self) -> Option<Arc<IndexSummaries>> {
+        self.stored.read_summaries()
     }
 }
 
@@ -180,6 +209,10 @@ impl<S: ByteStore> BitmapSource for SharedSource<'_, S> {
     fn try_fetch_repr(&mut self, comp: usize, slot: usize) -> Result<Repr, Error> {
         self.reader.read_repr(comp, slot).map_err(storage_error)
     }
+
+    fn try_fetch_summary(&mut self) -> Option<Arc<IndexSummaries>> {
+        self.reader.read_summaries()
+    }
 }
 
 /// Writes an in-memory [`BitmapIndex`] into `store` under `scheme`,
@@ -206,6 +239,55 @@ pub fn persist_index_v3<S: ByteStore>(
     codec: bindex_compress::CodecKind,
 ) -> Result<StoredIndex<S>, StorageError> {
     StoredIndex::create_v3(store, index.components(), codec)
+}
+
+/// Writes an in-memory [`BitmapIndex`] into `store` as a **version-4**
+/// store: the v3 per-slot coding plus a checksummed hierarchical summary
+/// block (one any-bit per [`SUMMARY_WINDOW_BITS`] window per slot).
+/// Segmented execution consults the summaries *before* fetching a slot
+/// and serves provably-dead windows as exact zeros, so cold queries over
+/// sparse or clustered data skip the file read, the pool admission, and
+/// the WAH decode entirely.
+///
+/// [`SUMMARY_WINDOW_BITS`]: bindex_bitvec::SUMMARY_WINDOW_BITS
+pub fn persist_index_v4<S: ByteStore>(
+    index: &BitmapIndex,
+    store: S,
+    codec: bindex_compress::CodecKind,
+) -> Result<StoredIndex<S>, StorageError> {
+    StoredIndex::create_v4(store, index.components(), codec)
+}
+
+/// Persists the row permutation of a reordered index next to its data
+/// files (framed, checksum-verified on load). Call once after
+/// [`persist_index_v4`] when the index was built through
+/// [`build_reordered`](bindex_core::build_reordered) with a non-natural
+/// order; without the sidecar, answers come back in internal row order.
+pub fn persist_permutation<S: ByteStore>(
+    stored: &mut StoredIndex<S>,
+    perm: &RowPermutation,
+) -> Result<(), StorageError> {
+    let framed = format::frame(&perm.to_bytes());
+    stored
+        .store_mut()
+        .write_file(PERMUTATION_FILE, &framed)
+        .map_err(StorageError::Io)
+}
+
+/// Loads the row permutation persisted by [`persist_permutation`].
+/// `Ok(None)` when the index was stored in natural order (no sidecar
+/// file); corrupt frames and non-bijective payloads surface as typed
+/// errors rather than silently scrambled row ids.
+pub fn load_permutation<S: ByteStore>(
+    stored: &StoredIndex<S>,
+) -> Result<Option<RowPermutation>, Error> {
+    let bytes = match stored.store().read_file(PERMUTATION_FILE) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(storage_error(StorageError::Io(e))),
+    };
+    let payload = format::unframe(PERMUTATION_FILE, &bytes).map_err(storage_error)?;
+    RowPermutation::from_bytes(&payload).map(Some)
 }
 
 /// Online repair of a damaged stored index: scrubs the store, rebuilds
@@ -466,6 +548,129 @@ mod tests {
             SharedSource::try_new(&reader, wrong),
             Err(Error::CorruptIndex(_))
         ));
+    }
+
+    #[test]
+    fn v4_store_serves_summaries_and_identical_answers() {
+        let col = column();
+        for encoding in [Encoding::Equality, Encoding::Range, Encoding::Interval] {
+            let spec = IndexSpec::new(Base::from_msb(&[4, 5]).unwrap(), encoding);
+            let idx = BitmapIndex::build(&col, spec.clone()).unwrap();
+            let mut stored = persist_index_v4(&idx, MemStore::new(), CodecKind::None).unwrap();
+            assert_eq!(stored.format_version(), 4);
+            let mut src = StorageSource::try_new(&mut stored, spec).unwrap();
+            let summaries =
+                bindex_core::BitmapSource::try_fetch_summary(&mut src).expect("v4 has summaries");
+            assert_eq!(summaries.n_rows(), col.len());
+            for q in full_space(20) {
+                let (got, _) = evaluate(&mut src, q, Algorithm::Auto).unwrap();
+                let want = bindex_core::eval::naive::evaluate(&col, q);
+                assert_eq!(got, want, "v4/{encoding:?} {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn v3_store_has_no_summaries() {
+        let col = column();
+        let spec = IndexSpec::new(Base::from_msb(&[4, 5]).unwrap(), Encoding::Range);
+        let idx = BitmapIndex::build(&col, spec.clone()).unwrap();
+        let mut stored = persist_index_v3(&idx, MemStore::new(), CodecKind::None).unwrap();
+        let mut src = StorageSource::try_new(&mut stored, spec).unwrap();
+        assert!(bindex_core::BitmapSource::try_fetch_summary(&mut src).is_none());
+    }
+
+    #[test]
+    fn mmap_source_pins_reprs_and_preserves_answers() {
+        let col = column();
+        let spec = IndexSpec::new(Base::from_msb(&[4, 5]).unwrap(), Encoding::Range);
+        let idx = BitmapIndex::build(&col, spec.clone()).unwrap();
+        let mut stored = persist_index_v4(&idx, MemStore::new(), CodecKind::None).unwrap();
+        let mmap = MappedStore::new();
+        let mut src = StorageSource::try_new(&mut stored, spec)
+            .unwrap()
+            .with_mmap(&mmap);
+        let a = bindex_core::BitmapSource::try_fetch_repr(&mut src, 1, 0).unwrap();
+        let reads_after_first = src.io_stats().reads;
+        let b = bindex_core::BitmapSource::try_fetch_repr(&mut src, 1, 0).unwrap();
+        assert_eq!(a.to_bitvec(), b.to_bitvec());
+        assert_eq!(
+            src.io_stats().reads,
+            reads_after_first,
+            "mapped re-read must not touch storage"
+        );
+        let stats = mmap.stats();
+        assert_eq!((stats.maps, stats.hits), (1, 1));
+        for q in full_space(20) {
+            let (got, _) = evaluate(&mut src, q, Algorithm::Auto).unwrap();
+            assert_eq!(got, bindex_core::eval::naive::evaluate(&col, q), "{q}");
+        }
+    }
+
+    #[test]
+    fn permutation_roundtrips_through_the_store() {
+        use bindex_core::{build_reordered, BuildOptions, RowOrder};
+
+        let col = column();
+        let spec = IndexSpec::new(Base::from_msb(&[4, 5]).unwrap(), Encoding::Range);
+        let (idx, perm) = build_reordered(
+            &col,
+            None,
+            spec.clone(),
+            BuildOptions {
+                row_order: RowOrder::FrequencySort,
+            },
+        )
+        .unwrap();
+        let perm = perm.expect("non-natural order produces a permutation");
+        let mut stored = persist_index_v4(&idx, MemStore::new(), CodecKind::None).unwrap();
+        assert!(
+            load_permutation(&stored).unwrap().is_none(),
+            "no sidecar yet"
+        );
+        persist_permutation(&mut stored, &perm).unwrap();
+        let loaded = load_permutation(&stored)
+            .unwrap()
+            .expect("sidecar must load");
+        // Externalized answers through the store match the natural-order
+        // ground truth.
+        let mut src = StorageSource::try_new(&mut stored, spec).unwrap();
+        for q in full_space(20) {
+            let (internal, _) = evaluate(&mut src, q, Algorithm::Auto).unwrap();
+            let got = loaded.externalize(&internal);
+            assert_eq!(got, bindex_core::eval::naive::evaluate(&col, q), "{q}");
+        }
+        // A flipped payload byte is a typed error, not a scrambled answer.
+        drop(src);
+        let mut bytes = stored.store().read_file(PERMUTATION_FILE).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        stored
+            .store_mut()
+            .write_file(PERMUTATION_FILE, &bytes)
+            .unwrap();
+        assert!(load_permutation(&stored).is_err());
+    }
+
+    #[test]
+    fn permutation_survives_scavenging_generations() {
+        // `perm.bix` is outside the generation-classified layout, so a
+        // reopen (which scavenges stale-generation files) keeps it.
+        let col = column();
+        let spec = IndexSpec::new(Base::from_msb(&[4, 5]).unwrap(), Encoding::Range);
+        let (idx, perm) = bindex_core::build_reordered(
+            &col,
+            None,
+            spec,
+            bindex_core::BuildOptions {
+                row_order: bindex_core::RowOrder::GrayCode,
+            },
+        )
+        .unwrap();
+        let mut stored = persist_index_v4(&idx, MemStore::new(), CodecKind::None).unwrap();
+        persist_permutation(&mut stored, &perm.unwrap()).unwrap();
+        let reopened = StoredIndex::open(stored.into_store()).unwrap();
+        assert!(load_permutation(&reopened).unwrap().is_some());
     }
 
     /// Flips one payload byte of the first data file matching `pattern`

@@ -1,0 +1,268 @@
+//! Hierarchical summary bitmaps: one bit per fixed-width window of a
+//! stored bitmap recording "any bit set in this window".
+//!
+//! Summaries are the pruning layer of the v4 on-disk format
+//! (arXiv 2108.13735 style): segmented execution consults a slot's
+//! summary *before* fetching it, and skips fetch + decode of segments
+//! whose every overlapping window is provably dead. The window width is
+//! fixed at build time ([`SUMMARY_WINDOW_BITS`]) and independent of the
+//! runtime segment size — a segment `[lo, hi)` is dead iff every summary
+//! window intersecting it is dead, which is sound for any segment size.
+//!
+//! Soundness rule: a clear summary bit **guarantees** the window is all
+//! zeros; a set bit promises nothing. Serving zeros for a dead window is
+//! therefore exact bitmap content, safe under every operator (AND, OR,
+//! XOR, NOT), not only AND-family plans.
+
+use crate::bitvec::BitVec;
+
+/// Bits summarized per summary bit. Chosen as a divisor of the default
+/// execution segment (2^18 bits = 8 windows) so a segment probe touches a
+/// handful of summary bits, while staying fine-grained enough that
+/// clustered data yields long dead runs.
+pub const SUMMARY_WINDOW_BITS: usize = 1 << 15;
+
+/// Summary of one stored bitmap: bit `w` of `any` is set iff the source
+/// bitmap has any set bit in `[w * window_bits, (w+1) * window_bits)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotSummary {
+    /// Bits covered by the summarized bitmap.
+    pub len: usize,
+    /// Window width in bits.
+    pub window_bits: usize,
+    /// One bit per window, packed.
+    pub any: BitVec,
+}
+
+impl SlotSummary {
+    /// Number of windows needed to cover `len` bits at `window_bits` each.
+    pub fn windows_for(len: usize, window_bits: usize) -> usize {
+        len.div_ceil(window_bits.max(1))
+    }
+
+    /// Builds the summary of `bm` with the default window width.
+    pub fn build(bm: &BitVec) -> Self {
+        Self::build_with_window(bm, SUMMARY_WINDOW_BITS)
+    }
+
+    /// Builds the summary of `bm` with an explicit window width, which
+    /// must be a positive multiple of the word size (so windows can be
+    /// probed through zero-copy word-aligned views).
+    pub fn build_with_window(bm: &BitVec, window_bits: usize) -> Self {
+        assert!(
+            window_bits > 0 && window_bits.is_multiple_of(crate::WORD_BITS),
+            "summary window must be a positive multiple of {}",
+            crate::WORD_BITS
+        );
+        let n_windows = Self::windows_for(bm.len(), window_bits);
+        let mut any = BitVec::zeros(n_windows);
+        for w in 0..n_windows {
+            let lo = w * window_bits;
+            let hi = ((w + 1) * window_bits).min(bm.len());
+            if !bm.view_range(lo, hi).none() {
+                any.set(w, true);
+            }
+        }
+        Self {
+            len: bm.len(),
+            window_bits,
+            any,
+        }
+    }
+
+    /// `true` iff the summarized bitmap **may** have a set bit in
+    /// `[lo, hi)`. `false` is a guarantee of all-zeros over the range.
+    /// Ranges beyond `len` count as dead.
+    pub fn range_any(&self, lo: usize, hi: usize) -> bool {
+        let hi = hi.min(self.len);
+        if lo >= hi {
+            return false;
+        }
+        let w_lo = lo / self.window_bits;
+        let w_hi = (hi - 1) / self.window_bits;
+        (w_lo..=w_hi).any(|w| self.any.get(w))
+    }
+}
+
+/// The summaries of every stored bitmap of an index, flattened in
+/// component-major order with the optional non-null bitmap's summary
+/// last. This is what the v4 summary block deserializes into and what
+/// the executor probes per segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexSummaries {
+    n_rows: usize,
+    window_bits: usize,
+    /// `offsets[c]` is the flat index of component `c+1`'s slot 0.
+    offsets: Vec<usize>,
+    slots: Vec<SlotSummary>,
+    nn: Option<SlotSummary>,
+}
+
+impl IndexSummaries {
+    /// Assembles index summaries from per-component slot summaries (the
+    /// outer vec is component-major: `slots[i]` lists component `i+1`'s
+    /// stored bitmaps in slot order).
+    pub fn new(
+        n_rows: usize,
+        window_bits: usize,
+        slots: Vec<Vec<SlotSummary>>,
+        nn: Option<SlotSummary>,
+    ) -> Self {
+        let mut offsets = Vec::with_capacity(slots.len());
+        let mut flat = Vec::new();
+        for comp in slots {
+            offsets.push(flat.len());
+            flat.extend(comp);
+        }
+        Self {
+            n_rows,
+            window_bits,
+            offsets,
+            slots: flat,
+            nn,
+        }
+    }
+
+    /// Builds summaries directly from in-memory bitmaps (the write-time
+    /// path: `components[i]` lists component `i+1`'s stored bitmaps).
+    pub fn build(n_rows: usize, components: &[Vec<BitVec>], nn: Option<&BitVec>) -> Self {
+        let slots = components
+            .iter()
+            .map(|comp| comp.iter().map(SlotSummary::build).collect())
+            .collect();
+        Self::new(
+            n_rows,
+            SUMMARY_WINDOW_BITS,
+            slots,
+            nn.map(SlotSummary::build),
+        )
+    }
+
+    /// Rows covered by the summarized index.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Window width the summaries were built with.
+    pub fn window_bits(&self) -> usize {
+        self.window_bits
+    }
+
+    /// Total summarized slots (excluding the non-null bitmap).
+    pub fn n_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The summary of stored bitmap `slot` of component `comp` (1-based
+    /// component), or `None` when the coordinates fall outside the
+    /// summarized shape — callers must then fetch and check.
+    pub fn get(&self, comp: usize, slot: usize) -> Option<&SlotSummary> {
+        let base = *self.offsets.get(comp.checked_sub(1)?)?;
+        let end = self.offsets.get(comp).copied().unwrap_or(self.slots.len());
+        let idx = base.checked_add(slot)?;
+        if idx >= end {
+            return None;
+        }
+        self.slots.get(idx)
+    }
+
+    /// The non-null bitmap's summary, if one was recorded.
+    pub fn nn(&self) -> Option<&SlotSummary> {
+        self.nn.as_ref()
+    }
+
+    /// Per-component slot counts, for shape validation against an index.
+    pub fn slots_per_component(&self) -> Vec<usize> {
+        (0..self.offsets.len())
+            .map(|c| {
+                let base = self.offsets[c];
+                let end = self.offsets.get(c + 1).copied().unwrap_or(self.slots.len());
+                end - base
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_reflects_window_occupancy() {
+        let mut bm = BitVec::zeros(5 * SUMMARY_WINDOW_BITS + 17);
+        bm.set(3, true); // window 0
+        bm.set(2 * SUMMARY_WINDOW_BITS, true); // window 2
+        bm.set(5 * SUMMARY_WINDOW_BITS + 16, true); // tail window 5
+        let s = SlotSummary::build(&bm);
+        assert_eq!(s.any.len(), 6);
+        assert_eq!(
+            (0..6).map(|w| s.any.get(w)).collect::<Vec<_>>(),
+            vec![true, false, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn range_any_is_exact_on_window_boundaries_and_sound_inside() {
+        let mut bm = BitVec::zeros(4 * SUMMARY_WINDOW_BITS);
+        bm.set(SUMMARY_WINDOW_BITS + 5, true);
+        let s = SlotSummary::build(&bm);
+        assert!(!s.range_any(0, SUMMARY_WINDOW_BITS));
+        assert!(s.range_any(SUMMARY_WINDOW_BITS, 2 * SUMMARY_WINDOW_BITS));
+        // Sub-window probe inside a live window must stay conservative.
+        assert!(s.range_any(2 * SUMMARY_WINDOW_BITS - 1, 2 * SUMMARY_WINDOW_BITS));
+        // Straddling ranges see the union.
+        assert!(s.range_any(0, 2 * SUMMARY_WINDOW_BITS));
+        assert!(!s.range_any(2 * SUMMARY_WINDOW_BITS, 4 * SUMMARY_WINDOW_BITS));
+        // Ranges past the end are dead, empty ranges are dead.
+        assert!(!s.range_any(4 * SUMMARY_WINDOW_BITS, 8 * SUMMARY_WINDOW_BITS));
+        assert!(!s.range_any(7, 7));
+    }
+
+    #[test]
+    fn range_any_never_underreports_random_bitmaps() {
+        // Deterministic pseudo-random occupancy; compare range_any against
+        // ground truth on many random ranges.
+        let len = 7 * SUMMARY_WINDOW_BITS + 123;
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut bm = BitVec::zeros(len);
+        let mut ones = Vec::new();
+        for _ in 0..200 {
+            let pos = (next() % len as u64) as usize;
+            bm.set(pos, true);
+            ones.push(pos);
+        }
+        let s = SlotSummary::build(&bm);
+        for _ in 0..500 {
+            let a = (next() % len as u64) as usize;
+            let b = (next() % (len as u64 + 1)) as usize;
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let truth = ones.iter().any(|&p| lo <= p && p < hi);
+            if truth {
+                assert!(s.range_any(lo, hi), "underreported [{lo}, {hi})");
+            }
+        }
+    }
+
+    #[test]
+    fn index_summaries_shape_and_lookup() {
+        let comps = vec![
+            vec![BitVec::zeros(100), BitVec::ones(100)],
+            vec![BitVec::from_indices(100, &[40])],
+        ];
+        let s = IndexSummaries::build(100, &comps, None);
+        assert_eq!(s.slots_per_component(), vec![2, 1]);
+        assert!(!s.get(1, 0).unwrap().range_any(0, 100));
+        assert!(s.get(1, 1).unwrap().range_any(0, 100));
+        assert!(s.get(2, 0).unwrap().range_any(0, 100));
+        assert!(s.get(1, 2).is_none());
+        assert!(s.get(3, 0).is_none());
+        assert!(s.get(0, 0).is_none());
+        assert!(s.nn().is_none());
+    }
+}

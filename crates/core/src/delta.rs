@@ -41,6 +41,11 @@ pub struct DeltaOverlay {
     /// Deleted rows over the *full* logical row range
     /// (`base_rows + added` bits) — deletes may target base or delta rows.
     deleted: BitVec,
+    /// Monotonic snapshot version, tagged by the producer (the ingest
+    /// session bumps it per committed batch): consumers can tell whether
+    /// two overlay handles describe the same delta state without
+    /// comparing bitmap contents. Zero when untagged.
+    version: u64,
 }
 
 impl DeltaOverlay {
@@ -84,6 +89,7 @@ impl DeltaOverlay {
             slots,
             delta_nn,
             deleted,
+            version: 0,
         })
     }
 
@@ -108,7 +114,21 @@ impl DeltaOverlay {
             slots: Vec::new(),
             delta_nn: None,
             deleted: BitVec::zeros(base_rows),
+            version: 0,
         }
+    }
+
+    /// Tags this snapshot with a producer-defined version (see the field
+    /// docs); the tag rides along in comparisons but never affects
+    /// evaluation.
+    pub fn with_version(mut self, version: u64) -> Self {
+        self.version = version;
+        self
+    }
+
+    /// The producer-defined snapshot version (zero when untagged).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Rows covered by the base index.

@@ -17,7 +17,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bindex_bitvec::{kernels, BitVec};
+use bindex_bitvec::{kernels, BitVec, IndexSummaries};
 use bindex_compress::{wah, Repr};
 use bindex_relation::Column;
 
@@ -67,6 +67,13 @@ pub struct EvalStats {
     /// remaining AND work was short-circuited. Early exit never changes a
     /// result or a charge — only this counter.
     pub segments_skipped: usize,
+    /// Segments where at least one operand fetch was answered from the
+    /// hierarchical summary block (v4 stores): the summary proved the
+    /// slot's window all-zero, so the fetch, pool admission, and WAH
+    /// decode were skipped and exact zeros were served instead. Disjoint
+    /// from [`EvalStats::segments_skipped`] — a segment that both pruned
+    /// a fetch and short-circuited an AND counts only here.
+    pub segments_pruned: usize,
 }
 
 impl EvalStats {
@@ -89,6 +96,7 @@ impl EvalStats {
         self.materializations += other.materializations;
         self.segments_evaluated += other.segments_evaluated;
         self.segments_skipped += other.segments_skipped;
+        self.segments_pruned += other.segments_pruned;
     }
 }
 
@@ -242,6 +250,14 @@ struct SegmentState {
     /// Whether an AND-family op short-circuited on an all-zero window in
     /// the current segment (rolls into [`EvalStats::segments_skipped`]).
     skipped_work: bool,
+    /// Whether a fetch in the current segment was answered from the
+    /// summary block instead of storage (rolls into
+    /// [`EvalStats::segments_pruned`], which takes precedence over
+    /// `skipped_work` so the two counters stay disjoint).
+    pruned_any: bool,
+    /// Shared all-zero window served for every fetch this segment proves
+    /// dead; allocated at most once per segment.
+    zero_window: Option<Arc<BitVec>>,
     /// Dense windows of compressed slots decoded for the *current*
     /// segment; cleared when the segment advances.
     windows: HashMap<(usize, usize), Arc<BitVec>>,
@@ -278,6 +294,20 @@ pub struct ExecContext<'a, S: BitmapSource> {
     /// overlay is dropped at attach time, keeping the no-ingest path
     /// bit-identical.
     overlay: Option<Arc<DeltaOverlay>>,
+    /// Whether summary-based segment pruning is enabled (it is by
+    /// default; [`ExecContext::with_pruning`] turns it off for A/B
+    /// comparison). Pruning only ever engages under segmented execution
+    /// on a source that serves summaries, with no overlay attached.
+    pruning: bool,
+    /// Memoized result of [`BitmapSource::try_fetch_summary`]: `None`
+    /// until first probed, then `Some(outcome)` — the source is asked at
+    /// most once per context.
+    summaries: Option<Option<Arc<IndexSummaries>>>,
+    /// Slots whose scan/buffer-hit charge was already levied by a pruned
+    /// fetch; a later *real* fetch of the same slot (a live window of a
+    /// slot that had dead ones) must not charge again. Cleared with the
+    /// fetch cache between queries.
+    pruned_charged: HashSet<(usize, usize)>,
 }
 
 impl<'a, S: BitmapSource> ExecContext<'a, S> {
@@ -293,6 +323,9 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
             seg: None,
             deadline: None,
             overlay: None,
+            pruning: true,
+            summaries: None,
+            pruned_charged: HashSet::new(),
         }
     }
 
@@ -309,7 +342,25 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
             seg: None,
             deadline: None,
             overlay: None,
+            pruning: true,
+            summaries: None,
+            pruned_charged: HashSet::new(),
         }
+    }
+
+    /// Enables or disables summary-based segment pruning (on by default).
+    /// Pruning never changes an answer or a scan/op charge — a disabled
+    /// run differs only in [`EvalStats::segments_pruned`] /
+    /// [`EvalStats::segments_skipped`] attribution and in the bytes the
+    /// storage layer actually reads.
+    pub fn with_pruning(mut self, pruning: bool) -> Self {
+        self.pruning = pruning;
+        self
+    }
+
+    /// Whether summary-based segment pruning is enabled.
+    pub fn pruning(&self) -> bool {
+        self.pruning
     }
 
     /// Attaches (or clears) a streaming-ingest delta overlay. Fetches then
@@ -426,6 +477,7 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
     /// behind). Call between queries.
     pub fn take_stats(&mut self) -> EvalStats {
         self.fetched.clear();
+        self.pruned_charged.clear();
         self.seg = None;
         std::mem::take(&mut self.stats)
     }
@@ -471,6 +523,8 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
                 s.hi = hi;
                 s.index = index;
                 s.skipped_work = false;
+                s.pruned_any = false;
+                s.zero_window = None;
                 s.windows.clear();
             }
             None => {
@@ -479,6 +533,8 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
                     hi,
                     index,
                     skipped_work: false,
+                    pruned_any: false,
+                    zero_window: None,
                     windows: HashMap::new(),
                     cursors: HashMap::new(),
                 });
@@ -526,7 +582,9 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
     pub(crate) fn end_segment(&mut self) {
         if let Some(s) = &self.seg {
             self.stats.segments_evaluated += 1;
-            if s.skipped_work {
+            if s.pruned_any {
+                self.stats.segments_pruned += 1;
+            } else if s.skipped_work {
                 self.stats.segments_skipped += 1;
             }
         }
@@ -620,13 +678,20 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
         if let Some(repr) = self.fetched.get(&(comp, slot)) {
             return Ok(repr.clone());
         }
+        if let Some(zeros) = self.try_prune(comp, slot) {
+            return Ok(zeros);
+        }
         let repr = match self.source.try_fetch_repr(comp, slot) {
             Ok(repr) => {
-                let resident = self.buffer.is_some_and(|b| b.contains(comp, slot));
-                if resident {
-                    self.stats.buffer_hits += 1;
-                } else {
-                    self.stats.scans += 1;
+                // A pruned fetch of this slot in an earlier segment
+                // already levied the deterministic scan/buffer-hit charge.
+                if !self.pruned_charged.remove(&(comp, slot)) {
+                    let resident = self.buffer.is_some_and(|b| b.contains(comp, slot));
+                    if resident {
+                        self.stats.buffer_hits += 1;
+                    } else {
+                        self.stats.scans += 1;
+                    }
                 }
                 self.apply_overlay_repr(comp, slot, repr)
             }
@@ -639,6 +704,62 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
         };
         self.fetched.insert((comp, slot), repr.clone());
         Ok(repr)
+    }
+
+    /// Summary-based segment pruning: under segmented execution, when the
+    /// source's summary block proves stored bitmap `(comp, slot)` all-zero
+    /// over the current window, returns a window-sized zero literal —
+    /// exact bitmap content, safe under every operator — instead of
+    /// touching storage. The scan/buffer-hit charge is levied exactly as a
+    /// real fetch would have charged it (once per slot per query, by the
+    /// same deterministic residency rule), so [`EvalStats`] stay
+    /// bit-identical with pruning on or off; only
+    /// [`EvalStats::segments_pruned`] and the storage layer's byte
+    /// counters observe the difference. Returns `None` — fetch normally —
+    /// whenever pruning is off, execution is whole-bitmap, an overlay is
+    /// attached (summaries describe base rows only), the source has no
+    /// usable summaries, or the window may be live.
+    fn try_prune(&mut self, comp: usize, slot: usize) -> Option<Repr> {
+        if !self.pruning || self.overlay.is_some() || self.seg.is_none() {
+            return None;
+        }
+        let summaries = self.source_summaries()?;
+        let (lo, hi) = {
+            let s = self.seg.as_ref().expect("segmented mode");
+            (s.lo, s.hi)
+        };
+        if summaries.get(comp, slot)?.range_any(lo, hi) {
+            return None;
+        }
+        if self.pruned_charged.insert((comp, slot)) {
+            let resident = self.buffer.is_some_and(|b| b.contains(comp, slot));
+            if resident {
+                self.stats.buffer_hits += 1;
+            } else {
+                self.stats.scans += 1;
+            }
+        }
+        let s = self.seg.as_mut().expect("segmented mode");
+        s.pruned_any = true;
+        let zeros = s
+            .zero_window
+            .get_or_insert_with(|| Arc::new(BitVec::zeros(hi - lo)));
+        Some(Repr::Literal(Arc::clone(zeros)))
+    }
+
+    /// The source's summaries, asked for once per context and memoized;
+    /// a shape mismatch against the source discards them (a stale or
+    /// foreign summary block must never prune).
+    fn source_summaries(&mut self) -> Option<Arc<IndexSummaries>> {
+        if self.summaries.is_none() {
+            let n_rows = self.source.n_rows();
+            let loaded = self
+                .source
+                .try_fetch_summary()
+                .filter(|s| s.n_rows() == n_rows);
+            self.summaries = Some(loaded);
+        }
+        self.summaries.as_ref().expect("memoized above").clone()
     }
 
     /// Dense words for a cached representation, upgrading the cache entry
@@ -1305,6 +1426,186 @@ mod tests {
         assert!(!or.is_compressed());
         assert_eq!(ctx.stats().materializations, 1, "only the WAH operand");
         assert_eq!(*or.to_bitvec(), kernels::or_all(&[&a, &b]));
+    }
+
+    /// A source serving a v4-style summary block alongside its bitmaps,
+    /// counting the representation fetches that actually reach it.
+    struct SummarySource<'a> {
+        index: &'a BitmapIndex,
+        summaries: Arc<bindex_bitvec::IndexSummaries>,
+        repr_fetches: usize,
+    }
+
+    impl BitmapSource for SummarySource<'_> {
+        fn spec(&self) -> &IndexSpec {
+            self.index.spec()
+        }
+        fn n_rows(&self) -> usize {
+            self.index.n_rows()
+        }
+        fn try_fetch(&mut self, comp: usize, slot: usize) -> Result<BitVec> {
+            Ok(self.index.bitmap(comp, slot).clone())
+        }
+        fn try_fetch_nn(&mut self) -> Result<Option<BitVec>> {
+            Ok(self.index.nn().cloned())
+        }
+        fn try_fetch_repr(&mut self, comp: usize, slot: usize) -> Result<Repr> {
+            self.repr_fetches += 1;
+            Ok(Repr::from(self.index.bitmap(comp, slot).clone()))
+        }
+        fn try_fetch_summary(&mut self) -> Option<Arc<bindex_bitvec::IndexSummaries>> {
+            Some(Arc::clone(&self.summaries))
+        }
+    }
+
+    /// Rows valued 1 only where `live(row)` holds, cardinality 2 indexed
+    /// at base 4 so the equality index has provably-dead slots (2 and 3).
+    fn windowed_index(n: usize, live: impl Fn(usize) -> bool) -> BitmapIndex {
+        let col = Column::new((0..n).map(|i| u32::from(live(i))).collect(), 2);
+        BitmapIndex::build(
+            &col,
+            IndexSpec::new(crate::base::Base::single(4).unwrap(), Encoding::Equality),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn summary_pruning_serves_exact_zeros_without_touching_storage() {
+        let w = bindex_bitvec::SUMMARY_WINDOW_BITS;
+        let idx = windowed_index(2 * w, |i| i < 17);
+        let summaries = Arc::new(bindex_bitvec::IndexSummaries::build(
+            idx.n_rows(),
+            idx.components(),
+            idx.nn(),
+        ));
+        let mut src = SummarySource {
+            index: &idx,
+            summaries,
+            repr_fetches: 0,
+        };
+        let mut ctx = ExecContext::new(&mut src);
+        // Segment 0: slot 1 is live (rows 0..17), slot 2 is dead everywhere.
+        ctx.begin_segment(0, w, 0);
+        let live = ctx.fetch(1, 1).unwrap();
+        assert_eq!(live.as_ref(), idx.bitmap(1, 1), "live slot fetched whole");
+        let dead = ctx.fetch(1, 2).unwrap();
+        assert_eq!(dead.len(), w, "pruned fetch is window-sized");
+        assert!(dead.none(), "pruned fetch is exact zeros");
+        ctx.end_segment();
+        // Segment 1: slot 1 comes from the fetch cache, slot 2 prunes again.
+        ctx.begin_segment(w, 2 * w, 1);
+        assert_eq!(ctx.fetch(1, 1).unwrap().as_ref(), idx.bitmap(1, 1));
+        assert!(ctx.fetch(1, 2).unwrap().none());
+        ctx.end_segment();
+        ctx.exit_segments();
+        let s = ctx.take_stats();
+        // One real scan (slot 1) plus one synthetic charge (slot 2): the
+        // totals a pruning-free run would report.
+        assert_eq!(s.scans, 2);
+        assert_eq!(s.segments_evaluated, 2);
+        assert_eq!(s.segments_pruned, 2, "both segments pruned slot 2");
+        assert_eq!(s.segments_skipped, 0, "disjoint from skips");
+        drop(ctx);
+        assert_eq!(src.repr_fetches, 1, "the dead slot never reached storage");
+    }
+
+    #[test]
+    fn deferred_real_fetch_charges_once() {
+        let w = bindex_bitvec::SUMMARY_WINDOW_BITS;
+        // Slot 1 is live only in the *second* window: segment 0 prunes it
+        // (charging its scan), segment 1 fetches it for real (free).
+        let idx = windowed_index(2 * w, |i| (w..w + 10).contains(&i));
+        let summaries = Arc::new(bindex_bitvec::IndexSummaries::build(
+            idx.n_rows(),
+            idx.components(),
+            idx.nn(),
+        ));
+        let mut src = SummarySource {
+            index: &idx,
+            summaries,
+            repr_fetches: 0,
+        };
+        let mut ctx = ExecContext::new(&mut src);
+        ctx.begin_segment(0, w, 0);
+        assert!(ctx.fetch(1, 1).unwrap().none());
+        assert_eq!(ctx.stats().scans, 1, "synthetic charge at prune time");
+        ctx.end_segment();
+        ctx.begin_segment(w, 2 * w, 1);
+        let got = ctx.fetch(1, 1).unwrap();
+        assert_eq!(got.as_ref(), idx.bitmap(1, 1));
+        ctx.end_segment();
+        ctx.exit_segments();
+        let s = ctx.take_stats();
+        assert_eq!(s.scans, 1, "real fetch must not double-charge");
+        assert_eq!(s.segments_pruned, 1);
+        drop(ctx);
+        assert_eq!(src.repr_fetches, 1);
+    }
+
+    #[test]
+    fn pruning_disabled_and_buffered_charges_match() {
+        let w = bindex_bitvec::SUMMARY_WINDOW_BITS;
+        let idx = windowed_index(2 * w, |i| i < 17);
+        let summaries = Arc::new(bindex_bitvec::IndexSummaries::build(
+            idx.n_rows(),
+            idx.components(),
+            idx.nn(),
+        ));
+        // Disabled: every fetch reaches storage, nothing is pruned.
+        let mut src = SummarySource {
+            index: &idx,
+            summaries: Arc::clone(&summaries),
+            repr_fetches: 0,
+        };
+        let mut ctx = ExecContext::new(&mut src).with_pruning(false);
+        ctx.begin_segment(0, w, 0);
+        ctx.fetch(1, 2).unwrap();
+        ctx.end_segment();
+        let s = ctx.take_stats();
+        assert_eq!((s.scans, s.segments_pruned), (1, 0));
+        drop(ctx);
+        assert_eq!(src.repr_fetches, 1);
+        // Buffer-resident pruned slot charges a buffer hit, not a scan —
+        // the same deterministic rule a real fetch applies.
+        let buf = BufferSet::from_pairs([(1, 2)]);
+        let mut src = SummarySource {
+            index: &idx,
+            summaries,
+            repr_fetches: 0,
+        };
+        let mut ctx = ExecContext::with_buffer(&mut src, &buf);
+        ctx.begin_segment(0, w, 0);
+        assert!(ctx.fetch(1, 2).unwrap().none());
+        ctx.end_segment();
+        let s = ctx.take_stats();
+        assert_eq!((s.scans, s.buffer_hits, s.segments_pruned), (0, 1, 1));
+        drop(ctx);
+        assert_eq!(src.repr_fetches, 0);
+    }
+
+    #[test]
+    fn mismatched_summaries_never_prune() {
+        let w = bindex_bitvec::SUMMARY_WINDOW_BITS;
+        let idx = windowed_index(2 * w, |i| i < 17);
+        // A stale block summarizing a different row count must be ignored.
+        let stale = Arc::new(bindex_bitvec::IndexSummaries::build(
+            w,
+            &[vec![BitVec::zeros(w); 4]],
+            None,
+        ));
+        let mut src = SummarySource {
+            index: &idx,
+            summaries: stale,
+            repr_fetches: 0,
+        };
+        let mut ctx = ExecContext::new(&mut src);
+        ctx.begin_segment(0, w, 0);
+        let got = ctx.fetch(1, 2).unwrap();
+        assert_eq!(got.as_ref(), idx.bitmap(1, 2), "served from storage");
+        ctx.end_segment();
+        assert_eq!(ctx.stats().segments_pruned, 0);
+        drop(ctx);
+        assert_eq!(src.repr_fetches, 1);
     }
 
     fn equality_index() -> (Column, BitmapIndex) {

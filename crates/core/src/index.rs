@@ -46,6 +46,16 @@ pub trait BitmapSource {
     fn try_fetch_repr(&mut self, comp: usize, slot: usize) -> Result<bindex_compress::Repr> {
         self.try_fetch(comp, slot).map(bindex_compress::Repr::from)
     }
+
+    /// The index's hierarchical summary bitmaps, if the backing store
+    /// carries them (the v4 layout). Infallible by design: a missing,
+    /// corrupt, or shape-mismatched summary block returns `None`, which
+    /// only disables segment pruning — the executor then degrades to
+    /// fetch-and-check, never to a wrong answer. The default (no
+    /// summaries) keeps every existing source working unchanged.
+    fn try_fetch_summary(&mut self) -> Option<std::sync::Arc<bindex_bitvec::IndexSummaries>> {
+        None
+    }
 }
 
 /// An in-memory bitmap index over one attribute.

@@ -58,6 +58,7 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod index;
+pub mod reorder;
 
 pub use base::Base;
 pub use bindex_compress::Repr;
@@ -70,3 +71,4 @@ pub use exec::{
     DEFAULT_WAH_CROSSOVER,
 };
 pub use index::{rebuild_slot, BitmapIndex, BitmapSource, MemorySource};
+pub use reorder::{build_reordered, BuildOptions, RowOrder, RowPermutation};

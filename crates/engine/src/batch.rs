@@ -61,6 +61,12 @@ pub const SEGMENT_BITS_ENV: &str = "BINDEX_SEGMENT_BITS";
 /// time on per-segment bookkeeping than on bit operations.
 pub const MIN_SEGMENT_BITS: usize = 512;
 
+/// Environment variable gating summary-based segment pruning (v4 stores
+/// only): set to `0` to force every fetch through storage even when the
+/// summary block proves a window dead. On by default — pruning never
+/// changes an answer, a scan/buffer-hit charge, or an op count.
+pub const PRUNING_ENV: &str = "BINDEX_PRUNE";
+
 /// Validates a `BINDEX_SEGMENT_BITS` value: a positive power of two of at
 /// least [`MIN_SEGMENT_BITS`]. (A value larger than the relation is fine —
 /// the query just runs as one segment.) Returns `None` on anything else so
@@ -261,6 +267,8 @@ pub struct BatchOptions {
     recovery: RecoveryPolicy,
     segment_bits: Option<usize>,
     overlay: Option<Arc<DeltaOverlay>>,
+    /// Inverted so `derive(Default)` keeps pruning ON by default.
+    no_pruning: bool,
 }
 
 impl BatchOptions {
@@ -287,6 +295,7 @@ impl BatchOptions {
             recovery: RecoveryPolicy::default(),
             segment_bits: None,
             overlay: None,
+            no_pruning: false,
         }
     }
 
@@ -328,6 +337,15 @@ impl BatchOptions {
             &format!("a power of two >= {MIN_SEGMENT_BITS}"),
             parse_segment_bits,
         );
+        if let Some(enabled) =
+            crate::envcfg::parse_env(PRUNING_ENV, "0 or 1", |raw| match raw.trim() {
+                "0" => Some(false),
+                "1" => Some(true),
+                _ => None,
+            })
+        {
+            options.no_pruning = !enabled;
+        }
         options
     }
 
@@ -419,6 +437,19 @@ impl BatchOptions {
     /// The ingest overlay, if one is attached (and not quiesced).
     pub fn overlay(&self) -> Option<&Arc<DeltaOverlay>> {
         self.overlay.as_ref()
+    }
+
+    /// Enables or disables summary-based segment pruning on every query's
+    /// [`ExecContext`]. On by default; pruning only fires on v4 stores
+    /// (others have no summary block) and never changes an answer.
+    pub fn with_pruning(mut self, enabled: bool) -> Self {
+        self.no_pruning = !enabled;
+        self
+    }
+
+    /// Whether summary-based segment pruning is enabled.
+    pub fn pruning(&self) -> bool {
+        !self.no_pruning
     }
 }
 
@@ -726,7 +757,8 @@ where
         let mut ctx = ExecContext::new(source)
             .with_recovery(options.recovery().clone())
             .with_deadline(options.deadline())
-            .with_overlay(options.overlay().cloned());
+            .with_overlay(options.overlay().cloned())
+            .with_pruning(options.pruning());
         let found = evaluate_in(&mut ctx, queries[i], algorithm)?;
         let stats = ctx.take_stats();
         Ok(((found, stats), stats.degraded_fetches > 0))
@@ -889,7 +921,8 @@ where
                     let mut ctx = ExecContext::new(&mut source)
                         .with_recovery(options.recovery().clone())
                         .with_deadline(options.deadline())
-                        .with_overlay(options.overlay().cloned());
+                        .with_overlay(options.overlay().cloned())
+                        .with_pruning(options.pruning());
                     let mut local = vec![0u64; span];
                     let res = bindex_core::eval::evaluate_segment_range_in(
                         &mut ctx,
@@ -913,6 +946,7 @@ where
                             EvalStats {
                                 segments_evaluated: stats.segments_evaluated,
                                 segments_skipped: stats.segments_skipped,
+                                segments_pruned: stats.segments_pruned,
                                 ..EvalStats::default()
                             }
                         };

@@ -31,7 +31,7 @@ use std::time::{Duration, Instant};
 use bindex::compress::CodecKind;
 use bindex::relation::gen;
 use bindex::storage::{DiskStore, TempDir};
-use bindex::stored::persist_index_v3;
+use bindex::stored::persist_index_v4;
 use bindex::{Base, BitmapIndex, Encoding, IndexSpec};
 use bindex_server::{IndexTuning, Registry, ServedIndex, Server, ServerConfig};
 
@@ -90,9 +90,10 @@ fn demo_index() -> Result<(ServedIndex, TempDir), String> {
     let index = BitmapIndex::build(&column, spec.clone()).map_err(|e| e.to_string())?;
     let dir = TempDir::new("server-demo").map_err(|e| e.to_string())?;
     let store = DiskStore::open(dir.path()).map_err(|e| e.to_string())?;
-    // Version-3: checksummed frames, so the demo also accepts ingest
-    // batches (compaction refuses the guarantee-free v1 layout).
-    let stored = persist_index_v3(&index, store, CodecKind::None).map_err(|e| e.to_string())?;
+    // Version-4: checksummed frames (so the demo also accepts ingest
+    // batches) plus the summary block, so segmented queries prune dead
+    // windows without touching disk.
+    let stored = persist_index_v4(&index, store, CodecKind::None).map_err(|e| e.to_string())?;
     let served = ServedIndex::new(
         "demo",
         spec,

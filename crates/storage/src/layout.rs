@@ -15,8 +15,20 @@
 //! slots can be handed to the executor still compressed
 //! ([`StoredIndex::read_repr`]), so sparse bitmaps cost less I/O, less
 //! pool memory, *and* no decompression.
+//!
+//! Version 4 ([`StoredIndex::create_v4`]) adds a **hierarchical summary
+//! block** on top of the v3 slot coding: one framed file holding, for
+//! every slot, one bit per [`SUMMARY_WINDOW_BITS`]-bit window recording
+//! "any bit set in this window". Segmented execution consults the
+//! summaries *before* fetching a slot and skips fetch + decode of
+//! provably-dead segments. A clear summary bit is a guarantee of zeros; a
+//! missing, corrupt, or shape-mismatched summary block degrades to
+//! fetch-and-check ([`StoredIndex::read_summaries`] returns `None`) —
+//! never to a wrong answer.
 
-use bindex_bitvec::BitVec;
+use std::sync::{Arc, OnceLock};
+
+use bindex_bitvec::{BitVec, IndexSummaries, SlotSummary, SUMMARY_WINDOW_BITS};
 use bindex_compress::wah::WahBitmap;
 use bindex_compress::{CodecKind, Repr};
 
@@ -226,6 +238,7 @@ impl StoredIndexMeta {
             Some("1") => 1,
             Some("2") => 2,
             Some("3") => 3,
+            Some("4") => 4,
             _ => return Err(bad("unsupported version")),
         };
         Ok((
@@ -254,9 +267,14 @@ pub struct StoredIndex<S: ByteStore> {
     store: S,
     meta: StoredIndexMeta,
     stats: IoStats,
-    /// On-disk format version: 1 raw, 2 framed, 3 framed + per-slot codec.
+    /// On-disk format version: 1 raw, 2 framed, 3 framed + per-slot codec,
+    /// 4 per-slot codec + summary block.
     version: u32,
     retry: RetryPolicy,
+    /// Lazily loaded, validated summary block (v4 stores). A resolved
+    /// `None` means "no usable summaries" — pre-v4 store, missing file,
+    /// or a corrupt/mismatched block that must degrade to fetch-and-check.
+    summaries: OnceLock<Option<Arc<IndexSummaries>>>,
 }
 
 impl<S: ByteStore> StoredIndex<S> {
@@ -319,6 +337,7 @@ impl<S: ByteStore> StoredIndex<S> {
             stats: IoStats::default(),
             version: format::FORMAT_VERSION,
             retry: RetryPolicy::default(),
+            summaries: OnceLock::new(),
         })
     }
 
@@ -330,9 +349,34 @@ impl<S: ByteStore> StoredIndex<S> {
     /// slots can later be served still-compressed via
     /// [`StoredIndex::read_repr`].
     pub fn create_v3(
+        store: S,
+        components: &[Vec<BitVec>],
+        codec: CodecKind,
+    ) -> Result<Self, StorageError> {
+        Self::create_slot_coded(store, components, codec, 3)
+    }
+
+    /// Writes a **version-4** store: the v3 per-slot coding plus a framed
+    /// summary block ([`SUMMARY_FILE`]) recording, per slot, one bit per
+    /// [`SUMMARY_WINDOW_BITS`]-bit window — the pruning layer segmented
+    /// execution consults before fetching
+    /// ([`StoredIndex::read_summaries`]).
+    pub fn create_v4(
+        store: S,
+        components: &[Vec<BitVec>],
+        codec: CodecKind,
+    ) -> Result<Self, StorageError> {
+        Self::create_slot_coded(store, components, codec, 4)
+    }
+
+    /// Shared v3/v4 writer: both formats encode slots through one
+    /// [`SlotEncoder`], so the literal-vs-WAH heuristic and the summary
+    /// block can never drift between build paths.
+    fn create_slot_coded(
         mut store: S,
         components: &[Vec<BitVec>],
         codec: CodecKind,
+        version: u32,
     ) -> Result<Self, StorageError> {
         let n_rows = components
             .first()
@@ -347,24 +391,30 @@ impl<S: ByteStore> StoredIndex<S> {
             StorageScheme::BitmapLevel,
             codec,
         );
+        let mut enc = SlotEncoder::new(codec);
         for (ci, comp) in components.iter().enumerate() {
+            enc.begin_component();
             for (j, bm) in comp.iter().enumerate() {
                 store.write_file(
                     &bitmap_file(ci + 1, j),
-                    &format::frame(&encode_slot_v3(bm, codec)),
+                    &format::frame(&enc.encode_slot(bm)),
                 )?;
             }
         }
+        if version >= 4 {
+            store.write_file(SUMMARY_FILE, &format::frame(&enc.summary_payload(n_rows)))?;
+        }
         store.write_file(
             MANIFEST_FILE,
-            &format::frame(meta.to_manifest(3).as_bytes()),
+            &format::frame(meta.to_manifest(version).as_bytes()),
         )?;
         Ok(Self {
             store,
             meta,
             stats: IoStats::default(),
-            version: 3,
+            version,
             retry: RetryPolicy::default(),
+            summaries: OnceLock::new(),
         })
     }
 
@@ -405,6 +455,7 @@ impl<S: ByteStore> StoredIndex<S> {
             },
             version,
             retry,
+            summaries: OnceLock::new(),
         };
         index.scavenge_stale_generations();
         Ok(index)
@@ -438,8 +489,8 @@ impl<S: ByteStore> StoredIndex<S> {
         &self.meta
     }
 
-    /// On-disk format version: 3 for per-slot-coded stores, 2 for
-    /// checksum-framed stores, 1 for legacy.
+    /// On-disk format version: 4 for summary-carrying stores, 3 for
+    /// per-slot-coded stores, 2 for checksum-framed stores, 1 for legacy.
     pub fn format_version(&self) -> u32 {
         self.version
     }
@@ -609,6 +660,57 @@ impl<S: ByteStore> StoredIndex<S> {
                 Ok(w.to_bitvec())
             }
         }
+    }
+
+    /// The v4 summary block, loaded and shape-validated once per store
+    /// handle. `None` for pre-v4 stores and whenever the block is missing,
+    /// unreadable, corrupt, or disagrees with the stored shape — callers
+    /// degrade to fetch-and-check, never to a wrong answer. (That makes
+    /// summary loss strictly a performance event, which is why this path
+    /// is infallible rather than `Result`-typed.)
+    pub fn read_summaries(&mut self) -> Option<Arc<IndexSummaries>> {
+        let (out, delta) = self.read_summaries_shared();
+        self.stats.add(&delta);
+        out
+    }
+
+    /// Shared-state variant of [`StoredIndex::read_summaries`], mirroring
+    /// [`StoredIndex::read_bitmap_shared`]. The I/O delta is non-zero only
+    /// on the first call that actually loads the block.
+    pub fn read_summaries_shared(&self) -> (Option<Arc<IndexSummaries>>, IoStats) {
+        let mut delta = IoStats::default();
+        let out = self
+            .summaries
+            .get_or_init(|| self.load_summaries(&mut delta))
+            .clone();
+        (out, delta)
+    }
+
+    fn load_summaries(&self, delta: &mut IoStats) -> Option<Arc<IndexSummaries>> {
+        if self.version < 4 {
+            return None;
+        }
+        let name = summary_file(self.meta.generation);
+        let data = match read_with_retry(&self.store, &name, self.retry, &mut delta.retries) {
+            Ok(data) => data,
+            Err(_) => return None,
+        };
+        delta.reads += 1;
+        delta.bytes_read += data.len() as u64;
+        let payload = format::unframe(&name, &data).ok()?;
+        let summaries = decode_summary_block(&payload)?;
+        // Shape check against the manifest: a summary block that
+        // disagrees with the stored layout must never prune anything.
+        let shape: Vec<usize> = self
+            .meta
+            .bitmaps_per_component
+            .iter()
+            .map(|&x| x as usize)
+            .collect();
+        if summaries.n_rows() != self.meta.n_rows || summaries.slots_per_component() != shape {
+            return None;
+        }
+        Some(Arc::new(summaries))
     }
 
     fn read_repr_into(
@@ -819,9 +921,16 @@ impl<S: ByteStore> StoredIndex<S> {
             ..RepairReport::default()
         };
         let mut manifest_dirty = false;
+        let mut summary_dirty = false;
+        let current_summary = summary_file(self.meta.generation);
         for failure in report.scrub.failures.clone() {
             if failure.file == MANIFEST_FILE {
                 manifest_dirty = true;
+                continue;
+            }
+            if failure.file == current_summary {
+                // Rebuilt below, after the slots it summarizes are fixed.
+                summary_dirty = true;
                 continue;
             }
             let slots = self.file_slots(&failure.file);
@@ -861,6 +970,17 @@ impl<S: ByteStore> StoredIndex<S> {
             self.store.write_file(&failure.file, &data)?;
             report.repaired.push(failure.file);
         }
+        if summary_dirty {
+            // The summary block is derived data: rebuild it from the (now
+            // repaired) slots rather than asking the caller for content.
+            match self.rebuild_summary_block() {
+                Ok(()) => report.repaired.push(current_summary),
+                Err(e) => report.unrepaired.push(ScrubFailure {
+                    file: current_summary,
+                    error: e.to_string(),
+                }),
+            }
+        }
         if manifest_dirty {
             report.repaired.push(MANIFEST_FILE.to_string());
         }
@@ -873,14 +993,46 @@ impl<S: ByteStore> StoredIndex<S> {
                 text.into_bytes()
             };
             self.store.write_file(MANIFEST_FILE, &data)?;
+            // Repairs may have rewritten slots or the summary block; drop
+            // any summaries resolved before the repair.
+            self.summaries = OnceLock::new();
         }
         Ok(report)
+    }
+
+    /// Recomputes the current generation's summary block from the stored
+    /// slots (and non-null bitmap) and rewrites [`SUMMARY_FILE`] — the
+    /// repair path for a corrupted summary. Fails if any slot is
+    /// unreadable; the block then stays corrupt and reads keep degrading
+    /// to fetch-and-check.
+    fn rebuild_summary_block(&mut self) -> Result<(), StorageError> {
+        let mut delta = IoStats::default();
+        let shape = self.meta.bitmaps_per_component.clone();
+        let mut enc = SlotEncoder::new(self.meta.codec);
+        for (ci, &n_i) in shape.iter().enumerate() {
+            enc.begin_component();
+            for slot in 0..n_i as usize {
+                let bm = self.read_bitmap_into(ci + 1, slot, &mut delta)?;
+                let _ = enc.encode_slot(&bm);
+            }
+        }
+        if let Some(nn) = self.read_nn_into(&mut delta)? {
+            let _ = enc.encode_nn(&nn);
+        }
+        let payload = enc.summary_payload(self.meta.n_rows);
+        self.stats.add(&delta);
+        self.store.write_file(
+            &summary_file(self.meta.generation),
+            &format::frame(&payload),
+        )?;
+        Ok(())
     }
 
     /// Installs a compacted base as the next generation, atomically.
     ///
     /// The new bitmaps (and optional non-null mask, which also carries
-    /// deleted rows as nulls) are written as **version-3** slot files under
+    /// deleted rows as nulls) are written as **version-4** slot files
+    /// (plus the generation's summary block) under
     /// `g{G+1}_`-prefixed names, so nothing the current generation reads is
     /// touched. The single commit point is the manifest rewrite — one
     /// atomic `write_file` that flips generation, scheme (always
@@ -926,21 +1078,29 @@ impl<S: ByteStore> StoredIndex<S> {
         let next = self.meta.generation + 1;
         // Step 1: write every new-generation file. A crash anywhere in
         // here leaves orphans; the manifest still names the old base.
+        // Slots and the summary block go through the same SlotEncoder as
+        // the v4 builder, so compaction can never drift from build.
+        let mut enc = SlotEncoder::new(self.meta.codec);
         for (ci, comp) in components.iter().enumerate() {
+            enc.begin_component();
             for (j, bm) in comp.iter().enumerate() {
                 self.store.write_file(
                     &gen_bitmap_file(next, ci + 1, j),
-                    &format::frame(&encode_slot_v3(bm, self.meta.codec)),
+                    &format::frame(&enc.encode_slot(bm)),
                 )?;
             }
         }
         if let Some(nn) = nn {
-            self.store.write_file(
-                &gen_nn_file(next),
-                &format::frame(&encode_slot_v3(nn, self.meta.codec)),
-            )?;
+            self.store
+                .write_file(&gen_nn_file(next), &format::frame(&enc.encode_nn(nn)))?;
         }
-        // Step 2: the commit point — one atomic manifest swap.
+        self.store.write_file(
+            &summary_file(next),
+            &format::frame(&enc.summary_payload(n_rows)),
+        )?;
+        // Step 2: the commit point — one atomic manifest swap. Compaction
+        // always installs the current (v4) format: per-slot coding plus
+        // the summary block just written.
         let mut meta = self.meta.clone();
         meta.n_rows = n_rows;
         meta.bitmaps_per_component = components.iter().map(|c| c.len() as u32).collect();
@@ -952,10 +1112,11 @@ impl<S: ByteStore> StoredIndex<S> {
             .push(format!("gen{next}:rows={n_rows}:wal={wal_applied}"));
         self.store.write_file(
             MANIFEST_FILE,
-            &format::frame(meta.to_manifest(3).as_bytes()),
+            &format::frame(meta.to_manifest(4).as_bytes()),
         )?;
         self.meta = meta;
-        self.version = 3;
+        self.version = 4;
+        self.summaries = OnceLock::new();
         // Step 3: cleanup, best-effort (reopen scavenges whatever this
         // misses — including everything, if the store just crashed).
         self.scavenge_stale_generations();
@@ -1064,6 +1225,142 @@ fn encode_slot_v3(bm: &BitVec, codec: CodecKind) -> Vec<u8> {
     }
 }
 
+/// One encoder for every slot-coded writer — build
+/// ([`StoredIndex::create_v3`]/[`StoredIndex::create_v4`]), compaction
+/// ([`StoredIndex::install_generation`]) and summary repair all encode
+/// through this type, so the literal-vs-WAH heuristic and the summary
+/// block construction cannot drift between paths: the summary is built
+/// from exactly the bitmaps whose encodings were emitted.
+struct SlotEncoder {
+    codec: CodecKind,
+    components: Vec<Vec<SlotSummary>>,
+    nn: Option<SlotSummary>,
+}
+
+impl SlotEncoder {
+    fn new(codec: CodecKind) -> Self {
+        Self {
+            codec,
+            components: Vec::new(),
+            nn: None,
+        }
+    }
+
+    /// Opens the next component; subsequent [`SlotEncoder::encode_slot`]
+    /// calls append to it.
+    fn begin_component(&mut self) {
+        self.components.push(Vec::new());
+    }
+
+    /// Encodes one slot payload (tag byte + body) and records its summary.
+    fn encode_slot(&mut self, bm: &BitVec) -> Vec<u8> {
+        self.components
+            .last_mut()
+            .expect("begin_component before encode_slot")
+            .push(SlotSummary::build(bm));
+        encode_slot_v3(bm, self.codec)
+    }
+
+    /// Encodes the non-null bitmap and records its summary.
+    fn encode_nn(&mut self, bm: &BitVec) -> Vec<u8> {
+        self.nn = Some(SlotSummary::build(bm));
+        encode_slot_v3(bm, self.codec)
+    }
+
+    /// Serializes the accumulated summaries as the v4 summary block
+    /// payload (framed by the caller like any other file).
+    fn summary_payload(&self, n_rows: usize) -> Vec<u8> {
+        encode_summary_block(n_rows, &self.components, self.nn.as_ref())
+    }
+}
+
+/// Serializes a summary block: fixed header (row count, window width,
+/// per-component slot counts, nn flag) followed by each slot's packed
+/// window bits in component-major order, nn summary last.
+fn encode_summary_block(
+    n_rows: usize,
+    components: &[Vec<SlotSummary>],
+    nn: Option<&SlotSummary>,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(n_rows as u64).to_le_bytes());
+    out.extend_from_slice(&(SUMMARY_WINDOW_BITS as u32).to_le_bytes());
+    out.extend_from_slice(&(components.len() as u32).to_le_bytes());
+    for comp in components {
+        out.extend_from_slice(&(comp.len() as u32).to_le_bytes());
+    }
+    out.push(u8::from(nn.is_some()));
+    for summary in components.iter().flatten().chain(nn) {
+        out.extend_from_slice(&summary.any.to_bytes());
+    }
+    out
+}
+
+/// Parses a summary block payload. `None` on any structural defect —
+/// the caller treats that exactly like a missing block.
+fn decode_summary_block(payload: &[u8]) -> Option<IndexSummaries> {
+    fn take<'a>(p: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+        if p.len() < n {
+            return None;
+        }
+        let (head, tail) = p.split_at(n);
+        *p = tail;
+        Some(head)
+    }
+    let mut p = payload;
+    let n_rows = u64::from_le_bytes(take(&mut p, 8)?.try_into().ok()?) as usize;
+    let window_bits = u32::from_le_bytes(take(&mut p, 4)?.try_into().ok()?) as usize;
+    if window_bits == 0 {
+        return None;
+    }
+    let n_components = u32::from_le_bytes(take(&mut p, 4)?.try_into().ok()?) as usize;
+    // The remaining payload bounds the believable slot count; reject
+    // headers promising more slots than bytes before allocating.
+    if n_components > p.len() / 4 {
+        return None;
+    }
+    let mut counts = Vec::with_capacity(n_components);
+    for _ in 0..n_components {
+        counts.push(u32::from_le_bytes(take(&mut p, 4)?.try_into().ok()?) as usize);
+    }
+    let has_nn = match take(&mut p, 1)? {
+        [0] => false,
+        [1] => true,
+        _ => return None,
+    };
+    let windows = SlotSummary::windows_for(n_rows, window_bits);
+    let bytes_per = windows.div_ceil(8);
+    let total_slots = counts.iter().try_fold(0usize, |a, &c| a.checked_add(c))?;
+    let body = total_slots
+        .checked_add(usize::from(has_nn))?
+        .checked_mul(bytes_per)?;
+    if p.len() != body {
+        return None;
+    }
+    let read_summary = |p: &mut &[u8]| -> Option<SlotSummary> {
+        let bytes = take(p, bytes_per)?;
+        Some(SlotSummary {
+            len: n_rows,
+            window_bits,
+            any: BitVec::from_bytes(windows, bytes),
+        })
+    };
+    let mut slots = Vec::with_capacity(n_components);
+    for &count in &counts {
+        let mut comp = Vec::with_capacity(count);
+        for _ in 0..count {
+            comp.push(read_summary(&mut p)?);
+        }
+        slots.push(comp);
+    }
+    let nn = if has_nn {
+        Some(read_summary(&mut p)?)
+    } else {
+        None
+    };
+    Some(IndexSummaries::new(n_rows, window_bits, slots, nn))
+}
+
 fn bitmap_file(comp: usize, slot: usize) -> String {
     gen_bitmap_file(0, comp, slot)
 }
@@ -1089,6 +1386,18 @@ fn gen_nn_file(generation: u64) -> String {
     }
 }
 
+/// Name of the generation-0 summary block file (v4 stores).
+const SUMMARY_FILE: &str = "summary.bxs";
+
+/// Summary block file name for a given base generation.
+fn summary_file(generation: u64) -> String {
+    if generation == 0 {
+        SUMMARY_FILE.to_string()
+    } else {
+        format!("g{generation}_{SUMMARY_FILE}")
+    }
+}
+
 /// The generation a data file belongs to, or `None` for files outside the
 /// data layout (manifest, WAL, strays). Used to scavenge orphans left by
 /// a crash between compaction steps.
@@ -1101,6 +1410,7 @@ fn data_file_generation(name: &str) -> Option<u64> {
         None => (0, name),
     };
     let is_data = rest == "nn.bmp"
+        || rest == SUMMARY_FILE
         || rest == INDEX_FILE
         || parse_slot_name(rest).is_some()
         || parse_component_name(rest).is_some();
@@ -1382,6 +1692,8 @@ mod tests {
         assert_eq!(data_file_generation("nn.bmp"), Some(0));
         assert_eq!(data_file_generation("g7_c1_b0.bmp"), Some(7));
         assert_eq!(data_file_generation("g7_nn.bmp"), Some(7));
+        assert_eq!(data_file_generation(SUMMARY_FILE), Some(0));
+        assert_eq!(data_file_generation("g7_summary.bxs"), Some(7));
         assert_eq!(data_file_generation(MANIFEST_FILE), None);
         assert_eq!(data_file_generation(crate::wal::WAL_FILE), None);
         assert_eq!(data_file_generation("stray.tmp"), None);
@@ -1405,7 +1717,7 @@ mod tests {
         nn.set(3, false);
         let generation = stored.install_generation(&new_comps, Some(&nn), 9).unwrap();
         assert_eq!(generation, 1);
-        assert_eq!(stored.format_version(), 3);
+        assert_eq!(stored.format_version(), 4);
         assert_eq!(stored.meta().generation, 1);
         assert_eq!(stored.meta().wal_applied, 9);
         assert!(stored.meta().has_nn);
@@ -1822,6 +2134,151 @@ mod tests {
         let repr = v2.read_repr(1, 2).unwrap();
         assert!(!repr.is_compressed());
         assert_eq!(*repr.to_bitvec(), comps[0][2]);
+    }
+
+    /// Components wide enough to span several summary windows, with one
+    /// slot dead over a whole window range.
+    fn windowed_components() -> Vec<Vec<BitVec>> {
+        let n = 4 * SUMMARY_WINDOW_BITS + 100;
+        vec![
+            vec![
+                // Live only in the first window.
+                BitVec::from_indices(n, &[5, 6, 7]),
+                // Live only in the last (partial) window.
+                BitVec::from_indices(n, &[4 * SUMMARY_WINDOW_BITS + 50]),
+                BitVec::zeros(n),
+            ],
+            vec![BitVec::from_fn(n, |i| i.is_multiple_of(3))],
+        ]
+    }
+
+    #[test]
+    fn v4_roundtrips_and_serves_validated_summaries() {
+        let comps = windowed_components();
+        let stored = StoredIndex::create_v4(MemStore::new(), &comps, CodecKind::None).unwrap();
+        assert_eq!(stored.format_version(), 4);
+        let mut reopened = StoredIndex::open(stored.into_store()).unwrap();
+        assert_eq!(reopened.format_version(), 4);
+        for (ci, comp) in comps.iter().enumerate() {
+            for (j, bm) in comp.iter().enumerate() {
+                assert_eq!(&reopened.read_bitmap(ci + 1, j).unwrap(), bm);
+            }
+        }
+        let summaries = reopened.read_summaries().expect("v4 store has summaries");
+        assert_eq!(summaries.n_rows(), comps[0][0].len());
+        assert_eq!(summaries.slots_per_component(), vec![3, 1]);
+        let s = summaries.get(1, 0).unwrap();
+        assert!(s.range_any(0, SUMMARY_WINDOW_BITS));
+        assert!(!s.range_any(SUMMARY_WINDOW_BITS, 4 * SUMMARY_WINDOW_BITS + 100));
+        let tail = summaries.get(1, 1).unwrap();
+        assert!(!tail.range_any(0, 4 * SUMMARY_WINDOW_BITS));
+        assert!(tail.range_any(4 * SUMMARY_WINDOW_BITS, 4 * SUMMARY_WINDOW_BITS + 100));
+        assert!(!summaries.get(1, 2).unwrap().range_any(0, usize::MAX));
+        assert!(summaries.get(2, 0).unwrap().range_any(0, 3));
+        // The second call serves the cached block without new I/O.
+        let before = reopened.stats().reads;
+        let again = reopened.read_summaries().unwrap();
+        assert!(Arc::ptr_eq(&summaries, &again));
+        assert_eq!(reopened.stats().reads, before);
+    }
+
+    #[test]
+    fn v3_stores_have_no_summaries() {
+        let comps = windowed_components();
+        let mut stored = StoredIndex::create_v3(MemStore::new(), &comps, CodecKind::None).unwrap();
+        assert!(stored.read_summaries().is_none());
+    }
+
+    #[test]
+    fn corrupt_summary_degrades_to_none_and_repairs() {
+        let comps = windowed_components();
+        let stored = StoredIndex::create_v4(MemStore::new(), &comps, CodecKind::None).unwrap();
+        let mut store = stored.into_store();
+        let mut data = store.read_file(SUMMARY_FILE).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0x08;
+        store.write_file(SUMMARY_FILE, &data).unwrap();
+
+        let mut stored = StoredIndex::open(store).unwrap();
+        // Corrupt block: no summaries, but every bitmap still reads clean.
+        assert!(stored.read_summaries().is_none());
+        assert_eq!(&stored.read_bitmap(1, 0).unwrap(), &comps[0][0]);
+        let report = stored.scrub().unwrap();
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].file, SUMMARY_FILE);
+        // Repair rebuilds the block from the stored slots — no caller
+        // content needed — and the summaries come back validated.
+        let report = stored.scrub_and_repair(|_, _| None).unwrap();
+        assert_eq!(report.repaired, vec![SUMMARY_FILE.to_string()]);
+        assert!(report.fully_repaired(), "{report:?}");
+        assert!(stored.scrub().unwrap().is_clean());
+        let summaries = stored.read_summaries().expect("repaired summaries");
+        assert!(!summaries.get(1, 2).unwrap().range_any(0, usize::MAX));
+        let reopened = StoredIndex::open(stored.into_store()).unwrap();
+        assert_eq!(reopened.meta().repairs, vec![SUMMARY_FILE.to_string()]);
+    }
+
+    #[test]
+    fn mismatched_summary_shape_is_rejected() {
+        let comps = windowed_components();
+        let stored = StoredIndex::create_v4(MemStore::new(), &comps, CodecKind::None).unwrap();
+        let mut store = stored.into_store();
+        // A validly framed block whose shape disagrees with the manifest
+        // (one component, one slot) must not be served.
+        let wrong = encode_summary_block(
+            comps[0][0].len(),
+            &[vec![SlotSummary::build(&comps[0][0])]],
+            None,
+        );
+        store
+            .write_file(SUMMARY_FILE, &format::frame(&wrong))
+            .unwrap();
+        let mut stored = StoredIndex::open(store).unwrap();
+        assert!(stored.read_summaries().is_none());
+    }
+
+    #[test]
+    fn summary_block_decoder_rejects_structural_garbage() {
+        assert!(decode_summary_block(&[]).is_none());
+        assert!(decode_summary_block(&[0u8; 16]).is_none());
+        let good = encode_summary_block(
+            100,
+            &[vec![SlotSummary::build(&BitVec::ones(100))]],
+            Some(&SlotSummary::build(&BitVec::zeros(100))),
+        );
+        let decoded = decode_summary_block(&good).unwrap();
+        assert_eq!(decoded.n_rows(), 100);
+        assert!(decoded.get(1, 0).unwrap().range_any(0, 100));
+        assert!(!decoded.nn().unwrap().range_any(0, 100));
+        // Truncated and padded bodies both fail the exact-length check.
+        assert!(decode_summary_block(&good[..good.len() - 1]).is_none());
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(decode_summary_block(&padded).is_none());
+        // A zero window width cannot be divided by.
+        let mut zero_window = good;
+        zero_window[8..12].copy_from_slice(&0u32.to_le_bytes());
+        assert!(decode_summary_block(&zero_window).is_none());
+    }
+
+    #[test]
+    fn install_generation_writes_next_summary_block() {
+        let comps = windowed_components();
+        let mut stored = StoredIndex::create_v4(MemStore::new(), &comps, CodecKind::None).unwrap();
+        // Warm the cache so installation must invalidate it.
+        assert!(stored.read_summaries().is_some());
+        let mut new_comps = comps.clone();
+        new_comps[0][2] = BitVec::from_indices(comps[0][0].len(), &[2 * SUMMARY_WINDOW_BITS + 9]);
+        stored.install_generation(&new_comps, None, 1).unwrap();
+        assert_eq!(stored.format_version(), 4);
+        let summaries = stored.read_summaries().expect("fresh generation summaries");
+        let s = summaries.get(1, 2).unwrap();
+        assert!(s.range_any(2 * SUMMARY_WINDOW_BITS, 3 * SUMMARY_WINDOW_BITS));
+        assert!(!s.range_any(0, 2 * SUMMARY_WINDOW_BITS));
+        // The old generation-0 summary block is scavenged with its slots.
+        assert!(stored.store().read_file(SUMMARY_FILE).is_err());
+        assert!(stored.store().read_file("g1_summary.bxs").is_ok());
+        assert!(stored.scrub().unwrap().is_clean());
     }
 
     #[test]

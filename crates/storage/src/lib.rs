@@ -37,6 +37,7 @@ mod error;
 mod fault;
 pub mod format;
 mod layout;
+pub mod mmap;
 pub mod shared;
 mod store;
 pub mod wal;
@@ -45,5 +46,6 @@ pub use buffer_pool::{BufferPool, PoolStats, ShardedPool};
 pub use error::{RepairReport, RetryPolicy, ScrubFailure, ScrubReport, StorageError};
 pub use fault::{FaultCounters, FaultPlan, FaultStore};
 pub use layout::{StorageScheme, StoredIndex, StoredIndexMeta};
+pub use mmap::{mmap_enabled, MappedStore, MmapStats, MMAP_ENV};
 pub use shared::SharedIndexReader;
 pub use store::{ByteStore, DiskStore, IoStats, MemStore, TempDir};

@@ -20,6 +20,7 @@ use bindex_compress::Repr;
 use crate::buffer_pool::{PoolStats, ShardedPool};
 use crate::error::StorageError;
 use crate::layout::{StoredIndex, StoredIndexMeta};
+use crate::mmap::{MappedStore, MmapStats};
 use crate::store::{ByteStore, IoStats};
 
 /// Lock-free accumulator for [`IoStats`], one counter per field.
@@ -63,6 +64,10 @@ pub struct SharedIndexReader<S: ByteStore> {
     index: StoredIndex<S>,
     stats: AtomicIoStats,
     pool: Option<ShardedPool>,
+    /// Pinned-region mapped read path (`BINDEX_MMAP=1`): repr reads are
+    /// served as zero-copy views from once-verified resident regions,
+    /// bypassing pool admission. Cleared on every repair.
+    mmap: Option<MappedStore>,
     /// Bumped by [`repair_index`](Self::repair_index) every time the
     /// underlying store is mutated, so layers above (result caches,
     /// circuit breakers) can tell "same bytes as before" from "the index
@@ -77,6 +82,7 @@ impl<S: ByteStore> SharedIndexReader<S> {
             index,
             stats: AtomicIoStats::default(),
             pool: None,
+            mmap: None,
             repair_epoch: AtomicU64::new(0),
         }
     }
@@ -88,8 +94,19 @@ impl<S: ByteStore> SharedIndexReader<S> {
             index,
             stats: AtomicIoStats::default(),
             pool: Some(pool),
+            mmap: None,
             repair_epoch: AtomicU64::new(0),
         }
+    }
+
+    /// Routes repr reads through a [`MappedStore`]: each slot is loaded
+    /// (checksum-verified) once and thereafter served as a zero-copy
+    /// `Arc` view from the pinned region, skipping the pool entirely.
+    /// Takes precedence over the sharded pool for
+    /// [`read_repr`](Self::read_repr).
+    pub fn with_mmap(mut self, mmap: MappedStore) -> Self {
+        self.mmap = Some(mmap);
+        self
     }
 
     /// Shape metadata of the wrapped index.
@@ -142,6 +159,9 @@ impl<S: ByteStore> SharedIndexReader<S> {
     /// attached, the cached entry keeps that representation — so a cached
     /// sparse bitmap occupies its compressed footprint.
     pub fn read_repr(&self, comp: usize, slot: usize) -> Result<Repr, StorageError> {
+        if let Some(mmap) = &self.mmap {
+            return mmap.get_or_map((comp, slot), || self.read_repr_uncached(comp, slot));
+        }
         match &self.pool {
             Some(pool) => {
                 pool.get_or_load_repr((comp, slot), || self.read_repr_uncached(comp, slot))
@@ -156,6 +176,15 @@ impl<S: ByteStore> SharedIndexReader<S> {
         Ok(repr)
     }
 
+    /// The v4 summary block, loaded once and shape-validated; `None`
+    /// degrades pruning to fetch-and-check. See
+    /// [`StoredIndex::read_summaries`].
+    pub fn read_summaries(&self) -> Option<Arc<bindex_bitvec::IndexSummaries>> {
+        let (out, delta) = self.index.read_summaries_shared();
+        self.stats.add(&delta);
+        out
+    }
+
     /// Snapshot of the I/O statistics accumulated across all threads.
     pub fn stats(&self) -> IoStats {
         self.stats.snapshot()
@@ -164,6 +193,11 @@ impl<S: ByteStore> SharedIndexReader<S> {
     /// Cache statistics, if a pool is attached.
     pub fn pool_stats(&self) -> Option<PoolStats> {
         self.pool.as_ref().map(ShardedPool::stats)
+    }
+
+    /// Mapped-read statistics, if the mapped path is attached.
+    pub fn mmap_stats(&self) -> Option<MmapStats> {
+        self.mmap.as_ref().map(MappedStore::stats)
     }
 
     /// How many times [`repair_index`](Self::repair_index) has mutated the
@@ -184,6 +218,11 @@ impl<S: ByteStore> SharedIndexReader<S> {
         let out = f(&mut self.index);
         if let Some(pool) = &self.pool {
             pool.clear();
+        }
+        if let Some(mmap) = &self.mmap {
+            // Pinned regions were verified against the pre-repair bytes;
+            // none may survive the rewrite.
+            mmap.clear();
         }
         self.repair_epoch.fetch_add(1, Ordering::Release);
         out
@@ -300,6 +339,46 @@ mod tests {
         let y = bare.read_bitmap_arc(1, 0).unwrap();
         assert!(!Arc::ptr_eq(&x, &y));
         assert_eq!(bare.stats().reads, 2);
+    }
+
+    #[test]
+    fn mapped_reads_share_pinned_regions_and_clear_on_repair() {
+        let comps = vec![vec![
+            BitVec::from_fn(4096, |i| i % 777 == 0),
+            BitVec::from_fn(4096, |i| (i.wrapping_mul(2_654_435_761)) % 3 == 0),
+        ]];
+        let idx = StoredIndex::create_v3(MemStore::new(), &comps, CodecKind::None).unwrap();
+        let mut reader = SharedIndexReader::new(idx).with_mmap(MappedStore::new());
+        let a = reader.read_repr(1, 0).unwrap();
+        let b = reader.read_repr(1, 0).unwrap();
+        assert!(a.is_compressed() && b.is_compressed());
+        // One store read, second served from the pinned region.
+        assert_eq!(reader.stats().reads, 1);
+        let stats = reader.mmap_stats().unwrap();
+        assert_eq!((stats.maps, stats.hits), (1, 1));
+        // Repair unpins everything: the next read reloads from the store.
+        reader.repair_index(|_| ());
+        assert_eq!(reader.mmap_stats().unwrap().resident_bytes, 0);
+        let c = reader.read_repr(1, 0).unwrap();
+        assert_eq!(*c.to_bitvec(), comps[0][0]);
+        assert_eq!(reader.stats().reads, 2);
+    }
+
+    #[test]
+    fn reader_serves_v4_summaries_once() {
+        let comps = vec![vec![
+            BitVec::from_indices(100_000, &[3]),
+            BitVec::zeros(100_000),
+        ]];
+        let idx = StoredIndex::create_v4(MemStore::new(), &comps, CodecKind::None).unwrap();
+        let reader = SharedIndexReader::new(idx);
+        let summaries = reader.read_summaries().expect("v4 summaries");
+        assert!(summaries.get(1, 0).unwrap().range_any(0, 64));
+        assert!(!summaries.get(1, 1).unwrap().range_any(0, 100_000));
+        let reads = reader.stats().reads;
+        let again = reader.read_summaries().unwrap();
+        assert!(Arc::ptr_eq(&summaries, &again));
+        assert_eq!(reader.stats().reads, reads, "cached block, no new I/O");
     }
 
     #[test]
