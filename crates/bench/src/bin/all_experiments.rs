@@ -27,6 +27,7 @@ const EXPERIMENTS: &[&str] = &[
     "ext_fault_tolerance",
     "ext_batch_throughput",
     "ext_physical_layout",
+    "ext_threshold",
 ];
 
 fn main() {

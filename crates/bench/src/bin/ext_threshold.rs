@@ -1,0 +1,378 @@
+//! **Extension** — Threshold ("≥ k of N") query kernels, measured three
+//! ways on the same operands:
+//!
+//! * **`csa`** — the bit-sliced carry-save adder network: one pass over
+//!   N operands, a per-bit counter held as ≤ ⌈log₂(N+1)⌉ bit-slice
+//!   levels, "count ≥ k" decided by a borrow chain.
+//! * **`naive`** — the textbook reduction: OR over all C(N, k) k-subset
+//!   ANDs. Run only where C(N, k) ≤ [`MAX_NAIVE_TERMS`]; skipped points
+//!   are reported loudly, never silently.
+//! * **`scan`** — a per-row popcount scan: for every row, count the
+//!   operands with the bit set and compare against k. The row-store
+//!   mental model the bitmap index is supposed to beat.
+//!
+//! A fourth timing, **`wah`**, runs the WAH-native run-merge variant on
+//! the same operands compressed, so the literal-vs-compressed trade is
+//! visible at each density. Every variant's answer is asserted
+//! bit-identical to the CSA kernel's before anything is timed, and the
+//! counting kernel must agree with the materializing one.
+//!
+//! Sweeps N ∈ {4, 8, 16, 32} × k ∈ {2, N/2, N−1} × density ∈
+//! {1%, 10%, 50%}. Emits `BENCH_threshold.json` at the workspace root
+//! and the usual CSV under `results/`. `--smoke` (alias `--quick`)
+//! shrinks the sweep for CI.
+
+use std::time::Instant;
+
+use bindex::bitvec::kernels;
+use bindex::compress::wah::{self, WahBitmap};
+use bindex::BitVec;
+use bindex_bench::{f2, print_table, results_dir, Csv, RunProvenance};
+
+/// Naive OR-of-ANDs is only attempted below this many subset terms; the
+/// point is to show the blow-up, not to wait it out.
+const MAX_NAIVE_TERMS: u128 = 512;
+
+struct Config {
+    rows: usize,
+    fan_ins: &'static [usize],
+    densities: &'static [f64],
+    reps: usize,
+}
+
+/// Deterministic Bernoulli(density) bitmaps (xorshift64 per bit). The
+/// density knob is what `synthetic_bitmaps`' fixed ~50% cannot give us:
+/// WAH run-merge and the sparse fast paths only differentiate when fills
+/// exist.
+fn random_bitmaps(bits: usize, count: usize, density: f64, seed: u64) -> Vec<BitVec> {
+    let cut = (density * (u64::MAX as f64)) as u64;
+    (0..count as u64)
+        .map(|j| {
+            let mut state = seed
+                .wrapping_add(j.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .max(1);
+            BitVec::from_fn(bits, |_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state < cut
+            })
+        })
+        .collect()
+}
+
+fn binomial(n: usize, k: usize) -> u128 {
+    let k = k.min(n - k);
+    let mut c: u128 = 1;
+    for i in 0..k {
+        c = c * (n - i) as u128 / (i + 1) as u128;
+    }
+    c
+}
+
+/// OR over all C(N, k) k-subset ANDs, subsets enumerated with Gosper's
+/// hack. Each subset folds pairwise — the plan shape an engine without
+/// k-ary kernels emits (every binary combine is still the same SIMD
+/// kernel the CSA network uses, so the comparison is about plan shape,
+/// not scalar-vs-vector). The caller guarantees the term count is sane.
+fn naive_or_of_ands(operands: &[&BitVec], k: usize) -> BitVec {
+    let n = operands.len();
+    let mut acc = BitVec::zeros(operands[0].len());
+    let mut mask: u64 = (1u64 << k) - 1;
+    while mask < (1u64 << n) {
+        let mut idx = (0..n).filter(|i| mask >> i & 1 == 1);
+        let first = idx.next().expect("k >= 1");
+        let mut term = operands[first].clone();
+        for i in idx {
+            term = kernels::and_all(&[&term, operands[i]]);
+        }
+        acc = kernels::or_all(&[&acc, &term]);
+        let c = mask & mask.wrapping_neg();
+        let r = mask + c;
+        mask = (((r ^ mask) >> 2) / c) | r;
+    }
+    acc
+}
+
+/// Row-at-a-time reference: for each row, count the operands whose bit
+/// is set and compare against k.
+fn per_row_scan(operands: &[&BitVec], k: usize) -> BitVec {
+    BitVec::from_fn(operands[0].len(), |r| {
+        operands.iter().filter(|b| b.get(r)).count() >= k
+    })
+}
+
+/// Best-of-`reps` wall seconds for `f`, with the result kept live.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        std::hint::black_box(&out);
+    }
+    best
+}
+
+struct Point {
+    n: usize,
+    k: usize,
+    density: f64,
+    cardinality: usize,
+    csa_s: f64,
+    scan_s: f64,
+    naive_s: Option<f64>,
+    naive_terms: u128,
+    wah_s: f64,
+    wah_bytes: usize,
+    literal_bytes: usize,
+}
+
+impl Point {
+    fn speedup_vs_scan(&self) -> f64 {
+        self.scan_s / self.csa_s
+    }
+
+    fn speedup_vs_naive(&self) -> Option<f64> {
+        self.naive_s.map(|s| s / self.csa_s)
+    }
+}
+
+fn k_values(n: usize) -> Vec<usize> {
+    let mut ks = vec![2, n / 2, n - 1];
+    ks.sort_unstable();
+    ks.dedup();
+    ks.retain(|&k| k >= 1 && k <= n);
+    ks
+}
+
+fn sweep_point(cfg: &Config, n: usize, k: usize, density: f64, seed: u64) -> Point {
+    let operands = random_bitmaps(cfg.rows, n, density, seed);
+    let refs: Vec<&BitVec> = operands.iter().collect();
+    let compressed: Vec<WahBitmap> = operands.iter().map(WahBitmap::from_bitvec).collect();
+    let wah_refs: Vec<&WahBitmap> = compressed.iter().collect();
+
+    // Correctness first, on every variant that will be timed: the CSA
+    // answer is the one under test, the scan is the reference.
+    let want = per_row_scan(&refs, k);
+    let csa = kernels::threshold_k(&refs, k);
+    assert_eq!(csa, want, "CSA answer diverges at n={n} k={k} d={density}");
+    assert_eq!(
+        kernels::count_threshold_k(&refs, k),
+        want.count_ones(),
+        "counting kernel diverges at n={n} k={k} d={density}"
+    );
+    let wah_answer = wah::threshold_k(&wah_refs, k).to_bitvec();
+    assert_eq!(
+        wah_answer, want,
+        "WAH run-merge diverges at n={n} k={k} d={density}"
+    );
+    let naive_terms = binomial(n, k);
+    let naive_ok = naive_terms <= MAX_NAIVE_TERMS;
+    if naive_ok {
+        let naive = naive_or_of_ands(&refs, k);
+        assert_eq!(
+            naive, want,
+            "naive OR-of-ANDs diverges at n={n} k={k} d={density}"
+        );
+    }
+
+    let csa_s = time_best(cfg.reps, || kernels::threshold_k(&refs, k));
+    let wah_s = time_best(cfg.reps, || wah::count_threshold_k(&wah_refs, k));
+    let scan_s = time_best(1, || per_row_scan(&refs, k));
+    let naive_s = naive_ok.then(|| time_best(1, || naive_or_of_ands(&refs, k)));
+
+    Point {
+        n,
+        k,
+        density,
+        cardinality: want.count_ones(),
+        csa_s,
+        scan_s,
+        naive_s,
+        naive_terms,
+        wah_s,
+        wah_bytes: compressed.iter().map(WahBitmap::compressed_bytes).sum(),
+        literal_bytes: operands.iter().map(|b| b.words().len() * 8).sum(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke" || a == "--quick");
+    let provenance = RunProvenance::capture(1);
+    let cfg = if smoke {
+        Config {
+            rows: 1 << 16,
+            fan_ins: &[4, 8],
+            densities: &[0.1],
+            reps: 1,
+        }
+    } else {
+        Config {
+            rows: 1 << 20,
+            fan_ins: &[4, 8, 16, 32],
+            densities: &[0.01, 0.1, 0.5],
+            reps: 5,
+        }
+    };
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut seed = 0x7_1A5u64;
+    for &n in cfg.fan_ins {
+        for k in k_values(n) {
+            for &density in cfg.densities {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let p = sweep_point(&cfg, n, k, density, seed);
+                if p.naive_s.is_none() {
+                    println!(
+                        "note: naive OR-of-ANDs skipped at n={n} k={k} \
+                         ({} subset terms > cap {MAX_NAIVE_TERMS})",
+                        p.naive_terms
+                    );
+                }
+                points.push(p);
+            }
+        }
+    }
+
+    print_table(
+        &format!("threshold kernels, {} rows, best-of-{}", cfg.rows, cfg.reps),
+        &[
+            "n",
+            "k",
+            "density",
+            "csa_s",
+            "scan_s",
+            "naive_s",
+            "wah_s",
+            "x_vs_scan",
+            "x_vs_naive",
+            "wah/literal bytes",
+        ],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.n.to_string(),
+                    p.k.to_string(),
+                    format!("{:.2}", p.density),
+                    format!("{:.6}", p.csa_s),
+                    format!("{:.6}", p.scan_s),
+                    p.naive_s.map_or("-".into(), |s| format!("{s:.6}")),
+                    format!("{:.6}", p.wah_s),
+                    f2(p.speedup_vs_scan()),
+                    p.speedup_vs_naive().map_or("-".into(), f2),
+                    format!("{:.3}", p.wah_bytes as f64 / p.literal_bytes as f64),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // The acceptance gates: the CSA kernel beats the per-row scan at
+    // every swept point, and beats the naive reduction ≥ 10× at the
+    // majority-k points with fan-in ≥ 8 — where C(N, k) actually blows
+    // up; at k ∈ {2, N−1} the subset count is linear-ish in N and naive
+    // is legitimately competitive. Smoke keeps a ≥ 1× floor so a loaded
+    // CI box cannot flake the job.
+    let min_scan = points
+        .iter()
+        .map(Point::speedup_vs_scan)
+        .fold(f64::MAX, f64::min);
+    assert!(
+        min_scan > 1.0,
+        "CSA must beat the per-row scan everywhere (min {min_scan:.2}x)"
+    );
+    let min_naive_n8 = points
+        .iter()
+        .filter(|p| p.n >= 8 && p.k == p.n / 2)
+        .filter_map(Point::speedup_vs_naive)
+        .fold(f64::MAX, f64::min);
+    assert!(
+        min_naive_n8 < f64::MAX,
+        "sweep must include an n >= 8 majority-k point where naive is feasible"
+    );
+    let naive_floor = if smoke { 1.0 } else { 10.0 };
+    assert!(
+        min_naive_n8 >= naive_floor,
+        "CSA must beat naive OR-of-ANDs >= {naive_floor}x at majority k, n >= 8 \
+         (min {min_naive_n8:.2}x)"
+    );
+
+    let mut csv = Csv::create(
+        "ext_threshold",
+        &[
+            "n",
+            "k",
+            "density",
+            "cardinality",
+            "csa_seconds",
+            "scan_seconds",
+            "naive_seconds",
+            "naive_terms",
+            "wah_seconds",
+            "wah_bytes",
+            "literal_bytes",
+        ],
+    )
+    .expect("csv");
+    for p in &points {
+        csv.row(&[
+            &p.n,
+            &p.k,
+            &format!("{:.3}", p.density),
+            &p.cardinality,
+            &format!("{:.6}", p.csa_s),
+            &format!("{:.6}", p.scan_s),
+            &p.naive_s.map_or(String::new(), |s| format!("{s:.6}")),
+            &p.naive_terms,
+            &format!("{:.6}", p.wah_s),
+            &p.wah_bytes,
+            &p.literal_bytes,
+        ])
+        .expect("row");
+    }
+    println!("\nCSV: {}", csv.path().display());
+
+    // Hand-rolled JSON (no serde in the dependency set).
+    let point_json: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"n\": {}, \"k\": {}, \"density\": {:.3}, \"cardinality\": {}, \
+                 \"csa_seconds\": {:.6}, \"scan_seconds\": {:.6}, \"naive_seconds\": {}, \
+                 \"naive_terms\": {}, \"wah_seconds\": {:.6}, \"speedup_vs_scan\": {:.3}, \
+                 \"speedup_vs_naive\": {}, \"wah_bytes\": {}, \"literal_bytes\": {}}}",
+                p.n,
+                p.k,
+                p.density,
+                p.cardinality,
+                p.csa_s,
+                p.scan_s,
+                p.naive_s.map_or("null".into(), |s| format!("{s:.6}")),
+                p.naive_terms,
+                p.wah_s,
+                p.speedup_vs_scan(),
+                p.speedup_vs_naive()
+                    .map_or("null".into(), |s| format!("{s:.3}")),
+                p.wah_bytes,
+                p.literal_bytes,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"threshold\",\n  \"smoke\": {smoke},\n  {prov},\n  \
+         \"rows\": {rows},\n  \"identical_answers\": true,\n  \
+         \"min_speedup_vs_scan\": {min_scan:.3},\n  \
+         \"min_speedup_vs_naive_majority_n8\": {min_naive_n8:.3},\n  \
+         \"points\": [\n{points}\n  ]\n}}\n",
+        prov = provenance.json_fields(),
+        rows = cfg.rows,
+        points = point_json.join(",\n"),
+    );
+    let json_path = results_dir()
+        .parent()
+        .map(|p| p.join("BENCH_threshold.json"))
+        .expect("results dir has a parent");
+    std::fs::write(&json_path, json).expect("write json");
+    println!("JSON: {}", json_path.display());
+}

@@ -565,6 +565,290 @@ pub fn count_and_not_with<T: KernelOperand + Copy>(dispatch: KernelDispatch, a: 
     count_blocks::<T, OpAndNot>(&[a, b], dispatch)
 }
 
+/// Most counter levels a bit-sliced threshold counter can carry: 8 bits
+/// count fan-ins up to [`MAX_THRESHOLD_FAN_IN`] operands. The counter
+/// state of one chunk is `levels × LANES` words — at 8 levels still a
+/// 512-byte register/stack footprint.
+const MAX_COUNTER_LEVELS: usize = 8;
+
+/// Largest operand count the threshold kernels accept (the counter is
+/// [`MAX_COUNTER_LEVELS`] bit-slices wide). Far above any query plan's
+/// fan-in; a wider threshold should be split and merged by the caller.
+pub const MAX_THRESHOLD_FAN_IN: usize = (1 << MAX_COUNTER_LEVELS) - 1;
+
+/// Counter bit-slices needed to hold counts `0..=n`.
+fn counter_levels(n: usize) -> usize {
+    (usize::BITS - n.leading_zeros()) as usize
+}
+
+/// The bit-sliced carry-save threshold core: for every bit position,
+/// counts how many of `ops` have the bit set — the count lives as
+/// `levels` bit-slices, one `[u64; L]` lane group per slice — then
+/// compares the sliced counter against `k` without ever materializing
+/// per-row integers (Kaser & Lemire, *Threshold and symmetric functions
+/// over bitmaps*).
+///
+/// Operands are folded **two at a time** through the same full-adder
+/// [`csa`] step the Harley–Seal counting kernels use: a pair costs one
+/// CSA at level 0 plus one half-adder ripple per higher level, instead
+/// of two full ripples. All carry state is lane-wide (`[u64; L]`), so
+/// the compiler keeps the whole counter network in vector registers.
+///
+/// Processes `chunks` chunks of exactly `L` words starting at word
+/// `start`; returns the popcount of the result and, when `MATERIALIZE`,
+/// writes the result words into `out`. With `EXACT` the comparison is
+/// `count == k` instead of `count ≥ k`.
+///
+/// Callers guarantee `1 ≤ k ≤ n < 2^levels`, so bit positions past a
+/// bitmap's canonical length (count 0) can never satisfy the predicate
+/// and the output needs no re-masking. `inline(never)`: see
+/// [`combine_scalar`].
+#[inline(never)]
+fn threshold_block<const L: usize, const MATERIALIZE: bool, const EXACT: bool>(
+    ops: &[&[u64]],
+    start: usize,
+    chunks: usize,
+    k: u64,
+    levels: usize,
+    out: &mut [u64],
+) -> usize {
+    debug_assert!(levels <= MAX_COUNTER_LEVELS);
+    let mut total = 0usize;
+    let mut pos = start;
+    for _ in 0..chunks {
+        let mut cnt = [[0u64; L]; MAX_COUNTER_LEVELS];
+        let mut pairs = ops.chunks_exact(2);
+        for pair in &mut pairs {
+            let a: &[u64; L] = pair[0][pos..pos + L].try_into().expect("exact chunk");
+            let b: &[u64; L] = pair[1][pos..pos + L].try_into().expect("exact chunk");
+            let mut carry = [0u64; L];
+            for i in 0..L {
+                let (c, s) = csa(cnt[0][i], a[i], b[i]);
+                cnt[0][i] = s;
+                carry[i] = c;
+            }
+            for row in cnt.iter_mut().take(levels).skip(1) {
+                for i in 0..L {
+                    let s = row[i] ^ carry[i];
+                    carry[i] &= row[i];
+                    row[i] = s;
+                }
+            }
+        }
+        if let [last] = pairs.remainder() {
+            let mut carry: [u64; L] = last[pos..pos + L].try_into().expect("exact chunk");
+            for row in cnt.iter_mut().take(levels) {
+                for i in 0..L {
+                    let s = row[i] ^ carry[i];
+                    carry[i] &= row[i];
+                    row[i] = s;
+                }
+            }
+        }
+        // Bit-sliced comparison against the constant k: a borrow-chain
+        // subtraction for `count ≥ k`, an XNOR-AND fold for `count == k`.
+        let mut acc = if EXACT { [u64::MAX; L] } else { [0u64; L] };
+        for (lvl, row) in cnt.iter().enumerate().take(levels) {
+            let kmask = if (k >> lvl) & 1 == 1 { u64::MAX } else { 0u64 };
+            for i in 0..L {
+                if EXACT {
+                    acc[i] &= !(row[i] ^ kmask);
+                } else {
+                    acc[i] = (!row[i] & kmask) | ((!row[i] | kmask) & acc[i]);
+                }
+            }
+        }
+        for i in 0..L {
+            let w = if EXACT { acc[i] } else { !acc[i] };
+            total += w.count_ones() as usize;
+            if MATERIALIZE {
+                out[pos + i] = w;
+            }
+        }
+        pos += L;
+    }
+    total
+}
+
+/// Drives [`threshold_block`] over a full word range under a dispatch
+/// tier: the unrolled tier runs `[u64; LANES]` chunks with a scalar
+/// ragged tail, the scalar tier runs everything word at a time.
+fn threshold_words<const MATERIALIZE: bool, const EXACT: bool>(
+    dispatch: KernelDispatch,
+    ops: &[&[u64]],
+    k: u64,
+    levels: usize,
+    out: &mut [u64],
+) -> usize {
+    let n_words = ops[0].len();
+    match dispatch {
+        KernelDispatch::Scalar => {
+            threshold_block::<1, MATERIALIZE, EXACT>(ops, 0, n_words, k, levels, out)
+        }
+        KernelDispatch::Unrolled => {
+            let body = n_words / LANES;
+            let mut total =
+                threshold_block::<LANES, MATERIALIZE, EXACT>(ops, 0, body, k, levels, out);
+            total += threshold_block::<1, MATERIALIZE, EXACT>(
+                ops,
+                body * LANES,
+                n_words - body * LANES,
+                k,
+                levels,
+                out,
+            );
+            total
+        }
+    }
+}
+
+/// Gathers operand word slices and checks the fan-in bound.
+fn threshold_operand_words<T: KernelOperand>(operands: &[T]) -> Vec<&[u64]> {
+    assert!(
+        operands.len() <= MAX_THRESHOLD_FAN_IN,
+        "threshold fan-in {} exceeds the kernel maximum {MAX_THRESHOLD_FAN_IN}",
+        operands.len()
+    );
+    operands.iter().map(KernelOperand::words).collect()
+}
+
+/// "At least `k` of the operands set": bit `i` of the result is set iff
+/// `k` or more operands have bit `i` set, evaluated in a **single pass**
+/// through a bit-sliced carry-save counter network — `O(n log n)` word
+/// operations total, versus `C(n, k)` AND/OR folds for the naive
+/// OR-of-all-k-subsets formulation.
+///
+/// Degenerate thresholds are total, not errors: `k = 0` is all ones
+/// (every row trivially matches) and `k > n` is all zeros. `k = 1`
+/// and `k = n` fast-path to the fused [`or_all`] / [`and_all`] kernels.
+///
+/// # Panics
+/// Panics on an empty operand list, mismatched operand lengths, or more
+/// than [`MAX_THRESHOLD_FAN_IN`] operands.
+#[must_use]
+pub fn threshold_k<T: KernelOperand>(operands: &[T], k: usize) -> BitVec {
+    threshold_k_with(KernelDispatch::active(), operands, k)
+}
+
+/// [`threshold_k`] pinned to a dispatch tier (benches and property tests).
+#[must_use]
+pub fn threshold_k_with<T: KernelOperand>(
+    dispatch: KernelDispatch,
+    operands: &[T],
+    k: usize,
+) -> BitVec {
+    let len = check_operands(operands);
+    let n = operands.len();
+    if k == 0 {
+        return BitVec::ones(len);
+    }
+    if k > n {
+        return BitVec::zeros(len);
+    }
+    if k == 1 {
+        return or_all_with(dispatch, operands);
+    }
+    if k == n {
+        return and_all_with(dispatch, operands);
+    }
+    let ops = threshold_operand_words(operands);
+    let mut out = vec![0u64; crate::words_for(len)];
+    threshold_words::<true, false>(dispatch, &ops, k as u64, counter_levels(n), &mut out);
+    BitVec::from_words_unmasked(out, len)
+}
+
+/// `|threshold_k(operands, k)|` without materializing the result bitmap:
+/// the comparison words are popcounted as they fall out of the counter
+/// network.
+///
+/// # Panics
+/// Panics on an empty operand list, mismatched operand lengths, or more
+/// than [`MAX_THRESHOLD_FAN_IN`] operands.
+#[must_use]
+pub fn count_threshold_k<T: KernelOperand>(operands: &[T], k: usize) -> usize {
+    count_threshold_k_with(KernelDispatch::active(), operands, k)
+}
+
+/// [`count_threshold_k`] pinned to a dispatch tier.
+#[must_use]
+pub fn count_threshold_k_with<T: KernelOperand>(
+    dispatch: KernelDispatch,
+    operands: &[T],
+    k: usize,
+) -> usize {
+    let len = check_operands(operands);
+    let n = operands.len();
+    if k == 0 {
+        return len;
+    }
+    if k > n {
+        return 0;
+    }
+    if k == 1 {
+        return count_blocks::<T, OpOr>(operands, dispatch);
+    }
+    if k == n {
+        return count_blocks::<T, OpAnd>(operands, dispatch);
+    }
+    let ops = threshold_operand_words(operands);
+    threshold_words::<false, false>(dispatch, &ops, k as u64, counter_levels(n), &mut [])
+}
+
+/// "Exactly `k` of the operands set" — the symmetric-function companion
+/// of [`threshold_k`], evaluated in the same single counter-network pass
+/// with an equality comparison instead of the borrow chain.
+///
+/// `k = 0` is the complement of the union; `k > n` is all zeros.
+///
+/// # Panics
+/// Panics on an empty operand list, mismatched operand lengths, or more
+/// than [`MAX_THRESHOLD_FAN_IN`] operands.
+#[must_use]
+pub fn exact_k<T: KernelOperand>(operands: &[T], k: usize) -> BitVec {
+    exact_k_with(KernelDispatch::active(), operands, k)
+}
+
+/// [`exact_k`] pinned to a dispatch tier.
+#[must_use]
+pub fn exact_k_with<T: KernelOperand>(
+    dispatch: KernelDispatch,
+    operands: &[T],
+    k: usize,
+) -> BitVec {
+    let len = check_operands(operands);
+    let n = operands.len();
+    if k > n {
+        return BitVec::zeros(len);
+    }
+    if k == 0 {
+        return or_all_with(dispatch, operands).complement();
+    }
+    if k == n {
+        return and_all_with(dispatch, operands);
+    }
+    let ops = threshold_operand_words(operands);
+    let mut out = vec![0u64; crate::words_for(len)];
+    threshold_words::<true, true>(dispatch, &ops, k as u64, counter_levels(n), &mut out);
+    BitVec::from_words_unmasked(out, len)
+}
+
+/// Majority vote over the operands: set where **more than half** are set
+/// (`k = ⌊n/2⌋ + 1`), the classic symmetric-function fast path.
+///
+/// # Panics
+/// Panics on an empty operand list, mismatched operand lengths, or more
+/// than [`MAX_THRESHOLD_FAN_IN`] operands.
+#[must_use]
+pub fn majority<T: KernelOperand>(operands: &[T]) -> BitVec {
+    majority_with(KernelDispatch::active(), operands)
+}
+
+/// [`majority`] pinned to a dispatch tier.
+#[must_use]
+pub fn majority_with<T: KernelOperand>(dispatch: KernelDispatch, operands: &[T]) -> BitVec {
+    threshold_k_with(dispatch, operands, operands.len() / 2 + 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -769,6 +1053,118 @@ mod tests {
         assert_eq!(csa_count_fused::<OpOr>(&full, &full), 37 * 64);
         let empty = vec![0u64; 41];
         assert_eq!(csa_count_fused::<OpAnd>(&empty, &empty), 0);
+    }
+
+    /// Per-row popcount reference for the threshold kernels.
+    fn threshold_reference(ops: &[&BitVec], k: usize, exact: bool) -> BitVec {
+        let len = ops[0].len();
+        BitVec::from_fn(len, |i| {
+            let c = ops.iter().filter(|b| b.get(i)).count();
+            if exact {
+                c == k
+            } else {
+                c >= k
+            }
+        })
+    }
+
+    #[test]
+    fn threshold_matches_per_row_reference_on_both_tiers() {
+        for len in [1usize, 63, 64, 65, 127, 128, 4096, 8 * 1024 + 7] {
+            for n in [1usize, 2, 3, 4, 7, 8, 13] {
+                let owned: Vec<BitVec> = (0..n).map(|j| sample(len, 0xA0 + j as u64)).collect();
+                let ops: Vec<&BitVec> = owned.iter().collect();
+                for k in 0..=(n + 1) {
+                    let want = threshold_reference(&ops, k, false);
+                    let want_exact = threshold_reference(&ops, k, true);
+                    for dispatch in [KernelDispatch::Scalar, KernelDispatch::Unrolled] {
+                        let got = threshold_k_with(dispatch, &ops, k);
+                        assert_eq!(got, want, "len {len} n {n} k {k} {dispatch:?}");
+                        assert_eq!(
+                            count_threshold_k_with(dispatch, &ops, k),
+                            want.count_ones(),
+                            "count len {len} n {n} k {k} {dispatch:?}"
+                        );
+                        assert_eq!(
+                            exact_k_with(dispatch, &ops, k),
+                            want_exact,
+                            "exact len {len} n {n} k {k} {dispatch:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_degenerate_cases() {
+        let owned: Vec<BitVec> = (0..3).map(|j| sample(500, 7 + j)).collect();
+        let ops: Vec<&BitVec> = owned.iter().collect();
+        // k = 0: every row matches; k > n: none do.
+        assert_eq!(threshold_k(&ops, 0), BitVec::ones(500));
+        assert_eq!(count_threshold_k(&ops, 0), 500);
+        assert_eq!(threshold_k(&ops, 4), BitVec::zeros(500));
+        assert_eq!(count_threshold_k(&ops, 4), 0);
+        assert_eq!(exact_k(&ops, 4), BitVec::zeros(500));
+        // k = 1 / k = n collapse to the union / intersection kernels.
+        assert_eq!(threshold_k(&ops, 1), or_all(&ops));
+        assert_eq!(threshold_k(&ops, 3), and_all(&ops));
+        // exact 0 is the complement of the union.
+        assert_eq!(exact_k(&ops, 0), or_all(&ops).complement());
+        // Majority of three = at least two.
+        assert_eq!(majority(&ops), threshold_k(&ops, 2));
+    }
+
+    #[test]
+    fn threshold_canonical_tail_preserved() {
+        // Saturated operands on a ragged length: the result must stay
+        // masked past `len` so equality against canonical bitmaps holds.
+        let ops: Vec<BitVec> = (0..5).map(|_| BitVec::ones(65)).collect();
+        let refs: Vec<&BitVec> = ops.iter().collect();
+        for dispatch in [KernelDispatch::Scalar, KernelDispatch::Unrolled] {
+            let got = threshold_k_with(dispatch, &refs, 3);
+            assert_eq!(got, BitVec::ones(65), "{dispatch:?}");
+            assert_eq!(got.words()[1], 1, "{dispatch:?}");
+            assert_eq!(count_threshold_k_with(dispatch, &refs, 3), 65);
+            assert_eq!(exact_k_with(dispatch, &refs, 5), BitVec::ones(65));
+        }
+    }
+
+    #[test]
+    fn threshold_over_views_matches_whole() {
+        let owned: Vec<BitVec> = (0..6).map(|j| sample(64 * 1024 + 37, 50 + j)).collect();
+        let full: Vec<&BitVec> = owned.iter().collect();
+        let whole = threshold_k(&full, 3);
+        let seg_bits = 4096;
+        let mut got = Vec::new();
+        let mut lo = 0;
+        while lo < owned[0].len() {
+            let hi = (lo + seg_bits).min(owned[0].len());
+            let views: Vec<_> = owned.iter().map(|b| b.view_range(lo, hi)).collect();
+            let part = threshold_k(&views, 3);
+            assert_eq!(
+                part.count_ones(),
+                count_threshold_k(&views, 3),
+                "{lo}..{hi}"
+            );
+            got.extend_from_slice(part.words());
+            lo = hi;
+        }
+        assert_eq!(BitVec::from_words(got, owned[0].len()), whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operand")]
+    fn threshold_empty_operand_list_panics() {
+        let _ = threshold_k::<&BitVec>(&[], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn threshold_mismatched_lengths_panic() {
+        let a = BitVec::zeros(10);
+        let b = BitVec::zeros(11);
+        let _ = threshold_k(&[&a, &b], 1);
     }
 
     #[test]

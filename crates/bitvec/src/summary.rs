@@ -9,10 +9,17 @@
 //! runtime segment size — a segment `[lo, hi)` is dead iff every summary
 //! window intersecting it is dead, which is sound for any segment size.
 //!
-//! Soundness rule: a clear summary bit **guarantees** the window is all
+//! Soundness rule: a clear `any` bit **guarantees** the window is all
 //! zeros; a set bit promises nothing. Serving zeros for a dead window is
 //! therefore exact bitmap content, safe under every operator (AND, OR,
 //! XOR, NOT), not only AND-family plans.
+//!
+//! The dual `all` plane records saturation: a **set** `all` bit
+//! guarantees the window is entirely ones (a clear bit promises
+//! nothing), so serving a ones literal for a saturated window is equally
+//! exact. Threshold plans use both planes per window — saturated
+//! operands raise the count lower bound, dead operands lower the upper
+//! bound — to decide a window without fetching any slot.
 
 use crate::bitvec::BitVec;
 
@@ -23,15 +30,21 @@ use crate::bitvec::BitVec;
 pub const SUMMARY_WINDOW_BITS: usize = 1 << 15;
 
 /// Summary of one stored bitmap: bit `w` of `any` is set iff the source
-/// bitmap has any set bit in `[w * window_bits, (w+1) * window_bits)`.
+/// bitmap has any set bit in `[w * window_bits, (w+1) * window_bits)`;
+/// bit `w` of `all` is set iff that window (clamped to `len`) is
+/// entirely ones.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SlotSummary {
     /// Bits covered by the summarized bitmap.
     pub len: usize,
     /// Window width in bits.
     pub window_bits: usize,
-    /// One bit per window, packed.
+    /// One bit per window, packed: clear **guarantees** all-zeros.
     pub any: BitVec,
+    /// One bit per window, packed: set **guarantees** all-ones. A summary
+    /// decoded from a legacy block carries all zeros here — no guarantee,
+    /// never wrong.
+    pub all: BitVec,
 }
 
 impl SlotSummary {
@@ -56,17 +69,23 @@ impl SlotSummary {
         );
         let n_windows = Self::windows_for(bm.len(), window_bits);
         let mut any = BitVec::zeros(n_windows);
+        let mut all = BitVec::zeros(n_windows);
         for w in 0..n_windows {
             let lo = w * window_bits;
             let hi = ((w + 1) * window_bits).min(bm.len());
-            if !bm.view_range(lo, hi).none() {
+            let view = bm.view_range(lo, hi);
+            if !view.none() {
                 any.set(w, true);
+                if view.count_ones() == hi - lo {
+                    all.set(w, true);
+                }
             }
         }
         Self {
             len: bm.len(),
             window_bits,
             any,
+            all,
         }
     }
 
@@ -81,6 +100,18 @@ impl SlotSummary {
         let w_lo = lo / self.window_bits;
         let w_hi = (hi - 1) / self.window_bits;
         (w_lo..=w_hi).any(|w| self.any.get(w))
+    }
+
+    /// `true` **guarantees** the summarized bitmap is entirely ones over
+    /// `[lo, hi)`; `false` promises nothing. Empty ranges and ranges
+    /// reaching past `len` report `false` (no guarantee to give).
+    pub fn range_all(&self, lo: usize, hi: usize) -> bool {
+        if lo >= hi || hi > self.len {
+            return false;
+        }
+        let w_lo = lo / self.window_bits;
+        let w_hi = (hi - 1) / self.window_bits;
+        (w_lo..=w_hi).all(|w| self.all.get(w))
     }
 }
 
@@ -246,6 +277,34 @@ mod tests {
             if truth {
                 assert!(s.range_any(lo, hi), "underreported [{lo}, {hi})");
             }
+        }
+    }
+
+    #[test]
+    fn all_plane_reflects_window_saturation() {
+        let len = 4 * SUMMARY_WINDOW_BITS + 17;
+        let mut bm = BitVec::ones(len);
+        bm.set(SUMMARY_WINDOW_BITS + 5, false); // window 1 loses a bit
+        let s = SlotSummary::build(&bm);
+        assert_eq!(
+            (0..5).map(|w| s.all.get(w)).collect::<Vec<_>>(),
+            // The partial tail window is saturated over its clamped range.
+            vec![true, false, true, true, true]
+        );
+        assert!(s.range_all(0, SUMMARY_WINDOW_BITS));
+        assert!(!s.range_all(0, SUMMARY_WINDOW_BITS + 6));
+        assert!(s.range_all(2 * SUMMARY_WINDOW_BITS, len));
+        // No guarantee for empty or out-of-range probes.
+        assert!(!s.range_all(7, 7));
+        assert!(!s.range_all(0, len + 1));
+        // `all` never fires on a window with any clear bit, and implies `any`.
+        let sparse = SlotSummary::build(&BitVec::from_indices(len, &[3]));
+        assert!((0..5).all(|w| !sparse.all.get(w)));
+        for w in 0..5 {
+            assert!(
+                !s.all.get(w) || s.any.get(w),
+                "all implies any (window {w})"
+            );
         }
     }
 

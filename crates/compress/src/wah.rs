@@ -351,6 +351,193 @@ pub fn count_and_not(a: &WahBitmap, b: &WahBitmap) -> usize {
     count_groups(&[a, b], |x, y| x & !y, ANDNOT_ALGEBRA)
 }
 
+/// "≥ k of the operands set", entirely in the compressed domain: the
+/// run-merge counterpart of [`bindex_bitvec::kernels::threshold_k`].
+/// Operand runs are walked in lockstep with two threshold-specific
+/// absorbing skips layered on top:
+///
+/// * when **k or more** cursors sit in one-fills the result is pinned at
+///   ones for as long as all of them persist — the span advances by the
+///   minimum remaining among the one-fill cursors without folding anyone
+///   else's literals;
+/// * when **fewer than k** cursors can still be live (more than `n − k`
+///   sit in zero-fills) the result is pinned at zeros for the minimum
+///   remaining among the zero-fill cursors.
+///
+/// Outside the skips, every cursor's group value is constant for the
+/// aligned stretch, so one 32-bit bit-sliced counter evaluation covers
+/// the whole stretch. Work stays proportional to the operands'
+/// *compressed* sizes; nothing is materialized.
+///
+/// Degenerate thresholds are total: `k = 0` is all ones, `k > n` is all
+/// zeros; `k = 1` / `k = n` collapse to [`or_all`] / [`and_all`].
+///
+/// # Panics
+/// Panics on an empty operand list, mismatched lengths, or more than
+/// [`bindex_bitvec::kernels::MAX_THRESHOLD_FAN_IN`] operands.
+#[must_use]
+pub fn threshold_k(operands: &[&WahBitmap], k: usize) -> WahBitmap {
+    let len = check_kary(operands);
+    let n = operands.len();
+    if k == 0 {
+        return filled(len, true);
+    }
+    if k > n {
+        return filled(len, false);
+    }
+    if k == 1 {
+        return or_all(operands);
+    }
+    if k == n {
+        return and_all(operands);
+    }
+    let mut words = Vec::new();
+    merge_threshold(operands, k, |v, count| {
+        push_fill_or_literals(&mut words, v, count);
+    });
+    let mut out = WahBitmap { words, len };
+    out.mask_tail();
+    out
+}
+
+/// `|threshold_k(operands, k)|` without producing a result bitmap: fill
+/// stretches are counted arithmetically, folded literal stretches by
+/// popcount. Mirrors [`bindex_bitvec::kernels::count_threshold_k`].
+///
+/// # Panics
+/// Panics on an empty operand list, mismatched lengths, or more than
+/// [`bindex_bitvec::kernels::MAX_THRESHOLD_FAN_IN`] operands.
+#[must_use]
+pub fn count_threshold_k(operands: &[&WahBitmap], k: usize) -> usize {
+    let len = check_kary(operands);
+    let n = operands.len();
+    if k == 0 {
+        return len;
+    }
+    if k > n {
+        return 0;
+    }
+    if k == 1 {
+        return count_or(operands);
+    }
+    if k == n {
+        return count_and(operands);
+    }
+    let ngroups = len.div_ceil(GROUP_BITS);
+    let tail_mask = tail_mask(len);
+    let mut ones = 0usize;
+    let mut g = 0usize;
+    merge_threshold(operands, k, |v, count| {
+        let count = count as usize;
+        let covers_tail = g + count == ngroups;
+        if v == GROUP_MASK {
+            ones += GROUP_BITS * count;
+            if covers_tail {
+                ones -= GROUP_BITS - tail_mask.count_ones() as usize;
+            }
+        } else if v != 0 {
+            let last = if covers_tail { v & tail_mask } else { v };
+            ones += v.count_ones() as usize * (count - 1) + last.count_ones() as usize;
+        }
+        g += count;
+    });
+    debug_assert_eq!(g, ngroups, "operands cover all groups");
+    ones
+}
+
+/// An all-zeros or all-ones WAH bitmap of `len` bits.
+fn filled(len: usize, ones: bool) -> WahBitmap {
+    let group = if ones { GROUP_MASK } else { 0 };
+    let mut words = Vec::new();
+    let mut remaining = len.div_ceil(GROUP_BITS) as u64;
+    while remaining > 0 {
+        let take = remaining.min(u64::from(MAX_FILL)) as u32;
+        push_fill_or_literals(&mut words, group, take);
+        remaining -= u64::from(take);
+    }
+    let mut out = WahBitmap { words, len };
+    out.mask_tail();
+    out
+}
+
+/// The threshold run-merge core: walks every operand's runs in lockstep,
+/// applies the two absorbing skips described on [`threshold_k`], and
+/// hands `(group value, aligned group count)` stretches to `sink`.
+/// Callers guarantee `2 ≤ k < n`.
+fn merge_threshold(operands: &[&WahBitmap], k: usize, mut sink: impl FnMut(u32, u32)) {
+    let n = operands.len();
+    assert!(
+        n <= bindex_bitvec::kernels::MAX_THRESHOLD_FAN_IN,
+        "threshold fan-in {n} exceeds the kernel maximum {}",
+        bindex_bitvec::kernels::MAX_THRESHOLD_FAN_IN
+    );
+    let levels = (usize::BITS - n.leading_zeros()) as usize;
+    let ngroups = operands[0].len.div_ceil(GROUP_BITS) as u64;
+    let mut cursors: Vec<Cursor<'_>> = operands.iter().map(|w| Cursor::new(&w.words)).collect();
+    let mut left = ngroups;
+    while left > 0 {
+        let mut take = u32::MAX;
+        let mut ones_fills = 0usize;
+        let mut ones_span = u32::MAX;
+        let mut zero_fills = 0usize;
+        let mut zero_span = u32::MAX;
+        for c in cursors.iter() {
+            take = take.min(c.remaining);
+            if c.value == GROUP_MASK {
+                ones_fills += 1;
+                ones_span = ones_span.min(c.remaining);
+            } else if c.value == 0 {
+                zero_fills += 1;
+                zero_span = zero_span.min(c.remaining);
+            }
+        }
+        let span = if ones_fills >= k {
+            // At least k cursors sit in one-runs: the result is pinned at
+            // ones until the shortest of them ends.
+            let span = u64::from(ones_span).min(left) as u32;
+            sink(GROUP_MASK, span);
+            span
+        } else if n - zero_fills < k {
+            // Fewer than k cursors can still contribute a set bit: pinned
+            // at zeros until the shortest zero-run ends.
+            let span = u64::from(zero_span).min(left) as u32;
+            sink(0, span);
+            span
+        } else {
+            // Every cursor's value is constant for `take` aligned groups,
+            // so one bit-sliced counter evaluation covers the stretch.
+            let span = u64::from(take).min(left) as u32;
+            sink(threshold_group(&cursors, k as u32, levels), span);
+            span
+        };
+        for c in cursors.iter_mut() {
+            c.advance(span);
+        }
+        left -= u64::from(span);
+    }
+}
+
+/// Bit-sliced "count ≥ k" over the cursors' current 31-bit group values:
+/// the same counter-ladder / borrow-chain construction as the dense
+/// kernels, carried in `u32` slices.
+fn threshold_group(cursors: &[Cursor<'_>], k: u32, levels: usize) -> u32 {
+    let mut cnt = [0u32; 8];
+    for c in cursors {
+        let mut carry = c.value;
+        for row in cnt.iter_mut().take(levels) {
+            let s = *row ^ carry;
+            carry &= *row;
+            *row = s;
+        }
+    }
+    let mut borrow = 0u32;
+    for (lvl, &row) in cnt.iter().enumerate().take(levels) {
+        let kmask = if (k >> lvl) & 1 == 1 { !0u32 } else { 0 };
+        borrow = (!row & kmask) | ((!row | kmask) & borrow);
+    }
+    !borrow & GROUP_MASK
+}
+
 fn check_kary(operands: &[&WahBitmap]) -> usize {
     let first = operands
         .first()
@@ -1080,6 +1267,79 @@ mod tests {
                 "len {len}"
             );
         }
+    }
+
+    #[test]
+    fn threshold_matches_dense_kernels() {
+        for len in [1usize, 31, 62, 100, 4096, 10_000] {
+            let owned: Vec<BitVec> = (0..7)
+                .map(|k| BitVec::from_fn(len, |i| (i * 2654435761 + k * 977) % 13 < 3))
+                .collect();
+            let wahs: Vec<WahBitmap> = owned.iter().map(WahBitmap::from_bitvec).collect();
+            let ops: Vec<&WahBitmap> = wahs.iter().collect();
+            let dense: Vec<&BitVec> = owned.iter().collect();
+            for k in 0..=8 {
+                let want = bindex_bitvec::kernels::threshold_k(&dense, k);
+                assert_eq!(threshold_k(&ops, k).to_bitvec(), want, "len {len} k {k}");
+                assert_eq!(
+                    count_threshold_k(&ops, k),
+                    want.count_ones(),
+                    "count len {len} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_fill_skips_stay_compressed() {
+        // Three long one-fills + sparse noise: with k = 3 the one-fill
+        // skip should pin the overlap without folding the sparse operand;
+        // with k = 4 the zero-fill skip dominates.
+        let len = 1_000_000;
+        let ones_third = BitVec::from_fn(len, |i| i < len / 3);
+        let noise = sparse(len, 9973);
+        let wahs = [
+            WahBitmap::from_bitvec(&ones_third),
+            WahBitmap::from_bitvec(&ones_third),
+            WahBitmap::from_bitvec(&ones_third),
+            WahBitmap::from_bitvec(&noise),
+        ];
+        let ops: Vec<&WahBitmap> = wahs.iter().collect();
+        let got3 = threshold_k(&ops, 3);
+        assert!(
+            got3.compressed_bytes() < noise.count_ones() * 8,
+            "result stays run-compressed: {} bytes",
+            got3.compressed_bytes()
+        );
+        let dense: Vec<BitVec> = wahs.iter().map(WahBitmap::to_bitvec).collect();
+        let refs: Vec<&BitVec> = dense.iter().collect();
+        for k in [2usize, 3, 4] {
+            assert_eq!(
+                threshold_k(&ops, k).to_bitvec(),
+                bindex_bitvec::kernels::threshold_k(&refs, k),
+                "k {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_degenerate_cases() {
+        let wahs: Vec<WahBitmap> = (0..3)
+            .map(|k| WahBitmap::from_bitvec(&sparse(500, 3 + k)))
+            .collect();
+        let ops: Vec<&WahBitmap> = wahs.iter().collect();
+        assert_eq!(threshold_k(&ops, 0).to_bitvec(), BitVec::ones(500));
+        assert_eq!(count_threshold_k(&ops, 0), 500);
+        assert_eq!(threshold_k(&ops, 4).to_bitvec(), BitVec::zeros(500));
+        assert_eq!(count_threshold_k(&ops, 4), 0);
+        assert_eq!(threshold_k(&ops, 1), or_all(&ops));
+        assert_eq!(threshold_k(&ops, 3), and_all(&ops));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operand")]
+    fn threshold_empty_operand_list_panics() {
+        let _ = threshold_k(&[], 1);
     }
 
     #[test]

@@ -54,6 +54,12 @@ pub enum Error {
     /// says which bound was hit. Retryable by the client after backoff —
     /// the index itself is healthy.
     Overloaded(String),
+    /// The query itself was structurally invalid before evaluation
+    /// started — e.g. a threshold with `k = 0`, `k` exceeding the
+    /// predicate count, or no predicates at all. A caller error, never a
+    /// panic or a silent empty foundset; the serving layer maps it to a
+    /// typed `BadRequest` rejection.
+    InvalidQuery(String),
 }
 
 impl std::fmt::Display for Error {
@@ -90,6 +96,7 @@ impl std::fmt::Display for Error {
                 write!(f, "deadline exceeded: query cancelled between segments")
             }
             Error::Overloaded(msg) => write!(f, "overloaded: {msg}"),
+            Error::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
         }
     }
 }

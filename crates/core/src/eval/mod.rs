@@ -23,6 +23,12 @@ pub mod interval;
 pub mod naive;
 pub mod range_eval;
 pub mod range_opt;
+pub mod threshold;
+
+pub use threshold::{
+    evaluate_threshold, evaluate_threshold_in, evaluate_threshold_segment_range_in,
+    evaluate_threshold_segmented, evaluate_threshold_segmented_in,
+};
 
 use bindex_bitvec::BitVec;
 use bindex_relation::query::SelectionQuery;

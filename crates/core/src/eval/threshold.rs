@@ -1,0 +1,495 @@
+//! k-of-N threshold evaluation — the symmetric-function query class the
+//! four single-predicate evaluators cannot express (Kaser & Lemire,
+//! "Threshold and Symmetric Functions over Bitmaps").
+//!
+//! A [`ThresholdQuery`] asks for the rows whose value satisfies **at
+//! least `k`** of `N` predicates. Each predicate's foundset is produced
+//! by the ordinary encoding-appropriate evaluator, then the foundsets
+//! are combined in a single pass by the bit-sliced carry-save adder
+//! network ([`ExecContext::threshold_all`]) instead of the
+//! exponentially-sized naive "OR of all k-subsets of ANDs".
+//!
+//! Degenerate thresholds map to exact plans rather than panicking:
+//! `k = 0`, `k > N`, and an empty predicate set are rejected with
+//! [`Error::InvalidQuery`]; a single-predicate threshold *is* that
+//! predicate; `k = 1` runs the plain OR plan and `k = N` the plain AND
+//! plan, charged as such.
+//!
+//! Segment-at-a-time execution adds an **early-exit bound** fed by the
+//! summary block's two planes: while a segment's predicates evaluate one
+//! by one, `live` counts foundsets with any bit set in the window and
+//! `saturated` counts all-ones foundsets. Once
+//! `live + remaining < k` the window's answer is provably all-zero, and
+//! once `saturated ≥ k` it is provably all-ones — the remaining
+//! predicates are not evaluated at all. Summary pruning feeds the bound
+//! for free: a window the summary proves dead yields an all-zero
+//! foundset without a storage read, dropping the upper bound, and a
+//! window it proves saturated can yield an all-ones foundset, raising
+//! the lower bound. The exit is taken only on non-charging segments
+//! (segment 0 always runs every predicate), so every slot's first-touch
+//! scan charge and the whole op tally stay bit-identical to whole-bitmap
+//! evaluation — only [`EvalStats::segments_skipped`] observes the skip.
+
+use bindex_bitvec::BitVec;
+use bindex_relation::query::ThresholdQuery;
+
+use crate::error::{Error, Result};
+use crate::eval::{evaluate_in, Algorithm};
+use crate::exec::{EvalStats, ExecContext};
+use crate::index::BitmapSource;
+
+/// Validates a threshold query, converting a malformed one into the
+/// typed [`Error::InvalidQuery`].
+pub fn validate(query: &ThresholdQuery) -> Result<()> {
+    query.validate().map_err(Error::InvalidQuery)
+}
+
+/// Evaluates a threshold query whole-bitmap, returning the foundset and
+/// the exact evaluation statistics.
+pub fn evaluate_threshold<S: BitmapSource>(
+    source: &mut S,
+    query: &ThresholdQuery,
+    algorithm: Algorithm,
+) -> Result<(BitVec, EvalStats)> {
+    let mut ctx = ExecContext::new(source);
+    let found = evaluate_threshold_in(&mut ctx, query, algorithm)?;
+    let stats = ctx.take_stats();
+    Ok((found, stats))
+}
+
+/// Evaluates a threshold query within an existing context (stats
+/// accumulate; call `ctx.take_stats()` between queries).
+///
+/// Each predicate foundset costs whatever the underlying evaluator
+/// charges; the combine then costs `N − 1`
+/// [`EvalStats::threshold_combines`] — except the exact-plan
+/// degenerations: a single predicate is evaluated directly, `k = 1`
+/// charges `N − 1` ORs, and `k = N` charges `N − 1` ANDs, exactly as if
+/// the caller had asked for the disjunction or conjunction.
+pub fn evaluate_threshold_in<S: BitmapSource>(
+    ctx: &mut ExecContext<'_, S>,
+    query: &ThresholdQuery,
+    algorithm: Algorithm,
+) -> Result<BitVec> {
+    validate(query)?;
+    evaluate_threshold_unchecked(ctx, query, algorithm, true)
+}
+
+/// The per-segment (or whole-bitmap) evaluation body. `charging` is
+/// `true` when this run must execute the full data-independent op
+/// sequence (whole mode, or segment 0); only non-charging runs may take
+/// the early exits.
+fn evaluate_threshold_unchecked<S: BitmapSource>(
+    ctx: &mut ExecContext<'_, S>,
+    query: &ThresholdQuery,
+    algorithm: Algorithm,
+    charging: bool,
+) -> Result<BitVec> {
+    let n = query.predicates.len();
+    let k = query.k as usize;
+    if n == 1 {
+        // A single-predicate threshold (k must be 1 post-validation) is
+        // exactly that predicate.
+        return evaluate_in(ctx, query.predicates[0], algorithm);
+    }
+    let window = ctx.view_len();
+    let mut found: Vec<BitVec> = Vec::with_capacity(n);
+    // Early-exit bound over the operands evaluated so far: each live
+    // (non-empty) foundset can contribute at most 1 to any row's count,
+    // each saturated (all-ones) foundset contributes exactly 1 to every
+    // row's count, and each not-yet-evaluated predicate could go either
+    // way.
+    let mut live = 0usize;
+    let mut saturated = 0usize;
+    for (i, &p) in query.predicates.iter().enumerate() {
+        if !charging {
+            if live + (n - i) < k {
+                // Even if every remaining predicate matched every row,
+                // no row in this window can reach k.
+                ctx.mark_skip();
+                return Ok(BitVec::zeros(window));
+            }
+            if saturated >= k {
+                // Every row in this window already holds ≥ k matches.
+                ctx.mark_skip();
+                return Ok(BitVec::ones(window));
+            }
+        }
+        let f = evaluate_in(ctx, p, algorithm)?;
+        if !charging {
+            let ones = f.count_ones();
+            if ones > 0 {
+                live += 1;
+            }
+            if ones == window {
+                saturated += 1;
+            }
+        }
+        found.push(f);
+    }
+    if !charging && live < k {
+        // All predicates evaluated but fewer than k are live anywhere
+        // in the window.
+        ctx.mark_skip();
+        return Ok(BitVec::zeros(window));
+    }
+    let refs: Vec<&BitVec> = found.iter().collect();
+    // Exact-plan degenerations keep the cost model honest: k = 1 *is*
+    // the OR plan and k = N *is* the AND plan.
+    if k == 1 {
+        Ok(ctx.or_all(&refs))
+    } else if k == n {
+        Ok(ctx.and_all(&refs))
+    } else {
+        Ok(ctx.threshold_all(&refs, k))
+    }
+}
+
+/// Segment-at-a-time threshold evaluation; see
+/// [`evaluate_threshold_segmented_in`].
+pub fn evaluate_threshold_segmented<S: BitmapSource>(
+    source: &mut S,
+    query: &ThresholdQuery,
+    algorithm: Algorithm,
+    segment_bits: usize,
+) -> Result<(BitVec, EvalStats)> {
+    let mut ctx = ExecContext::new(source);
+    let found = evaluate_threshold_segmented_in(&mut ctx, query, algorithm, segment_bits)?;
+    let stats = ctx.take_stats();
+    Ok((found, stats))
+}
+
+/// Evaluates a threshold query segment-at-a-time within an existing
+/// context. Bit-identical to [`evaluate_threshold_in`] with identical
+/// scan/op charges (segment 0 runs the full op sequence; later segments
+/// may take the early-exit bound, recorded in
+/// [`EvalStats::segments_skipped`] only).
+///
+/// # Panics
+/// Panics if `segment_bits` is zero or not a multiple of 64.
+pub fn evaluate_threshold_segmented_in<S: BitmapSource>(
+    ctx: &mut ExecContext<'_, S>,
+    query: &ThresholdQuery,
+    algorithm: Algorithm,
+    segment_bits: usize,
+) -> Result<BitVec> {
+    validate(query)?;
+    let n_rows = ctx.n_rows();
+    let mut out = vec![0u64; bindex_bitvec::words_for(n_rows)];
+    let res = evaluate_threshold_segment_range_in(
+        ctx,
+        query,
+        algorithm,
+        segment_bits,
+        0,
+        n_rows,
+        &mut out,
+    );
+    ctx.exit_segments();
+    res?;
+    Ok(BitVec::from_words(out, n_rows))
+}
+
+/// Threshold counterpart of
+/// [`evaluate_segment_range_in`](crate::eval::evaluate_segment_range_in):
+/// evaluates the segments covering rows `[row_lo, row_hi)` into `out`,
+/// the engine's morsel primitive. Op-charge parity holds per chunk —
+/// only the chunk containing segment 0 accumulates op counts. The query
+/// must already be validated (the public entry points do this).
+///
+/// # Panics
+/// Panics if `segment_bits` is zero or not a multiple of 64, or the row
+/// range is not segment-aligned.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_threshold_segment_range_in<S: BitmapSource>(
+    ctx: &mut ExecContext<'_, S>,
+    query: &ThresholdQuery,
+    algorithm: Algorithm,
+    segment_bits: usize,
+    row_lo: usize,
+    row_hi: usize,
+    out: &mut [u64],
+) -> Result<()> {
+    assert!(
+        segment_bits > 0 && segment_bits.is_multiple_of(64),
+        "segment size must be a positive multiple of 64 bits"
+    );
+    let n_rows = ctx.n_rows();
+    assert!(
+        row_lo.is_multiple_of(segment_bits)
+            && (row_hi.is_multiple_of(segment_bits) || row_hi == n_rows),
+        "chunk bounds must be segment-aligned"
+    );
+    assert!(row_lo <= row_hi && row_hi <= n_rows, "chunk out of range");
+    if n_rows == 0 {
+        ctx.begin_segment(0, 0, 0);
+        let r = evaluate_threshold_unchecked(ctx, query, algorithm, true);
+        ctx.end_segment();
+        r?;
+        return Ok(());
+    }
+    let mut lo = row_lo;
+    while lo < row_hi {
+        if lo > row_lo && ctx.deadline_expired() {
+            return Err(Error::DeadlineExceeded);
+        }
+        let hi = (lo + segment_bits).min(n_rows);
+        let index = lo / segment_bits;
+        ctx.begin_segment(lo, hi, index);
+        let part = evaluate_threshold_unchecked(ctx, query, algorithm, index == 0)?;
+        debug_assert_eq!(
+            part.len(),
+            hi - lo,
+            "threshold evaluator returned a non-window result"
+        );
+        ctx.end_segment();
+        let w0 = (lo - row_lo) / 64;
+        out[w0..w0 + part.words().len()].copy_from_slice(part.words());
+        lo = hi;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::Base;
+    use crate::encoding::{Encoding, IndexSpec};
+    use crate::index::BitmapIndex;
+    use bindex_relation::query::{Op, SelectionQuery};
+    use bindex_relation::Column;
+
+    fn column(n: usize, cardinality: u32) -> Column {
+        let values: Vec<u32> = (0..n as u32)
+            .map(|i| (i * 37 + i / 5) % cardinality)
+            .collect();
+        Column::new(values, cardinality)
+    }
+
+    fn spec_for(encoding: Encoding) -> IndexSpec {
+        IndexSpec::new(Base::from_msb(&[3, 4]).unwrap(), encoding)
+    }
+
+    fn reference(col: &Column, q: &ThresholdQuery) -> BitVec {
+        BitVec::from_fn(col.len(), |r| q.matches(col.values()[r]))
+    }
+
+    fn test_queries() -> Vec<ThresholdQuery> {
+        let preds = [
+            SelectionQuery::new(Op::Le, 4),
+            SelectionQuery::new(Op::Ge, 3),
+            SelectionQuery::new(Op::Ne, 7),
+            SelectionQuery::new(Op::Eq, 2),
+            SelectionQuery::new(Op::Lt, 10),
+            SelectionQuery::new(Op::Gt, 1),
+            SelectionQuery::new(Op::Le, 8),
+        ];
+        let mut out = Vec::new();
+        for n in [1usize, 2, 3, 7] {
+            for k in 1..=n {
+                out.push(ThresholdQuery::new(k as u32, preds[..n].to_vec()));
+            }
+        }
+        out
+    }
+
+    /// Whole-bitmap and segmented threshold evaluation match the per-row
+    /// reference bit for bit, for every encoding, and the segmented
+    /// paper-model stats match whole-bitmap exactly.
+    #[test]
+    fn threshold_matches_reference_whole_and_segmented() {
+        let col = column(777, 12);
+        for encoding in [Encoding::Range, Encoding::Equality, Encoding::Interval] {
+            let idx = BitmapIndex::build(&col, spec_for(encoding)).unwrap();
+            for q in test_queries() {
+                let want = reference(&col, &q);
+                let (whole, ws) =
+                    evaluate_threshold(&mut idx.source(), &q, Algorithm::Auto).unwrap();
+                assert_eq!(whole, want, "{encoding:?} {q}");
+                for seg_bits in [64usize, 256, 1 << 20] {
+                    let (got, ss) = evaluate_threshold_segmented(
+                        &mut idx.source(),
+                        &q,
+                        Algorithm::Auto,
+                        seg_bits,
+                    )
+                    .unwrap();
+                    assert_eq!(got, want, "{encoding:?} {q} seg={seg_bits}");
+                    let core = |s: &EvalStats| {
+                        (
+                            s.scans,
+                            s.ands,
+                            s.ors,
+                            s.xors,
+                            s.nots,
+                            s.threshold_combines,
+                            s.buffer_hits,
+                        )
+                    };
+                    assert_eq!(
+                        core(&ss),
+                        core(&ws),
+                        "stats parity {encoding:?} {q} seg={seg_bits}"
+                    );
+                    assert_eq!(ss.segments_evaluated, 777usize.div_ceil(seg_bits));
+                }
+            }
+        }
+    }
+
+    /// The combine charge shape: N − 1 threshold combines for interior
+    /// k, N − 1 ORs for k = 1, N − 1 ANDs for k = N (on top of the
+    /// per-predicate evaluator charges).
+    #[test]
+    fn threshold_charge_shape() {
+        let col = column(500, 12);
+        let idx = BitmapIndex::build(&col, spec_for(Encoding::Equality)).unwrap();
+        let preds = vec![
+            SelectionQuery::new(Op::Le, 4),
+            SelectionQuery::new(Op::Ge, 3),
+            SelectionQuery::new(Op::Ne, 7),
+            SelectionQuery::new(Op::Eq, 2),
+        ];
+        let per_pred = {
+            let mut sum = EvalStats::default();
+            for &p in &preds {
+                let (_, s) = crate::eval::evaluate(&mut idx.source(), p, Algorithm::Auto).unwrap();
+                sum.add(&s);
+            }
+            sum
+        };
+        let (_, s2) = evaluate_threshold(
+            &mut idx.source(),
+            &ThresholdQuery::new(2, preds.clone()),
+            Algorithm::Auto,
+        )
+        .unwrap();
+        assert_eq!(s2.threshold_combines, 3);
+        assert_eq!(s2.ands, per_pred.ands);
+        assert_eq!(s2.ors, per_pred.ors);
+        let (_, s1) = evaluate_threshold(
+            &mut idx.source(),
+            &ThresholdQuery::new(1, preds.clone()),
+            Algorithm::Auto,
+        )
+        .unwrap();
+        assert_eq!(s1.threshold_combines, 0);
+        assert_eq!(s1.ors, per_pred.ors + 3);
+        let (_, s4) = evaluate_threshold(
+            &mut idx.source(),
+            &ThresholdQuery::new(4, preds),
+            Algorithm::Auto,
+        )
+        .unwrap();
+        assert_eq!(s4.threshold_combines, 0);
+        assert_eq!(s4.ands, per_pred.ands + 3);
+    }
+
+    /// Malformed thresholds are a typed error, not a panic or an empty
+    /// foundset.
+    #[test]
+    fn threshold_rejects_degenerate_queries() {
+        let col = column(100, 12);
+        let idx = BitmapIndex::build(&col, spec_for(Encoding::Range)).unwrap();
+        let p = SelectionQuery::new(Op::Le, 4);
+        for bad in [
+            ThresholdQuery::new(0, vec![p]),
+            ThresholdQuery::new(2, vec![p]),
+            ThresholdQuery::new(1, Vec::new()),
+        ] {
+            let err = evaluate_threshold(&mut idx.source(), &bad, Algorithm::Auto).unwrap_err();
+            assert!(
+                matches!(err, Error::InvalidQuery(_)),
+                "expected InvalidQuery, got {err:?}"
+            );
+            let err = evaluate_threshold_segmented(&mut idx.source(), &bad, Algorithm::Auto, 256)
+                .unwrap_err();
+            assert!(matches!(err, Error::InvalidQuery(_)));
+        }
+    }
+
+    /// A clustered column makes whole windows dead or saturated for some
+    /// predicates; the early exit must leave answers and paper-model
+    /// stats untouched while recording skips.
+    #[test]
+    fn threshold_early_exit_preserves_answers_on_clustered_data() {
+        // 0..2048 → value 0, 2048..4096 → value 5, tail mixed.
+        let mut values = vec![0u32; 2048];
+        values.extend(std::iter::repeat_n(5u32, 2048));
+        values.extend((0..500u32).map(|i| i % 12));
+        let col = Column::new(values, 12);
+        let q = ThresholdQuery::new(
+            2,
+            vec![
+                SelectionQuery::new(Op::Eq, 0),
+                SelectionQuery::new(Op::Eq, 5),
+                SelectionQuery::new(Op::Ge, 5),
+            ],
+        );
+        let want = reference(&col, &q);
+        for encoding in [Encoding::Range, Encoding::Equality, Encoding::Interval] {
+            let idx = BitmapIndex::build(&col, spec_for(encoding)).unwrap();
+            let (whole, ws) = evaluate_threshold(&mut idx.source(), &q, Algorithm::Auto).unwrap();
+            assert_eq!(whole, want);
+            let (got, ss) =
+                evaluate_threshold_segmented(&mut idx.source(), &q, Algorithm::Auto, 512).unwrap();
+            assert_eq!(got, want, "{encoding:?}");
+            assert_eq!(
+                (ss.scans, ss.threshold_combines),
+                (ws.scans, ws.threshold_combines),
+                "{encoding:?}"
+            );
+        }
+    }
+
+    /// An all-ones early exit: k = 1 over predicates that saturate a
+    /// window exits through the OR plan unchanged; an interior-k query
+    /// whose first k foundsets saturate a window exits all-ones.
+    #[test]
+    fn threshold_saturated_early_exit() {
+        let mut values = vec![3u32; 4096];
+        values.extend((0..512u32).map(|i| i % 12));
+        let col = Column::new(values, 12);
+        // Value 3 satisfies both ≤5 and ≥1 ⇒ the first windows saturate
+        // both foundsets, so k = 2 exits all-ones there.
+        let q = ThresholdQuery::new(
+            2,
+            vec![
+                SelectionQuery::new(Op::Le, 5),
+                SelectionQuery::new(Op::Ge, 1),
+                SelectionQuery::new(Op::Eq, 7),
+            ],
+        );
+        let want = reference(&col, &q);
+        let idx = BitmapIndex::build(&col, spec_for(Encoding::Equality)).unwrap();
+        let (got, ss) =
+            evaluate_threshold_segmented(&mut idx.source(), &q, Algorithm::Auto, 1024).unwrap();
+        assert_eq!(got, want);
+        assert!(
+            ss.segments_skipped > 0,
+            "saturated windows should early-exit: {ss:?}"
+        );
+    }
+
+    /// An empty relation runs one empty segment, like the plain driver.
+    #[test]
+    fn threshold_handles_empty_relation() {
+        let col = Column::new(Vec::new(), 12);
+        let idx = BitmapIndex::build(&col, spec_for(Encoding::Range)).unwrap();
+        let q = ThresholdQuery::new(
+            2,
+            vec![
+                SelectionQuery::new(Op::Le, 4),
+                SelectionQuery::new(Op::Ge, 3),
+                SelectionQuery::new(Op::Ne, 7),
+            ],
+        );
+        let (whole, ws) = evaluate_threshold(&mut idx.source(), &q, Algorithm::Auto).unwrap();
+        let (got, ss) =
+            evaluate_threshold_segmented(&mut idx.source(), &q, Algorithm::Auto, 4096).unwrap();
+        assert_eq!(whole.len(), 0);
+        assert_eq!(got, whole);
+        assert_eq!(ss.scans, ws.scans);
+        assert_eq!(ss.segments_evaluated, 1);
+    }
+}

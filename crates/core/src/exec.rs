@@ -39,6 +39,11 @@ pub struct EvalStats {
     pub xors: usize,
     /// NOT operations executed.
     pub nots: usize,
+    /// Threshold combine steps executed: a k-ary "≥ k of N" evaluation
+    /// over N operands charges N − 1 combines, mirroring the k-ary
+    /// AND/OR charge shape (the CSA counter network folds one operand
+    /// per step, whatever k is).
+    pub threshold_combines: usize,
     /// Fetches served by the buffer pool (no scan charged).
     pub buffer_hits: usize,
     /// Fetches served by the degraded path: the stored bitmap was
@@ -79,7 +84,7 @@ pub struct EvalStats {
 impl EvalStats {
     /// Total bitmap operations of all kinds.
     pub fn total_ops(&self) -> usize {
-        self.ands + self.ors + self.xors + self.nots
+        self.ands + self.ors + self.xors + self.nots + self.threshold_combines
     }
 
     /// Accumulates another query's stats (for workload averages).
@@ -89,6 +94,7 @@ impl EvalStats {
         self.ors += other.ors;
         self.xors += other.xors;
         self.nots += other.nots;
+        self.threshold_combines += other.threshold_combines;
         self.buffer_hits += other.buffer_hits;
         self.degraded_fetches += other.degraded_fetches;
         self.reconstructed_bitmaps += other.reconstructed_bitmaps;
@@ -258,6 +264,10 @@ struct SegmentState {
     /// Shared all-zero window served for every fetch this segment proves
     /// dead; allocated at most once per segment.
     zero_window: Option<Arc<BitVec>>,
+    /// Shared all-ones window served for every fetch this segment proves
+    /// saturated (the summary's all-ones plane); allocated at most once
+    /// per segment.
+    ones_window: Option<Arc<BitVec>>,
     /// Dense windows of compressed slots decoded for the *current*
     /// segment; cleared when the segment advances.
     windows: HashMap<(usize, usize), Arc<BitVec>>,
@@ -525,6 +535,7 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
                 s.skipped_work = false;
                 s.pruned_any = false;
                 s.zero_window = None;
+                s.ones_window = None;
                 s.windows.clear();
             }
             None => {
@@ -535,6 +546,7 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
                     skipped_work: false,
                     pruned_any: false,
                     zero_window: None,
+                    ones_window: None,
                     windows: HashMap::new(),
                     cursors: HashMap::new(),
                 });
@@ -618,7 +630,7 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
 
     /// Records an AND-family short-circuit on an all-zero window.
     #[inline]
-    fn mark_skip(&mut self) {
+    pub(crate) fn mark_skip(&mut self) {
         if let Some(s) = &mut self.seg {
             s.skipped_work = true;
         }
@@ -708,17 +720,19 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
 
     /// Summary-based segment pruning: under segmented execution, when the
     /// source's summary block proves stored bitmap `(comp, slot)` all-zero
-    /// over the current window, returns a window-sized zero literal —
-    /// exact bitmap content, safe under every operator — instead of
-    /// touching storage. The scan/buffer-hit charge is levied exactly as a
-    /// real fetch would have charged it (once per slot per query, by the
-    /// same deterministic residency rule), so [`EvalStats`] stay
-    /// bit-identical with pruning on or off; only
+    /// (the any-bit plane is clear) or all-ones (the all-ones plane is
+    /// set) over the current window, returns a window-sized zero or ones
+    /// literal — exact bitmap content, safe under every operator —
+    /// instead of touching storage. The scan/buffer-hit charge is levied
+    /// exactly as a real fetch would have charged it (once per slot per
+    /// query, by the same deterministic residency rule), so [`EvalStats`]
+    /// stay bit-identical with pruning on or off; only
     /// [`EvalStats::segments_pruned`] and the storage layer's byte
     /// counters observe the difference. Returns `None` — fetch normally —
     /// whenever pruning is off, execution is whole-bitmap, an overlay is
     /// attached (summaries describe base rows only), the source has no
-    /// usable summaries, or the window may be live.
+    /// usable summaries, or the window is neither provably dead nor
+    /// provably saturated.
     fn try_prune(&mut self, comp: usize, slot: usize) -> Option<Repr> {
         if !self.pruning || self.overlay.is_some() || self.seg.is_none() {
             return None;
@@ -728,9 +742,18 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
             let s = self.seg.as_ref().expect("segmented mode");
             (s.lo, s.hi)
         };
-        if summaries.get(comp, slot)?.range_any(lo, hi) {
-            return None;
-        }
+        let summary = summaries.get(comp, slot)?;
+        // A clear any-bit guarantees all-zeros; a set all-ones bit
+        // guarantees all-ones (a legacy single-plane summary carries an
+        // all-zeros `all` plane, which promises nothing and never fires).
+        let saturated = if summary.range_any(lo, hi) {
+            if !summary.range_all(lo, hi) {
+                return None;
+            }
+            true
+        } else {
+            false
+        };
         if self.pruned_charged.insert((comp, slot)) {
             let resident = self.buffer.is_some_and(|b| b.contains(comp, slot));
             if resident {
@@ -741,10 +764,14 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
         }
         let s = self.seg.as_mut().expect("segmented mode");
         s.pruned_any = true;
-        let zeros = s
-            .zero_window
-            .get_or_insert_with(|| Arc::new(BitVec::zeros(hi - lo)));
-        Some(Repr::Literal(Arc::clone(zeros)))
+        let window = if saturated {
+            s.ones_window
+                .get_or_insert_with(|| Arc::new(BitVec::ones(hi - lo)))
+        } else {
+            s.zero_window
+                .get_or_insert_with(|| Arc::new(BitVec::zeros(hi - lo)))
+        };
+        Some(Repr::Literal(Arc::clone(window)))
     }
 
     /// The source's summaries, asked for once per context and memoized;
@@ -1041,6 +1068,26 @@ impl<'a, S: BitmapSource> ExecContext<'a, S> {
         }
         let views: Vec<_> = operands.iter().map(|b| self.opv(b)).collect();
         kernels::or_all(&views)
+    }
+
+    /// Counted k-ary threshold: a fresh bitmap with bit `r` set when at
+    /// least `k` of the operands have bit `r` set, evaluated in one pass
+    /// by the bit-sliced CSA counter network
+    /// ([`kernels::threshold_k`]). Charges `operands.len() − 1`
+    /// [`EvalStats::threshold_combines`] — one per CSA fold step,
+    /// mirroring the k-ary AND/OR charge shape — whatever `k` is, so the
+    /// kernel's degenerate fast paths (k = 1 → OR, k = N → AND) never
+    /// change what the cost model sees.
+    ///
+    /// # Panics
+    /// Panics on an empty operand list, mismatched lengths, or more than
+    /// [`kernels::MAX_THRESHOLD_FAN_IN`] operands.
+    pub fn threshold_all(&mut self, operands: &[&BitVec], k: usize) -> BitVec {
+        if self.charge_ops() {
+            self.stats.threshold_combines += operands.len() - 1;
+        }
+        let views: Vec<_> = operands.iter().map(|b| self.opv(b)).collect();
+        kernels::threshold_k(&views, k)
     }
 
     /// `true` when a k-ary op over `operands` should run in the WAH

@@ -41,7 +41,7 @@ use bindex_bitvec::BitVec;
 use bindex_core::error::{Error, Result};
 use bindex_core::eval::{evaluate_in, Algorithm};
 use bindex_core::{BitmapSource, DeltaOverlay, EvalStats, ExecContext, RecoveryPolicy};
-use bindex_relation::query::SelectionQuery;
+use bindex_relation::query::{SelectionQuery, ThresholdQuery};
 
 use crate::plan::{self, ConjunctiveQuery, ExecutionStats};
 use crate::table::Table;
@@ -751,7 +751,23 @@ where
     F: Fn() -> S + Sync,
 {
     if let Some(segment_bits) = options.segment_bits() {
-        return evaluate_segmented_workload(make_source, queries, algorithm, options, segment_bits);
+        return evaluate_segmented_workload(
+            make_source,
+            queries.len(),
+            |ctx, i, row_lo, row_hi, out| {
+                bindex_core::eval::evaluate_segment_range_in(
+                    ctx,
+                    queries[i],
+                    algorithm,
+                    segment_bits,
+                    row_lo,
+                    row_hi,
+                    out,
+                )
+            },
+            options,
+            segment_bits,
+        );
     }
     run_workload(queries.len(), options, &make_source, |source, i| {
         let mut ctx = ExecContext::new(source)
@@ -760,6 +776,59 @@ where
             .with_overlay(options.overlay().cloned())
             .with_pruning(options.pruning());
         let found = evaluate_in(&mut ctx, queries[i], algorithm)?;
+        let stats = ctx.take_stats();
+        Ok(((found, stats), stats.degraded_fetches > 0))
+    })
+}
+
+/// Evaluates a workload of k-of-N [`ThresholdQuery`]s against one index,
+/// with the same worker, recovery, overlay, pruning, deadline, and
+/// segment-at-a-time machinery as [`evaluate_selection_workload`]. Each
+/// query's predicate foundsets are produced by the ordinary evaluator
+/// and combined in one pass by the bit-sliced CSA threshold kernel; on
+/// the segmented path the per-window early-exit bound sheds work the
+/// summary planes prove pointless. A malformed query (`k = 0`, `k > N`,
+/// no predicates) comes back as its own
+/// [`QueryOutcome::Failed`]\([`Error::InvalidQuery`]\) without touching
+/// the rest of the workload.
+pub fn evaluate_threshold_workload<S, F>(
+    make_source: F,
+    queries: &[ThresholdQuery],
+    algorithm: Algorithm,
+    options: &BatchOptions,
+) -> WorkloadReport<(BitVec, EvalStats)>
+where
+    S: BitmapSource,
+    F: Fn() -> S + Sync,
+{
+    use bindex_core::eval::threshold;
+    if let Some(segment_bits) = options.segment_bits() {
+        return evaluate_segmented_workload(
+            make_source,
+            queries.len(),
+            |ctx, i, row_lo, row_hi, out| {
+                threshold::validate(&queries[i])?;
+                threshold::evaluate_threshold_segment_range_in(
+                    ctx,
+                    &queries[i],
+                    algorithm,
+                    segment_bits,
+                    row_lo,
+                    row_hi,
+                    out,
+                )
+            },
+            options,
+            segment_bits,
+        );
+    }
+    run_workload(queries.len(), options, &make_source, |source, i| {
+        let mut ctx = ExecContext::new(source)
+            .with_recovery(options.recovery().clone())
+            .with_deadline(options.deadline())
+            .with_overlay(options.overlay().cloned())
+            .with_pruning(options.pruning());
+        let found = threshold::evaluate_threshold_in(&mut ctx, &queries[i], algorithm)?;
         let stats = ctx.take_stats();
         Ok(((found, stats), stats.degraded_fetches > 0))
     })
@@ -813,18 +882,23 @@ struct QueryCell {
 /// worker's deque — and gets stolen away morsel by morsel as the others
 /// run dry, which is what keeps wall-clock near the longest single query
 /// rather than the longest initial block.
-fn evaluate_segmented_workload<S, F>(
+///
+/// Generic over the per-morsel evaluation: `eval_range(ctx, query_index,
+/// row_lo, row_hi, out)` runs the segments of `[row_lo, row_hi)` into
+/// `out` (a word buffer covering exactly that range), so selection and
+/// threshold workloads share one driver.
+fn evaluate_segmented_workload<S, F, E>(
     make_source: F,
-    queries: &[SelectionQuery],
-    algorithm: Algorithm,
+    n: usize,
+    eval_range: E,
     options: &BatchOptions,
     segment_bits: usize,
 ) -> WorkloadReport<(BitVec, EvalStats)>
 where
     S: BitmapSource,
     F: Fn() -> S + Sync,
+    E: Fn(&mut ExecContext<'_, S>, usize, usize, usize, &mut [u64]) -> Result<()> + Sync,
 {
-    let n = queries.len();
     if n == 0 {
         return WorkloadReport {
             outcomes: Vec::new(),
@@ -924,11 +998,9 @@ where
                         .with_overlay(options.overlay().cloned())
                         .with_pruning(options.pruning());
                     let mut local = vec![0u64; span];
-                    let res = bindex_core::eval::evaluate_segment_range_in(
+                    let res = eval_range(
                         &mut ctx,
-                        queries[morsel.query],
-                        algorithm,
-                        segment_bits,
+                        morsel.query,
                         morsel.row_lo,
                         morsel.row_hi,
                         &mut local,
@@ -1216,6 +1288,89 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// Threshold workloads answer identically to the per-row reference
+    /// on the whole-bitmap and segmented paths, sequential and parallel,
+    /// with paper-model stats parity between the two paths — and a
+    /// malformed query fails alone with the typed error.
+    #[test]
+    fn threshold_workload_matches_reference_on_all_paths() {
+        let col = gen::uniform(3000, 40, 19);
+        let idx = bindex_core::BitmapIndex::build(
+            &col,
+            IndexSpec::new(
+                bindex_core::Base::from_msb(&[5, 8]).unwrap(),
+                bindex_core::Encoding::Range,
+            ),
+        )
+        .unwrap();
+        let queries: Vec<ThresholdQuery> = (0..12u32)
+            .map(|v| {
+                ThresholdQuery::new(
+                    1 + v % 3,
+                    vec![
+                        SelectionQuery::new(Op::Le, 10 + v),
+                        SelectionQuery::new(Op::Ge, v),
+                        SelectionQuery::new(Op::Ne, 3 * v % 40),
+                    ],
+                )
+            })
+            .collect();
+        let whole = evaluate_threshold_workload(
+            || idx.source(),
+            &queries,
+            Algorithm::Auto,
+            &BatchOptions::single_threaded(),
+        )
+        .into_results()
+        .unwrap();
+        for (q, (found, _)) in queries.iter().zip(&whole) {
+            let want = BitVec::from_fn(col.len(), |r| q.matches(col.values()[r]));
+            assert_eq!(found, &want, "{q}");
+        }
+        for threads in [1usize, 4] {
+            for segment_bits in [None, Some(512)] {
+                let mut options = BatchOptions::with_threads(threads);
+                if let Some(bits) = segment_bits {
+                    options = options.with_segment_bits(bits);
+                }
+                let report = evaluate_threshold_workload(
+                    || idx.source(),
+                    &queries,
+                    Algorithm::Auto,
+                    &options,
+                );
+                assert!(report.health.all_ok(), "{:?}", report.health);
+                let got = report.into_results().unwrap();
+                for (i, ((wf, ws), (gf, gs))) in whole.iter().zip(&got).enumerate() {
+                    assert_eq!(wf, gf, "query {i} threads {threads} seg {segment_bits:?}");
+                    assert_eq!(
+                        (ws.scans, ws.ands, ws.ors, ws.threshold_combines),
+                        (gs.scans, gs.ands, gs.ors, gs.threshold_combines),
+                        "stats query {i} threads {threads} seg {segment_bits:?}"
+                    );
+                }
+            }
+        }
+        // One malformed query fails alone with the typed error.
+        let mut mixed = queries[..2].to_vec();
+        mixed.push(ThresholdQuery::new(5, queries[0].predicates.clone()));
+        for segment_bits in [None, Some(512)] {
+            let mut options = BatchOptions::with_threads(2);
+            if let Some(bits) = segment_bits {
+                options = options.with_segment_bits(bits);
+            }
+            let report =
+                evaluate_threshold_workload(|| idx.source(), &mixed, Algorithm::Auto, &options);
+            assert_eq!(report.health.ok, 2, "{:?}", report.health);
+            assert_eq!(report.health.failed, 1, "{:?}", report.health);
+            assert!(
+                matches!(report.outcomes[2].error(), Some(Error::InvalidQuery(_))),
+                "{:?}",
+                report.outcomes[2]
+            );
         }
     }
 

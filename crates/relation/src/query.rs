@@ -112,6 +112,112 @@ impl std::fmt::Display for SelectionQuery {
     }
 }
 
+/// A k-of-N threshold query over predicates on the indexed attribute:
+/// a row qualifies when **at least `k`** of the `predicates` hold for
+/// its value. The symmetric-function extension of the paper's
+/// single-predicate query class (Kaser & Lemire, "Threshold and
+/// Symmetric Functions over Bitmaps"): `k = 1` degenerates to the OR
+/// of the predicates, `k = N` to their AND, `k = ⌊N/2⌋ + 1` is the
+/// majority function.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ThresholdQuery {
+    /// Minimum number of predicates that must hold, `1 ..= N` for a
+    /// non-degenerate query. `validate` rejects 0 and `> N`.
+    pub k: u32,
+    /// The predicate set, each on the indexed attribute.
+    pub predicates: Vec<SelectionQuery>,
+}
+
+impl ThresholdQuery {
+    /// Creates a threshold query (unvalidated; see
+    /// [`ThresholdQuery::validate`]).
+    pub fn new(k: u32, predicates: Vec<SelectionQuery>) -> Self {
+        Self { k, predicates }
+    }
+
+    /// Checks the query is well-formed: a non-empty predicate set and
+    /// `1 ≤ k ≤ N`. Returns a human-readable reason when it is not —
+    /// degenerate thresholds are a caller error, never a panic or a
+    /// silent empty foundset.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.predicates.len();
+        if n == 0 {
+            return Err("threshold query has no predicates".into());
+        }
+        if self.k == 0 {
+            return Err("threshold k = 0 matches every row; use k >= 1".into());
+        }
+        if self.k as usize > n {
+            return Err(format!(
+                "threshold k = {} exceeds the {} predicate(s); no row can qualify",
+                self.k, n
+            ));
+        }
+        Ok(())
+    }
+
+    /// Row-level truth: does `value` satisfy at least `k` predicates?
+    /// (The per-row reference the bit-sliced kernels are tested against.)
+    #[inline]
+    pub fn matches(&self, value: u32) -> bool {
+        let mut hits = 0usize;
+        for p in &self.predicates {
+            if p.matches(value) {
+                hits += 1;
+                if hits >= self.k as usize {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Canonical form for caching: predicates sorted. The threshold
+    /// function is symmetric, so predicate order never changes the
+    /// answer — two queries with equal normalized forms always have
+    /// equal answers. Duplicate predicates are **kept**: a duplicated
+    /// predicate counts twice toward `k` on every row it matches, so
+    /// removing it would change the answer.
+    #[must_use]
+    pub fn normalized(&self) -> Self {
+        let mut predicates = self.predicates.clone();
+        predicates.sort_by_key(|p| (p.constant, p.op.symbol()));
+        Self {
+            k: self.k,
+            predicates,
+        }
+    }
+
+    /// Selectivity factor against a value histogram (fraction of rows
+    /// whose value satisfies ≥ k predicates).
+    pub fn selectivity(&self, histogram: &[usize]) -> f64 {
+        let total: usize = histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let hit: usize = histogram
+            .iter()
+            .enumerate()
+            .filter(|(v, _)| self.matches(*v as u32))
+            .map(|(_, &c)| c)
+            .sum();
+        hit as f64 / total as f64
+    }
+}
+
+impl std::fmt::Display for ThresholdQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, ">={} of {{", self.k)?;
+        for (i, p) in self.predicates.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        f.write_str("}")
+    }
+}
+
 /// The full uniform query space `Q`: all 6·C queries (Section 4).
 pub fn full_space(cardinality: u32) -> Vec<SelectionQuery> {
     let mut out = Vec::with_capacity(6 * cardinality as usize);
@@ -186,6 +292,74 @@ mod tests {
         assert!((q.selectivity(&h) - 0.5).abs() < 1e-12);
         let q = SelectionQuery::new(Op::Ne, 0);
         assert!((q.selectivity(&h) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_row_semantics_and_validation() {
+        let q = ThresholdQuery::new(
+            2,
+            vec![
+                SelectionQuery::new(Op::Le, 4),
+                SelectionQuery::new(Op::Ge, 2),
+                SelectionQuery::new(Op::Eq, 7),
+            ],
+        );
+        assert!(q.validate().is_ok());
+        assert!(q.matches(3)); // ≤4 and ≥2
+        assert!(!q.matches(9)); // only ≥2
+        assert!(!q.matches(0)); // only ≤4
+        assert!(q.matches(7)); // ≥2 and =7 (not ≤4)
+
+        assert!(ThresholdQuery::new(0, vec![SelectionQuery::new(Op::Le, 1)])
+            .validate()
+            .is_err());
+        assert!(ThresholdQuery::new(2, vec![SelectionQuery::new(Op::Le, 1)])
+            .validate()
+            .is_err());
+        assert!(ThresholdQuery::new(1, Vec::new()).validate().is_err());
+    }
+
+    #[test]
+    fn threshold_normalization_sorts_but_keeps_duplicates() {
+        let a = ThresholdQuery::new(
+            2,
+            vec![
+                SelectionQuery::new(Op::Ge, 5),
+                SelectionQuery::new(Op::Le, 3),
+                SelectionQuery::new(Op::Ge, 5),
+            ],
+        );
+        let b = ThresholdQuery::new(
+            2,
+            vec![
+                SelectionQuery::new(Op::Le, 3),
+                SelectionQuery::new(Op::Ge, 5),
+                SelectionQuery::new(Op::Ge, 5),
+            ],
+        );
+        assert_eq!(a.normalized(), b.normalized());
+        assert_eq!(a.normalized().predicates.len(), 3);
+        // A duplicated predicate double-counts: value 6 satisfies ≥5
+        // twice, reaching k = 2 without ≤3.
+        assert!(a.matches(6));
+    }
+
+    #[test]
+    fn threshold_selectivity_and_display() {
+        let h = vec![10usize; 10];
+        let q = ThresholdQuery::new(
+            2,
+            vec![
+                SelectionQuery::new(Op::Le, 4),
+                SelectionQuery::new(Op::Ge, 3),
+                SelectionQuery::new(Op::Ne, 4),
+            ],
+        );
+        // rows qualifying: every value except… check per value 0..10:
+        // v∈{0,1,2}: ≤4, ≠4 → 2 hits. v=3: ≤4,≥3,≠4 → 3. v=4: ≤4,≥3 → 2.
+        // v≥5: ≥3,≠4 → 2. All 10 values qualify.
+        assert!((q.selectivity(&h) - 1.0).abs() < 1e-12);
+        assert_eq!(q.to_string(), ">=2 of {A <= 4, A >= 3, A != 4}");
     }
 
     #[test]

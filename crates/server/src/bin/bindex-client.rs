@@ -4,12 +4,15 @@
 //! bindex-client [--addr HOST:PORT] ping
 //! bindex-client [--addr HOST:PORT] stats
 //! bindex-client [--addr HOST:PORT] query INDEX OP CONST [--bitmap] [--deadline-ms N]
+//! bindex-client [--addr HOST:PORT] threshold INDEX K OP CONST [OP CONST ...]
+//!                                  [--bitmap] [--deadline-ms N]
 //! bindex-client [--addr HOST:PORT] ingest INDEX [--append V,null,...] [--delete R,...]
 //! bindex-client [--addr HOST:PORT] repair INDEX
 //! bindex-client [--addr HOST:PORT] shutdown
 //! ```
 //!
-//! `OP` is one of `< <= > >= = !=`. `ingest` appends comma-separated
+//! `OP` is one of `< <= > >= = !=`. `threshold` counts rows where at
+//! least `K` of the listed predicates hold. `ingest` appends comma-separated
 //! values (`null` for a null row) and/or deletes comma-separated row
 //! ids; the batch is WAL-logged, compacted, and acknowledged with its
 //! commit sequence and new generation. Typed server errors
@@ -27,6 +30,7 @@ fn usage() -> ! {
         "usage: bindex-client [--addr HOST:PORT] \
          (ping | stats | shutdown | repair INDEX | \
          query INDEX OP CONST [--bitmap] [--deadline-ms N] | \
+         threshold INDEX K OP CONST [OP CONST ...] [--bitmap] [--deadline-ms N] | \
          ingest INDEX [--append V,null,...] [--delete R,...])"
     );
     std::process::exit(2)
@@ -42,6 +46,52 @@ fn parse_op(s: &str) -> Option<Op> {
         "!=" | "<>" => Op::Ne,
         _ => return None,
     })
+}
+
+/// Prints a foundset answer (`query` or `threshold`) and picks the exit
+/// code: 0 on an answer, 1 on a typed server error, 2 on transport or
+/// protocol trouble.
+fn report_answer(resp: std::io::Result<Response>) -> ExitCode {
+    match resp {
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+        Ok(Response::Count {
+            cardinality,
+            degraded,
+            cached,
+        }) => {
+            println!(
+                "count {cardinality}{}{}",
+                if degraded { " (degraded)" } else { "" },
+                if cached { " (cached)" } else { "" }
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(Response::Bitmap {
+            cardinality,
+            degraded,
+            n_bits,
+            words,
+            ..
+        }) => {
+            println!(
+                "count {cardinality} of {n_bits} rows ({} words){}",
+                words.len(),
+                if degraded { " (degraded)" } else { "" }
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(Response::Error { code, message }) => {
+            eprintln!("error: {code:?}: {message}");
+            ExitCode::FAILURE
+        }
+        Ok(other) => {
+            eprintln!("error: unexpected response {other:?}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -176,43 +226,48 @@ fn main() -> ExitCode {
                 i += 1;
             }
             let query = SelectionQuery::new(op, constant);
-            match client.query(&index, query, want_bitmap, deadline_ms) {
-                Err(e) => Err(e),
-                Ok(Response::Count {
-                    cardinality,
-                    degraded,
-                    cached,
-                }) => {
-                    println!(
-                        "count {cardinality}{}{}",
-                        if degraded { " (degraded)" } else { "" },
-                        if cached { " (cached)" } else { "" }
-                    );
-                    Ok(())
-                }
-                Ok(Response::Bitmap {
-                    cardinality,
-                    degraded,
-                    n_bits,
-                    words,
-                    ..
-                }) => {
-                    println!(
-                        "count {cardinality} of {n_bits} rows ({} words){}",
-                        words.len(),
-                        if degraded { " (degraded)" } else { "" }
-                    );
-                    Ok(())
-                }
-                Ok(Response::Error { code, message }) => {
-                    eprintln!("error: {code:?}: {message}");
-                    return ExitCode::FAILURE;
-                }
-                Ok(other) => {
-                    eprintln!("error: unexpected response {other:?}");
-                    return ExitCode::from(2);
-                }
+            return report_answer(client.query(&index, query, want_bitmap, deadline_ms));
+        }
+        "threshold" => {
+            if rest.len() < 5 {
+                usage();
             }
+            let index = rest[1].clone();
+            let Ok(k) = rest[2].parse::<u32>() else {
+                usage()
+            };
+            let mut predicates = Vec::new();
+            let mut want_bitmap = false;
+            let mut deadline_ms = 0u64;
+            let mut i = 3;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--bitmap" => want_bitmap = true,
+                    "--deadline-ms" => {
+                        i += 1;
+                        match rest.get(i).and_then(|v| v.parse().ok()) {
+                            Some(ms) => deadline_ms = ms,
+                            None => usage(),
+                        }
+                    }
+                    op => {
+                        let Some(op) = parse_op(op) else { usage() };
+                        i += 1;
+                        let Some(constant) = rest.get(i).and_then(|v| v.parse().ok()) else {
+                            usage()
+                        };
+                        predicates.push(SelectionQuery::new(op, constant));
+                    }
+                }
+                i += 1;
+            }
+            return report_answer(client.threshold(
+                &index,
+                k,
+                &predicates,
+                want_bitmap,
+                deadline_ms,
+            ));
         }
         _ => usage(),
     };

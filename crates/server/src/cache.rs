@@ -5,7 +5,11 @@
 //! `A < v` is `A <= v-1`, `A >= v` is `A > v-1`. [`normalize`] folds each
 //! query onto one canonical form so aliased predicates share a cache
 //! entry — the same trick the paper's RangeEval-Opt plays with `<=`
-//! bitmaps, applied one layer up.
+//! bitmaps, applied one layer up. Threshold queries get the same
+//! treatment one level higher: [`normalize_threshold`] folds every
+//! predicate and then sorts the set, since "≥ k of N" is a symmetric
+//! function of its operands and predicate order must not fragment the
+//! cache.
 //!
 //! Every entry is tagged with the [`repair
 //! epoch`](bindex::storage::SharedIndexReader::repair_epoch) of the index
@@ -24,7 +28,7 @@ use bindex::BitVec;
 
 /// Canonical form of a predicate: the key under which its foundset is
 /// cached.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum NormKey {
     /// `A < 0`: no row qualifies, for any column.
     Empty,
@@ -32,6 +36,12 @@ pub enum NormKey {
     All,
     /// Everything else, folded onto the `{<=, >, =, !=}` operators.
     Pred(Op, u32),
+    /// "At least `k` of these predicates": each predicate folded onto its
+    /// canonical selection form, then the whole set sorted — predicate
+    /// order never matters to a threshold, so every permutation (and
+    /// every aliased spelling of each predicate) shares one entry.
+    /// Duplicates are kept: a repeated predicate counts twice toward `k`.
+    Threshold(u32, Vec<NormKey>),
 }
 
 /// Folds a query onto its canonical form: `Lt v → Le v-1` (or [`NormKey::Empty`]
@@ -45,6 +55,21 @@ pub fn normalize(query: SelectionQuery) -> NormKey {
         (Op::Ge, v) => NormKey::Pred(Op::Gt, v - 1),
         (op, v) => NormKey::Pred(op, v),
     }
+}
+
+/// Canonical form of a "≥ k of N" query: normalize each predicate, then
+/// sort the set — thresholds are symmetric functions of their operands,
+/// so `≥2 of {p, q, r}` and `≥2 of {r, p, q}` must share a cache entry.
+pub fn normalize_threshold(k: u32, predicates: &[SelectionQuery]) -> NormKey {
+    let mut preds: Vec<NormKey> = predicates.iter().map(|&q| normalize(q)).collect();
+    preds.sort_by_key(|p| match *p {
+        NormKey::Empty => (0u8, 0u8, 0u32),
+        NormKey::All => (1, 0, 0),
+        NormKey::Pred(op, v) => (2, op as u8, v),
+        // Thresholds never nest inside a predicate set; rank is moot.
+        NormKey::Threshold(k, _) => (3, 0, k),
+    });
+    NormKey::Threshold(k, preds)
 }
 
 /// A cached foundset: shared bits plus the precomputed cardinality.
@@ -93,10 +118,10 @@ impl ResultCache {
 
     /// Looks up `key` computed under `epoch`. An epoch change drops every
     /// resident entry first (counted as one invalidation).
-    pub fn get(&self, key: NormKey, epoch: u64) -> Option<CachedAnswer> {
+    pub fn get(&self, key: &NormKey, epoch: u64) -> Option<CachedAnswer> {
         let mut inner = self.inner.lock().unwrap();
         self.sync_epoch(&mut inner, epoch);
-        match inner.map.get(&key).cloned() {
+        match inner.map.get(key).cloned() {
             Some(hit) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(hit)
@@ -119,7 +144,7 @@ impl ResultCache {
         if epoch < inner.epoch {
             return;
         }
-        if inner.map.insert(key, answer).is_none() {
+        if inner.map.insert(key.clone(), answer).is_none() {
             inner.order.push_back(key);
             while inner.order.len() > self.capacity {
                 if let Some(evict) = inner.order.pop_front() {
@@ -195,25 +220,64 @@ mod tests {
         let cache = ResultCache::new(8);
         cache.insert(normalize(SelectionQuery::new(Op::Le, 4)), answer(5), 0);
         let hit = cache
-            .get(normalize(SelectionQuery::new(Op::Lt, 5)), 0)
+            .get(&normalize(SelectionQuery::new(Op::Lt, 5)), 0)
             .unwrap();
         assert_eq!(hit.cardinality, 5);
         assert_eq!(cache.stats(), (1, 0, 0));
     }
 
     #[test]
+    fn threshold_normalization_is_order_and_alias_blind() {
+        let preds = [
+            SelectionQuery::new(Op::Lt, 5),
+            SelectionQuery::new(Op::Ge, 3),
+            SelectionQuery::new(Op::Ne, 4),
+        ];
+        let permuted = [
+            SelectionQuery::new(Op::Ne, 4),
+            // Aliased spellings of the same two predicates.
+            SelectionQuery::new(Op::Gt, 2),
+            SelectionQuery::new(Op::Le, 4),
+        ];
+        assert_eq!(
+            normalize_threshold(2, &preds),
+            normalize_threshold(2, &permuted)
+        );
+        // A different k is a different answer, hence a different key.
+        assert_ne!(
+            normalize_threshold(2, &preds),
+            normalize_threshold(3, &preds)
+        );
+        // Duplicates are load-bearing (they count twice toward k).
+        assert_ne!(
+            normalize_threshold(2, &preds[..2]),
+            normalize_threshold(2, &[preds[0], preds[0]])
+        );
+        // Threshold keys live in the same cache as selection keys.
+        let cache = ResultCache::new(8);
+        cache.insert(normalize_threshold(2, &preds), answer(4), 0);
+        assert_eq!(
+            cache
+                .get(&normalize_threshold(2, &permuted), 0)
+                .unwrap()
+                .cardinality,
+            4
+        );
+    }
+
+    #[test]
     fn epoch_advance_invalidates_everything() {
         let cache = ResultCache::new(8);
         let key = normalize(SelectionQuery::new(Op::Eq, 1));
-        cache.insert(key, answer(3), 0);
-        assert!(cache.get(key, 0).is_some());
-        assert!(cache.get(key, 1).is_none(), "post-repair read must miss");
+        cache.insert(key.clone(), answer(3), 0);
+        assert!(cache.get(&key, 0).is_some());
+        assert!(cache.get(&key, 1).is_none(), "post-repair read must miss");
         assert_eq!(cache.len(), 0);
         let (_, _, invalidations) = cache.stats();
         assert_eq!(invalidations, 1);
         // A stale-epoch insert (query raced the repair) is dropped.
-        cache.insert(key, answer(3), 0);
-        assert!(cache.get(key, 1).is_none());
+        cache.insert(key.clone(), answer(3), 0);
+        assert!(cache.get(&key, 1).is_none());
     }
 
     #[test]
@@ -225,10 +289,10 @@ mod tests {
         assert_eq!(cache.len(), 2);
         // Oldest entries are gone, newest survive.
         assert!(cache
-            .get(normalize(SelectionQuery::new(Op::Eq, 4)), 0)
+            .get(&normalize(SelectionQuery::new(Op::Eq, 4)), 0)
             .is_some());
         assert!(cache
-            .get(normalize(SelectionQuery::new(Op::Eq, 0)), 0)
+            .get(&normalize(SelectionQuery::new(Op::Eq, 0)), 0)
             .is_none());
     }
 
@@ -236,7 +300,7 @@ mod tests {
     fn zero_capacity_disables_caching() {
         let cache = ResultCache::new(0);
         let key = normalize(SelectionQuery::new(Op::Eq, 1));
-        cache.insert(key, answer(1), 0);
-        assert!(cache.get(key, 0).is_none());
+        cache.insert(key.clone(), answer(1), 0);
+        assert!(cache.get(&key, 0).is_none());
     }
 }

@@ -58,6 +58,27 @@ impl Client {
         })
     }
 
+    /// Evaluates "at least `k` of `predicates`" against the served index
+    /// `index`. Predicate order does not matter; a duplicated predicate
+    /// counts twice toward `k`. `deadline_ms = 0` uses the server's
+    /// default deadline.
+    pub fn threshold(
+        &mut self,
+        index: &str,
+        k: u32,
+        predicates: &[SelectionQuery],
+        want_bitmap: bool,
+        deadline_ms: u64,
+    ) -> io::Result<Response> {
+        self.request(&Request::Threshold {
+            index: index.to_string(),
+            k,
+            predicates: predicates.to_vec(),
+            want_bitmap,
+            deadline_ms,
+        })
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> io::Result<()> {
         match self.request(&Request::Ping)? {

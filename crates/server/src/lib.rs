@@ -37,8 +37,10 @@ pub mod service;
 
 pub use admission::{BoundedQueue, PushError};
 pub use breaker::{BreakerState, CircuitBreaker};
-pub use cache::{normalize, NormKey, ResultCache};
+pub use cache::{normalize, normalize_threshold, NormKey, ResultCache};
 pub use client::Client;
 pub use protocol::{ErrorCode, Request, Response, StatsSnapshot};
-pub use registry::{DynStore, IndexTuning, IngestSummary, QueryAnswer, Registry, ServedIndex};
+pub use registry::{
+    DynStore, IndexTuning, IngestSummary, QueryAnswer, Registry, ServedIndex, ServedQuery,
+};
 pub use service::{DrainReport, Server, ServerConfig, DEADLINE_MS_ENV, QUEUE_DEPTH_ENV};

@@ -21,8 +21,9 @@ pub const MAX_FRAME: u32 = 64 << 20;
 
 /// Protocol version byte carried in every request frame; bumped on any
 /// incompatible change. Version 2 added [`Request::Ingest`] /
-/// [`Response::Ingested`] and the `ingests` counter in [`StatsSnapshot`].
-pub const PROTOCOL_VERSION: u8 = 2;
+/// [`Response::Ingested`] and the `ingests` counter in [`StatsSnapshot`];
+/// version 3 added [`Request::Threshold`] ("≥ k of N predicates").
+pub const PROTOCOL_VERSION: u8 = 3;
 
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -158,6 +159,24 @@ pub enum Request {
         /// Absolute row ids to delete.
         deletes: Vec<u64>,
     },
+    /// Evaluate "at least `k` of these predicates hold" on a served
+    /// index, in one pass through a bit-sliced counter network. A
+    /// duplicated predicate counts twice toward `k`. Degenerate shapes
+    /// (`k = 0`, `k` above the predicate count, no predicates) are
+    /// answered with a typed [`ErrorCode::BadRequest`].
+    Threshold {
+        /// Name of the served index.
+        index: String,
+        /// How many predicates must hold per row.
+        k: u32,
+        /// The predicate set (order does not matter to the answer or the
+        /// result cache).
+        predicates: Vec<SelectionQuery>,
+        /// `true` to return the foundset words, `false` for the count.
+        want_bitmap: bool,
+        /// Per-request deadline in milliseconds; `0` = server default.
+        deadline_ms: u64,
+    },
 }
 
 const TAG_QUERY: u8 = 0x01;
@@ -166,6 +185,7 @@ const TAG_STATS: u8 = 0x03;
 const TAG_REPAIR: u8 = 0x04;
 const TAG_SHUTDOWN: u8 = 0x05;
 const TAG_INGEST: u8 = 0x06;
+const TAG_THRESHOLD: u8 = 0x07;
 
 const TAG_COUNT: u8 = 0x81;
 const TAG_BITMAP: u8 = 0x82;
@@ -287,6 +307,25 @@ impl Request {
                     out.extend_from_slice(&r.to_le_bytes());
                 }
             }
+            Request::Threshold {
+                index,
+                k,
+                predicates,
+                want_bitmap,
+                deadline_ms,
+            } => {
+                out.push(TAG_THRESHOLD);
+                put_str(&mut out, index)?;
+                out.extend_from_slice(&k.to_le_bytes());
+                let n = u16::try_from(predicates.len()).map_err(|_| bad("too many predicates"))?;
+                out.extend_from_slice(&n.to_le_bytes());
+                for p in predicates {
+                    out.push(op_to_u8(p.op));
+                    out.extend_from_slice(&p.constant.to_le_bytes());
+                }
+                out.push(u8::from(*want_bitmap));
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+            }
         }
         Ok(out)
     }
@@ -334,6 +373,26 @@ impl Request {
                     index,
                     appends,
                     deletes,
+                }
+            }
+            TAG_THRESHOLD => {
+                let index = c.str()?;
+                let k = c.u32()?;
+                let n = c.u16()? as usize;
+                let mut predicates = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let op = op_from_u8(c.u8()?)?;
+                    let constant = c.u32()?;
+                    predicates.push(SelectionQuery::new(op, constant));
+                }
+                let want_bitmap = c.u8()? != 0;
+                let deadline_ms = c.u64()?;
+                Request::Threshold {
+                    index,
+                    k,
+                    predicates,
+                    want_bitmap,
+                    deadline_ms,
                 }
             }
             other => return Err(bad(format!("unknown request tag {other:#x}"))),
@@ -616,6 +675,27 @@ mod tests {
             index: "deletes-only".into(),
             appends: vec![],
             deletes: vec![4],
+        });
+        round_trip_request(Request::Threshold {
+            index: "lineitem.qty".into(),
+            k: 3,
+            predicates: vec![
+                SelectionQuery::new(Op::Le, 40),
+                SelectionQuery::new(Op::Gt, 7),
+                SelectionQuery::new(Op::Ne, 13),
+                SelectionQuery::new(Op::Ne, 13),
+            ],
+            want_bitmap: true,
+            deadline_ms: 125,
+        });
+        // A structurally invalid threshold still round-trips: validation
+        // is the server's job, answered with a typed BadRequest.
+        round_trip_request(Request::Threshold {
+            index: "t".into(),
+            k: 0,
+            predicates: vec![],
+            want_bitmap: false,
+            deadline_ms: 0,
         });
     }
 

@@ -18,8 +18,10 @@ use std::time::Duration;
 
 use bindex::core::eval::Algorithm;
 use bindex::core::Deadline;
-use bindex::engine::batch::{evaluate_selection_workload, BatchOptions, QueryOutcome};
-use bindex::relation::query::SelectionQuery;
+use bindex::engine::batch::{
+    evaluate_selection_workload, evaluate_threshold_workload, BatchOptions, QueryOutcome,
+};
+use bindex::relation::query::{SelectionQuery, ThresholdQuery};
 use bindex::storage::{
     ByteStore, RepairReport, ShardedPool, SharedIndexReader, StorageError, StoredIndex,
 };
@@ -29,7 +31,18 @@ use bindex::{
 };
 
 use crate::breaker::{BreakerState, CircuitBreaker};
-use crate::cache::{normalize, CachedAnswer, ResultCache};
+use crate::cache::{normalize, normalize_threshold, CachedAnswer, ResultCache};
+
+/// One query as served over the wire: a single selection predicate or a
+/// "≥ k of N" threshold over several. Both run through the same serving
+/// policy — cache, breaker, deadline, segment-at-a-time evaluation.
+#[derive(Debug, Clone)]
+pub enum ServedQuery {
+    /// `A op v`.
+    Selection(SelectionQuery),
+    /// At least `k` of the contained predicates hold.
+    Threshold(ThresholdQuery),
+}
 
 /// The one store type the server deals in; anything `ByteStore + Send +
 /// Sync` boxes into it.
@@ -192,10 +205,38 @@ impl ServedIndex {
         query: SelectionQuery,
         deadline: Option<Deadline>,
     ) -> Result<QueryAnswer, Error> {
+        self.execute_any(ServedQuery::Selection(query), deadline)
+    }
+
+    /// Evaluates a "≥ k of N predicates" query under the same serving
+    /// policy as [`ServedIndex::execute`]. Degenerate shapes (`k = 0`,
+    /// `k` above the predicate count, no predicates) are rejected with
+    /// [`Error::InvalidQuery`] before touching the store.
+    pub fn execute_threshold(
+        &self,
+        query: ThresholdQuery,
+        deadline: Option<Deadline>,
+    ) -> Result<QueryAnswer, Error> {
+        self.execute_any(ServedQuery::Threshold(query), deadline)
+    }
+
+    /// The shared serving path behind [`ServedIndex::execute`] and
+    /// [`ServedIndex::execute_threshold`].
+    pub fn execute_any(
+        &self,
+        query: ServedQuery,
+        deadline: Option<Deadline>,
+    ) -> Result<QueryAnswer, Error> {
+        let key = match &query {
+            ServedQuery::Selection(q) => normalize(*q),
+            ServedQuery::Threshold(q) => {
+                q.validate().map_err(Error::InvalidQuery)?;
+                normalize_threshold(q.k, &q.predicates)
+            }
+        };
         let guard = self.reader.read().unwrap();
         let epoch = guard.repair_epoch();
-        let key = normalize(query);
-        if let Some(hit) = self.cache.get(key, epoch) {
+        if let Some(hit) = self.cache.get(&key, epoch) {
             return Ok(QueryAnswer {
                 bits: hit.bits,
                 cardinality: hit.cardinality,
@@ -222,19 +263,28 @@ impl ServedIndex {
         // delete) carry a stored not-null bitmap; `Ne` and negated
         // predicates are wrong without it.
         let nn = guard.index().read_nn_shared().map_err(storage_error)?.0;
-        let report = evaluate_selection_workload(
-            || {
-                let source = SharedSource::try_new(&guard, spec.clone())
-                    .expect("layout validated at registration");
-                match &nn {
-                    Some(nn) => source.with_nn(nn.clone()),
-                    None => source,
-                }
-            },
-            std::slice::from_ref(&query),
-            Algorithm::Auto,
-            &options,
-        );
+        let make_source = || {
+            let source = SharedSource::try_new(&guard, spec.clone())
+                .expect("layout validated at registration");
+            match &nn {
+                Some(nn) => source.with_nn(nn.clone()),
+                None => source,
+            }
+        };
+        let report = match &query {
+            ServedQuery::Selection(q) => evaluate_selection_workload(
+                make_source,
+                std::slice::from_ref(q),
+                Algorithm::Auto,
+                &options,
+            ),
+            ServedQuery::Threshold(q) => evaluate_threshold_workload(
+                make_source,
+                std::slice::from_ref(q),
+                Algorithm::Auto,
+                &options,
+            ),
+        };
         let outcome = report
             .outcomes
             .into_iter()

@@ -33,11 +33,11 @@ use std::time::Duration;
 
 use bindex::core::{Deadline, Error};
 use bindex::engine::envcfg;
-use bindex::relation::query::SelectionQuery;
+use bindex::relation::query::ThresholdQuery;
 
 use crate::admission::{BoundedQueue, PushError};
 use crate::protocol::{write_frame, ErrorCode, Request, Response, StatsSnapshot, MAX_FRAME};
-use crate::registry::{Registry, ServedIndex};
+use crate::registry::{Registry, ServedIndex, ServedQuery};
 
 /// Environment variable overriding [`ServerConfig::queue_depth`].
 pub const QUEUE_DEPTH_ENV: &str = "BINDEX_QUEUE_DEPTH";
@@ -113,7 +113,7 @@ struct Metrics {
 /// One admitted query on its way to a worker.
 struct Job {
     index: Arc<ServedIndex>,
-    query: SelectionQuery,
+    query: ServedQuery,
     want_bitmap: bool,
     deadline: Deadline,
     reply: SyncSender<Response>,
@@ -206,14 +206,39 @@ impl Shared {
                 query,
                 want_bitmap,
                 deadline_ms,
-            } => self.handle_query(&index, query, want_bitmap, deadline_ms),
+            } => self.handle_query(
+                &index,
+                ServedQuery::Selection(query),
+                want_bitmap,
+                deadline_ms,
+            ),
+            Request::Threshold {
+                index,
+                k,
+                predicates,
+                want_bitmap,
+                deadline_ms,
+            } => {
+                let query = ThresholdQuery::new(k, predicates);
+                // Reject degenerate thresholds before they consume a
+                // queue slot: the request is wrong, not the server busy.
+                if let Err(msg) = query.validate() {
+                    return Self::err(ErrorCode::BadRequest, format!("invalid query: {msg}"));
+                }
+                self.handle_query(
+                    &index,
+                    ServedQuery::Threshold(query),
+                    want_bitmap,
+                    deadline_ms,
+                )
+            }
         }
     }
 
     fn handle_query(
         &self,
         index: &str,
-        query: SelectionQuery,
+        query: ServedQuery,
         want_bitmap: bool,
         deadline_ms: u64,
     ) -> Response {
@@ -277,7 +302,7 @@ fn worker_loop(shared: &Shared) {
             shared.metrics.shed_deadline.fetch_add(1, Ordering::Relaxed);
             Shared::err(ErrorCode::DeadlineExceeded, "deadline expired while queued")
         } else {
-            match job.index.execute(job.query, Some(job.deadline)) {
+            match job.index.execute_any(job.query, Some(job.deadline)) {
                 Ok(answer) => {
                     if answer.degraded {
                         shared.metrics.degraded.fetch_add(1, Ordering::Relaxed);
@@ -304,6 +329,13 @@ fn worker_loop(shared: &Shared) {
                         ErrorCode::DeadlineExceeded,
                         "deadline expired mid-evaluation; partial work discarded",
                     )
+                }
+                // Defense in depth: the connection layer validates before
+                // admission, but a structurally bad query that slips
+                // through is still the client's mistake, not a server
+                // fault — typed rejection, no breaker or failure count.
+                Err(e @ Error::InvalidQuery(_)) => {
+                    Shared::err(ErrorCode::BadRequest, e.to_string())
                 }
                 Err(e) => {
                     shared.metrics.failed.fetch_add(1, Ordering::Relaxed);

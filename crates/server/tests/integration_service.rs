@@ -10,7 +10,7 @@ use std::time::Duration;
 use bindex::compress::CodecKind;
 use bindex::core::eval::Algorithm;
 use bindex::relation::gen;
-use bindex::relation::query::{Op, SelectionQuery};
+use bindex::relation::query::{Op, SelectionQuery, ThresholdQuery};
 use bindex::storage::{ByteStore, MemStore, StorageScheme};
 use bindex::stored::{persist_index, persist_index_v3};
 use bindex::{Base, BitmapIndex, Column, Encoding, IndexSpec};
@@ -182,6 +182,153 @@ fn end_to_end_answers_are_exact_over_the_wire() {
     assert!(server.shutdown_requested());
     let report = server.shutdown();
     assert_eq!(report.shed_overload, 0);
+}
+
+fn direct_threshold(index: &BitmapIndex, k: u32, predicates: &[SelectionQuery]) -> bindex::BitVec {
+    let query = ThresholdQuery::new(k, predicates.to_vec());
+    let (bits, _) =
+        bindex::core::eval::evaluate_threshold(&mut index.source(), &query, Algorithm::Auto)
+            .unwrap();
+    bits
+}
+
+/// The threshold acceptance scenario over the wire: exact "≥ k of N"
+/// counts and bitmaps, result-cache hits across predicate permutations,
+/// cache invalidation on the repair epoch bump, and typed rejection of
+/// structurally invalid k — all through real TCP frames.
+#[test]
+fn threshold_queries_over_the_wire() {
+    let (_column, index, store) = build();
+    let mut registry = Registry::new();
+    registry.insert(
+        ServedIndex::new(
+            "t",
+            spec(),
+            Box::new(store),
+            None,
+            None,
+            IndexTuning::default(),
+        )
+        .unwrap(),
+    );
+    let served = registry.get("t").unwrap();
+    let config = ServerConfig {
+        workers: 2,
+        queue_depth: 16,
+        default_deadline: Duration::from_secs(10),
+    };
+    let server = start_server(registry, config);
+    let mut client = connect(&server);
+
+    let predicates = [
+        SelectionQuery::new(Op::Le, 40),
+        SelectionQuery::new(Op::Gt, 7),
+        SelectionQuery::new(Op::Ne, 13),
+        SelectionQuery::new(Op::Eq, 22),
+    ];
+    // Exact counts for every k, including the AND (k = N) and OR (k = 1)
+    // degenerations.
+    for k in 1..=4u32 {
+        let want = direct_threshold(&index, k, &predicates).count_ones() as u64;
+        match client
+            .threshold("t", k, &predicates, false, 0)
+            .expect("threshold query")
+        {
+            Response::Count {
+                cardinality,
+                degraded,
+                ..
+            } => {
+                assert_eq!(cardinality, want, "k = {k}");
+                assert!(!degraded);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    // Bitmap round trip: the threshold foundset survives the wire intact.
+    let want = direct_threshold(&index, 2, &predicates);
+    match client
+        .threshold("t", 2, &predicates, true, 0)
+        .expect("threshold bitmap")
+    {
+        Response::Bitmap {
+            cardinality,
+            n_bits,
+            words,
+            ..
+        } => {
+            assert_eq!(n_bits as usize, want.len());
+            assert_eq!(cardinality, want.count_ones() as u64);
+            assert_eq!(words, want.words().to_vec());
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // The result cache is permutation-blind: the same predicate set in a
+    // different order (and an aliased spelling) hits the cached entry.
+    let permuted = [
+        SelectionQuery::new(Op::Eq, 22),
+        SelectionQuery::new(Op::Ne, 13),
+        SelectionQuery::new(Op::Gt, 7),
+        SelectionQuery::new(Op::Lt, 41), // alias of Le 40
+    ];
+    match client
+        .threshold("t", 2, &permuted, false, 0)
+        .expect("permuted threshold")
+    {
+        Response::Count {
+            cardinality,
+            cached,
+            ..
+        } => {
+            assert_eq!(cardinality, want.count_ones() as u64);
+            assert!(cached, "permuted predicate set must hit the cache");
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // Repair bumps the epoch; pre-repair threshold answers must not be
+    // served from cache afterwards.
+    let epoch_before = served.repair_epoch();
+    client.repair("t").expect("repair");
+    assert_eq!(served.repair_epoch(), epoch_before + 1);
+    match client
+        .threshold("t", 2, &predicates, false, 0)
+        .expect("post-repair threshold")
+    {
+        Response::Count {
+            cardinality,
+            cached,
+            ..
+        } => {
+            assert_eq!(cardinality, want.count_ones() as u64);
+            assert!(!cached, "repair must invalidate threshold cache entries");
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // Structurally invalid thresholds are typed BadRequests, answered
+    // without consuming a queue slot or counting as a server failure.
+    for (k, preds) in [
+        (0u32, &predicates[..]), // k = 0 matches every row; rejected
+        (5, &predicates[..]),    // k above the predicate count
+        (1, &predicates[..0]),   // no predicates at all
+    ] {
+        match client
+            .threshold("t", k, preds, false, 0)
+            .expect("invalid threshold transport")
+        {
+            Response::Error { code, message } => {
+                assert_eq!(code, ErrorCode::BadRequest, "k = {k}: {message}");
+                assert!(message.contains("invalid query"), "{message}");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.failed, 0, "stats: {stats:?}");
+    assert!(stats.cache_hits >= 1, "stats: {stats:?}");
+    server.shutdown();
 }
 
 #[test]

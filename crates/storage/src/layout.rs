@@ -1276,7 +1276,9 @@ impl SlotEncoder {
 
 /// Serializes a summary block: fixed header (row count, window width,
 /// per-component slot counts, nn flag) followed by each slot's packed
-/// window bits in component-major order, nn summary last.
+/// window bits in component-major order, nn summary last. Each slot
+/// contributes two equal-sized planes back to back: the "any-bit-set"
+/// bits, then the "all-ones" bits.
 fn encode_summary_block(
     n_rows: usize,
     components: &[Vec<SlotSummary>],
@@ -1292,6 +1294,7 @@ fn encode_summary_block(
     out.push(u8::from(nn.is_some()));
     for summary in components.iter().flatten().chain(nn) {
         out.extend_from_slice(&summary.any.to_bytes());
+        out.extend_from_slice(&summary.all.to_bytes());
     }
     out
 }
@@ -1331,18 +1334,33 @@ fn decode_summary_block(payload: &[u8]) -> Option<IndexSummaries> {
     let windows = SlotSummary::windows_for(n_rows, window_bits);
     let bytes_per = windows.div_ceil(8);
     let total_slots = counts.iter().try_fold(0usize, |a, &c| a.checked_add(c))?;
-    let body = total_slots
-        .checked_add(usize::from(has_nn))?
-        .checked_mul(bytes_per)?;
-    if p.len() != body {
+    let n_summaries = total_slots.checked_add(usize::from(has_nn))?;
+    // Current blocks carry two planes per slot (any + all); blocks written
+    // before the all-ones plane carry one. A legacy block decodes with an
+    // empty all-plane — "no saturation guarantee" — which is never wrong.
+    // Any other size is a structural defect.
+    let two_plane = n_summaries
+        .checked_mul(bytes_per)?
+        .checked_mul(2)
+        .is_some_and(|body| p.len() == body);
+    let legacy = n_summaries
+        .checked_mul(bytes_per)
+        .is_some_and(|body| p.len() == body);
+    if !two_plane && !legacy {
         return None;
     }
     let read_summary = |p: &mut &[u8]| -> Option<SlotSummary> {
-        let bytes = take(p, bytes_per)?;
+        let any = BitVec::from_bytes(windows, take(p, bytes_per)?);
+        let all = if two_plane {
+            BitVec::from_bytes(windows, take(p, bytes_per)?)
+        } else {
+            BitVec::zeros(windows)
+        };
         Some(SlotSummary {
             len: n_rows,
             window_bits,
-            any: BitVec::from_bytes(windows, bytes),
+            any,
+            all,
         })
     };
     let mut slots = Vec::with_capacity(n_components);
@@ -2259,6 +2277,35 @@ mod tests {
         let mut zero_window = good;
         zero_window[8..12].copy_from_slice(&0u32.to_le_bytes());
         assert!(decode_summary_block(&zero_window).is_none());
+    }
+
+    #[test]
+    fn legacy_single_plane_summary_block_decodes_without_all_guarantees() {
+        // A block written before the all-ones plane: header plus one
+        // plane (`any` bytes) per summary. It must still decode, with the
+        // all-plane empty — no saturation guarantees, never wrong.
+        let n_rows = 2 * SUMMARY_WINDOW_BITS + 5;
+        let ones = BitVec::ones(n_rows);
+        let summary = SlotSummary::build(&ones);
+        let mut legacy = Vec::new();
+        legacy.extend_from_slice(&(n_rows as u64).to_le_bytes());
+        legacy.extend_from_slice(&(SUMMARY_WINDOW_BITS as u32).to_le_bytes());
+        legacy.extend_from_slice(&1u32.to_le_bytes());
+        legacy.extend_from_slice(&1u32.to_le_bytes());
+        legacy.push(0);
+        legacy.extend_from_slice(&summary.any.to_bytes());
+        let decoded = decode_summary_block(&legacy).expect("legacy block decodes");
+        let s = decoded.get(1, 0).unwrap();
+        assert!(s.range_any(0, n_rows));
+        assert!(
+            !s.range_all(0, SUMMARY_WINDOW_BITS),
+            "legacy blocks promise no saturation"
+        );
+        // The current encoder round-trips both planes.
+        let current = encode_summary_block(n_rows, &[vec![summary.clone()]], None);
+        let decoded = decode_summary_block(&current).unwrap();
+        assert_eq!(decoded.get(1, 0).unwrap(), &summary);
+        assert!(decoded.get(1, 0).unwrap().range_all(0, n_rows));
     }
 
     #[test]
